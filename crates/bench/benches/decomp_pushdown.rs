@@ -1,0 +1,50 @@
+//! Criterion bench for §7.2.1: join-then-infer vs decomposition push-down.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relserve_bench::workloads;
+use relserve_core::rules::{run_join_then_infer, run_pushdown_infer, JoinedInference};
+use relserve_nn::init::seeded_rng;
+use relserve_nn::zoo;
+use relserve_relational::Table;
+use relserve_storage::{BufferPool, DiskManager};
+use std::sync::Arc;
+
+fn bench_decomp(c: &mut Criterion) {
+    let pool = Arc::new(BufferPool::with_budget_bytes(
+        Arc::new(DiskManager::temp().unwrap()),
+        128 << 20,
+    ));
+    let (rows1, rows2) = workloads::bosch_split_tables(2_000, 968, 4, 36);
+    let d1 = Table::create(pool.clone(), "d1", workloads::keyed_feature_schema());
+    let d2 = Table::create(pool, "d2", workloads::keyed_feature_schema());
+    for r in &rows1 {
+        d1.insert(r).unwrap();
+    }
+    for r in &rows2 {
+        d2.insert(r).unwrap();
+    }
+    let mut rng = seeded_rng(37);
+    let model = zoo::bosch_ffnn(&mut rng).unwrap();
+    let q = JoinedInference {
+        d1: &d1,
+        d2: &d2,
+        d1_join_col: 0,
+        d2_join_col: 0,
+        d1_features: 1,
+        d2_features: 1,
+        epsilon: 0.15,
+    };
+
+    let mut group = c.benchmark_group("decomp_pushdown");
+    group.sample_size(10);
+    group.bench_function("join_then_infer", |b| {
+        b.iter(|| run_join_then_infer(&q, &model, 2).unwrap())
+    });
+    group.bench_function("pushdown_infer", |b| {
+        b.iter(|| run_pushdown_infer(&q, &model, 2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomp);
+criterion_main!(benches);

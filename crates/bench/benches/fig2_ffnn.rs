@@ -1,0 +1,49 @@
+//! Criterion bench for Fig. 2: FFNN inference latency, in-database vs
+//! DL-centric. Uses a non-sleeping wire (codec cost only) so Criterion
+//! measures CPU work; the repro binary measures the full modeled wire.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relserve_bench::workloads;
+use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::init::seeded_rng;
+use relserve_nn::zoo;
+use relserve_runtime::{RuntimeProfile, TransferProfile};
+
+fn bench_fig2(c: &mut Criterion) {
+    let config = SessionConfig {
+        transfer: TransferProfile::instant(),
+        ..SessionConfig::default()
+    };
+    let session = InferenceSession::open(config).unwrap();
+    let mut rng = seeded_rng(30);
+    session.load_model(zoo::fraud_fc_256(&mut rng).unwrap()).unwrap();
+    session.load_model(zoo::fraud_fc_512(&mut rng).unwrap()).unwrap();
+
+    let batch = workloads::feature_batch(2_000, 28, 31);
+    let mut group = c.benchmark_group("fig2_ffnn");
+    group.sample_size(10);
+    for model in ["Fraud-FC-256", "Fraud-FC-512"] {
+        group.bench_with_input(BenchmarkId::new("in_db_adaptive", model), &model, |b, m| {
+            b.iter(|| {
+                session
+                    .infer_batch(m, &batch, Architecture::Adaptive)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dl_centric_tf", model), &model, |b, m| {
+            b.iter(|| {
+                session
+                    .infer_batch(
+                        m,
+                        &batch,
+                        Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 3: CNN (DeepBench-CONV1) inference latency,
+//! in-database vs DL-centric (codec-only wire).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relserve_bench::workloads;
+use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::init::seeded_rng;
+use relserve_nn::zoo;
+use relserve_runtime::{RuntimeProfile, TransferProfile};
+
+fn bench_fig3(c: &mut Criterion) {
+    let config = SessionConfig {
+        transfer: TransferProfile::instant(),
+        ..SessionConfig::default()
+    };
+    let session = InferenceSession::open(config).unwrap();
+    let mut rng = seeded_rng(32);
+    session.load_model(zoo::deepbench_conv1(&mut rng).unwrap()).unwrap();
+    let images = workloads::image_batch(1, 112, 112, 64, 33);
+
+    let mut group = c.benchmark_group("fig3_cnn");
+    group.sample_size(10);
+    group.bench_function("in_db_adaptive", |b| {
+        b.iter(|| {
+            session
+                .infer_batch("DeepBench-CONV1", &images, Architecture::Adaptive)
+                .unwrap()
+        })
+    });
+    group.bench_function("dl_centric_tf", |b| {
+        b.iter(|| {
+            session
+                .infer_batch(
+                    "DeepBench-CONV1",
+                    &images,
+                    Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Table 3's completing cells at reduced size: the
+//! relation-centric (adaptive) path on a large-operator workload vs the
+//! UDF-centric dense path where it still fits. (The OOM cells are asserted
+//! by the repro binary and integration tests, not timed here.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relserve_bench::workloads;
+use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::init::seeded_rng;
+use relserve_nn::zoo;
+use relserve_runtime::TransferProfile;
+
+fn bench_table3(c: &mut Criterion) {
+    // Amazon at deeper scale so each iteration is sub-second.
+    let scale = 128; // 4,668 features, 113 outputs
+    let config = SessionConfig {
+        memory_threshold_bytes: 1 << 20, // force relation-centric on matmuls
+        transfer: TransferProfile::instant(),
+        ..SessionConfig::default()
+    };
+    let session = InferenceSession::open(config).unwrap();
+    let mut rng = seeded_rng(34);
+    let model = zoo::amazon_14k_fc(scale, &mut rng).unwrap();
+    let name = model.name().to_string();
+    let features = model.input_shape().num_elements();
+    session.load_model(model).unwrap();
+    let batch = workloads::amazon_batch(64, features, 35);
+
+    let mut group = c.benchmark_group("table3_large");
+    group.sample_size(10);
+    group.bench_function("relation_centric_adaptive", |b| {
+        b.iter(|| {
+            session
+                .infer_batch(&name, &batch, Architecture::Adaptive)
+                .unwrap()
+        })
+    });
+    group.bench_function("udf_centric_dense", |b| {
+        b.iter(|| {
+            session
+                .infer_batch(&name, &batch, Architecture::UdfCentric)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Reproduce Fig. 3: latency reduction of in-database serving for CNN
+//! models (DeepBench-CONV1) against the DL-centric architecture.
+//!
+//! The transferred payload per image is large (112×112×64 floats ≈ 3.2 MB),
+//! so cross-system shipping is expensive relative to a single pointwise
+//! convolution — the in-database path wins, as in the paper.
+//!
+//! ```sh
+//! cargo run --release -p relserve-bench --bin repro_fig3
+//! ```
+
+use relserve_bench::config::{fig2_config, scaling_banner, FIG3_BATCH};
+use relserve_bench::report::{Cell, ResultTable};
+use relserve_bench::workloads;
+use relserve_core::{Architecture, InferenceSession};
+use relserve_nn::init::seeded_rng;
+use relserve_nn::zoo;
+use relserve_runtime::RuntimeProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", scaling_banner("Fig. 3: CNN inference latency"));
+    let session = InferenceSession::open(fig2_config())?;
+    let mut rng = seeded_rng(4);
+    session.load_model(zoo::deepbench_conv1(&mut rng)?)?;
+
+    let batch = FIG3_BATCH;
+    let images = workloads::image_batch(batch, 112, 112, 64, 5);
+    println!(
+        "DeepBench-CONV1, batch {batch} (payload {:.1} MB per direction)\n",
+        images.num_bytes() as f64 / 1e6
+    );
+
+    let mut table = ResultTable::new(&["architecture", "latency", "vs ours"]);
+    // Untimed warm-up.
+    session.infer_batch("DeepBench-CONV1", &images, Architecture::UdfCentric)?;
+    let ours = session.infer_batch("DeepBench-CONV1", &images, Architecture::Adaptive)?;
+    table.row(
+        "ours (in-DB, rule-chosen)",
+        &[Cell::Time(ours.elapsed), Cell::Text("1.0x".into())],
+    );
+    for profile in [RuntimeProfile::tensorflow_like(), RuntimeProfile::pytorch_like()] {
+        let name = profile.name.clone();
+        let outcome =
+            session.infer_batch("DeepBench-CONV1", &images, Architecture::DlCentric(profile))?;
+        let factor = outcome.elapsed.as_secs_f64() / ours.elapsed.as_secs_f64();
+        table.row(
+            &format!("dl-centric ({name})"),
+            &[Cell::Time(outcome.elapsed), Cell::Text(format!("{factor:.1}x"))],
+        );
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper Fig. 3): in-database serving reduces latency for\n\
+         CNN inference because the image batch never crosses a system boundary."
+    );
+    Ok(())
+}

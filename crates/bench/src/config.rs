@@ -1,0 +1,157 @@
+//! Scaled experiment configurations.
+//!
+//! The paper's testbed is an AWS r4.2xlarge (8 cores, 61 GiB RAM, 2 GiB
+//! operator threshold, 20 GiB buffer pool). This repo reproduces the
+//! *shape* of each result at laptop scale; every scale factor and budget is
+//! defined here, printed by the harness, and recorded in EXPERIMENTS.md.
+//!
+//! Calibration principle for Table 3: preserve the **footprint / budget
+//! ratios** the paper's testbed implies, so the OOM pattern (which cell
+//! fails, which completes) reproduces exactly even though absolute sizes
+//! shrink. See each constant's comment for the arithmetic.
+
+use relserve_core::SessionConfig;
+use relserve_runtime::TransferProfile;
+
+/// Scale divisor for Amazon-14k-FC (features 597,540 → 18,673;
+/// outputs 14,588 → 455). The first-layer weight matrix shrinks from
+/// 2.28 GiB to ~76 MiB.
+pub const AMAZON_SCALE: usize = 32;
+
+/// Table 3 batch sizes for Amazon, scaled 1/8 from the paper's 1000/8000.
+pub const AMAZON_BATCHES: [usize; 2] = [125, 1000];
+
+/// Scale divisor for LandCover (2500² tiles → 312², 2048 kernels → 256).
+/// One output map shrinks from 51 GB to ~99.7 MB.
+pub const LANDCOVER_SCALE: usize = 8;
+
+/// Table 3 batch sizes for LandCover (the paper's own 1 and 2).
+pub const LANDCOVER_BATCHES: [usize; 2] = [1, 2];
+
+/// Bosch-like decomposition experiment: rows (paper: 1.18 M) and total
+/// feature width (paper's exact 968, split 484/484).
+pub const BOSCH_ROWS: usize = 8_000;
+/// Feature width of the Bosch-like table (kept at paper scale).
+pub const BOSCH_WIDTH: usize = 968;
+/// Similarity-join expansion factor: each row band-matches ~this many rows
+/// on the other side (an ε-join on correlated continuous keys expands).
+pub const BOSCH_FAN: usize = 6;
+
+/// Fig. 2/3 batch sizes: rows resident in the RDBMS per query.
+pub const FIG2_BATCH: usize = 10_000;
+/// Images per DeepBench-CONV1 query in Fig. 3.
+pub const FIG3_BATCH: usize = 4;
+
+/// §7.2.2 dataset sizes.
+pub const CACHE_TRAIN: usize = 1_500;
+/// Test-set size for §7.2.2.
+pub const CACHE_TEST: usize = 1_000;
+
+/// The ConnectorX-class wire used for DL-centric rows: ~1.2 GB/s effective
+/// bandwidth, 2 ms setup per shipment, 1 µs/row protocol overhead
+/// (ConnectorX reads ~1 M Postgres rows/s/core).
+pub fn wire() -> TransferProfile {
+    TransferProfile {
+        bandwidth_bytes_per_sec: 1.2e9,
+        fixed_latency: std::time::Duration::from_millis(2),
+        per_row_overhead_ns: 1_000.0,
+        simulate_wire: true,
+    }
+}
+
+/// Session config for the small-model latency experiments (Figs. 2–3):
+/// generous budgets (nothing OOMs there), realistic wire.
+pub fn fig2_config() -> SessionConfig {
+    SessionConfig {
+        db_memory_bytes: 4 << 30,
+        buffer_pool_bytes: 256 << 20,
+        memory_threshold_bytes: 2 << 30, // the paper's threshold
+        block_size: 512,
+        external_memory_bytes: 4 << 30,
+        transfer: wire(),
+        ..SessionConfig::default()
+    }
+}
+
+/// Table 3 / Amazon budgets. Scaled footprints (see repro_table3 output):
+/// UDF peak ≈ 87 MB @ batch 125 and ≈ 157 MB @ batch 1000; external peaks
+/// carry the 1.4×/2.0× framework overheads. Budgets are placed so that at
+/// the small batch everything completes and at the large batch every
+/// non-relation-centric cell OOMs — the paper's row pattern.
+pub fn table3_amazon_config() -> SessionConfig {
+    SessionConfig {
+        db_memory_bytes: 120 << 20,      // ∈ (87 MB, 157 MB)
+        buffer_pool_bytes: 96 << 20,
+        memory_threshold_bytes: 64 << 20, // < the 76 MB weight term at any batch
+        block_size: 512,
+        external_memory_bytes: 190 << 20, // ∈ (2.0×87, 1.4×157) MB
+        transfer: wire(),
+        ..SessionConfig::default()
+    }
+}
+
+/// Table 3 / LandCover budgets. One scaled output map X ≈ 99.7 MB.
+/// db < X (UDF-centric OOMs at batch 1, as in the paper);
+/// external ∈ (1.4X, 2.0X) (TensorFlow-like fits batch 1, PyTorch-like
+/// OOMs, and nothing external fits batch 2) — the paper's exact pattern.
+pub fn table3_landcover_config() -> SessionConfig {
+    SessionConfig {
+        db_memory_bytes: 80 << 20,
+        buffer_pool_bytes: 96 << 20,
+        memory_threshold_bytes: 32 << 20,
+        block_size: 512,
+        external_memory_bytes: 170 << 20,
+        transfer: wire(),
+        ..SessionConfig::default()
+    }
+}
+
+/// Render the scaling notice every repro binary prints first.
+pub fn scaling_banner(experiment: &str) -> String {
+    format!(
+        "== {experiment} ==\n\
+         paper testbed: AWS r4.2xlarge (8 cores, 61 GiB, 2 GiB threshold, 20 GiB pool)\n\
+         this run: scaled per crates/bench/src/config.rs \
+         (Amazon 1/{AMAZON_SCALE}, LandCover 1/{LANDCOVER_SCALE}, Bosch {BOSCH_ROWS} rows)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amazon_budget_ordering_matches_calibration() {
+        let c = table3_amazon_config();
+        // threshold < db < external, and the documented windows hold.
+        assert!(c.memory_threshold_bytes < c.db_memory_bytes);
+        assert!(c.db_memory_bytes < c.external_memory_bytes);
+        // The scaled weight term (18,673 × 1,024 × 4 B) exceeds the threshold.
+        let weight_bytes = (597_540 / AMAZON_SCALE) * 1024 * 4;
+        assert!(weight_bytes > c.memory_threshold_bytes);
+    }
+
+    #[test]
+    fn landcover_budget_brackets_output_map() {
+        let c = table3_landcover_config();
+        let side = 2_500 / LANDCOVER_SCALE;
+        let oc = 2_048 / LANDCOVER_SCALE;
+        let x = side * side * oc * 4; // one output map
+        assert!(c.db_memory_bytes < x, "UDF must OOM at batch 1");
+        assert!(
+            (c.external_memory_bytes as f64) > 1.4 * x as f64,
+            "TF-like must fit batch 1"
+        );
+        assert!(
+            (c.external_memory_bytes as f64) < 2.0 * x as f64,
+            "PT-like must OOM at batch 1"
+        );
+    }
+
+    #[test]
+    fn banner_mentions_scales() {
+        let b = scaling_banner("test");
+        assert!(b.contains("1/32"));
+        assert!(b.contains("1/8"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness for the EDBT 2024 paper reproduction.
+//!
+//! One module per concern:
+//!
+//! * [`workloads`] — synthetic generators with the schemas and shapes of the
+//!   paper's datasets (credit-card fraud, encoder features, Amazon-14k
+//!   extreme classification, DeepBench/LandCover tiles, the Bosch wide
+//!   table, MNIST-like digits).
+//! * [`config`] — the scaled experiment configurations: every scale factor
+//!   and memory budget used to reproduce Figures 2–3 and Table 3 on a
+//!   laptop, with the calibration rationale documented inline.
+//! * [`report`] — fixed-width table printing and timing helpers shared by
+//!   the `repro_*` binaries.
+//!
+//! The binaries (`src/bin/repro_*.rs`) regenerate each table/figure;
+//! `benches/` holds the Criterion micro-benchmarks.
+
+pub mod config;
+pub mod report;
+pub mod workloads;

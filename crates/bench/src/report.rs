@@ -1,0 +1,144 @@
+//! Table rendering and timing helpers for the `repro_*` binaries.
+
+use std::time::{Duration, Instant};
+
+/// Time a closure, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// A cell in a result table: a duration, a plain string, or an OOM marker.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Measured latency.
+    Time(Duration),
+    /// Out-of-memory, with the failing memory domain.
+    Oom(String),
+    /// Arbitrary text.
+    Text(String),
+}
+
+impl Cell {
+    /// Render the cell.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Time(d) => format_duration(*d),
+            Cell::Oom(domain) => format!("OOM({domain})"),
+            Cell::Text(s) => s.clone(),
+        }
+    }
+}
+
+/// Human-friendly duration: seconds with one decimal above 1 s, else ms.
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.1}s")
+    } else if secs >= 1e-3 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{:.0}us", secs * 1e6)
+    }
+}
+
+/// A fixed-width results table printed like the paper's tables.
+#[derive(Debug, Default)]
+pub struct ResultTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        ResultTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of cells (first cell is usually the row label).
+    pub fn row(&mut self, label: &str, cells: &[Cell]) {
+        let mut row = vec![label.to_string()];
+        row.extend(cells.iter().map(Cell::render));
+        self.rows.push(row);
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths.get(i).copied().unwrap_or(0);
+                if i == 0 {
+                    line.push_str(&format!("{cell:<pad$}"));
+                } else {
+                    line.push_str(&format!("{cell:>pad$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(format_duration(Duration::from_secs(3)), "3.0s");
+        assert_eq!(format_duration(Duration::from_millis(42)), "42.0ms");
+        assert_eq!(format_duration(Duration::from_micros(7)), "7us");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = ResultTable::new(&["model", "ours", "tensorflow"]);
+        t.row(
+            "Amazon-14k-FC",
+            &[
+                Cell::Time(Duration::from_secs_f64(58.6)),
+                Cell::Oom("tensorflow-like".into()),
+            ],
+        );
+        let text = t.render();
+        assert!(text.contains("Amazon-14k-FC"));
+        assert!(text.contains("58.6s"));
+        assert!(text.contains("OOM(tensorflow-like)"));
+        // Header + separator + 1 row.
+        assert_eq!(text.trim_end().lines().count(), 3);
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, d) = timed(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,199 @@
+//! Model serving with the in-RDBMS inference-result cache (§5.1, §7.2.2).
+//!
+//! Wraps a model and an HNSW-backed [`InferenceResultCache`]: lookups that
+//! land within the admission distance return the cached prediction; misses
+//! run the model and (optionally) admit the fresh result. The wrapper also
+//! exposes the paper's SLA gate: before serving a query from the cache, the
+//! session can demand a Monte-Carlo error bound below the application's
+//! tolerance.
+
+use crate::error::Result;
+use relserve_nn::Model;
+use relserve_tensor::Tensor;
+use relserve_vectoridx::{CacheStats, ErrorBoundEstimate, HnswParams, InferenceResultCache};
+
+/// A model fronted by an approximate inference-result cache.
+pub struct CachedModel {
+    model: Model,
+    cache: InferenceResultCache,
+    /// Whether misses populate the cache.
+    admit_on_miss: bool,
+    threads: usize,
+}
+
+impl CachedModel {
+    /// Wrap `model` with a cache admitting hits within `max_distance`.
+    pub fn new(model: Model, max_distance: f32, params: HnswParams, threads: usize) -> Result<Self> {
+        let dim = model.input_shape().num_elements();
+        Ok(CachedModel {
+            model,
+            cache: InferenceResultCache::new(dim, max_distance, params)?,
+            admit_on_miss: true,
+            threads: threads.max(1),
+        })
+    }
+
+    /// Disable admission (a purely pre-warmed cache).
+    pub fn frozen(mut self) -> Self {
+        self.admit_on_miss = false;
+        self
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of cached entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Pre-warm the cache by running exact inference over `batch`.
+    pub fn warm(&mut self, batch: &Tensor) -> Result<()> {
+        let n = self.model.check_input(batch)?;
+        let width = self.model.input_shape().num_elements();
+        let flat = batch.clone().reshape([n, width])?;
+        let probs = self.model.forward(&flat, self.threads)?;
+        let (_, classes) = probs.shape().as_matrix()?;
+        for i in 0..n {
+            let row = flat.row(i)?;
+            let pred = probs.data()[i * classes..(i + 1) * classes].to_vec();
+            self.cache.insert(row, pred)?;
+        }
+        Ok(())
+    }
+
+    /// Predict one example, consulting the cache first.
+    pub fn predict_one(&mut self, features: &[f32]) -> Result<Vec<f32>> {
+        if let Some(hit) = self.cache.lookup(features)? {
+            return Ok(hit.to_vec());
+        }
+        let x = Tensor::from_vec([1, features.len()], features.to_vec())?;
+        let probs = self.model.forward(&x, self.threads)?;
+        let pred = probs.data().to_vec();
+        if self.admit_on_miss {
+            self.cache.insert(features, pred.clone())?;
+        }
+        Ok(pred)
+    }
+
+    /// Predict a batch with the cache; returns per-row class predictions.
+    pub fn predict_batch(&mut self, batch: &Tensor) -> Result<Vec<usize>> {
+        let n = self.model.check_input(batch)?;
+        let width = self.model.input_shape().num_elements();
+        let flat = batch.clone().reshape([n, width])?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let probs = self.predict_one(flat.row(i)?)?;
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Exact (cache-bypassing) batch predictions, for accuracy comparisons.
+    pub fn predict_exact(&self, batch: &Tensor) -> Result<Vec<usize>> {
+        Ok(self.model.predict(batch, self.threads)?)
+    }
+
+    /// The §5.1 SLA gate: Monte-Carlo error bound of serving from this cache.
+    pub fn estimate_error_bound(&self, samples: usize, perturbation: f32) -> Result<ErrorBoundEstimate> {
+        let model = &self.model;
+        let threads = self.threads;
+        Ok(self.cache.estimate_error_bound(samples, perturbation, |features| {
+            let x = Tensor::from_vec([1, features.len()], features.to_vec())
+                .expect("feature row sized correctly");
+            model
+                .forward(&x, threads)
+                .map(|t| t.data().to_vec())
+                .unwrap_or_default()
+        })?)
+    }
+}
+
+impl std::fmt::Debug for CachedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedModel")
+            .field("model", &self.model.name())
+            .field("entries", &self.cache.len())
+            .field("stats", &self.cache.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_nn::init::seeded_rng;
+    use relserve_nn::{Activation, Layer};
+
+    fn small_model() -> Model {
+        let mut rng = seeded_rng(130);
+        Model::new("cm", [4])
+            .push(Layer::dense(4, 8, Activation::Relu, &mut rng))
+            .unwrap()
+            .push(Layer::dense(8, 3, Activation::Softmax, &mut rng))
+            .unwrap()
+    }
+
+    #[test]
+    fn warm_then_hit() {
+        let mut cached = CachedModel::new(small_model(), 0.05, HnswParams::default(), 1).unwrap();
+        let batch = Tensor::from_fn([20, 4], |i| ((i % 7) as f32 - 3.0) * 0.3);
+        cached.warm(&batch).unwrap();
+        assert_eq!(cached.cache_len(), 20);
+        // Re-asking the same rows must hit.
+        let preds = cached.predict_batch(&batch).unwrap();
+        assert_eq!(preds.len(), 20);
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 20);
+        assert_eq!(stats.misses, 0);
+        // And must agree with exact inference (identical keys).
+        assert_eq!(preds, cached.predict_exact(&batch).unwrap());
+    }
+
+    #[test]
+    fn miss_admits_when_enabled() {
+        let mut cached = CachedModel::new(small_model(), 1e-6, HnswParams::default(), 1).unwrap();
+        let x = [0.1f32, 0.2, 0.3, 0.4];
+        cached.predict_one(&x).unwrap(); // miss, admitted
+        cached.predict_one(&x).unwrap(); // hit
+        let s = cached.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn frozen_cache_never_admits() {
+        let mut cached = CachedModel::new(small_model(), 1e-6, HnswParams::default(), 1)
+            .unwrap()
+            .frozen();
+        let x = [0.5f32, 0.5, 0.5, 0.5];
+        cached.predict_one(&x).unwrap();
+        cached.predict_one(&x).unwrap();
+        let s = cached.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+        assert_eq!(cached.cache_len(), 0);
+    }
+
+    #[test]
+    fn error_bound_small_for_exact_hits() {
+        let mut cached = CachedModel::new(small_model(), 0.5, HnswParams::default(), 1).unwrap();
+        let batch = Tensor::from_fn([30, 4], |i| (i as f32 * 0.37).sin());
+        cached.warm(&batch).unwrap();
+        // Tiny perturbations rarely flip the argmax of a smooth model.
+        let bound = cached.estimate_error_bound(20, 1e-4).unwrap();
+        assert!(bound.samples > 0);
+        assert!(bound.error_rate <= 0.2, "error rate {}", bound.error_rate);
+    }
+}

@@ -1,0 +1,234 @@
+//! Accuracy-aware tensor-block deduplication (§4.1).
+//!
+//! "Similar tensor/vector data may be deduplicated approximately to reduce
+//! storage costs and memory footprint." Blocks are bucketed by a quantized
+//! signature: every element snapped to a grid of `2 × tolerance`, then
+//! hashed. Two blocks with the same signature differ by at most the grid
+//! step elementwise, so replacing one with the other perturbs any single
+//! inference activation by a bounded amount — the error-bounded dedup the
+//! paper calls for.
+
+use crate::error::Result;
+use relserve_tensor::{BlockCoord, BlockedTensor, Tensor};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Outcome of deduplicating one blocked tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Blocks before deduplication.
+    pub blocks_before: usize,
+    /// Unique blocks kept.
+    pub blocks_after: usize,
+    /// Payload bytes before.
+    pub bytes_before: usize,
+    /// Payload bytes after (unique blocks only).
+    pub bytes_after: usize,
+}
+
+impl DedupStats {
+    /// Fraction of storage saved, in `[0, 1)`.
+    pub fn savings(&self) -> f64 {
+        if self.bytes_before == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_after as f64 / self.bytes_before as f64
+        }
+    }
+}
+
+/// A blocked tensor stored as unique blocks plus a coordinate → block map.
+#[derive(Debug, Clone)]
+pub struct DedupedTensor {
+    rows: usize,
+    cols: usize,
+    spec: relserve_tensor::BlockingSpec,
+    unique: Vec<Tensor>,
+    mapping: HashMap<BlockCoord, usize>,
+}
+
+impl DedupedTensor {
+    /// Reconstruct the (approximate) blocked tensor.
+    pub fn to_blocked(&self) -> Result<BlockedTensor> {
+        let mut out = BlockedTensor::empty(self.rows, self.cols, self.spec);
+        for (coord, idx) in &self.mapping {
+            out.insert_block(*coord, self.unique[*idx].clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Number of unique blocks stored.
+    pub fn unique_blocks(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Payload bytes of the unique blocks.
+    pub fn bytes(&self) -> usize {
+        self.unique.iter().map(Tensor::num_bytes).sum()
+    }
+}
+
+fn signature(block: &Tensor, tolerance: f32) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    block.shape().dims().hash(&mut hasher);
+    if tolerance <= 0.0 {
+        for v in block.data() {
+            v.to_bits().hash(&mut hasher);
+        }
+    } else {
+        let step = 2.0 * tolerance;
+        for v in block.data() {
+            let cell = (v / step).round() as i64;
+            cell.hash(&mut hasher);
+        }
+    }
+    hasher.finish()
+}
+
+/// Deduplicate a blocked tensor: blocks whose elements agree within
+/// `tolerance` (after grid snapping) share storage. `tolerance == 0` gives
+/// exact dedup.
+pub fn dedup_blocks(blocked: &BlockedTensor, tolerance: f32) -> Result<(DedupedTensor, DedupStats)> {
+    let mut unique: Vec<Tensor> = Vec::new();
+    let mut by_sig: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut mapping = HashMap::new();
+    let mut bytes_before = 0usize;
+    for (coord, block) in blocked.iter_blocks() {
+        bytes_before += block.num_bytes();
+        let sig = signature(block, tolerance);
+        let max_diff = if tolerance <= 0.0 { 0.0 } else { 2.0 * tolerance };
+        // Fast path: same-signature candidates (verified elementwise).
+        let found = by_sig.get(&sig).and_then(|candidates| {
+            candidates
+                .iter()
+                .copied()
+                .find(|&i| unique[i].shape() == block.shape() && unique[i].approx_eq(block, max_diff))
+        });
+        // Grid signatures miss near-boundary matches (two blocks within
+        // tolerance can straddle a grid cell), so fall back to a verified
+        // scan of the unique set before declaring a block new.
+        let found = found.or_else(|| {
+            if max_diff == 0.0 {
+                return None; // exact dedup: the signature is exact too
+            }
+            (0..unique.len())
+                .find(|&i| unique[i].shape() == block.shape() && unique[i].approx_eq(block, max_diff))
+        });
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                unique.push(block.clone());
+                let i = unique.len() - 1;
+                by_sig.entry(sig).or_default().push(i);
+                i
+            }
+        };
+        mapping.insert(coord, idx);
+    }
+    let deduped = DedupedTensor {
+        rows: blocked.rows(),
+        cols: blocked.cols(),
+        spec: blocked.spec(),
+        unique,
+        mapping,
+    };
+    let stats = DedupStats {
+        blocks_before: blocked.num_blocks(),
+        blocks_after: deduped.unique.len(),
+        bytes_before,
+        bytes_after: deduped.bytes(),
+    };
+    Ok((deduped, stats))
+}
+
+/// Worst-case elementwise error introduced by dedup at `tolerance`.
+pub fn error_bound(tolerance: f32) -> f32 {
+    2.0 * tolerance.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_tensor::BlockingSpec;
+
+    fn repeated_blocks() -> BlockedTensor {
+        // 4 identical 2x2 blocks + 1 distinct block pattern in a 4x4 + edge.
+        let mut t = Tensor::zeros([4, 6]);
+        for r in 0..4 {
+            for c in 0..4 {
+                t.data_mut()[r * 6 + c] = 1.0; // two identical 2x2 all-ones col blocks
+            }
+            for c in 4..6 {
+                t.data_mut()[r * 6 + c] = r as f32; // distinct
+            }
+        }
+        BlockedTensor::from_dense(&t, BlockingSpec::square(2)).unwrap()
+    }
+
+    #[test]
+    fn exact_dedup_collapses_identical_blocks() {
+        let blocked = repeated_blocks();
+        let (deduped, stats) = dedup_blocks(&blocked, 0.0).unwrap();
+        assert_eq!(stats.blocks_before, 6);
+        assert!(stats.blocks_after < 6, "kept {}", stats.blocks_after);
+        assert!(stats.savings() > 0.0);
+        // Exact dedup reconstructs exactly.
+        assert_eq!(deduped.to_blocked().unwrap().to_dense().unwrap(),
+                   blocked.to_dense().unwrap());
+    }
+
+    #[test]
+    fn approximate_dedup_respects_error_bound() {
+        // Blocks that differ by < tolerance must merge; reconstruction error
+        // stays within the bound.
+        let tol = 0.05f32;
+        let a = Tensor::full([2, 2], 1.0);
+        let b = Tensor::full([2, 2], 1.0 + tol * 0.5);
+        let mut blocked = BlockedTensor::empty(2, 4, BlockingSpec::square(2));
+        blocked.insert_block(BlockCoord { row: 0, col: 0 }, a.clone()).unwrap();
+        blocked.insert_block(BlockCoord { row: 0, col: 1 }, b).unwrap();
+        let (deduped, stats) = dedup_blocks(&blocked, tol).unwrap();
+        assert_eq!(stats.blocks_after, 1);
+        let rebuilt = deduped.to_blocked().unwrap().to_dense().unwrap();
+        let orig = blocked.to_dense().unwrap();
+        assert!(rebuilt.max_abs_diff(&orig).unwrap() <= error_bound(tol));
+    }
+
+    #[test]
+    fn distinct_blocks_survive() {
+        let a = Tensor::full([2, 2], 0.0);
+        let b = Tensor::full([2, 2], 10.0);
+        let mut blocked = BlockedTensor::empty(2, 4, BlockingSpec::square(2));
+        blocked.insert_block(BlockCoord { row: 0, col: 0 }, a).unwrap();
+        blocked.insert_block(BlockCoord { row: 0, col: 1 }, b).unwrap();
+        let (_, stats) = dedup_blocks(&blocked, 0.01).unwrap();
+        assert_eq!(stats.blocks_after, 2);
+        assert_eq!(stats.savings(), 0.0);
+    }
+
+    #[test]
+    fn higher_tolerance_never_keeps_more_blocks() {
+        let t = Tensor::from_fn([8, 8], |i| ((i % 5) as f32) * 0.01);
+        let blocked = BlockedTensor::from_dense(&t, BlockingSpec::square(2)).unwrap();
+        let mut prev = usize::MAX;
+        for tol in [0.0f32, 0.005, 0.05, 0.5] {
+            let (_, stats) = dedup_blocks(&blocked, tol).unwrap();
+            assert!(stats.blocks_after <= prev, "tol {tol}");
+            prev = stats.blocks_after;
+        }
+    }
+
+    #[test]
+    fn different_shapes_never_merge() {
+        // Edge blocks are smaller; an all-zero edge block must not merge
+        // with an all-zero full block.
+        let t = Tensor::zeros([3, 3]);
+        let blocked = BlockedTensor::from_dense(&t, BlockingSpec::square(2)).unwrap();
+        let (deduped, _) = dedup_blocks(&blocked, 0.0).unwrap();
+        assert_eq!(
+            deduped.to_blocked().unwrap().to_dense().unwrap(),
+            t
+        );
+    }
+}

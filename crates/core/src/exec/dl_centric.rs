@@ -1,0 +1,163 @@
+//! DL-centric execution: offload inference to a decoupled DL runtime.
+//!
+//! The state-of-the-art architecture (Fig. 1a): the RDBMS prepares features,
+//! serializes them over the connector (ConnectorX in the paper's setup),
+//! the external framework materializes its tensors in its own address space
+//! (with its framework memory-overhead factor), runs the model with a
+//! dedicated thread budget, and ships predictions back. The two costs the
+//! paper attributes to this path both arise naturally here: cross-system
+//! transfer time for small models, and external-runtime OOM for large ones.
+
+use crate::error::Result;
+use crate::exec::{batch_dims, layer_transient_bytes, Output};
+use relserve_nn::Model;
+use relserve_runtime::{Connector, ExternalRuntime};
+use relserve_tensor::Tensor;
+
+/// Statistics of one DL-centric execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DlCentricStats {
+    /// Payload bytes shipped in both directions.
+    pub bytes_transferred: usize,
+    /// Modeled wire time across both directions.
+    pub wire_time: std::time::Duration,
+}
+
+/// Ship `batch` to `runtime`, run `model` there, ship results back.
+pub fn run(
+    model: &Model,
+    batch: &Tensor,
+    connector: &mut Connector,
+    runtime: &ExternalRuntime,
+    threads: usize,
+) -> Result<(Output, DlCentricStats)> {
+    let (batch_size, _) = batch_dims(model, batch)?;
+    let before = connector.stats();
+
+    // Outbound: the feature batch crosses the system boundary.
+    let flat = {
+        let width = model.input_shape().num_elements();
+        batch.clone().reshape([batch_size, width])?
+    };
+    let received = connector.ship(&flat)?;
+
+    // Inside the external runtime: parameters + a sliding activation window,
+    // each inflated by the framework's memory-overhead factor.
+    let _params = runtime.reserve_tensor(model.param_bytes())?;
+    let mut live = runtime.reserve_tensor(received.num_bytes())?;
+    let mut full_dims = vec![batch_size];
+    full_dims.extend_from_slice(model.input_shape().dims());
+    let mut x = received.reshape(full_dims)?;
+    let mut shape = model.input_shape().clone();
+    for layer in model.layers() {
+        let out_shape = layer.output_shape(&shape)?;
+        let out_bytes = batch_size * out_shape.num_bytes();
+        let transient = layer_transient_bytes(layer, batch_size, &shape);
+        let _scratch = if transient > 0 {
+            Some(runtime.reserve_tensor(transient)?)
+        } else {
+            None
+        };
+        let out_res = runtime.reserve_tensor(out_bytes)?;
+        x = layer.forward(&x, threads)?;
+        live = out_res;
+        shape = out_shape;
+    }
+    let _ = live;
+
+    // Inbound: predictions return over the same connector.
+    let (rows, cols) = x.shape().as_matrix()?;
+    let result = connector.ship(&x.reshape([rows, cols])?)?;
+
+    let after = connector.stats();
+    Ok((
+        Output::Dense(result),
+        DlCentricStats {
+            bytes_transferred: after.bytes_moved - before.bytes_moved,
+            wire_time: after.wire_time - before.wire_time,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_nn::init::seeded_rng;
+    use relserve_nn::zoo;
+    use relserve_runtime::{RuntimeProfile, TransferProfile};
+
+    fn instant_connector() -> Connector {
+        Connector::new(TransferProfile::instant())
+    }
+
+    #[test]
+    fn matches_in_process_forward() {
+        let mut rng = seeded_rng(90);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::from_fn([8, 28], |i| ((i % 9) as f32 - 4.0) * 0.25);
+        let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX);
+        let mut conn = instant_connector();
+        let (out, stats) = run(&model, &x, &mut conn, &runtime, 2).unwrap();
+        let expect = model.forward(&x, 2).unwrap();
+        assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-5));
+        // Both directions crossed the wire.
+        assert!(stats.bytes_transferred > x.num_bytes());
+        assert_eq!(runtime.governor().in_use(), 0);
+    }
+
+    #[test]
+    fn external_runtime_oom_is_recoverable() {
+        let mut rng = seeded_rng(91);
+        let model = zoo::fraud_fc_512(&mut rng).unwrap();
+        let x = Tensor::zeros([1024, 28]);
+        let runtime =
+            ExternalRuntime::launch(RuntimeProfile::pytorch_like(), model.param_bytes());
+        let mut conn = instant_connector();
+        let err = run(&model, &x, &mut conn, &runtime, 1).unwrap_err();
+        assert!(err.is_oom());
+        assert_eq!(err.oom_domain(), Some("pytorch-like"));
+    }
+
+    #[test]
+    fn pytorch_like_ooms_before_tensorflow_like() {
+        // The Table 3 LandCover pattern: same budget, the hungrier profile
+        // fails first.
+        let mut rng = seeded_rng(92);
+        let model = zoo::landcover(125, &mut rng).unwrap(); // 20x20x3, 16 kernels
+        let x = Tensor::from_fn([1, 20, 20, 3], |i| (i % 5) as f32 * 0.1);
+        // Peak payload: params + input + output windows. Find a budget that
+        // fits ×1.4 overhead but not ×2.0.
+        let probe = ExternalRuntime::launch(
+            RuntimeProfile {
+                name: "probe".into(),
+                memory_overhead: 1.0,
+            },
+            usize::MAX,
+        );
+        let mut conn = instant_connector();
+        run(&model, &x, &mut conn, &probe, 1).unwrap();
+        let peak_payload = probe.governor().peak();
+        let budget = (peak_payload as f64 * 1.7) as usize;
+        let tf = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), budget);
+        let pt = ExternalRuntime::launch(RuntimeProfile::pytorch_like(), budget);
+        assert!(run(&model, &x, &mut conn, &tf, 1).is_ok());
+        assert!(run(&model, &x, &mut conn, &pt, 1).unwrap_err().is_oom());
+    }
+
+    #[test]
+    fn wire_time_counts_for_slow_links() {
+        let mut rng = seeded_rng(93);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::zeros([100, 28]);
+        let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX);
+        // Slow modeled wire but without real sleeping (simulate_wire off).
+        let mut conn = Connector::new(TransferProfile {
+            bandwidth_bytes_per_sec: 1_000_000.0,
+            fixed_latency: std::time::Duration::from_millis(5),
+            per_row_overhead_ns: 100.0,
+            simulate_wire: false,
+        });
+        let (_, stats) = run(&model, &x, &mut conn, &runtime, 1).unwrap();
+        assert!(stats.wire_time >= std::time::Duration::from_millis(10)); // 2 trips × 5 ms
+    }
+}

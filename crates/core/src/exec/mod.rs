@@ -1,0 +1,188 @@
+//! Executors for the three architectures plus the hybrid (adaptive) path.
+//!
+//! All executors share one contract: take a model and a dense feature batch
+//! pulled from the RDBMS, return an [`Output`] — dense when the result fits
+//! the memory budget, blocked (a tensor relation) when only the
+//! relation-centric path could materialize it.
+
+pub mod dl_centric;
+pub mod hybrid;
+pub mod pipelined;
+pub mod relation_centric;
+pub mod udf_centric;
+
+use crate::error::{Error, Result};
+use relserve_relational::TensorTable;
+use relserve_tensor::{ops, Tensor};
+
+/// Result of an inference execution.
+pub enum Output {
+    /// A dense result tensor (fits in memory).
+    Dense(Tensor),
+    /// A tensor relation of result blocks (may exceed memory; lives behind
+    /// the buffer pool).
+    Blocked(TensorTable),
+}
+
+impl Output {
+    /// Number of result rows.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            Output::Dense(t) => t.shape().as_matrix().map(|(r, _)| r).unwrap_or(0),
+            Output::Blocked(t) => t.rows(),
+        }
+    }
+
+    /// Number of result columns.
+    pub fn num_cols(&self) -> usize {
+        match self {
+            Output::Dense(t) => t.shape().as_matrix().map(|(_, c)| c).unwrap_or(0),
+            Output::Blocked(t) => t.cols(),
+        }
+    }
+
+    /// Row-wise argmax (class predictions). For blocked outputs this streams
+    /// one block-row at a time so it never materializes the full tensor.
+    pub fn predictions(&self) -> Result<Vec<usize>> {
+        match self {
+            Output::Dense(t) => {
+                let (r, c) = t.shape().as_matrix()?;
+                let flat = t.clone().reshape([r, c])?;
+                Ok(ops::argmax_rows(&flat)?)
+            }
+            Output::Blocked(table) => {
+                let mut best = vec![(f32::NEG_INFINITY, 0usize); table.rows()];
+                let spec = table.spec();
+                for coord in table.coords().collect::<Vec<_>>() {
+                    let block = table.get_block(coord)?;
+                    let (bh, bw) = block.shape().as_matrix()?;
+                    let r0 = coord.row * spec.block_rows;
+                    let c0 = coord.col * spec.block_cols;
+                    for r in 0..bh {
+                        for c in 0..bw {
+                            let v = block.data()[r * bw + c];
+                            if v > best[r0 + r].0 {
+                                best[r0 + r] = (v, c0 + c);
+                            }
+                        }
+                    }
+                }
+                Ok(best.into_iter().map(|(_, c)| c).collect())
+            }
+        }
+    }
+
+    /// Materialize as dense, whatever the representation. Only for results
+    /// known to fit (tests, small outputs).
+    pub fn into_dense(self) -> Result<Tensor> {
+        match self {
+            Output::Dense(t) => Ok(t),
+            Output::Blocked(table) => Ok(table.to_dense()?),
+        }
+    }
+
+    /// Sum of all elements — a cheap whole-result checksum that works
+    /// streaming for blocked outputs.
+    pub fn checksum(&self) -> Result<f64> {
+        match self {
+            Output::Dense(t) => Ok(t.data().iter().map(|v| *v as f64).sum()),
+            Output::Blocked(table) => {
+                let mut sum = 0.0f64;
+                for coord in table.coords().collect::<Vec<_>>() {
+                    let block = table.get_block(coord)?;
+                    sum += block.data().iter().map(|v| *v as f64).sum::<f64>();
+                }
+                Ok(sum)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Output {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Output::Dense(t) => write!(f, "Output::Dense({:?})", t.shape()),
+            Output::Blocked(t) => write!(
+                f,
+                "Output::Blocked({}x{}, {} blocks)",
+                t.rows(),
+                t.cols(),
+                t.num_blocks()
+            ),
+        }
+    }
+}
+
+/// Transient working memory a layer needs beyond its input and output —
+/// today that is the im2col patch matrix of non-pointwise convolutions.
+pub(crate) fn layer_transient_bytes(
+    layer: &relserve_nn::Layer,
+    batch: usize,
+    in_shape: &relserve_tensor::Shape,
+) -> usize {
+    match layer {
+        relserve_nn::Layer::Conv2d { spec, .. } if !spec.is_pointwise() => {
+            let dims = in_shape.dims();
+            match spec.output_dims(dims[0], dims[1]) {
+                Ok((oh, ow)) => batch * oh * ow * spec.patch_len() * relserve_tensor::ELEM_BYTES,
+                Err(_) => 0,
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Validate a batch against a model and return `(batch_size, flat_width)`.
+pub(crate) fn batch_dims(model: &relserve_nn::Model, batch: &Tensor) -> Result<(usize, usize)> {
+    let n = model.check_input(batch).map_err(Error::from)?;
+    let width = model.input_shape().num_elements();
+    Ok((n, width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_storage::{BufferPool, DiskManager};
+    use relserve_tensor::BlockingSpec;
+    use std::sync::Arc;
+
+    fn blocked_from(t: &Tensor) -> TensorTable {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 16));
+        TensorTable::from_dense(pool, "t", t, BlockingSpec::square(2)).unwrap()
+    }
+
+    #[test]
+    fn predictions_agree_between_representations() {
+        let t = Tensor::from_vec(
+            [3, 4],
+            vec![
+                0.1, 0.9, 0.0, 0.0, //
+                0.7, 0.1, 0.1, 0.1, //
+                0.0, 0.0, 0.2, 0.8,
+            ],
+        )
+        .unwrap();
+        let dense = Output::Dense(t.clone());
+        let blocked = Output::Blocked(blocked_from(&t));
+        assert_eq!(dense.predictions().unwrap(), vec![1, 0, 3]);
+        assert_eq!(blocked.predictions().unwrap(), vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn checksum_agrees_between_representations() {
+        let t = Tensor::from_fn([5, 7], |i| (i as f32).sin());
+        let dense = Output::Dense(t.clone());
+        let blocked = Output::Blocked(blocked_from(&t));
+        let a = dense.checksum().unwrap();
+        let b = blocked.checksum().unwrap();
+        assert!((a - b).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dims_reported() {
+        let t = Tensor::zeros([6, 2]);
+        let o = Output::Blocked(blocked_from(&t));
+        assert_eq!(o.num_rows(), 6);
+        assert_eq!(o.num_cols(), 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Pipelined DL execution inside the UDF-centric architecture (§5.2).
+//!
+//! DL serving systems partition a model into operators/layers dispatched to
+//! multiple devices that "work in parallel, composing a pipeline. A pipeline
+//! stage at each device works in a streaming style." The paper notes this is
+//! "feasible by breaking the model UDF into multiple fine-grained operator
+//! UDFs and deploying those UDFs ... following the stream processing
+//! paradigm" — which is exactly what this executor does, with threads
+//! standing in for devices:
+//!
+//! * the batch is split into micro-batches;
+//! * every layer becomes a stage on its own thread, connected by bounded
+//!   channels (the bound is the pipeline's "device memory": at most one
+//!   in-flight micro-batch per link);
+//! * micro-batches stream through, so stage `i` processes micro-batch `b`
+//!   while stage `i+1` processes `b-1` — layer parallelism without data
+//!   shuffles, the §5.2 trade-off against relation-centric processing.
+//!
+//! Peak activation memory is `stages × micro_batch` activations rather than
+//! `batch` — the executor charges the governor accordingly.
+
+use crate::error::{Error, Result};
+use crate::exec::Output;
+use crossbeam::channel;
+use relserve_nn::Model;
+use relserve_runtime::MemoryGovernor;
+use relserve_tensor::Tensor;
+
+/// Statistics of one pipelined execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Number of micro-batches streamed.
+    pub micro_batches: usize,
+    /// Number of stages (layers).
+    pub stages: usize,
+}
+
+/// Run `model` over `batch` as a layer pipeline with `micro_batch`-row
+/// micro-batches. Kernels inside each stage use `threads_per_stage` threads
+/// (coordinate the product with the thread coordinator, §3.1).
+pub fn run(
+    model: &Model,
+    batch: &Tensor,
+    micro_batch: usize,
+    governor: &MemoryGovernor,
+    threads_per_stage: usize,
+) -> Result<(Output, PipelineStats)> {
+    if micro_batch == 0 {
+        return Err(Error::Invalid("micro_batch must be positive".into()));
+    }
+    let batch_size = model.check_input(batch)?;
+    let width = model.input_shape().num_elements();
+    let flat = batch.clone().reshape([batch_size, width])?;
+    let layers = model.layers();
+    if layers.is_empty() {
+        return Ok((
+            Output::Dense(flat),
+            PipelineStats {
+                micro_batches: 0,
+                stages: 0,
+            },
+        ));
+    }
+
+    // Memory accounting: parameters + one micro-batch activation window per
+    // stage boundary (input and output of every stage can be in flight).
+    let _params = governor.reserve(model.param_bytes())?;
+    let mut window_bytes = 0usize;
+    {
+        let mut shape = model.input_shape().clone();
+        window_bytes += micro_batch * shape.num_bytes();
+        for layer in layers {
+            shape = layer.output_shape(&shape)?;
+            window_bytes += micro_batch * shape.num_bytes();
+        }
+    }
+    let _windows = governor.reserve(window_bytes)?;
+
+    let num_micro = batch_size.div_ceil(micro_batch);
+    type Msg = std::result::Result<(usize, Tensor), relserve_nn::Error>;
+
+    // input shapes per stage, for restoring spatial dims.
+    let mut stage_in_shapes = Vec::with_capacity(layers.len());
+    {
+        let mut shape = model.input_shape().clone();
+        for layer in layers {
+            stage_in_shapes.push(shape.clone());
+            shape = layer.output_shape(&shape)?;
+        }
+    }
+
+    let mut outputs: Vec<Option<Tensor>> = vec![None; num_micro];
+    crossbeam::scope(|scope| -> Result<()> {
+        // Build the channel chain: source → s0 → s1 → ... → sink.
+        let (src_tx, mut prev_rx) = channel::bounded::<Msg>(1);
+        let mut stage_handles = Vec::new();
+        for (idx, layer) in layers.iter().enumerate() {
+            let (tx, rx) = channel::bounded::<Msg>(1);
+            let in_shape = stage_in_shapes[idx].clone();
+            let stage_rx = prev_rx;
+            prev_rx = rx;
+            let handle = scope.spawn(move |_| {
+                for msg in stage_rx.iter() {
+                    let out = msg.and_then(|(i, t)| {
+                        // Restore the example shape for spatial layers.
+                        let rows = t.shape().dim(0);
+                        let mut dims = vec![rows];
+                        dims.extend_from_slice(in_shape.dims());
+                        let t = t.reshape(dims)?;
+                        let y = layer.forward(&t, threads_per_stage)?;
+                        // Flatten back to [rows, features] for transport.
+                        let total: usize = y.shape().dims()[1..].iter().product();
+                        Ok((i, y.reshape([rows, total])?))
+                    });
+                    let failed = out.is_err();
+                    if tx.send(out).is_err() || failed {
+                        break;
+                    }
+                }
+                drop(tx);
+            });
+            stage_handles.push(handle);
+        }
+
+        // Source: feed micro-batches.
+        let feeder = scope.spawn(move |_| {
+            for (i, start) in (0..batch_size).step_by(micro_batch).enumerate() {
+                let end = (start + micro_batch).min(batch_size);
+                let chunk = flat
+                    .slice2(start, end, 0, width)
+                    .map_err(relserve_nn::Error::Tensor)
+                    .map(|t| (i, t));
+                let failed = chunk.is_err();
+                if src_tx.send(chunk).is_err() || failed {
+                    break;
+                }
+            }
+            drop(src_tx);
+        });
+
+        // Sink: collect in order.
+        let mut first_error: Option<relserve_nn::Error> = None;
+        for msg in prev_rx.iter() {
+            match msg {
+                Ok((i, t)) => outputs[i] = Some(t),
+                Err(e) => {
+                    first_error = Some(e);
+                    break;
+                }
+            }
+        }
+        feeder.join().expect("feeder panicked");
+        for h in stage_handles {
+            h.join().expect("stage panicked");
+        }
+        match first_error {
+            Some(e) => Err(Error::Nn(e)),
+            None => Ok(()),
+        }
+    })
+    .expect("pipeline scope panicked")?;
+
+    // Stitch micro-batch outputs back together, in order.
+    let mut iter = outputs.into_iter();
+    let mut result = iter
+        .next()
+        .flatten()
+        .ok_or_else(|| Error::Invalid("pipeline produced no output".into()))?;
+    for part in iter {
+        let part = part.ok_or_else(|| Error::Invalid("pipeline dropped a micro-batch".into()))?;
+        result = result.vconcat(&part)?;
+    }
+    Ok((
+        Output::Dense(result),
+        PipelineStats {
+            micro_batches: num_micro,
+            stages: layers.len(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_nn::init::seeded_rng;
+    use relserve_nn::zoo;
+
+    #[test]
+    fn matches_plain_forward_ffnn() {
+        let mut rng = seeded_rng(150);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::from_fn([37, 28], |i| ((i % 11) as f32 - 5.0) * 0.2);
+        let governor = MemoryGovernor::unlimited("pipe");
+        let (out, stats) = run(&model, &x, 8, &governor, 1).unwrap();
+        assert_eq!(stats.micro_batches, 5); // ceil(37/8)
+        assert_eq!(stats.stages, 2);
+        let expect = model.forward(&x, 1).unwrap();
+        assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-4));
+        assert_eq!(governor.in_use(), 0);
+    }
+
+    #[test]
+    fn matches_plain_forward_cnn() {
+        let mut rng = seeded_rng(151);
+        let model = zoo::caching_cnn(&mut rng).unwrap();
+        let x = Tensor::from_fn([6, 28, 28, 1], |i| ((i % 7) as f32) * 0.1);
+        let governor = MemoryGovernor::unlimited("pipe");
+        let (out, _) = run(&model, &x, 2, &governor, 1).unwrap();
+        let expect = model.forward(&x, 1).unwrap();
+        let (r, c) = expect.shape().as_matrix().unwrap();
+        assert!(out
+            .into_dense()
+            .unwrap()
+            .approx_eq(&expect.reshape([r, c]).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn micro_batch_larger_than_batch() {
+        let mut rng = seeded_rng(152);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::from_fn([5, 28], |i| i as f32 * 0.01);
+        let governor = MemoryGovernor::unlimited("pipe");
+        let (out, stats) = run(&model, &x, 100, &governor, 1).unwrap();
+        assert_eq!(stats.micro_batches, 1);
+        assert_eq!(out.num_rows(), 5);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_windows_not_batch() {
+        // Pipelined peak must track micro-batch windows, far below the full
+        // batch's activation footprint.
+        let mut rng = seeded_rng(153);
+        let model = zoo::encoder_fc(&mut rng).unwrap();
+        let batch = 512;
+        let x = Tensor::zeros([batch, 76]);
+        let full = MemoryGovernor::unlimited("full");
+        crate::exec::udf_centric::run(&model, &x, &full, 1).unwrap();
+        let pipe = MemoryGovernor::unlimited("pipe");
+        run(&model, &x, 16, &pipe, 1).unwrap();
+        assert!(
+            pipe.peak() < full.peak(),
+            "pipeline peak {} ≥ batch peak {}",
+            pipe.peak(),
+            full.peak()
+        );
+    }
+
+    #[test]
+    fn oom_is_recoverable() {
+        let mut rng = seeded_rng(154);
+        let model = zoo::fraud_fc_512(&mut rng).unwrap();
+        let x = Tensor::zeros([64, 28]);
+        let governor = MemoryGovernor::with_budget("pipe", model.param_bytes() - 1);
+        assert!(run(&model, &x, 8, &governor, 1).unwrap_err().is_oom());
+        assert_eq!(governor.in_use(), 0);
+    }
+
+    #[test]
+    fn zero_micro_batch_rejected() {
+        let mut rng = seeded_rng(155);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::zeros([4, 28]);
+        let governor = MemoryGovernor::unlimited("pipe");
+        assert!(run(&model, &x, 0, &governor, 1).is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! Relation-centric execution: tensor operators lowered onto block relations.
+//!
+//! Each layer's tensor math is executed as relational dataflow over
+//! [`TensorTable`]s (§7.1): weights are chunked into blocks, matmul becomes
+//! a join + aggregation streaming one block-row at a time through the buffer
+//! pool, pointwise convolutions are first spatially rewritten into a matmul
+//! (`F × Kᵀ`), and general convolutions build their im2col patch relation
+//! one image at a time. Activations map over blocks; softmax gathers one
+//! block-row at a time (it needs whole rows). Because every intermediate
+//! lives behind the buffer pool, working memory is bounded by block-row
+//! stripes — not tensor sizes — which is exactly why this path survives the
+//! Table 3 workloads that OOM everywhere else.
+
+use crate::error::{Error, Result};
+use relserve_nn::{Activation, Layer, Model};
+use relserve_relational::tensor_table::TensorOpStats;
+use relserve_relational::TensorTable;
+use relserve_storage::BufferPool;
+use relserve_tensor::{conv, BlockCoord, BlockingSpec, Tensor};
+use std::sync::Arc;
+
+/// The data flowing between layers during relation-centric execution.
+pub enum Flow {
+    /// Still dense in memory (the initial scanned batch, or small results).
+    Dense(Tensor),
+    /// A block relation with one row per logical example.
+    Rows(TensorTable),
+    /// A block relation with one row per *pixel* (conv output), remembering
+    /// the spatial geometry for later flatten/conv layers.
+    Pixels {
+        /// The pixel-major block relation `[n*h*w, channels]`.
+        table: TensorTable,
+        /// Batch size.
+        n: usize,
+        /// Spatial height.
+        h: usize,
+        /// Spatial width.
+        w: usize,
+    },
+}
+
+impl Flow {
+    fn describe(&self) -> String {
+        match self {
+            Flow::Dense(t) => format!("dense{}", t.shape()),
+            Flow::Rows(t) => format!("rows[{}x{}]", t.rows(), t.cols()),
+            Flow::Pixels { table, n, h, w } => {
+                format!("pixels[{n}x{h}x{w} -> {}x{}]", table.rows(), table.cols())
+            }
+        }
+    }
+}
+
+/// Accumulates rows into fixed-height block stripes and writes them into a
+/// [`TensorTable`], so arbitrarily large row streams (im2col output, layer
+/// results) materialize without ever being whole in memory.
+pub(crate) struct RowStreamBuilder {
+    table: TensorTable,
+    cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    buffered: Vec<f32>,
+    next_block_row: usize,
+    total_rows: usize,
+    rows_seen: usize,
+}
+
+impl RowStreamBuilder {
+    pub(crate) fn new(
+        pool: Arc<BufferPool>,
+        name: impl Into<String>,
+        total_rows: usize,
+        cols: usize,
+        spec: BlockingSpec,
+    ) -> Self {
+        RowStreamBuilder {
+            table: TensorTable::create(pool, name, total_rows, cols, spec),
+            cols,
+            block_rows: spec.block_rows,
+            block_cols: spec.block_cols,
+            buffered: Vec::with_capacity(spec.block_rows * cols),
+            next_block_row: 0,
+            total_rows,
+            rows_seen: 0,
+        }
+    }
+
+    /// Append `rows × cols` values (row-major).
+    pub(crate) fn push_rows(&mut self, data: &[f32]) -> Result<()> {
+        debug_assert_eq!(data.len() % self.cols, 0);
+        self.rows_seen += data.len() / self.cols;
+        if self.rows_seen > self.total_rows {
+            return Err(Error::Invalid(format!(
+                "row stream overflow: {} rows into a {}-row relation",
+                self.rows_seen, self.total_rows
+            )));
+        }
+        self.buffered.extend_from_slice(data);
+        while self.buffered.len() >= self.block_rows * self.cols {
+            let stripe: Vec<f32> = self.buffered.drain(..self.block_rows * self.cols).collect();
+            self.flush_stripe(stripe, self.block_rows)?;
+        }
+        Ok(())
+    }
+
+    fn flush_stripe(&mut self, stripe: Vec<f32>, rows: usize) -> Result<()> {
+        let stripe = Tensor::from_vec([rows, self.cols], stripe)?;
+        for bc in 0..self.cols.div_ceil(self.block_cols) {
+            let c0 = bc * self.block_cols;
+            let c1 = (c0 + self.block_cols).min(self.cols);
+            let block = stripe.slice2(0, rows, c0, c1)?;
+            self.table.insert_block(
+                BlockCoord {
+                    row: self.next_block_row,
+                    col: bc,
+                },
+                &block,
+            )?;
+        }
+        self.next_block_row += 1;
+        Ok(())
+    }
+
+    /// Flush the final partial stripe and return the finished relation.
+    pub(crate) fn finish(mut self) -> Result<TensorTable> {
+        if self.rows_seen != self.total_rows {
+            return Err(Error::Invalid(format!(
+                "row stream ended early: {} of {} rows",
+                self.rows_seen, self.total_rows
+            )));
+        }
+        if !self.buffered.is_empty() {
+            let rows = self.buffered.len() / self.cols;
+            let stripe = std::mem::take(&mut self.buffered);
+            self.flush_stripe(stripe, rows)?;
+        }
+        Ok(self.table)
+    }
+}
+
+/// Row-wise softmax over a block relation, gathering one block-row stripe at
+/// a time (softmax needs whole rows; a stripe is the bounded unit).
+pub(crate) fn softmax_blocked(table: &TensorTable, name: &str) -> Result<TensorTable> {
+    let spec = table.spec();
+    let mut out = TensorTable::create(table.pool().clone(), name, table.rows(), table.cols(), spec);
+    for block_row in 0..table.row_blocks() {
+        // Gather this stripe's blocks left to right.
+        let mut stripe: Option<Tensor> = None;
+        for bc in 0..table.col_blocks() {
+            let block = table.get_block(BlockCoord {
+                row: block_row,
+                col: bc,
+            })?;
+            stripe = Some(match stripe {
+                None => block,
+                Some(acc) => acc.hconcat(&block)?,
+            });
+        }
+        let Some(stripe) = stripe else { continue };
+        let soft = relserve_tensor::ops::softmax(&stripe)?;
+        let (rows, _) = soft.shape().as_matrix()?;
+        for bc in 0..table.col_blocks() {
+            let c0 = bc * spec.block_cols;
+            let c1 = (c0 + spec.block_cols).min(table.cols());
+            let block = soft.slice2(0, rows, c0, c1)?;
+            out.insert_block(
+                BlockCoord {
+                    row: block_row,
+                    col: bc,
+                },
+                &block,
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+fn apply_activation_blocked(
+    table: TensorTable,
+    act: Activation,
+    tag: &str,
+    stats: &mut TensorOpStats,
+) -> Result<TensorTable> {
+    let _ = stats;
+    Ok(match act {
+        Activation::None => table,
+        Activation::Relu => table.map(format!("{tag}.relu"), |x| x.max(0.0))?,
+        Activation::Sigmoid => table.map(format!("{tag}.sigmoid"), |x| 1.0 / (1.0 + (-x).exp()))?,
+        Activation::Tanh => table.map(format!("{tag}.tanh"), f32::tanh)?,
+        Activation::Softmax => softmax_blocked(&table, &format!("{tag}.softmax"))?,
+    })
+}
+
+fn densify(flow: Flow) -> Result<Tensor> {
+    Ok(match flow {
+        Flow::Dense(t) => t,
+        Flow::Rows(table) => table.to_dense()?,
+        Flow::Pixels { table, n, h, w } => {
+            let c = table.cols();
+            table.to_dense()?.reshape([n, h, w, c])?
+        }
+    })
+}
+
+fn rows_table(flow: Flow, pool: &Arc<BufferPool>, block: usize, tag: &str) -> Result<TensorTable> {
+    Ok(match flow {
+        Flow::Rows(t) => t,
+        Flow::Dense(t) => {
+            let (rows, cols) = t.shape().as_matrix()?;
+            let flat = t.reshape([rows, cols])?;
+            TensorTable::from_dense(pool.clone(), tag, &flat, BlockingSpec::square(block))?
+        }
+        Flow::Pixels { .. } => {
+            return Err(Error::Invalid(
+                "dense layer cannot consume pixel-major conv output; add a Flatten layer".into(),
+            ))
+        }
+    })
+}
+
+/// Execute one model layer relation-centrically.
+pub(crate) fn exec_layer(
+    layer: &Layer,
+    flow: Flow,
+    pool: &Arc<BufferPool>,
+    block: usize,
+    tag: &str,
+    stats: &mut TensorOpStats,
+) -> Result<Flow> {
+    match layer {
+        Layer::Dense {
+            weight,
+            bias,
+            activation,
+        } => {
+            let x = rows_table(flow, pool, block, &format!("{tag}.x"))?;
+            // Chunk the weight matrix into a tensor relation (the runtime
+            // chunking overhead Table 3 attributes to this path).
+            let w = TensorTable::from_dense(
+                pool.clone(),
+                format!("{tag}.w"),
+                weight,
+                BlockingSpec::square(block),
+            )?;
+            let (product, op_stats) = x.matmul_bt(&w, format!("{tag}.xw"))?;
+            stats.joins += op_stats.joins;
+            stats.blocks_out += op_stats.blocks_out;
+            stats.bytes_read += op_stats.bytes_read;
+            stats.bytes_written += op_stats.bytes_written;
+            let biased = product.add_bias(format!("{tag}.b"), bias)?;
+            Ok(Flow::Rows(apply_activation_blocked(
+                biased,
+                *activation,
+                tag,
+                stats,
+            )?))
+        }
+        Layer::Conv2d {
+            kernel,
+            bias,
+            spec,
+            activation,
+        } => {
+            let input = densify(flow)?;
+            let dims = input.shape().dims().to_vec();
+            if dims.len() != 4 {
+                return Err(Error::Invalid(format!(
+                    "conv layer needs spatial input, got {dims:?}"
+                )));
+            }
+            let (n, h, w) = (dims[0], dims[1], dims[2]);
+            let (oh, ow) = spec.output_dims(h, w)?;
+            let spec_sq = BlockingSpec::square(block);
+            let (f_table, k_dense, fold_bias) = if spec.is_pointwise() {
+                // Spatial rewriting (§7.1): F = pixels+bias column, conv ≡ F×Kᵀ.
+                let f = conv::spatial_rewrite_1x1(&input)?;
+                let ft = TensorTable::from_dense(pool.clone(), format!("{tag}.F"), &f, spec_sq)?;
+                let k = conv::rewrite_kernel_1x1(kernel, bias)?;
+                (ft, k, true)
+            } else {
+                // Stream the im2col patch relation one image at a time.
+                let mut builder = RowStreamBuilder::new(
+                    pool.clone(),
+                    format!("{tag}.F"),
+                    n * oh * ow,
+                    spec.patch_len(),
+                    spec_sq,
+                );
+                for img in 0..n {
+                    let image = input.slice2(img * h * w, (img + 1) * h * w, 0, dims[3])?;
+                    let image = image.reshape([1, h, w, dims[3]])?;
+                    let cols = conv::im2col(&image, spec)?;
+                    builder.push_rows(cols.data())?;
+                }
+                let ft = builder.finish()?;
+                let k = kernel
+                    .clone()
+                    .reshape([spec.out_channels, spec.patch_len()])?;
+                (ft, k, false)
+            };
+            let k_table =
+                TensorTable::from_dense(pool.clone(), format!("{tag}.K"), &k_dense, spec_sq)?;
+            let (product, op_stats) = f_table.matmul_bt(&k_table, format!("{tag}.FK"))?;
+            stats.joins += op_stats.joins;
+            stats.blocks_out += op_stats.blocks_out;
+            stats.bytes_read += op_stats.bytes_read;
+            stats.bytes_written += op_stats.bytes_written;
+            let biased = if fold_bias {
+                product // bias rode along in the rewritten kernel's last column
+            } else {
+                product.add_bias(format!("{tag}.b"), bias)?
+            };
+            let activated = apply_activation_blocked(biased, *activation, tag, stats)?;
+            Ok(Flow::Pixels {
+                table: activated,
+                n,
+                h: oh,
+                w: ow,
+            })
+        }
+        Layer::Flatten => match flow {
+            Flow::Pixels { table, n, h, w } => {
+                // Regroup pixel-major rows into example-major rows. This
+                // densifies one example at a time via block-row streaming.
+                let channels = table.cols();
+                let width = h * w * channels;
+                let mut builder = RowStreamBuilder::new(
+                    pool.clone(),
+                    format!("{tag}.flat"),
+                    n,
+                    width,
+                    BlockingSpec::square(block),
+                );
+                let dense = table.to_dense()?; // [n*h*w, c] — bounded by flatten sites
+                for img in 0..n {
+                    let rows = dense.slice2(img * h * w, (img + 1) * h * w, 0, channels)?;
+                    builder.push_rows(rows.data())?;
+                }
+                Ok(Flow::Rows(builder.finish()?))
+            }
+            Flow::Dense(t) => {
+                let dims = t.shape().dims().to_vec();
+                let batch = dims[0];
+                let rest: usize = dims[1..].iter().product();
+                Ok(Flow::Dense(t.reshape([batch, rest])?))
+            }
+            rows @ Flow::Rows(_) => Ok(rows),
+        },
+    }
+}
+
+/// Run a whole model relation-centrically.
+pub fn run(
+    model: &Model,
+    batch: &Tensor,
+    pool: &Arc<BufferPool>,
+    block: usize,
+) -> Result<(super::Output, TensorOpStats)> {
+    let batch_size = model.check_input(batch)?;
+    let mut full_dims = vec![batch_size];
+    full_dims.extend_from_slice(model.input_shape().dims());
+    let mut flow = Flow::Dense(batch.clone().reshape(full_dims)?);
+    let mut stats = TensorOpStats::default();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let tag = format!("rc.l{i}");
+        flow = exec_layer(layer, flow, pool, block, &tag, &mut stats)?;
+    }
+    let output = match flow {
+        Flow::Dense(t) => super::Output::Dense(t),
+        Flow::Rows(t) => super::Output::Blocked(t),
+        Flow::Pixels { table, .. } => super::Output::Blocked(table),
+    };
+    Ok((output, stats))
+}
+
+impl std::fmt::Debug for Flow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Flow::{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_nn::init::seeded_rng;
+    use relserve_nn::zoo;
+    use relserve_storage::DiskManager;
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames))
+    }
+
+    #[test]
+    fn ffnn_matches_udf_path() {
+        let mut rng = seeded_rng(80);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::from_fn([10, 28], |i| ((i % 11) as f32 - 5.0) * 0.2);
+        let (out, stats) = run(&model, &x, &pool(64), 16).unwrap();
+        let got = out.into_dense().unwrap();
+        let expect = model.forward(&x, 1).unwrap();
+        assert!(got.approx_eq(&expect, 1e-3));
+        assert!(stats.joins > 0);
+    }
+
+    #[test]
+    fn pointwise_conv_matches_udf_path() {
+        let mut rng = seeded_rng(81);
+        let model = zoo::landcover(250, &mut rng).unwrap(); // 10x10x3 → 8 kernels
+        let x = Tensor::from_fn([2, 10, 10, 3], |i| ((i % 9) as f32 - 4.0) * 0.1);
+        let (out, _) = run(&model, &x, &pool(64), 16).unwrap();
+        let got = out.into_dense().unwrap();
+        let expect = model
+            .forward(&x, 1)
+            .unwrap()
+            .reshape([2 * 10 * 10, 8])
+            .unwrap();
+        assert!(got.approx_eq(&expect, 1e-3));
+    }
+
+    #[test]
+    fn general_conv_and_flatten_match_udf_path() {
+        let mut rng = seeded_rng(82);
+        let model = zoo::caching_cnn(&mut rng).unwrap();
+        let x = Tensor::from_fn([2, 28, 28, 1], |i| ((i % 7) as f32) * 0.1);
+        let (out, _) = run(&model, &x, &pool(256), 32).unwrap();
+        let got = out.into_dense().unwrap();
+        let expect = model.forward(&x, 1).unwrap();
+        assert!(got.approx_eq(&expect, 1e-3), "max diff {}", got.max_abs_diff(&expect).unwrap());
+    }
+
+    #[test]
+    fn softmax_blocked_matches_dense() {
+        let t = Tensor::from_fn([7, 9], |i| ((i * 13) % 17) as f32 * 0.3 - 2.0);
+        let table =
+            TensorTable::from_dense(pool(16), "s", &t, BlockingSpec::square(3)).unwrap();
+        let soft = softmax_blocked(&table, "out").unwrap();
+        let expect = relserve_tensor::ops::softmax(&t).unwrap();
+        assert!(soft.to_dense().unwrap().approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn row_stream_builder_roundtrip() {
+        let p = pool(16);
+        let mut b = RowStreamBuilder::new(p, "rs", 10, 6, BlockingSpec::square(4));
+        let full = Tensor::from_fn([10, 6], |i| i as f32);
+        // Push in ragged chunks: 3 + 4 + 3 rows.
+        b.push_rows(&full.data()[..3 * 6]).unwrap();
+        b.push_rows(&full.data()[3 * 6..7 * 6]).unwrap();
+        b.push_rows(&full.data()[7 * 6..]).unwrap();
+        let table = b.finish().unwrap();
+        assert!(table.to_dense().unwrap().approx_eq(&full, 0.0));
+    }
+
+    #[test]
+    fn row_stream_builder_rejects_overflow_and_underflow() {
+        let p = pool(16);
+        let mut b = RowStreamBuilder::new(p.clone(), "rs", 2, 3, BlockingSpec::square(2));
+        b.push_rows(&[0.0; 6]).unwrap();
+        assert!(b.push_rows(&[0.0; 3]).is_err());
+        let b2 = RowStreamBuilder::new(p, "rs2", 5, 3, BlockingSpec::square(2));
+        assert!(b2.finish().is_err());
+    }
+
+    #[test]
+    fn works_through_a_tiny_buffer_pool() {
+        // The defining property: completes even when intermediates exceed
+        // the pool, by spilling.
+        let mut rng = seeded_rng(83);
+        let model = zoo::fraud_fc_512(&mut rng).unwrap();
+        let x = Tensor::from_fn([64, 28], |i| (i % 5) as f32 * 0.1);
+        let p = pool(4); // 256 KiB pool; weights alone are ~57 KiB + activations
+        let (out, _) = run(&model, &x, &p, 8).unwrap();
+        let expect = model.forward(&x, 1).unwrap();
+        assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-3));
+        assert!(p.stats().evictions > 0, "expected spilling");
+    }
+
+    #[test]
+    fn dense_after_pixels_requires_flatten() {
+        let mut rng = seeded_rng(84);
+        // Hand-build an invalid flow: dense layer fed pixel-major output.
+        let conv_model = zoo::landcover(500, &mut rng).unwrap();
+        let x = Tensor::from_fn([1, 5, 5, 3], |i| i as f32 * 0.01);
+        let p = pool(32);
+        let mut stats = TensorOpStats::default();
+        let flow = exec_layer(
+            &conv_model.layers()[0],
+            Flow::Dense(x),
+            &p,
+            4,
+            "t",
+            &mut stats,
+        )
+        .unwrap();
+        let dense_layer = relserve_nn::Layer::dense(4, 2, Activation::None, &mut rng);
+        assert!(exec_layer(&dense_layer, flow, &p, 4, "t2", &mut stats).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! The unified intermediate representation (§2.1).
+//!
+//! An inference query's model portion lowers to a linear-algebra graph
+//! (`relserve_nn::graph`); the unified IR annotates every node of that graph
+//! with the *representation* the optimizer chose for it. Any subgraph can
+//! thus be scheduled DL-centric, UDF-centric, or relation-centric — the
+//! flexibility the paper argues for.
+
+use relserve_nn::LinalgOp;
+
+/// Which architecture executes an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Offloaded to the external DL runtime over the connector.
+    DlCentric,
+    /// Executed as an in-database UDF on dense tensors.
+    UdfCentric,
+    /// Lowered to join + aggregation over tensor-block relations.
+    RelationCentric,
+}
+
+impl std::fmt::Display for Representation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Representation::DlCentric => write!(f, "dl-centric"),
+            Representation::UdfCentric => write!(f, "udf-centric"),
+            Representation::RelationCentric => write!(f, "relation-centric"),
+        }
+    }
+}
+
+/// One IR node: a linear-algebra operator plus its chosen representation.
+#[derive(Debug, Clone)]
+pub struct OpAssignment {
+    /// The lowered operator.
+    pub op: LinalgOp,
+    /// The representation the optimizer selected.
+    pub representation: Representation,
+    /// The §7.1 memory estimate that drove the decision, in bytes.
+    pub estimated_bytes: usize,
+}
+
+/// A fully-annotated inference plan for one model at one batch size.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    /// Name of the planned model.
+    pub model_name: String,
+    /// Batch size the plan was generated for.
+    pub batch_size: usize,
+    /// Memory threshold (bytes) used by the rule.
+    pub memory_threshold: usize,
+    /// Per-operator assignments, in execution order.
+    pub ops: Vec<OpAssignment>,
+}
+
+impl InferencePlan {
+    /// Largest single-operator memory estimate in the plan.
+    pub fn peak_estimate_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|o| o.estimated_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether any operator was assigned the given representation.
+    pub fn uses(&self, representation: Representation) -> bool {
+        self.ops.iter().any(|o| o.representation == representation)
+    }
+
+    /// Per-layer representation: a layer runs relation-centric if *any* of
+    /// its ops does (a layer's matmul and bias/activation stay together).
+    pub fn layer_representations(&self) -> Vec<Representation> {
+        let num_layers = self
+            .ops
+            .iter()
+            .map(|o| o.op.layer_index + 1)
+            .max()
+            .unwrap_or(0);
+        let mut reps = vec![Representation::UdfCentric; num_layers];
+        for op in &self.ops {
+            if op.representation == Representation::RelationCentric {
+                reps[op.op.layer_index] = Representation::RelationCentric;
+            }
+        }
+        reps
+    }
+
+    /// EXPLAIN-style rendering of the plan.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "InferencePlan for `{}` (batch {}, threshold {} B)\n",
+            self.model_name, self.batch_size, self.memory_threshold
+        );
+        for (i, op) in self.ops.iter().enumerate() {
+            out.push_str(&format!(
+                "  #{i:<2} {:<34} {:>14} B  -> {}\n",
+                op.op.label(),
+                op.estimated_bytes,
+                op.representation
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_nn::init::seeded_rng;
+    use relserve_nn::zoo;
+
+    fn plan_with(reps: &[Representation]) -> InferencePlan {
+        let mut rng = seeded_rng(50);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let ops = model.to_graph(4).unwrap();
+        InferencePlan {
+            model_name: "m".into(),
+            batch_size: 4,
+            memory_threshold: 1024,
+            ops: ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| OpAssignment {
+                    estimated_bytes: op.memory_requirement_bytes(),
+                    representation: reps[i % reps.len()],
+                    op,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn peak_is_max_over_ops() {
+        let p = plan_with(&[Representation::UdfCentric]);
+        let max = p.ops.iter().map(|o| o.estimated_bytes).max().unwrap();
+        assert_eq!(p.peak_estimate_bytes(), max);
+    }
+
+    #[test]
+    fn uses_detects_representations() {
+        let p = plan_with(&[Representation::UdfCentric]);
+        assert!(p.uses(Representation::UdfCentric));
+        assert!(!p.uses(Representation::RelationCentric));
+    }
+
+    #[test]
+    fn layer_representation_is_sticky_relation_centric() {
+        // If any op of a layer is relation-centric, the layer is.
+        let mut p = plan_with(&[Representation::UdfCentric]);
+        p.ops[0].representation = Representation::RelationCentric; // layer 0 matmul
+        let reps = p.layer_representations();
+        assert_eq!(reps[0], Representation::RelationCentric);
+        assert_eq!(reps[1], Representation::UdfCentric);
+    }
+
+    #[test]
+    fn explain_lists_every_op() {
+        let p = plan_with(&[Representation::UdfCentric]);
+        let text = p.explain();
+        assert_eq!(text.lines().count(), p.ops.len() + 1);
+        assert!(text.contains("matmul"));
+        assert!(text.contains("udf-centric"));
+    }
+}

@@ -1,0 +1,41 @@
+//! `relserve-core` — the paper's primary contribution, assembled.
+//!
+//! This crate unifies the three architectures for serving deep-learning
+//! models over relational data (*Serving Deep Learning Models from
+//! Relational Databases*, EDBT 2024):
+//!
+//! * **DL-centric** — ship features over the connector to a decoupled DL
+//!   runtime and ship predictions back ([`exec::dl_centric`]).
+//! * **UDF-centric** — run the whole model as one in-database UDF under the
+//!   database memory governor ([`exec::udf_centric`]).
+//! * **Relation-centric** — lower each tensor operator onto tensor-block
+//!   relations: matmul becomes a join + aggregation that spills through the
+//!   buffer pool ([`exec::relation_centric`]).
+//!
+//! The [`optimizer::RuleBasedOptimizer`] implements §7.1's adaptive rule:
+//! estimate each operator's memory as `input + params + output` and choose
+//! relation-centric iff the estimate exceeds the configured threshold,
+//! otherwise UDF-centric. [`exec::hybrid`] executes the resulting mixed
+//! plan. [`session::InferenceSession`] is the user-facing facade that wires
+//! tables, models, governors and the optimizer together.
+//!
+//! Around that core sit the paper's §2–§5 techniques:
+//! [`rules`] (model decomposition & push-down through joins),
+//! [`dedup`] (accuracy-aware tensor-block deduplication),
+//! [`versions`] (SLA-driven selection among compressed model versions), and
+//! [`cache`] (the HNSW inference-result cache with Monte-Carlo error bounds).
+
+pub mod cache;
+pub mod dedup;
+pub mod error;
+pub mod exec;
+pub mod ir;
+pub mod optimizer;
+pub mod rules;
+pub mod session;
+pub mod versions;
+
+pub use error::{Error, Result};
+pub use ir::{InferencePlan, OpAssignment, Representation};
+pub use optimizer::RuleBasedOptimizer;
+pub use session::{Architecture, InferenceOutcome, InferenceSession, SessionConfig};

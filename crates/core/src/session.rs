@@ -1,0 +1,517 @@
+//! The user-facing facade: an RDBMS session that serves models.
+//!
+//! An [`InferenceSession`] owns the storage engine (disk + buffer pool +
+//! catalog), the database memory governor, the thread coordinator, and the
+//! adaptive optimizer. Users register tables, load models, and run inference
+//! queries under any of the three architectures or the adaptive policy —
+//! the workflow of Fig. 1's envisioned system.
+
+use crate::cache::CachedModel;
+use crate::error::{Error, Result};
+use crate::exec::{dl_centric, hybrid, pipelined, relation_centric, udf_centric, Output};
+use crate::ir::InferencePlan;
+use crate::optimizer::RuleBasedOptimizer;
+use parking_lot::Mutex;
+use relserve_nn::Model;
+use relserve_relational::{Schema, Table, Tuple};
+use relserve_runtime::{
+    Connector, ExternalRuntime, MemoryGovernor, RuntimeProfile, ThreadCoordinator, TransferProfile,
+};
+use relserve_storage::catalog::{ObjectKind, StoredObject};
+use relserve_storage::{BufferPool, Catalog, DiskManager};
+use relserve_tensor::Tensor;
+use relserve_vectoridx::HnswParams;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Session-wide configuration (every knob of the paper's experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Database memory budget for dense (UDF-centric/hybrid) execution.
+    pub db_memory_bytes: usize,
+    /// Buffer-pool size (the paper's "20 GB buffer pool" knob, scaled).
+    pub buffer_pool_bytes: usize,
+    /// The §7.1 operator threshold (the paper uses 2 GiB).
+    pub memory_threshold_bytes: usize,
+    /// Tensor block side length for relation-centric execution.
+    pub block_size: usize,
+    /// Physical cores to coordinate.
+    pub cores: usize,
+    /// Memory budget of a launched external DL runtime process.
+    pub external_memory_bytes: usize,
+    /// Connector wire model for DL-centric execution.
+    pub transfer: TransferProfile,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            db_memory_bytes: 1 << 30,        // 1 GiB
+            buffer_pool_bytes: 256 << 20,    // 256 MiB
+            memory_threshold_bytes: 2 << 30, // the paper's 2 GiB
+            block_size: 256,
+            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            external_memory_bytes: 1 << 30,
+            transfer: TransferProfile::local_connectorx(),
+        }
+    }
+}
+
+/// Which architecture to execute an inference query under.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Architecture {
+    /// The §7.1 rule decides per operator.
+    Adaptive,
+    /// Force everything through the in-database UDF path.
+    UdfCentric,
+    /// Force everything through tensor-block relations.
+    RelationCentric,
+    /// Offload to an external runtime with the given profile.
+    DlCentric(RuntimeProfile),
+    /// Stream micro-batches through per-layer stages (§5.2) inside the
+    /// database process.
+    Pipelined {
+        /// Rows per micro-batch.
+        micro_batch: usize,
+    },
+}
+
+impl Architecture {
+    fn label(&self) -> String {
+        match self {
+            Architecture::Adaptive => "adaptive".into(),
+            Architecture::UdfCentric => "udf-centric".into(),
+            Architecture::RelationCentric => "relation-centric".into(),
+            Architecture::DlCentric(p) => format!("dl-centric({})", p.name),
+            Architecture::Pipelined { micro_batch } => format!("pipelined(mb={micro_batch})"),
+        }
+    }
+}
+
+/// Result of one inference query.
+pub struct InferenceOutcome {
+    /// The model output (dense or blocked).
+    pub output: Output,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Which architecture actually ran.
+    pub architecture: String,
+    /// The plan, when the adaptive optimizer produced one.
+    pub plan: Option<InferencePlan>,
+}
+
+impl InferenceOutcome {
+    /// Row-wise class predictions.
+    pub fn predictions(&self) -> Result<Vec<usize>> {
+        self.output.predictions()
+    }
+}
+
+impl std::fmt::Debug for InferenceOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceOutcome")
+            .field("output", &self.output)
+            .field("elapsed", &self.elapsed)
+            .field("architecture", &self.architecture)
+            .finish()
+    }
+}
+
+/// An in-process RDBMS session serving deep-learning models.
+pub struct InferenceSession {
+    config: SessionConfig,
+    pool: Arc<BufferPool>,
+    catalog: Catalog,
+    governor: MemoryGovernor,
+    coordinator: ThreadCoordinator,
+    optimizer: RuleBasedOptimizer,
+    models: Mutex<HashMap<String, Arc<Model>>>,
+    tables: Mutex<HashMap<String, Arc<Table>>>,
+}
+
+impl InferenceSession {
+    /// Open a session on a scratch database.
+    pub fn open(config: SessionConfig) -> Result<Self> {
+        let disk = Arc::new(DiskManager::temp()?);
+        let pool = Arc::new(BufferPool::with_budget_bytes(disk, config.buffer_pool_bytes));
+        Ok(InferenceSession {
+            governor: MemoryGovernor::with_budget("db", config.db_memory_bytes),
+            coordinator: ThreadCoordinator::new(config.cores),
+            optimizer: RuleBasedOptimizer::new(config.memory_threshold_bytes),
+            pool,
+            catalog: Catalog::new(),
+            models: Mutex::new(HashMap::new()),
+            tables: Mutex::new(HashMap::new()),
+            config,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The database memory governor (inspect peaks and OOM counts).
+    pub fn governor(&self) -> &MemoryGovernor {
+        &self.governor
+    }
+
+    /// The buffer pool (inspect spill statistics).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Create a relational table.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>> {
+        let mut tables = self.tables.lock();
+        if tables.contains_key(name) {
+            return Err(Error::AlreadyExists(name.to_string()));
+        }
+        let table = Arc::new(Table::create(self.pool.clone(), name, schema));
+        self.catalog.create(
+            name,
+            StoredObject {
+                kind: ObjectKind::Table,
+                pages: vec![],
+                cardinality: 0,
+                meta: vec![],
+            },
+        )?;
+        tables.insert(name.to_string(), table.clone());
+        Ok(table)
+    }
+
+    /// Look up a registered table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(name.to_string()))
+    }
+
+    /// Insert tuples into a table.
+    pub fn insert(&self, table: &str, rows: &[Tuple]) -> Result<()> {
+        let table = self.table(table)?;
+        for row in rows {
+            table.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Load a model into the session (and its serialized form into the
+    /// catalog, binding model and metadata as §4.1 advocates).
+    pub fn load_model(&self, model: Model) -> Result<()> {
+        let name = model.name().to_string();
+        let mut models = self.models.lock();
+        if models.contains_key(&name) {
+            return Err(Error::AlreadyExists(name));
+        }
+        let serialized = relserve_nn::serialize::to_bytes(&model);
+        self.catalog.create(
+            &name,
+            StoredObject {
+                kind: ObjectKind::Model,
+                pages: vec![],
+                cardinality: model.num_params() as u64,
+                meta: serialized,
+            },
+        )?;
+        models.insert(name, Arc::new(model));
+        Ok(())
+    }
+
+    /// Look up a loaded model.
+    pub fn model(&self, name: &str) -> Result<Arc<Model>> {
+        self.models
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(name.to_string()))
+    }
+
+    /// Reload a model from its catalog bytes (round-trip check, recovery).
+    pub fn reload_model_from_catalog(&self, name: &str) -> Result<Model> {
+        let object = self.catalog.get(name)?;
+        if object.kind != ObjectKind::Model {
+            return Err(Error::Invalid(format!("`{name}` is not a model")));
+        }
+        Ok(relserve_nn::serialize::from_bytes(&object.meta)?)
+    }
+
+    /// Produce the adaptive plan for a model at a batch size (EXPLAIN).
+    pub fn plan(&self, model: &str, batch_size: usize) -> Result<InferencePlan> {
+        let model = self.model(model)?;
+        self.optimizer.plan(&model, batch_size)
+    }
+
+    /// Extract a dense feature batch from a table's vector column.
+    pub fn features(&self, table: &str, vector_col: &str) -> Result<Tensor> {
+        let table = self.table(table)?;
+        let col = table.schema().index_of(vector_col)?;
+        let mut data: Vec<f32> = Vec::new();
+        let mut rows = 0usize;
+        let mut width = 0usize;
+        for row in table.scan() {
+            let row = row.map_err(Error::Relational)?;
+            let v = row.value(col)?.as_vector().map_err(Error::Relational)?;
+            if rows == 0 {
+                width = v.len();
+            } else if v.len() != width {
+                return Err(Error::Invalid(format!(
+                    "ragged feature column: row {rows} has {} values, expected {width}",
+                    v.len()
+                )));
+            }
+            data.extend_from_slice(v);
+            rows += 1;
+        }
+        if rows == 0 {
+            return Err(Error::Invalid(format!("table `{}` is empty", table.name())));
+        }
+        Ok(Tensor::from_vec([rows, width], data)?)
+    }
+
+    /// Run inference over a dense feature batch under `architecture`.
+    pub fn infer_batch(
+        &self,
+        model_name: &str,
+        batch: &Tensor,
+        architecture: Architecture,
+    ) -> Result<InferenceOutcome> {
+        let model = self.model(model_name)?;
+        let batch_size = model.check_input(batch)?;
+        let started = Instant::now();
+        let label = architecture.label();
+        let (output, plan) = match architecture {
+            Architecture::UdfCentric => {
+                let threads = self.coordinator.plan_for(1).kernel_threads;
+                (udf_centric::run(&model, batch, &self.governor, threads)?, None)
+            }
+            Architecture::RelationCentric => {
+                let (out, _) =
+                    relation_centric::run(&model, batch, &self.pool, self.config.block_size)?;
+                (out, None)
+            }
+            Architecture::DlCentric(profile) => {
+                let threads = self.coordinator.plan_dedicated().kernel_threads;
+                let runtime =
+                    ExternalRuntime::launch(profile, self.config.external_memory_bytes);
+                let mut connector = Connector::new(self.config.transfer);
+                let (out, _) = dl_centric::run(&model, batch, &mut connector, &runtime, threads)?;
+                (out, None)
+            }
+            Architecture::Pipelined { micro_batch } => {
+                // §3.1: stage threads × stages must not oversubscribe cores.
+                let stages = model.layers().len().max(1);
+                let threads = self.coordinator.plan_for(stages).kernel_threads;
+                let (out, _) =
+                    pipelined::run(&model, batch, micro_batch, &self.governor, threads)?;
+                (out, None)
+            }
+            Architecture::Adaptive => {
+                let plan = self.optimizer.plan(&model, batch_size)?;
+                let threads = self.coordinator.plan_for(1).kernel_threads;
+                let (out, _) = hybrid::run(
+                    &model,
+                    batch,
+                    &plan,
+                    &self.governor,
+                    &self.pool,
+                    self.config.block_size,
+                    threads,
+                )?;
+                (out, Some(plan))
+            }
+        };
+        Ok(InferenceOutcome {
+            output,
+            elapsed: started.elapsed(),
+            architecture: label,
+            plan,
+        })
+    }
+
+    /// Run inference over features scanned from a table column.
+    pub fn infer(
+        &self,
+        model_name: &str,
+        table: &str,
+        vector_col: &str,
+        architecture: Architecture,
+    ) -> Result<InferenceOutcome> {
+        let batch = self.features(table, vector_col)?;
+        self.infer_batch(model_name, &batch, architecture)
+    }
+
+    /// Wrap a loaded model with an inference-result cache (§5.1).
+    pub fn cached_model(
+        &self,
+        model_name: &str,
+        max_distance: f32,
+        params: HnswParams,
+    ) -> Result<CachedModel> {
+        let model = self.model(model_name)?;
+        let threads = self.coordinator.plan_for(1).kernel_threads;
+        CachedModel::new((*model).clone(), max_distance, params, threads)
+    }
+}
+
+impl std::fmt::Debug for InferenceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceSession")
+            .field("models", &self.models.lock().len())
+            .field("tables", &self.tables.lock().len())
+            .field("db_budget", &self.config.db_memory_bytes)
+            .field("pool_frames", &self.pool.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_nn::init::seeded_rng;
+    use relserve_nn::zoo;
+    use relserve_relational::{Column, DataType, Value};
+
+    fn tiny_config() -> SessionConfig {
+        SessionConfig {
+            db_memory_bytes: 8 << 20,
+            buffer_pool_bytes: 4 << 20,
+            memory_threshold_bytes: 1 << 20,
+            block_size: 32,
+            cores: 2,
+            external_memory_bytes: 8 << 20,
+            transfer: TransferProfile::instant(),
+        }
+    }
+
+    fn fraud_session(rows: usize) -> InferenceSession {
+        let session = InferenceSession::open(tiny_config()).unwrap();
+        let mut rng = seeded_rng(140);
+        session.load_model(zoo::fraud_fc_256(&mut rng).unwrap()).unwrap();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("features", DataType::Vector),
+        ]);
+        session.create_table("transactions", schema).unwrap();
+        use rand::Rng;
+        let tuples: Vec<Tuple> = (0..rows)
+            .map(|i| {
+                let features: Vec<f32> = (0..28).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                Tuple::new(vec![Value::Int(i as i64), Value::Vector(features)])
+            })
+            .collect();
+        session.insert("transactions", &tuples).unwrap();
+        session
+    }
+
+    #[test]
+    fn end_to_end_all_architectures_agree() {
+        let session = fraud_session(40);
+        let archs = [
+            Architecture::UdfCentric,
+            Architecture::RelationCentric,
+            Architecture::Adaptive,
+            Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
+            Architecture::Pipelined { micro_batch: 7 },
+        ];
+        let mut all_preds = Vec::new();
+        for arch in archs {
+            let outcome = session
+                .infer("Fraud-FC-256", "transactions", "features", arch)
+                .unwrap();
+            assert_eq!(outcome.output.num_rows(), 40);
+            all_preds.push(outcome.predictions().unwrap());
+        }
+        for preds in &all_preds[1..] {
+            assert_eq!(preds, &all_preds[0]);
+        }
+    }
+
+    #[test]
+    fn adaptive_produces_a_plan() {
+        let session = fraud_session(10);
+        let outcome = session
+            .infer(
+                "Fraud-FC-256",
+                "transactions",
+                "features",
+                Architecture::Adaptive,
+            )
+            .unwrap();
+        let plan = outcome.plan.expect("adaptive plans");
+        assert_eq!(plan.batch_size, 10);
+        assert!(!plan.ops.is_empty());
+    }
+
+    #[test]
+    fn udf_oom_but_relation_centric_completes() {
+        // The Table 3 pattern in miniature: a DB budget too small for the
+        // dense path, but the relation-centric path streams through.
+        let mut config = tiny_config();
+        config.db_memory_bytes = 64 << 10; // 64 KiB — params alone exceed this
+        let session = InferenceSession::open(config).unwrap();
+        let mut rng = seeded_rng(141);
+        session.load_model(zoo::fraud_fc_512(&mut rng).unwrap()).unwrap();
+        let batch = Tensor::from_fn([64, 28], |i| (i % 5) as f32 * 0.1);
+        let err = session
+            .infer_batch("Fraud-FC-512", &batch, Architecture::UdfCentric)
+            .unwrap_err();
+        assert!(err.is_oom());
+        let ok = session
+            .infer_batch("Fraud-FC-512", &batch, Architecture::RelationCentric)
+            .unwrap();
+        assert_eq!(ok.output.num_rows(), 64);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let session = fraud_session(1);
+        let mut rng = seeded_rng(142);
+        assert!(matches!(
+            session.load_model(zoo::fraud_fc_256(&mut rng).unwrap()),
+            Err(Error::AlreadyExists(_))
+        ));
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        assert!(matches!(
+            session.create_table("transactions", schema),
+            Err(Error::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn model_round_trips_through_catalog() {
+        let session = fraud_session(1);
+        let reloaded = session.reload_model_from_catalog("Fraud-FC-256").unwrap();
+        let original = session.model("Fraud-FC-256").unwrap();
+        assert_eq!(&reloaded, original.as_ref());
+    }
+
+    #[test]
+    fn missing_objects_are_not_found() {
+        let session = fraud_session(1);
+        assert!(matches!(
+            session.model("ghost"),
+            Err(Error::NotFound(_))
+        ));
+        assert!(matches!(
+            session.table("ghost"),
+            Err(Error::NotFound(_))
+        ));
+        assert!(session
+            .infer("ghost", "transactions", "features", Architecture::Adaptive)
+            .is_err());
+    }
+
+    #[test]
+    fn features_validates_column() {
+        let session = fraud_session(3);
+        let batch = session.features("transactions", "features").unwrap();
+        assert_eq!(batch.shape().dims(), &[3, 28]);
+        assert!(session.features("transactions", "id").is_err());
+        assert!(session.features("transactions", "nope").is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: every execution architecture computes the same function.
+//!
+//! The unified IR's whole premise (§2.1) is that representation choice is a
+//! *performance* decision, never a *semantics* decision. These properties
+//! pin that down over randomized models, batch sizes, block sizes, and
+//! thresholds.
+
+use proptest::prelude::*;
+use relserve_core::exec::{hybrid, pipelined, relation_centric, udf_centric};
+use relserve_core::RuleBasedOptimizer;
+use relserve_nn::init::seeded_rng;
+use relserve_nn::{Activation, Layer, Model};
+use relserve_runtime::MemoryGovernor;
+use relserve_storage::{BufferPool, DiskManager};
+use relserve_tensor::Tensor;
+use std::sync::Arc;
+
+/// A random small FFNN: 1–3 dense layers with relu, softmax head.
+fn random_ffnn(features: usize, hiddens: &[usize], classes: usize, seed: u64) -> Model {
+    let mut rng = seeded_rng(seed);
+    let mut model = Model::new("prop-ffnn", [features]);
+    let mut prev = features;
+    for &h in hiddens {
+        model = model
+            .push(Layer::dense(prev, h, Activation::Relu, &mut rng))
+            .unwrap();
+        prev = h;
+    }
+    model
+        .push(Layer::dense(prev, classes, Activation::Softmax, &mut rng))
+        .unwrap()
+}
+
+fn pool(frames: usize) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(
+        Arc::new(DiskManager::temp().unwrap()),
+        frames,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn relation_centric_matches_udf(
+        features in 1usize..24,
+        hidden in 1usize..24,
+        classes in 2usize..6,
+        batch in 1usize..20,
+        block in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let model = random_ffnn(features, &[hidden], classes, seed);
+        let x = Tensor::from_fn([batch, features], |i| (((i as u64 + seed) * 37 % 19) as f32 - 9.0) * 0.1);
+        let governor = MemoryGovernor::unlimited("prop");
+        let dense = udf_centric::run(&model, &x, &governor, 1)
+            .unwrap()
+            .into_dense()
+            .unwrap();
+        let (rel, _) = relation_centric::run(&model, &x, &pool(64), block).unwrap();
+        let rel = rel.into_dense().unwrap();
+        prop_assert!(dense.approx_eq(&rel, 1e-3), "max diff {}", dense.max_abs_diff(&rel).unwrap());
+    }
+
+    #[test]
+    fn hybrid_matches_udf_for_any_threshold(
+        features in 1usize..20,
+        hidden in 1usize..32,
+        batch in 1usize..16,
+        threshold_exp in 4u32..24,
+        seed in 0u64..1000,
+    ) {
+        let model = random_ffnn(features, &[hidden], 3, seed);
+        let x = Tensor::from_fn([batch, features], |i| (((i as u64 * 13 + seed) % 23) as f32 - 11.0) * 0.05);
+        let governor = MemoryGovernor::unlimited("prop");
+        let dense = udf_centric::run(&model, &x, &governor, 1)
+            .unwrap()
+            .into_dense()
+            .unwrap();
+        let plan = RuleBasedOptimizer::new(1usize << threshold_exp)
+            .plan(&model, batch)
+            .unwrap();
+        let (out, _) = hybrid::run(&model, &x, &plan, &governor, &pool(64), 8, 1).unwrap();
+        let out = out.into_dense().unwrap();
+        prop_assert!(dense.approx_eq(&out, 1e-3));
+    }
+
+    #[test]
+    fn pipelined_matches_udf_for_any_micro_batch(
+        features in 1usize..16,
+        hidden in 1usize..16,
+        batch in 1usize..24,
+        micro in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let model = random_ffnn(features, &[hidden], 2, seed);
+        let x = Tensor::from_fn([batch, features], |i| (((i as u64 * 7 + seed) % 17) as f32 - 8.0) * 0.1);
+        let governor = MemoryGovernor::unlimited("prop");
+        let dense = udf_centric::run(&model, &x, &governor, 1)
+            .unwrap()
+            .into_dense()
+            .unwrap();
+        let (out, _) = pipelined::run(&model, &x, micro, &governor, 1).unwrap();
+        let out = out.into_dense().unwrap();
+        prop_assert!(dense.approx_eq(&out, 1e-4));
+    }
+
+    #[test]
+    fn deeper_networks_agree_too(
+        h1 in 1usize..12,
+        h2 in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let model = random_ffnn(8, &[h1, h2], 4, seed);
+        let x = Tensor::from_fn([9, 8], |i| ((i * 11 % 13) as f32 - 6.0) * 0.1);
+        let governor = MemoryGovernor::unlimited("prop");
+        let dense = udf_centric::run(&model, &x, &governor, 1)
+            .unwrap()
+            .into_dense()
+            .unwrap();
+        let (rel, _) = relation_centric::run(&model, &x, &pool(64), 4).unwrap();
+        prop_assert!(dense.approx_eq(&rel.into_dense().unwrap(), 1e-3));
+    }
+}

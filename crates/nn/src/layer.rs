@@ -1,0 +1,279 @@
+//! Model layers.
+
+use crate::error::{Error, Result};
+use crate::init;
+use rand::rngs::StdRng;
+use relserve_tensor::{conv, ops, Conv2dSpec, Shape, Tensor};
+
+/// Activation applied after a layer's linear part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Row-wise softmax (output layers).
+    Softmax,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to a rank-2 tensor.
+    pub fn apply(&self, t: &Tensor) -> Result<Tensor> {
+        Ok(match self {
+            Activation::None => t.clone(),
+            Activation::Relu => ops::relu(t),
+            Activation::Softmax => ops::softmax(t)?,
+            Activation::Sigmoid => ops::sigmoid(t),
+            Activation::Tanh => ops::tanh(t),
+        })
+    }
+}
+
+/// One model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// Fully connected: `y = act(x × Wᵀ + b)` with `W: [out, in]`.
+    Dense {
+        /// Weight matrix, `[out_features, in_features]`.
+        weight: Tensor,
+        /// Bias vector, `[out_features]`.
+        bias: Tensor,
+        /// Post-linear activation.
+        activation: Activation,
+    },
+    /// 2-D convolution over NHWC input.
+    Conv2d {
+        /// Kernel bank, `[out_channels, kh, kw, in_channels]`.
+        kernel: Tensor,
+        /// Bias per output channel.
+        bias: Tensor,
+        /// Geometry (stride, padding, dims).
+        spec: Conv2dSpec,
+        /// Post-conv activation.
+        activation: Activation,
+    },
+    /// Collapse all non-batch dims into one feature dim.
+    Flatten,
+}
+
+impl Layer {
+    /// A dense layer with He-initialized weights.
+    pub fn dense(in_features: usize, out_features: usize, activation: Activation, rng: &mut StdRng) -> Layer {
+        Layer::Dense {
+            weight: init::he_normal([out_features, in_features], in_features, rng),
+            bias: Tensor::zeros([out_features]),
+            activation,
+        }
+    }
+
+    /// A conv layer with He-initialized kernels (stride 1, padding 0 —
+    /// the Table 2 configuration).
+    pub fn conv2d(
+        in_channels: usize,
+        out_channels: usize,
+        kh: usize,
+        kw: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Layer {
+        let spec = Conv2dSpec::unit(out_channels, kh, kw, in_channels);
+        Layer::Conv2d {
+            kernel: init::he_normal(
+                [out_channels, kh, kw, in_channels],
+                kh * kw * in_channels,
+                rng,
+            ),
+            bias: Tensor::zeros([out_channels]),
+            spec,
+            activation,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Layer::Dense { weight, bias, .. } => weight.len() + bias.len(),
+            Layer::Conv2d { kernel, bias, .. } => kernel.len() + bias.len(),
+            Layer::Flatten => 0,
+        }
+    }
+
+    /// Per-example output shape given the per-example input shape.
+    pub fn output_shape(&self, input: &Shape) -> Result<Shape> {
+        match self {
+            Layer::Dense { weight, .. } => {
+                let (out, inf) = weight.shape().as_matrix()?;
+                let in_features = input.num_elements();
+                if in_features != inf {
+                    return Err(Error::InvalidModel(format!(
+                        "dense layer expects {inf} input features, previous layer provides {in_features}"
+                    )));
+                }
+                Ok(Shape::from([out]))
+            }
+            Layer::Conv2d { spec, .. } => {
+                let dims = input.dims();
+                if dims.len() != 3 {
+                    return Err(Error::InvalidModel(format!(
+                        "conv layer expects [h, w, c] input, got {dims:?}"
+                    )));
+                }
+                if dims[2] != spec.in_channels {
+                    return Err(Error::InvalidModel(format!(
+                        "conv layer expects {} channels, got {}",
+                        spec.in_channels, dims[2]
+                    )));
+                }
+                let (oh, ow) = spec.output_dims(dims[0], dims[1])?;
+                Ok(Shape::from([oh, ow, spec.out_channels]))
+            }
+            Layer::Flatten => Ok(Shape::from([input.num_elements()])),
+        }
+    }
+
+    /// Forward pass over a batch.
+    ///
+    /// `input` is `[batch, ...example dims]`; `threads` bounds kernel
+    /// parallelism (set by the resource coordinator).
+    pub fn forward(&self, input: &Tensor, threads: usize) -> Result<Tensor> {
+        match self {
+            Layer::Dense {
+                weight,
+                bias,
+                activation,
+            } => {
+                let z = relserve_tensor::matmul::matmul_bt_parallel(input, weight, threads)?;
+                let z = ops::add_bias(&z, bias)?;
+                activation.apply(&z)
+            }
+            Layer::Conv2d {
+                kernel,
+                bias,
+                spec,
+                activation,
+            } => {
+                let z = conv::conv2d(input, kernel, bias, spec, threads)?;
+                let dims = z.shape().dims().to_vec();
+                // Activations operate on a matrix view, then restore shape.
+                let flat = z.reshape([dims[0] * dims[1] * dims[2], dims[3]])?;
+                let a = activation.apply(&flat)?;
+                Ok(a.reshape(dims)?)
+            }
+            Layer::Flatten => {
+                let dims = input.shape().dims();
+                let batch = dims[0];
+                let rest: usize = dims[1..].iter().product();
+                Ok(input.clone().reshape([batch, rest])?)
+            }
+        }
+    }
+
+    /// Human-readable kind, for plans and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Dense { .. } => "dense",
+            Layer::Conv2d { .. } => "conv2d",
+            Layer::Flatten => "flatten",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn dense_forward_shape_and_value() {
+        let layer = Layer::Dense {
+            weight: Tensor::from_vec([2, 3], vec![1., 0., 0., 0., 1., 0.]).unwrap(),
+            bias: Tensor::from_vec([2], vec![10.0, 20.0]).unwrap(),
+            activation: Activation::None,
+        };
+        let x = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = layer.forward(&x, 1).unwrap();
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn relu_activation_applied() {
+        let layer = Layer::Dense {
+            weight: Tensor::from_vec([1, 1], vec![-1.0]).unwrap(),
+            bias: Tensor::zeros([1]),
+            activation: Activation::Relu,
+        };
+        let x = Tensor::from_vec([1, 1], vec![5.0]).unwrap();
+        assert_eq!(layer.forward(&x, 1).unwrap().data(), &[0.0]);
+    }
+
+    #[test]
+    fn output_shape_chain() {
+        let mut rng = seeded_rng(7);
+        let conv = Layer::conv2d(3, 8, 3, 3, Activation::Relu, &mut rng);
+        let out = conv.output_shape(&Shape::from([28, 28, 3])).unwrap();
+        assert_eq!(out.dims(), &[26, 26, 8]);
+        let flat = Layer::Flatten.output_shape(&out).unwrap();
+        assert_eq!(flat.dims(), &[26 * 26 * 8]);
+        let dense = Layer::dense(26 * 26 * 8, 10, Activation::Softmax, &mut rng);
+        assert_eq!(dense.output_shape(&flat).unwrap().dims(), &[10]);
+    }
+
+    #[test]
+    fn shape_chain_errors_on_mismatch() {
+        let mut rng = seeded_rng(8);
+        let dense = Layer::dense(10, 5, Activation::None, &mut rng);
+        assert!(dense.output_shape(&Shape::from([11])).is_err());
+        let conv = Layer::conv2d(3, 4, 1, 1, Activation::None, &mut rng);
+        assert!(conv.output_shape(&Shape::from([28, 28, 4])).is_err());
+        assert!(conv.output_shape(&Shape::from([784])).is_err());
+    }
+
+    #[test]
+    fn flatten_forward_preserves_batch() {
+        let x = Tensor::from_fn([2, 3, 4, 5], |i| i as f32);
+        let y = Layer::Flatten.forward(&x, 1).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 60]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_forward_shape() {
+        let mut rng = seeded_rng(9);
+        let conv = Layer::conv2d(3, 16, 3, 3, Activation::Relu, &mut rng);
+        let x = Tensor::from_fn([2, 8, 8, 3], |i| (i % 7) as f32 * 0.1);
+        let y = conv.forward(&x, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 6, 6, 16]);
+        // Relu output is non-negative.
+        assert!(y.data().iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_biases() {
+        let mut rng = seeded_rng(10);
+        assert_eq!(Layer::dense(28, 256, Activation::Relu, &mut rng).num_params(), 28 * 256 + 256);
+        assert_eq!(
+            Layer::conv2d(3, 8, 3, 3, Activation::None, &mut rng).num_params(),
+            8 * 3 * 3 * 3 + 8
+        );
+        assert_eq!(Layer::Flatten.num_params(), 0);
+    }
+
+    #[test]
+    fn softmax_activation_normalizes() {
+        let layer = Layer::Dense {
+            weight: Tensor::eye(3),
+            bias: Tensor::zeros([3]),
+            activation: Activation::Softmax,
+        };
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 0., 0., 0.]).unwrap();
+        let y = layer.forward(&x, 1).unwrap();
+        for r in 0..2 {
+            let s: f32 = y.row(r).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Neural-network library for `relserve`.
+//!
+//! Models here are what the paper loads *into* the RDBMS: feed-forward and
+//! convolutional networks expressed as a sequence of layers, lowerable to a
+//! linear-algebra graph IR (§2.1) whose per-operator memory requirements the
+//! adaptive optimizer inspects (§7.1).
+//!
+//! * [`model`] — [`model::Model`]: a sequential layer stack with forward
+//!   inference and parameter accounting.
+//! * [`graph`] — the linear-algebra graph IR: one [`graph::LinalgOp`] per
+//!   primitive operator, with shape inference and the paper's
+//!   `bytes(inputs) + bytes(outputs)` memory estimate.
+//! * [`train`] — SGD with backprop (dense and conv via im2col/col2im), the
+//!   §6.1 training extension; used to produce the genuinely trained models
+//!   the §7.2.2 caching experiment needs.
+//! * [`zoo`] — constructors for every model in Tables 1–2 and §7.2,
+//!   parameterized by a scale factor.
+//! * [`quant`] — int8 quantization and magnitude pruning, producing the
+//!   accuracy/size model versions of §4.1.
+//! * [`serialize`] — a hand-rolled binary model format for catalog storage.
+
+pub mod error;
+pub mod graph;
+pub mod init;
+pub mod layer;
+pub mod model;
+pub mod quant;
+pub mod serialize;
+pub mod train;
+pub mod zoo;
+
+pub use error::{Error, Result};
+pub use graph::{LinalgOp, OpKind};
+pub use layer::{Activation, Layer};
+pub use model::Model;
+pub use train::Trainer;

@@ -1,0 +1,204 @@
+//! Sequential models.
+
+use crate::error::{Error, Result};
+use crate::graph::LinalgOp;
+use crate::layer::Layer;
+use relserve_tensor::{ops, Shape, Tensor};
+
+/// A sequential neural network: an input shape and a stack of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    name: String,
+    input_shape: Shape,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// An empty model taking per-example inputs of `input_shape`.
+    pub fn new(name: impl Into<String>, input_shape: impl Into<Shape>) -> Self {
+        Model {
+            name: name.into(),
+            input_shape: input_shape.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Append a layer, validating the shape chain.
+    pub fn push(mut self, layer: Layer) -> Result<Self> {
+        let current = self.output_shape()?;
+        layer.output_shape(&current)?;
+        self.layers.push(layer);
+        Ok(self)
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the model (used when deriving quantized/pruned versions).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Per-example input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (training updates parameters).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Per-example output shape after all layers.
+    pub fn output_shape(&self) -> Result<Shape> {
+        let mut shape = self.input_shape.clone();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Total parameter bytes.
+    pub fn param_bytes(&self) -> usize {
+        self.num_params() * relserve_tensor::ELEM_BYTES
+    }
+
+    /// Check a batch tensor against the model input shape.
+    pub fn check_input(&self, batch: &Tensor) -> Result<usize> {
+        let dims = batch.shape().dims();
+        let expected = self.input_shape.dims();
+        // Accept either [batch, ...example dims] or a flattened
+        // [batch, num_features] for models with flat inputs.
+        let matches_full = dims.len() == expected.len() + 1 && &dims[1..] == expected;
+        let matches_flat = dims.len() == 2 && dims[1] == self.input_shape.num_elements();
+        if !matches_full && !matches_flat {
+            return Err(Error::InputMismatch {
+                expected: expected.to_vec(),
+                actual: dims.to_vec(),
+            });
+        }
+        Ok(dims[0])
+    }
+
+    /// Forward inference over a batch with `threads` kernel threads.
+    pub fn forward(&self, batch: &Tensor, threads: usize) -> Result<Tensor> {
+        let batch_size = self.check_input(batch)?;
+        // Restore the full example shape in case a flat batch arrived for a
+        // spatial model.
+        let mut full_dims = vec![batch_size];
+        full_dims.extend_from_slice(self.input_shape.dims());
+        let mut x = batch.clone().reshape(full_dims)?;
+        for layer in &self.layers {
+            x = layer.forward(&x, threads)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward inference followed by row-wise argmax (classification).
+    pub fn predict(&self, batch: &Tensor, threads: usize) -> Result<Vec<usize>> {
+        let logits = self.forward(batch, threads)?;
+        let (rows, cols) = logits.shape().as_matrix()?;
+        let flat = logits.reshape([rows, cols])?;
+        Ok(ops::argmax_rows(&flat)?)
+    }
+
+    /// Lower the model into its linear-algebra graph IR for `batch_size`
+    /// (the representation the adaptive optimizer walks, §7.1).
+    pub fn to_graph(&self, batch_size: usize) -> Result<Vec<LinalgOp>> {
+        crate::graph::lower(self, batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use crate::layer::Activation;
+
+    fn ffnn() -> Model {
+        let mut rng = seeded_rng(3);
+        Model::new("test-ffnn", [4])
+            .push(Layer::dense(4, 8, Activation::Relu, &mut rng))
+            .unwrap()
+            .push(Layer::dense(8, 3, Activation::Softmax, &mut rng))
+            .unwrap()
+    }
+
+    #[test]
+    fn push_validates_shape_chain() {
+        let mut rng = seeded_rng(4);
+        let m = Model::new("bad", [4]).push(Layer::dense(4, 8, Activation::Relu, &mut rng)).unwrap();
+        // Next layer expects 9 features but gets 8.
+        assert!(m.push(Layer::dense(9, 2, Activation::None, &mut rng)).is_err());
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let m = ffnn();
+        let x = Tensor::from_fn([5, 4], |i| (i % 3) as f32);
+        let y = m.forward(&x, 1).unwrap();
+        assert_eq!(y.shape().dims(), &[5, 3]);
+        for r in 0..5 {
+            let s: f32 = y.row(r).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let m = ffnn();
+        let x = Tensor::zeros([5, 7]);
+        assert!(matches!(m.forward(&x, 1), Err(Error::InputMismatch { .. })));
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let m = ffnn();
+        let x = Tensor::from_fn([3, 4], |i| i as f32 * 0.1);
+        let preds = m.predict(&x, 1).unwrap();
+        assert_eq!(preds.len(), 3);
+        assert!(preds.iter().all(|p| *p < 3));
+    }
+
+    #[test]
+    fn num_params_sums_layers() {
+        let m = ffnn();
+        assert_eq!(m.num_params(), (4 * 8 + 8) + (8 * 3 + 3));
+        assert_eq!(m.param_bytes(), m.num_params() * 4);
+    }
+
+    #[test]
+    fn conv_model_accepts_flat_and_spatial_batches() {
+        let mut rng = seeded_rng(5);
+        let m = Model::new("cnn", [6, 6, 1])
+            .push(Layer::conv2d(1, 4, 3, 3, Activation::Relu, &mut rng))
+            .unwrap()
+            .push(Layer::Flatten)
+            .unwrap()
+            .push(Layer::dense(4 * 4 * 4, 2, Activation::Softmax, &mut rng))
+            .unwrap();
+        let spatial = Tensor::from_fn([2, 6, 6, 1], |i| (i % 5) as f32);
+        let flat = spatial.clone().reshape([2, 36]).unwrap();
+        let a = m.forward(&spatial, 1).unwrap();
+        let b = m.forward(&flat, 1).unwrap();
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn output_shape_reports_final_layer() {
+        assert_eq!(ffnn().output_shape().unwrap().dims(), &[3]);
+    }
+}

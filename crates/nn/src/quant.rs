@@ -1,0 +1,220 @@
+//! Accuracy-aware model compression (§4.1).
+//!
+//! "The storage optimizer may automatically employ compression, such as
+//! pruning and quantization, to create multiple versions of the same model
+//! with different size, efficiency, and accuracy trade-offs." This module
+//! produces those versions: int8-grid quantization and magnitude pruning,
+//! each returning the compressed model plus its storage footprint so the
+//! SLA-driven version selector in `relserve-core` can choose among them.
+
+use crate::error::Result;
+use crate::layer::Layer;
+use crate::model::Model;
+use relserve_tensor::Tensor;
+
+/// How a model version was derived from the original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompressionKind {
+    /// The uncompressed original.
+    None,
+    /// Symmetric int8 quantization (weights snapped to a 255-level grid).
+    QuantizedInt8,
+    /// Magnitude pruning: the given fraction of smallest weights zeroed.
+    Pruned {
+        /// Fraction of weights removed, in `[0, 1)`.
+        fraction: f32,
+    },
+}
+
+/// One storable version of a model.
+#[derive(Debug, Clone)]
+pub struct ModelVersion {
+    /// The (possibly lossy) model.
+    pub model: Model,
+    /// How it was compressed.
+    pub kind: CompressionKind,
+    /// Storage bytes this version needs on disk.
+    pub storage_bytes: usize,
+}
+
+/// Snap a tensor's values to a symmetric 255-level int8 grid (simulated
+/// quantization: values stay f32 but carry only 8 bits of information).
+fn quantize_tensor(t: &Tensor) -> Tensor {
+    let max_abs = t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return t.clone();
+    }
+    let scale = max_abs / 127.0;
+    let mut out = t.clone();
+    for v in out.data_mut() {
+        *v = (*v / scale).round().clamp(-127.0, 127.0) * scale;
+    }
+    out
+}
+
+/// Zero the `fraction` of entries with smallest magnitude.
+fn prune_tensor(t: &Tensor, fraction: f32) -> Tensor {
+    let n = t.len();
+    let kill = ((n as f32) * fraction) as usize;
+    if kill == 0 {
+        return t.clone();
+    }
+    let mut mags: Vec<f32> = t.data().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("no NaN weights"));
+    let threshold = mags[kill.min(n - 1)];
+    let mut out = t.clone();
+    for v in out.data_mut() {
+        if v.abs() < threshold {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+fn map_params(model: &Model, f: impl Fn(&Tensor) -> Tensor) -> Model {
+    let mut out = model.clone();
+    for layer in out.layers_mut() {
+        match layer {
+            Layer::Dense { weight, bias, .. } => {
+                *weight = f(weight);
+                *bias = f(bias);
+            }
+            Layer::Conv2d { kernel, bias, .. } => {
+                *kernel = f(kernel);
+                *bias = f(bias);
+            }
+            Layer::Flatten => {}
+        }
+    }
+    out
+}
+
+fn count_nonzero(model: &Model) -> usize {
+    let count = |t: &Tensor| t.data().iter().filter(|v| **v != 0.0).count();
+    model
+        .layers()
+        .iter()
+        .map(|l| match l {
+            Layer::Dense { weight, bias, .. } => count(weight) + count(bias),
+            Layer::Conv2d { kernel, bias, .. } => count(kernel) + count(bias),
+            Layer::Flatten => 0,
+        })
+        .sum()
+}
+
+/// Int8-quantized version: 1 byte per parameter plus per-tensor scales.
+pub fn quantize_int8(model: &Model) -> Result<ModelVersion> {
+    let quantized = map_params(model, quantize_tensor)
+        .with_name(format!("{}@int8", model.name()));
+    let storage_bytes = model.num_params() + model.layers().len() * 4;
+    Ok(ModelVersion {
+        model: quantized,
+        kind: CompressionKind::QuantizedInt8,
+        storage_bytes,
+    })
+}
+
+/// Magnitude-pruned version: sparse storage as (index, value) pairs.
+pub fn prune_magnitude(model: &Model, fraction: f32) -> Result<ModelVersion> {
+    let fraction = fraction.clamp(0.0, 0.99);
+    let pruned = map_params(model, |t| prune_tensor(t, fraction))
+        .with_name(format!("{}@prune{:.0}", model.name(), fraction * 100.0));
+    let nonzero = count_nonzero(&pruned);
+    let storage_bytes = nonzero * 8; // 4 B index + 4 B value
+    Ok(ModelVersion {
+        model: pruned,
+        kind: CompressionKind::Pruned { fraction },
+        storage_bytes,
+    })
+}
+
+/// The default version ladder the storage optimizer materializes: original,
+/// int8, and 50 % / 80 % pruned.
+pub fn default_versions(model: &Model) -> Result<Vec<ModelVersion>> {
+    Ok(vec![
+        ModelVersion {
+            model: model.clone(),
+            kind: CompressionKind::None,
+            storage_bytes: model.param_bytes(),
+        },
+        quantize_int8(model)?,
+        prune_magnitude(model, 0.5)?,
+        prune_magnitude(model, 0.8)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use crate::layer::Activation;
+
+    fn model() -> Model {
+        let mut rng = seeded_rng(30);
+        Model::new("m", [16])
+            .push(Layer::dense(16, 32, Activation::Relu, &mut rng))
+            .unwrap()
+            .push(Layer::dense(32, 4, Activation::Softmax, &mut rng))
+            .unwrap()
+    }
+
+    #[test]
+    fn quantization_shrinks_storage_4x() {
+        let m = model();
+        let q = quantize_int8(&m).unwrap();
+        assert!(q.storage_bytes < m.param_bytes() / 3);
+        assert_eq!(q.model.num_params(), m.num_params());
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let m = model();
+        let q = quantize_int8(&m).unwrap();
+        for (orig, quant) in m.layers().iter().zip(q.model.layers()) {
+            if let (Layer::Dense { weight: w0, .. }, Layer::Dense { weight: w1, .. }) = (orig, quant)
+            {
+                let max_abs = w0.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+                let step = max_abs / 127.0;
+                assert!(w0.max_abs_diff(w1).unwrap() <= step / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_model_stays_close_on_inference() {
+        let m = model();
+        let q = quantize_int8(&m).unwrap();
+        let x = Tensor::from_fn([8, 16], |i| ((i % 13) as f32 - 6.0) * 0.1);
+        let y0 = m.forward(&x, 1).unwrap();
+        let y1 = q.model.forward(&x, 1).unwrap();
+        assert!(y0.max_abs_diff(&y1).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn pruning_zeroes_requested_fraction() {
+        let m = model();
+        let p = prune_magnitude(&m, 0.5).unwrap();
+        let zeros = p.model.num_params() - count_nonzero(&p.model);
+        let frac = zeros as f32 / p.model.num_params() as f32;
+        assert!(frac > 0.4 && frac < 0.6, "pruned fraction = {frac}");
+        assert!(p.storage_bytes < m.param_bytes());
+    }
+
+    #[test]
+    fn version_ladder_is_monotone_in_size() {
+        let m = model();
+        let versions = default_versions(&m).unwrap();
+        assert_eq!(versions.len(), 4);
+        assert_eq!(versions[0].kind, CompressionKind::None);
+        // 80 % pruned must be smaller than 50 % pruned.
+        assert!(versions[3].storage_bytes < versions[2].storage_bytes);
+        // int8 must be smaller than the original.
+        assert!(versions[1].storage_bytes < versions[0].storage_bytes);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_itself() {
+        let t = Tensor::zeros([4, 4]);
+        assert_eq!(quantize_tensor(&t), t);
+    }
+}

@@ -1,0 +1,279 @@
+//! Binary model serialization for catalog storage.
+//!
+//! Managing models *inside* the RDBMS catalog (§4.1) requires a storable
+//! artifact. The format is a simple little-endian layout:
+//!
+//! ```text
+//! "RSNN" magic | u32 version | name | input shape | u32 layer count | layers
+//! ```
+//!
+//! where strings are `u32 len + bytes`, shapes are `u32 rank + u64 dims`,
+//! tensors are `shape + f32 data`, and each layer is a tag byte plus its
+//! fields.
+
+use crate::error::{Error, Result};
+use crate::layer::{Activation, Layer};
+use crate::model::Model;
+use bytes::{Buf, BufMut};
+use relserve_tensor::{Conv2dSpec, Shape, Tensor};
+
+const MAGIC: &[u8; 4] = b"RSNN";
+const VERSION: u32 = 1;
+
+const TAG_DENSE: u8 = 1;
+const TAG_CONV: u8 = 2;
+const TAG_FLATTEN: u8 = 3;
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(Error::Serde("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(Error::Serde("truncated string body".into()));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|e| Error::Serde(format!("invalid utf8: {e}")))
+}
+
+fn put_shape(buf: &mut Vec<u8>, shape: &Shape) {
+    buf.put_u32_le(shape.rank() as u32);
+    for d in shape.dims() {
+        buf.put_u64_le(*d as u64);
+    }
+}
+
+fn get_shape(buf: &mut &[u8]) -> Result<Shape> {
+    if buf.remaining() < 4 {
+        return Err(Error::Serde("truncated shape".into()));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(Error::Serde(format!("implausible rank {rank}")));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(Error::Serde("truncated shape dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    Ok(Shape::new(dims))
+}
+
+fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    put_shape(buf, t.shape());
+    for v in t.data() {
+        buf.put_f32_le(*v);
+    }
+}
+
+fn get_tensor(buf: &mut &[u8]) -> Result<Tensor> {
+    let shape = get_shape(buf)?;
+    let n = shape.num_elements();
+    if buf.remaining() < n * 4 {
+        return Err(Error::Serde("truncated tensor data".into()));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(shape, data)?)
+}
+
+fn activation_tag(a: Activation) -> u8 {
+    match a {
+        Activation::None => 0,
+        Activation::Relu => 1,
+        Activation::Softmax => 2,
+        Activation::Sigmoid => 3,
+        Activation::Tanh => 4,
+    }
+}
+
+fn activation_from(tag: u8) -> Result<Activation> {
+    Ok(match tag {
+        0 => Activation::None,
+        1 => Activation::Relu,
+        2 => Activation::Softmax,
+        3 => Activation::Sigmoid,
+        4 => Activation::Tanh,
+        other => return Err(Error::Serde(format!("unknown activation tag {other}"))),
+    })
+}
+
+/// Serialize a model to bytes.
+pub fn to_bytes(model: &Model) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + model.param_bytes());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    put_string(&mut buf, model.name());
+    put_shape(&mut buf, model.input_shape());
+    buf.put_u32_le(model.layers().len() as u32);
+    for layer in model.layers() {
+        match layer {
+            Layer::Dense {
+                weight,
+                bias,
+                activation,
+            } => {
+                buf.put_u8(TAG_DENSE);
+                buf.put_u8(activation_tag(*activation));
+                put_tensor(&mut buf, weight);
+                put_tensor(&mut buf, bias);
+            }
+            Layer::Conv2d {
+                kernel,
+                bias,
+                spec,
+                activation,
+            } => {
+                buf.put_u8(TAG_CONV);
+                buf.put_u8(activation_tag(*activation));
+                buf.put_u32_le(spec.stride as u32);
+                buf.put_u32_le(spec.padding as u32);
+                put_tensor(&mut buf, kernel);
+                put_tensor(&mut buf, bias);
+            }
+            Layer::Flatten => buf.put_u8(TAG_FLATTEN),
+        }
+    }
+    buf
+}
+
+/// Deserialize a model from bytes.
+pub fn from_bytes(mut buf: &[u8]) -> Result<Model> {
+    if buf.remaining() < 8 {
+        return Err(Error::Serde("shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Serde(format!("bad magic {magic:?}")));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(Error::Serde(format!("unsupported version {version}")));
+    }
+    let name = get_string(&mut buf)?;
+    let input_shape = get_shape(&mut buf)?;
+    if buf.remaining() < 4 {
+        return Err(Error::Serde("truncated layer count".into()));
+    }
+    let layers = buf.get_u32_le() as usize;
+    let mut model = Model::new(name, input_shape);
+    for _ in 0..layers {
+        if buf.remaining() < 1 {
+            return Err(Error::Serde("truncated layer tag".into()));
+        }
+        let tag = buf.get_u8();
+        let layer = match tag {
+            TAG_DENSE => {
+                let activation = activation_from(buf.get_u8())?;
+                let weight = get_tensor(&mut buf)?;
+                let bias = get_tensor(&mut buf)?;
+                Layer::Dense {
+                    weight,
+                    bias,
+                    activation,
+                }
+            }
+            TAG_CONV => {
+                let activation = activation_from(buf.get_u8())?;
+                let stride = buf.get_u32_le() as usize;
+                let padding = buf.get_u32_le() as usize;
+                let kernel = get_tensor(&mut buf)?;
+                let bias = get_tensor(&mut buf)?;
+                let kdims = kernel.shape().dims();
+                if kdims.len() != 4 {
+                    return Err(Error::Serde("conv kernel must be rank 4".into()));
+                }
+                let spec = Conv2dSpec {
+                    out_channels: kdims[0],
+                    kh: kdims[1],
+                    kw: kdims[2],
+                    in_channels: kdims[3],
+                    stride,
+                    padding,
+                };
+                Layer::Conv2d {
+                    kernel,
+                    bias,
+                    spec,
+                    activation,
+                }
+            }
+            TAG_FLATTEN => Layer::Flatten,
+            other => return Err(Error::Serde(format!("unknown layer tag {other}"))),
+        };
+        model = model.push(layer)?;
+    }
+    if buf.has_remaining() {
+        return Err(Error::Serde(format!(
+            "{} trailing bytes after model",
+            buf.remaining()
+        )));
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use crate::zoo;
+
+    #[test]
+    fn ffnn_roundtrip() {
+        let mut rng = seeded_rng(40);
+        let m = zoo::fraud_fc_256(&mut rng).unwrap();
+        let back = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn cnn_roundtrip_preserves_spec() {
+        let mut rng = seeded_rng(41);
+        let m = zoo::caching_cnn(&mut rng).unwrap();
+        let back = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+        // Inference must agree exactly.
+        let x = Tensor::from_fn([1, 28, 28, 1], |i| (i % 9) as f32 * 0.1);
+        assert_eq!(m.forward(&x, 1).unwrap(), back.forward(&x, 1).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let mut rng = seeded_rng(42);
+        let m = zoo::fraud_fc_256(&mut rng).unwrap();
+        let mut bytes = to_bytes(&m);
+        assert!(from_bytes(&bytes[..bytes.len() - 4]).is_err());
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+        assert!(from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut rng = seeded_rng(43);
+        let m = zoo::fraud_fc_256(&mut rng).unwrap();
+        let mut bytes = to_bytes(&m);
+        bytes.push(0);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_is_dominated_by_params() {
+        let mut rng = seeded_rng(44);
+        let m = zoo::fraud_fc_512(&mut rng).unwrap();
+        let bytes = to_bytes(&m);
+        assert!(bytes.len() >= m.param_bytes());
+        assert!(bytes.len() < m.param_bytes() + 1024);
+    }
+}

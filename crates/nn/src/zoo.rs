@@ -1,0 +1,201 @@
+//! The paper's model zoo (Tables 1–2, §7.2.1, §7.2.2).
+//!
+//! Every constructor takes an RNG so experiments are reproducible, and the
+//! large models take explicit dimension parameters so the benchmark harness
+//! can run them at paper scale or scaled down (the scale used is always
+//! printed by the harness and recorded in EXPERIMENTS.md).
+
+use crate::error::Result;
+use crate::layer::{Activation, Layer};
+use crate::model::Model;
+use rand::rngs::StdRng;
+
+/// Table 1 row 1 — Fraud-FC-256: features 28, hidden 256, outputs 2.
+pub fn fraud_fc_256(rng: &mut StdRng) -> Result<Model> {
+    one_hidden_fc("Fraud-FC-256", 28, 256, 2, rng)
+}
+
+/// Table 1 row 2 — Fraud-FC-512: features 28, hidden 512, outputs 2.
+pub fn fraud_fc_512(rng: &mut StdRng) -> Result<Model> {
+    one_hidden_fc("Fraud-FC-512", 28, 512, 2, rng)
+}
+
+/// Table 1 row 3 — Encoder-FC: features 76, hidden 3,072, outputs 768.
+///
+/// An encoder, not a classifier: the output layer is linear.
+pub fn encoder_fc(rng: &mut StdRng) -> Result<Model> {
+    Ok(Model::new("Encoder-FC", [76])
+        .push(Layer::dense(76, 3072, Activation::Relu, rng))?
+        .push(Layer::dense(3072, 768, Activation::None, rng))?)
+}
+
+/// Table 1 row 4 — Amazon-14k-FC: features 597,540, hidden 1,024,
+/// outputs 14,588, at `1/scale` of paper size (`scale = 1` is paper scale).
+///
+/// The weight matrix connecting input to hidden is the tensor that exceeds
+/// the 2 GB operator threshold in §7.1 and forces the relation-centric
+/// representation.
+pub fn amazon_14k_fc(scale: usize, rng: &mut StdRng) -> Result<Model> {
+    let scale = scale.max(1);
+    let features = 597_540 / scale;
+    let hidden = 1_024;
+    let outputs = (14_588 / scale).max(2);
+    let name = if scale == 1 {
+        "Amazon-14k-FC".to_string()
+    } else {
+        format!("Amazon-14k-FC/{scale}")
+    };
+    Ok(Model::new(name, [features])
+        .push(Layer::dense(features, hidden, Activation::Relu, rng))?
+        .push(Layer::dense(hidden, outputs, Activation::Softmax, rng))?)
+}
+
+/// Table 2 row 1 — DeepBench-CONV1: 112×112×64 input, 64 kernels of
+/// 64×1×1 (stride 1, padding 0).
+pub fn deepbench_conv1(rng: &mut StdRng) -> Result<Model> {
+    Ok(Model::new("DeepBench-CONV1", [112, 112, 64]).push(Layer::conv2d(
+        64,
+        64,
+        1,
+        1,
+        Activation::None,
+        rng,
+    ))?)
+}
+
+/// Table 2 row 2 — LandCover: 2500×2500×3 input, 2,048 kernels of 3×1×1,
+/// at `1/scale` spatial and channel size.
+///
+/// At paper scale (`scale = 1`) a single output feature map is
+/// `2500 × 2500 × 2048` floats = 51 GB, which is exactly why every
+/// non-relation-centric architecture OOMs in Table 3.
+pub fn landcover(scale: usize, rng: &mut StdRng) -> Result<Model> {
+    let scale = scale.max(1);
+    let side = 2_500 / scale;
+    let out_channels = (2_048 / scale).max(1);
+    let name = if scale == 1 {
+        "LandCover".to_string()
+    } else {
+        format!("LandCover/{scale}")
+    };
+    Ok(Model::new(name, [side, side, 3]).push(Layer::conv2d(
+        3,
+        out_channels,
+        1,
+        1,
+        Activation::None,
+        rng,
+    ))?)
+}
+
+/// §7.2.1 — the Bosch FFNN: 968 features, hidden 256, outputs 2.
+pub fn bosch_ffnn(rng: &mut StdRng) -> Result<Model> {
+    one_hidden_fc("Bosch-FFNN", 968, 256, 2, rng)
+}
+
+/// §7.2.2 — the result-cache CNN: two conv layers (32 then 16 kernels of
+/// 3×3) and two dense layers (64 then 10 neurons) over 28×28×1 images.
+pub fn caching_cnn(rng: &mut StdRng) -> Result<Model> {
+    let flat = 24 * 24 * 16; // 28 → 26 → 24 spatial after two unpadded 3×3 convs
+    Ok(Model::new("Caching-CNN", [28, 28, 1])
+        .push(Layer::conv2d(1, 32, 3, 3, Activation::Relu, rng))?
+        .push(Layer::conv2d(32, 16, 3, 3, Activation::Relu, rng))?
+        .push(Layer::Flatten)?
+        .push(Layer::dense(flat, 64, Activation::Relu, rng))?
+        .push(Layer::dense(64, 10, Activation::Softmax, rng))?)
+}
+
+/// §7.2.2 — the result-cache FFNN: four hidden layers of 128, 1,024, 2,048
+/// and 64 neurons over 784-dim (MNIST-like) inputs, 10 outputs.
+pub fn caching_ffnn(rng: &mut StdRng) -> Result<Model> {
+    Ok(Model::new("Caching-FFNN", [784])
+        .push(Layer::dense(784, 128, Activation::Relu, rng))?
+        .push(Layer::dense(128, 1024, Activation::Relu, rng))?
+        .push(Layer::dense(1024, 2048, Activation::Relu, rng))?
+        .push(Layer::dense(2048, 64, Activation::Relu, rng))?
+        .push(Layer::dense(64, 10, Activation::Softmax, rng))?)
+}
+
+fn one_hidden_fc(
+    name: &str,
+    features: usize,
+    hidden: usize,
+    outputs: usize,
+    rng: &mut StdRng,
+) -> Result<Model> {
+    Ok(Model::new(name, [features])
+        .push(Layer::dense(features, hidden, Activation::Relu, rng))?
+        .push(Layer::dense(hidden, outputs, Activation::Softmax, rng))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use relserve_tensor::Tensor;
+
+    #[test]
+    fn table1_dimensions() {
+        let mut rng = seeded_rng(20);
+        let m = fraud_fc_256(&mut rng).unwrap();
+        assert_eq!(m.input_shape().dims(), &[28]);
+        assert_eq!(m.output_shape().unwrap().dims(), &[2]);
+        assert_eq!(m.num_params(), 28 * 256 + 256 + 256 * 2 + 2);
+
+        let m = fraud_fc_512(&mut rng).unwrap();
+        assert_eq!(m.num_params(), 28 * 512 + 512 + 512 * 2 + 2);
+
+        let m = encoder_fc(&mut rng).unwrap();
+        assert_eq!(m.input_shape().dims(), &[76]);
+        assert_eq!(m.output_shape().unwrap().dims(), &[768]);
+    }
+
+    #[test]
+    fn amazon_scales_linearly() {
+        let mut rng = seeded_rng(21);
+        let m = amazon_14k_fc(100, &mut rng).unwrap();
+        assert_eq!(m.input_shape().dims(), &[5975]);
+        assert_eq!(m.output_shape().unwrap().dims(), &[145]);
+        assert!(m.name().contains("/100"));
+    }
+
+    #[test]
+    fn table2_dimensions() {
+        let mut rng = seeded_rng(22);
+        let m = deepbench_conv1(&mut rng).unwrap();
+        assert_eq!(m.input_shape().dims(), &[112, 112, 64]);
+        assert_eq!(m.output_shape().unwrap().dims(), &[112, 112, 64]);
+
+        let m = landcover(10, &mut rng).unwrap();
+        assert_eq!(m.input_shape().dims(), &[250, 250, 3]);
+        assert_eq!(m.output_shape().unwrap().dims(), &[250, 250, 204]);
+    }
+
+    #[test]
+    fn caching_models_run_forward() {
+        let mut rng = seeded_rng(23);
+        let cnn = caching_cnn(&mut rng).unwrap();
+        assert_eq!(cnn.output_shape().unwrap().dims(), &[10]);
+        let x = Tensor::from_fn([2, 28, 28, 1], |i| (i % 11) as f32 * 0.05);
+        let y = cnn.forward(&x, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 10]);
+
+        let ffnn = caching_ffnn(&mut rng).unwrap();
+        assert_eq!(ffnn.layers().len(), 5);
+        let x = Tensor::from_fn([2, 784], |i| (i % 7) as f32 * 0.1);
+        assert_eq!(ffnn.forward(&x, 2).unwrap().shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn bosch_matches_decomposition_experiment() {
+        let mut rng = seeded_rng(24);
+        let m = bosch_ffnn(&mut rng).unwrap();
+        // The §7.2.1 weight matrix W has shape 256 × 968.
+        match &m.layers()[0] {
+            crate::layer::Layer::Dense { weight, .. } => {
+                assert_eq!(weight.shape().dims(), &[256, 968]);
+            }
+            other => panic!("unexpected layer {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Scalar expressions over tuples.
+
+use crate::error::{Error, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Binary operators supported in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and (operands must be 0/1 ints).
+    And,
+    /// Logical or.
+    Or,
+}
+
+/// A scalar expression tree evaluated against one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The value of column `i`.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Absolute value of a float operand.
+    Abs(Box<Expr>),
+    /// Element `i` of a vector column.
+    VectorElem {
+        /// Column holding the vector.
+        column: usize,
+        /// Element index.
+        index: usize,
+    },
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand: binary op.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Column(i) => tuple.value(*i).cloned(),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Abs(inner) => Ok(Value::Float(inner.eval(tuple)?.as_float()?.abs())),
+            Expr::VectorElem { column, index } => {
+                let v = tuple.value(*column)?.as_vector()?;
+                v.get(*index).copied().map(Value::Float).ok_or_else(|| {
+                    Error::TypeError(format!("vector index {index} out of bounds ({})", v.len()))
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let l = lhs.eval(tuple)?;
+                let r = rhs.eval(tuple)?;
+                eval_binary(*op, &l, &r)
+            }
+        }
+    }
+
+    /// Evaluate as a boolean predicate (nonzero int / true comparison).
+    pub fn eval_bool(&self, tuple: &Tuple) -> Result<bool> {
+        Ok(self.eval(tuple)?.as_int()? != 0)
+    }
+}
+
+fn bool_val(b: bool) -> Value {
+    Value::Int(b as i64)
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And => return Ok(bool_val(l.as_int()? != 0 && r.as_int()? != 0)),
+        Or => return Ok(bool_val(l.as_int()? != 0 || r.as_int()? != 0)),
+        _ => {}
+    }
+    // Int-int stays exact; anything involving floats is computed in f32.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            Add => Value::Int(a + b),
+            Sub => Value::Int(a - b),
+            Mul => Value::Int(a * b),
+            Div => {
+                if *b == 0 {
+                    return Err(Error::TypeError("integer division by zero".into()));
+                }
+                Value::Int(a / b)
+            }
+            Eq => bool_val(a == b),
+            Ne => bool_val(a != b),
+            Lt => bool_val(a < b),
+            Le => bool_val(a <= b),
+            Gt => bool_val(a > b),
+            Ge => bool_val(a >= b),
+            And | Or => unreachable!("handled above"),
+        });
+    }
+    if let (Value::Text(a), Value::Text(b)) = (l, r) {
+        return Ok(match op {
+            Eq => bool_val(a == b),
+            Ne => bool_val(a != b),
+            Lt => bool_val(a < b),
+            Le => bool_val(a <= b),
+            Gt => bool_val(a > b),
+            Ge => bool_val(a >= b),
+            other => {
+                return Err(Error::TypeError(format!(
+                    "operator {other:?} not defined on text"
+                )))
+            }
+        });
+    }
+    let a = l.as_float()?;
+    let b = r.as_float()?;
+    Ok(match op {
+        Add => Value::Float(a + b),
+        Sub => Value::Float(a - b),
+        Mul => Value::Float(a * b),
+        Div => Value::Float(a / b),
+        Eq => bool_val(a == b),
+        Ne => bool_val(a != b),
+        Lt => bool_val(a < b),
+        Le => bool_val(a <= b),
+        Gt => bool_val(a > b),
+        Ge => bool_val(a >= b),
+        And | Or => unreachable!("handled above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Tuple {
+        Tuple::new(vec![
+            Value::Int(10),
+            Value::Float(2.5),
+            Value::Text("abc".into()),
+            Value::Vector(vec![1.0, 4.0, 9.0]),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(Expr::col(0).eval(&row()).unwrap(), Value::Int(10));
+        assert_eq!(Expr::lit(5i64).eval(&row()).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_exact() {
+        let e = Expr::bin(BinOp::Add, Expr::col(0), Expr::lit(5i64));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Int(15));
+        let div0 = Expr::bin(BinOp::Div, Expr::col(0), Expr::lit(0i64));
+        assert!(div0.eval(&row()).is_err());
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        let e = Expr::bin(BinOp::Mul, Expr::col(0), Expr::col(1));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Float(25.0));
+    }
+
+    #[test]
+    fn comparisons_as_predicates() {
+        let e = Expr::bin(BinOp::Gt, Expr::col(1), Expr::lit(2.0f32));
+        assert!(e.eval_bool(&row()).unwrap());
+        let e = Expr::bin(BinOp::Eq, Expr::col(2), Expr::lit("abc"));
+        assert!(e.eval_bool(&row()).unwrap());
+        let e = Expr::bin(BinOp::Eq, Expr::col(2), Expr::lit("xyz"));
+        assert!(!e.eval_bool(&row()).unwrap());
+    }
+
+    #[test]
+    fn logic_ops() {
+        let t = Expr::lit(1i64);
+        let f = Expr::lit(0i64);
+        assert!(Expr::bin(BinOp::And, t.clone(), t.clone()).eval_bool(&row()).unwrap());
+        assert!(!Expr::bin(BinOp::And, t.clone(), f.clone()).eval_bool(&row()).unwrap());
+        assert!(Expr::bin(BinOp::Or, f.clone(), t).eval_bool(&row()).unwrap());
+        assert!(!Expr::bin(BinOp::Or, f.clone(), f).eval_bool(&row()).unwrap());
+    }
+
+    #[test]
+    fn abs_and_vector_elem() {
+        // |features[1] - 5| = 1 — the similarity-join predicate shape (§7.2.1).
+        let e = Expr::Abs(Box::new(Expr::bin(
+            BinOp::Sub,
+            Expr::VectorElem { column: 3, index: 1 },
+            Expr::lit(5.0f32),
+        )));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Float(1.0));
+        let oob = Expr::VectorElem { column: 3, index: 10 };
+        assert!(oob.eval(&row()).is_err());
+    }
+
+    #[test]
+    fn text_arithmetic_rejected() {
+        let e = Expr::bin(BinOp::Add, Expr::col(2), Expr::col(2));
+        assert!(e.eval(&row()).is_err());
+    }
+}

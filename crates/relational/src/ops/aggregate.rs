@@ -1,0 +1,313 @@
+//! Hash aggregation with group-by.
+
+use super::{hash_key, Operator};
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::schema::{Column, DataType, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Sum of a float expression.
+    Sum,
+    /// Minimum of a float expression.
+    Min,
+    /// Maximum of a float expression.
+    Max,
+    /// Arithmetic mean of a float expression.
+    Avg,
+}
+
+/// One aggregate column: a function over an expression, with an output name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input expression (ignored for `Count`).
+    pub expr: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// Shorthand constructor.
+    pub fn new(func: AggFunc, expr: Expr, name: impl Into<String>) -> Self {
+        AggSpec {
+            func,
+            expr,
+            name: name.into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: f32,
+    max: f32,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+        }
+    }
+
+    fn update(&mut self, v: f32) {
+        self.count += 1;
+        self.sum += v as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum as f32),
+            AggFunc::Min => Value::Float(self.min),
+            AggFunc::Max => Value::Float(self.max),
+            AggFunc::Avg => Value::Float(if self.count == 0 {
+                0.0
+            } else {
+                (self.sum / self.count as f64) as f32
+            }),
+        }
+    }
+}
+
+/// Hash aggregation: `GROUP BY group_exprs` computing `aggs`.
+///
+/// With an empty `group_exprs` list this is a full-table aggregate that
+/// always emits exactly one row.
+pub struct HashAggregate<'a> {
+    child: Option<Box<dyn Operator + 'a>>,
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    output: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl<'a> HashAggregate<'a> {
+    /// Build the aggregation operator.
+    ///
+    /// `group_names` gives output names for the group-by columns.
+    pub fn new(
+        child: Box<dyn Operator + 'a>,
+        group_exprs: Vec<Expr>,
+        group_names: Vec<String>,
+        aggs: Vec<AggSpec>,
+    ) -> Result<Self> {
+        if group_exprs.len() != group_names.len() {
+            return Err(Error::Plan(format!(
+                "{} group exprs but {} names",
+                group_exprs.len(),
+                group_names.len()
+            )));
+        }
+        if aggs.is_empty() {
+            return Err(Error::Plan("aggregation without aggregates".into()));
+        }
+        let mut columns: Vec<Column> = Vec::new();
+        for (name, expr) in group_names.iter().zip(&group_exprs) {
+            // Group columns keep the type of a sample evaluation; since we
+            // cannot evaluate before execution, declare Int for column refs
+            // to Int and Float otherwise — refined below at execution.
+            let _ = expr;
+            columns.push(Column::new(name.clone(), DataType::Float));
+        }
+        for a in &aggs {
+            let dtype = match a.func {
+                AggFunc::Count => DataType::Int,
+                _ => DataType::Float,
+            };
+            columns.push(Column::new(a.name.clone(), dtype));
+        }
+        Ok(HashAggregate {
+            child: Some(child),
+            group_exprs,
+            aggs,
+            schema: Schema::new(columns),
+            output: None,
+        })
+    }
+
+    fn run(&mut self) -> Result<Vec<Tuple>> {
+        let mut child = self.child.take().expect("run called once");
+        // key bytes → (group values, per-agg state)
+        let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+        let no_groups = self.group_exprs.is_empty();
+        while let Some(t) = child.next()? {
+            let group_vals: Vec<Value> = self
+                .group_exprs
+                .iter()
+                .map(|e| e.eval(&t))
+                .collect::<Result<_>>()?;
+            let key = hash_key(&group_vals);
+            let entry = groups
+                .entry(key)
+                .or_insert_with(|| (group_vals, vec![AggState::new(); self.aggs.len()]));
+            for (spec, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
+                match spec.func {
+                    AggFunc::Count => state.update(0.0),
+                    _ => state.update(spec.expr.eval(&t)?.as_float()?),
+                }
+            }
+        }
+        if no_groups && groups.is_empty() {
+            groups.insert(Vec::new(), (Vec::new(), vec![AggState::new(); self.aggs.len()]));
+        }
+        let mut rows: Vec<Tuple> = groups
+            .into_values()
+            .map(|(mut vals, states)| {
+                for (spec, state) in self.aggs.iter().zip(&states) {
+                    vals.push(state.finish(spec.func));
+                }
+                Tuple::new(vals)
+            })
+            .collect();
+        // Deterministic output order helps tests and reproducibility.
+        rows.sort_by(|a, b| format!("{:?}", a.values()).cmp(&format!("{:?}", b.values())));
+        Ok(rows)
+    }
+}
+
+impl Operator for HashAggregate<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.output.is_none() {
+            let rows = self.run()?;
+            self.output = Some(rows.into_iter());
+        }
+        Ok(self.output.as_mut().expect("set above").next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::id_score_schema;
+    use crate::ops::{collect, MemScan};
+
+    fn rows(pairs: &[(i64, f32)]) -> Vec<Tuple> {
+        pairs
+            .iter()
+            .map(|(i, s)| Tuple::new(vec![Value::Int(*i), Value::Float(*s)]))
+            .collect()
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let scan = MemScan::new(
+            id_score_schema(),
+            rows(&[(1, 10.0), (1, 20.0), (2, 5.0), (2, 7.0), (3, 1.0)]),
+        );
+        let mut agg = HashAggregate::new(
+            Box::new(scan),
+            vec![Expr::col(0)],
+            vec!["id".into()],
+            vec![
+                AggSpec::new(AggFunc::Sum, Expr::col(1), "total"),
+                AggSpec::new(AggFunc::Count, Expr::col(1), "n"),
+            ],
+        )
+        .unwrap();
+        let out = collect(&mut agg).unwrap();
+        assert_eq!(out.len(), 3);
+        let row1 = out
+            .iter()
+            .find(|t| t.value(0).unwrap().as_int().unwrap() == 1)
+            .unwrap();
+        assert_eq!(row1.value(1).unwrap(), &Value::Float(30.0));
+        assert_eq!(row1.value(2).unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let scan = MemScan::new(id_score_schema(), rows(&[(1, 2.0), (2, 4.0), (3, 9.0)]));
+        let mut agg = HashAggregate::new(
+            Box::new(scan),
+            vec![],
+            vec![],
+            vec![
+                AggSpec::new(AggFunc::Avg, Expr::col(1), "avg"),
+                AggSpec::new(AggFunc::Min, Expr::col(1), "min"),
+                AggSpec::new(AggFunc::Max, Expr::col(1), "max"),
+            ],
+        )
+        .unwrap();
+        let out = collect(&mut agg).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0).unwrap(), &Value::Float(5.0));
+        assert_eq!(out[0].value(1).unwrap(), &Value::Float(2.0));
+        assert_eq!(out[0].value(2).unwrap(), &Value::Float(9.0));
+    }
+
+    #[test]
+    fn empty_input_global_aggregate_emits_one_row() {
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        let mut agg = HashAggregate::new(
+            Box::new(scan),
+            vec![],
+            vec![],
+            vec![AggSpec::new(AggFunc::Count, Expr::col(0), "n")],
+        )
+        .unwrap();
+        let out = collect(&mut agg).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value(0).unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn empty_input_grouped_aggregate_emits_nothing() {
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        let mut agg = HashAggregate::new(
+            Box::new(scan),
+            vec![Expr::col(0)],
+            vec!["id".into()],
+            vec![AggSpec::new(AggFunc::Count, Expr::col(0), "n")],
+        )
+        .unwrap();
+        assert!(collect(&mut agg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_validation() {
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        assert!(HashAggregate::new(Box::new(scan), vec![Expr::col(0)], vec![], vec![]).is_err());
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        assert!(HashAggregate::new(Box::new(scan), vec![], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn schema_names_and_types() {
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        let agg = HashAggregate::new(
+            Box::new(scan),
+            vec![Expr::col(0)],
+            vec!["g".into()],
+            vec![
+                AggSpec::new(AggFunc::Count, Expr::col(1), "n"),
+                AggSpec::new(AggFunc::Sum, Expr::col(1), "s"),
+            ],
+        )
+        .unwrap();
+        let s = agg.schema();
+        assert_eq!(s.column(0).unwrap().name, "g");
+        assert_eq!(s.column(1).unwrap().name, "n");
+        assert_eq!(s.column(1).unwrap().dtype, DataType::Int);
+        assert_eq!(s.column(2).unwrap().dtype, DataType::Float);
+    }
+}

@@ -1,0 +1,77 @@
+//! Filter (selection) operator.
+
+use super::Operator;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Passes through tuples for which the predicate evaluates true.
+pub struct Filter<'a> {
+    child: Box<dyn Operator + 'a>,
+    predicate: Expr,
+}
+
+impl<'a> Filter<'a> {
+    /// Filter `child` by `predicate`.
+    pub fn new(child: Box<dyn Operator + 'a>, predicate: Expr) -> Self {
+        Filter { child, predicate }
+    }
+}
+
+impl Operator for Filter<'_> {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.child.next()? {
+            if self.predicate.eval_bool(&t)? {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::ops::testutil::{id_score_rows, id_score_schema};
+    use crate::ops::{collect, MemScan};
+    use crate::value::Value;
+
+    #[test]
+    fn keeps_matching_rows() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(10, |i| i as f32));
+        let mut filter = Filter::new(
+            Box::new(scan),
+            Expr::bin(BinOp::Ge, Expr::col(1), Expr::lit(7.0f32)),
+        );
+        let rows = collect(&mut filter).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value(0).unwrap(), &Value::Int(7));
+    }
+
+    #[test]
+    fn rejects_all() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(5, |_| 1.0));
+        let mut filter = Filter::new(
+            Box::new(scan),
+            Expr::bin(BinOp::Lt, Expr::col(1), Expr::lit(0.0f32)),
+        );
+        assert!(collect(&mut filter).unwrap().is_empty());
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(1, |_| 1.0));
+        // Comparing an int column to text is a type error at eval time.
+        let mut filter = Filter::new(
+            Box::new(scan),
+            Expr::bin(BinOp::Eq, Expr::col(0), Expr::lit("oops")),
+        );
+        assert!(filter.next().is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Hash equi-join.
+
+use super::{hash_key, Operator};
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Classic build/probe hash equi-join.
+///
+/// The right (build) side is materialized into a hash table keyed by its
+/// join expressions; the left side streams and probes. Output tuples are
+/// `left ++ right`.
+pub struct HashJoin<'a> {
+    left: Box<dyn Operator + 'a>,
+    right_keys: Vec<Expr>,
+    left_keys: Vec<Expr>,
+    schema: Schema,
+    /// Build table: key bytes → matching right tuples.
+    build: Option<HashMap<Vec<u8>, Vec<Tuple>>>,
+    /// Right operator, consumed on first `next`.
+    right: Option<Box<dyn Operator + 'a>>,
+    /// Current probe state: the left tuple and remaining right matches.
+    pending: Vec<Tuple>,
+    pending_left: Option<Tuple>,
+    pending_idx: usize,
+}
+
+impl<'a> HashJoin<'a> {
+    /// Join `left ⋈ right` on `left_keys[i] == right_keys[i]` for all `i`.
+    pub fn new(
+        left: Box<dyn Operator + 'a>,
+        right: Box<dyn Operator + 'a>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    ) -> Result<Self> {
+        if left_keys.is_empty() || left_keys.len() != right_keys.len() {
+            return Err(crate::error::Error::Plan(format!(
+                "hash join needs matching non-empty key lists ({} vs {})",
+                left_keys.len(),
+                right_keys.len()
+            )));
+        }
+        let schema = left.schema().join(right.schema());
+        Ok(HashJoin {
+            left,
+            right_keys,
+            left_keys,
+            schema,
+            build: None,
+            right: Some(right),
+            pending: Vec::new(),
+            pending_left: None,
+            pending_idx: 0,
+        })
+    }
+
+    fn eval_keys(keys: &[Expr], tuple: &Tuple) -> Result<Vec<Value>> {
+        keys.iter().map(|k| k.eval(tuple)).collect()
+    }
+
+    fn build_side(&mut self) -> Result<()> {
+        let mut right = self.right.take().expect("build called once");
+        let mut table: HashMap<Vec<u8>, Vec<Tuple>> = HashMap::new();
+        while let Some(t) = right.next()? {
+            let key = hash_key(&Self::eval_keys(&self.right_keys, &t)?);
+            table.entry(key).or_default().push(t);
+        }
+        self.build = Some(table);
+        Ok(())
+    }
+}
+
+impl Operator for HashJoin<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.build.is_none() {
+            self.build_side()?;
+        }
+        loop {
+            // Drain matches for the current left tuple first.
+            if let Some(left) = &self.pending_left {
+                if self.pending_idx < self.pending.len() {
+                    let joined = left.clone().join(&self.pending[self.pending_idx]);
+                    self.pending_idx += 1;
+                    return Ok(Some(joined));
+                }
+                self.pending_left = None;
+            }
+            let Some(left) = self.left.next()? else {
+                return Ok(None);
+            };
+            let key = hash_key(&Self::eval_keys(&self.left_keys, &left)?);
+            let matches = self
+                .build
+                .as_ref()
+                .expect("built above")
+                .get(&key)
+                .cloned()
+                .unwrap_or_default();
+            if matches.is_empty() {
+                continue;
+            }
+            self.pending = matches;
+            self.pending_idx = 0;
+            self.pending_left = Some(left);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::id_score_schema;
+    use crate::ops::{collect, MemScan};
+    use crate::schema::{Column, DataType};
+
+    fn rows(pairs: &[(i64, f32)]) -> Vec<Tuple> {
+        pairs
+            .iter()
+            .map(|(i, s)| Tuple::new(vec![Value::Int(*i), Value::Float(*s)]))
+            .collect()
+    }
+
+    #[test]
+    fn inner_join_on_int_key() {
+        let left = MemScan::new(id_score_schema(), rows(&[(1, 10.0), (2, 20.0), (3, 30.0)]));
+        let right = MemScan::new(id_score_schema(), rows(&[(2, 200.0), (3, 300.0), (4, 400.0)]));
+        let mut join = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+        )
+        .unwrap();
+        assert_eq!(join.schema().arity(), 4);
+        let out = collect(&mut join).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value(0).unwrap(), &Value::Int(2));
+        assert_eq!(out[0].value(3).unwrap(), &Value::Float(200.0));
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cross_products() {
+        let left = MemScan::new(id_score_schema(), rows(&[(1, 1.0), (1, 2.0)]));
+        let right = MemScan::new(id_score_schema(), rows(&[(1, 10.0), (1, 20.0), (1, 30.0)]));
+        let mut join = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+        )
+        .unwrap();
+        assert_eq!(collect(&mut join).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn disjoint_keys_yield_nothing() {
+        let left = MemScan::new(id_score_schema(), rows(&[(1, 1.0)]));
+        let right = MemScan::new(id_score_schema(), rows(&[(2, 2.0)]));
+        let mut join = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+        )
+        .unwrap();
+        assert!(collect(&mut join).unwrap().is_empty());
+    }
+
+    #[test]
+    fn composite_keys() {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]);
+        let mk = |pairs: &[(i64, i64)]| {
+            pairs
+                .iter()
+                .map(|(a, b)| Tuple::new(vec![Value::Int(*a), Value::Int(*b)]))
+                .collect::<Vec<_>>()
+        };
+        let left = MemScan::new(schema.clone(), mk(&[(1, 1), (1, 2)]));
+        let right = MemScan::new(schema, mk(&[(1, 1), (1, 3)]));
+        let mut join = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            vec![Expr::col(0), Expr::col(1)],
+            vec![Expr::col(0), Expr::col(1)],
+        )
+        .unwrap();
+        // Only (1,1) matches on both columns.
+        assert_eq!(collect(&mut join).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_key_lists_rejected() {
+        let left = MemScan::new(id_score_schema(), vec![]);
+        let right = MemScan::new(id_score_schema(), vec![]);
+        assert!(HashJoin::new(Box::new(left), Box::new(right), vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn joined_schema_prefixes_duplicates() {
+        let left = MemScan::new(id_score_schema(), vec![]);
+        let right = MemScan::new(id_score_schema(), vec![]);
+        let join = HashJoin::new(
+            Box::new(left),
+            Box::new(right),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+        )
+        .unwrap();
+        assert_eq!(join.schema().column(2).unwrap().name, "r.id");
+    }
+}

@@ -1,0 +1,80 @@
+//! Pull-based (Volcano-style) relational operators.
+//!
+//! Operators form a tree; calling [`Operator::next`] on the root pulls one
+//! tuple at a time through the pipeline. The set implemented here is exactly
+//! what the paper's experiments need: sequential scan, filter, projection,
+//! hash equi-join, similarity join (§7.2.1), hash aggregation (the
+//! "join followed by an aggregation" that matmul lowers to at tuple level),
+//! plus sort and limit for top-k result queries.
+
+mod aggregate;
+mod filter;
+mod hash_join;
+mod project;
+mod scan;
+mod sim_join;
+mod sort;
+
+pub use aggregate::{AggFunc, AggSpec, HashAggregate};
+pub use filter::Filter;
+pub use hash_join::HashJoin;
+pub use project::Project;
+pub use scan::{MemScan, SeqScan};
+pub use sim_join::SimilarityJoin;
+pub use sort::{Limit, Sort, SortOrder};
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A pull-based relational operator.
+pub trait Operator {
+    /// Schema of the tuples this operator produces.
+    fn schema(&self) -> &Schema;
+
+    /// Produce the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+}
+
+/// Drain an operator into a vector.
+pub fn collect(op: &mut dyn Operator) -> Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    while let Some(t) = op.next()? {
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Encode a list of key values into a hashable byte key.
+///
+/// Floats are keyed by their bit pattern, so `-0.0` and `0.0` are distinct
+/// keys — acceptable for the synthetic workloads, documented here.
+pub(crate) fn hash_key(values: &[Value]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(values.len() * 9);
+    for v in values {
+        v.encode(&mut key);
+    }
+    key
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    /// An `(id: Int, score: Float)` schema used across operator tests.
+    pub fn id_score_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("score", DataType::Float),
+        ])
+    }
+
+    /// Rows `(i, f(i))` for `i in 0..n`.
+    pub fn id_score_rows(n: i64, f: impl Fn(i64) -> f32) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Float(f(i))]))
+            .collect()
+    }
+}

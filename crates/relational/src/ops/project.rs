@@ -1,0 +1,80 @@
+//! Projection operator.
+
+use super::Operator;
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Keeps only the given columns, in the given order.
+pub struct Project<'a> {
+    child: Box<dyn Operator + 'a>,
+    indices: Vec<usize>,
+    schema: Schema,
+}
+
+impl<'a> Project<'a> {
+    /// Project `child` onto `indices`.
+    pub fn new(child: Box<dyn Operator + 'a>, indices: Vec<usize>) -> Result<Self> {
+        let schema = child.schema().project(&indices)?;
+        Ok(Project {
+            child,
+            indices,
+            schema,
+        })
+    }
+
+    /// Project by column names.
+    pub fn by_names(child: Box<dyn Operator + 'a>, names: &[&str]) -> Result<Self> {
+        let indices = names
+            .iter()
+            .map(|n| child.schema().index_of(n))
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(child, indices)
+    }
+}
+
+impl Operator for Project<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.child.next()? {
+            Some(t) => Ok(Some(t.project(&self.indices)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{id_score_rows, id_score_schema};
+    use crate::ops::{collect, MemScan};
+    use crate::value::Value;
+
+    #[test]
+    fn selects_and_reorders() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(3, |i| i as f32 * 10.0));
+        let mut p = Project::new(Box::new(scan), vec![1, 0]).unwrap();
+        assert_eq!(p.schema().column(0).unwrap().name, "score");
+        let rows = collect(&mut p).unwrap();
+        assert_eq!(rows[2].values(), &[Value::Float(20.0), Value::Int(2)]);
+    }
+
+    #[test]
+    fn by_names_resolves() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(1, |_| 0.0));
+        let mut p = Project::by_names(Box::new(scan), &["score"]).unwrap();
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(collect(&mut p).unwrap()[0].arity(), 1);
+    }
+
+    #[test]
+    fn unknown_column_fails_at_plan_time() {
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        assert!(Project::by_names(Box::new(scan), &["nope"]).is_err());
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        assert!(Project::new(Box::new(scan), vec![5]).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Scan operators: sequential table scan and in-memory scan.
+
+use super::Operator;
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::tuple::Tuple;
+
+/// Sequential scan over a stored table (reads through the buffer pool).
+pub struct SeqScan<'a> {
+    schema: Schema,
+    iter: Box<dyn Iterator<Item = Result<Tuple>> + 'a>,
+}
+
+impl<'a> SeqScan<'a> {
+    /// Scan all live tuples of `table`.
+    pub fn new(table: &'a Table) -> Self {
+        SeqScan {
+            schema: table.schema().clone(),
+            iter: Box::new(table.scan()),
+        }
+    }
+}
+
+impl Operator for SeqScan<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        self.iter.next().transpose()
+    }
+}
+
+/// Scan over an in-memory tuple vector (test fixtures, staged intermediates).
+pub struct MemScan {
+    schema: Schema,
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl MemScan {
+    /// Scan `rows` with the given schema.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        MemScan {
+            schema,
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl Operator for MemScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        Ok(self.rows.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{id_score_rows, id_score_schema};
+    use crate::ops::collect;
+    use crate::value::Value;
+    use relserve_storage::{BufferPool, DiskManager};
+    use std::sync::Arc;
+
+    #[test]
+    fn mem_scan_yields_all() {
+        let mut scan = MemScan::new(id_score_schema(), id_score_rows(5, |i| i as f32));
+        let rows = collect(&mut scan).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[3].value(0).unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn seq_scan_reads_table() {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 4));
+        let table = Table::create(pool, "t", id_score_schema());
+        for row in id_score_rows(10, |i| i as f32 * 2.0) {
+            table.insert(&row).unwrap();
+        }
+        let mut scan = SeqScan::new(&table);
+        assert_eq!(scan.schema().arity(), 2);
+        let rows = collect(&mut scan).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[4].value(1).unwrap(), &Value::Float(8.0));
+    }
+
+    #[test]
+    fn empty_scan_terminates() {
+        let mut scan = MemScan::new(id_score_schema(), vec![]);
+        assert!(scan.next().unwrap().is_none());
+        assert!(scan.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Sort and limit operators.
+
+use super::Operator;
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first.
+    Ascending,
+    /// Largest first.
+    Descending,
+}
+
+/// Materializing sort on one key expression.
+///
+/// Inference queries use this for "top risk scores first" style output; the
+/// sort key may be any scalar expression (int, float, or text).
+pub struct Sort<'a> {
+    child: Option<Box<dyn Operator + 'a>>,
+    key: Expr,
+    order: SortOrder,
+    schema: Schema,
+    sorted: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl<'a> Sort<'a> {
+    /// Sort `child` by `key` in `order`.
+    pub fn new(child: Box<dyn Operator + 'a>, key: Expr, order: SortOrder) -> Self {
+        let schema = child.schema().clone();
+        Sort {
+            child: Some(child),
+            key,
+            order,
+            schema,
+            sorted: None,
+        }
+    }
+
+    fn run(&mut self) -> Result<Vec<Tuple>> {
+        let mut child = self.child.take().expect("run called once");
+        let mut rows: Vec<(Tuple, Value)> = Vec::new();
+        while let Some(t) = child.next()? {
+            let key = self.key.eval(&t)?;
+            rows.push((t, key));
+        }
+        let cmp = |a: &Value, b: &Value| -> Result<std::cmp::Ordering> {
+            Ok(match (a, b) {
+                (Value::Int(x), Value::Int(y)) => x.cmp(y),
+                (Value::Text(x), Value::Text(y)) => x.cmp(y),
+                _ => a.as_float()?.total_cmp(&b.as_float()?),
+            })
+        };
+        // Validate comparability once, then sort with the infallible total order.
+        if let Some((_, first)) = rows.first() {
+            for (_, key) in &rows {
+                cmp(first, key)?;
+            }
+        }
+        rows.sort_by(|(_, a), (_, b)| cmp(a, b).unwrap_or(std::cmp::Ordering::Equal));
+        if self.order == SortOrder::Descending {
+            rows.reverse();
+        }
+        Ok(rows.into_iter().map(|(t, _)| t).collect())
+    }
+}
+
+impl Operator for Sort<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.sorted.is_none() {
+            let rows = self.run()?;
+            self.sorted = Some(rows.into_iter());
+        }
+        Ok(self.sorted.as_mut().expect("set above").next())
+    }
+}
+
+/// Pass through at most `limit` tuples.
+pub struct Limit<'a> {
+    child: Box<dyn Operator + 'a>,
+    remaining: usize,
+}
+
+impl<'a> Limit<'a> {
+    /// Limit `child` to `limit` rows.
+    pub fn new(child: Box<dyn Operator + 'a>, limit: usize) -> Result<Self> {
+        if limit == 0 {
+            return Err(Error::Plan("LIMIT 0 yields nothing; reject it".into()));
+        }
+        Ok(Limit {
+            child,
+            remaining: limit,
+        })
+    }
+}
+
+impl Operator for Limit<'_> {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(t) => {
+                self.remaining -= 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{id_score_rows, id_score_schema};
+    use crate::ops::{collect, MemScan};
+
+    fn ids(rows: &[Tuple]) -> Vec<i64> {
+        rows.iter()
+            .map(|t| t.value(0).unwrap().as_int().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sort_ascending_by_float() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(5, |i| (5 - i) as f32));
+        let mut sort = Sort::new(Box::new(scan), Expr::col(1), SortOrder::Ascending);
+        let rows = collect(&mut sort).unwrap();
+        assert_eq!(ids(&rows), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sort_descending_by_int() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(4, |i| i as f32));
+        let mut sort = Sort::new(Box::new(scan), Expr::col(0), SortOrder::Descending);
+        let rows = collect(&mut sort).unwrap();
+        assert_eq!(ids(&rows), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sort_empty_input() {
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        let mut sort = Sort::new(Box::new(scan), Expr::col(0), SortOrder::Ascending);
+        assert!(collect(&mut sort).unwrap().is_empty());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(10, |i| i as f32));
+        let mut limit = Limit::new(Box::new(scan), 3).unwrap();
+        assert_eq!(collect(&mut limit).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn limit_larger_than_input() {
+        let scan = MemScan::new(id_score_schema(), id_score_rows(2, |i| i as f32));
+        let mut limit = Limit::new(Box::new(scan), 100).unwrap();
+        assert_eq!(collect(&mut limit).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn limit_zero_rejected() {
+        let scan = MemScan::new(id_score_schema(), vec![]);
+        assert!(Limit::new(Box::new(scan), 0).is_err());
+    }
+
+    #[test]
+    fn top_k_pipeline() {
+        // Sort desc + limit = top-k: the "top risk scores" query shape.
+        let scan = MemScan::new(id_score_schema(), id_score_rows(20, |i| ((i * 7) % 20) as f32));
+        let sort = Sort::new(Box::new(scan), Expr::col(1), SortOrder::Descending);
+        let mut topk = Limit::new(Box::new(sort), 3).unwrap();
+        let rows = collect(&mut topk).unwrap();
+        let scores: Vec<f32> = rows
+            .iter()
+            .map(|t| t.value(1).unwrap().as_float().unwrap())
+            .collect();
+        assert_eq!(scores, vec![19.0, 18.0, 17.0]);
+    }
+}

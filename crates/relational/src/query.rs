@@ -1,0 +1,255 @@
+//! A fluent builder over the operator tree.
+//!
+//! Inference queries nest relational preparation around model invocation
+//! (§1); this builder gives the upper layers an ergonomic way to compose
+//! scans, filters, joins, aggregates, sorts and limits without hand-wiring
+//! boxed operators.
+//!
+//! ```
+//! # use relserve_relational::query::Query;
+//! # use relserve_relational::ops::{AggFunc, AggSpec, SortOrder};
+//! # use relserve_relational::{Column, DataType, Expr, Schema, Table, Tuple, Value};
+//! # use relserve_relational::expr::BinOp;
+//! # use relserve_storage::{BufferPool, DiskManager};
+//! # use std::sync::Arc;
+//! # let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 8));
+//! # let schema = Schema::new(vec![Column::new("id", DataType::Int),
+//! #                               Column::new("score", DataType::Float)]);
+//! # let table = Table::create(pool, "t", schema);
+//! # for i in 0..10 {
+//! #     table.insert(&Tuple::new(vec![Value::Int(i), Value::Float(i as f32)])).unwrap();
+//! # }
+//! let top = Query::scan(&table)
+//!     .filter(Expr::bin(BinOp::Ge, Expr::col(1), Expr::lit(3.0f32)))
+//!     .sort(Expr::col(1), SortOrder::Descending)
+//!     .limit(3)
+//!     .unwrap()
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(top.len(), 3);
+//! ```
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::ops::{
+    collect, AggSpec, Filter, HashAggregate, HashJoin, Limit, MemScan, Operator, Project, SeqScan,
+    SimilarityJoin, Sort, SortOrder,
+};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::tuple::Tuple;
+
+/// A composable query over boxed operators.
+pub struct Query<'a> {
+    root: Box<dyn Operator + 'a>,
+}
+
+impl<'a> Query<'a> {
+    /// Start from a table scan.
+    pub fn scan(table: &'a Table) -> Self {
+        Query {
+            root: Box::new(SeqScan::new(table)),
+        }
+    }
+
+    /// Start from in-memory rows.
+    pub fn values(schema: Schema, rows: Vec<Tuple>) -> Self {
+        Query {
+            root: Box::new(MemScan::new(schema, rows)),
+        }
+    }
+
+    /// Schema of the current query result.
+    pub fn schema(&self) -> &Schema {
+        self.root.schema()
+    }
+
+    /// Keep rows matching `predicate`.
+    pub fn filter(self, predicate: Expr) -> Self {
+        Query {
+            root: Box::new(Filter::new(self.root, predicate)),
+        }
+    }
+
+    /// Keep the given columns, in order.
+    pub fn project(self, indices: Vec<usize>) -> Result<Self> {
+        Ok(Query {
+            root: Box::new(Project::new(self.root, indices)?),
+        })
+    }
+
+    /// Keep the named columns, in order.
+    pub fn project_names(self, names: &[&str]) -> Result<Self> {
+        Ok(Query {
+            root: Box::new(Project::by_names(self.root, names)?),
+        })
+    }
+
+    /// Hash equi-join with another query.
+    pub fn join(self, right: Query<'a>, left_keys: Vec<Expr>, right_keys: Vec<Expr>) -> Result<Self> {
+        Ok(Query {
+            root: Box::new(HashJoin::new(self.root, right.root, left_keys, right_keys)?),
+        })
+    }
+
+    /// Similarity (band) join: `|left_key - right_key| ≤ epsilon`.
+    pub fn similarity_join(
+        self,
+        right: Query<'a>,
+        left_key: Expr,
+        right_key: Expr,
+        epsilon: f32,
+    ) -> Result<Self> {
+        Ok(Query {
+            root: Box::new(SimilarityJoin::new(
+                self.root, right.root, left_key, right_key, epsilon,
+            )?),
+        })
+    }
+
+    /// Group-by aggregation.
+    pub fn aggregate(
+        self,
+        group_exprs: Vec<Expr>,
+        group_names: Vec<String>,
+        aggs: Vec<AggSpec>,
+    ) -> Result<Self> {
+        Ok(Query {
+            root: Box::new(HashAggregate::new(self.root, group_exprs, group_names, aggs)?),
+        })
+    }
+
+    /// Sort by one key expression.
+    pub fn sort(self, key: Expr, order: SortOrder) -> Self {
+        Query {
+            root: Box::new(Sort::new(self.root, key, order)),
+        }
+    }
+
+    /// Keep at most `n` rows.
+    pub fn limit(self, n: usize) -> Result<Self> {
+        Ok(Query {
+            root: Box::new(Limit::new(self.root, n)?),
+        })
+    }
+
+    /// Execute and collect all rows.
+    pub fn collect(mut self) -> Result<Vec<Tuple>> {
+        collect(self.root.as_mut())
+    }
+
+    /// Execute and count rows without materializing them.
+    pub fn count(mut self) -> Result<usize> {
+        let mut n = 0;
+        while self.root.next()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Unwrap into the raw operator (for custom executors).
+    pub fn into_operator(self) -> Box<dyn Operator + 'a> {
+        self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::ops::AggFunc;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+    use relserve_storage::{BufferPool, DiskManager};
+    use std::sync::Arc;
+
+    fn orders_table() -> Table {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 8));
+        let schema = Schema::new(vec![
+            Column::new("customer", DataType::Int),
+            Column::new("amount", DataType::Float),
+        ]);
+        let t = Table::create(pool, "orders", schema);
+        for (c, a) in [(1, 10.0), (1, 20.0), (2, 5.0), (2, 50.0), (3, 7.0)] {
+            t.insert(&Tuple::new(vec![Value::Int(c), Value::Float(a)]))
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let t = orders_table();
+        let rows = Query::scan(&t)
+            .filter(Expr::bin(BinOp::Gt, Expr::col(1), Expr::lit(9.0f32)))
+            .project_names(&["amount"])
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.arity() == 1));
+    }
+
+    #[test]
+    fn group_by_total_per_customer() {
+        let t = orders_table();
+        let rows = Query::scan(&t)
+            .aggregate(
+                vec![Expr::col(0)],
+                vec!["customer".into()],
+                vec![AggSpec::new(AggFunc::Sum, Expr::col(1), "total")],
+            )
+            .unwrap()
+            .sort(Expr::col(1), SortOrder::Descending)
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value(1).unwrap(), &Value::Float(55.0)); // customer 2
+    }
+
+    #[test]
+    fn join_and_count() {
+        let t = orders_table();
+        let u = orders_table();
+        let n = Query::scan(&t)
+            .join(
+                Query::scan(&u),
+                vec![Expr::col(0)],
+                vec![Expr::col(0)],
+            )
+            .unwrap()
+            .count()
+            .unwrap();
+        // Per-customer order counts 2,2,1 → join sizes 4+4+1.
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn top_k_query() {
+        let t = orders_table();
+        let rows = Query::scan(&t)
+            .sort(Expr::col(1), SortOrder::Descending)
+            .limit(2)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows[0].value(1).unwrap(), &Value::Float(50.0));
+        assert_eq!(rows[1].value(1).unwrap(), &Value::Float(20.0));
+    }
+
+    #[test]
+    fn similarity_join_via_builder() {
+        let schema = Schema::new(vec![Column::new("k", DataType::Float)]);
+        let left = Query::values(
+            schema.clone(),
+            vec![Tuple::new(vec![Value::Float(1.0)]), Tuple::new(vec![Value::Float(5.0)])],
+        );
+        let right = Query::values(schema, vec![Tuple::new(vec![Value::Float(1.05)])]);
+        let rows = left
+            .similarity_join(right, Expr::col(0), Expr::col(0), 0.1)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

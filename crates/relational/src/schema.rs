@@ -1,0 +1,176 @@
+//! Column and schema descriptors.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 32-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Dense f32 vector.
+    Vector,
+    /// Raw bytes.
+    Blob,
+}
+
+/// One column: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at `i`.
+    pub fn column(&self, i: usize) -> Result<&Column> {
+        self.columns
+            .get(i)
+            .ok_or_else(|| Error::UnknownColumn(format!("#{i}")))
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Validate that `values` conforms to this schema.
+    pub fn check(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.arity() {
+            return Err(Error::SchemaMismatch(format!(
+                "tuple has {} values, schema has {} columns",
+                values.len(),
+                self.arity()
+            )));
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            if v.dtype() != c.dtype {
+                return Err(Error::SchemaMismatch(format!(
+                    "column `{}` expects {:?}, got {:?}",
+                    c.name,
+                    c.dtype,
+                    v.dtype()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Schema of `self ++ other` (join output), prefixing clashing names.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        for c in &other.columns {
+            let name = if columns.iter().any(|e| e.name == c.name) {
+                format!("r.{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            columns.push(Column::new(name, c.dtype));
+        }
+        Schema { columns }
+    }
+
+    /// Schema consisting of the given columns of `self`, in order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            columns.push(self.column(i)?.clone());
+        }
+        Ok(Schema { columns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("amount", DataType::Float),
+            Column::new("features", DataType::Vector),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("amount").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn check_validates_arity_and_types() {
+        let s = sample();
+        assert!(s
+            .check(&[Value::Int(1), Value::Float(2.0), Value::Vector(vec![])])
+            .is_ok());
+        assert!(s.check(&[Value::Int(1)]).is_err());
+        assert!(s
+            .check(&[Value::Float(1.0), Value::Float(2.0), Value::Vector(vec![])])
+            .is_err());
+    }
+
+    #[test]
+    fn join_prefixes_duplicates() {
+        let a = sample();
+        let b = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("label", DataType::Int),
+        ]);
+        let j = a.join(&b);
+        assert_eq!(j.arity(), 5);
+        assert_eq!(j.column(3).unwrap().name, "r.id");
+        assert_eq!(j.column(4).unwrap().name, "label");
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let s = sample();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.column(0).unwrap().name, "features");
+        assert_eq!(p.column(1).unwrap().name, "id");
+        assert!(s.project(&[9]).is_err());
+    }
+}

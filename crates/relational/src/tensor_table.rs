@@ -1,0 +1,565 @@
+//! Tensor relations: tensors stored as block collections in the RDBMS.
+//!
+//! A [`TensorTable`] is the storage form of the relation-centric
+//! architecture (§1, §7.1): a matrix is a relation of tuples
+//! `(row_block, col_block, block_payload)`, with payloads kept in multi-page
+//! blobs behind the buffer pool. The two central relational rewrites live
+//! here:
+//!
+//! * [`TensorTable::matmul`] — `A × B` as a **join** of A's blocks with B's
+//!   blocks on the inner block coordinate followed by an **aggregation**
+//!   (block sum) on the output coordinate.
+//! * [`TensorTable::matmul_bt`] — `A × Bᵀ` with B stored `[n, k]`, the
+//!   `X × Wᵀ` layout inference uses.
+//!
+//! Both stream A one block-row at a time and flush finished output blocks
+//! immediately, so the working set is one block-row of partial sums — never
+//! the whole tensor. That is precisely why this path avoids the OOM errors
+//! of Table 3.
+
+use crate::error::{Error, Result};
+use bytes::{Buf, BufMut};
+use relserve_storage::{BlobId, BlobStore, BufferPool};
+use relserve_tensor::{BlockCoord, BlockedTensor, BlockingSpec, Tensor};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Execution statistics of one relational tensor operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TensorOpStats {
+    /// Block pairs joined (partial products computed).
+    pub joins: u64,
+    /// Output blocks aggregated and written.
+    pub blocks_out: u64,
+    /// Block payload bytes read from the store.
+    pub bytes_read: u64,
+    /// Block payload bytes written to the store.
+    pub bytes_written: u64,
+}
+
+/// A matrix stored as a relation of tensor blocks.
+pub struct TensorTable {
+    name: String,
+    rows: usize,
+    cols: usize,
+    spec: BlockingSpec,
+    blobs: BlobStore,
+    index: BTreeMap<BlockCoord, BlobId>,
+}
+
+impl TensorTable {
+    /// An empty tensor relation for a `rows × cols` matrix.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        spec: BlockingSpec,
+    ) -> Self {
+        TensorTable {
+            name: name.into(),
+            rows,
+            cols,
+            spec,
+            blobs: BlobStore::new(pool),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Materialize an in-memory blocked tensor into a tensor relation.
+    pub fn from_blocked(
+        pool: Arc<BufferPool>,
+        name: impl Into<String>,
+        blocked: &BlockedTensor,
+    ) -> Result<Self> {
+        let mut table = Self::create(pool, name, blocked.rows(), blocked.cols(), blocked.spec());
+        for (coord, block) in blocked.iter_blocks() {
+            table.insert_block(coord, block)?;
+        }
+        Ok(table)
+    }
+
+    /// Chunk a dense matrix and store it.
+    pub fn from_dense(
+        pool: Arc<BufferPool>,
+        name: impl Into<String>,
+        dense: &Tensor,
+        spec: BlockingSpec,
+    ) -> Result<Self> {
+        let blocked = BlockedTensor::from_dense(dense, spec)?;
+        Self::from_blocked(pool, name, &blocked)
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical matrix row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical matrix column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The blocking spec.
+    pub fn spec(&self) -> BlockingSpec {
+        self.spec
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of block rows.
+    pub fn row_blocks(&self) -> usize {
+        self.spec.row_blocks(self.rows)
+    }
+
+    /// Number of block columns.
+    pub fn col_blocks(&self) -> usize {
+        self.spec.col_blocks(self.cols)
+    }
+
+    /// Payload bytes stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.blobs.bytes_stored()
+    }
+
+    /// The buffer pool backing this relation.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.blobs.pool()
+    }
+
+    /// Coordinates of stored blocks, `(row, col)` ordered.
+    pub fn coords(&self) -> impl Iterator<Item = BlockCoord> + '_ {
+        self.index.keys().copied()
+    }
+
+    fn encode_block(block: &Tensor) -> Result<Vec<u8>> {
+        let (r, c) = block.shape().as_matrix()?;
+        let mut buf = Vec::with_capacity(8 + block.num_bytes());
+        buf.put_u32_le(r as u32);
+        buf.put_u32_le(c as u32);
+        for v in block.data() {
+            buf.put_f32_le(*v);
+        }
+        Ok(buf)
+    }
+
+    fn decode_block(mut bytes: &[u8]) -> Result<Tensor> {
+        if bytes.remaining() < 8 {
+            return Err(Error::Codec("block shorter than header".into()));
+        }
+        let r = bytes.get_u32_le() as usize;
+        let c = bytes.get_u32_le() as usize;
+        if bytes.remaining() != r * c * relserve_tensor::ELEM_BYTES {
+            return Err(Error::Codec(format!(
+                "block body {} B, header implies {} B",
+                bytes.remaining(),
+                r * c * relserve_tensor::ELEM_BYTES
+            )));
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for _ in 0..r * c {
+            data.push(bytes.get_f32_le());
+        }
+        Ok(Tensor::from_vec([r, c], data)?)
+    }
+
+    /// Insert (or replace) the block at `coord`.
+    pub fn insert_block(&mut self, coord: BlockCoord, block: &Tensor) -> Result<()> {
+        let payload = Self::encode_block(block)?;
+        let id = self.blobs.put(&payload)?;
+        if let Some(old) = self.index.insert(coord, id) {
+            self.blobs.delete(old)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch the block at `coord` (reads through the buffer pool).
+    pub fn get_block(&self, coord: BlockCoord) -> Result<Tensor> {
+        let id = self
+            .index
+            .get(&coord)
+            .ok_or(relserve_tensor::Error::MissingBlock {
+                row: coord.row,
+                col: coord.col,
+            })?;
+        Self::decode_block(&self.blobs.get(*id)?)
+    }
+
+    /// Reassemble the full dense matrix (allocates it whole; only for
+    /// results known to fit, e.g. final logits).
+    pub fn to_dense(&self) -> Result<Tensor> {
+        let mut blocked = BlockedTensor::empty(self.rows, self.cols, self.spec);
+        for coord in self.index.keys() {
+            blocked.insert_block(*coord, self.get_block(*coord)?)?;
+        }
+        Ok(blocked.to_dense()?)
+    }
+
+    /// Relation-centric `C = A × B`: join on `a.col_blk == b.row_blk`,
+    /// aggregate partial products by output coordinate.
+    ///
+    /// Streams one block-row of `A` at a time; peak memory is one block-row
+    /// of output partials plus two operand blocks.
+    pub fn matmul(
+        &self,
+        other: &TensorTable,
+        out_name: impl Into<String>,
+    ) -> Result<(TensorTable, TensorOpStats)> {
+        if self.cols != other.rows {
+            return Err(Error::Tensor(relserve_tensor::Error::ShapeMismatch {
+                op: "relational matmul",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![other.rows, other.cols],
+            }));
+        }
+        if self.spec.block_cols != other.spec.block_rows {
+            return Err(Error::Plan(format!(
+                "inner blockings differ: {} vs {}",
+                self.spec.block_cols, other.spec.block_rows
+            )));
+        }
+        let out_spec = BlockingSpec {
+            block_rows: self.spec.block_rows,
+            block_cols: other.spec.block_cols,
+        };
+        let mut out = TensorTable::create(
+            self.pool().clone(),
+            out_name,
+            self.rows,
+            other.cols,
+            out_spec,
+        );
+        let mut stats = TensorOpStats::default();
+        // Join index over B: inner coordinate → B coords sharing it.
+        let mut b_by_row: BTreeMap<usize, Vec<BlockCoord>> = BTreeMap::new();
+        for coord in other.coords() {
+            b_by_row.entry(coord.row).or_default().push(coord);
+        }
+        self.for_each_block_row(|block_row, a_blocks| {
+            let mut partials: BTreeMap<usize, Tensor> = BTreeMap::new();
+            for (a_coord, a_block) in a_blocks {
+                stats.bytes_read += a_block.num_bytes() as u64;
+                let Some(b_coords) = b_by_row.get(&a_coord.col) else {
+                    continue;
+                };
+                for b_coord in b_coords {
+                    let b_block = other.get_block(*b_coord)?;
+                    stats.bytes_read += b_block.num_bytes() as u64;
+                    let partial = relserve_tensor::matmul::matmul(a_block, &b_block)?;
+                    stats.joins += 1;
+                    match partials.get_mut(&b_coord.col) {
+                        Some(sum) => relserve_tensor::ops::axpy(sum, &partial, 1.0)?,
+                        None => {
+                            partials.insert(b_coord.col, partial);
+                        }
+                    }
+                }
+            }
+            for (out_col, block) in partials {
+                stats.blocks_out += 1;
+                stats.bytes_written += block.num_bytes() as u64;
+                out.insert_block(
+                    BlockCoord {
+                        row: block_row,
+                        col: out_col,
+                    },
+                    &block,
+                )?;
+            }
+            Ok(())
+        })?;
+        Ok((out, stats))
+    }
+
+    /// Relation-centric `C = A × Bᵀ` with `B` stored `[n, k]` — join on the
+    /// shared `k` block coordinate (`a.col_blk == b.col_blk`), aggregate by
+    /// `(a.row_blk, b.row_blk)`.
+    pub fn matmul_bt(
+        &self,
+        other: &TensorTable,
+        out_name: impl Into<String>,
+    ) -> Result<(TensorTable, TensorOpStats)> {
+        if self.cols != other.cols {
+            return Err(Error::Tensor(relserve_tensor::Error::ShapeMismatch {
+                op: "relational matmul_bt",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![other.rows, other.cols],
+            }));
+        }
+        if self.spec.block_cols != other.spec.block_cols {
+            return Err(Error::Plan(format!(
+                "inner blockings differ: {} vs {}",
+                self.spec.block_cols, other.spec.block_cols
+            )));
+        }
+        let out_spec = BlockingSpec {
+            block_rows: self.spec.block_rows,
+            block_cols: other.spec.block_rows,
+        };
+        let mut out = TensorTable::create(
+            self.pool().clone(),
+            out_name,
+            self.rows,
+            other.rows,
+            out_spec,
+        );
+        let mut stats = TensorOpStats::default();
+        let mut b_by_col: BTreeMap<usize, Vec<BlockCoord>> = BTreeMap::new();
+        for coord in other.coords() {
+            b_by_col.entry(coord.col).or_default().push(coord);
+        }
+        self.for_each_block_row(|block_row, a_blocks| {
+            let mut partials: BTreeMap<usize, Tensor> = BTreeMap::new();
+            for (a_coord, a_block) in a_blocks {
+                stats.bytes_read += a_block.num_bytes() as u64;
+                let Some(b_coords) = b_by_col.get(&a_coord.col) else {
+                    continue;
+                };
+                for b_coord in b_coords {
+                    let b_block = other.get_block(*b_coord)?;
+                    stats.bytes_read += b_block.num_bytes() as u64;
+                    let partial = relserve_tensor::matmul::matmul_bt(a_block, &b_block)?;
+                    stats.joins += 1;
+                    match partials.get_mut(&b_coord.row) {
+                        Some(sum) => relserve_tensor::ops::axpy(sum, &partial, 1.0)?,
+                        None => {
+                            partials.insert(b_coord.row, partial);
+                        }
+                    }
+                }
+            }
+            for (out_col, block) in partials {
+                stats.blocks_out += 1;
+                stats.bytes_written += block.num_bytes() as u64;
+                out.insert_block(
+                    BlockCoord {
+                        row: block_row,
+                        col: out_col,
+                    },
+                    &block,
+                )?;
+            }
+            Ok(())
+        })?;
+        Ok((out, stats))
+    }
+
+    /// Apply `f` to every stored block, producing a new relation (the
+    /// relation-centric form of an elementwise operator such as relu).
+    pub fn map(&self, out_name: impl Into<String>, f: impl Fn(f32) -> f32) -> Result<TensorTable> {
+        let mut out = TensorTable::create(
+            self.pool().clone(),
+            out_name,
+            self.rows,
+            self.cols,
+            self.spec,
+        );
+        for coord in self.coords() {
+            let mut block = self.get_block(coord)?;
+            relserve_tensor::ops::map_inplace(&mut block, &f);
+            out.insert_block(coord, &block)?;
+        }
+        Ok(out)
+    }
+
+    /// Add a bias row-vector (length = logical cols) to every row, blockwise.
+    pub fn add_bias(&self, out_name: impl Into<String>, bias: &Tensor) -> Result<TensorTable> {
+        if bias.len() != self.cols {
+            return Err(Error::Tensor(relserve_tensor::Error::ShapeMismatch {
+                op: "relational add_bias",
+                lhs: vec![self.rows, self.cols],
+                rhs: bias.shape().dims().to_vec(),
+            }));
+        }
+        let mut out = TensorTable::create(
+            self.pool().clone(),
+            out_name,
+            self.rows,
+            self.cols,
+            self.spec,
+        );
+        for coord in self.coords() {
+            let block = self.get_block(coord)?;
+            let c0 = coord.col * self.spec.block_cols;
+            let (_, bw) = block.shape().as_matrix()?;
+            let bias_slice = Tensor::from_vec([bw], bias.data()[c0..c0 + bw].to_vec())?;
+            let with_bias = relserve_tensor::ops::add_bias(&block, &bias_slice)?;
+            out.insert_block(coord, &with_bias)?;
+        }
+        Ok(out)
+    }
+
+    /// Visit blocks grouped by block-row, in order, fetching each block once.
+    fn for_each_block_row(
+        &self,
+        mut f: impl FnMut(usize, &[(BlockCoord, Tensor)]) -> Result<()>,
+    ) -> Result<()> {
+        let mut current_row = None;
+        let mut group: Vec<(BlockCoord, Tensor)> = Vec::new();
+        for coord in self.index.keys().copied() {
+            if current_row != Some(coord.row) {
+                if let Some(row) = current_row {
+                    f(row, &group)?;
+                    group.clear();
+                }
+                current_row = Some(coord.row);
+            }
+            group.push((coord, self.get_block(coord)?));
+        }
+        if let Some(row) = current_row {
+            f(row, &group)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for TensorTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TensorTable")
+            .field("name", &self.name)
+            .field("shape", &(self.rows, self.cols))
+            .field("blocks", &self.index.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relserve_storage::DiskManager;
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames))
+    }
+
+    fn pattern(rows: usize, cols: usize, salt: usize) -> Tensor {
+        Tensor::from_fn([rows, cols], |i| ((i * 29 + salt * 13) % 19) as f32 - 9.0)
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let t = pattern(10, 7, 1);
+        let table = TensorTable::from_dense(pool(16), "t", &t, BlockingSpec::square(4)).unwrap();
+        assert_eq!(table.num_blocks(), 3 * 2);
+        assert!(table.to_dense().unwrap().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn get_block_matches_blocked_tensor() {
+        let t = pattern(6, 6, 2);
+        let spec = BlockingSpec::square(3);
+        let blocked = BlockedTensor::from_dense(&t, spec).unwrap();
+        let table = TensorTable::from_blocked(pool(16), "t", &blocked).unwrap();
+        for (coord, block) in blocked.iter_blocks() {
+            assert_eq!(&table.get_block(coord).unwrap(), block);
+        }
+        assert!(table
+            .get_block(BlockCoord { row: 9, col: 9 })
+            .is_err());
+    }
+
+    #[test]
+    fn relational_matmul_matches_dense() {
+        let a = pattern(7, 9, 3);
+        let b = pattern(9, 5, 4);
+        let p = pool(32);
+        let at = TensorTable::from_dense(
+            p.clone(),
+            "A",
+            &a,
+            BlockingSpec { block_rows: 3, block_cols: 4 },
+        )
+        .unwrap();
+        let bt = TensorTable::from_dense(
+            p,
+            "B",
+            &b,
+            BlockingSpec { block_rows: 4, block_cols: 2 },
+        )
+        .unwrap();
+        let (c, stats) = at.matmul(&bt, "C").unwrap();
+        let expect = relserve_tensor::matmul::matmul(&a, &b).unwrap();
+        assert!(c.to_dense().unwrap().approx_eq(&expect, 1e-3));
+        assert!(stats.joins > 0);
+        assert_eq!(stats.blocks_out as usize, c.num_blocks());
+    }
+
+    #[test]
+    fn relational_matmul_bt_matches_dense() {
+        let x = pattern(8, 10, 5);
+        let w = pattern(6, 10, 6); // [n, k] weight layout
+        let p = pool(32);
+        let xt = TensorTable::from_dense(p.clone(), "X", &x, BlockingSpec::square(4)).unwrap();
+        let wt = TensorTable::from_dense(p, "W", &w, BlockingSpec::square(4)).unwrap();
+        let (c, _) = xt.matmul_bt(&wt, "C").unwrap();
+        let expect = relserve_tensor::matmul::matmul_bt(&x, &w).unwrap();
+        assert!(c.to_dense().unwrap().approx_eq(&expect, 1e-3));
+    }
+
+    #[test]
+    fn matmul_streams_through_tiny_pool() {
+        // The point of relation-centric execution: a matmul whose operands
+        // exceed the buffer pool must still complete, spilling via disk.
+        let a = pattern(64, 64, 7);
+        let b = pattern(64, 64, 8);
+        let p = pool(4); // 4 frames = 256 KiB; operands are 16 KiB each + outputs
+        let at = TensorTable::from_dense(p.clone(), "A", &a, BlockingSpec::square(16)).unwrap();
+        let bt = TensorTable::from_dense(p.clone(), "B", &b, BlockingSpec::square(16)).unwrap();
+        let (c, _) = at.matmul(&bt, "C").unwrap();
+        let expect = relserve_tensor::matmul::matmul(&a, &b).unwrap();
+        assert!(c.to_dense().unwrap().approx_eq(&expect, 1e-2));
+        assert!(p.stats().evictions > 0);
+    }
+
+    #[test]
+    fn shape_and_blocking_validation() {
+        let p = pool(8);
+        let a = TensorTable::from_dense(p.clone(), "A", &pattern(4, 4, 1), BlockingSpec::square(2)).unwrap();
+        let bad_shape =
+            TensorTable::from_dense(p.clone(), "B", &pattern(5, 4, 2), BlockingSpec::square(2)).unwrap();
+        assert!(a.matmul(&bad_shape, "C").is_err());
+        let bad_blocking =
+            TensorTable::from_dense(p, "B2", &pattern(4, 4, 3), BlockingSpec::square(3)).unwrap();
+        assert!(a.matmul(&bad_blocking, "C").is_err());
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = pattern(5, 5, 9);
+        let table = TensorTable::from_dense(pool(8), "t", &t, BlockingSpec::square(2)).unwrap();
+        let relu = table.map("relu", |x| x.max(0.0)).unwrap();
+        let expect = relserve_tensor::ops::relu(&t);
+        assert!(relu.to_dense().unwrap().approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn add_bias_blockwise() {
+        let t = pattern(4, 6, 10);
+        let bias = Tensor::from_fn([6], |i| i as f32);
+        let table = TensorTable::from_dense(pool(8), "t", &t, BlockingSpec::square(2)).unwrap();
+        let out = table.add_bias("b", &bias).unwrap();
+        let expect = relserve_tensor::ops::add_bias(&t, &bias).unwrap();
+        assert!(out.to_dense().unwrap().approx_eq(&expect, 0.0));
+        // Wrong-length bias is rejected.
+        assert!(table.add_bias("bad", &Tensor::zeros([5])).is_err());
+    }
+
+    #[test]
+    fn insert_block_replaces() {
+        let t = pattern(4, 4, 11);
+        let mut table = TensorTable::from_dense(pool(8), "t", &t, BlockingSpec::square(2)).unwrap();
+        let coord = BlockCoord { row: 0, col: 0 };
+        let replacement = Tensor::full([2, 2], 42.0);
+        table.insert_block(coord, &replacement).unwrap();
+        assert_eq!(table.get_block(coord).unwrap(), replacement);
+        assert_eq!(table.num_blocks(), 4);
+    }
+}

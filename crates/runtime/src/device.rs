@@ -1,0 +1,194 @@
+//! Producer-transfer-consumer device placement model (§3.2).
+//!
+//! Whether an operator benefits from an accelerator depends on the balance
+//! between compute speedup and host↔device transfer cost. Following the
+//! paper's decision-forest study, the model estimates per-device latency as
+//!
+//! ```text
+//! latency(dev) = transfer_in + max(compute, overlapped_transfer) + transfer_out
+//! ```
+//!
+//! and the planner picks the cheaper device. The GPU here is a *model* (this
+//! repo targets CPU-only hosts); its throughput parameters are configurable
+//! so the ablation bench can sweep them.
+
+/// The kind of execution device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host CPU.
+    Cpu,
+    /// Accelerator reachable over an interconnect.
+    Gpu,
+}
+
+/// Throughput description of one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// What kind of device this is.
+    pub kind: DeviceKind,
+    /// Sustained compute throughput in FLOP/s.
+    pub flops_per_sec: f64,
+    /// Host↔device bandwidth in bytes/s (`f64::INFINITY` for the CPU, which
+    /// already owns the data).
+    pub transfer_bytes_per_sec: f64,
+    /// Fixed per-kernel launch/transfer latency in seconds.
+    pub fixed_overhead_sec: f64,
+}
+
+impl Device {
+    /// A CPU sized for `flops_per_sec` sustained throughput.
+    pub fn cpu(flops_per_sec: f64) -> Self {
+        Device {
+            kind: DeviceKind::Cpu,
+            flops_per_sec,
+            transfer_bytes_per_sec: f64::INFINITY,
+            fixed_overhead_sec: 0.0,
+        }
+    }
+
+    /// A PCIe-attached GPU model.
+    pub fn gpu(flops_per_sec: f64, transfer_bytes_per_sec: f64, fixed_overhead_sec: f64) -> Self {
+        Device {
+            kind: DeviceKind::Gpu,
+            flops_per_sec,
+            transfer_bytes_per_sec,
+            fixed_overhead_sec,
+        }
+    }
+
+    /// Estimated latency for an operator moving `input_bytes` in,
+    /// `output_bytes` out, and performing `flops` floating-point operations,
+    /// with input transfer overlapped against compute where possible.
+    pub fn estimate_sec(&self, flops: f64, input_bytes: f64, output_bytes: f64) -> f64 {
+        let compute = flops / self.flops_per_sec;
+        if self.transfer_bytes_per_sec.is_infinite() {
+            return compute + self.fixed_overhead_sec;
+        }
+        let t_in = input_bytes / self.transfer_bytes_per_sec;
+        let t_out = output_bytes / self.transfer_bytes_per_sec;
+        // Producer-transfer-consumer: the input stream overlaps with compute,
+        // so the steady-state cost is the max of the two, plus drain.
+        self.fixed_overhead_sec + t_in.max(compute) + t_out
+    }
+}
+
+/// Outcome of a placement decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementDecision {
+    /// The chosen device kind.
+    pub device: DeviceKind,
+    /// Estimated latency on the chosen device, seconds.
+    pub est_sec: f64,
+    /// Estimated latency on the rejected device, seconds.
+    pub alternative_sec: f64,
+}
+
+/// A two-device (CPU + modeled GPU) placement planner.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceModel {
+    cpu: Device,
+    gpu: Device,
+}
+
+impl DeviceModel {
+    /// Build a planner from explicit device descriptions.
+    pub fn new(cpu: Device, gpu: Device) -> Self {
+        DeviceModel { cpu, gpu }
+    }
+
+    /// A default calibrated roughly like the paper's testbed class: an 8-core
+    /// CPU (~40 GFLOP/s sustained) against a PCIe 3 GPU (~5 TFLOP/s, 12 GB/s,
+    /// 50 µs launch overhead).
+    pub fn default_testbed() -> Self {
+        DeviceModel {
+            cpu: Device::cpu(40e9),
+            gpu: Device::gpu(5e12, 12e9, 50e-6),
+        }
+    }
+
+    /// The CPU description.
+    pub fn cpu(&self) -> Device {
+        self.cpu
+    }
+
+    /// The GPU description.
+    pub fn gpu(&self) -> Device {
+        self.gpu
+    }
+
+    /// Choose the cheaper device for one operator.
+    pub fn place(&self, flops: f64, input_bytes: f64, output_bytes: f64) -> PlacementDecision {
+        let cpu_sec = self.cpu.estimate_sec(flops, input_bytes, output_bytes);
+        let gpu_sec = self.gpu.estimate_sec(flops, input_bytes, output_bytes);
+        if gpu_sec < cpu_sec {
+            PlacementDecision {
+                device: DeviceKind::Gpu,
+                est_sec: gpu_sec,
+                alternative_sec: cpu_sec,
+            }
+        } else {
+            PlacementDecision {
+                device: DeviceKind::Cpu,
+                est_sec: cpu_sec,
+                alternative_sec: gpu_sec,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_ops_stay_on_cpu() {
+        // The §3.2 observation: for small models + small data, transfer
+        // overhead outweighs GPU acceleration.
+        let m = DeviceModel::default_testbed();
+        let d = m.place(1e4, 1e3, 1e2);
+        assert_eq!(d.device, DeviceKind::Cpu);
+    }
+
+    #[test]
+    fn large_ops_go_to_gpu() {
+        let m = DeviceModel::default_testbed();
+        // 100 GFLOP over 100 MB in / 10 MB out: compute-bound, GPU wins.
+        let d = m.place(1e11, 1e8, 1e7);
+        assert_eq!(d.device, DeviceKind::Gpu);
+        assert!(d.est_sec < d.alternative_sec);
+    }
+
+    #[test]
+    fn cpu_has_no_transfer_term() {
+        let cpu = Device::cpu(1e9);
+        // 1 GFLOP at 1 GFLOP/s = 1 s regardless of data size.
+        assert!((cpu.estimate_sec(1e9, 1e12, 1e12) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_overlaps_input_with_compute() {
+        let gpu = Device::gpu(1e9, 1e9, 0.0);
+        // compute 1 s, input transfer 2 s, output 0.5 s → max(2,1) + 0.5.
+        let est = gpu.estimate_sec(1e9, 2e9, 0.5e9);
+        assert!((est - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_exists() {
+        // Sweep operator size; placement must flip exactly once from CPU to GPU.
+        let m = DeviceModel::default_testbed();
+        let mut last = DeviceKind::Cpu;
+        let mut flips = 0;
+        for exp in 4..14 {
+            let flops = 10f64.powi(exp);
+            let bytes = flops / 10.0;
+            let d = m.place(flops, bytes, bytes / 100.0);
+            if d.device != last {
+                flips += 1;
+                last = d.device;
+            }
+        }
+        assert_eq!(flips, 1);
+        assert_eq!(last, DeviceKind::Gpu);
+    }
+}

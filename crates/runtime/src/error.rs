@@ -1,0 +1,64 @@
+//! Errors for resource management and cross-system transfer.
+
+use std::fmt;
+
+/// Result alias for the runtime crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by governors, connectors and the external runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A memory budget would be exceeded.
+    ///
+    /// This error is *recoverable by design*: the adaptive optimizer catches
+    /// it (or avoids it ahead of time via estimation) and falls back to the
+    /// relation-centric representation, exactly as the paper's Table 3
+    /// experiment requires. It must therefore never be turned into a panic.
+    OutOfMemory {
+        /// The governor's domain, e.g. `"udf-centric"` or `"tensorflow-like"`.
+        domain: String,
+        /// Bytes the failed request asked for.
+        requested: usize,
+        /// Bytes already in use at the time of the request.
+        in_use: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// Malformed payload on the connector wire.
+    Codec(String),
+    /// Tensor-level failure surfaced through a runtime API.
+    Tensor(relserve_tensor::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfMemory {
+                domain,
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "out of memory in `{domain}`: requested {requested} B with {in_use} B in use (budget {budget} B)"
+            ),
+            Error::Codec(msg) => write!(f, "connector codec error: {msg}"),
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<relserve_tensor::Error> for Error {
+    fn from(e: relserve_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}

@@ -1,0 +1,281 @@
+//! Budgeted, tracked memory allocation.
+//!
+//! A [`MemoryGovernor`] stands in for the memory limit of one *domain*: the
+//! in-database UDF executor, the buffer pool, or a decoupled DL runtime.
+//! Executors reserve bytes before materializing tensors and get back an RAII
+//! [`Reservation`] that releases on drop, so accounting can never leak on an
+//! early return. When a reservation would exceed the budget the governor
+//! returns [`Error::OutOfMemory`] instead of allocating — the deterministic,
+//! scale-independent OOM signal the Table 3 reproduction is built on.
+
+use crate::error::{Error, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Inner {
+    domain: String,
+    /// `usize::MAX` means unlimited.
+    budget: usize,
+    state: Mutex<Counters>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    in_use: usize,
+    peak: usize,
+    reservations: u64,
+    oom_events: u64,
+}
+
+/// A shareable, thread-safe memory budget for one resource domain.
+#[derive(Debug, Clone)]
+pub struct MemoryGovernor {
+    inner: Arc<Inner>,
+}
+
+impl MemoryGovernor {
+    /// A governor with a hard budget in bytes.
+    pub fn with_budget(domain: impl Into<String>, budget: usize) -> Self {
+        MemoryGovernor {
+            inner: Arc::new(Inner {
+                domain: domain.into(),
+                budget,
+                state: Mutex::new(Counters::default()),
+            }),
+        }
+    }
+
+    /// A governor that never rejects (still tracks usage and peak).
+    pub fn unlimited(domain: impl Into<String>) -> Self {
+        Self::with_budget(domain, usize::MAX)
+    }
+
+    /// The domain label used in error messages and metrics.
+    pub fn domain(&self) -> &str {
+        &self.inner.domain
+    }
+
+    /// The configured budget (`usize::MAX` when unlimited).
+    pub fn budget(&self) -> usize {
+        self.inner.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> usize {
+        self.inner.state.lock().in_use
+    }
+
+    /// High-water mark since creation or the last [`reset_peak`](Self::reset_peak).
+    pub fn peak(&self) -> usize {
+        self.inner.state.lock().peak
+    }
+
+    /// Number of OOM rejections so far.
+    pub fn oom_events(&self) -> u64 {
+        self.inner.state.lock().oom_events
+    }
+
+    /// Reset the peak tracker (between benchmark runs).
+    pub fn reset_peak(&self) {
+        let mut st = self.inner.state.lock();
+        st.peak = st.in_use;
+    }
+
+    /// Check whether `bytes` *would* fit without reserving — used by the
+    /// optimizer's ahead-of-time memory estimation (§7.1).
+    pub fn would_fit(&self, bytes: usize) -> bool {
+        let st = self.inner.state.lock();
+        bytes <= self.inner.budget.saturating_sub(st.in_use)
+    }
+
+    /// Reserve `bytes`, failing with [`Error::OutOfMemory`] if over budget.
+    pub fn reserve(&self, bytes: usize) -> Result<Reservation> {
+        let mut st = self.inner.state.lock();
+        if bytes > self.inner.budget.saturating_sub(st.in_use) {
+            st.oom_events += 1;
+            return Err(Error::OutOfMemory {
+                domain: self.inner.domain.clone(),
+                requested: bytes,
+                in_use: st.in_use,
+                budget: self.inner.budget,
+            });
+        }
+        st.in_use += bytes;
+        st.peak = st.peak.max(st.in_use);
+        st.reservations += 1;
+        drop(st);
+        Ok(Reservation {
+            governor: self.inner.clone(),
+            bytes,
+        })
+    }
+
+    /// Reserve enough bytes for a dense `f32` tensor of `elements` elements.
+    pub fn reserve_elements(&self, elements: usize) -> Result<Reservation> {
+        self.reserve(elements * relserve_tensor::ELEM_BYTES)
+    }
+}
+
+/// RAII guard for reserved bytes; releases them on drop.
+///
+/// Reservations may be merged ([`absorb`](Self::absorb)) when an executor
+/// hands a group of tensors to a single owner, or partially released
+/// ([`shrink`](Self::shrink)) when an intermediate is truncated.
+#[derive(Debug)]
+pub struct Reservation {
+    governor: Arc<Inner>,
+    bytes: usize,
+}
+
+impl Reservation {
+    /// Bytes held by this reservation.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Merge another reservation from the *same* governor into this one.
+    ///
+    /// # Panics
+    /// Panics if the reservations come from different governors; that is a
+    /// wiring bug, not a data-dependent condition.
+    pub fn absorb(&mut self, other: Reservation) {
+        assert!(
+            Arc::ptr_eq(&self.governor, &other.governor),
+            "cannot merge reservations from different governors"
+        );
+        self.bytes += other.bytes;
+        // Skip `other`'s Drop: its bytes now belong to `self`.
+        std::mem::forget(other);
+    }
+
+    /// Release part of the reservation early.
+    pub fn shrink(&mut self, by: usize) {
+        let by = by.min(self.bytes);
+        self.bytes -= by;
+        let mut st = self.governor.state.lock();
+        st.in_use = st.in_use.saturating_sub(by);
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        let mut st = self.governor.state.lock();
+        st.in_use = st.in_use.saturating_sub(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_within_budget() {
+        let g = MemoryGovernor::with_budget("test", 100);
+        let r = g.reserve(60).unwrap();
+        assert_eq!(g.in_use(), 60);
+        drop(r);
+        assert_eq!(g.in_use(), 0);
+        assert_eq!(g.peak(), 60);
+    }
+
+    #[test]
+    fn oom_when_over_budget() {
+        let g = MemoryGovernor::with_budget("udf-centric", 100);
+        let _r = g.reserve(80).unwrap();
+        let err = g.reserve(30).unwrap_err();
+        match err {
+            Error::OutOfMemory {
+                domain,
+                requested,
+                in_use,
+                budget,
+            } => {
+                assert_eq!(domain, "udf-centric");
+                assert_eq!(requested, 30);
+                assert_eq!(in_use, 80);
+                assert_eq!(budget, 100);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        assert_eq!(g.oom_events(), 1);
+        // The failed reservation must not have leaked accounting.
+        assert_eq!(g.in_use(), 80);
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let g = MemoryGovernor::unlimited("free");
+        let _r = g.reserve(usize::MAX / 2).unwrap();
+        assert!(g.would_fit(usize::MAX / 3));
+    }
+
+    #[test]
+    fn would_fit_is_non_mutating() {
+        let g = MemoryGovernor::with_budget("test", 100);
+        assert!(g.would_fit(100));
+        assert!(!g.would_fit(101));
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let g = MemoryGovernor::with_budget("test", 100);
+        {
+            let _a = g.reserve(40).unwrap();
+            let _b = g.reserve(50).unwrap();
+        }
+        assert_eq!(g.peak(), 90);
+        assert_eq!(g.in_use(), 0);
+        g.reset_peak();
+        assert_eq!(g.peak(), 0);
+    }
+
+    #[test]
+    fn absorb_merges_lifetimes() {
+        let g = MemoryGovernor::with_budget("test", 100);
+        let mut a = g.reserve(10).unwrap();
+        let b = g.reserve(20).unwrap();
+        a.absorb(b);
+        assert_eq!(a.bytes(), 30);
+        assert_eq!(g.in_use(), 30);
+        drop(a);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn shrink_releases_partially() {
+        let g = MemoryGovernor::with_budget("test", 100);
+        let mut r = g.reserve(50).unwrap();
+        r.shrink(20);
+        assert_eq!(g.in_use(), 30);
+        r.shrink(1000); // clamped
+        assert_eq!(g.in_use(), 0);
+        drop(r);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn reserve_elements_uses_f32_width() {
+        let g = MemoryGovernor::with_budget("test", 40);
+        assert!(g.reserve_elements(10).is_ok());
+        assert!(g.reserve_elements(11).is_err());
+    }
+
+    #[test]
+    fn concurrent_reservations_are_consistent() {
+        let g = MemoryGovernor::with_budget("test", 1_000_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let r = g.reserve(100).unwrap();
+                        drop(r);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.in_use(), 0);
+    }
+}

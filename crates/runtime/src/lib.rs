@@ -1,0 +1,38 @@
+//! Unified resource management for `relserve` (§3 of the paper).
+//!
+//! The paper argues that an RDBMS serving DL inference must coordinate
+//! resources across three runtimes that traditionally manage themselves:
+//! the database engine, in-UDF kernel libraries, and external DL frameworks.
+//! This crate provides that coordination layer:
+//!
+//! * [`MemoryGovernor`] — tracked, budgeted allocation. Every tensor an
+//!   executor materializes is charged against a governor; exceeding the
+//!   budget yields a *recoverable* [`Error::OutOfMemory`], which is how the
+//!   repo reproduces the deterministic OOM column of the paper's Table 3.
+//! * [`ThreadCoordinator`] — splits physical cores between DB worker threads
+//!   and kernel (linear-algebra) threads so in-UDF kernels do not
+//!   oversubscribe the machine behind the scheduler's back (§3.1).
+//! * [`DeviceModel`] — the producer-transfer-consumer latency estimator used
+//!   for CPU/GPU placement decisions (§3.2).
+//! * [`Connector`] — the simulated cross-system boundary (ConnectorX in the
+//!   paper): rows are genuinely serialized, shipped over a bandwidth/latency
+//!   model, and deserialized on the other side.
+//! * [`ExternalRuntime`] — a decoupled DL runtime profile (TensorFlow- or
+//!   PyTorch-like) with its own governor and memory-overhead factor; the
+//!   DL-centric executor in `relserve-core` runs models "inside" it.
+
+pub mod connector;
+pub mod device;
+pub mod error;
+pub mod external;
+pub mod governor;
+pub mod threads;
+pub mod tuning;
+
+pub use connector::{Connector, TransferProfile};
+pub use device::{Device, DeviceKind, DeviceModel, PlacementDecision};
+pub use error::{Error, Result};
+pub use governor::{MemoryGovernor, Reservation};
+pub use external::{ExternalRuntime, RuntimeProfile};
+pub use threads::{ThreadCoordinator, ThreadPlan};
+pub use tuning::{tune, TunedPlan, TuningReport};

@@ -1,0 +1,131 @@
+//! Coordinated thread budgeting between DB workers and kernel threads (§3.1).
+//!
+//! The paper observes that when RDBMS worker threads execute pipeline stages
+//! containing linear-algebra operators, and each operator independently spins
+//! up its own OpenMP-style thread pool, the machine is oversubscribed and
+//! context-switch overhead dominates. The fix is a single coordinator that
+//! hands each side an explicit share of the cores.
+
+/// An agreed split of physical cores between the two runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPlan {
+    /// Threads driving relational pipeline stages (scans, joins, aggregates).
+    pub db_workers: usize,
+    /// Threads each linear-algebra kernel invocation may use.
+    pub kernel_threads: usize,
+}
+
+impl ThreadPlan {
+    /// Total threads the plan would run concurrently in the worst case
+    /// (every DB worker inside a kernel at once).
+    pub fn worst_case_threads(&self) -> usize {
+        self.db_workers * self.kernel_threads
+    }
+}
+
+/// Allocates cores between DB workers and kernel threads.
+#[derive(Debug, Clone)]
+pub struct ThreadCoordinator {
+    cores: usize,
+}
+
+impl ThreadCoordinator {
+    /// A coordinator for a machine with `cores` physical cores.
+    pub fn new(cores: usize) -> Self {
+        ThreadCoordinator { cores: cores.max(1) }
+    }
+
+    /// A coordinator sized from the current machine.
+    pub fn from_host() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(cores)
+    }
+
+    /// Number of cores being managed.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Plan for a query whose relational side runs `db_parallelism`
+    /// concurrent pipeline workers: each kernel gets the leftover share so
+    /// the worst case never exceeds the core count.
+    pub fn plan_for(&self, db_parallelism: usize) -> ThreadPlan {
+        let db_workers = db_parallelism.clamp(1, self.cores);
+        ThreadPlan {
+            db_workers,
+            kernel_threads: (self.cores / db_workers).max(1),
+        }
+    }
+
+    /// Plan for a dedicated (external) DL runtime: no DB workers compete, so
+    /// kernels get every core. This is the thread-level advantage a decoupled
+    /// TensorFlow/PyTorch process enjoys in the DL-centric architecture.
+    pub fn plan_dedicated(&self) -> ThreadPlan {
+        ThreadPlan {
+            db_workers: 0,
+            kernel_threads: self.cores,
+        }
+    }
+
+    /// Relative context-switch penalty of running `plan` on this machine:
+    /// 1.0 when the plan fits the cores, growing linearly with
+    /// oversubscription. Used by the hyper-parameter tuning ablation.
+    pub fn oversubscription_penalty(&self, plan: ThreadPlan) -> f64 {
+        let worst = plan.worst_case_threads().max(1) as f64;
+        (worst / self.cores as f64).max(1.0)
+    }
+}
+
+impl Default for ThreadCoordinator {
+    fn default() -> Self {
+        Self::from_host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_divides_cores() {
+        let c = ThreadCoordinator::new(8);
+        let p = c.plan_for(4);
+        assert_eq!(p.db_workers, 4);
+        assert_eq!(p.kernel_threads, 2);
+        assert_eq!(p.worst_case_threads(), 8);
+    }
+
+    #[test]
+    fn plan_never_starves_kernels() {
+        let c = ThreadCoordinator::new(4);
+        let p = c.plan_for(16);
+        assert_eq!(p.db_workers, 4);
+        assert_eq!(p.kernel_threads, 1);
+    }
+
+    #[test]
+    fn dedicated_uses_all_cores() {
+        let c = ThreadCoordinator::new(8);
+        let p = c.plan_dedicated();
+        assert_eq!(p.kernel_threads, 8);
+        assert_eq!(p.db_workers, 0);
+    }
+
+    #[test]
+    fn zero_core_machines_are_clamped() {
+        let c = ThreadCoordinator::new(0);
+        assert_eq!(c.cores(), 1);
+        assert_eq!(c.plan_for(0).db_workers, 1);
+    }
+
+    #[test]
+    fn penalty_grows_with_oversubscription() {
+        let c = ThreadCoordinator::new(4);
+        let fits = ThreadPlan { db_workers: 2, kernel_threads: 2 };
+        let over = ThreadPlan { db_workers: 4, kernel_threads: 4 };
+        assert_eq!(c.oversubscription_penalty(fits), 1.0);
+        assert_eq!(c.oversubscription_penalty(over), 4.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Multi-page blobs for payloads larger than a page.
+//!
+//! Tensor blocks are the primary customer: a 256×256 `f32` block is 256 KiB,
+//! four pages. Blob pages bypass the slotted layout — the whole page image is
+//! payload — and the store keeps the page chain and byte length per blob.
+
+use crate::bufferpool::BufferPool;
+use crate::error::{Error, Result};
+use crate::page::{PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a stored blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlobId(pub u64);
+
+#[derive(Debug, Clone)]
+struct BlobMeta {
+    pages: Vec<PageId>,
+    len: usize,
+}
+
+/// Stores arbitrary-size byte blobs as page chains through the buffer pool.
+pub struct BlobStore {
+    pool: Arc<BufferPool>,
+    state: Mutex<BlobState>,
+}
+
+#[derive(Debug, Default)]
+struct BlobState {
+    blobs: HashMap<BlobId, BlobMeta>,
+    next_id: u64,
+    bytes_stored: u64,
+}
+
+impl BlobStore {
+    /// An empty blob store on `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        BlobStore {
+            pool,
+            state: Mutex::new(BlobState::default()),
+        }
+    }
+
+    /// The buffer pool used for blob pages.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Total payload bytes currently stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.state.lock().bytes_stored
+    }
+
+    /// Number of blobs currently stored.
+    pub fn len(&self) -> usize {
+        self.state.lock().blobs.len()
+    }
+
+    /// True when no blobs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Store `payload`, returning its id.
+    pub fn put(&self, payload: &[u8]) -> Result<BlobId> {
+        let mut pages = Vec::with_capacity(payload.len().div_ceil(PAGE_SIZE));
+        for chunk in payload.chunks(PAGE_SIZE) {
+            let guard = self.pool.create_page()?;
+            guard.write().bytes_mut()[..chunk.len()].copy_from_slice(chunk);
+            pages.push(guard.id());
+        }
+        let mut state = self.state.lock();
+        let id = BlobId(state.next_id);
+        state.next_id += 1;
+        state.bytes_stored += payload.len() as u64;
+        state.blobs.insert(
+            id,
+            BlobMeta {
+                pages,
+                len: payload.len(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Read a blob's payload back.
+    pub fn get(&self, id: BlobId) -> Result<Vec<u8>> {
+        let meta = {
+            let state = self.state.lock();
+            state.blobs.get(&id).cloned().ok_or(Error::BlobNotFound(id.0))?
+        };
+        let mut out = Vec::with_capacity(meta.len);
+        let mut remaining = meta.len;
+        for pid in &meta.pages {
+            let take = remaining.min(PAGE_SIZE);
+            let guard = self.pool.fetch(*pid)?;
+            out.extend_from_slice(&guard.read().bytes()[..take]);
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Length of a blob without reading it.
+    pub fn blob_len(&self, id: BlobId) -> Result<usize> {
+        self.state
+            .lock()
+            .blobs
+            .get(&id)
+            .map(|m| m.len)
+            .ok_or(Error::BlobNotFound(id.0))
+    }
+
+    /// Remove a blob (its pages become dead space; no free-list reclamation).
+    pub fn delete(&self, id: BlobId) -> Result<()> {
+        let mut state = self.state.lock();
+        let meta = state.blobs.remove(&id).ok_or(Error::BlobNotFound(id.0))?;
+        state.bytes_stored -= meta.len as u64;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for BlobStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("BlobStore")
+            .field("blobs", &st.blobs.len())
+            .field("bytes", &st.bytes_stored)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+
+    fn store(frames: usize) -> BlobStore {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames));
+        BlobStore::new(pool)
+    }
+
+    #[test]
+    fn small_blob_roundtrip() {
+        let s = store(4);
+        let id = s.put(b"tiny").unwrap();
+        assert_eq!(s.get(id).unwrap(), b"tiny");
+        assert_eq!(s.blob_len(id).unwrap(), 4);
+    }
+
+    #[test]
+    fn multi_page_blob_roundtrip() {
+        let s = store(8);
+        let payload: Vec<u8> = (0..PAGE_SIZE * 3 + 123).map(|i| (i % 251) as u8).collect();
+        let id = s.put(&payload).unwrap();
+        assert_eq!(s.get(id).unwrap(), payload);
+    }
+
+    #[test]
+    fn exact_page_boundary() {
+        let s = store(4);
+        let payload = vec![0x5au8; PAGE_SIZE];
+        let id = s.put(&payload).unwrap();
+        assert_eq!(s.get(id).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_blob() {
+        let s = store(4);
+        let id = s.put(b"").unwrap();
+        assert_eq!(s.get(id).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn blobs_survive_pool_pressure() {
+        // Store far more blob data than the pool holds; everything must read
+        // back via disk.
+        let s = store(2);
+        let mut ids = Vec::new();
+        for i in 0..10u8 {
+            let payload = vec![i; PAGE_SIZE + 17];
+            ids.push((s.put(&payload).unwrap(), payload));
+        }
+        for (id, payload) in &ids {
+            assert_eq!(&s.get(*id).unwrap(), payload);
+        }
+        assert!(s.pool().stats().evictions > 0);
+    }
+
+    #[test]
+    fn delete_frees_accounting() {
+        let s = store(4);
+        let id = s.put(&[0u8; 100]).unwrap();
+        assert_eq!(s.bytes_stored(), 100);
+        s.delete(id).unwrap();
+        assert_eq!(s.bytes_stored(), 0);
+        assert!(s.get(id).is_err());
+        assert!(s.delete(id).is_err());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let s = store(4);
+        let a = s.put(b"a").unwrap();
+        let b = s.put(b"b").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+    }
+}

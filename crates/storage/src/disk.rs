@@ -1,0 +1,204 @@
+//! File-backed page storage with positioned I/O.
+
+use crate::error::Result;
+use crate::page::{Page, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocates and persists pages in a single backing file.
+///
+/// The disk manager is intentionally dumb: no caching (that is the buffer
+/// pool's job) and no free-list (experiments are append-mostly). It counts
+/// physical reads and writes so benchmarks can report spill traffic.
+#[derive(Debug)]
+pub struct DiskManager {
+    file: File,
+    path: PathBuf,
+    next_page: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    /// Serializes extension of the file; reads/writes use positioned I/O and
+    /// need no lock.
+    grow_lock: Mutex<()>,
+    delete_on_drop: bool,
+}
+
+impl DiskManager {
+    /// Open (or create) a database file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(DiskManager {
+            file,
+            path,
+            next_page: AtomicU64::new(len / PAGE_SIZE as u64),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            grow_lock: Mutex::new(()),
+            delete_on_drop: false,
+        })
+    }
+
+    /// Create a scratch database in the OS temp dir, removed on drop.
+    pub fn temp() -> Result<Self> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "relserve-{}-{}-{n}.db",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        let mut dm = Self::open(&path)?;
+        dm.delete_on_drop = true;
+        Ok(dm)
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Allocate a fresh page id (the page exists on disk once first written).
+    pub fn allocate_page(&self) -> PageId {
+        PageId(self.next_page.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Number of pages ever allocated.
+    pub fn num_pages(&self) -> u64 {
+        self.next_page.load(Ordering::Relaxed)
+    }
+
+    /// Read a page image from disk.
+    pub fn read_page(&self, id: PageId) -> Result<Page> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let offset = id.0 * PAGE_SIZE as u64;
+        let file_len = self.file.metadata()?.len();
+        if offset + PAGE_SIZE as u64 <= file_len {
+            self.file.read_exact_at(&mut buf, offset)?;
+        }
+        // Pages allocated but never written read back as zeroes, which
+        // `Page::from_bytes` treats as a valid empty page.
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Page::from_bytes(id, buf)
+    }
+
+    /// Write a page image to disk.
+    pub fn write_page(&self, page: &Page) -> Result<()> {
+        let offset = page.id().0 * PAGE_SIZE as u64;
+        {
+            let _g = self.grow_lock.lock();
+            let file_len = self.file.metadata()?.len();
+            if offset + PAGE_SIZE as u64 > file_len {
+                self.file.set_len(offset + PAGE_SIZE as u64)?;
+            }
+        }
+        self.file.write_all_at(page.bytes(), offset)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Physical page reads since open.
+    pub fn read_count(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Physical page writes since open.
+    pub fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for DiskManager {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dm = DiskManager::temp().unwrap();
+        let id = dm.allocate_page();
+        let mut p = Page::new(id);
+        p.insert_tuple(b"on disk").unwrap();
+        dm.write_page(&p).unwrap();
+        let q = dm.read_page(id).unwrap();
+        assert_eq!(q.tuple(0).unwrap(), b"on disk");
+    }
+
+    #[test]
+    fn unwritten_page_reads_as_empty() {
+        let dm = DiskManager::temp().unwrap();
+        let id = dm.allocate_page();
+        let p = dm.read_page(id).unwrap();
+        assert_eq!(p.live_tuples(), 0);
+    }
+
+    #[test]
+    fn page_ids_are_sequential() {
+        let dm = DiskManager::temp().unwrap();
+        assert_eq!(dm.allocate_page(), PageId(0));
+        assert_eq!(dm.allocate_page(), PageId(1));
+        assert_eq!(dm.num_pages(), 2);
+    }
+
+    #[test]
+    fn io_counters_track_operations() {
+        let dm = DiskManager::temp().unwrap();
+        let id = dm.allocate_page();
+        dm.write_page(&Page::new(id)).unwrap();
+        dm.read_page(id).unwrap();
+        dm.read_page(id).unwrap();
+        assert_eq!(dm.write_count(), 1);
+        assert_eq!(dm.read_count(), 2);
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let dir = std::env::temp_dir().join(format!("relserve-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        {
+            let dm = DiskManager::open(&dir).unwrap();
+            let id = dm.allocate_page();
+            let mut p = Page::new(id);
+            p.insert_tuple(b"durable").unwrap();
+            dm.write_page(&p).unwrap();
+        }
+        {
+            let dm = DiskManager::open(&dir).unwrap();
+            assert_eq!(dm.num_pages(), 1);
+            let p = dm.read_page(PageId(0)).unwrap();
+            assert_eq!(p.tuple(0).unwrap(), b"durable");
+        }
+        std::fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_file_is_deleted_on_drop() {
+        let path;
+        {
+            let dm = DiskManager::temp().unwrap();
+            path = dm.path().to_path_buf();
+            dm.write_page(&Page::new(dm.allocate_page())).unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,252 @@
+//! Unordered tuple heap over buffered pages.
+
+use crate::bufferpool::BufferPool;
+use crate::error::{Error, Result};
+use crate::page::{Page, PageId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Address of one tuple: the page it lives in and its slot there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TupleId {
+    /// Containing page.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// An append-oriented heap of variable-length tuples.
+///
+/// All pages are fetched through the buffer pool, so a heap larger than the
+/// pool transparently spills — the property relation-centric execution
+/// depends on.
+pub struct TableHeap {
+    pool: Arc<BufferPool>,
+    state: Mutex<HeapState>,
+}
+
+#[derive(Debug, Default)]
+struct HeapState {
+    pages: Vec<PageId>,
+    tuples: u64,
+}
+
+impl TableHeap {
+    /// An empty heap on `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        TableHeap {
+            pool,
+            state: Mutex::new(HeapState::default()),
+        }
+    }
+
+    /// Re-attach a heap to pages recorded in the catalog.
+    pub fn from_pages(pool: Arc<BufferPool>, pages: Vec<PageId>, tuples: u64) -> Self {
+        TableHeap {
+            pool,
+            state: Mutex::new(HeapState { pages, tuples }),
+        }
+    }
+
+    /// The buffer pool this heap allocates from.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Page ids backing the heap, in insertion order.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.state.lock().pages.clone()
+    }
+
+    /// Number of tuples ever inserted (deletes do not decrement).
+    pub fn tuple_count(&self) -> u64 {
+        self.state.lock().tuples
+    }
+
+    /// Append a tuple, growing the heap by a page when the tail is full.
+    pub fn insert(&self, payload: &[u8]) -> Result<TupleId> {
+        if payload.len() > Page::max_tuple_size() {
+            return Err(Error::TupleTooLarge {
+                size: payload.len(),
+                max: Page::max_tuple_size(),
+            });
+        }
+        let mut state = self.state.lock();
+        if let Some(&last) = state.pages.last() {
+            let guard = self.pool.fetch(last)?;
+            let mut page = guard.write();
+            if let Ok(slot) = page.insert_tuple(payload) {
+                state.tuples += 1;
+                return Ok(TupleId { page: last, slot });
+            }
+        }
+        let guard = self.pool.create_page()?;
+        let id = guard.id();
+        let slot = guard.write().insert_tuple(payload)?;
+        state.pages.push(id);
+        state.tuples += 1;
+        Ok(TupleId { page: id, slot })
+    }
+
+    /// Read one tuple's payload.
+    pub fn get(&self, id: TupleId) -> Result<Vec<u8>> {
+        let guard = self.pool.fetch(id.page)?;
+        let page = guard.read();
+        Ok(page.tuple(id.slot)?.to_vec())
+    }
+
+    /// Tombstone one tuple.
+    pub fn delete(&self, id: TupleId) -> Result<()> {
+        let guard = self.pool.fetch(id.page)?;
+        let result = guard.write().delete_tuple(id.slot);
+        result
+    }
+
+    /// Sequential scan over live tuples, page at a time.
+    pub fn scan(&self) -> HeapScan<'_> {
+        let pages = self.pages();
+        HeapScan {
+            heap: self,
+            pages,
+            page_idx: 0,
+            buffered: Vec::new(),
+            buffered_idx: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for TableHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("TableHeap")
+            .field("pages", &st.pages.len())
+            .field("tuples", &st.tuples)
+            .finish()
+    }
+}
+
+/// Iterator over a heap's live tuples.
+///
+/// Buffers one page's tuples at a time so only a single page is pinned
+/// during the copy, no matter how large the heap is.
+pub struct HeapScan<'a> {
+    heap: &'a TableHeap,
+    pages: Vec<PageId>,
+    page_idx: usize,
+    buffered: Vec<(TupleId, Vec<u8>)>,
+    buffered_idx: usize,
+}
+
+impl Iterator for HeapScan<'_> {
+    type Item = Result<(TupleId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.buffered_idx < self.buffered.len() {
+                let item = self.buffered[self.buffered_idx].clone();
+                self.buffered_idx += 1;
+                return Some(Ok(item));
+            }
+            if self.page_idx >= self.pages.len() {
+                return None;
+            }
+            let pid = self.pages[self.page_idx];
+            self.page_idx += 1;
+            let guard = match self.heap.pool.fetch(pid) {
+                Ok(g) => g,
+                Err(e) => return Some(Err(e)),
+            };
+            let page = guard.read();
+            self.buffered = page
+                .iter_tuples()
+                .map(|(slot, bytes)| (TupleId { page: pid, slot }, bytes.to_vec()))
+                .collect();
+            self.buffered_idx = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+
+    fn heap(frames: usize) -> TableHeap {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames));
+        TableHeap::new(pool)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let h = heap(4);
+        let id = h.insert(b"first").unwrap();
+        assert_eq!(h.get(id).unwrap(), b"first");
+        assert_eq!(h.tuple_count(), 1);
+    }
+
+    #[test]
+    fn grows_across_pages() {
+        let h = heap(8);
+        let big = vec![7u8; 20_000];
+        for _ in 0..10 {
+            h.insert(&big).unwrap();
+        }
+        // 3 tuples/page at 20 KB each within 64 KiB pages → ≥ 4 pages.
+        assert!(h.pages().len() >= 4, "pages = {}", h.pages().len());
+    }
+
+    #[test]
+    fn scan_returns_all_in_order() {
+        let h = heap(4);
+        for i in 0..100u32 {
+            h.insert(&i.to_le_bytes()).unwrap();
+        }
+        let vals: Vec<u32> = h
+            .scan()
+            .map(|r| u32::from_le_bytes(r.unwrap().1.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_skips_deleted() {
+        let h = heap(4);
+        let a = h.insert(b"a").unwrap();
+        let _b = h.insert(b"b").unwrap();
+        h.delete(a).unwrap();
+        let vals: Vec<Vec<u8>> = h.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(vals, vec![b"b".to_vec()]);
+    }
+
+    #[test]
+    fn scan_survives_spilling() {
+        // Heap much larger than the pool: scanning must page data back in.
+        let h = heap(2);
+        let big = vec![1u8; 30_000];
+        for _ in 0..20 {
+            h.insert(&big).unwrap();
+        }
+        assert_eq!(h.scan().count(), 20);
+        let stats = h.pool().stats();
+        assert!(stats.evictions > 0);
+    }
+
+    #[test]
+    fn oversized_tuple_is_rejected() {
+        let h = heap(4);
+        assert!(h.insert(&vec![0u8; crate::PAGE_SIZE]).is_err());
+    }
+
+    #[test]
+    fn from_pages_reattaches() {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 4));
+        let h = TableHeap::new(pool.clone());
+        h.insert(b"persisted").unwrap();
+        let pages = h.pages();
+        let count = h.tuple_count();
+        drop(h);
+        let h2 = TableHeap::from_pages(pool, pages, count);
+        let vals: Vec<Vec<u8>> = h2.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(vals, vec![b"persisted".to_vec()]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Dense and blocked tensor primitives for `relserve`.
+//!
+//! This crate is the numeric substrate of the system described in *Serving
+//! Deep Learning Models from Relational Databases* (EDBT 2024). It provides:
+//!
+//! * [`Shape`] — a lightweight dimension descriptor.
+//! * [`Tensor`] — a dense, row-major `f32` tensor with the linear-algebra
+//!   kernels the paper's models need (matmul, conv2d, activations).
+//! * [`blocked::BlockedTensor`] — a tensor represented as a *collection of
+//!   tensor blocks*, the relation-centric data model: each block is addressed
+//!   by a `(row_block, col_block)` coordinate and can live in a relational
+//!   table, spill to disk through the buffer pool, or be joined/aggregated.
+//! * [`sparse::CsrMatrix`] — compressed-sparse-row matrices for the
+//!   extreme-classification inputs (Amazon-14k rows are ~0.5 % dense).
+//!
+//! The crate is deliberately dependency-light (only `crossbeam` for scoped
+//! threads in the parallel matmul) so that every layer above it — storage,
+//! relational execution, the optimizer — can build on the same kernels.
+
+pub mod blocked;
+pub mod conv;
+pub mod dense;
+pub mod error;
+pub mod matmul;
+pub mod ops;
+pub mod shape;
+pub mod sparse;
+
+pub use blocked::{BlockCoord, BlockedTensor, BlockingSpec};
+pub use conv::{im2col, spatial_rewrite_1x1, Conv2dSpec};
+pub use dense::Tensor;
+pub use error::{Error, Result};
+pub use shape::Shape;
+pub use sparse::CsrMatrix;
+
+/// Size of one `f32` element in bytes; used by memory estimators everywhere.
+pub const ELEM_BYTES: usize = std::mem::size_of::<f32>();

@@ -1,0 +1,296 @@
+//! Matrix multiplication kernels.
+//!
+//! Three kernels with one contract (`C = A × B`):
+//!
+//! * [`matmul_naive`] — reference triple loop, used by tests as an oracle.
+//! * [`matmul`] — single-threaded, cache-blocked, `ikj`-ordered kernel.
+//! * [`matmul_parallel`] — the blocked kernel sharded over row stripes with
+//!   `crossbeam::scope`; thread count is a parameter so the unified resource
+//!   manager (§3 of the paper) can coordinate it with DB worker threads
+//!   instead of letting a BLAS runtime spawn threads behind the system's back.
+//!
+//! `matmul_bt` variants compute `A × Bᵀ` without materializing the transpose,
+//! which is the natural layout for `X × Wᵀ` inference (weights are stored
+//! `[out_features, in_features]`).
+
+use crate::dense::Tensor;
+use crate::error::{Error, Result};
+
+fn matrix_dims(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
+    let (m, k1) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k1 != k2 {
+        return Err(Error::ShapeMismatch {
+            op,
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    Ok((m, k1, n))
+}
+
+/// Reference `C[m,n] = A[m,k] × B[k,n]` — slow but obviously correct.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n) = matrix_dims(a, b, "matmul_naive")?;
+    let (ad, bd) = (a.data(), b.data());
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec([m, n], c)
+}
+
+/// Inner kernel: accumulate `C[i0..i1) += A × B` with `ikj` ordering over a
+/// row stripe. `B` is read as `[k, n]` row-major.
+fn stripe_kernel(ad: &[f32], bd: &[f32], cd: &mut [f32], i0: usize, i1: usize, k: usize, n: usize) {
+    // Block over k to keep the active slice of B in cache.
+    const KB: usize = 256;
+    for p0 in (0..k).step_by(KB) {
+        let p1 = (p0 + KB).min(k);
+        for i in i0..i1 {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let c_row = &mut cd[(i - i0) * n..(i - i0 + 1) * n];
+            for p in p0..p1 {
+                let av = a_row[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * n..(p + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * *bv;
+                }
+            }
+        }
+    }
+}
+
+/// Single-threaded cache-blocked `A × B`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n) = matrix_dims(a, b, "matmul")?;
+    let mut c = vec![0.0f32; m * n];
+    stripe_kernel(a.data(), b.data(), &mut c, 0, m, k, n);
+    Tensor::from_vec([m, n], c)
+}
+
+/// Multi-threaded `A × B` over `threads` row stripes.
+///
+/// With `threads <= 1` this degrades to the single-threaded kernel, which is
+/// what the resource manager requests when DB worker threads already saturate
+/// the cores (§3.1).
+pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+    let (m, k, n) = matrix_dims(a, b, "matmul_parallel")?;
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 {
+        return matmul(a, b);
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let mut c = vec![0.0f32; m * n];
+    let rows_per = m.div_ceil(threads);
+    // Split C into disjoint row stripes so each worker owns its output slice.
+    let mut stripes: Vec<(usize, &mut [f32])> = Vec::with_capacity(threads);
+    {
+        let mut rest = c.as_mut_slice();
+        let mut row = 0usize;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (head, tail) = rest.split_at_mut(take * n);
+            stripes.push((row, head));
+            rest = tail;
+            row += take;
+        }
+    }
+    crossbeam::scope(|scope| {
+        for (row0, stripe) in stripes {
+            let rows = stripe.len() / n;
+            scope.spawn(move |_| {
+                stripe_kernel(ad, bd, stripe, row0, row0 + rows, k, n);
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+    Tensor::from_vec([m, n], c)
+}
+
+/// `A[m,k] × Bᵀ` where `B` is stored `[n, k]` — the inference layout.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_bt_parallel(a, b, 1)
+}
+
+/// Multi-threaded `A × Bᵀ` with `B` stored `[n, k]`.
+///
+/// Large multiplications transpose `B` once (a few percent of the multiply
+/// cost) and run the cache-blocked `ikj` kernel, which is markedly faster
+/// than row-by-row dot products; small ones use the dot-product path to
+/// avoid the transpose overhead.
+pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+    let (m, k1) = a.shape().as_matrix()?;
+    let (n, k2) = b.shape().as_matrix()?;
+    if k1 != k2 {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_bt",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let k = k1;
+    // Heuristic: the transpose costs k×n writes and the blocked kernel wins
+    // roughly 2-3× on the 2·m·k·n multiply, so it pays off only when enough
+    // rows amortize the transpose (m ≥ 4) and the multiply is big enough to
+    // be cache-bound at all.
+    if m >= 4 && m * k * n >= 1 << 18 {
+        let bt = b.transpose()?;
+        return matmul_parallel(a, &bt, threads);
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let mut c = vec![0.0f32; m * n];
+    let do_rows = |row0: usize, stripe: &mut [f32]| {
+        let rows = stripe.len() / n;
+        for i in row0..row0 + rows {
+            let a_row = &ad[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &bd[j * k..(j + 1) * k];
+                // Dot product over contiguous memory in both operands.
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                stripe[(i - row0) * n + j] = acc;
+            }
+        }
+    };
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 {
+        do_rows(0, &mut c);
+    } else {
+        let rows_per = m.div_ceil(threads);
+        let mut stripes: Vec<(usize, &mut [f32])> = Vec::with_capacity(threads);
+        let mut rest = c.as_mut_slice();
+        let mut row = 0usize;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (head, tail) = rest.split_at_mut(take * n);
+            stripes.push((row, head));
+            rest = tail;
+            row += take;
+        }
+        crossbeam::scope(|scope| {
+            for (row0, stripe) in stripes {
+                scope.spawn(move |_| do_rows(row0, stripe));
+            }
+        })
+        .expect("matmul_bt worker panicked");
+    }
+    Tensor::from_vec([m, n], c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |v| Tensor::from_vec([rows, cols], v).unwrap())
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn([3, 3], |i| i as f32);
+        let i = Tensor::eye(3);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn rejects_inner_dim_mismatch() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_naive(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = Tensor::from_fn([4, 6], |i| (i % 7) as f32 - 3.0);
+        let w = Tensor::from_fn([5, 6], |i| (i % 5) as f32 * 0.5);
+        let expect = matmul(&a, &w.transpose().unwrap()).unwrap();
+        let got = matmul_bt(&a, &w).unwrap();
+        assert!(expect.approx_eq(&got, 1e-4));
+    }
+
+    #[test]
+    fn parallel_matches_serial_odd_sizes() {
+        let a = Tensor::from_fn([17, 13], |i| ((i * 31) % 11) as f32 - 5.0);
+        let b = Tensor::from_fn([13, 7], |i| ((i * 17) % 9) as f32 - 4.0);
+        let serial = matmul(&a, &b).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = matmul_parallel(&a, &b, threads).unwrap();
+            assert!(serial.approx_eq(&par, 1e-4), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_bt_matches_serial() {
+        let a = Tensor::from_fn([9, 5], |i| i as f32 * 0.25);
+        let w = Tensor::from_fn([4, 5], |i| (i as f32).sin());
+        let serial = matmul_bt(&a, &w).unwrap();
+        let par = matmul_bt_parallel(&a, &w, 4).unwrap();
+        assert!(serial.approx_eq(&par, 1e-4));
+    }
+
+    #[test]
+    fn single_row_and_column() {
+        let a = Tensor::from_vec([1, 3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec([3, 1], vec![4., 5., 6.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[32.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn blocked_matches_naive(a in tensor_strategy(5, 8), b in tensor_strategy(8, 6)) {
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            prop_assert!(fast.approx_eq(&slow, 1e-3));
+        }
+
+        #[test]
+        fn parallel_matches_naive(a in tensor_strategy(7, 4), b in tensor_strategy(4, 9)) {
+            let fast = matmul_parallel(&a, &b, 3).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            prop_assert!(fast.approx_eq(&slow, 1e-3));
+        }
+
+        #[test]
+        fn matmul_distributes_over_hconcat(
+            a1 in tensor_strategy(3, 4),
+            a2 in tensor_strategy(3, 5),
+            b1 in tensor_strategy(4, 2),
+            b2 in tensor_strategy(5, 2),
+        ) {
+            // The §2.2 decomposition identity: [A1 | A2] × [B1; B2] = A1×B1 + A2×B2.
+            let a = a1.hconcat(&a2).unwrap();
+            let b = b1.vconcat(&b2).unwrap();
+            let whole = matmul(&a, &b).unwrap();
+            let parts = crate::ops::add(
+                &matmul(&a1, &b1).unwrap(),
+                &matmul(&a2, &b2).unwrap(),
+            ).unwrap();
+            prop_assert!(whole.approx_eq(&parts, 1e-2));
+        }
+    }
+}

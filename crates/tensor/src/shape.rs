@@ -1,0 +1,160 @@
+//! Shape descriptor for dense tensors.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A tensor shape: an ordered list of dimension sizes.
+///
+/// Shapes are small (rank ≤ 4 for every model in the paper) so they are
+/// stored inline in a `Vec` and cloned freely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`; shape ranks are static program facts, not
+    /// data-dependent, so this is a programming error.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for a scalar).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of bytes a dense `f32` tensor of this shape occupies.
+    pub fn num_bytes(&self) -> usize {
+        self.num_elements() * crate::ELEM_BYTES
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Interpret the shape as a matrix `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are treated as a single row; higher ranks collapse all
+    /// leading dimensions into the row count (the usual "flatten batch dims"
+    /// convention).
+    pub fn as_matrix(&self) -> Result<(usize, usize)> {
+        match self.rank() {
+            0 => Err(Error::InvalidRank {
+                op: "as_matrix",
+                expected: 2,
+                actual: 0,
+            }),
+            1 => Ok((1, self.0[0])),
+            _ => {
+                let cols = *self.0.last().expect("rank >= 2");
+                let rows = self.0[..self.rank() - 1].iter().product();
+                Ok((rows, cols))
+            }
+        }
+    }
+
+    /// Check element-count compatibility for reshapes.
+    pub fn can_reshape_to(&self, other: &Shape) -> bool {
+        self.num_elements() == other.num_elements()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_product() {
+        assert_eq!(Shape::from([2, 3, 4]).num_elements(), 24);
+        assert_eq!(Shape::scalar().num_elements(), 1);
+        assert_eq!(Shape::from([5]).num_elements(), 5);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn as_matrix_flattens_leading_dims() {
+        assert_eq!(Shape::from([2, 3]).as_matrix().unwrap(), (2, 3));
+        assert_eq!(Shape::from([2, 3, 4]).as_matrix().unwrap(), (6, 4));
+        assert_eq!(Shape::from([5]).as_matrix().unwrap(), (1, 5));
+        assert!(Shape::scalar().as_matrix().is_err());
+    }
+
+    #[test]
+    fn num_bytes_is_four_per_element() {
+        assert_eq!(Shape::from([10, 10]).num_bytes(), 400);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::from([28, 28, 3]).to_string(), "[28x28x3]");
+    }
+
+    #[test]
+    fn reshape_compatibility() {
+        assert!(Shape::from([6]).can_reshape_to(&Shape::from([2, 3])));
+        assert!(!Shape::from([6]).can_reshape_to(&Shape::from([2, 4])));
+    }
+}

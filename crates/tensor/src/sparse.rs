@@ -1,0 +1,254 @@
+//! Sparse (CSR) matrices for extreme-classification inputs.
+//!
+//! The Amazon-14k workload's feature rows are bag-of-words activations with
+//! ~0.5 % density; materializing them densely wastes two orders of magnitude
+//! of memory and FLOPs. [`CsrMatrix`] stores them compressed-sparse-row and
+//! multiplies against dense weights directly (`sparse × denseᵀ`), which is
+//! how the UDF-centric path can serve such models long before the dense
+//! representation would fit.
+
+use crate::dense::Tensor;
+use crate::error::{Error, Result};
+
+/// A compressed-sparse-row f32 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets into `col_idx`/`values`; length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column index of each stored value.
+    col_idx: Vec<u32>,
+    /// The stored (non-zero) values.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from per-row `(column, value)` lists.
+    ///
+    /// Entries may be unsorted within a row; duplicates are summed.
+    pub fn from_rows(rows: usize, cols: usize, entries: &[Vec<(usize, f32)>]) -> Result<Self> {
+        if entries.len() != rows {
+            return Err(Error::ShapeMismatch {
+                op: "csr from_rows",
+                lhs: vec![rows, cols],
+                rhs: vec![entries.len()],
+            });
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        row_ptr.push(0);
+        for row in entries {
+            let mut sorted: Vec<(usize, f32)> = row.clone();
+            sorted.sort_by_key(|(c, _)| *c);
+            let row_start = col_idx.len();
+            for (c, v) in sorted {
+                if c >= cols {
+                    return Err(Error::IndexOutOfBounds { index: c, bound: cols });
+                }
+                if col_idx.len() > row_start && *col_idx.last().expect("non-empty") == c as u32 {
+                    // Duplicate column within the row: accumulate.
+                    *values.last_mut().expect("value exists") += v;
+                } else if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Build from a dense matrix, keeping entries with `|v| > threshold`.
+    pub fn from_dense(dense: &Tensor, threshold: f32) -> Result<Self> {
+        let (rows, cols) = dense.shape().as_matrix()?;
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for (c, v) in dense.row(r)?.iter().enumerate() {
+                if v.abs() > threshold {
+                    col_idx.push(c as u32);
+                    values.push(*v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Matrix row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries stored.
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Payload bytes (values + column indexes + row pointers).
+    pub fn num_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 8
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros([self.rows, self.cols]);
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out.data_mut()[r * self.cols + self.col_idx[i] as usize] = self.values[i];
+            }
+        }
+        out
+    }
+
+    /// `self[m,k] × Wᵀ` with dense `W: [n, k]` — the sparse inference kernel.
+    ///
+    /// Cost is `O(nnz × n)` instead of `O(m × k × n)`: at Amazon-14k's 0.5 %
+    /// density that is a ~200× FLOP reduction on the first layer.
+    pub fn matmul_bt(&self, w: &Tensor) -> Result<Tensor> {
+        let (n, k) = w.shape().as_matrix()?;
+        if k != self.cols {
+            return Err(Error::ShapeMismatch {
+                op: "csr matmul_bt",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![n, k],
+            });
+        }
+        let wd = w.data();
+        let mut out = vec![0.0f32; self.rows * n];
+        for r in 0..self.rows {
+            let out_row = &mut out[r * n..(r + 1) * n];
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[i] as usize;
+                let v = self.values[i];
+                // Accumulate v × W[:, c] — W is [n, k] row-major, so column c
+                // strides by k.
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o += v * wd[j * k + c];
+                }
+            }
+        }
+        Tensor::from_vec([self.rows, n], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Tensor {
+        let mut t = Tensor::zeros([3, 6]);
+        t.data_mut()[1] = 2.0; // (0,1)
+        t.data_mut()[6 + 4] = -1.5; // (1,4)
+        t.data_mut()[12] = 0.5; // (2,0)
+        t.data_mut()[12 + 5] = 3.0; // (2,5)
+        t
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), d);
+        assert!((s.density() - 4.0 / 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_rows_matches_from_dense() {
+        let d = sample_dense();
+        let s1 = CsrMatrix::from_dense(&d, 0.0).unwrap();
+        let s2 = CsrMatrix::from_rows(
+            3,
+            6,
+            &[
+                vec![(1, 2.0)],
+                vec![(4, -1.5)],
+                vec![(5, 3.0), (0, 0.5)], // unsorted on purpose
+            ],
+        )
+        .unwrap();
+        assert_eq!(s1.to_dense(), s2.to_dense());
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(CsrMatrix::from_rows(2, 4, &[vec![]]).is_err());
+        assert!(CsrMatrix::from_rows(1, 4, &[vec![(4, 1.0)]]).is_err());
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
+        let w = Tensor::from_fn([5, 6], |i| ((i * 7) % 11) as f32 * 0.25 - 1.0);
+        let sparse = s.matmul_bt(&w).unwrap();
+        let dense = crate::matmul::matmul_bt(&d, &w).unwrap();
+        assert!(sparse.approx_eq(&dense, 1e-4));
+    }
+
+    #[test]
+    fn matmul_rejects_width_mismatch() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0).unwrap();
+        let w = Tensor::zeros([5, 7]);
+        assert!(s.matmul_bt(&w).is_err());
+    }
+
+    #[test]
+    fn storage_is_proportional_to_nnz() {
+        let mut dense = Tensor::zeros([100, 1000]);
+        for r in 0..100 {
+            dense.data_mut()[r * 1000 + (r * 13) % 1000] = 1.0;
+        }
+        let s = CsrMatrix::from_dense(&dense, 0.0).unwrap();
+        assert_eq!(s.nnz(), 100);
+        assert!(s.num_bytes() < dense.num_bytes() / 50);
+    }
+
+    #[test]
+    fn threshold_prunes_small_values() {
+        let mut dense = Tensor::zeros([1, 4]);
+        dense.data_mut().copy_from_slice(&[0.001, 0.5, -0.002, -0.7]);
+        let s = CsrMatrix::from_dense(&dense, 0.01).unwrap();
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = CsrMatrix::from_dense(&Tensor::zeros([2, 3]), 0.0).unwrap();
+        assert_eq!(s.nnz(), 0);
+        let w = Tensor::from_fn([4, 3], |i| i as f32);
+        let out = s.matmul_bt(&w).unwrap();
+        assert_eq!(out, Tensor::zeros([2, 4]));
+    }
+}

@@ -1,0 +1,394 @@
+//! The approximate inference-result cache (§5.1, validated in §7.2.2).
+//!
+//! A table of `(feature vector, prediction)` pairs under a nearest-neighbor
+//! index. A lookup searches the index; if the nearest cached features are
+//! within the admission distance, the cached prediction is returned without
+//! running the model — trading accuracy for latency exactly as the paper's
+//! experiments show (10.3× / 7.3× speedups against a few points of accuracy).
+//!
+//! Cache admission is SLA-aware: [`InferenceResultCache::estimate_error_bound`]
+//! runs the Monte-Carlo estimation the paper proposes — sample cached
+//! lookups, compare against exact inference, and report the disagreement
+//! rate with a confidence interval — so the optimizer can refuse to serve a
+//! query from the cache when the bound exceeds the application's tolerance.
+
+use crate::error::Result;
+use crate::hnsw::{HnswIndex, HnswParams};
+use crate::{Neighbor, VectorIndex};
+
+/// Cache hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the model.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Monte-Carlo estimate of the cache's prediction error (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBoundEstimate {
+    /// Fraction of sampled hits whose cached prediction disagreed with
+    /// exact inference.
+    pub error_rate: f64,
+    /// Half-width of the 95 % normal-approximation confidence interval.
+    pub half_width_95: f64,
+    /// Number of samples the estimate is based on.
+    pub samples: usize,
+}
+
+impl ErrorBoundEstimate {
+    /// Conservative upper bound: estimate plus the interval half-width.
+    pub fn upper_bound(&self) -> f64 {
+        (self.error_rate + self.half_width_95).min(1.0)
+    }
+}
+
+/// An **exact** inference-result cache keyed on the bit pattern of the
+/// feature vector — the §5.1 alternative "to use the exact inference result
+/// caching leveraging the hashing indexing". Zero accuracy loss, but only
+/// byte-identical repeat requests hit.
+#[derive(Debug, Default)]
+pub struct ExactResultCache {
+    entries: std::collections::HashMap<Vec<u32>, Vec<f32>>,
+    stats: CacheStats,
+}
+
+impl ExactResultCache {
+    /// An empty exact cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(features: &[f32]) -> Vec<u32> {
+        features.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Insert a `(features → prediction)` pair (replaces any previous value).
+    pub fn insert(&mut self, features: &[f32], prediction: Vec<f32>) {
+        self.entries.insert(Self::key(features), prediction);
+        self.stats.insertions += 1;
+    }
+
+    /// Look up a bit-exact match.
+    pub fn lookup(&mut self, features: &[f32]) -> Option<&[f32]> {
+        match self.entries.get(&Self::key(features)) {
+            Some(hit) => {
+                self.stats.hits += 1;
+                Some(hit.as_slice())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+/// An approximate inference-result cache over an HNSW index.
+pub struct InferenceResultCache {
+    index: HnswIndex,
+    /// Cached predictions, parallel to insertion order (id = position).
+    results: Vec<Vec<f32>>,
+    /// Cached feature keys (needed for Monte-Carlo resampling).
+    keys: Vec<Vec<f32>>,
+    /// Admission distance: a hit requires NN distance ≤ this.
+    max_distance: f32,
+    stats: CacheStats,
+}
+
+impl InferenceResultCache {
+    /// A cache for `dim`-dimensional feature keys with the given admission
+    /// distance.
+    pub fn new(dim: usize, max_distance: f32, params: HnswParams) -> Result<Self> {
+        Ok(InferenceResultCache {
+            index: HnswIndex::new(dim, params)?,
+            results: Vec::new(),
+            keys: Vec::new(),
+            max_distance,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// A cache with default HNSW parameters.
+    pub fn with_defaults(dim: usize, max_distance: f32) -> Self {
+        Self::new(dim, max_distance, HnswParams::default()).expect("default params valid")
+    }
+
+    /// The admission distance.
+    pub fn max_distance(&self) -> f32 {
+        self.max_distance
+    }
+
+    /// Change the admission distance (SLA renegotiation).
+    pub fn set_max_distance(&mut self, d: f32) {
+        self.max_distance = d;
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Insert a `(features → prediction)` pair.
+    pub fn insert(&mut self, features: &[f32], prediction: Vec<f32>) -> Result<()> {
+        let id = self.results.len() as u64;
+        self.index.insert(id, features)?;
+        self.results.push(prediction);
+        self.keys.push(features.to_vec());
+        self.stats.insertions += 1;
+        Ok(())
+    }
+
+    /// Look up a prediction; `Some` only when the nearest cached key is
+    /// within the admission distance.
+    pub fn lookup(&mut self, features: &[f32]) -> Result<Option<&[f32]>> {
+        match self.peek(features)? {
+            Some((id, _)) => {
+                self.stats.hits += 1;
+                Ok(Some(&self.results[id as usize]))
+            }
+            None => {
+                self.stats.misses += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Like [`lookup`](Self::lookup) but without touching statistics;
+    /// returns the hit id and distance.
+    pub fn peek(&self, features: &[f32]) -> Result<Option<(u64, f32)>> {
+        let hits = self.index.search(features, 1)?;
+        Ok(match hits.first() {
+            Some(Neighbor { id, distance }) if *distance <= self.max_distance => {
+                Some((*id, *distance))
+            }
+            _ => None,
+        })
+    }
+
+    /// Monte-Carlo error-bound estimation: perturb up to `samples` cached
+    /// keys by `perturbation`, answer each from the cache, compare the
+    /// cached argmax against `exact(features)`, and report the disagreement
+    /// rate with a 95 % normal-approximation confidence interval.
+    pub fn estimate_error_bound(
+        &self,
+        samples: usize,
+        perturbation: f32,
+        mut exact: impl FnMut(&[f32]) -> Vec<f32>,
+    ) -> Result<ErrorBoundEstimate> {
+        let n = samples.min(self.keys.len());
+        if n == 0 {
+            return Ok(ErrorBoundEstimate {
+                error_rate: 1.0,
+                half_width_95: 0.0,
+                samples: 0,
+            });
+        }
+        let argmax = |v: &[f32]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        let mut disagreements = 0usize;
+        // Deterministic stratified sampling over the cached keys.
+        let stride = (self.keys.len() / n).max(1);
+        let mut used = 0usize;
+        for i in (0..self.keys.len()).step_by(stride).take(n) {
+            let mut q = self.keys[i].clone();
+            // Deterministic perturbation pattern (alternating signs).
+            for (j, x) in q.iter_mut().enumerate() {
+                *x += if j % 2 == 0 { perturbation } else { -perturbation };
+            }
+            let cached = match self.peek(&q)? {
+                Some((id, _)) => argmax(&self.results[id as usize]),
+                None => continue, // a miss runs the model: never wrong
+            };
+            let truth = argmax(&exact(&q));
+            if cached != truth {
+                disagreements += 1;
+            }
+            used += 1;
+        }
+        if used == 0 {
+            return Ok(ErrorBoundEstimate {
+                error_rate: 0.0,
+                half_width_95: 0.0,
+                samples: 0,
+            });
+        }
+        let p = disagreements as f64 / used as f64;
+        let half = 1.96 * (p * (1.0 - p) / used as f64).sqrt();
+        Ok(ErrorBoundEstimate {
+            error_rate: p,
+            half_width_95: half,
+            samples: used,
+        })
+    }
+}
+
+impl std::fmt::Debug for InferenceResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceResultCache")
+            .field("entries", &self.results.len())
+            .field("max_distance", &self.max_distance)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_within_threshold_miss_outside() {
+        let mut cache = InferenceResultCache::with_defaults(2, 0.1);
+        cache.insert(&[0.0, 0.0], vec![0.9, 0.1]).unwrap();
+        // Within 0.1 → hit.
+        let hit = cache.lookup(&[0.05, 0.0]).unwrap();
+        assert_eq!(hit, Some(&[0.9f32, 0.1][..]));
+        // Far away → miss.
+        assert!(cache.lookup(&[5.0, 5.0]).unwrap().is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_key_always_hits() {
+        let mut cache = InferenceResultCache::with_defaults(4, 1e-6);
+        for i in 0..50 {
+            let v = [i as f32, 0.0, 0.0, 0.0];
+            cache.insert(&v, vec![i as f32]).unwrap();
+        }
+        for i in 0..50 {
+            let v = [i as f32, 0.0, 0.0, 0.0];
+            assert_eq!(cache.lookup(&v).unwrap(), Some(&[i as f32][..]));
+        }
+    }
+
+    #[test]
+    fn threshold_is_adjustable() {
+        let mut cache = InferenceResultCache::with_defaults(1, 0.0);
+        cache.insert(&[0.0], vec![1.0]).unwrap();
+        assert!(cache.lookup(&[0.5]).unwrap().is_none());
+        cache.set_max_distance(1.0);
+        assert!(cache.lookup(&[0.5]).unwrap().is_some());
+    }
+
+    #[test]
+    fn error_bound_zero_when_cache_agrees() {
+        let mut cache = InferenceResultCache::with_defaults(2, 10.0);
+        // All cached predictions say class 0, exact inference also says 0.
+        for i in 0..20 {
+            cache.insert(&[i as f32, 0.0], vec![1.0, 0.0]).unwrap();
+        }
+        let bound = cache
+            .estimate_error_bound(10, 0.01, |_| vec![1.0, 0.0])
+            .unwrap();
+        assert_eq!(bound.error_rate, 0.0);
+        assert!(bound.samples > 0);
+        assert_eq!(bound.upper_bound(), 0.0);
+    }
+
+    #[test]
+    fn error_bound_one_when_cache_always_wrong() {
+        let mut cache = InferenceResultCache::with_defaults(2, 10.0);
+        for i in 0..20 {
+            cache.insert(&[i as f32, 0.0], vec![1.0, 0.0]).unwrap();
+        }
+        let bound = cache
+            .estimate_error_bound(10, 0.01, |_| vec![0.0, 1.0])
+            .unwrap();
+        assert_eq!(bound.error_rate, 1.0);
+        assert!(bound.upper_bound() <= 1.0);
+    }
+
+    #[test]
+    fn empty_cache_reports_max_error() {
+        let cache = InferenceResultCache::with_defaults(2, 1.0);
+        let bound = cache.estimate_error_bound(10, 0.01, |_| vec![1.0]).unwrap();
+        assert_eq!(bound.error_rate, 1.0);
+        assert_eq!(bound.samples, 0);
+    }
+
+    #[test]
+    fn exact_cache_hits_only_identical_keys() {
+        let mut cache = ExactResultCache::new();
+        cache.insert(&[1.0, 2.0], vec![0.9]);
+        assert_eq!(cache.lookup(&[1.0, 2.0]), Some(&[0.9f32][..]));
+        // Even a 1-ulp difference misses — exactness is the contract.
+        assert!(cache.lookup(&[1.0 + f32::EPSILON, 2.0]).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn exact_cache_negative_zero_is_distinct() {
+        // Bit-pattern keying: -0.0 and 0.0 are different requests. Documented
+        // behaviour (the approximate cache treats them as distance 0 instead).
+        let mut cache = ExactResultCache::new();
+        cache.insert(&[0.0], vec![1.0]);
+        assert!(cache.lookup(&[-0.0]).is_none());
+        assert!(cache.lookup(&[0.0]).is_some());
+    }
+
+    #[test]
+    fn exact_cache_replaces_on_reinsert() {
+        let mut cache = ExactResultCache::new();
+        cache.insert(&[3.0], vec![0.1]);
+        cache.insert(&[3.0], vec![0.2]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&[3.0]), Some(&[0.2f32][..]));
+    }
+
+    #[test]
+    fn peek_does_not_mutate_stats() {
+        let mut cache = InferenceResultCache::with_defaults(1, 1.0);
+        cache.insert(&[0.0], vec![1.0]).unwrap();
+        cache.peek(&[0.1]).unwrap();
+        assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Vector-index errors.
+
+use std::fmt;
+
+/// Result alias for the vectoridx crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from index construction and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A vector's dimensionality does not match the index.
+    DimensionMismatch {
+        /// Index dimensionality.
+        expected: usize,
+        /// Query/insert dimensionality.
+        actual: usize,
+    },
+    /// An id was inserted twice.
+    DuplicateId(u64),
+    /// Invalid construction parameter.
+    InvalidParam(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "vector has {actual} dims, index expects {expected}")
+            }
+            Error::DuplicateId(id) => write!(f, "id {id} already present"),
+            Error::InvalidParam(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

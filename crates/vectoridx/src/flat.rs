@@ -1,0 +1,142 @@
+//! Exact linear-scan index — the recall oracle for the approximate indexes.
+
+use crate::error::{Error, Result};
+use crate::{Neighbor, VectorIndex};
+
+/// Brute-force exact kNN index.
+#[derive(Debug, Clone, Default)]
+pub struct FlatIndex {
+    dim: usize,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// An empty index over `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        FlatIndex {
+            dim,
+            ids: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Dimensionality of indexed vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+pub(crate) fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+impl VectorIndex for FlatIndex {
+    fn insert(&mut self, id: u64, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: vector.len(),
+            });
+        }
+        if self.ids.contains(&id) {
+            return Err(Error::DuplicateId(id));
+        }
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let mut hits: Vec<Neighbor> = (0..self.ids.len())
+            .map(|i| Neighbor {
+                id: self.ids[i],
+                distance: l2(query, self.vector(i)),
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_exact_nearest() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(1, &[0.0, 0.0]).unwrap();
+        idx.insert(2, &[1.0, 0.0]).unwrap();
+        idx.insert(3, &[5.0, 5.0]).unwrap();
+        let hits = idx.search(&[0.9, 0.1], 2).unwrap();
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn validates_dimensions_and_duplicates() {
+        let mut idx = FlatIndex::new(3);
+        assert!(idx.insert(1, &[1.0, 2.0]).is_err());
+        idx.insert(1, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(matches!(
+            idx.insert(1, &[4.0, 5.0, 6.0]),
+            Err(Error::DuplicateId(1))
+        ));
+        assert!(idx.search(&[0.0], 1).is_err());
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let mut idx = FlatIndex::new(1);
+        idx.insert(1, &[1.0]).unwrap();
+        assert_eq!(idx.search(&[0.0], 10).unwrap().len(), 1);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new(4);
+        assert!(idx.search(&[0.0; 4], 3).unwrap().is_empty());
+        assert!(idx.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn distances_are_sorted(vectors in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 4), 1..30
+        )) {
+            let mut idx = FlatIndex::new(4);
+            for (i, v) in vectors.iter().enumerate() {
+                idx.insert(i as u64, v).unwrap();
+            }
+            let hits = idx.search(&[0.0; 4], vectors.len()).unwrap();
+            for pair in hits.windows(2) {
+                prop_assert!(pair[0].distance <= pair[1].distance);
+            }
+        }
+    }
+}

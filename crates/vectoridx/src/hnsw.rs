@@ -1,0 +1,424 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2018),
+//! implemented from scratch.
+//!
+//! This is the index the paper's §7.2.2 experiment uses (via Faiss there)
+//! to cache inference results. Layered proximity graphs: the top layers are
+//! sparse long-range "highways", level 0 holds every vector; a query greedily
+//! descends the layers and then runs a best-first beam search (width `ef`)
+//! at level 0.
+
+use crate::error::{Error, Result};
+use crate::flat::l2;
+use crate::{Neighbor, VectorIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswParams {
+    /// Max connections per node per layer (level 0 allows `2m`).
+    pub m: usize,
+    /// Beam width while building.
+    pub ef_construction: usize,
+    /// Beam width while searching (raised to `k` if smaller).
+    pub ef_search: usize,
+    /// RNG seed for level assignment (determinism).
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x9e3779b9,
+        }
+    }
+}
+
+struct HnswNode {
+    id: u64,
+    vector: Vec<f32>,
+    /// Adjacency per level, `neighbors[l]` valid for `l <= node level`.
+    neighbors: Vec<Vec<usize>>,
+}
+
+/// Max-heap item ordered by distance (for result pruning).
+#[derive(PartialEq)]
+struct Far(f32, usize);
+impl Eq for Far {}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap item (candidate frontier) via reversed ordering.
+#[derive(PartialEq)]
+struct Near(f32, usize);
+impl Eq for Near {}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.total_cmp(&self.0)
+    }
+}
+
+/// An HNSW approximate nearest-neighbor index.
+pub struct HnswIndex {
+    dim: usize,
+    params: HnswParams,
+    nodes: Vec<HnswNode>,
+    entry: Option<usize>,
+    max_level: usize,
+    rng: StdRng,
+    ids: HashSet<u64>,
+    /// 1 / ln(m): the level-assignment normalizer from the paper.
+    ml: f64,
+}
+
+impl HnswIndex {
+    /// An empty index over `dim`-dimensional vectors.
+    pub fn new(dim: usize, params: HnswParams) -> Result<Self> {
+        if params.m < 2 {
+            return Err(Error::InvalidParam(format!("m must be ≥ 2, got {}", params.m)));
+        }
+        if params.ef_construction < params.m {
+            return Err(Error::InvalidParam(
+                "ef_construction must be ≥ m".to_string(),
+            ));
+        }
+        Ok(HnswIndex {
+            dim,
+            params,
+            nodes: Vec::new(),
+            entry: None,
+            max_level: 0,
+            rng: StdRng::seed_from_u64(params.seed),
+            ids: HashSet::new(),
+            ml: 1.0 / (params.m as f64).ln(),
+        })
+    }
+
+    /// An index with default parameters.
+    pub fn with_defaults(dim: usize) -> Self {
+        Self::new(dim, HnswParams::default()).expect("default params are valid")
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    fn dist(&self, idx: usize, q: &[f32]) -> f32 {
+        l2(&self.nodes[idx].vector, q)
+    }
+
+    fn sample_level(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        (-(u.ln()) * self.ml).floor() as usize
+    }
+
+    fn max_degree(&self, level: usize) -> usize {
+        if level == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    /// Greedy single-entry descent used above the insertion level.
+    fn greedy_closest(&self, q: &[f32], mut ep: usize, level: usize) -> usize {
+        let mut best = self.dist(ep, q);
+        loop {
+            let mut improved = false;
+            for &n in &self.nodes[ep].neighbors[level] {
+                let d = self.dist(n, q);
+                if d < best {
+                    best = d;
+                    ep = n;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Best-first beam search in one layer; returns up to `ef` closest
+    /// `(distance, node)` pairs sorted ascending.
+    fn search_layer(&self, q: &[f32], eps: &[usize], ef: usize, level: usize) -> Vec<(f32, usize)> {
+        let mut visited: HashSet<usize> = eps.iter().copied().collect();
+        let mut frontier: BinaryHeap<Near> = BinaryHeap::new();
+        let mut results: BinaryHeap<Far> = BinaryHeap::new();
+        for &ep in eps {
+            let d = self.dist(ep, q);
+            frontier.push(Near(d, ep));
+            results.push(Far(d, ep));
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Near(d, node)) = frontier.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            for &n in &self.nodes[node].neighbors[level] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let dn = self.dist(n, q);
+                let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+                if results.len() < ef || dn < worst {
+                    frontier.push(Near(dn, n));
+                    results.push(Far(dn, n));
+                    while results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(f32, usize)> = results.into_iter().map(|Far(d, i)| (d, i)).collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    fn connect(&mut self, a: usize, b: usize, level: usize) {
+        if a == b {
+            return;
+        }
+        if !self.nodes[a].neighbors[level].contains(&b) {
+            self.nodes[a].neighbors[level].push(b);
+        }
+        // Prune to max degree, keeping the closest links.
+        let cap = self.max_degree(level);
+        if self.nodes[a].neighbors[level].len() > cap {
+            let base = self.nodes[a].vector.clone();
+            let mut links: Vec<(f32, usize)> = self.nodes[a].neighbors[level]
+                .iter()
+                .map(|&n| (l2(&base, &self.nodes[n].vector), n))
+                .collect();
+            links.sort_by(|x, y| x.0.total_cmp(&y.0));
+            links.truncate(cap);
+            self.nodes[a].neighbors[level] = links.into_iter().map(|(_, n)| n).collect();
+        }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn insert(&mut self, id: u64, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: vector.len(),
+            });
+        }
+        if !self.ids.insert(id) {
+            return Err(Error::DuplicateId(id));
+        }
+        let level = self.sample_level();
+        let idx = self.nodes.len();
+        self.nodes.push(HnswNode {
+            id,
+            vector: vector.to_vec(),
+            neighbors: vec![Vec::new(); level + 1],
+        });
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(idx);
+            self.max_level = level;
+            return Ok(());
+        };
+        let q = vector;
+        // Descend the layers above the node's level greedily.
+        for lc in ((level + 1)..=self.max_level).rev() {
+            ep = self.greedy_closest(q, ep, lc);
+        }
+        // Insert into each layer from min(level, max_level) down to 0.
+        let mut eps = vec![ep];
+        for lc in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(q, &eps, self.params.ef_construction, lc);
+            let m = self.params.m.min(found.len());
+            for &(_, n) in found.iter().take(m) {
+                self.connect(idx, n, lc);
+                self.connect(n, idx, lc);
+            }
+            eps = found.into_iter().map(|(_, n)| n).collect();
+            if eps.is_empty() {
+                eps = vec![ep];
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(idx);
+        }
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let Some(mut ep) = self.entry else {
+            return Ok(Vec::new());
+        };
+        for lc in (1..=self.max_level).rev() {
+            ep = self.greedy_closest(query, ep, lc);
+        }
+        let ef = self.params.ef_search.max(k);
+        let found = self.search_layer(query, &[ep], ef, 0);
+        Ok(found
+            .into_iter()
+            .take(k)
+            .map(|(d, i)| Neighbor {
+                id: self.nodes[i].id,
+                distance: d,
+            })
+            .collect())
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl std::fmt::Debug for HnswIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HnswIndex")
+            .field("dim", &self.dim)
+            .field("nodes", &self.nodes.len())
+            .field("max_level", &self.max_level)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_tiny_sets() {
+        let mut idx = HnswIndex::with_defaults(2);
+        idx.insert(1, &[0.0, 0.0]).unwrap();
+        idx.insert(2, &[1.0, 1.0]).unwrap();
+        idx.insert(3, &[-1.0, -1.0]).unwrap();
+        let hits = idx.search(&[0.9, 0.9], 1).unwrap();
+        assert_eq!(hits[0].id, 2);
+    }
+
+    #[test]
+    fn empty_and_dim_validation() {
+        let mut idx = HnswIndex::with_defaults(3);
+        assert!(idx.search(&[0.0; 3], 5).unwrap().is_empty());
+        assert!(idx.insert(1, &[0.0; 2]).is_err());
+        idx.insert(1, &[0.0; 3]).unwrap();
+        assert!(idx.insert(1, &[1.0; 3]).is_err());
+        assert!(idx.search(&[0.0; 4], 1).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(HnswIndex::new(4, HnswParams { m: 1, ..Default::default() }).is_err());
+        assert!(HnswIndex::new(
+            4,
+            HnswParams {
+                m: 16,
+                ef_construction: 4,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn recall_at_10_beats_090() {
+        let dim = 16;
+        let vectors = random_vectors(500, dim, 7);
+        let mut hnsw = HnswIndex::with_defaults(dim);
+        let mut flat = FlatIndex::new(dim);
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.insert(i as u64, v).unwrap();
+            flat.insert(i as u64, v).unwrap();
+        }
+        let queries = random_vectors(50, dim, 8);
+        let mut recall_sum = 0.0f32;
+        for q in &queries {
+            let exact: HashSet<u64> = flat.search(q, 10).unwrap().iter().map(|n| n.id).collect();
+            let approx: HashSet<u64> = hnsw.search(q, 10).unwrap().iter().map(|n| n.id).collect();
+            recall_sum += exact.intersection(&approx).count() as f32 / 10.0;
+        }
+        let recall = recall_sum / queries.len() as f32;
+        assert!(recall >= 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn self_query_returns_self() {
+        let vectors = random_vectors(200, 8, 9);
+        let mut idx = HnswIndex::with_defaults(8);
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(i as u64, v).unwrap();
+        }
+        let mut correct = 0;
+        for (i, v) in vectors.iter().enumerate() {
+            let hit = &idx.search(v, 1).unwrap()[0];
+            if hit.id == i as u64 {
+                correct += 1;
+            }
+        }
+        // Self-recall should be essentially perfect.
+        assert!(correct >= 195, "self-recall {correct}/200");
+    }
+
+    #[test]
+    fn degrees_are_bounded() {
+        let vectors = random_vectors(300, 4, 10);
+        let mut idx = HnswIndex::with_defaults(4);
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(i as u64, v).unwrap();
+        }
+        for node in &idx.nodes {
+            for (level, links) in node.neighbors.iter().enumerate() {
+                let cap = idx.max_degree(level);
+                assert!(links.len() <= cap, "level {level} degree {}", links.len());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vectors = random_vectors(100, 4, 11);
+        let build = || {
+            let mut idx = HnswIndex::with_defaults(4);
+            for (i, v) in vectors.iter().enumerate() {
+                idx.insert(i as u64, v).unwrap();
+            }
+            idx.search(&[0.1, 0.2, 0.3, 0.4], 5).unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+}

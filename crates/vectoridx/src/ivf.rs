@@ -1,0 +1,335 @@
+//! Inverted-file (IVF) index — the third §5.1 index family.
+//!
+//! Vectors are partitioned by a k-means coarse quantizer into `nlist`
+//! cells; a query probes its `nprobe` nearest cells and re-ranks their
+//! members exactly. The classic recall/latency dial: more probes, better
+//! recall, more work.
+
+use crate::error::{Error, Result};
+use crate::flat::l2;
+use crate::{Neighbor, VectorIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// IVF parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of coarse cells (k-means centroids).
+    pub nlist: usize,
+    /// Cells probed per query.
+    pub nprobe: usize,
+    /// k-means iterations when (re)training the quantizer.
+    pub train_iters: usize,
+    /// RNG seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams {
+            nlist: 32,
+            nprobe: 4,
+            train_iters: 8,
+            seed: 0x1f123bb5,
+        }
+    }
+}
+
+/// An inverted-file index with a k-means coarse quantizer.
+///
+/// The quantizer trains lazily on the first `train_threshold` inserts (and
+/// retrains if the index grows 4× past its training size); until trained,
+/// everything sits in cell 0 and search degrades gracefully to a scan.
+pub struct IvfIndex {
+    dim: usize,
+    params: IvfParams,
+    centroids: Vec<Vec<f32>>,
+    cells: Vec<Vec<usize>>,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+    trained_at: usize,
+    rng: StdRng,
+}
+
+impl IvfIndex {
+    /// An empty index over `dim`-dimensional vectors.
+    pub fn new(dim: usize, params: IvfParams) -> Result<Self> {
+        if params.nlist == 0 || params.nprobe == 0 {
+            return Err(Error::InvalidParam(format!(
+                "nlist and nprobe must be positive, got {params:?}"
+            )));
+        }
+        Ok(IvfIndex {
+            dim,
+            params,
+            centroids: Vec::new(),
+            cells: vec![Vec::new()],
+            ids: Vec::new(),
+            data: Vec::new(),
+            trained_at: 0,
+            rng: StdRng::seed_from_u64(params.seed),
+        })
+    }
+
+    /// An index with default parameters.
+    pub fn with_defaults(dim: usize) -> Self {
+        Self::new(dim, IvfParams::default()).expect("default params valid")
+    }
+
+    /// Whether the coarse quantizer has been trained.
+    pub fn is_trained(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn nearest_centroid(&self, v: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let d = l2(centroid, v);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Train (or retrain) the quantizer on the current contents via k-means
+    /// and re-bucket everything.
+    fn train(&mut self) {
+        let n = self.ids.len();
+        let k = self.params.nlist.min(n.max(1));
+        // k-means++-lite init: random distinct members.
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let c = self.rng.gen_range(0..n);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        self.centroids = chosen.iter().map(|&i| self.vector(i).to_vec()).collect();
+        for _ in 0..self.params.train_iters {
+            let mut sums = vec![vec![0.0f32; self.dim]; self.centroids.len()];
+            let mut counts = vec![0usize; self.centroids.len()];
+            for i in 0..n {
+                let c = self.nearest_centroid(self.vector(i));
+                counts[c] += 1;
+                for (s, v) in sums[c].iter_mut().zip(self.vector(i)) {
+                    *s += v;
+                }
+            }
+            for (c, sum) in sums.into_iter().enumerate() {
+                if counts[c] > 0 {
+                    self.centroids[c] = sum.into_iter().map(|s| s / counts[c] as f32).collect();
+                }
+            }
+        }
+        // Re-bucket.
+        self.cells = vec![Vec::new(); self.centroids.len()];
+        for i in 0..n {
+            let c = self.nearest_centroid(self.vector(i));
+            self.cells[c].push(i);
+        }
+        self.trained_at = n;
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn insert(&mut self, id: u64, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: vector.len(),
+            });
+        }
+        if self.ids.contains(&id) {
+            return Err(Error::DuplicateId(id));
+        }
+        let idx = self.ids.len();
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        if self.is_trained() {
+            let c = self.nearest_centroid(vector);
+            self.cells[c].push(idx);
+            // Retrain when the index has grown well past its training size.
+            if self.ids.len() >= self.trained_at * 4 {
+                self.train();
+            }
+        } else {
+            self.cells[0].push(idx);
+            if self.ids.len() >= self.params.nlist * 4 {
+                self.train();
+            }
+        }
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let candidates: Vec<usize> = if self.is_trained() {
+            // Probe the nprobe nearest cells.
+            let mut dists: Vec<(f32, usize)> = self
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(c, centroid)| (l2(centroid, query), c))
+                .collect();
+            dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+            dists
+                .iter()
+                .take(self.params.nprobe)
+                .flat_map(|(_, c)| self.cells[*c].iter().copied())
+                .collect()
+        } else {
+            (0..self.ids.len()).collect()
+        };
+        let mut hits: Vec<Neighbor> = candidates
+            .into_iter()
+            .map(|i| Neighbor {
+                id: self.ids[i],
+                distance: l2(query, self.vector(i)),
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+impl std::fmt::Debug for IvfIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IvfIndex")
+            .field("dim", &self.dim)
+            .field("len", &self.ids.len())
+            .field("nlist", &self.params.nlist)
+            .field("trained", &self.is_trained())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use std::collections::HashSet;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn untrained_index_is_exact() {
+        let mut idx = IvfIndex::with_defaults(4);
+        idx.insert(1, &[0.0; 4]).unwrap();
+        idx.insert(2, &[1.0; 4]).unwrap();
+        assert!(!idx.is_trained());
+        let hits = idx.search(&[0.9; 4], 1).unwrap();
+        assert_eq!(hits[0].id, 2);
+    }
+
+    #[test]
+    fn trains_after_enough_inserts() {
+        let mut idx = IvfIndex::with_defaults(8);
+        for (i, v) in random_vectors(200, 8, 50).into_iter().enumerate() {
+            idx.insert(i as u64, &v).unwrap();
+        }
+        assert!(idx.is_trained());
+        assert!(idx.centroids.len() <= 32);
+        // Every vector is in exactly one cell.
+        let total: usize = idx.cells.iter().map(Vec::len).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn recall_close_to_flat() {
+        let dim = 12;
+        let vectors = random_vectors(600, dim, 51);
+        let mut ivf = IvfIndex::new(
+            dim,
+            IvfParams {
+                nlist: 16,
+                nprobe: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut flat = FlatIndex::new(dim);
+        for (i, v) in vectors.iter().enumerate() {
+            ivf.insert(i as u64, v).unwrap();
+            flat.insert(i as u64, v).unwrap();
+        }
+        let queries = random_vectors(40, dim, 52);
+        let mut recall = 0.0f32;
+        for q in &queries {
+            let exact: HashSet<u64> = flat.search(q, 5).unwrap().iter().map(|n| n.id).collect();
+            let approx: HashSet<u64> = ivf.search(q, 5).unwrap().iter().map(|n| n.id).collect();
+            recall += exact.intersection(&approx).count() as f32 / 5.0;
+        }
+        recall /= queries.len() as f32;
+        assert!(recall >= 0.7, "recall@5 = {recall}");
+    }
+
+    #[test]
+    fn more_probes_never_hurt_recall() {
+        let dim = 8;
+        let vectors = random_vectors(400, dim, 53);
+        let queries = random_vectors(30, dim, 54);
+        let mut flat = FlatIndex::new(dim);
+        for (i, v) in vectors.iter().enumerate() {
+            flat.insert(i as u64, v).unwrap();
+        }
+        let recall_at = |nprobe: usize| -> f32 {
+            let mut ivf = IvfIndex::new(
+                dim,
+                IvfParams {
+                    nlist: 16,
+                    nprobe,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for (i, v) in vectors.iter().enumerate() {
+                ivf.insert(i as u64, v).unwrap();
+            }
+            let mut recall = 0.0;
+            for q in &queries {
+                let exact: HashSet<u64> =
+                    flat.search(q, 5).unwrap().iter().map(|n| n.id).collect();
+                let approx: HashSet<u64> =
+                    ivf.search(q, 5).unwrap().iter().map(|n| n.id).collect();
+                recall += exact.intersection(&approx).count() as f32 / 5.0;
+            }
+            recall / queries.len() as f32
+        };
+        let low = recall_at(1);
+        let high = recall_at(16); // probing all cells = exact
+        assert!(high >= low);
+        assert!(high > 0.99, "full probe must be exact, got {high}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(IvfIndex::new(4, IvfParams { nlist: 0, ..Default::default() }).is_err());
+        let mut idx = IvfIndex::with_defaults(4);
+        assert!(idx.insert(1, &[0.0; 3]).is_err());
+        idx.insert(1, &[0.0; 4]).unwrap();
+        assert!(idx.insert(1, &[1.0; 4]).is_err());
+        assert!(idx.search(&[0.0; 3], 1).is_err());
+    }
+}

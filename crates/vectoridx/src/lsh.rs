@@ -1,0 +1,234 @@
+//! Random-hyperplane locality-sensitive hashing.
+//!
+//! One of the §5.1 candidate index structures: `tables` independent hash
+//! tables, each hashing a vector to the sign pattern of `bits` random
+//! hyperplane projections. Candidates are the union of the query's buckets,
+//! re-ranked by exact distance.
+
+use crate::error::{Error, Result};
+use crate::flat::l2;
+use crate::{Neighbor, VectorIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// LSH parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshParams {
+    /// Number of independent hash tables.
+    pub tables: usize,
+    /// Hyperplanes (hash bits) per table; buckets = 2^bits.
+    pub bits: usize,
+    /// RNG seed for hyperplane sampling.
+    pub seed: u64,
+}
+
+impl Default for LshParams {
+    fn default() -> Self {
+        LshParams {
+            tables: 8,
+            bits: 12,
+            seed: 0x51_7c_c1b7,
+        }
+    }
+}
+
+/// A random-hyperplane LSH index.
+pub struct LshIndex {
+    dim: usize,
+    params: LshParams,
+    /// `tables × bits` hyperplane normals, each of length `dim`.
+    planes: Vec<Vec<f32>>,
+    /// Per-table bucket maps: hash → stored indexes.
+    buckets: Vec<HashMap<u64, Vec<usize>>>,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+    id_set: HashSet<u64>,
+}
+
+impl LshIndex {
+    /// An empty index over `dim`-dimensional vectors.
+    pub fn new(dim: usize, params: LshParams) -> Result<Self> {
+        if params.tables == 0 || params.bits == 0 || params.bits > 63 {
+            return Err(Error::InvalidParam(format!(
+                "need 1..=63 bits and ≥1 table, got {params:?}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let planes = (0..params.tables * params.bits)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        Ok(LshIndex {
+            dim,
+            params,
+            planes,
+            buckets: vec![HashMap::new(); params.tables],
+            ids: Vec::new(),
+            data: Vec::new(),
+            id_set: HashSet::new(),
+        })
+    }
+
+    /// An index with default parameters.
+    pub fn with_defaults(dim: usize) -> Self {
+        Self::new(dim, LshParams::default()).expect("default params valid")
+    }
+
+    fn hash(&self, table: usize, v: &[f32]) -> u64 {
+        let mut h = 0u64;
+        for bit in 0..self.params.bits {
+            let plane = &self.planes[table * self.params.bits + bit];
+            let dot: f32 = plane.iter().zip(v).map(|(p, x)| p * x).sum();
+            if dot >= 0.0 {
+                h |= 1 << bit;
+            }
+        }
+        h
+    }
+
+    fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of candidate vectors inspected for a query (diagnostics).
+    pub fn candidate_count(&self, query: &[f32]) -> usize {
+        let mut seen = HashSet::new();
+        for t in 0..self.params.tables {
+            if let Some(bucket) = self.buckets[t].get(&self.hash(t, query)) {
+                seen.extend(bucket.iter().copied());
+            }
+        }
+        seen.len()
+    }
+}
+
+impl VectorIndex for LshIndex {
+    fn insert(&mut self, id: u64, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: vector.len(),
+            });
+        }
+        if !self.id_set.insert(id) {
+            return Err(Error::DuplicateId(id));
+        }
+        let idx = self.ids.len();
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        for t in 0..self.params.tables {
+            let h = self.hash(t, vector);
+            self.buckets[t].entry(h).or_default().push(idx);
+        }
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let mut seen = HashSet::new();
+        for t in 0..self.params.tables {
+            if let Some(bucket) = self.buckets[t].get(&self.hash(t, query)) {
+                seen.extend(bucket.iter().copied());
+            }
+        }
+        let mut hits: Vec<Neighbor> = seen
+            .into_iter()
+            .map(|i| Neighbor {
+                id: self.ids[i],
+                distance: l2(query, self.vector(i)),
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+impl std::fmt::Debug for LshIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LshIndex")
+            .field("dim", &self.dim)
+            .field("len", &self.ids.len())
+            .field("tables", &self.params.tables)
+            .field("bits", &self.params.bits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn finds_near_duplicates() {
+        // The cache workload: queries are tiny perturbations of stored keys.
+        let dim = 16;
+        let stored = random_vectors(300, dim, 20);
+        let mut idx = LshIndex::with_defaults(dim);
+        for (i, v) in stored.iter().enumerate() {
+            idx.insert(i as u64, v).unwrap();
+        }
+        let mut found = 0;
+        for (i, v) in stored.iter().enumerate().take(100) {
+            let mut q = v.clone();
+            q[0] += 0.001;
+            let hits = idx.search(&q, 1).unwrap();
+            if hits.first().map(|h| h.id) == Some(i as u64) {
+                found += 1;
+            }
+        }
+        assert!(found >= 95, "near-duplicate recall {found}/100");
+    }
+
+    #[test]
+    fn buckets_prune_candidates() {
+        let dim = 16;
+        let stored = random_vectors(1000, dim, 21);
+        let mut idx = LshIndex::with_defaults(dim);
+        for (i, v) in stored.iter().enumerate() {
+            idx.insert(i as u64, v).unwrap();
+        }
+        let q = &stored[0];
+        let candidates = idx.candidate_count(q);
+        assert!(candidates < 1000, "LSH inspected everything ({candidates})");
+        assert!(candidates >= 1);
+    }
+
+    #[test]
+    fn param_validation() {
+        assert!(LshIndex::new(4, LshParams { tables: 0, ..Default::default() }).is_err());
+        assert!(LshIndex::new(4, LshParams { bits: 0, ..Default::default() }).is_err());
+        assert!(LshIndex::new(4, LshParams { bits: 64, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn dimension_and_duplicate_checks() {
+        let mut idx = LshIndex::with_defaults(4);
+        assert!(idx.insert(1, &[0.0; 3]).is_err());
+        idx.insert(1, &[0.0; 4]).unwrap();
+        assert!(idx.insert(1, &[1.0; 4]).is_err());
+        assert!(idx.search(&[0.0; 3], 1).is_err());
+    }
+
+    #[test]
+    fn empty_search_is_empty() {
+        let idx = LshIndex::with_defaults(4);
+        assert!(idx.search(&[0.0; 4], 5).unwrap().is_empty());
+    }
+}

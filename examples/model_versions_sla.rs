@@ -1,0 +1,71 @@
+//! Accuracy-aware model versioning under an SLA (§4.1): the storage
+//! optimizer materializes compressed versions of a trained model
+//! (int8-quantized, magnitude-pruned), measures each version's accuracy,
+//! and the query planner picks the smallest version that still satisfies
+//! the query's accuracy SLA.
+//!
+//! ```sh
+//! cargo run --release --example model_versions_sla
+//! ```
+
+use rand::Rng;
+use relserve_core::versions::{Sla, VersionCatalog};
+use relserve_nn::{init::seeded_rng, Activation, Layer, Model, Trainer};
+use relserve_tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train a churn classifier on synthetic customer features.
+    let mut rng = seeded_rng(23);
+    let mut model = Model::new("churn-ffnn", [24])
+        .push(Layer::dense(24, 48, Activation::Relu, &mut rng))?
+        .push(Layer::dense(48, 2, Activation::Softmax, &mut rng))?;
+    let n = 1_200;
+    let mut data = Vec::with_capacity(n * 24);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let center = if label == 0 { -0.8f32 } else { 0.8 };
+        for _ in 0..24 {
+            data.push(center + rng.gen_range(-0.9f32..0.9));
+        }
+        labels.push(label);
+    }
+    let x = Tensor::from_vec([n, 24], data)?;
+    let trainer = Trainer::new(0.08).with_threads(4);
+    for _ in 0..20 {
+        trainer.train_epoch(&mut model, &x, &labels, 64)?;
+    }
+    println!(
+        "trained churn-ffnn: {:.2}% accuracy, {} KiB of parameters\n",
+        Trainer::evaluate(&model, &x, &labels, 4)? * 100.0,
+        model.param_bytes() / 1024
+    );
+
+    // The storage optimizer's version ladder, scored on validation data.
+    let catalog = VersionCatalog::build(&model, &x, &labels, 4)?;
+    println!("{:<24} {:>12} {:>10}", "version", "storage", "accuracy");
+    for v in catalog.versions() {
+        println!(
+            "{:<24} {:>10} B {:>9.2}%",
+            v.version.model.name(),
+            v.version.storage_bytes,
+            v.accuracy * 100.0
+        );
+    }
+
+    // Queries with different SLAs get different versions.
+    println!();
+    for min_accuracy in [0.95f32, 0.85, 0.70] {
+        match catalog.select(Sla { min_accuracy }) {
+            Ok(v) => println!(
+                "SLA ≥ {:.0}% → `{}` ({} B, {:.2}% accurate)",
+                min_accuracy * 100.0,
+                v.version.model.name(),
+                v.version.storage_bytes,
+                v.accuracy * 100.0
+            ),
+            Err(e) => println!("SLA ≥ {:.0}% → {e}", min_accuracy * 100.0),
+        }
+    }
+    Ok(())
+}

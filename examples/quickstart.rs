@@ -1,0 +1,64 @@
+//! Quickstart: load a fraud-detection model into the RDBMS, store
+//! transactions in a table, and run an inference query under the adaptive
+//! optimizer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::Rng;
+use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::{init::seeded_rng, zoo};
+use relserve_relational::{Column, DataType, Schema, Tuple, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Open a session: this is "the database" — buffer pool, catalog,
+    //    memory governor, optimizer.
+    let session = InferenceSession::open(SessionConfig::default())?;
+
+    // 2. Load the paper's Fraud-FC-256 model (Table 1) into the catalog.
+    let mut rng = seeded_rng(7);
+    session.load_model(zoo::fraud_fc_256(&mut rng)?)?;
+
+    // 3. Create a transactions table and insert feature rows.
+    let schema = Schema::new(vec![
+        Column::new("tx_id", DataType::Int),
+        Column::new("features", DataType::Vector),
+    ]);
+    session.create_table("transactions", schema)?;
+    let rows: Vec<Tuple> = (0..1_000)
+        .map(|i| {
+            let features: Vec<f32> = (0..28).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            Tuple::new(vec![Value::Int(i), Value::Vector(features)])
+        })
+        .collect();
+    session.insert("transactions", &rows)?;
+
+    // 4. EXPLAIN: what does the §7.1 rule decide for this model and batch?
+    let plan = session.plan("Fraud-FC-256", 1_000)?;
+    println!("{}", plan.explain());
+
+    // 5. Run the inference query adaptively.
+    let outcome = session.infer(
+        "Fraud-FC-256",
+        "transactions",
+        "features",
+        Architecture::Adaptive,
+    )?;
+    let preds = outcome.predictions()?;
+    let flagged = preds.iter().filter(|p| **p == 1).count();
+    println!(
+        "scored {} transactions in {:?} via {}; {} flagged as fraud",
+        preds.len(),
+        outcome.elapsed,
+        outcome.architecture,
+        flagged
+    );
+
+    // 6. The same query can be forced through any single architecture.
+    for arch in [Architecture::UdfCentric, Architecture::RelationCentric] {
+        let o = session.infer("Fraud-FC-256", "transactions", "features", arch)?;
+        println!("  {:<18} {:?}", o.architecture, o.elapsed);
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Inference-result caching (§7.2.2): train a classifier on synthetic
+//! MNIST-like digits, pre-warm an HNSW-indexed result cache inside the
+//! database, and measure the latency/accuracy trade-off of serving queries
+//! from the cache.
+//!
+//! ```sh
+//! cargo run --release --example semantic_result_cache
+//! ```
+
+use rand::Rng;
+use relserve_core::{InferenceSession, SessionConfig};
+use relserve_nn::{init::seeded_rng, Activation, Layer, Model, Trainer};
+use relserve_tensor::Tensor;
+use relserve_vectoridx::HnswParams;
+use std::time::Instant;
+
+/// Synthetic MNIST-like digits: 10 Gaussian class clusters in 64-dim space
+/// (8×8 images). Train and test share the class centroids (they are the
+/// "true" digit shapes); only the per-example noise differs.
+fn synthetic_digit_split(
+    train_n: usize,
+    test_n: usize,
+    seed: u64,
+) -> (Tensor, Vec<usize>, Tensor, Vec<usize>) {
+    let mut rng = seeded_rng(seed);
+    let dim = 64;
+    let centroids: Vec<Vec<f32>> = (0..10)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut draw = |n: usize| {
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 10;
+            for d in 0..dim {
+                data.push(centroids[class][d] + rng.gen_range(-0.25f32..0.25));
+            }
+            labels.push(class);
+        }
+        (Tensor::from_vec([n, dim], data).unwrap(), labels)
+    };
+    let (train_x, train_y) = draw(train_n);
+    let (test_x, test_y) = draw(test_n);
+    (train_x, train_y, test_x, test_y)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(17);
+    // Sized like the paper's §7.2.2 FFNN: wide hidden layers make full
+    // inference expensive relative to an HNSW lookup.
+    let mut model = Model::new("digit-ffnn", [64])
+        .push(Layer::dense(64, 512, Activation::Relu, &mut rng))?
+        .push(Layer::dense(512, 1024, Activation::Relu, &mut rng))?
+        .push(Layer::dense(1024, 10, Activation::Softmax, &mut rng))?;
+
+    let (train_x, train_y, test_x, test_y) = synthetic_digit_split(2_000, 1_000, 1);
+
+    println!("training digit-ffnn on 2,000 synthetic digits...");
+    let trainer = Trainer::new(0.05).with_threads(4);
+    for epoch in 0..6 {
+        let loss = trainer.train_epoch(&mut model, &train_x, &train_y, 64)?;
+        if epoch % 4 == 0 {
+            println!("  epoch {epoch}: loss {loss:.4}");
+        }
+    }
+    let base_acc = Trainer::evaluate(&model, &test_x, &test_y, 4)?;
+    println!("trained accuracy: {:.2}%\n", base_acc * 100.0);
+
+    // Load into the RDBMS and wrap with an HNSW result cache.
+    let session = InferenceSession::open(SessionConfig::default())?;
+    session.load_model(model)?;
+    let mut cached = session.cached_model("digit-ffnn", 1.6, HnswParams::default())?;
+    cached.warm(&train_x)?;
+    println!("cache warmed with {} entries", cached.cache_len());
+
+    // Exact inference, served one query at a time (the serving pattern the
+    // paper's §7.2.2 measures), plus its accuracy.
+    let n_test = test_x.shape().dim(0);
+    let width = test_x.shape().num_elements() / n_test;
+    let t0 = Instant::now();
+    for i in 0..n_test {
+        let row = test_x.slice2(i, i + 1, 0, width)?;
+        session.model("digit-ffnn")?.forward(&row, 4)?;
+    }
+    let exact_time = t0.elapsed();
+    let exact_preds = cached.predict_exact(&test_x)?;
+    let exact_acc = accuracy(&exact_preds, &test_y);
+
+    // Cached inference latency + accuracy.
+    let t0 = Instant::now();
+    let cached_preds = cached.predict_batch(&test_x)?;
+    let cached_time = t0.elapsed();
+    let cached_acc = accuracy(&cached_preds, &test_y);
+
+    let stats = cached.stats();
+    println!("\n{:<22} {:>12} {:>10}", "path", "latency", "accuracy");
+    println!("{:<22} {:>12.1?} {:>9.2}%", "full inference", exact_time, exact_acc * 100.0);
+    println!("{:<22} {:>12.1?} {:>9.2}%", "HNSW result cache", cached_time, cached_acc * 100.0);
+    println!(
+        "\nspeedup {:.1}x; hit rate {:.1}%; accuracy drop {:.2} points — the\n\
+         §7.2.2 trade-off.",
+        exact_time.as_secs_f64() / cached_time.as_secs_f64().max(1e-9),
+        stats.hit_rate() * 100.0,
+        (exact_acc - cached_acc) * 100.0
+    );
+
+    // The SLA gate: estimate the cache's error bound by Monte-Carlo.
+    let bound = cached.estimate_error_bound(200, 0.05)?;
+    println!(
+        "Monte-Carlo error bound: {:.2}% ± {:.2}% over {} samples → serve from\n\
+         cache only if the application tolerates that.",
+        bound.error_rate * 100.0,
+        bound.half_width_95 * 100.0,
+        bound.samples
+    );
+    Ok(())
+}
+
+fn accuracy(preds: &[usize], labels: &[usize]) -> f32 {
+    preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f32 / labels.len() as f32
+}

@@ -24,13 +24,9 @@ fn bench_block_size(c: &mut Criterion) {
                         Arc::new(DiskManager::temp().unwrap()),
                         64 << 20,
                     ));
-                    let xt = TensorTable::from_dense(
-                        pool.clone(),
-                        "x",
-                        &x,
-                        BlockingSpec::square(blk),
-                    )
-                    .unwrap();
+                    let xt =
+                        TensorTable::from_dense(pool.clone(), "x", &x, BlockingSpec::square(blk))
+                            .unwrap();
                     let wt =
                         TensorTable::from_dense(pool, "w", &w, BlockingSpec::square(blk)).unwrap();
                     (xt, wt)

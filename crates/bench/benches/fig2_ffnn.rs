@@ -16,8 +16,12 @@ fn bench_fig2(c: &mut Criterion) {
     };
     let session = InferenceSession::open(config).unwrap();
     let mut rng = seeded_rng(30);
-    session.load_model(zoo::fraud_fc_256(&mut rng).unwrap()).unwrap();
-    session.load_model(zoo::fraud_fc_512(&mut rng).unwrap()).unwrap();
+    session
+        .load_model(zoo::fraud_fc_256(&mut rng).unwrap())
+        .unwrap();
+    session
+        .load_model(zoo::fraud_fc_512(&mut rng).unwrap())
+        .unwrap();
 
     let batch = workloads::feature_batch(2_000, 28, 31);
     let mut group = c.benchmark_group("fig2_ffnn");

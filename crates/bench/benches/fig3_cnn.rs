@@ -15,7 +15,9 @@ fn bench_fig3(c: &mut Criterion) {
     };
     let session = InferenceSession::open(config).unwrap();
     let mut rng = seeded_rng(32);
-    session.load_model(zoo::deepbench_conv1(&mut rng).unwrap()).unwrap();
+    session
+        .load_model(zoo::deepbench_conv1(&mut rng).unwrap())
+        .unwrap();
     let images = workloads::image_batch(1, 112, 112, 64, 33);
 
     let mut group = c.benchmark_group("fig3_cnn");

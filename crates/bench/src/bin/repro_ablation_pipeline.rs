@@ -20,7 +20,10 @@ use relserve_nn::zoo;
 use relserve_runtime::MemoryGovernor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", scaling_banner("Ablation A5: pipelined micro-batch sweep"));
+    println!(
+        "{}",
+        scaling_banner("Ablation A5: pipelined micro-batch sweep")
+    );
     let mut rng = seeded_rng(19);
     let model = zoo::caching_ffnn(&mut rng)?;
     let batch = 2_048;

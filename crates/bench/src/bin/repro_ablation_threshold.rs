@@ -19,12 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch = 512;
     let features = workloads::feature_batch(batch, 76, 13);
 
-    let mut table = ResultTable::new(&[
-        "threshold",
-        "relational ops",
-        "udf ops",
-        "latency",
-    ]);
+    let mut table = ResultTable::new(&["threshold", "relational ops", "udf ops", "latency"]);
     for threshold_mb in [1usize, 4, 16, 64, 2048] {
         let config = SessionConfig {
             memory_threshold_bytes: threshold_mb << 20,

@@ -17,7 +17,10 @@ use relserve_runtime::{RuntimeProfile, TransferProfile};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", scaling_banner("Ablation A3: connector bandwidth sweep"));
+    println!(
+        "{}",
+        scaling_banner("Ablation A3: connector bandwidth sweep")
+    );
     let batch = 10_000;
     let features = workloads::feature_batch(batch, 28, 15);
 

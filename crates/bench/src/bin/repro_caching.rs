@@ -27,6 +27,7 @@ struct CacheResult {
     hit_rate: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cache_experiment(
     mut model: Model,
     train_x: &Tensor,
@@ -37,7 +38,9 @@ fn run_cache_experiment(
     lr: f32,
     max_distance: f32,
 ) -> Result<CacheResult, Box<dyn std::error::Error>> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let trainer = Trainer::new(lr).with_threads(threads);
     let n = train_x.shape().dim(0);
     let width: usize = train_x.shape().dims()[1..].iter().product();
@@ -79,7 +82,10 @@ fn accuracy(preds: &[usize], labels: &[usize]) -> f32 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", scaling_banner("§7.2.2: HNSW inference-result caching"));
+    println!(
+        "{}",
+        scaling_banner("§7.2.2: HNSW inference-result caching")
+    );
     let mut rng = seeded_rng(12);
 
     let mut table = ResultTable::new(&[
@@ -102,9 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let test_x = test_flat.reshape([400, 28, 28, 1])?;
         let max_d = 1.3 * workloads::expected_same_class_distance(784, spread);
         let model = zoo::caching_cnn(&mut rng)?;
-        let r = run_cache_experiment(
-            model, &train_x, &train_y, &test_x, &test_y, 14, 0.04, max_d,
-        )?;
+        let r = run_cache_experiment(model, &train_x, &train_y, &test_x, &test_y, 14, 0.04, max_d)?;
         table.row(
             "Caching-CNN",
             &[
@@ -128,13 +132,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let spread = 0.8;
         // 3.5 % look-alikes (paper FFNN drop: 97.74 % → 95.26 %).
-        let (train_x, train_y, test_x, test_y) =
-            workloads::synthetic_digits_decoupled(CACHE_TRAIN, CACHE_TEST, 784, spread, 0.15, 0.05, 0.25, 23);
+        let (train_x, train_y, test_x, test_y) = workloads::synthetic_digits_decoupled(
+            CACHE_TRAIN,
+            CACHE_TEST,
+            784,
+            spread,
+            0.15,
+            0.05,
+            0.25,
+            23,
+        );
         let max_d = 1.3 * workloads::expected_same_class_distance(784, spread);
         let model = zoo::caching_ffnn(&mut rng)?;
-        let r = run_cache_experiment(
-            model, &train_x, &train_y, &test_x, &test_y, 8, 0.05, max_d,
-        )?;
+        let r = run_cache_experiment(model, &train_x, &train_y, &test_x, &test_y, 8, 0.05, max_d)?;
         table.row(
             "Caching-FFNN",
             &[

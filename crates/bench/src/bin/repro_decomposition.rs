@@ -22,7 +22,10 @@ use relserve_storage::{BufferPool, DiskManager};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", scaling_banner("§7.2.1: model decomposition & push-down"));
+    println!(
+        "{}",
+        scaling_banner("§7.2.1: model decomposition & push-down")
+    );
     let _ = SessionConfig::default();
     let pool = Arc::new(BufferPool::with_budget_bytes(
         Arc::new(DiskManager::temp()?),
@@ -56,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         epsilon: 0.15,
     };
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let (baseline, t_baseline) = timed(|| run_join_then_infer(&query, &model, threads));
     let baseline = baseline?;
     let (pushed, t_pushed) = timed(|| run_pushdown_infer(&query, &model, threads));
@@ -68,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(max_diff < 1e-3, "plans diverged: {max_diff}");
 
     let speedup = t_baseline.as_secs_f64() / t_pushed.as_secs_f64();
-    println!("join-then-infer (baseline): {}", format_duration(t_baseline));
+    println!(
+        "join-then-infer (baseline): {}",
+        format_duration(t_baseline)
+    );
     println!("push-down plan:             {}", format_duration(t_pushed));
     println!("speedup:                    {speedup:.1}x   (paper: 5.7x)");
     println!(

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut tf = std::time::Duration::MAX;
         let mut pt = std::time::Duration::MAX;
         for _ in 0..REPEATS {
-            ours = ours.min(session.infer_batch(model, &features, Architecture::Adaptive)?.elapsed);
+            ours = ours.min(
+                session
+                    .infer_batch(model, &features, Architecture::Adaptive)?
+                    .elapsed,
+            );
             tf = tf.min(
                 session
                     .infer_batch(

@@ -38,14 +38,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ours (in-DB, rule-chosen)",
         &[Cell::Time(ours.elapsed), Cell::Text("1.0x".into())],
     );
-    for profile in [RuntimeProfile::tensorflow_like(), RuntimeProfile::pytorch_like()] {
+    for profile in [
+        RuntimeProfile::tensorflow_like(),
+        RuntimeProfile::pytorch_like(),
+    ] {
         let name = profile.name.clone();
         let outcome =
             session.infer_batch("DeepBench-CONV1", &images, Architecture::DlCentric(profile))?;
         let factor = outcome.elapsed.as_secs_f64() / ours.elapsed.as_secs_f64();
         table.row(
             &format!("dl-centric ({name})"),
-            &[Cell::Time(outcome.elapsed), Cell::Text(format!("{factor:.1}x"))],
+            &[
+                Cell::Time(outcome.elapsed),
+                Cell::Text(format!("{factor:.1}x")),
+            ],
         );
     }
     println!("{}", table.render());

@@ -1,0 +1,162 @@
+//! Matmul kernel comparison: seed `ikj` stripe kernel vs the register-tiled
+//! micro-kernel, single-threaded and on the persistent kernel pool, plus the
+//! relational block-join speedup. Emits `BENCH_matmul.json` with GFLOP/s so
+//! regressions are diffable.
+//!
+//! Run with `cargo run --release --bin repro_matmul_kernels`.
+
+use relserve_bench::report::{Cell, ResultTable};
+use relserve_relational::TensorTable;
+use relserve_runtime::KernelPool;
+use relserve_storage::{BufferPool, DiskManager};
+use relserve_tensor::matmul as mm;
+use relserve_tensor::parallel::StripeRunner;
+use relserve_tensor::{BlockingSpec, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The seed repo's kernel, kept verbatim as the comparison baseline:
+/// cache-blocked `ikj` with a zero-skip branch in the inner loop.
+fn seed_stripe_kernel(ad: &[f32], bd: &[f32], cd: &mut [f32], m: usize, k: usize, n: usize) {
+    const KB: usize = 256;
+    for p0 in (0..k).step_by(KB) {
+        let p1 = (p0 + KB).min(k);
+        for i in 0..m {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let c_row = &mut cd[i * n..(i + 1) * n];
+            for p in p0..p1 {
+                let av = a_row[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * n..(p + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * *bv;
+                }
+            }
+        }
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn pattern(rows: usize, cols: usize, salt: usize) -> Tensor {
+    Tensor::from_fn([rows, cols], |i| {
+        (((i * 29 + salt * 13) % 37) as f32 - 18.0) * 0.1
+    })
+}
+
+fn main() {
+    let pool = Arc::new(KernelPool::for_cores(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    ));
+    pool.install_global();
+    let pool_threads = pool.max_concurrency();
+
+    // --- Dense kernels at 512^3 -------------------------------------------
+    let n = 512usize;
+    let flops = 2.0 * (n * n * n) as f64;
+    let a = pattern(n, n, 1);
+    let b = pattern(n, n, 2);
+    let reps = 5;
+
+    let mut c_seed = vec![0.0f32; n * n];
+    let seed_secs = best_secs(reps, || {
+        c_seed.iter_mut().for_each(|v| *v = 0.0);
+        seed_stripe_kernel(a.data(), b.data(), &mut c_seed, n, n, n);
+    });
+    let mut tiled_out = None;
+    let tiled_secs = best_secs(reps, || {
+        tiled_out = Some(mm::matmul(&a, &b).unwrap());
+    });
+    let pooled_secs = best_secs(reps, || {
+        tiled_out = Some(mm::matmul_parallel(&a, &b, pool_threads).unwrap());
+    });
+
+    // Sanity: the tiled kernel agrees with the seed baseline.
+    let seed_c = Tensor::from_vec([n, n], c_seed).unwrap();
+    let max_diff = seed_c.max_abs_diff(tiled_out.as_ref().unwrap()).unwrap();
+    assert!(max_diff < 1e-2, "kernels disagree: max diff {max_diff}");
+
+    let gflops = |secs: f64| flops / secs / 1e9;
+    let mut table = ResultTable::new(&["kernel", "threads", "secs", "GFLOP/s"]);
+    for (name, threads, secs) in [
+        ("seed_stripe_ikj", 1, seed_secs),
+        ("tiled", 1, tiled_secs),
+        ("tiled_pooled", pool_threads, pooled_secs),
+    ] {
+        table.row(
+            name,
+            &[
+                Cell::Text(threads.to_string()),
+                Cell::Text(format!("{secs:.4}")),
+                Cell::Text(format!("{:.2}", gflops(secs))),
+            ],
+        );
+    }
+    println!("matmul {n}x{n}x{n} (best of {reps}):");
+    print!("{}", table.render());
+    println!(
+        "tiled vs seed (1 thread): {:.2}x; pooled vs tiled: {:.2}x",
+        seed_secs / tiled_secs,
+        tiled_secs / pooled_secs
+    );
+
+    // --- Relational block join at 1024x1024 -------------------------------
+    let rows = 1024usize;
+    let block = 128usize;
+    let bufpool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 512));
+    let x = pattern(rows, rows, 3);
+    let w = pattern(rows, rows, 4);
+    let xt =
+        TensorTable::from_dense(bufpool.clone(), "X", &x, BlockingSpec::square(block)).unwrap();
+    let wt = TensorTable::from_dense(bufpool, "W", &w, BlockingSpec::square(block)).unwrap();
+    let rel_threads = pool_threads.clamp(2, 4);
+    let rel_serial = best_secs(3, || {
+        xt.matmul_bt_parallel(&wt, "C", 1).unwrap();
+    });
+    let rel_pooled = best_secs(3, || {
+        xt.matmul_bt_parallel(&wt, "C", rel_threads).unwrap();
+    });
+    println!(
+        "relational matmul_bt {rows}x{rows} (block {block}): serial {rel_serial:.4}s, \
+         {rel_threads} kernel threads {rel_pooled:.4}s ({:.2}x)",
+        rel_serial / rel_pooled
+    );
+
+    let counters = pool.counters();
+    let host_cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"host_cores\": {host_cores},\n  \"shape\": [{n}, {n}, {n}],\n  \"flops\": {flops},\n  \"kernels\": [\n    \
+         {{\"name\": \"seed_stripe_ikj\", \"threads\": 1, \"secs\": {seed_secs:.6}, \"gflops\": {:.3}}},\n    \
+         {{\"name\": \"tiled\", \"threads\": 1, \"secs\": {tiled_secs:.6}, \"gflops\": {:.3}}},\n    \
+         {{\"name\": \"tiled_pooled\", \"threads\": {pool_threads}, \"secs\": {pooled_secs:.6}, \"gflops\": {:.3}}}\n  ],\n  \
+         \"speedup_tiled_vs_seed\": {:.3},\n  \
+         \"relational_matmul_bt\": {{\"rows\": {rows}, \"block\": {block}, \"kernel_threads\": {rel_threads}, \
+         \"serial_secs\": {rel_serial:.6}, \"pooled_secs\": {rel_pooled:.6}, \"speedup\": {:.3}}},\n  \
+         \"pool_counters\": {{\"tasks_run\": {}, \"steals\": {}, \"parks\": {}}}\n}}\n",
+        gflops(seed_secs),
+        gflops(tiled_secs),
+        gflops(pooled_secs),
+        seed_secs / tiled_secs,
+        rel_serial / rel_pooled,
+        counters.tasks_run,
+        counters.steals,
+        counters.parks,
+    );
+    std::fs::write("BENCH_matmul.json", &json).expect("write BENCH_matmul.json");
+    println!("wrote BENCH_matmul.json");
+}

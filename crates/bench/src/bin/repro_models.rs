@@ -6,8 +6,8 @@
 //! ```
 
 use relserve_bench::config::{scaling_banner, AMAZON_SCALE, LANDCOVER_SCALE};
-use relserve_bench::report::ResultTable;
 use relserve_bench::report::Cell;
+use relserve_bench::report::ResultTable;
 use relserve_nn::init::seeded_rng;
 use relserve_nn::zoo;
 

@@ -80,7 +80,7 @@ pub fn fig2_config() -> SessionConfig {
 /// non-relation-centric cell OOMs — the paper's row pattern.
 pub fn table3_amazon_config() -> SessionConfig {
     SessionConfig {
-        db_memory_bytes: 120 << 20,      // ∈ (87 MB, 157 MB)
+        db_memory_bytes: 120 << 20, // ∈ (87 MB, 157 MB)
         buffer_pool_bytes: 96 << 20,
         memory_threshold_bytes: 64 << 20, // < the 76 MB weight term at any batch
         block_size: 512,

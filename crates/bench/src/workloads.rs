@@ -102,7 +102,9 @@ pub fn bosch_split_tables(
         // inside the ε = 0.15 band the experiments use.
         let base = (i / fan) as f32;
         let f1: Vec<f32> = (0..half).map(|_| r.gen_range(-1.0f32..1.0)).collect();
-        let f2: Vec<f32> = (0..width - half).map(|_| r.gen_range(-1.0f32..1.0)).collect();
+        let f2: Vec<f32> = (0..width - half)
+            .map(|_| r.gen_range(-1.0f32..1.0))
+            .collect();
         d1.push(Tuple::new(vec![
             Value::Float(base + r.gen_range(-0.05f32..0.05)),
             Value::Vector(f1),
@@ -142,8 +144,8 @@ pub fn synthetic_digits_split(
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = i % 10;
-            for d in 0..dim {
-                data.push(centroids[class][d] + r.gen_range(-spread..spread));
+            for &cv in centroids[class].iter().take(dim) {
+                data.push(cv + r.gen_range(-spread..spread));
             }
             labels.push(class);
         }
@@ -173,6 +175,7 @@ pub fn expected_same_class_distance(dim: usize, spread: f32) -> f32 {
 /// accurate; an L2 nearest-neighbor cache is dominated by the shape dims and
 /// returns the look-alike class's answer for confused queries — precisely
 /// how approximate result caching loses accuracy in the paper.
+#[allow(clippy::too_many_arguments)]
 pub fn synthetic_digits_decoupled(
     train_n: usize,
     test_n: usize,
@@ -190,7 +193,13 @@ pub fn synthetic_digits_decoupled(
     let strokes: Vec<Vec<f32>> = (0..10)
         .map(|_| {
             (0..STROKE_DIMS)
-                .map(|_| if r.gen_range(0.0f32..1.0) < 0.5 { stroke_amp } else { -stroke_amp })
+                .map(|_| {
+                    if r.gen_range(0.0f32..1.0) < 0.5 {
+                        stroke_amp
+                    } else {
+                        -stroke_amp
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -203,15 +212,15 @@ pub fn synthetic_digits_decoupled(
         for i in 0..n {
             let label = i % 10;
             let shape_class = if r.gen_range(0.0f32..1.0) < confusion {
-                (label + r.gen_range(1..10)) % 10
+                (label + r.gen_range(1usize..10)) % 10
             } else {
                 label
             };
-            for d in 0..STROKE_DIMS {
-                data.push(strokes[label][d] + r.gen_range(-spread * 0.25..spread * 0.25));
+            for &sv in strokes[label].iter().take(STROKE_DIMS) {
+                data.push(sv + r.gen_range(-spread * 0.25..spread * 0.25));
             }
-            for d in 0..shape_dim {
-                data.push(centroids[shape_class][d] + r.gen_range(-spread..spread));
+            for &cv in centroids[shape_class].iter().take(shape_dim) {
+                data.push(cv + r.gen_range(-spread..spread));
             }
             labels.push(label);
         }
@@ -233,7 +242,9 @@ pub fn synthetic_digit_images_split(
     let (train_x, train_y, test_x, test_y) =
         synthetic_digits_split(train_n, test_n, 28 * 28, spread, seed);
     (
-        train_x.reshape([train_n, 28, 28, 1]).expect("same elements"),
+        train_x
+            .reshape([train_n, 28, 28, 1])
+            .expect("same elements"),
         train_y,
         test_x.reshape([test_n, 28, 28, 1]).expect("same elements"),
         test_y,

@@ -23,7 +23,12 @@ pub struct CachedModel {
 
 impl CachedModel {
     /// Wrap `model` with a cache admitting hits within `max_distance`.
-    pub fn new(model: Model, max_distance: f32, params: HnswParams, threads: usize) -> Result<Self> {
+    pub fn new(
+        model: Model,
+        max_distance: f32,
+        params: HnswParams,
+        threads: usize,
+    ) -> Result<Self> {
         let dim = model.input_shape().num_elements();
         Ok(CachedModel {
             model,
@@ -108,17 +113,23 @@ impl CachedModel {
     }
 
     /// The §5.1 SLA gate: Monte-Carlo error bound of serving from this cache.
-    pub fn estimate_error_bound(&self, samples: usize, perturbation: f32) -> Result<ErrorBoundEstimate> {
+    pub fn estimate_error_bound(
+        &self,
+        samples: usize,
+        perturbation: f32,
+    ) -> Result<ErrorBoundEstimate> {
         let model = &self.model;
         let threads = self.threads;
-        Ok(self.cache.estimate_error_bound(samples, perturbation, |features| {
-            let x = Tensor::from_vec([1, features.len()], features.to_vec())
-                .expect("feature row sized correctly");
-            model
-                .forward(&x, threads)
-                .map(|t| t.data().to_vec())
-                .unwrap_or_default()
-        })?)
+        Ok(self
+            .cache
+            .estimate_error_bound(samples, perturbation, |features| {
+                let x = Tensor::from_vec([1, features.len()], features.to_vec())
+                    .expect("feature row sized correctly");
+                model
+                    .forward(&x, threads)
+                    .map(|t| t.data().to_vec())
+                    .unwrap_or_default()
+            })?)
     }
 }
 

@@ -89,7 +89,10 @@ fn signature(block: &Tensor, tolerance: f32) -> u64 {
 /// Deduplicate a blocked tensor: blocks whose elements agree within
 /// `tolerance` (after grid snapping) share storage. `tolerance == 0` gives
 /// exact dedup.
-pub fn dedup_blocks(blocked: &BlockedTensor, tolerance: f32) -> Result<(DedupedTensor, DedupStats)> {
+pub fn dedup_blocks(
+    blocked: &BlockedTensor,
+    tolerance: f32,
+) -> Result<(DedupedTensor, DedupStats)> {
     let mut unique: Vec<Tensor> = Vec::new();
     let mut by_sig: HashMap<u64, Vec<usize>> = HashMap::new();
     let mut mapping = HashMap::new();
@@ -97,13 +100,16 @@ pub fn dedup_blocks(blocked: &BlockedTensor, tolerance: f32) -> Result<(DedupedT
     for (coord, block) in blocked.iter_blocks() {
         bytes_before += block.num_bytes();
         let sig = signature(block, tolerance);
-        let max_diff = if tolerance <= 0.0 { 0.0 } else { 2.0 * tolerance };
+        let max_diff = if tolerance <= 0.0 {
+            0.0
+        } else {
+            2.0 * tolerance
+        };
         // Fast path: same-signature candidates (verified elementwise).
         let found = by_sig.get(&sig).and_then(|candidates| {
-            candidates
-                .iter()
-                .copied()
-                .find(|&i| unique[i].shape() == block.shape() && unique[i].approx_eq(block, max_diff))
+            candidates.iter().copied().find(|&i| {
+                unique[i].shape() == block.shape() && unique[i].approx_eq(block, max_diff)
+            })
         });
         // Grid signatures miss near-boundary matches (two blocks within
         // tolerance can straddle a grid cell), so fall back to a verified
@@ -112,8 +118,9 @@ pub fn dedup_blocks(blocked: &BlockedTensor, tolerance: f32) -> Result<(DedupedT
             if max_diff == 0.0 {
                 return None; // exact dedup: the signature is exact too
             }
-            (0..unique.len())
-                .find(|&i| unique[i].shape() == block.shape() && unique[i].approx_eq(block, max_diff))
+            (0..unique.len()).find(|&i| {
+                unique[i].shape() == block.shape() && unique[i].approx_eq(block, max_diff)
+            })
         });
         let idx = match found {
             Some(i) => i,
@@ -174,8 +181,10 @@ mod tests {
         assert!(stats.blocks_after < 6, "kept {}", stats.blocks_after);
         assert!(stats.savings() > 0.0);
         // Exact dedup reconstructs exactly.
-        assert_eq!(deduped.to_blocked().unwrap().to_dense().unwrap(),
-                   blocked.to_dense().unwrap());
+        assert_eq!(
+            deduped.to_blocked().unwrap().to_dense().unwrap(),
+            blocked.to_dense().unwrap()
+        );
     }
 
     #[test]
@@ -186,8 +195,12 @@ mod tests {
         let a = Tensor::full([2, 2], 1.0);
         let b = Tensor::full([2, 2], 1.0 + tol * 0.5);
         let mut blocked = BlockedTensor::empty(2, 4, BlockingSpec::square(2));
-        blocked.insert_block(BlockCoord { row: 0, col: 0 }, a.clone()).unwrap();
-        blocked.insert_block(BlockCoord { row: 0, col: 1 }, b).unwrap();
+        blocked
+            .insert_block(BlockCoord { row: 0, col: 0 }, a.clone())
+            .unwrap();
+        blocked
+            .insert_block(BlockCoord { row: 0, col: 1 }, b)
+            .unwrap();
         let (deduped, stats) = dedup_blocks(&blocked, tol).unwrap();
         assert_eq!(stats.blocks_after, 1);
         let rebuilt = deduped.to_blocked().unwrap().to_dense().unwrap();
@@ -200,8 +213,12 @@ mod tests {
         let a = Tensor::full([2, 2], 0.0);
         let b = Tensor::full([2, 2], 10.0);
         let mut blocked = BlockedTensor::empty(2, 4, BlockingSpec::square(2));
-        blocked.insert_block(BlockCoord { row: 0, col: 0 }, a).unwrap();
-        blocked.insert_block(BlockCoord { row: 0, col: 1 }, b).unwrap();
+        blocked
+            .insert_block(BlockCoord { row: 0, col: 0 }, a)
+            .unwrap();
+        blocked
+            .insert_block(BlockCoord { row: 0, col: 1 }, b)
+            .unwrap();
         let (_, stats) = dedup_blocks(&blocked, 0.01).unwrap();
         assert_eq!(stats.blocks_after, 2);
         assert_eq!(stats.savings(), 0.0);
@@ -226,9 +243,6 @@ mod tests {
         let t = Tensor::zeros([3, 3]);
         let blocked = BlockedTensor::from_dense(&t, BlockingSpec::square(2)).unwrap();
         let (deduped, _) = dedup_blocks(&blocked, 0.0).unwrap();
-        assert_eq!(
-            deduped.to_blocked().unwrap().to_dense().unwrap(),
-            t
-        );
+        assert_eq!(deduped.to_blocked().unwrap().to_dense().unwrap(), t);
     }
 }

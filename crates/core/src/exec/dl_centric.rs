@@ -110,8 +110,7 @@ mod tests {
         let mut rng = seeded_rng(91);
         let model = zoo::fraud_fc_512(&mut rng).unwrap();
         let x = Tensor::zeros([1024, 28]);
-        let runtime =
-            ExternalRuntime::launch(RuntimeProfile::pytorch_like(), model.param_bytes());
+        let runtime = ExternalRuntime::launch(RuntimeProfile::pytorch_like(), model.param_bytes());
         let mut conn = instant_connector();
         let err = run(&model, &x, &mut conn, &runtime, 1).unwrap_err();
         assert!(err.is_oom());

@@ -114,7 +114,9 @@ pub fn run(
                     (_, None) => false,
                 };
                 if dense_flow {
-                    let Flow::Dense(x) = &flow else { unreachable!() };
+                    let Flow::Dense(x) = &flow else {
+                        unreachable!()
+                    };
                     let out_bytes = batch_size * out_shape.num_bytes();
                     let transient = layer_transient_bytes(layer, batch_size, &shape);
                     let _scratch = if transient > 0 {
@@ -129,7 +131,15 @@ pub fn run(
                     stats.udf_layers += 1;
                 } else {
                     // Fallback: stay blocked.
-                    flow = exec_layer(layer, flow, pool, block, &tag, &mut stats.rel_stats)?;
+                    flow = exec_layer(
+                        layer,
+                        flow,
+                        pool,
+                        block,
+                        threads,
+                        &tag,
+                        &mut stats.rel_stats,
+                    )?;
                     live = None;
                     stats.relational_layers += 1;
                     stats.fallbacks += 1;
@@ -137,7 +147,15 @@ pub fn run(
             }
             Representation::RelationCentric => {
                 // Dense→blocked transition releases the dense reservation.
-                flow = exec_layer(layer, flow, pool, block, &tag, &mut stats.rel_stats)?;
+                flow = exec_layer(
+                    layer,
+                    flow,
+                    pool,
+                    block,
+                    threads,
+                    &tag,
+                    &mut stats.rel_stats,
+                )?;
                 live = None;
                 stats.relational_layers += 1;
             }
@@ -164,7 +182,10 @@ mod tests {
     use relserve_storage::DiskManager;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames))
+        Arc::new(BufferPool::new(
+            Arc::new(DiskManager::temp().unwrap()),
+            frames,
+        ))
     }
 
     #[test]
@@ -172,7 +193,9 @@ mod tests {
         let mut rng = seeded_rng(95);
         let model = zoo::fraud_fc_256(&mut rng).unwrap();
         let x = Tensor::from_fn([12, 28], |i| ((i % 7) as f32 - 3.0) * 0.2);
-        let plan = RuleBasedOptimizer::paper_default().plan(&model, 12).unwrap();
+        let plan = RuleBasedOptimizer::paper_default()
+            .plan(&model, 12)
+            .unwrap();
         let governor = MemoryGovernor::unlimited("db");
         let (out, stats) = run(&model, &x, &plan, &governor, &pool(16), 8, 1).unwrap();
         assert_eq!(stats.udf_layers, 2);

@@ -140,28 +140,42 @@ impl RowStreamBuilder {
 
 /// Row-wise softmax over a block relation, gathering one block-row stripe at
 /// a time (softmax needs whole rows; a stripe is the bounded unit).
+///
+/// Each stripe is assembled by copying blocks into a preallocated
+/// `[rows, cols]` buffer — one write per element — instead of repeated
+/// `hconcat`, whose rebuild-per-block assembly is quadratic in the number of
+/// column blocks.
 pub(crate) fn softmax_blocked(table: &TensorTable, name: &str) -> Result<TensorTable> {
     let spec = table.spec();
-    let mut out = TensorTable::create(table.pool().clone(), name, table.rows(), table.cols(), spec);
+    let cols = table.cols();
+    let mut out = TensorTable::create(table.pool().clone(), name, table.rows(), cols, spec);
     for block_row in 0..table.row_blocks() {
-        // Gather this stripe's blocks left to right.
-        let mut stripe: Option<Tensor> = None;
+        if table.col_blocks() == 0 {
+            continue;
+        }
+        // Gather this stripe's blocks into one contiguous [rows, cols] buffer.
+        let mut stripe: Vec<f32> = Vec::new();
+        let mut rows = 0usize;
         for bc in 0..table.col_blocks() {
             let block = table.get_block(BlockCoord {
                 row: block_row,
                 col: bc,
             })?;
-            stripe = Some(match stripe {
-                None => block,
-                Some(acc) => acc.hconcat(&block)?,
-            });
+            let (r, w) = block.shape().as_matrix()?;
+            if stripe.is_empty() {
+                rows = r;
+                stripe.resize(rows * cols, 0.0);
+            }
+            let c0 = bc * spec.block_cols;
+            for (i, src) in block.data().chunks_exact(w).enumerate() {
+                stripe[i * cols + c0..i * cols + c0 + w].copy_from_slice(src);
+            }
         }
-        let Some(stripe) = stripe else { continue };
+        let stripe = Tensor::from_vec([rows, cols], stripe)?;
         let soft = relserve_tensor::ops::softmax(&stripe)?;
-        let (rows, _) = soft.shape().as_matrix()?;
         for bc in 0..table.col_blocks() {
             let c0 = bc * spec.block_cols;
-            let c1 = (c0 + spec.block_cols).min(table.cols());
+            let c1 = (c0 + spec.block_cols).min(cols);
             let block = soft.slice2(0, rows, c0, c1)?;
             out.insert_block(
                 BlockCoord {
@@ -181,14 +195,18 @@ fn apply_activation_blocked(
     tag: &str,
     stats: &mut TensorOpStats,
 ) -> Result<TensorTable> {
-    let _ = stats;
-    Ok(match act {
-        Activation::None => table,
+    let out = match act {
+        Activation::None => return Ok(table),
         Activation::Relu => table.map(format!("{tag}.relu"), |x| x.max(0.0))?,
         Activation::Sigmoid => table.map(format!("{tag}.sigmoid"), |x| 1.0 / (1.0 + (-x).exp()))?,
         Activation::Tanh => table.map(format!("{tag}.tanh"), f32::tanh)?,
         Activation::Softmax => softmax_blocked(&table, &format!("{tag}.softmax"))?,
-    })
+    };
+    // The activation read every input block and wrote every output block.
+    stats.blocks_out += out.num_blocks() as u64;
+    stats.bytes_read += table.bytes_stored();
+    stats.bytes_written += out.bytes_stored();
+    Ok(out)
 }
 
 fn densify(flow: Flow) -> Result<Tensor> {
@@ -218,12 +236,15 @@ fn rows_table(flow: Flow, pool: &Arc<BufferPool>, block: usize, tag: &str) -> Re
     })
 }
 
-/// Execute one model layer relation-centrically.
+/// Execute one model layer relation-centrically. `kernel_threads` is this
+/// layer's share of the thread plan: block-row stripes of the matmul join
+/// fan out to the kernel pool up to that width.
 pub(crate) fn exec_layer(
     layer: &Layer,
     flow: Flow,
     pool: &Arc<BufferPool>,
     block: usize,
+    kernel_threads: usize,
     tag: &str,
     stats: &mut TensorOpStats,
 ) -> Result<Flow> {
@@ -242,11 +263,9 @@ pub(crate) fn exec_layer(
                 weight,
                 BlockingSpec::square(block),
             )?;
-            let (product, op_stats) = x.matmul_bt(&w, format!("{tag}.xw"))?;
-            stats.joins += op_stats.joins;
-            stats.blocks_out += op_stats.blocks_out;
-            stats.bytes_read += op_stats.bytes_read;
-            stats.bytes_written += op_stats.bytes_written;
+            let (product, op_stats) =
+                x.matmul_bt_parallel(&w, format!("{tag}.xw"), kernel_threads)?;
+            stats.merge(op_stats);
             let biased = product.add_bias(format!("{tag}.b"), bias)?;
             Ok(Flow::Rows(apply_activation_blocked(
                 biased,
@@ -300,11 +319,9 @@ pub(crate) fn exec_layer(
             };
             let k_table =
                 TensorTable::from_dense(pool.clone(), format!("{tag}.K"), &k_dense, spec_sq)?;
-            let (product, op_stats) = f_table.matmul_bt(&k_table, format!("{tag}.FK"))?;
-            stats.joins += op_stats.joins;
-            stats.blocks_out += op_stats.blocks_out;
-            stats.bytes_read += op_stats.bytes_read;
-            stats.bytes_written += op_stats.bytes_written;
+            let (product, op_stats) =
+                f_table.matmul_bt_parallel(&k_table, format!("{tag}.FK"), kernel_threads)?;
+            stats.merge(op_stats);
             let biased = if fold_bias {
                 product // bias rode along in the rewritten kernel's last column
             } else {
@@ -349,12 +366,15 @@ pub(crate) fn exec_layer(
     }
 }
 
-/// Run a whole model relation-centrically.
+/// Run a whole model relation-centrically under `plan`'s kernel-thread
+/// budget: each layer's block-row join fans out to at most
+/// `plan.kernel_threads` stripes on the persistent kernel pool.
 pub fn run(
     model: &Model,
     batch: &Tensor,
     pool: &Arc<BufferPool>,
     block: usize,
+    plan: relserve_runtime::ThreadPlan,
 ) -> Result<(super::Output, TensorOpStats)> {
     let batch_size = model.check_input(batch)?;
     let mut full_dims = vec![batch_size];
@@ -363,7 +383,15 @@ pub fn run(
     let mut stats = TensorOpStats::default();
     for (i, layer) in model.layers().iter().enumerate() {
         let tag = format!("rc.l{i}");
-        flow = exec_layer(layer, flow, pool, block, &tag, &mut stats)?;
+        flow = exec_layer(
+            layer,
+            flow,
+            pool,
+            block,
+            plan.kernel_threads,
+            &tag,
+            &mut stats,
+        )?;
     }
     let output = match flow {
         Flow::Dense(t) => super::Output::Dense(t),
@@ -387,7 +415,17 @@ mod tests {
     use relserve_storage::DiskManager;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames))
+        Arc::new(BufferPool::new(
+            Arc::new(DiskManager::temp().unwrap()),
+            frames,
+        ))
+    }
+
+    fn plan() -> relserve_runtime::ThreadPlan {
+        relserve_runtime::ThreadPlan {
+            db_workers: 1,
+            kernel_threads: 2,
+        }
     }
 
     #[test]
@@ -395,7 +433,7 @@ mod tests {
         let mut rng = seeded_rng(80);
         let model = zoo::fraud_fc_256(&mut rng).unwrap();
         let x = Tensor::from_fn([10, 28], |i| ((i % 11) as f32 - 5.0) * 0.2);
-        let (out, stats) = run(&model, &x, &pool(64), 16).unwrap();
+        let (out, stats) = run(&model, &x, &pool(64), 16, plan()).unwrap();
         let got = out.into_dense().unwrap();
         let expect = model.forward(&x, 1).unwrap();
         assert!(got.approx_eq(&expect, 1e-3));
@@ -407,7 +445,7 @@ mod tests {
         let mut rng = seeded_rng(81);
         let model = zoo::landcover(250, &mut rng).unwrap(); // 10x10x3 → 8 kernels
         let x = Tensor::from_fn([2, 10, 10, 3], |i| ((i % 9) as f32 - 4.0) * 0.1);
-        let (out, _) = run(&model, &x, &pool(64), 16).unwrap();
+        let (out, _) = run(&model, &x, &pool(64), 16, plan()).unwrap();
         let got = out.into_dense().unwrap();
         let expect = model
             .forward(&x, 1)
@@ -422,17 +460,20 @@ mod tests {
         let mut rng = seeded_rng(82);
         let model = zoo::caching_cnn(&mut rng).unwrap();
         let x = Tensor::from_fn([2, 28, 28, 1], |i| ((i % 7) as f32) * 0.1);
-        let (out, _) = run(&model, &x, &pool(256), 32).unwrap();
+        let (out, _) = run(&model, &x, &pool(256), 32, plan()).unwrap();
         let got = out.into_dense().unwrap();
         let expect = model.forward(&x, 1).unwrap();
-        assert!(got.approx_eq(&expect, 1e-3), "max diff {}", got.max_abs_diff(&expect).unwrap());
+        assert!(
+            got.approx_eq(&expect, 1e-3),
+            "max diff {}",
+            got.max_abs_diff(&expect).unwrap()
+        );
     }
 
     #[test]
     fn softmax_blocked_matches_dense() {
         let t = Tensor::from_fn([7, 9], |i| ((i * 13) % 17) as f32 * 0.3 - 2.0);
-        let table =
-            TensorTable::from_dense(pool(16), "s", &t, BlockingSpec::square(3)).unwrap();
+        let table = TensorTable::from_dense(pool(16), "s", &t, BlockingSpec::square(3)).unwrap();
         let soft = softmax_blocked(&table, "out").unwrap();
         let expect = relserve_tensor::ops::softmax(&t).unwrap();
         assert!(soft.to_dense().unwrap().approx_eq(&expect, 1e-5));
@@ -469,7 +510,7 @@ mod tests {
         let model = zoo::fraud_fc_512(&mut rng).unwrap();
         let x = Tensor::from_fn([64, 28], |i| (i % 5) as f32 * 0.1);
         let p = pool(4); // 256 KiB pool; weights alone are ~57 KiB + activations
-        let (out, _) = run(&model, &x, &p, 8).unwrap();
+        let (out, _) = run(&model, &x, &p, 8, plan()).unwrap();
         let expect = model.forward(&x, 1).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-3));
         assert!(p.stats().evictions > 0, "expected spilling");
@@ -488,11 +529,12 @@ mod tests {
             Flow::Dense(x),
             &p,
             4,
+            1,
             "t",
             &mut stats,
         )
         .unwrap();
         let dense_layer = relserve_nn::Layer::dense(4, 2, Activation::None, &mut rng);
-        assert!(exec_layer(&dense_layer, flow, &p, 4, "t2", &mut stats).is_err());
+        assert!(exec_layer(&dense_layer, flow, &p, 4, 1, "t2", &mut stats).is_err());
     }
 }

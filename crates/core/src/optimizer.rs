@@ -136,7 +136,9 @@ mod tests {
         let batch = 512;
         let mut prev_relational = usize::MAX;
         for threshold in [1 << 12, 1 << 16, 1 << 20, 1 << 24, 1 << 30] {
-            let plan = RuleBasedOptimizer::new(threshold).plan(&model, batch).unwrap();
+            let plan = RuleBasedOptimizer::new(threshold)
+                .plan(&model, batch)
+                .unwrap();
             let relational = plan
                 .ops
                 .iter()

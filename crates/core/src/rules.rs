@@ -24,9 +24,7 @@ use relserve_tensor::{matmul, ops, Tensor};
 pub fn decompose_weight(weight: &Tensor, split: usize) -> Result<(Tensor, Tensor)> {
     let (out, inf) = weight.shape().as_matrix()?;
     if split == 0 || split >= inf {
-        return Err(Error::Invalid(format!(
-            "split {split} outside (0, {inf})"
-        )));
+        return Err(Error::Invalid(format!("split {split} outside (0, {inf})")));
     }
     Ok((
         weight.slice2(0, out, 0, split)?,
@@ -92,9 +90,10 @@ pub fn run_join_then_infer(
     // Materialize the augmented feature table D = D1 ⋈ D2.
     let d1_arity = q.d1.schema().arity();
     let f2_idx = d1_arity + q.d2_features;
-    let joined_schema = relserve_relational::Schema::new(vec![
-        relserve_relational::Column::new("features", relserve_relational::DataType::Vector),
-    ]);
+    let joined_schema = relserve_relational::Schema::new(vec![relserve_relational::Column::new(
+        "features",
+        relserve_relational::DataType::Vector,
+    )]);
     let joined = Table::create(pool, "joined.wide", joined_schema);
     let mut width = 0usize;
     {
@@ -133,11 +132,13 @@ pub fn run_pushdown_infer(
     let (weight, bias, activation) = first_dense(model)?;
     // Determine the split from the actual feature widths.
     let probe = |table: &Table, col: usize| -> Result<usize> {
-        for row in table.scan() {
-            let row = row.map_err(Error::Relational)?;
-            return Ok(row.value(col)?.as_vector()?.len());
+        match table.scan().next() {
+            Some(row) => {
+                let row = row.map_err(Error::Relational)?;
+                Ok(row.value(col)?.as_vector()?.len())
+            }
+            None => Err(Error::Invalid("empty feature table".into())),
         }
-        Err(Error::Invalid("empty feature table".into()))
     };
     let f1_len = probe(q.d1, q.d1_features)?;
     let f2_len = probe(q.d2, q.d2_features)?;
@@ -333,7 +334,14 @@ mod tests {
         let row_sums = |t: &Tensor| {
             let (r, c) = t.shape().as_matrix().unwrap();
             let mut sums: Vec<f32> = (0..r)
-                .map(|i| t.row(i).unwrap().iter().enumerate().map(|(j, v)| v * (j as f32 + 1.0)).sum())
+                .map(|i| {
+                    t.row(i)
+                        .unwrap()
+                        .iter()
+                        .enumerate()
+                        .map(|(j, v)| v * (j as f32 + 1.0))
+                        .sum()
+                })
                 .collect();
             sums.sort_by(f32::total_cmp);
             let _ = c;

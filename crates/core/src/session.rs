@@ -15,7 +15,8 @@ use parking_lot::Mutex;
 use relserve_nn::Model;
 use relserve_relational::{Schema, Table, Tuple};
 use relserve_runtime::{
-    Connector, ExternalRuntime, MemoryGovernor, RuntimeProfile, ThreadCoordinator, TransferProfile,
+    Connector, ExternalRuntime, KernelPool, MemoryGovernor, RuntimeProfile, ThreadCoordinator,
+    TransferProfile,
 };
 use relserve_storage::catalog::{ObjectKind, StoredObject};
 use relserve_storage::{BufferPool, Catalog, DiskManager};
@@ -51,7 +52,9 @@ impl Default for SessionConfig {
             buffer_pool_bytes: 256 << 20,    // 256 MiB
             memory_threshold_bytes: 2 << 30, // the paper's 2 GiB
             block_size: 256,
-            cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             external_memory_bytes: 1 << 30,
             transfer: TransferProfile::local_connectorx(),
         }
@@ -125,6 +128,7 @@ pub struct InferenceSession {
     catalog: Catalog,
     governor: MemoryGovernor,
     coordinator: ThreadCoordinator,
+    kernel_pool: Arc<KernelPool>,
     optimizer: RuleBasedOptimizer,
     models: Mutex<HashMap<String, Arc<Model>>>,
     tables: Mutex<HashMap<String, Arc<Table>>>,
@@ -134,10 +138,22 @@ impl InferenceSession {
     /// Open a session on a scratch database.
     pub fn open(config: SessionConfig) -> Result<Self> {
         let disk = Arc::new(DiskManager::temp()?);
-        let pool = Arc::new(BufferPool::with_budget_bytes(disk, config.buffer_pool_bytes));
+        let pool = Arc::new(BufferPool::with_budget_bytes(
+            disk,
+            config.buffer_pool_bytes,
+        ));
+        let coordinator = ThreadCoordinator::new(config.cores);
+        // Persistent kernel workers for the whole session; also installed as
+        // the process-wide stripe runner so every `*_parallel` tensor kernel
+        // runs on these threads instead of spawning its own (§3.1). The
+        // first session to install wins — later sessions still cap their
+        // concurrency through per-call `kernel_threads`.
+        let kernel_pool = coordinator.kernel_pool();
+        kernel_pool.install_global();
         Ok(InferenceSession {
             governor: MemoryGovernor::with_budget("db", config.db_memory_bytes),
-            coordinator: ThreadCoordinator::new(config.cores),
+            coordinator,
+            kernel_pool,
             optimizer: RuleBasedOptimizer::new(config.memory_threshold_bytes),
             pool,
             catalog: Catalog::new(),
@@ -160,6 +176,12 @@ impl InferenceSession {
     /// The buffer pool (inspect spill statistics).
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The session's persistent kernel thread pool (inspect scheduling
+    /// counters).
+    pub fn kernel_pool(&self) -> &Arc<KernelPool> {
+        &self.kernel_pool
     }
 
     /// Create a relational table.
@@ -287,17 +309,20 @@ impl InferenceSession {
         let (output, plan) = match architecture {
             Architecture::UdfCentric => {
                 let threads = self.coordinator.plan_for(1).kernel_threads;
-                (udf_centric::run(&model, batch, &self.governor, threads)?, None)
+                (
+                    udf_centric::run(&model, batch, &self.governor, threads)?,
+                    None,
+                )
             }
             Architecture::RelationCentric => {
+                let plan = self.coordinator.plan_for(1);
                 let (out, _) =
-                    relation_centric::run(&model, batch, &self.pool, self.config.block_size)?;
+                    relation_centric::run(&model, batch, &self.pool, self.config.block_size, plan)?;
                 (out, None)
             }
             Architecture::DlCentric(profile) => {
                 let threads = self.coordinator.plan_dedicated().kernel_threads;
-                let runtime =
-                    ExternalRuntime::launch(profile, self.config.external_memory_bytes);
+                let runtime = ExternalRuntime::launch(profile, self.config.external_memory_bytes);
                 let mut connector = Connector::new(self.config.transfer);
                 let (out, _) = dl_centric::run(&model, batch, &mut connector, &runtime, threads)?;
                 (out, None)
@@ -306,8 +331,7 @@ impl InferenceSession {
                 // §3.1: stage threads × stages must not oversubscribe cores.
                 let stages = model.layers().len().max(1);
                 let threads = self.coordinator.plan_for(stages).kernel_threads;
-                let (out, _) =
-                    pipelined::run(&model, batch, micro_batch, &self.governor, threads)?;
+                let (out, _) = pipelined::run(&model, batch, micro_batch, &self.governor, threads)?;
                 (out, None)
             }
             Architecture::Adaptive => {
@@ -391,7 +415,9 @@ mod tests {
     fn fraud_session(rows: usize) -> InferenceSession {
         let session = InferenceSession::open(tiny_config()).unwrap();
         let mut rng = seeded_rng(140);
-        session.load_model(zoo::fraud_fc_256(&mut rng).unwrap()).unwrap();
+        session
+            .load_model(zoo::fraud_fc_256(&mut rng).unwrap())
+            .unwrap();
         let schema = Schema::new(vec![
             Column::new("id", DataType::Int),
             Column::new("features", DataType::Vector),
@@ -455,7 +481,9 @@ mod tests {
         config.db_memory_bytes = 64 << 10; // 64 KiB — params alone exceed this
         let session = InferenceSession::open(config).unwrap();
         let mut rng = seeded_rng(141);
-        session.load_model(zoo::fraud_fc_512(&mut rng).unwrap()).unwrap();
+        session
+            .load_model(zoo::fraud_fc_512(&mut rng).unwrap())
+            .unwrap();
         let batch = Tensor::from_fn([64, 28], |i| (i % 5) as f32 * 0.1);
         let err = session
             .infer_batch("Fraud-FC-512", &batch, Architecture::UdfCentric)
@@ -493,14 +521,8 @@ mod tests {
     #[test]
     fn missing_objects_are_not_found() {
         let session = fraud_session(1);
-        assert!(matches!(
-            session.model("ghost"),
-            Err(Error::NotFound(_))
-        ));
-        assert!(matches!(
-            session.table("ghost"),
-            Err(Error::NotFound(_))
-        ));
+        assert!(matches!(session.model("ghost"), Err(Error::NotFound(_))));
+        assert!(matches!(session.table("ghost"), Err(Error::NotFound(_))));
         assert!(session
             .infer("ghost", "transactions", "features", Architecture::Adaptive)
             .is_err());

@@ -10,10 +10,17 @@ use relserve_core::exec::{hybrid, pipelined, relation_centric, udf_centric};
 use relserve_core::RuleBasedOptimizer;
 use relserve_nn::init::seeded_rng;
 use relserve_nn::{Activation, Layer, Model};
-use relserve_runtime::MemoryGovernor;
+use relserve_runtime::{MemoryGovernor, ThreadPlan};
 use relserve_storage::{BufferPool, DiskManager};
 use relserve_tensor::Tensor;
 use std::sync::Arc;
+
+fn plan(kernel_threads: usize) -> ThreadPlan {
+    ThreadPlan {
+        db_workers: 1,
+        kernel_threads,
+    }
+}
 
 /// A random small FFNN: 1–3 dense layers with relu, softmax head.
 fn random_ffnn(features: usize, hiddens: &[usize], classes: usize, seed: u64) -> Model {
@@ -57,7 +64,7 @@ proptest! {
             .unwrap()
             .into_dense()
             .unwrap();
-        let (rel, _) = relation_centric::run(&model, &x, &pool(64), block).unwrap();
+        let (rel, _) = relation_centric::run(&model, &x, &pool(64), block, plan(2)).unwrap();
         let rel = rel.into_dense().unwrap();
         prop_assert!(dense.approx_eq(&rel, 1e-3), "max diff {}", dense.max_abs_diff(&rel).unwrap());
     }
@@ -118,7 +125,7 @@ proptest! {
             .unwrap()
             .into_dense()
             .unwrap();
-        let (rel, _) = relation_centric::run(&model, &x, &pool(64), 4).unwrap();
+        let (rel, _) = relation_centric::run(&model, &x, &pool(64), 4, plan(3)).unwrap();
         prop_assert!(dense.approx_eq(&rel.into_dense().unwrap(), 1e-3));
     }
 }

@@ -31,7 +31,10 @@ impl fmt::Display for Error {
             Error::Tensor(e) => write!(f, "tensor error: {e}"),
             Error::InvalidModel(m) => write!(f, "invalid model: {m}"),
             Error::InputMismatch { expected, actual } => {
-                write!(f, "input shape {actual:?} does not match model input {expected:?}")
+                write!(
+                    f,
+                    "input shape {actual:?} does not match model input {expected:?}"
+                )
             }
             Error::Training(m) => write!(f, "training error: {m}"),
             Error::Serde(m) => write!(f, "model serialization error: {m}"),

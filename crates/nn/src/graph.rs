@@ -75,9 +75,7 @@ impl LinalgOp {
         match &self.kind {
             OpKind::MatMul { m, k, n } => 2.0 * (*m as f64) * (*k as f64) * (*n as f64),
             OpKind::Conv2d { spec, input_hw } => {
-                let (oh, ow) = spec
-                    .output_dims(input_hw.0, input_hw.1)
-                    .unwrap_or((0, 0));
+                let (oh, ow) = spec.output_dims(input_hw.0, input_hw.1).unwrap_or((0, 0));
                 let batch = self.output_shape.dims().first().copied().unwrap_or(1) as f64;
                 2.0 * batch
                     * (oh * ow) as f64
@@ -214,9 +212,19 @@ mod tests {
         let ops = small_ffnn().to_graph(100).unwrap();
         // dense+relu → matmul, add_bias, relu; dense+softmax → matmul, add_bias, softmax.
         assert_eq!(ops.len(), 6);
-        assert!(matches!(ops[0].kind, OpKind::MatMul { m: 100, k: 28, n: 256 }));
+        assert!(matches!(
+            ops[0].kind,
+            OpKind::MatMul {
+                m: 100,
+                k: 28,
+                n: 256
+            }
+        ));
         assert!(matches!(ops[2].kind, OpKind::Activation(Activation::Relu)));
-        assert!(matches!(ops[5].kind, OpKind::Activation(Activation::Softmax)));
+        assert!(matches!(
+            ops[5].kind,
+            OpKind::Activation(Activation::Softmax)
+        ));
     }
 
     #[test]

@@ -62,7 +62,12 @@ pub enum Layer {
 
 impl Layer {
     /// A dense layer with He-initialized weights.
-    pub fn dense(in_features: usize, out_features: usize, activation: Activation, rng: &mut StdRng) -> Layer {
+    pub fn dense(
+        in_features: usize,
+        out_features: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Layer {
         Layer::Dense {
             weight: init::he_normal([out_features, in_features], in_features, rng),
             bias: Tensor::zeros([out_features]),
@@ -254,7 +259,10 @@ mod tests {
     #[test]
     fn num_params_counts_weights_and_biases() {
         let mut rng = seeded_rng(10);
-        assert_eq!(Layer::dense(28, 256, Activation::Relu, &mut rng).num_params(), 28 * 256 + 256);
+        assert_eq!(
+            Layer::dense(28, 256, Activation::Relu, &mut rng).num_params(),
+            28 * 256 + 256
+        );
         assert_eq!(
             Layer::conv2d(3, 8, 3, 3, Activation::None, &mut rng).num_params(),
             8 * 3 * 3 * 3 + 8

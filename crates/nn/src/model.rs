@@ -140,9 +140,13 @@ mod tests {
     #[test]
     fn push_validates_shape_chain() {
         let mut rng = seeded_rng(4);
-        let m = Model::new("bad", [4]).push(Layer::dense(4, 8, Activation::Relu, &mut rng)).unwrap();
+        let m = Model::new("bad", [4])
+            .push(Layer::dense(4, 8, Activation::Relu, &mut rng))
+            .unwrap();
         // Next layer expects 9 features but gets 8.
-        assert!(m.push(Layer::dense(9, 2, Activation::None, &mut rng)).is_err());
+        assert!(m
+            .push(Layer::dense(9, 2, Activation::None, &mut rng))
+            .is_err());
     }
 
     #[test]

@@ -104,8 +104,7 @@ fn count_nonzero(model: &Model) -> usize {
 
 /// Int8-quantized version: 1 byte per parameter plus per-tensor scales.
 pub fn quantize_int8(model: &Model) -> Result<ModelVersion> {
-    let quantized = map_params(model, quantize_tensor)
-        .with_name(format!("{}@int8", model.name()));
+    let quantized = map_params(model, quantize_tensor).with_name(format!("{}@int8", model.name()));
     let storage_bytes = model.num_params() + model.layers().len() * 4;
     Ok(ModelVersion {
         model: quantized,
@@ -117,8 +116,11 @@ pub fn quantize_int8(model: &Model) -> Result<ModelVersion> {
 /// Magnitude-pruned version: sparse storage as (index, value) pairs.
 pub fn prune_magnitude(model: &Model, fraction: f32) -> Result<ModelVersion> {
     let fraction = fraction.clamp(0.0, 0.99);
-    let pruned = map_params(model, |t| prune_tensor(t, fraction))
-        .with_name(format!("{}@prune{:.0}", model.name(), fraction * 100.0));
+    let pruned = map_params(model, |t| prune_tensor(t, fraction)).with_name(format!(
+        "{}@prune{:.0}",
+        model.name(),
+        fraction * 100.0
+    ));
     let nonzero = count_nonzero(&pruned);
     let storage_bytes = nonzero * 8; // 4 B index + 4 B value
     Ok(ModelVersion {
@@ -171,7 +173,8 @@ mod tests {
         let m = model();
         let q = quantize_int8(&m).unwrap();
         for (orig, quant) in m.layers().iter().zip(q.model.layers()) {
-            if let (Layer::Dense { weight: w0, .. }, Layer::Dense { weight: w1, .. }) = (orig, quant)
+            if let (Layer::Dense { weight: w0, .. }, Layer::Dense { weight: w1, .. }) =
+                (orig, quant)
             {
                 let max_abs = w0.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
                 let step = max_abs / 127.0;

@@ -446,7 +446,9 @@ mod tests {
         // Analytic: run one SGD step with lr and recover grad from the delta.
         let lr = 1e-3f32;
         let mut trained = model.clone();
-        Trainer::new(lr).train_batch(&mut trained, &x, &labels).unwrap();
+        Trainer::new(lr)
+            .train_batch(&mut trained, &x, &labels)
+            .unwrap();
         let (w_before, w_after) = match (&model.layers()[0], &trained.layers()[0]) {
             (Layer::Dense { weight: a, .. }, Layer::Dense { weight: b, .. }) => (a, b),
             _ => unreachable!(),

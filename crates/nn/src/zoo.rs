@@ -24,9 +24,9 @@ pub fn fraud_fc_512(rng: &mut StdRng) -> Result<Model> {
 ///
 /// An encoder, not a classifier: the output layer is linear.
 pub fn encoder_fc(rng: &mut StdRng) -> Result<Model> {
-    Ok(Model::new("Encoder-FC", [76])
+    Model::new("Encoder-FC", [76])
         .push(Layer::dense(76, 3072, Activation::Relu, rng))?
-        .push(Layer::dense(3072, 768, Activation::None, rng))?)
+        .push(Layer::dense(3072, 768, Activation::None, rng))
 }
 
 /// Table 1 row 4 — Amazon-14k-FC: features 597,540, hidden 1,024,
@@ -45,22 +45,22 @@ pub fn amazon_14k_fc(scale: usize, rng: &mut StdRng) -> Result<Model> {
     } else {
         format!("Amazon-14k-FC/{scale}")
     };
-    Ok(Model::new(name, [features])
+    Model::new(name, [features])
         .push(Layer::dense(features, hidden, Activation::Relu, rng))?
-        .push(Layer::dense(hidden, outputs, Activation::Softmax, rng))?)
+        .push(Layer::dense(hidden, outputs, Activation::Softmax, rng))
 }
 
 /// Table 2 row 1 — DeepBench-CONV1: 112×112×64 input, 64 kernels of
 /// 64×1×1 (stride 1, padding 0).
 pub fn deepbench_conv1(rng: &mut StdRng) -> Result<Model> {
-    Ok(Model::new("DeepBench-CONV1", [112, 112, 64]).push(Layer::conv2d(
+    Model::new("DeepBench-CONV1", [112, 112, 64]).push(Layer::conv2d(
         64,
         64,
         1,
         1,
         Activation::None,
         rng,
-    ))?)
+    ))
 }
 
 /// Table 2 row 2 — LandCover: 2500×2500×3 input, 2,048 kernels of 3×1×1,
@@ -78,14 +78,14 @@ pub fn landcover(scale: usize, rng: &mut StdRng) -> Result<Model> {
     } else {
         format!("LandCover/{scale}")
     };
-    Ok(Model::new(name, [side, side, 3]).push(Layer::conv2d(
+    Model::new(name, [side, side, 3]).push(Layer::conv2d(
         3,
         out_channels,
         1,
         1,
         Activation::None,
         rng,
-    ))?)
+    ))
 }
 
 /// §7.2.1 — the Bosch FFNN: 968 features, hidden 256, outputs 2.
@@ -97,23 +97,23 @@ pub fn bosch_ffnn(rng: &mut StdRng) -> Result<Model> {
 /// 3×3) and two dense layers (64 then 10 neurons) over 28×28×1 images.
 pub fn caching_cnn(rng: &mut StdRng) -> Result<Model> {
     let flat = 24 * 24 * 16; // 28 → 26 → 24 spatial after two unpadded 3×3 convs
-    Ok(Model::new("Caching-CNN", [28, 28, 1])
+    Model::new("Caching-CNN", [28, 28, 1])
         .push(Layer::conv2d(1, 32, 3, 3, Activation::Relu, rng))?
         .push(Layer::conv2d(32, 16, 3, 3, Activation::Relu, rng))?
         .push(Layer::Flatten)?
         .push(Layer::dense(flat, 64, Activation::Relu, rng))?
-        .push(Layer::dense(64, 10, Activation::Softmax, rng))?)
+        .push(Layer::dense(64, 10, Activation::Softmax, rng))
 }
 
 /// §7.2.2 — the result-cache FFNN: four hidden layers of 128, 1,024, 2,048
 /// and 64 neurons over 784-dim (MNIST-like) inputs, 10 outputs.
 pub fn caching_ffnn(rng: &mut StdRng) -> Result<Model> {
-    Ok(Model::new("Caching-FFNN", [784])
+    Model::new("Caching-FFNN", [784])
         .push(Layer::dense(784, 128, Activation::Relu, rng))?
         .push(Layer::dense(128, 1024, Activation::Relu, rng))?
         .push(Layer::dense(1024, 2048, Activation::Relu, rng))?
         .push(Layer::dense(2048, 64, Activation::Relu, rng))?
-        .push(Layer::dense(64, 10, Activation::Softmax, rng))?)
+        .push(Layer::dense(64, 10, Activation::Softmax, rng))
 }
 
 fn one_hidden_fc(
@@ -123,9 +123,9 @@ fn one_hidden_fc(
     outputs: usize,
     rng: &mut StdRng,
 ) -> Result<Model> {
-    Ok(Model::new(name, [features])
+    Model::new(name, [features])
         .push(Layer::dense(features, hidden, Activation::Relu, rng))?
-        .push(Layer::dense(hidden, outputs, Activation::Softmax, rng))?)
+        .push(Layer::dense(hidden, outputs, Activation::Softmax, rng))
 }
 
 #[cfg(test)]

@@ -217,10 +217,18 @@ mod tests {
     fn logic_ops() {
         let t = Expr::lit(1i64);
         let f = Expr::lit(0i64);
-        assert!(Expr::bin(BinOp::And, t.clone(), t.clone()).eval_bool(&row()).unwrap());
-        assert!(!Expr::bin(BinOp::And, t.clone(), f.clone()).eval_bool(&row()).unwrap());
-        assert!(Expr::bin(BinOp::Or, f.clone(), t).eval_bool(&row()).unwrap());
-        assert!(!Expr::bin(BinOp::Or, f.clone(), f).eval_bool(&row()).unwrap());
+        assert!(Expr::bin(BinOp::And, t.clone(), t.clone())
+            .eval_bool(&row())
+            .unwrap());
+        assert!(!Expr::bin(BinOp::And, t.clone(), f.clone())
+            .eval_bool(&row())
+            .unwrap());
+        assert!(Expr::bin(BinOp::Or, f.clone(), t)
+            .eval_bool(&row())
+            .unwrap());
+        assert!(!Expr::bin(BinOp::Or, f.clone(), f)
+            .eval_bool(&row())
+            .unwrap());
     }
 
     #[test]
@@ -228,11 +236,17 @@ mod tests {
         // |features[1] - 5| = 1 — the similarity-join predicate shape (§7.2.1).
         let e = Expr::Abs(Box::new(Expr::bin(
             BinOp::Sub,
-            Expr::VectorElem { column: 3, index: 1 },
+            Expr::VectorElem {
+                column: 3,
+                index: 1,
+            },
             Expr::lit(5.0f32),
         )));
         assert_eq!(e.eval(&row()).unwrap(), Value::Float(1.0));
-        let oob = Expr::VectorElem { column: 3, index: 10 };
+        let oob = Expr::VectorElem {
+            column: 3,
+            index: 10,
+        };
         assert!(oob.eval(&row()).is_err());
     }
 

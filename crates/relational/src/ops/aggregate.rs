@@ -164,7 +164,10 @@ impl<'a> HashAggregate<'a> {
             }
         }
         if no_groups && groups.is_empty() {
-            groups.insert(Vec::new(), (Vec::new(), vec![AggState::new(); self.aggs.len()]));
+            groups.insert(
+                Vec::new(),
+                (Vec::new(), vec![AggState::new(); self.aggs.len()]),
+            );
         }
         let mut rows: Vec<Tuple> = groups
             .into_values()

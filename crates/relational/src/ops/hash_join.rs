@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn inner_join_on_int_key() {
         let left = MemScan::new(id_score_schema(), rows(&[(1, 10.0), (2, 20.0), (3, 30.0)]));
-        let right = MemScan::new(id_score_schema(), rows(&[(2, 200.0), (3, 300.0), (4, 400.0)]));
+        let right = MemScan::new(
+            id_score_schema(),
+            rows(&[(2, 200.0), (3, 300.0), (4, 400.0)]),
+        );
         let mut join = HashJoin::new(
             Box::new(left),
             Box::new(right),

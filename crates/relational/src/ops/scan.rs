@@ -61,8 +61,8 @@ impl Operator for MemScan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::testutil::{id_score_rows, id_score_schema};
     use crate::ops::collect;
+    use crate::ops::testutil::{id_score_rows, id_score_schema};
     use crate::value::Value;
     use relserve_storage::{BufferPool, DiskManager};
     use std::sync::Arc;

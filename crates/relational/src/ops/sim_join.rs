@@ -36,7 +36,7 @@ impl<'a> SimilarityJoin<'a> {
         right_key: Expr,
         epsilon: f32,
     ) -> Result<Self> {
-        if !(epsilon > 0.0) || !epsilon.is_finite() {
+        if epsilon <= 0.0 || !epsilon.is_finite() {
             return Err(crate::error::Error::Plan(format!(
                 "similarity join needs a positive finite epsilon, got {epsilon}"
             )));
@@ -134,8 +134,7 @@ mod tests {
         let l = MemScan::new(id_score_schema(), rows(left));
         let r = MemScan::new(id_score_schema(), rows(right));
         let mut j =
-            SimilarityJoin::new(Box::new(l), Box::new(r), Expr::col(1), Expr::col(1), eps)
-                .unwrap();
+            SimilarityJoin::new(Box::new(l), Box::new(r), Expr::col(1), Expr::col(1), eps).unwrap();
         collect(&mut j)
             .unwrap()
             .iter()
@@ -170,7 +169,9 @@ mod tests {
     #[test]
     fn matches_agree_with_nested_loop() {
         let left: Vec<(i64, f32)> = (0..40).map(|i| (i, (i as f32 * 0.37) % 5.0)).collect();
-        let right: Vec<(i64, f32)> = (0..40).map(|i| (100 + i, (i as f32 * 0.61) % 5.0)).collect();
+        let right: Vec<(i64, f32)> = (0..40)
+            .map(|i| (100 + i, (i as f32 * 0.61) % 5.0))
+            .collect();
         let eps = 0.15;
         let mut expect: Vec<(i64, i64)> = Vec::new();
         for (li, lv) in &left {
@@ -184,7 +185,10 @@ mod tests {
         got.sort_unstable();
         expect.sort_unstable();
         assert_eq!(got, expect);
-        assert!(!expect.is_empty(), "test needs some matches to be meaningful");
+        assert!(
+            !expect.is_empty(),
+            "test needs some matches to be meaningful"
+        );
     }
 
     #[test]
@@ -192,8 +196,7 @@ mod tests {
         let l = MemScan::new(id_score_schema(), vec![]);
         let r = MemScan::new(id_score_schema(), vec![]);
         assert!(
-            SimilarityJoin::new(Box::new(l), Box::new(r), Expr::col(1), Expr::col(1), 0.0)
-                .is_err()
+            SimilarityJoin::new(Box::new(l), Box::new(r), Expr::col(1), Expr::col(1), 0.0).is_err()
         );
         let l = MemScan::new(id_score_schema(), vec![]);
         let r = MemScan::new(id_score_schema(), vec![]);

@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn top_k_pipeline() {
         // Sort desc + limit = top-k: the "top risk scores" query shape.
-        let scan = MemScan::new(id_score_schema(), id_score_rows(20, |i| ((i * 7) % 20) as f32));
+        let scan = MemScan::new(
+            id_score_schema(),
+            id_score_rows(20, |i| ((i * 7) % 20) as f32),
+        );
         let sort = Sort::new(Box::new(scan), Expr::col(1), SortOrder::Descending);
         let mut topk = Limit::new(Box::new(sort), 3).unwrap();
         let rows = collect(&mut topk).unwrap();

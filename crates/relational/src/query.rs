@@ -86,7 +86,12 @@ impl<'a> Query<'a> {
     }
 
     /// Hash equi-join with another query.
-    pub fn join(self, right: Query<'a>, left_keys: Vec<Expr>, right_keys: Vec<Expr>) -> Result<Self> {
+    pub fn join(
+        self,
+        right: Query<'a>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    ) -> Result<Self> {
         Ok(Query {
             root: Box::new(HashJoin::new(self.root, right.root, left_keys, right_keys)?),
         })
@@ -115,7 +120,12 @@ impl<'a> Query<'a> {
         aggs: Vec<AggSpec>,
     ) -> Result<Self> {
         Ok(Query {
-            root: Box::new(HashAggregate::new(self.root, group_exprs, group_names, aggs)?),
+            root: Box::new(HashAggregate::new(
+                self.root,
+                group_exprs,
+                group_names,
+                aggs,
+            )?),
         })
     }
 
@@ -212,11 +222,7 @@ mod tests {
         let t = orders_table();
         let u = orders_table();
         let n = Query::scan(&t)
-            .join(
-                Query::scan(&u),
-                vec![Expr::col(0)],
-                vec![Expr::col(0)],
-            )
+            .join(Query::scan(&u), vec![Expr::col(0)], vec![Expr::col(0)])
             .unwrap()
             .count()
             .unwrap();
@@ -242,7 +248,10 @@ mod tests {
         let schema = Schema::new(vec![Column::new("k", DataType::Float)]);
         let left = Query::values(
             schema.clone(),
-            vec![Tuple::new(vec![Value::Float(1.0)]), Tuple::new(vec![Value::Float(5.0)])],
+            vec![
+                Tuple::new(vec![Value::Float(1.0)]),
+                Tuple::new(vec![Value::Float(5.0)]),
+            ],
         );
         let right = Query::values(schema, vec![Tuple::new(vec![Value::Float(1.05)])]);
         let rows = left

@@ -81,7 +81,10 @@ mod tests {
     use relserve_storage::DiskManager;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames))
+        Arc::new(BufferPool::new(
+            Arc::new(DiskManager::temp().unwrap()),
+            frames,
+        ))
     }
 
     fn tx_schema() -> Schema {

@@ -22,7 +22,7 @@ use bytes::{Buf, BufMut};
 use relserve_storage::{BlobId, BlobStore, BufferPool};
 use relserve_tensor::{BlockCoord, BlockedTensor, BlockingSpec, Tensor};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Execution statistics of one relational tensor operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +35,16 @@ pub struct TensorOpStats {
     pub bytes_read: u64,
     /// Block payload bytes written to the store.
     pub bytes_written: u64,
+}
+
+impl TensorOpStats {
+    /// Fold another worker's accumulator into this one.
+    pub fn merge(&mut self, other: TensorOpStats) {
+        self.joins += other.joins;
+        self.blocks_out += other.blocks_out;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
 }
 
 /// A matrix stored as a relation of tensor blocks.
@@ -281,11 +291,30 @@ impl TensorTable {
 
     /// Relation-centric `C = A × Bᵀ` with `B` stored `[n, k]` — join on the
     /// shared `k` block coordinate (`a.col_blk == b.col_blk`), aggregate by
-    /// `(a.row_blk, b.row_blk)`.
+    /// `(a.row_blk, b.row_blk)`. Single-threaded; see
+    /// [`TensorTable::matmul_bt_parallel`].
     pub fn matmul_bt(
         &self,
         other: &TensorTable,
         out_name: impl Into<String>,
+    ) -> Result<(TensorTable, TensorOpStats)> {
+        self.matmul_bt_parallel(other, out_name, 1)
+    }
+
+    /// Parallel relation-centric `C = A × Bᵀ`: A's block-rows are split into
+    /// up to `kernel_threads` contiguous stripes and the stripes run as
+    /// tasks on the installed kernel pool. Each worker owns a disjoint set
+    /// of *output* block-rows, so workers only contend on the (internally
+    /// locked) buffer pool for reads and on the output table's insert lock
+    /// when flushing a finished block-row; stats accumulate per worker and
+    /// merge at the end. Peak memory is one block-row of partials per
+    /// worker. With `kernel_threads <= 1` (or no pool installed) this is
+    /// the serial streaming join.
+    pub fn matmul_bt_parallel(
+        &self,
+        other: &TensorTable,
+        out_name: impl Into<String>,
+        kernel_threads: usize,
     ) -> Result<(TensorTable, TensorOpStats)> {
         if self.cols != other.cols {
             return Err(Error::Tensor(relserve_tensor::Error::ShapeMismatch {
@@ -311,14 +340,54 @@ impl TensorTable {
             other.rows,
             out_spec,
         );
-        let mut stats = TensorOpStats::default();
+        // Join index over B: shared k coordinate → B coords carrying it.
         let mut b_by_col: BTreeMap<usize, Vec<BlockCoord>> = BTreeMap::new();
         for coord in other.coords() {
             b_by_col.entry(coord.col).or_default().push(coord);
         }
-        self.for_each_block_row(|block_row, a_blocks| {
+        // A's coords grouped by block-row (index iteration is row-major).
+        let mut row_groups: Vec<(usize, Vec<BlockCoord>)> = Vec::new();
+        for coord in self.coords() {
+            match row_groups.last_mut() {
+                Some((row, group)) if *row == coord.row => group.push(coord),
+                _ => row_groups.push((coord.row, vec![coord])),
+            }
+        }
+        let threads = kernel_threads.clamp(1, row_groups.len().max(1));
+        let per_stripe = row_groups.len().div_ceil(threads).max(1);
+        let stripes: Vec<&[(usize, Vec<BlockCoord>)]> = row_groups.chunks(per_stripe).collect();
+        let out_lock = Mutex::new(&mut out);
+        let results: Vec<Mutex<Option<Result<TensorOpStats>>>> =
+            stripes.iter().map(|_| Mutex::new(None)).collect();
+        relserve_tensor::parallel::run_stripes(threads, stripes.len(), &|t| {
+            let res = self.matmul_bt_stripe(other, &b_by_col, stripes[t], &out_lock);
+            *results[t].lock().expect("stripe result lock") = Some(res);
+        });
+        let mut stats = TensorOpStats::default();
+        for slot in results {
+            let worker_stats = slot
+                .into_inner()
+                .expect("stripe result lock")
+                .expect("stripe task did not run")?;
+            stats.merge(worker_stats);
+        }
+        Ok((out, stats))
+    }
+
+    /// One worker's share of the block-row join: compute and flush every
+    /// block-row in `stripe`, returning this worker's stats accumulator.
+    fn matmul_bt_stripe(
+        &self,
+        other: &TensorTable,
+        b_by_col: &BTreeMap<usize, Vec<BlockCoord>>,
+        stripe: &[(usize, Vec<BlockCoord>)],
+        out: &Mutex<&mut TensorTable>,
+    ) -> Result<TensorOpStats> {
+        let mut stats = TensorOpStats::default();
+        for (block_row, a_coords) in stripe {
             let mut partials: BTreeMap<usize, Tensor> = BTreeMap::new();
-            for (a_coord, a_block) in a_blocks {
+            for a_coord in a_coords {
+                let a_block = self.get_block(*a_coord)?;
                 stats.bytes_read += a_block.num_bytes() as u64;
                 let Some(b_coords) = b_by_col.get(&a_coord.col) else {
                     continue;
@@ -326,7 +395,7 @@ impl TensorTable {
                 for b_coord in b_coords {
                     let b_block = other.get_block(*b_coord)?;
                     stats.bytes_read += b_block.num_bytes() as u64;
-                    let partial = relserve_tensor::matmul::matmul_bt(a_block, &b_block)?;
+                    let partial = relserve_tensor::matmul::matmul_bt(&a_block, &b_block)?;
                     stats.joins += 1;
                     match partials.get_mut(&b_coord.row) {
                         Some(sum) => relserve_tensor::ops::axpy(sum, &partial, 1.0)?,
@@ -336,20 +405,20 @@ impl TensorTable {
                     }
                 }
             }
+            let mut guard = out.lock().expect("output table lock");
             for (out_col, block) in partials {
                 stats.blocks_out += 1;
                 stats.bytes_written += block.num_bytes() as u64;
-                out.insert_block(
+                guard.insert_block(
                     BlockCoord {
-                        row: block_row,
+                        row: *block_row,
                         col: out_col,
                     },
                     &block,
                 )?;
             }
-            Ok(())
-        })?;
-        Ok((out, stats))
+        }
+        Ok(stats)
     }
 
     /// Apply `f` to every stored block, producing a new relation (the
@@ -437,7 +506,10 @@ mod tests {
     use relserve_storage::DiskManager;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames))
+        Arc::new(BufferPool::new(
+            Arc::new(DiskManager::temp().unwrap()),
+            frames,
+        ))
     }
 
     fn pattern(rows: usize, cols: usize, salt: usize) -> Tensor {
@@ -461,9 +533,7 @@ mod tests {
         for (coord, block) in blocked.iter_blocks() {
             assert_eq!(&table.get_block(coord).unwrap(), block);
         }
-        assert!(table
-            .get_block(BlockCoord { row: 9, col: 9 })
-            .is_err());
+        assert!(table.get_block(BlockCoord { row: 9, col: 9 }).is_err());
     }
 
     #[test]
@@ -475,14 +545,20 @@ mod tests {
             p.clone(),
             "A",
             &a,
-            BlockingSpec { block_rows: 3, block_cols: 4 },
+            BlockingSpec {
+                block_rows: 3,
+                block_cols: 4,
+            },
         )
         .unwrap();
         let bt = TensorTable::from_dense(
             p,
             "B",
             &b,
-            BlockingSpec { block_rows: 4, block_cols: 2 },
+            BlockingSpec {
+                block_rows: 4,
+                block_cols: 2,
+            },
         )
         .unwrap();
         let (c, stats) = at.matmul(&bt, "C").unwrap();
@@ -505,6 +581,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matmul_bt_matches_serial_any_thread_count() {
+        let x = pattern(13, 10, 12);
+        let w = pattern(9, 10, 13);
+        let p = pool(64);
+        let xt = TensorTable::from_dense(p.clone(), "X", &x, BlockingSpec::square(4)).unwrap();
+        let wt = TensorTable::from_dense(p, "W", &w, BlockingSpec::square(4)).unwrap();
+        let (serial, serial_stats) = xt.matmul_bt(&wt, "C").unwrap();
+        let expect = serial.to_dense().unwrap();
+        for threads in [1, 2, 3, 7, 16] {
+            let (c, stats) = xt.matmul_bt_parallel(&wt, "Cp", threads).unwrap();
+            assert!(
+                c.to_dense().unwrap().approx_eq(&expect, 1e-4),
+                "threads={threads}"
+            );
+            // Stats describe the same logical work however it is striped.
+            assert_eq!(stats, serial_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn matmul_streams_through_tiny_pool() {
         // The point of relation-centric execution: a matmul whose operands
         // exceed the buffer pool must still complete, spilling via disk.
@@ -522,9 +618,11 @@ mod tests {
     #[test]
     fn shape_and_blocking_validation() {
         let p = pool(8);
-        let a = TensorTable::from_dense(p.clone(), "A", &pattern(4, 4, 1), BlockingSpec::square(2)).unwrap();
+        let a = TensorTable::from_dense(p.clone(), "A", &pattern(4, 4, 1), BlockingSpec::square(2))
+            .unwrap();
         let bad_shape =
-            TensorTable::from_dense(p.clone(), "B", &pattern(5, 4, 2), BlockingSpec::square(2)).unwrap();
+            TensorTable::from_dense(p.clone(), "B", &pattern(5, 4, 2), BlockingSpec::square(2))
+                .unwrap();
         assert!(a.matmul(&bad_shape, "C").is_err());
         let bad_blocking =
             TensorTable::from_dense(p, "B2", &pattern(4, 4, 3), BlockingSpec::square(3)).unwrap();

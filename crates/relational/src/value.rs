@@ -134,7 +134,10 @@ impl Value {
         let tag = buf.get_u8();
         let need = |buf: &mut dyn Buf, n: usize| -> Result<()> {
             if buf.remaining() < n {
-                Err(Error::Codec(format!("need {n} bytes, have {}", buf.remaining())))
+                Err(Error::Codec(format!(
+                    "need {n} bytes, have {}",
+                    buf.remaining()
+                )))
             } else {
                 Ok(())
             }

@@ -58,8 +58,7 @@ impl TransferProfile {
 
     /// Modeled wire duration for a payload.
     pub fn wire_time(&self, payload_bytes: usize, rows: usize) -> Duration {
-        let bw = if self.bandwidth_bytes_per_sec.is_finite() && self.bandwidth_bytes_per_sec > 0.0
-        {
+        let bw = if self.bandwidth_bytes_per_sec.is_finite() && self.bandwidth_bytes_per_sec > 0.0 {
             Duration::from_secs_f64(payload_bytes as f64 / self.bandwidth_bytes_per_sec)
         } else {
             Duration::ZERO

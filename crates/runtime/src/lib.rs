@@ -12,6 +12,9 @@
 //! * [`ThreadCoordinator`] — splits physical cores between DB worker threads
 //!   and kernel (linear-algebra) threads so in-UDF kernels do not
 //!   oversubscribe the machine behind the scheduler's back (§3.1).
+//! * [`KernelPool`] — the persistent worker pool those kernel threads live
+//!   on: long-lived threads claim stripe tasks from a shared injector, so
+//!   per-invocation thread spawn/join cost disappears from the kernel path.
 //! * [`DeviceModel`] — the producer-transfer-consumer latency estimator used
 //!   for CPU/GPU placement decisions (§3.2).
 //! * [`Connector`] — the simulated cross-system boundary (ConnectorX in the
@@ -26,13 +29,15 @@ pub mod device;
 pub mod error;
 pub mod external;
 pub mod governor;
+pub mod pool;
 pub mod threads;
 pub mod tuning;
 
 pub use connector::{Connector, TransferProfile};
 pub use device::{Device, DeviceKind, DeviceModel, PlacementDecision};
 pub use error::{Error, Result};
-pub use governor::{MemoryGovernor, Reservation};
 pub use external::{ExternalRuntime, RuntimeProfile};
+pub use governor::{MemoryGovernor, Reservation};
+pub use pool::{KernelPool, PoolCounters};
 pub use threads::{ThreadCoordinator, ThreadPlan};
 pub use tuning::{tune, TunedPlan, TuningReport};

@@ -1,0 +1,380 @@
+//! Persistent kernel thread pool (§3.1).
+//!
+//! The seed implementation spawned a fresh `crossbeam::scope` of OS threads
+//! for every parallel kernel invocation — tens of microseconds of
+//! create/join overhead per matmul, paid again for every block of every
+//! layer. [`KernelPool`] replaces that with long-lived workers created once
+//! per [`crate::ThreadCoordinator`] budget:
+//!
+//! * A *batch* of `n_tasks` independent stripe tasks is published to a
+//!   shared injector queue; workers claim task indices with an atomic
+//!   counter (work-stealing-lite: contention-free chunk claiming rather
+//!   than per-worker deques, which is enough when tasks are pre-sized
+//!   stripes).
+//! * The **submitting thread participates**: after publishing it claims and
+//!   runs tasks like any worker. This makes `run_stripes` deadlock-free
+//!   under nesting (a pool task may itself submit a batch) and lets a
+//!   zero-worker pool degrade to serial execution.
+//! * Kernels reach the pool through the [`StripeRunner`] trait from
+//!   `relserve-tensor`, installed process-wide with
+//!   [`KernelPool::install_global`]; the tensor crate itself owns no
+//!   threads.
+//!
+//! Counters ([`KernelPool::counters`]) expose tasks run, tasks *stolen*
+//! (executed by a pool worker rather than the submitter), and worker park
+//! events, so tests and the tuning ablation can observe scheduling behavior
+//! instead of guessing.
+
+use relserve_tensor::parallel::{self, StripeRunner};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to a borrowed `&(dyn Fn(usize) + Sync)` task closure.
+///
+/// The `'static` lifetime is a lie told to the type system: soundness comes
+/// from [`KernelPool::run_stripes`] blocking until every claimed task index
+/// has finished, so the referent provably outlives every dereference. The
+/// pointer itself is only dereferenced for successfully claimed indices.
+#[derive(Clone, Copy)]
+struct TaskPtr(&'static (dyn Fn(usize) + Sync));
+
+// SAFETY: the referent is `Sync` (shared calls from any thread are fine) and
+// outlives the batch per the blocking-submit contract above.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One published batch of stripe tasks.
+struct Batch {
+    task: TaskPtr,
+    n_tasks: usize,
+    /// Next unclaimed task index; claims are `fetch_add` so they never race.
+    next: AtomicUsize,
+    /// Completed task count; the batch is done when this reaches `n_tasks`.
+    finished: AtomicUsize,
+    panicked: AtomicBool,
+    /// Completion signal for the submitting thread.
+    done_lock: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    fn is_exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n_tasks
+    }
+}
+
+/// Monotonic scheduling counters, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Stripe tasks executed, by anyone.
+    pub tasks_run: usize,
+    /// Tasks executed by a pool worker rather than the submitting thread.
+    pub steals: usize,
+    /// Times a worker went to sleep waiting for work.
+    pub parks: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    tasks_run: AtomicUsize,
+    steals: AtomicUsize,
+    parks: AtomicUsize,
+}
+
+struct Injector {
+    batches: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    injector: Mutex<Injector>,
+    work_cv: Condvar,
+    counters: Counters,
+}
+
+impl Shared {
+    /// Run claimable tasks from `batch` until none remain. `stealing` marks
+    /// execution by a pool worker (vs the submitter) for the counters.
+    fn drain_batch(&self, batch: &Batch, stealing: bool) {
+        loop {
+            let t = batch.next.fetch_add(1, Ordering::Relaxed);
+            if t >= batch.n_tasks {
+                return;
+            }
+            if catch_unwind(AssertUnwindSafe(|| (batch.task.0)(t))).is_err() {
+                batch.panicked.store(true, Ordering::Relaxed);
+            }
+            self.counters.tasks_run.fetch_add(1, Ordering::Relaxed);
+            if stealing {
+                self.counters.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            if batch.finished.fetch_add(1, Ordering::Relaxed) + 1 == batch.n_tasks {
+                *batch.done_lock.lock().expect("batch done lock") = true;
+                batch.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut inj = self.injector.lock().expect("injector lock");
+                loop {
+                    if inj.shutdown {
+                        return;
+                    }
+                    // Drop batches everyone has finished claiming from.
+                    while inj.batches.front().is_some_and(|b| b.is_exhausted()) {
+                        inj.batches.pop_front();
+                    }
+                    if let Some(b) = inj.batches.iter().find(|b| !b.is_exhausted()) {
+                        break Arc::clone(b);
+                    }
+                    self.counters.parks.fetch_add(1, Ordering::Relaxed);
+                    inj = self.work_cv.wait(inj).expect("injector wait");
+                }
+            };
+            self.drain_batch(&batch, true);
+        }
+    }
+}
+
+/// A persistent pool of kernel worker threads; see the module docs.
+pub struct KernelPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl KernelPool {
+    /// A pool with `workers` long-lived background threads. The submitting
+    /// thread always participates in its own batches, so a pool sized for a
+    /// `kernel_threads` budget wants `kernel_threads - 1` workers; a
+    /// zero-worker pool is valid and runs everything on the caller.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(Injector {
+                batches: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("relserve-kernel-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn kernel worker")
+            })
+            .collect();
+        KernelPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// A pool sized for a machine with `cores` cores: one thread is the
+    /// submitter, the rest are workers.
+    pub fn for_cores(cores: usize) -> Self {
+        Self::new(cores.max(1) - 1)
+    }
+
+    /// Number of background worker threads (excludes the submitter).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the scheduling counters.
+    pub fn counters(&self) -> PoolCounters {
+        let c = &self.shared.counters;
+        PoolCounters {
+            tasks_run: c.tasks_run.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Install this pool as the process-wide stripe runner used by
+    /// `relserve-tensor`'s `*_parallel` kernels. First install wins; returns
+    /// whether this pool became the global runner.
+    pub fn install_global(self: &Arc<Self>) -> bool {
+        parallel::install_global_runner(Arc::clone(self) as Arc<dyn StripeRunner>)
+    }
+}
+
+impl StripeRunner for KernelPool {
+    /// Run `task(0..n_tasks)` to completion, sharing the work with pool
+    /// workers. Blocks until every task has finished; panics (after the
+    /// whole batch completes) if any task panicked.
+    fn run_stripes(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        // SAFETY: see `TaskPtr` — we block on batch completion below, so the
+        // borrow outlives every dereference.
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+        let batch = Arc::new(Batch {
+            task: TaskPtr(erased),
+            n_tasks,
+            next: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        if n_tasks > 1 && !self.workers.is_empty() {
+            let mut inj = self.shared.injector.lock().expect("injector lock");
+            inj.batches.push_back(Arc::clone(&batch));
+            drop(inj);
+            self.shared.work_cv.notify_all();
+        }
+        // The submitter helps; this also covers the zero-worker pool and
+        // nested submissions from inside a worker.
+        self.shared.drain_batch(&batch, false);
+        let mut done = batch.done_lock.lock().expect("batch done lock");
+        while !*done {
+            done = batch.done_cv.wait(done).expect("batch done wait");
+        }
+        drop(done);
+        if batch.panicked.load(Ordering::Relaxed) {
+            panic!("kernel pool task panicked");
+        }
+    }
+
+    fn max_concurrency(&self) -> usize {
+        self.workers.len() + 1
+    }
+}
+
+impl Drop for KernelPool {
+    fn drop(&mut self) {
+        {
+            let mut inj = self.shared.injector.lock().expect("injector lock");
+            inj.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for KernelPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelPool")
+            .field("workers", &self.workers.len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_sum(pool: &KernelPool, n_tasks: usize) -> usize {
+        let sum = AtomicUsize::new(0);
+        pool.run_stripes(n_tasks, &|t| {
+            sum.fetch_add(t + 1, Ordering::Relaxed);
+        });
+        sum.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = KernelPool::new(3);
+        for n in [0, 1, 2, 7, 64] {
+            assert_eq!(run_sum(&pool, n), n * (n + 1) / 2, "n_tasks={n}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_on_caller() {
+        let pool = KernelPool::new(0);
+        assert_eq!(run_sum(&pool, 13), 13 * 14 / 2);
+        let c = pool.counters();
+        assert_eq!(c.tasks_run, 13);
+        assert_eq!(c.steals, 0, "no workers, nothing can be stolen");
+    }
+
+    #[test]
+    fn counters_track_tasks_and_accounting_is_consistent() {
+        let pool = KernelPool::new(2);
+        for _ in 0..16 {
+            run_sum(&pool, 8);
+        }
+        let c = pool.counters();
+        assert_eq!(c.tasks_run, 16 * 8);
+        assert!(c.steals <= c.tasks_run);
+    }
+
+    #[test]
+    fn reused_across_batches_without_respawn() {
+        let pool = KernelPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        let before = pool.counters().tasks_run;
+        for n in 1..20 {
+            run_sum(&pool, n);
+        }
+        assert_eq!(pool.counters().tasks_run - before, (1..20).sum::<usize>());
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        let pool = Arc::new(KernelPool::new(1));
+        let inner_total = AtomicUsize::new(0);
+        let p2 = Arc::clone(&pool);
+        pool.run_stripes(4, &|_| {
+            p2.run_stripes(3, &|t| {
+                inner_total.fetch_add(t + 1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_total.load(Ordering::Relaxed), 4 * 6);
+    }
+
+    #[test]
+    fn panicking_task_propagates_after_batch_completes() {
+        let pool = KernelPool::new(2);
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_stripes(6, &|t| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if t == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 6, "all tasks still ran");
+        // Pool is still usable after a panicked batch.
+        assert_eq!(run_sum(&pool, 5), 15);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = Arc::new(KernelPool::new(3));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        assert_eq!(run_sum(&pool, 9), 45);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.counters().tasks_run, 4 * 25 * 9);
+    }
+
+    #[test]
+    fn for_cores_reserves_the_submitter() {
+        assert_eq!(KernelPool::for_cores(4).workers(), 3);
+        assert_eq!(KernelPool::for_cores(1).workers(), 0);
+        assert_eq!(KernelPool::for_cores(0).workers(), 0);
+    }
+}

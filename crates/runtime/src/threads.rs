@@ -32,7 +32,9 @@ pub struct ThreadCoordinator {
 impl ThreadCoordinator {
     /// A coordinator for a machine with `cores` physical cores.
     pub fn new(cores: usize) -> Self {
-        ThreadCoordinator { cores: cores.max(1) }
+        ThreadCoordinator {
+            cores: cores.max(1),
+        }
     }
 
     /// A coordinator sized from the current machine.
@@ -67,6 +69,13 @@ impl ThreadCoordinator {
             db_workers: 0,
             kernel_threads: self.cores,
         }
+    }
+
+    /// Build the persistent kernel pool for this machine's budget: one
+    /// submitter slot plus `cores - 1` workers, so a kernel batch can use
+    /// every core without oversubscribing (§3.1).
+    pub fn kernel_pool(&self) -> std::sync::Arc<crate::pool::KernelPool> {
+        std::sync::Arc::new(crate::pool::KernelPool::for_cores(self.cores))
     }
 
     /// Relative context-switch penalty of running `plan` on this machine:
@@ -123,8 +132,14 @@ mod tests {
     #[test]
     fn penalty_grows_with_oversubscription() {
         let c = ThreadCoordinator::new(4);
-        let fits = ThreadPlan { db_workers: 2, kernel_threads: 2 };
-        let over = ThreadPlan { db_workers: 4, kernel_threads: 4 };
+        let fits = ThreadPlan {
+            db_workers: 2,
+            kernel_threads: 2,
+        };
+        let over = ThreadPlan {
+            db_workers: 4,
+            kernel_threads: 4,
+        };
         assert_eq!(c.oversubscription_penalty(fits), 1.0);
         assert_eq!(c.oversubscription_penalty(over), 4.0);
     }

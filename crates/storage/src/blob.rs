@@ -89,7 +89,11 @@ impl BlobStore {
     pub fn get(&self, id: BlobId) -> Result<Vec<u8>> {
         let meta = {
             let state = self.state.lock();
-            state.blobs.get(&id).cloned().ok_or(Error::BlobNotFound(id.0))?
+            state
+                .blobs
+                .get(&id)
+                .cloned()
+                .ok_or(Error::BlobNotFound(id.0))?
         };
         let mut out = Vec::with_capacity(meta.len);
         let mut remaining = meta.len;
@@ -137,7 +141,10 @@ mod tests {
     use crate::disk::DiskManager;
 
     fn store(frames: usize) -> BlobStore {
-        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames));
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(DiskManager::temp().unwrap()),
+            frames,
+        ));
         BlobStore::new(pool)
     }
 

@@ -320,7 +320,10 @@ mod tests {
     use super::*;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames))
+        Arc::new(BufferPool::new(
+            Arc::new(DiskManager::temp().unwrap()),
+            frames,
+        ))
     }
 
     #[test]
@@ -393,7 +396,7 @@ mod tests {
         drop(p.fetch(id).unwrap()); // hit
         let other = p.create_page().unwrap().id();
         drop(p.fetch(other).unwrap()); // hit
-        // Evict `id` by filling the pool, then fetch it again -> miss.
+                                       // Evict `id` by filling the pool, then fetch it again -> miss.
         drop(p.create_page().unwrap());
         drop(p.create_page().unwrap());
         drop(p.fetch(id).unwrap());

@@ -95,7 +95,7 @@ impl Catalog {
         self.objects
             .read()
             .iter()
-            .filter(|(_, o)| kind.map_or(true, |k| o.kind == k))
+            .filter(|(_, o)| kind.is_none_or(|k| o.kind == k))
             .map(|(n, _)| n.clone())
             .collect()
     }
@@ -127,7 +127,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let c = Catalog::new();
         c.create("t", table(1)).unwrap();
-        assert!(matches!(c.create("t", table(2)), Err(Error::ObjectExists(_))));
+        assert!(matches!(
+            c.create("t", table(2)),
+            Err(Error::ObjectExists(_))
+        ));
     }
 
     #[test]

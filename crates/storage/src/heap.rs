@@ -172,7 +172,10 @@ mod tests {
     use crate::disk::DiskManager;
 
     fn heap(frames: usize) -> TableHeap {
-        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), frames));
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(DiskManager::temp().unwrap()),
+            frames,
+        ));
         TableHeap::new(pool)
     }
 

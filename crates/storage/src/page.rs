@@ -154,7 +154,6 @@ impl Page {
 
     /// Insert a tuple; returns its slot index.
     pub fn insert_tuple(&mut self, payload: &[u8]) -> Result<u16> {
-
         if payload.len() > Self::max_tuple_size() {
             return Err(Error::TupleTooLarge {
                 size: payload.len(),
@@ -275,7 +274,7 @@ mod tests {
             n += 1;
         }
         // 64 KiB / (1000 + 8 slot) ≈ 65 tuples.
-        assert!(n >= 64 && n <= 66, "n = {n}");
+        assert!((64..=66).contains(&n), "n = {n}");
         assert!(p.free_space() < 1008);
     }
 

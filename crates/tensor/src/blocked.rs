@@ -197,7 +197,11 @@ impl BlockedTensor {
     /// buffer pool must hold, i.e. the quantity that replaces whole-tensor
     /// size in relation-centric memory accounting.
     pub fn max_block_bytes(&self) -> usize {
-        self.blocks.values().map(Tensor::num_bytes).max().unwrap_or(0)
+        self.blocks
+            .values()
+            .map(Tensor::num_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Blocked matrix multiplication `self[m,k] × other[k,n]`.
@@ -231,7 +235,10 @@ impl BlockedTensor {
         let mut acc: BTreeMap<BlockCoord, Tensor> = BTreeMap::new();
         for (ac, ablock) in &self.blocks {
             for bc in 0..other.col_blocks() {
-                let bcoord = BlockCoord { row: ac.col, col: bc };
+                let bcoord = BlockCoord {
+                    row: ac.col,
+                    col: bc,
+                };
                 let Some(bblock) = other.blocks.get(&bcoord) else {
                     continue; // implicit zero block contributes nothing
                 };
@@ -275,7 +282,14 @@ mod tests {
     #[test]
     fn dense_roundtrip_exact_multiple() {
         let t = pattern(8, 6, 1);
-        let b = BlockedTensor::from_dense(&t, BlockingSpec { block_rows: 4, block_cols: 3 }).unwrap();
+        let b = BlockedTensor::from_dense(
+            &t,
+            BlockingSpec {
+                block_rows: 4,
+                block_cols: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(b.num_blocks(), 4);
         assert_eq!(b.to_dense().unwrap(), t);
     }
@@ -301,8 +315,22 @@ mod tests {
     fn blocked_matmul_matches_dense() {
         let a = pattern(7, 9, 4);
         let bm = pattern(9, 5, 5);
-        let ab = BlockedTensor::from_dense(&a, BlockingSpec { block_rows: 3, block_cols: 4 }).unwrap();
-        let bb = BlockedTensor::from_dense(&bm, BlockingSpec { block_rows: 4, block_cols: 2 }).unwrap();
+        let ab = BlockedTensor::from_dense(
+            &a,
+            BlockingSpec {
+                block_rows: 3,
+                block_cols: 4,
+            },
+        )
+        .unwrap();
+        let bb = BlockedTensor::from_dense(
+            &bm,
+            BlockingSpec {
+                block_rows: 4,
+                block_cols: 2,
+            },
+        )
+        .unwrap();
         let blocked = ab.matmul(&bb).unwrap().to_dense().unwrap();
         let dense = crate::matmul::matmul(&a, &bm).unwrap();
         assert!(blocked.approx_eq(&dense, 1e-3));

@@ -56,7 +56,10 @@ impl Conv2dSpec {
                 self.kh, self.kw, self.stride, self.padding
             )));
         }
-        Ok(((eh - self.kh) / self.stride + 1, (ew - self.kw) / self.stride + 1))
+        Ok((
+            (eh - self.kh) / self.stride + 1,
+            (ew - self.kw) / self.stride + 1,
+        ))
     }
 
     /// Elements of one im2col patch row.
@@ -134,13 +137,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
 
 /// Scatter an im2col patch matrix back into an NHWC image batch — the adjoint
 /// of [`im2col`], used by the training extension (§6.1) for conv backward.
-pub fn col2im(
-    cols: &Tensor,
-    spec: &Conv2dSpec,
-    n: usize,
-    h: usize,
-    w: usize,
-) -> Result<Tensor> {
+pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Result<Tensor> {
     let (oh, ow) = spec.output_dims(h, w)?;
     let plen = spec.patch_len();
     let (rows, width) = cols.shape().as_matrix()?;
@@ -238,7 +235,13 @@ pub fn rewrite_kernel_1x1(kernel: &Tensor, bias: &Tensor) -> Result<Tensor> {
 ///
 /// Pointwise convolutions take the spatial-rewriting fast path; everything
 /// else goes through im2col. Both reduce to `F × Kᵀ` on `threads` threads.
-pub fn conv2d(input: &Tensor, kernel: &Tensor, bias: &Tensor, spec: &Conv2dSpec, threads: usize) -> Result<Tensor> {
+pub fn conv2d(
+    input: &Tensor,
+    kernel: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    threads: usize,
+) -> Result<Tensor> {
     spec.check_kernel(kernel)?;
     let dims = input.shape().dims();
     if dims.len() != 4 {
@@ -270,7 +273,12 @@ mod tests {
     use super::*;
 
     /// Direct (quadruple-loop) convolution used as the oracle.
-    fn conv2d_reference(input: &Tensor, kernel: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    fn conv2d_reference(
+        input: &Tensor,
+        kernel: &Tensor,
+        bias: &Tensor,
+        spec: &Conv2dSpec,
+    ) -> Tensor {
         let dims = input.shape().dims();
         let (n, h, w, c) = (dims[0], dims[1], dims[2], dims[3]);
         let (oh, ow) = spec.output_dims(h, w).unwrap();
@@ -306,7 +314,10 @@ mod tests {
     }
 
     fn seeded(shape: impl Into<crate::Shape>, salt: u32) -> Tensor {
-        Tensor::from_fn(shape, |i| (((i as u32).wrapping_mul(2654435761).wrapping_add(salt) >> 16) % 17) as f32 * 0.125 - 1.0)
+        Tensor::from_fn(shape, |i| {
+            (((i as u32).wrapping_mul(2654435761).wrapping_add(salt) >> 16) % 17) as f32 * 0.125
+                - 1.0
+        })
     }
 
     #[test]
@@ -327,7 +338,11 @@ mod tests {
     fn pointwise_detection() {
         assert!(Conv2dSpec::unit(4, 1, 1, 3).is_pointwise());
         assert!(!Conv2dSpec::unit(4, 3, 3, 3).is_pointwise());
-        assert!(!Conv2dSpec { padding: 1, ..Conv2dSpec::unit(4, 1, 1, 3) }.is_pointwise());
+        assert!(!Conv2dSpec {
+            padding: 1,
+            ..Conv2dSpec::unit(4, 1, 1, 3)
+        }
+        .is_pointwise());
     }
 
     #[test]

@@ -105,13 +105,10 @@ impl Tensor {
 
     /// Element at a flat (row-major) index.
     pub fn at(&self, flat: usize) -> Result<f32> {
-        self.data
-            .get(flat)
-            .copied()
-            .ok_or(Error::IndexOutOfBounds {
-                index: flat,
-                bound: self.data.len(),
-            })
+        self.data.get(flat).copied().ok_or(Error::IndexOutOfBounds {
+            index: flat,
+            bound: self.data.len(),
+        })
     }
 
     /// Element of a rank-2 tensor at `(row, col)`.

@@ -13,9 +13,11 @@
 //! * [`sparse::CsrMatrix`] — compressed-sparse-row matrices for the
 //!   extreme-classification inputs (Amazon-14k rows are ~0.5 % dense).
 //!
-//! The crate is deliberately dependency-light (only `crossbeam` for scoped
-//! threads in the parallel matmul) so that every layer above it — storage,
-//! relational execution, the optimizer — can build on the same kernels.
+//! The crate is deliberately dependency-free: kernels never spawn threads
+//! themselves but submit stripe tasks to the [`parallel::StripeRunner`]
+//! installed by the runtime's persistent kernel pool, so every layer above
+//! it — storage, relational execution, the optimizer — can build on the same
+//! kernels under one thread budget.
 
 pub mod blocked;
 pub mod conv;
@@ -23,6 +25,7 @@ pub mod dense;
 pub mod error;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 pub mod shape;
 pub mod sparse;
 

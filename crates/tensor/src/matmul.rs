@@ -1,20 +1,43 @@
 //! Matrix multiplication kernels.
 //!
-//! Three kernels with one contract (`C = A × B`):
+//! One contract (`C = A × B`), three tiers:
 //!
 //! * [`matmul_naive`] — reference triple loop, used by tests as an oracle.
-//! * [`matmul`] — single-threaded, cache-blocked, `ikj`-ordered kernel.
-//! * [`matmul_parallel`] — the blocked kernel sharded over row stripes with
-//!   `crossbeam::scope`; thread count is a parameter so the unified resource
-//!   manager (§3 of the paper) can coordinate it with DB worker threads
-//!   instead of letting a BLAS runtime spawn threads behind the system's back.
+//! * [`matmul`] — single-threaded register-tiled kernel: `B` is packed once
+//!   into zero-padded column panels of width [`NR`], `A` into row micro-panels
+//!   of height [`MR`], and a `MR×NR` accumulator tile lives in registers
+//!   across the whole `k` sweep of a cache block. No per-element branches.
+//! * [`matmul_parallel`] — the tiled kernel sharded over disjoint row stripes
+//!   submitted to the process-wide [`crate::parallel::StripeRunner`] (the
+//!   runtime's persistent kernel pool); thread count is a parameter so the
+//!   unified resource manager (§3 of the paper) can coordinate it with DB
+//!   worker threads instead of letting a BLAS runtime spawn threads behind
+//!   the system's back.
 //!
-//! `matmul_bt` variants compute `A × Bᵀ` without materializing the transpose,
-//! which is the natural layout for `X × Wᵀ` inference (weights are stored
-//! `[out_features, in_features]`).
+//! Transposed-operand entry points avoid materializing transposes by packing
+//! straight out of the stored layout:
+//!
+//! * [`matmul_bt`] / [`matmul_bt_parallel`] — `A × Bᵀ` with `B` stored
+//!   `[n, k]`, the natural layout for `X × Wᵀ` inference (weights are stored
+//!   `[out_features, in_features]`).
+//! * [`matmul_at`] — `Aᵀ × B` with `A` stored `[k, m]`, the natural layout
+//!   for weight-gradient products `δᵀ × X` in training.
 
 use crate::dense::Tensor;
 use crate::error::{Error, Result};
+use crate::parallel;
+use std::cell::RefCell;
+
+/// Micro-tile rows: C accumulator height held in registers.
+const MR: usize = 4;
+/// Micro-tile columns: C accumulator width held in registers.
+const NR: usize = 8;
+/// k-dimension cache block: packed panels of this depth stay L1/L2-resident.
+const KC: usize = 256;
+
+/// Minimum `m·k·n` before the packed kernel beats plain dot products; below
+/// it packing overhead dominates the O(m·k·n) arithmetic.
+const PACK_THRESHOLD: usize = 1 << 13;
 
 fn matrix_dims(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
     let (m, k1) = a.shape().as_matrix()?;
@@ -46,55 +69,232 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec([m, n], c)
 }
 
-/// Inner kernel: accumulate `C[i0..i1) += A × B` with `ikj` ordering over a
-/// row stripe. `B` is read as `[k, n]` row-major.
-fn stripe_kernel(ad: &[f32], bd: &[f32], cd: &mut [f32], i0: usize, i1: usize, k: usize, n: usize) {
-    // Block over k to keep the active slice of B in cache.
-    const KB: usize = 256;
-    for p0 in (0..k).step_by(KB) {
-        let p1 = (p0 + KB).min(k);
-        for i in i0..i1 {
-            let a_row = &ad[i * k..(i + 1) * k];
-            let c_row = &mut cd[(i - i0) * n..(i - i0 + 1) * n];
-            for p in p0..p1 {
-                let av = a_row[p];
-                if av == 0.0 {
-                    continue;
+/// A logical `rows × cols` matrix view over row-major storage that may hold
+/// the data transposed; packing routines read through it so the kernels never
+/// materialize a transpose.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    /// Stored transposed: logical element `(r, c)` lives at `data[c*ld + r]`.
+    trans: bool,
+    /// Leading dimension of the *stored* layout.
+    ld: usize,
+}
+
+impl View<'_> {
+    fn plain(data: &[f32], cols: usize) -> View<'_> {
+        View {
+            data,
+            trans: false,
+            ld: cols,
+        }
+    }
+
+    fn transposed(data: &[f32], rows: usize) -> View<'_> {
+        View {
+            data,
+            trans: true,
+            ld: rows,
+        }
+    }
+}
+
+/// Pack logical `B[k,n]` into zero-padded column panels: panel `jp` holds
+/// columns `jp*NR ..`, laid out `[p][NR]` so the micro-kernel streams it
+/// linearly. Ragged right edges are padded with zeros, which contribute
+/// nothing to the accumulators and let the kernel skip edge branches.
+fn pack_b(b: &View<'_>, k: usize, n: usize, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    out.clear();
+    out.resize(panels * k * NR, 0.0);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let width = NR.min(n - j0);
+        let base = jp * k * NR;
+        if b.trans {
+            // Stored [n, k]: logical column j is the contiguous stored row j.
+            for jj in 0..width {
+                let col = &b.data[(j0 + jj) * b.ld..(j0 + jj) * b.ld + k];
+                for (p, &v) in col.iter().enumerate() {
+                    out[base + p * NR + jj] = v;
                 }
-                let b_row = &bd[p * n..(p + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * *bv;
+            }
+        } else {
+            for p in 0..k {
+                let row = &b.data[p * b.ld + j0..p * b.ld + j0 + width];
+                out[base + p * NR..base + p * NR + width].copy_from_slice(row);
+            }
+        }
+    }
+}
+
+/// Pack rows `i0 .. i0+mr` of logical `A[m,k]`, k-range `p0..p1`, into an
+/// interleaved `[p][MR]` micro-panel (rows past `mr` zero-padded).
+fn pack_a(a: &View<'_>, i0: usize, mr: usize, p0: usize, p1: usize, out: &mut [f32]) {
+    let kc = p1 - p0;
+    out[..kc * MR].fill(0.0);
+    if a.trans {
+        // Stored [k, m]: each stored row p holds one k-slice across all rows.
+        for (pi, p) in (p0..p1).enumerate() {
+            let slice = &a.data[p * a.ld + i0..p * a.ld + i0 + mr];
+            out[pi * MR..pi * MR + mr].copy_from_slice(slice);
+        }
+    } else {
+        for r in 0..mr {
+            let row = &a.data[(i0 + r) * a.ld..];
+            for pi in 0..kc {
+                out[pi * MR + r] = row[p0 + pi];
+            }
+        }
+    }
+}
+
+/// The register tile: `acc[r][c] += apack[p][r] * bpanel[p][c]` over `kc`
+/// steps. The fixed-size array refs let the compiler keep the whole `MR×NR`
+/// accumulator in vector registers and unroll the FMA grid; there is no
+/// data-dependent branch in the loop body.
+#[inline(always)]
+fn microkernel(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let a: &[f32; MR] = apack[p * MR..p * MR + MR].try_into().unwrap();
+        let b: &[f32; NR] = bpanel[p * NR..p * NR + NR].try_into().unwrap();
+        for r in 0..MR {
+            let ar = a[r];
+            for c in 0..NR {
+                acc[r][c] += ar * b[c];
+            }
+        }
+    }
+}
+
+/// AVX2+FMA variant of [`microkernel`]: each accumulator row is one 256-bit
+/// register (`NR == 8` lanes), so the whole `MR×NR` tile lives in four `ymm`
+/// registers and every `p` step issues four fused multiply-adds against a
+/// single broadcast-free B load. The crate builds for baseline `x86-64`
+/// (SSE2), so this path is selected at runtime via feature detection rather
+/// than compile-time target flags.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_fma(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    // The register allocation below is written for the 4×8 tile shape.
+    const { assert!(MR == 4 && NR == 8) };
+    debug_assert!(apack.len() >= kc * MR && bpanel.len() >= kc * NR);
+    let mut c0 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut c1 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut c2 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut c3 = _mm256_loadu_ps(acc[3].as_ptr());
+    let ap = apack.as_ptr();
+    let bp = bpanel.as_ptr();
+    for p in 0..kc {
+        let b = _mm256_loadu_ps(bp.add(p * NR));
+        let a = ap.add(p * MR);
+        c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a), b, c0);
+        c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(1)), b, c1);
+        c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(2)), b, c2);
+        c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(3)), b, c3);
+    }
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), c0);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), c1);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), c2);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), c3);
+}
+
+/// Run the best micro-kernel the host supports. Feature detection is cached
+/// in an atomic by the standard library, so the per-tile check is a load.
+#[inline(always)]
+fn run_microkernel(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the required CPU features were just verified at runtime.
+        unsafe { microkernel_fma(apack, bpanel, kc, acc) };
+        return;
+    }
+    microkernel(apack, bpanel, kc, acc);
+}
+
+/// Compute rows `i0..i1` of `C += A × B` from pre-packed `B` panels.
+///
+/// Loop order is `(k-block, pack A tiles, panel, tile)`: within one k-block
+/// every A micro-panel is packed once, then each B panel (≈`NR·KC` floats,
+/// L1-resident) is reused across all row tiles of the stripe before moving
+/// on. `cd` is the stripe's slice of C, `stripe_rows × n`, and accumulates
+/// one partial product per k-block.
+fn tiled_stripe(
+    a: &View<'_>,
+    bpack: &[f32],
+    cd: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = i1 - i0;
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let tiles = rows.div_ceil(MR);
+    let panels = n.div_ceil(NR);
+    let mut apack = vec![0.0f32; tiles * MR * KC.min(k)];
+    for p0 in (0..k).step_by(KC) {
+        let p1 = (p0 + KC).min(k);
+        let kc = p1 - p0;
+        for t in 0..tiles {
+            let i = i0 + t * MR;
+            let mr = MR.min(i1 - i);
+            pack_a(a, i, mr, p0, p1, &mut apack[t * MR * kc..(t + 1) * MR * kc]);
+        }
+        for jp in 0..panels {
+            let bpanel = &bpack[jp * k * NR + p0 * NR..][..kc * NR];
+            let j0 = jp * NR;
+            let width = NR.min(n - j0);
+            for t in 0..tiles {
+                let i = i0 + t * MR;
+                let mr = MR.min(i1 - i);
+                let mut acc = [[0.0f32; NR]; MR];
+                run_microkernel(&apack[t * MR * kc..][..MR * kc], bpanel, kc, &mut acc);
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let c_row = &mut cd[(i - i0 + r) * n + j0..][..width];
+                    for (cv, av) in c_row.iter_mut().zip(acc_row) {
+                        *cv += *av;
+                    }
                 }
             }
         }
     }
 }
 
-/// Single-threaded cache-blocked `A × B`.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, k, n) = matrix_dims(a, b, "matmul")?;
-    let mut c = vec![0.0f32; m * n];
-    stripe_kernel(a.data(), b.data(), &mut c, 0, m, k, n);
-    Tensor::from_vec([m, n], c)
+thread_local! {
+    /// Reusable B-pack scratch: persistent kernel-pool workers and the
+    /// session thread each keep one buffer alive across matmul calls instead
+    /// of reallocating ~k·n floats per multiply.
+    static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Multi-threaded `A × B` over `threads` row stripes.
-///
-/// With `threads <= 1` this degrades to the single-threaded kernel, which is
-/// what the resource manager requests when DB worker threads already saturate
-/// the cores (§3.1).
-pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
-    let (m, k, n) = matrix_dims(a, b, "matmul_parallel")?;
-    let threads = threads.max(1).min(m.max(1));
-    if threads == 1 {
-        return matmul(a, b);
-    }
-    let (ad, bd) = (a.data(), b.data());
+/// Shared driver: pack `B`, then run row stripes serially or on the runner.
+fn matmul_packed(
+    a: View<'_>,
+    b: View<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
-    let rows_per = m.div_ceil(threads);
-    // Split C into disjoint row stripes so each worker owns its output slice.
-    let mut stripes: Vec<(usize, &mut [f32])> = Vec::with_capacity(threads);
-    {
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    B_SCRATCH.with(|scratch| {
+        let mut bpack = scratch.borrow_mut();
+        pack_b(&b, k, n, &mut bpack);
+        let threads = threads.clamp(1, m);
+        if threads == 1 {
+            tiled_stripe(&a, &bpack, &mut c, 0, m, k, n);
+            return;
+        }
+        // Stripe boundaries land on MR multiples so no tile spans two tasks.
+        let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+        let mut stripes: Vec<(usize, &mut [f32])> = Vec::new();
         let mut rest = c.as_mut_slice();
         let mut row = 0usize;
         while row < m {
@@ -104,16 +304,35 @@ pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor>
             rest = tail;
             row += take;
         }
-    }
-    crossbeam::scope(|scope| {
-        for (row0, stripe) in stripes {
+        let bpack = &bpack[..];
+        parallel::run_owned(threads, stripes, |(row0, stripe)| {
             let rows = stripe.len() / n;
-            scope.spawn(move |_| {
-                stripe_kernel(ad, bd, stripe, row0, row0 + rows, k, n);
-            });
-        }
-    })
-    .expect("matmul worker panicked");
+            tiled_stripe(&a, bpack, stripe, row0, row0 + rows, k, n);
+        });
+    });
+    c
+}
+
+/// Single-threaded register-tiled `A × B`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_parallel(a, b, 1)
+}
+
+/// Multi-threaded `A × B` over row stripes on the installed kernel pool.
+///
+/// With `threads <= 1` (or no pool installed) this runs on the calling
+/// thread, which is what the resource manager requests when DB worker
+/// threads already saturate the cores (§3.1).
+pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+    let (m, k, n) = matrix_dims(a, b, "matmul_parallel")?;
+    let c = matmul_packed(
+        View::plain(a.data(), k),
+        View::plain(b.data(), n),
+        m,
+        k,
+        n,
+        threads,
+    );
     Tensor::from_vec([m, n], c)
 }
 
@@ -124,10 +343,10 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// Multi-threaded `A × Bᵀ` with `B` stored `[n, k]`.
 ///
-/// Large multiplications transpose `B` once (a few percent of the multiply
-/// cost) and run the cache-blocked `ikj` kernel, which is markedly faster
-/// than row-by-row dot products; small ones use the dot-product path to
-/// avoid the transpose overhead.
+/// `B`'s panels are packed directly from the `[n, k]` storage (a stored row
+/// is a logical column), so no transpose is ever materialized. Tiny
+/// multiplies skip packing and use row-by-row dot products, which are
+/// already contiguous in this layout.
 pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
     let (m, k1) = a.shape().as_matrix()?;
     let (n, k2) = b.shape().as_matrix()?;
@@ -139,53 +358,60 @@ pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tens
         });
     }
     let k = k1;
-    // Heuristic: the transpose costs k×n writes and the blocked kernel wins
-    // roughly 2-3× on the 2·m·k·n multiply, so it pays off only when enough
-    // rows amortize the transpose (m ≥ 4) and the multiply is big enough to
-    // be cache-bound at all.
-    if m >= 4 && m * k * n >= 1 << 18 {
-        let bt = b.transpose()?;
-        return matmul_parallel(a, &bt, threads);
-    }
-    let (ad, bd) = (a.data(), b.data());
-    let mut c = vec![0.0f32; m * n];
-    let do_rows = |row0: usize, stripe: &mut [f32]| {
-        let rows = stripe.len() / n;
-        for i in row0..row0 + rows {
+    if m * k * n < PACK_THRESHOLD {
+        let (ad, bd) = (a.data(), b.data());
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
             let a_row = &ad[i * k..(i + 1) * k];
             for j in 0..n {
                 let b_row = &bd[j * k..(j + 1) * k];
-                // Dot product over contiguous memory in both operands.
                 let mut acc = 0.0f32;
                 for (x, y) in a_row.iter().zip(b_row) {
                     acc += x * y;
                 }
-                stripe[(i - row0) * n + j] = acc;
+                c[i * n + j] = acc;
             }
         }
-    };
-    let threads = threads.max(1).min(m.max(1));
-    if threads == 1 {
-        do_rows(0, &mut c);
-    } else {
-        let rows_per = m.div_ceil(threads);
-        let mut stripes: Vec<(usize, &mut [f32])> = Vec::with_capacity(threads);
-        let mut rest = c.as_mut_slice();
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (head, tail) = rest.split_at_mut(take * n);
-            stripes.push((row, head));
-            rest = tail;
-            row += take;
-        }
-        crossbeam::scope(|scope| {
-            for (row0, stripe) in stripes {
-                scope.spawn(move |_| do_rows(row0, stripe));
-            }
-        })
-        .expect("matmul_bt worker panicked");
+        return Tensor::from_vec([m, n], c);
     }
+    let c = matmul_packed(
+        View::plain(a.data(), k),
+        View::transposed(b.data(), k),
+        m,
+        k,
+        n,
+        threads,
+    );
+    Tensor::from_vec([m, n], c)
+}
+
+/// `Aᵀ × B` where `A` is stored `[k, m]` — the training-gradient layout
+/// (`δᵀ × X` with activations stored batch-major). Packs `A` micro-panels
+/// straight from the `[k, m]` storage instead of materializing `Aᵀ`.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_at_parallel(a, b, 1)
+}
+
+/// Multi-threaded `Aᵀ × B` with `A` stored `[k, m]`.
+pub fn matmul_at_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+    let (k1, m) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k1 != k2 {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_at",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let k = k1;
+    let c = matmul_packed(
+        View::transposed(a.data(), m),
+        View::plain(b.data(), n),
+        m,
+        k,
+        n,
+        threads,
+    );
     Tensor::from_vec([m, n], c)
 }
 
@@ -233,6 +459,25 @@ mod tests {
     }
 
     #[test]
+    fn matmul_bt_large_packed_path() {
+        // Big enough to cross PACK_THRESHOLD so the panel-packed path runs.
+        let a = Tensor::from_fn([21, 37], |i| ((i * 13) % 17) as f32 * 0.25 - 2.0);
+        let w = Tensor::from_fn([19, 37], |i| ((i * 7) % 23) as f32 * 0.125 - 1.0);
+        let expect = matmul_naive(&a, &w.transpose().unwrap()).unwrap();
+        let got = matmul_bt(&a, &w).unwrap();
+        assert!(expect.approx_eq(&got, 1e-3));
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = Tensor::from_fn([6, 5], |i| (i % 11) as f32 * 0.5 - 2.0);
+        let b = Tensor::from_fn([6, 7], |i| (i % 13) as f32 * 0.25 - 1.0);
+        let expect = matmul_naive(&a.transpose().unwrap(), &b).unwrap();
+        let got = matmul_at(&a, &b).unwrap();
+        assert!(expect.approx_eq(&got, 1e-4));
+    }
+
+    #[test]
     fn parallel_matches_serial_odd_sizes() {
         let a = Tensor::from_fn([17, 13], |i| ((i * 31) % 11) as f32 - 5.0);
         let b = Tensor::from_fn([13, 7], |i| ((i * 17) % 9) as f32 - 4.0);
@@ -260,6 +505,29 @@ mod tests {
         assert_eq!(c.data(), &[32.0]);
     }
 
+    #[test]
+    fn ragged_edges_exercise_partial_tiles() {
+        // Dimensions chosen to leave partial MR/NR/KC tiles on every edge.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 9), (5, 3, 11), (13, 17, 19), (4, 8, 8)] {
+            let a = Tensor::from_fn([m, k], |i| ((i * 29) % 31) as f32 * 0.125 - 1.5);
+            let b = Tensor::from_fn([k, n], |i| ((i * 37) % 41) as f32 * 0.0625 - 1.0);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            assert!(fast.approx_eq(&slow, 1e-3), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn deep_k_crosses_cache_blocks() {
+        // k > KC forces multiple k-block accumulation passes over C.
+        let k = super::KC + 37;
+        let a = Tensor::from_fn([5, k], |i| (((i * 11) % 7) as f32 - 3.0) * 0.25);
+        let b = Tensor::from_fn([k, 6], |i| (((i * 13) % 5) as f32 - 2.0) * 0.5);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_naive(&a, &b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-2));
+    }
+
     proptest! {
         #[test]
         fn blocked_matches_naive(a in tensor_strategy(5, 8), b in tensor_strategy(8, 6)) {
@@ -272,6 +540,13 @@ mod tests {
         fn parallel_matches_naive(a in tensor_strategy(7, 4), b in tensor_strategy(4, 9)) {
             let fast = matmul_parallel(&a, &b, 3).unwrap();
             let slow = matmul_naive(&a, &b).unwrap();
+            prop_assert!(fast.approx_eq(&slow, 1e-3));
+        }
+
+        #[test]
+        fn at_matches_naive(a in tensor_strategy(6, 5), b in tensor_strategy(6, 4)) {
+            let fast = matmul_at(&a, &b).unwrap();
+            let slow = matmul_naive(&a.transpose().unwrap(), &b).unwrap();
             prop_assert!(fast.approx_eq(&slow, 1e-3));
         }
 

@@ -163,8 +163,9 @@ pub fn col_sums(t: &Tensor) -> Result<Tensor> {
     let (rows, cols) = t.shape().as_matrix()?;
     let mut out = vec![0.0f32; cols];
     for r in 0..rows {
-        for c in 0..cols {
-            out[c] += t.data()[r * cols + c];
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        for (o, v) in out.iter_mut().zip(row) {
+            *o += *v;
         }
     }
     Tensor::from_vec([cols], out)

@@ -1,0 +1,116 @@
+//! Kernel-parallelism seam: how tensor kernels fan work out without owning
+//! threads.
+//!
+//! The paper's unified resource manager (§3.1) requires that linear-algebra
+//! kernels never spawn threads behind the scheduler's back. This crate
+//! therefore owns **no** threads at all: kernels describe their work as
+//! `n_tasks` independent stripe tasks and hand them to a [`StripeRunner`].
+//! The persistent implementation (`relserve_runtime::KernelPool`) lives one
+//! crate up — the runtime installs it process-wide via
+//! [`install_global_runner`], and every `*_parallel` kernel entry point picks
+//! it up from there. Without an installed runner the kernels degrade to
+//! serial execution, which keeps this crate dependency-free and keeps
+//! results identical either way.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Executes a batch of independent tasks, indexed `0..n_tasks`, returning
+/// only after every task has run. Implementations may run tasks on any
+/// thread, in any order, with any concurrency.
+pub trait StripeRunner: Send + Sync {
+    /// Run `task(0), …, task(n_tasks - 1)` to completion.
+    fn run_stripes(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync));
+
+    /// Upper bound on useful concurrency (worker threads available).
+    fn max_concurrency(&self) -> usize;
+}
+
+/// Runs every task inline on the calling thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialRunner;
+
+impl StripeRunner for SerialRunner {
+    fn run_stripes(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        for t in 0..n_tasks {
+            task(t);
+        }
+    }
+
+    fn max_concurrency(&self) -> usize {
+        1
+    }
+}
+
+static GLOBAL_RUNNER: OnceLock<Arc<dyn StripeRunner>> = OnceLock::new();
+
+/// Install the process-wide runner kernels use for `threads > 1` requests.
+/// The first installation wins (later calls return `false`), so the
+/// coordinator that owns the machine's thread budget should install early.
+pub fn install_global_runner(runner: Arc<dyn StripeRunner>) -> bool {
+    GLOBAL_RUNNER.set(runner).is_ok()
+}
+
+/// The installed runner, if any.
+pub fn global_runner() -> Option<&'static Arc<dyn StripeRunner>> {
+    GLOBAL_RUNNER.get()
+}
+
+/// Run `n_tasks` stripe tasks with at most `threads` of parallelism:
+/// inline when `threads <= 1` or no runner is installed, otherwise on the
+/// installed runner. Completion of every task is guaranteed on return.
+pub fn run_stripes(threads: usize, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if threads <= 1 || n_tasks <= 1 {
+        SerialRunner.run_stripes(n_tasks, task);
+        return;
+    }
+    match global_runner() {
+        Some(runner) => runner.run_stripes(n_tasks, task),
+        None => SerialRunner.run_stripes(n_tasks, task),
+    }
+}
+
+/// Hand each of `parts`'s elements to its same-indexed stripe task. This is
+/// the safe bridge for kernels that split a `&mut` output into disjoint
+/// chunks: ownership of each chunk moves through a per-task slot, so the
+/// `Fn(usize)` task interface never aliases mutable state.
+pub fn run_owned<T: Send>(threads: usize, parts: Vec<T>, body: impl Fn(T) + Sync) {
+    let slots: Vec<Mutex<Option<T>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    run_stripes(threads, slots.len(), &|t| {
+        let part = slots[t]
+            .lock()
+            .expect("stripe slot lock")
+            .take()
+            .expect("stripe task ran twice");
+        body(part);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_runner_covers_all_tasks() {
+        let hits = AtomicUsize::new(0);
+        SerialRunner.run_stripes(17, &|t| {
+            hits.fetch_add(t + 1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 17 * 18 / 2);
+    }
+
+    #[test]
+    fn run_owned_moves_each_part_once() {
+        let parts: Vec<usize> = (0..9).collect();
+        let sum = AtomicUsize::new(0);
+        run_owned(1, parts, |p| {
+            sum.fetch_add(p, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
+    fn run_stripes_zero_tasks_is_noop() {
+        run_stripes(4, 0, &|_| panic!("no tasks to run"));
+    }
+}

@@ -45,7 +45,10 @@ impl CsrMatrix {
             let row_start = col_idx.len();
             for (c, v) in sorted {
                 if c >= cols {
-                    return Err(Error::IndexOutOfBounds { index: c, bound: cols });
+                    return Err(Error::IndexOutOfBounds {
+                        index: c,
+                        bound: cols,
+                    });
                 }
                 if col_idx.len() > row_start && *col_idx.last().expect("non-empty") == c as u32 {
                     // Duplicate column within the row: accumulate.
@@ -238,7 +241,9 @@ mod tests {
     #[test]
     fn threshold_prunes_small_values() {
         let mut dense = Tensor::zeros([1, 4]);
-        dense.data_mut().copy_from_slice(&[0.001, 0.5, -0.002, -0.7]);
+        dense
+            .data_mut()
+            .copy_from_slice(&[0.001, 0.5, -0.002, -0.7]);
         let s = CsrMatrix::from_dense(&dense, 0.01).unwrap();
         assert_eq!(s.nnz(), 2);
     }

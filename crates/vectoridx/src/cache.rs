@@ -239,7 +239,11 @@ impl InferenceResultCache {
             let mut q = self.keys[i].clone();
             // Deterministic perturbation pattern (alternating signs).
             for (j, x) in q.iter_mut().enumerate() {
-                *x += if j % 2 == 0 { perturbation } else { -perturbation };
+                *x += if j % 2 == 0 {
+                    perturbation
+                } else {
+                    -perturbation
+                };
             }
             let cached = match self.peek(&q)? {
                 Some((id, _)) => argmax(&self.results[id as usize]),

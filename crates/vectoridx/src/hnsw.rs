@@ -93,7 +93,10 @@ impl HnswIndex {
     /// An empty index over `dim`-dimensional vectors.
     pub fn new(dim: usize, params: HnswParams) -> Result<Self> {
         if params.m < 2 {
-            return Err(Error::InvalidParam(format!("m must be ≥ 2, got {}", params.m)));
+            return Err(Error::InvalidParam(format!(
+                "m must be ≥ 2, got {}",
+                params.m
+            )));
         }
         if params.ef_construction < params.m {
             return Err(Error::InvalidParam(
@@ -343,7 +346,14 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(HnswIndex::new(4, HnswParams { m: 1, ..Default::default() }).is_err());
+        assert!(HnswIndex::new(
+            4,
+            HnswParams {
+                m: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(HnswIndex::new(
             4,
             HnswParams {

@@ -309,10 +309,8 @@ mod tests {
             }
             let mut recall = 0.0;
             for q in &queries {
-                let exact: HashSet<u64> =
-                    flat.search(q, 5).unwrap().iter().map(|n| n.id).collect();
-                let approx: HashSet<u64> =
-                    ivf.search(q, 5).unwrap().iter().map(|n| n.id).collect();
+                let exact: HashSet<u64> = flat.search(q, 5).unwrap().iter().map(|n| n.id).collect();
+                let approx: HashSet<u64> = ivf.search(q, 5).unwrap().iter().map(|n| n.id).collect();
                 recall += exact.intersection(&approx).count() as f32 / 5.0;
             }
             recall / queries.len() as f32
@@ -325,7 +323,14 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert!(IvfIndex::new(4, IvfParams { nlist: 0, ..Default::default() }).is_err());
+        assert!(IvfIndex::new(
+            4,
+            IvfParams {
+                nlist: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let mut idx = IvfIndex::with_defaults(4);
         assert!(idx.insert(1, &[0.0; 3]).is_err());
         idx.insert(1, &[0.0; 4]).unwrap();

@@ -28,7 +28,7 @@ impl Default for LshParams {
         LshParams {
             tables: 8,
             bits: 12,
-            seed: 0x51_7c_c1b7,
+            seed: 0x517c_c1b7,
         }
     }
 }
@@ -212,9 +212,30 @@ mod tests {
 
     #[test]
     fn param_validation() {
-        assert!(LshIndex::new(4, LshParams { tables: 0, ..Default::default() }).is_err());
-        assert!(LshIndex::new(4, LshParams { bits: 0, ..Default::default() }).is_err());
-        assert!(LshIndex::new(4, LshParams { bits: 64, ..Default::default() }).is_err());
+        assert!(LshIndex::new(
+            4,
+            LshParams {
+                tables: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LshIndex::new(
+            4,
+            LshParams {
+                bits: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LshIndex::new(
+            4,
+            LshParams {
+                bits: 64,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     session.insert("transactions", &rows)?;
 
-    println!("fraud scoring over {} RDBMS-resident transactions", rows.len());
+    println!(
+        "fraud scoring over {} RDBMS-resident transactions",
+        rows.len()
+    );
     println!("{:<16} {:<22} {:>12}", "model", "architecture", "latency");
     for model in ["Fraud-FC-256", "Fraud-FC-512"] {
         for arch in [

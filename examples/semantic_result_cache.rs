@@ -32,8 +32,8 @@ fn synthetic_digit_split(
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = i % 10;
-            for d in 0..dim {
-                data.push(centroids[class][d] + rng.gen_range(-0.25f32..0.25));
+            for &cv in centroids[class].iter().take(dim) {
+                data.push(cv + rng.gen_range(-0.25f32..0.25));
             }
             labels.push(class);
         }
@@ -94,8 +94,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = cached.stats();
     println!("\n{:<22} {:>12} {:>10}", "path", "latency", "accuracy");
-    println!("{:<22} {:>12.1?} {:>9.2}%", "full inference", exact_time, exact_acc * 100.0);
-    println!("{:<22} {:>12.1?} {:>9.2}%", "HNSW result cache", cached_time, cached_acc * 100.0);
+    println!(
+        "{:<22} {:>12.1?} {:>9.2}%",
+        "full inference",
+        exact_time,
+        exact_acc * 100.0
+    );
+    println!(
+        "{:<22} {:>12.1?} {:>9.2}%",
+        "HNSW result cache",
+        cached_time,
+        cached_acc * 100.0
+    );
     println!(
         "\nspeedup {:.1}x; hit rate {:.1}%; accuracy drop {:.2} points — the\n\
          §7.2.2 trade-off.",

@@ -18,7 +18,6 @@ fn test_config() -> SessionConfig {
         cores: 2,
         external_memory_bytes: 64 << 20,
         transfer: TransferProfile::instant(),
-        ..SessionConfig::default()
     }
 }
 
@@ -108,7 +107,6 @@ fn table3_oom_pattern_reproduces_at_test_scale() {
         cores: 2,
         external_memory_bytes: 12 << 20,
         transfer: TransferProfile::instant(),
-        ..SessionConfig::default()
     };
     let session = InferenceSession::open(config).unwrap();
     session.load_model(model).unwrap();
@@ -187,8 +185,7 @@ fn trained_model_survives_catalog_roundtrip_and_serves() {
         .unwrap()
         .predictions()
         .unwrap();
-    let served_acc =
-        preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f32 / n as f32;
+    let served_acc = preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f32 / n as f32;
     assert!((served_acc - acc).abs() < 1e-6);
 }
 

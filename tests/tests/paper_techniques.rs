@@ -32,10 +32,7 @@ fn keyed_table(name: &str, n: usize, width: usize, seed: u64, pool: Arc<BufferPo
     for i in 0..n {
         let f: Vec<f32> = (0..width).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         table
-            .insert(&Tuple::new(vec![
-                Value::Float(i as f32),
-                Value::Vector(f),
-            ]))
+            .insert(&Tuple::new(vec![Value::Float(i as f32), Value::Vector(f)]))
             .unwrap();
     }
     table
@@ -88,8 +85,8 @@ fn cached_model_trades_accuracy_for_speed() {
         let mut labels = Vec::new();
         for i in 0..n {
             let c = i % 10;
-            for d in 0..32 {
-                data.push(centroids[c][d] + r.gen_range(-0.3f32..0.3));
+            for &cv in centroids[c].iter().take(32) {
+                data.push(cv + r.gen_range(-0.3f32..0.3));
             }
             labels.push(c);
         }
@@ -99,7 +96,9 @@ fn cached_model_trades_accuracy_for_speed() {
     let (test_x, test_y) = make_digits(300);
     let trainer = Trainer::new(0.1);
     for _ in 0..20 {
-        trainer.train_epoch(&mut model, &train_x, &train_y, 32).unwrap();
+        trainer
+            .train_epoch(&mut model, &train_x, &train_y, 32)
+            .unwrap();
     }
     let exact_acc = Trainer::evaluate(&model, &test_x, &test_y, 1).unwrap();
     assert!(exact_acc > 0.9, "training failed: {exact_acc}");
@@ -142,11 +141,9 @@ fn dedup_preserves_inference_within_bound() {
     assert!(stats.blocks_after < stats.blocks_before);
     let x = Tensor::from_fn([8, 64], |i| ((i % 13) as f32) * 0.1);
     let exact = relserve_tensor::matmul::matmul(&x, &blocked.to_dense().unwrap()).unwrap();
-    let approx = relserve_tensor::matmul::matmul(
-        &x,
-        &deduped.to_blocked().unwrap().to_dense().unwrap(),
-    )
-    .unwrap();
+    let approx =
+        relserve_tensor::matmul::matmul(&x, &deduped.to_blocked().unwrap().to_dense().unwrap())
+            .unwrap();
     // 64 summands × per-element bound 2e-4 × |x|≤1.2 — loose envelope.
     assert!(exact.max_abs_diff(&approx).unwrap() < 64.0 * 2e-4 * 1.3);
 }
@@ -202,9 +199,7 @@ fn relational_tensor_pipeline_through_tiny_pool() {
     let (y, _) = h.matmul_bt(&w2t, "y").unwrap();
     // Oracle on dense tensors.
     let expect = {
-        let h = relserve_tensor::ops::relu(
-            &relserve_tensor::matmul::matmul_bt(&x, &w1).unwrap(),
-        );
+        let h = relserve_tensor::ops::relu(&relserve_tensor::matmul::matmul_bt(&x, &w1).unwrap());
         relserve_tensor::matmul::matmul_bt(&h, &w2).unwrap()
     };
     assert!(y.to_dense().unwrap().approx_eq(&expect, 1e-2));

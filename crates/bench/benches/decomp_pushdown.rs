@@ -6,6 +6,7 @@ use relserve_core::rules::{run_join_then_infer, run_pushdown_infer, JoinedInfere
 use relserve_nn::init::seeded_rng;
 use relserve_nn::zoo;
 use relserve_relational::Table;
+use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
 use std::sync::Arc;
 
@@ -35,13 +36,14 @@ fn bench_decomp(c: &mut Criterion) {
         epsilon: 0.15,
     };
 
+    let par = Arc::new(KernelPool::new(2)).parallelism(2);
     let mut group = c.benchmark_group("decomp_pushdown");
     group.sample_size(10);
     group.bench_function("join_then_infer", |b| {
-        b.iter(|| run_join_then_infer(&q, &model, 2).unwrap())
+        b.iter(|| run_join_then_infer(&q, &model, &par).unwrap())
     });
     group.bench_function("pushdown_infer", |b| {
-        b.iter(|| run_pushdown_infer(&q, &model, 2).unwrap())
+        b.iter(|| run_pushdown_infer(&q, &model, &par).unwrap())
     });
     group.finish();
 }

@@ -10,10 +10,10 @@ use relserve_nn::zoo;
 use relserve_runtime::{RuntimeProfile, TransferProfile};
 
 fn bench_fig2(c: &mut Criterion) {
-    let config = SessionConfig {
-        transfer: TransferProfile::instant(),
-        ..SessionConfig::default()
-    };
+    let config = SessionConfig::builder()
+        .transfer(TransferProfile::instant())
+        .build()
+        .unwrap();
     let session = InferenceSession::open(config).unwrap();
     let mut rng = seeded_rng(30);
     session

@@ -6,7 +6,6 @@ use relserve_relational::TensorTable;
 use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
 use relserve_tensor::matmul as mm;
-use relserve_tensor::parallel::StripeRunner;
 use relserve_tensor::{BlockingSpec, Tensor};
 use std::sync::Arc;
 
@@ -22,8 +21,8 @@ fn bench_dense(c: &mut Criterion) {
             .map(|n| n.get())
             .unwrap_or(4),
     ));
-    pool.install_global();
-    let threads = pool.max_concurrency();
+    let threads = pool.workers() + 1;
+    let par = pool.parallelism(threads);
 
     let mut group = c.benchmark_group("matmul_256");
     group.sample_size(10);
@@ -34,7 +33,7 @@ fn bench_dense(c: &mut Criterion) {
         bench.iter(|| mm::matmul(&a, &b).unwrap())
     });
     group.bench_function(BenchmarkId::new("tiled_pooled", threads), |bench| {
-        bench.iter(|| mm::matmul_parallel(&a, &b, threads).unwrap())
+        bench.iter(|| mm::matmul_parallel(&a, &b, &par).unwrap())
     });
     group.bench_function(BenchmarkId::new("bt_packed", n), |bench| {
         bench.iter(|| mm::matmul_bt(&a, &b).unwrap())
@@ -43,6 +42,7 @@ fn bench_dense(c: &mut Criterion) {
 }
 
 fn bench_relational(c: &mut Criterion) {
+    let pool = Arc::new(KernelPool::for_cores(4));
     let n = 512usize;
     let block = 64usize;
     let bufpool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 256));
@@ -58,7 +58,10 @@ fn bench_relational(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
-            |bench, &threads| bench.iter(|| xt.matmul_bt_parallel(&wt, "C", threads).unwrap()),
+            |bench, &threads| {
+                let par = pool.parallelism(threads);
+                bench.iter(|| xt.matmul_bt_parallel(&wt, "C", &par).unwrap())
+            },
         );
     }
     group.finish();

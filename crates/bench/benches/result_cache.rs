@@ -5,20 +5,24 @@ use relserve_bench::workloads;
 use relserve_core::cache::CachedModel;
 use relserve_nn::init::seeded_rng;
 use relserve_nn::zoo;
+use relserve_runtime::KernelPool;
 use relserve_vectoridx::HnswParams;
+use std::sync::Arc;
 
 fn bench_cache(c: &mut Criterion) {
     let mut rng = seeded_rng(38);
     let model = zoo::caching_ffnn(&mut rng).unwrap();
     let (train_x, _) = workloads::synthetic_digits(500, 784, 0.3, 39);
     let (test_x, _) = workloads::synthetic_digits(100, 784, 0.3, 40);
-    let mut cached = CachedModel::new(model.clone(), 6.0, HnswParams::default(), 2).unwrap();
+    let par = Arc::new(KernelPool::new(2)).parallelism(2);
+    let mut cached =
+        CachedModel::new(model.clone(), 6.0, HnswParams::default(), par.clone()).unwrap();
     cached.warm(&train_x).unwrap();
 
     let mut group = c.benchmark_group("result_cache");
     group.sample_size(10);
     group.bench_function("full_inference", |b| {
-        b.iter(|| model.predict(&test_x, 2).unwrap())
+        b.iter(|| model.predict(&test_x, &par).unwrap())
     });
     group.bench_function("hnsw_cache", |b| {
         b.iter(|| cached.predict_batch(&test_x).unwrap())

@@ -13,11 +13,11 @@ use relserve_runtime::TransferProfile;
 fn bench_table3(c: &mut Criterion) {
     // Amazon at deeper scale so each iteration is sub-second.
     let scale = 128; // 4,668 features, 113 outputs
-    let config = SessionConfig {
-        memory_threshold_bytes: 1 << 20, // force relation-centric on matmuls
-        transfer: TransferProfile::instant(),
-        ..SessionConfig::default()
-    };
+    let config = SessionConfig::builder()
+        .memory_threshold_bytes(1 << 20) // force relation-centric on matmuls
+        .transfer(TransferProfile::instant())
+        .build()
+        .unwrap();
     let session = InferenceSession::open(config).unwrap();
     let mut rng = seeded_rng(34);
     let model = zoo::amazon_14k_fc(scale, &mut rng).unwrap();

@@ -17,7 +17,7 @@ use relserve_bench::workloads;
 use relserve_core::exec::{pipelined, udf_centric};
 use relserve_nn::init::seeded_rng;
 use relserve_nn::zoo;
-use relserve_runtime::MemoryGovernor;
+use relserve_runtime::{ExecContext, MemoryGovernor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline: whole-batch UDF execution.
     {
         let governor = MemoryGovernor::unlimited("udf");
-        let (res, elapsed) = timed(|| udf_centric::run(&model, &x, &governor, 2));
+        let ctx = ExecContext::standalone(2, governor.clone());
+        let (res, elapsed) = timed(|| udf_centric::run(&model, &x, &ctx));
         res?;
         table.row(
             "whole-batch UDF",
@@ -47,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for micro in [32usize, 128, 512] {
         let governor = MemoryGovernor::unlimited("pipe");
-        let (res, elapsed) = timed(|| pipelined::run(&model, &x, micro, &governor, 2));
+        let ctx = ExecContext::standalone(2, governor.clone());
+        let (res, elapsed) = timed(|| pipelined::run(&model, &x, micro, &ctx));
         let (_, stats) = res?;
         table.row(
             &format!("pipeline, micro-batch {micro} ({} stages)", stats.stages),

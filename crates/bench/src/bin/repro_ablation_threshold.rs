@@ -21,14 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = ResultTable::new(&["threshold", "relational ops", "udf ops", "latency"]);
     for threshold_mb in [1usize, 4, 16, 64, 2048] {
-        let config = SessionConfig {
-            memory_threshold_bytes: threshold_mb << 20,
-            db_memory_bytes: 2 << 30,
-            buffer_pool_bytes: 128 << 20,
-            block_size: 256,
-            transfer: TransferProfile::instant(),
-            ..SessionConfig::default()
-        };
+        let config = SessionConfig::builder()
+            .memory_threshold_bytes(threshold_mb << 20)
+            .db_memory_bytes(2 << 30)
+            .buffer_pool_bytes(128 << 20)
+            .block_size(256)
+            .transfer(TransferProfile::instant())
+            .build()?;
         let session = InferenceSession::open(config)?;
         let mut rng = seeded_rng(14);
         session.load_model(zoo::encoder_fc(&mut rng)?)?;

@@ -56,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("infinite", TransferProfile::instant()),
     ];
     for (label, wire) in sweeps {
-        let config = SessionConfig {
-            transfer: wire,
-            ..SessionConfig::default()
-        };
+        let config = SessionConfig::builder().transfer(wire).build()?;
         let session = InferenceSession::open(config)?;
         let mut rng = seeded_rng(16);
         session.load_model(zoo::fraud_fc_256(&mut rng)?)?;

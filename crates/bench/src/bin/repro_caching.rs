@@ -16,8 +16,10 @@ use relserve_bench::workloads;
 use relserve_core::cache::CachedModel;
 use relserve_nn::init::seeded_rng;
 use relserve_nn::{zoo, Model, Trainer};
+use relserve_runtime::KernelPool;
 use relserve_tensor::Tensor;
 use relserve_vectoridx::HnswParams;
+use std::sync::Arc;
 
 struct CacheResult {
     full_time: std::time::Duration,
@@ -41,7 +43,8 @@ fn run_cache_experiment(
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let trainer = Trainer::new(lr).with_threads(threads);
+    let par = Arc::new(KernelPool::for_cores(threads)).parallelism(threads);
+    let trainer = Trainer::new(lr).with_parallelism(par.clone());
     let n = train_x.shape().dim(0);
     let width: usize = train_x.shape().dims()[1..].iter().product();
     let flat_train = train_x.clone().reshape([n, width])?;
@@ -51,9 +54,9 @@ fn run_cache_experiment(
     }
     let m = test_x.shape().dim(0);
     let flat_test = test_x.clone().reshape([m, width])?;
-    let full_acc = Trainer::evaluate(&model, &flat_test, test_y, threads)?;
+    let full_acc = Trainer::evaluate(&model, &flat_test, test_y, &par)?;
 
-    let mut cached = CachedModel::new(model, max_distance, HnswParams::default(), threads)?;
+    let mut cached = CachedModel::new(model, max_distance, HnswParams::default(), par.clone())?;
     cached.warm(&flat_train)?;
 
     // Full inference, one query at a time (the serving pattern §7.2.2 times).
@@ -61,7 +64,7 @@ fn run_cache_experiment(
     let (_, full_time) = timed(|| {
         for i in 0..m {
             let row = flat_test.slice2(i, i + 1, 0, width).expect("row");
-            exact_model.forward(&row, threads).expect("forward");
+            exact_model.forward(&row, &par).expect("forward");
         }
     });
 

@@ -18,6 +18,7 @@ use relserve_core::SessionConfig;
 use relserve_nn::init::seeded_rng;
 use relserve_nn::zoo;
 use relserve_relational::Table;
+use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
 use std::sync::Arc;
 
@@ -62,9 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let (baseline, t_baseline) = timed(|| run_join_then_infer(&query, &model, threads));
+    let par = Arc::new(KernelPool::for_cores(threads)).parallelism(threads);
+    let (baseline, t_baseline) = timed(|| run_join_then_infer(&query, &model, &par));
     let baseline = baseline?;
-    let (pushed, t_pushed) = timed(|| run_pushdown_infer(&query, &model, threads));
+    let (pushed, t_pushed) = timed(|| run_pushdown_infer(&query, &model, &par));
     let pushed = pushed?;
 
     // Correctness: both plans must produce the same predictions.

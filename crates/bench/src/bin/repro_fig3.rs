@@ -42,12 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RuntimeProfile::tensorflow_like(),
         RuntimeProfile::pytorch_like(),
     ] {
-        let name = profile.name.clone();
-        let outcome =
-            session.infer_batch("DeepBench-CONV1", &images, Architecture::DlCentric(profile))?;
+        let arch = Architecture::DlCentric(profile);
+        let label = arch.to_string();
+        let outcome = session.infer_batch("DeepBench-CONV1", &images, arch)?;
         let factor = outcome.elapsed.as_secs_f64() / ours.elapsed.as_secs_f64();
         table.row(
-            &format!("dl-centric ({name})"),
+            &label,
             &[
                 Cell::Time(outcome.elapsed),
                 Cell::Text(format!("{factor:.1}x")),

@@ -10,7 +10,6 @@ use relserve_relational::TensorTable;
 use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
 use relserve_tensor::matmul as mm;
-use relserve_tensor::parallel::StripeRunner;
 use relserve_tensor::{BlockingSpec, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,8 +60,8 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(4),
     ));
-    pool.install_global();
-    let pool_threads = pool.max_concurrency();
+    let pool_threads = pool.workers() + 1;
+    let pooled = pool.parallelism(pool_threads);
 
     // --- Dense kernels at 512^3 -------------------------------------------
     let n = 512usize;
@@ -81,7 +80,7 @@ fn main() {
         tiled_out = Some(mm::matmul(&a, &b).unwrap());
     });
     let pooled_secs = best_secs(reps, || {
-        tiled_out = Some(mm::matmul_parallel(&a, &b, pool_threads).unwrap());
+        tiled_out = Some(mm::matmul_parallel(&a, &b, &pooled).unwrap());
     });
 
     // Sanity: the tiled kernel agrees with the seed baseline.
@@ -123,11 +122,13 @@ fn main() {
         TensorTable::from_dense(bufpool.clone(), "X", &x, BlockingSpec::square(block)).unwrap();
     let wt = TensorTable::from_dense(bufpool, "W", &w, BlockingSpec::square(block)).unwrap();
     let rel_threads = pool_threads.clamp(2, 4);
+    let rel_par = pool.parallelism(rel_threads);
     let rel_serial = best_secs(3, || {
-        xt.matmul_bt_parallel(&wt, "C", 1).unwrap();
+        xt.matmul_bt_parallel(&wt, "C", &pool.parallelism(1))
+            .unwrap();
     });
     let rel_pooled = best_secs(3, || {
-        xt.matmul_bt_parallel(&wt, "C", rel_threads).unwrap();
+        xt.matmul_bt_parallel(&wt, "C", &rel_par).unwrap();
     });
     println!(
         "relational matmul_bt {rows}x{rows} (block {block}): serial {rel_serial:.4}s, \

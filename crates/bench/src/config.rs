@@ -62,15 +62,15 @@ pub fn wire() -> TransferProfile {
 /// Session config for the small-model latency experiments (Figs. 2–3):
 /// generous budgets (nothing OOMs there), realistic wire.
 pub fn fig2_config() -> SessionConfig {
-    SessionConfig {
-        db_memory_bytes: 4 << 30,
-        buffer_pool_bytes: 256 << 20,
-        memory_threshold_bytes: 2 << 30, // the paper's threshold
-        block_size: 512,
-        external_memory_bytes: 4 << 30,
-        transfer: wire(),
-        ..SessionConfig::default()
-    }
+    SessionConfig::builder()
+        .db_memory_bytes(4 << 30)
+        .buffer_pool_bytes(256 << 20)
+        .memory_threshold_bytes(2 << 30) // the paper's threshold
+        .block_size(512)
+        .external_memory_bytes(4 << 30)
+        .transfer(wire())
+        .build()
+        .expect("static fig2 config is valid")
 }
 
 /// Table 3 / Amazon budgets. Scaled footprints (see repro_table3 output):
@@ -79,15 +79,15 @@ pub fn fig2_config() -> SessionConfig {
 /// the small batch everything completes and at the large batch every
 /// non-relation-centric cell OOMs — the paper's row pattern.
 pub fn table3_amazon_config() -> SessionConfig {
-    SessionConfig {
-        db_memory_bytes: 120 << 20, // ∈ (87 MB, 157 MB)
-        buffer_pool_bytes: 96 << 20,
-        memory_threshold_bytes: 64 << 20, // < the 76 MB weight term at any batch
-        block_size: 512,
-        external_memory_bytes: 190 << 20, // ∈ (2.0×87, 1.4×157) MB
-        transfer: wire(),
-        ..SessionConfig::default()
-    }
+    SessionConfig::builder()
+        .db_memory_bytes(120 << 20) // ∈ (87 MB, 157 MB)
+        .buffer_pool_bytes(96 << 20)
+        .memory_threshold_bytes(64 << 20) // < the 76 MB weight term at any batch
+        .block_size(512)
+        .external_memory_bytes(190 << 20) // ∈ (2.0×87, 1.4×157) MB
+        .transfer(wire())
+        .build()
+        .expect("static amazon config is valid")
 }
 
 /// Table 3 / LandCover budgets. One scaled output map X ≈ 99.7 MB.
@@ -95,15 +95,15 @@ pub fn table3_amazon_config() -> SessionConfig {
 /// external ∈ (1.4X, 2.0X) (TensorFlow-like fits batch 1, PyTorch-like
 /// OOMs, and nothing external fits batch 2) — the paper's exact pattern.
 pub fn table3_landcover_config() -> SessionConfig {
-    SessionConfig {
-        db_memory_bytes: 80 << 20,
-        buffer_pool_bytes: 96 << 20,
-        memory_threshold_bytes: 32 << 20,
-        block_size: 512,
-        external_memory_bytes: 170 << 20,
-        transfer: wire(),
-        ..SessionConfig::default()
-    }
+    SessionConfig::builder()
+        .db_memory_bytes(80 << 20)
+        .buffer_pool_bytes(96 << 20)
+        .memory_threshold_bytes(32 << 20)
+        .block_size(512)
+        .external_memory_bytes(170 << 20)
+        .transfer(wire())
+        .build()
+        .expect("static landcover config is valid")
 }
 
 /// Render the scaling notice every repro binary prints first.

@@ -9,6 +9,7 @@
 
 use crate::error::Result;
 use relserve_nn::Model;
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::Tensor;
 use relserve_vectoridx::{CacheStats, ErrorBoundEstimate, HnswParams, InferenceResultCache};
 
@@ -18,23 +19,24 @@ pub struct CachedModel {
     cache: InferenceResultCache,
     /// Whether misses populate the cache.
     admit_on_miss: bool,
-    threads: usize,
+    par: Parallelism,
 }
 
 impl CachedModel {
     /// Wrap `model` with a cache admitting hits within `max_distance`.
+    /// `par` is the kernel budget exact (cache-missing) inference runs with.
     pub fn new(
         model: Model,
         max_distance: f32,
         params: HnswParams,
-        threads: usize,
+        par: Parallelism,
     ) -> Result<Self> {
         let dim = model.input_shape().num_elements();
         Ok(CachedModel {
             model,
             cache: InferenceResultCache::new(dim, max_distance, params)?,
             admit_on_miss: true,
-            threads: threads.max(1),
+            par,
         })
     }
 
@@ -64,7 +66,7 @@ impl CachedModel {
         let n = self.model.check_input(batch)?;
         let width = self.model.input_shape().num_elements();
         let flat = batch.clone().reshape([n, width])?;
-        let probs = self.model.forward(&flat, self.threads)?;
+        let probs = self.model.forward(&flat, &self.par)?;
         let (_, classes) = probs.shape().as_matrix()?;
         for i in 0..n {
             let row = flat.row(i)?;
@@ -80,7 +82,7 @@ impl CachedModel {
             return Ok(hit.to_vec());
         }
         let x = Tensor::from_vec([1, features.len()], features.to_vec())?;
-        let probs = self.model.forward(&x, self.threads)?;
+        let probs = self.model.forward(&x, &self.par)?;
         let pred = probs.data().to_vec();
         if self.admit_on_miss {
             self.cache.insert(features, pred.clone())?;
@@ -109,7 +111,7 @@ impl CachedModel {
 
     /// Exact (cache-bypassing) batch predictions, for accuracy comparisons.
     pub fn predict_exact(&self, batch: &Tensor) -> Result<Vec<usize>> {
-        Ok(self.model.predict(batch, self.threads)?)
+        Ok(self.model.predict(batch, &self.par)?)
     }
 
     /// The §5.1 SLA gate: Monte-Carlo error bound of serving from this cache.
@@ -119,14 +121,14 @@ impl CachedModel {
         perturbation: f32,
     ) -> Result<ErrorBoundEstimate> {
         let model = &self.model;
-        let threads = self.threads;
+        let par = &self.par;
         Ok(self
             .cache
             .estimate_error_bound(samples, perturbation, |features| {
                 let x = Tensor::from_vec([1, features.len()], features.to_vec())
                     .expect("feature row sized correctly");
                 model
-                    .forward(&x, threads)
+                    .forward(&x, par)
                     .map(|t| t.data().to_vec())
                     .unwrap_or_default()
             })?)
@@ -160,7 +162,13 @@ mod tests {
 
     #[test]
     fn warm_then_hit() {
-        let mut cached = CachedModel::new(small_model(), 0.05, HnswParams::default(), 1).unwrap();
+        let mut cached = CachedModel::new(
+            small_model(),
+            0.05,
+            HnswParams::default(),
+            Parallelism::serial(),
+        )
+        .unwrap();
         let batch = Tensor::from_fn([20, 4], |i| ((i % 7) as f32 - 3.0) * 0.3);
         cached.warm(&batch).unwrap();
         assert_eq!(cached.cache_len(), 20);
@@ -176,7 +184,13 @@ mod tests {
 
     #[test]
     fn miss_admits_when_enabled() {
-        let mut cached = CachedModel::new(small_model(), 1e-6, HnswParams::default(), 1).unwrap();
+        let mut cached = CachedModel::new(
+            small_model(),
+            1e-6,
+            HnswParams::default(),
+            Parallelism::serial(),
+        )
+        .unwrap();
         let x = [0.1f32, 0.2, 0.3, 0.4];
         cached.predict_one(&x).unwrap(); // miss, admitted
         cached.predict_one(&x).unwrap(); // hit
@@ -186,9 +200,14 @@ mod tests {
 
     #[test]
     fn frozen_cache_never_admits() {
-        let mut cached = CachedModel::new(small_model(), 1e-6, HnswParams::default(), 1)
-            .unwrap()
-            .frozen();
+        let mut cached = CachedModel::new(
+            small_model(),
+            1e-6,
+            HnswParams::default(),
+            Parallelism::serial(),
+        )
+        .unwrap()
+        .frozen();
         let x = [0.5f32, 0.5, 0.5, 0.5];
         cached.predict_one(&x).unwrap();
         cached.predict_one(&x).unwrap();
@@ -199,7 +218,13 @@ mod tests {
 
     #[test]
     fn error_bound_small_for_exact_hits() {
-        let mut cached = CachedModel::new(small_model(), 0.5, HnswParams::default(), 1).unwrap();
+        let mut cached = CachedModel::new(
+            small_model(),
+            0.5,
+            HnswParams::default(),
+            Parallelism::serial(),
+        )
+        .unwrap();
         let batch = Tensor::from_fn([30, 4], |i| (i as f32 * 0.37).sin());
         cached.warm(&batch).unwrap();
         // Tiny perturbations rarely flip the argmax of a smooth model.

@@ -11,7 +11,7 @@
 use crate::error::Result;
 use crate::exec::{batch_dims, layer_transient_bytes, Output};
 use relserve_nn::Model;
-use relserve_runtime::{Connector, ExternalRuntime};
+use relserve_runtime::{Connector, ExecContext, ExternalRuntime};
 use relserve_tensor::Tensor;
 
 /// Statistics of one DL-centric execution.
@@ -23,14 +23,18 @@ pub struct DlCentricStats {
     pub wire_time: std::time::Duration,
 }
 
-/// Ship `batch` to `runtime`, run `model` there, ship results back.
+/// Ship `batch` to `runtime`, run `model` there, ship results back. The
+/// external runtime's kernels run on `ctx`'s dedicated grant (every core the
+/// coordinator admitted, with no DB workers competing); tensor memory is
+/// charged to the *runtime's* governor, not the database's.
 pub fn run(
     model: &Model,
     batch: &Tensor,
     connector: &mut Connector,
     runtime: &ExternalRuntime,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> Result<(Output, DlCentricStats)> {
+    let par = ctx.parallelism();
     let (batch_size, _) = batch_dims(model, batch)?;
     let before = connector.stats();
 
@@ -59,7 +63,7 @@ pub fn run(
             None
         };
         let out_res = runtime.reserve_tensor(out_bytes)?;
-        x = layer.forward(&x, threads)?;
+        x = layer.forward(&x, &par)?;
         live = out_res;
         shape = out_shape;
     }
@@ -84,10 +88,15 @@ mod tests {
     use super::*;
     use relserve_nn::init::seeded_rng;
     use relserve_nn::zoo;
-    use relserve_runtime::{RuntimeProfile, TransferProfile};
+    use relserve_runtime::{MemoryGovernor, RuntimeProfile, TransferProfile};
+    use relserve_tensor::parallel::Parallelism;
 
     fn instant_connector() -> Connector {
         Connector::new(TransferProfile::instant())
+    }
+
+    fn ctx(threads: usize) -> ExecContext {
+        ExecContext::standalone(threads, MemoryGovernor::unlimited("dl-test"))
     }
 
     #[test]
@@ -97,8 +106,8 @@ mod tests {
         let x = Tensor::from_fn([8, 28], |i| ((i % 9) as f32 - 4.0) * 0.25);
         let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX);
         let mut conn = instant_connector();
-        let (out, stats) = run(&model, &x, &mut conn, &runtime, 2).unwrap();
-        let expect = model.forward(&x, 2).unwrap();
+        let (out, stats) = run(&model, &x, &mut conn, &runtime, &ctx(2)).unwrap();
+        let expect = model.forward(&x, &Parallelism::serial()).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-5));
         // Both directions crossed the wire.
         assert!(stats.bytes_transferred > x.num_bytes());
@@ -112,7 +121,7 @@ mod tests {
         let x = Tensor::zeros([1024, 28]);
         let runtime = ExternalRuntime::launch(RuntimeProfile::pytorch_like(), model.param_bytes());
         let mut conn = instant_connector();
-        let err = run(&model, &x, &mut conn, &runtime, 1).unwrap_err();
+        let err = run(&model, &x, &mut conn, &runtime, &ctx(1)).unwrap_err();
         assert!(err.is_oom());
         assert_eq!(err.oom_domain(), Some("pytorch-like"));
     }
@@ -134,13 +143,15 @@ mod tests {
             usize::MAX,
         );
         let mut conn = instant_connector();
-        run(&model, &x, &mut conn, &probe, 1).unwrap();
+        run(&model, &x, &mut conn, &probe, &ctx(1)).unwrap();
         let peak_payload = probe.governor().peak();
         let budget = (peak_payload as f64 * 1.7) as usize;
         let tf = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), budget);
         let pt = ExternalRuntime::launch(RuntimeProfile::pytorch_like(), budget);
-        assert!(run(&model, &x, &mut conn, &tf, 1).is_ok());
-        assert!(run(&model, &x, &mut conn, &pt, 1).unwrap_err().is_oom());
+        assert!(run(&model, &x, &mut conn, &tf, &ctx(1)).is_ok());
+        assert!(run(&model, &x, &mut conn, &pt, &ctx(1))
+            .unwrap_err()
+            .is_oom());
     }
 
     #[test]
@@ -156,7 +167,7 @@ mod tests {
             per_row_overhead_ns: 100.0,
             simulate_wire: false,
         });
-        let (_, stats) = run(&model, &x, &mut conn, &runtime, 1).unwrap();
+        let (_, stats) = run(&model, &x, &mut conn, &runtime, &ctx(1)).unwrap();
         assert!(stats.wire_time >= std::time::Duration::from_millis(10)); // 2 trips × 5 ms
     }
 }

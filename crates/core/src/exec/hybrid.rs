@@ -14,7 +14,7 @@ use crate::exec::{layer_transient_bytes, Output};
 use crate::ir::{InferencePlan, Representation};
 use relserve_nn::Model;
 use relserve_relational::tensor_table::TensorOpStats;
-use relserve_runtime::MemoryGovernor;
+use relserve_runtime::ExecContext;
 use relserve_storage::BufferPool;
 use relserve_tensor::Tensor;
 use std::sync::Arc;
@@ -32,17 +32,19 @@ pub struct HybridStats {
     pub rel_stats: TensorOpStats,
 }
 
-/// Execute `model` under `plan`'s per-layer representation choices.
+/// Execute `model` under `plan`'s per-layer representation choices, inside
+/// `ctx`'s admitted slice of the machine (governor lease + kernel budget).
 #[allow(unused_assignments)] // reservations: assignment *is* the drop-and-replace
 pub fn run(
     model: &Model,
     batch: &Tensor,
     plan: &InferencePlan,
-    governor: &MemoryGovernor,
     pool: &Arc<BufferPool>,
     block: usize,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> Result<(Output, HybridStats)> {
+    let governor = ctx.governor();
+    let par = ctx.parallelism();
     let batch_size = model.check_input(batch)?;
     let reps = plan.layer_representations();
     let mut stats = HybridStats::default();
@@ -125,21 +127,13 @@ pub fn run(
                         None
                     };
                     let out_res = governor.reserve(out_bytes)?;
-                    let y = layer.forward(x, threads)?;
+                    let y = layer.forward(x, &par)?;
                     flow = Flow::Dense(y);
                     live = Some(out_res);
                     stats.udf_layers += 1;
                 } else {
                     // Fallback: stay blocked.
-                    flow = exec_layer(
-                        layer,
-                        flow,
-                        pool,
-                        block,
-                        threads,
-                        &tag,
-                        &mut stats.rel_stats,
-                    )?;
+                    flow = exec_layer(layer, flow, pool, block, &par, &tag, &mut stats.rel_stats)?;
                     live = None;
                     stats.relational_layers += 1;
                     stats.fallbacks += 1;
@@ -147,15 +141,7 @@ pub fn run(
             }
             Representation::RelationCentric => {
                 // Dense→blocked transition releases the dense reservation.
-                flow = exec_layer(
-                    layer,
-                    flow,
-                    pool,
-                    block,
-                    threads,
-                    &tag,
-                    &mut stats.rel_stats,
-                )?;
+                flow = exec_layer(layer, flow, pool, block, &par, &tag, &mut stats.rel_stats)?;
                 live = None;
                 stats.relational_layers += 1;
             }
@@ -179,13 +165,19 @@ mod tests {
     use crate::optimizer::RuleBasedOptimizer;
     use relserve_nn::init::seeded_rng;
     use relserve_nn::zoo;
+    use relserve_runtime::MemoryGovernor;
     use relserve_storage::DiskManager;
+    use relserve_tensor::parallel::Parallelism;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
         Arc::new(BufferPool::new(
             Arc::new(DiskManager::temp().unwrap()),
             frames,
         ))
+    }
+
+    fn ctx(governor: &MemoryGovernor) -> ExecContext {
+        ExecContext::standalone(1, governor.clone())
     }
 
     #[test]
@@ -197,10 +189,10 @@ mod tests {
             .plan(&model, 12)
             .unwrap();
         let governor = MemoryGovernor::unlimited("db");
-        let (out, stats) = run(&model, &x, &plan, &governor, &pool(16), 8, 1).unwrap();
+        let (out, stats) = run(&model, &x, &plan, &pool(16), 8, &ctx(&governor)).unwrap();
         assert_eq!(stats.udf_layers, 2);
         assert_eq!(stats.relational_layers, 0);
-        let expect = model.forward(&x, 1).unwrap();
+        let expect = model.forward(&x, &Parallelism::serial()).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-4));
         assert_eq!(governor.in_use(), 0);
     }
@@ -220,8 +212,8 @@ mod tests {
                 || reps.contains(&Representation::UdfCentric)
         );
         let governor = MemoryGovernor::unlimited("db");
-        let (out, _) = run(&model, &x, &plan, &governor, &pool(128), 64, 1).unwrap();
-        let expect = model.forward(&x, 1).unwrap();
+        let (out, _) = run(&model, &x, &plan, &pool(128), 64, &ctx(&governor)).unwrap();
+        let expect = model.forward(&x, &Parallelism::serial()).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-2));
     }
 
@@ -233,10 +225,10 @@ mod tests {
         // Zero threshold: everything relational.
         let plan = RuleBasedOptimizer::new(0).plan(&model, 9).unwrap();
         let governor = MemoryGovernor::with_budget("db", 64 * 1024); // tiny
-        let (out, stats) = run(&model, &x, &plan, &governor, &pool(64), 16, 1).unwrap();
+        let (out, stats) = run(&model, &x, &plan, &pool(64), 16, &ctx(&governor)).unwrap();
         assert_eq!(stats.udf_layers, 0);
         assert!(stats.relational_layers >= 2);
-        let expect = model.forward(&x, 1).unwrap();
+        let expect = model.forward(&x, &Parallelism::serial()).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-3));
     }
 
@@ -257,9 +249,9 @@ mod tests {
         // Governor too small to densify the 256×512 hidden activation, so
         // layer 1 must fall back to relation-centric execution.
         let governor = MemoryGovernor::with_budget("db", 16 * 1024);
-        let (out, stats) = run(&model, &x, &plan, &governor, &pool(128), 32, 1).unwrap();
+        let (out, stats) = run(&model, &x, &plan, &pool(128), 32, &ctx(&governor)).unwrap();
         assert!(stats.fallbacks >= 1, "stats: {stats:?}");
-        let expect = model.forward(&x, 1).unwrap();
+        let expect = model.forward(&x, &Parallelism::serial()).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-3));
     }
 }

@@ -9,6 +9,7 @@ pub mod dl_centric;
 pub mod hybrid;
 pub mod pipelined;
 pub mod relation_centric;
+pub(crate) mod spsc;
 pub mod udf_centric;
 
 use crate::error::{Error, Result};

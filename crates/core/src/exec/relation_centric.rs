@@ -16,6 +16,7 @@ use relserve_nn::{Activation, Layer, Model};
 use relserve_relational::tensor_table::TensorOpStats;
 use relserve_relational::TensorTable;
 use relserve_storage::BufferPool;
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{conv, BlockCoord, BlockingSpec, Tensor};
 use std::sync::Arc;
 
@@ -236,15 +237,15 @@ fn rows_table(flow: Flow, pool: &Arc<BufferPool>, block: usize, tag: &str) -> Re
     })
 }
 
-/// Execute one model layer relation-centrically. `kernel_threads` is this
-/// layer's share of the thread plan: block-row stripes of the matmul join
-/// fan out to the kernel pool up to that width.
+/// Execute one model layer relation-centrically. `par` is this layer's
+/// share of the query's admitted kernel budget: block-row stripes of the
+/// matmul join fan out to the kernel pool up to that width.
 pub(crate) fn exec_layer(
     layer: &Layer,
     flow: Flow,
     pool: &Arc<BufferPool>,
     block: usize,
-    kernel_threads: usize,
+    par: &Parallelism,
     tag: &str,
     stats: &mut TensorOpStats,
 ) -> Result<Flow> {
@@ -263,8 +264,7 @@ pub(crate) fn exec_layer(
                 weight,
                 BlockingSpec::square(block),
             )?;
-            let (product, op_stats) =
-                x.matmul_bt_parallel(&w, format!("{tag}.xw"), kernel_threads)?;
+            let (product, op_stats) = x.matmul_bt_parallel(&w, format!("{tag}.xw"), par)?;
             stats.merge(op_stats);
             let biased = product.add_bias(format!("{tag}.b"), bias)?;
             Ok(Flow::Rows(apply_activation_blocked(
@@ -320,7 +320,7 @@ pub(crate) fn exec_layer(
             let k_table =
                 TensorTable::from_dense(pool.clone(), format!("{tag}.K"), &k_dense, spec_sq)?;
             let (product, op_stats) =
-                f_table.matmul_bt_parallel(&k_table, format!("{tag}.FK"), kernel_threads)?;
+                f_table.matmul_bt_parallel(&k_table, format!("{tag}.FK"), par)?;
             stats.merge(op_stats);
             let biased = if fold_bias {
                 product // bias rode along in the rewritten kernel's last column
@@ -366,16 +366,17 @@ pub(crate) fn exec_layer(
     }
 }
 
-/// Run a whole model relation-centrically under `plan`'s kernel-thread
-/// budget: each layer's block-row join fans out to at most
-/// `plan.kernel_threads` stripes on the persistent kernel pool.
+/// Run a whole model relation-centrically inside `ctx`'s admitted slice of
+/// the machine: each layer's block-row join fans out on the shared kernel
+/// pool, at most the context's granted kernel threads wide.
 pub fn run(
     model: &Model,
     batch: &Tensor,
     pool: &Arc<BufferPool>,
     block: usize,
-    plan: relserve_runtime::ThreadPlan,
+    ctx: &relserve_runtime::ExecContext,
 ) -> Result<(super::Output, TensorOpStats)> {
+    let par = ctx.parallelism();
     let batch_size = model.check_input(batch)?;
     let mut full_dims = vec![batch_size];
     full_dims.extend_from_slice(model.input_shape().dims());
@@ -383,15 +384,7 @@ pub fn run(
     let mut stats = TensorOpStats::default();
     for (i, layer) in model.layers().iter().enumerate() {
         let tag = format!("rc.l{i}");
-        flow = exec_layer(
-            layer,
-            flow,
-            pool,
-            block,
-            plan.kernel_threads,
-            &tag,
-            &mut stats,
-        )?;
+        flow = exec_layer(layer, flow, pool, block, &par, &tag, &mut stats)?;
     }
     let output = match flow {
         Flow::Dense(t) => super::Output::Dense(t),
@@ -421,11 +414,15 @@ mod tests {
         ))
     }
 
-    fn plan() -> relserve_runtime::ThreadPlan {
-        relserve_runtime::ThreadPlan {
-            db_workers: 1,
-            kernel_threads: 2,
-        }
+    fn ctx(threads: usize) -> relserve_runtime::ExecContext {
+        relserve_runtime::ExecContext::standalone(
+            threads,
+            relserve_runtime::MemoryGovernor::unlimited("rc-test"),
+        )
+    }
+
+    fn serial() -> Parallelism {
+        Parallelism::serial()
     }
 
     #[test]
@@ -433,9 +430,9 @@ mod tests {
         let mut rng = seeded_rng(80);
         let model = zoo::fraud_fc_256(&mut rng).unwrap();
         let x = Tensor::from_fn([10, 28], |i| ((i % 11) as f32 - 5.0) * 0.2);
-        let (out, stats) = run(&model, &x, &pool(64), 16, plan()).unwrap();
+        let (out, stats) = run(&model, &x, &pool(64), 16, &ctx(2)).unwrap();
         let got = out.into_dense().unwrap();
-        let expect = model.forward(&x, 1).unwrap();
+        let expect = model.forward(&x, &serial()).unwrap();
         assert!(got.approx_eq(&expect, 1e-3));
         assert!(stats.joins > 0);
     }
@@ -445,10 +442,10 @@ mod tests {
         let mut rng = seeded_rng(81);
         let model = zoo::landcover(250, &mut rng).unwrap(); // 10x10x3 → 8 kernels
         let x = Tensor::from_fn([2, 10, 10, 3], |i| ((i % 9) as f32 - 4.0) * 0.1);
-        let (out, _) = run(&model, &x, &pool(64), 16, plan()).unwrap();
+        let (out, _) = run(&model, &x, &pool(64), 16, &ctx(2)).unwrap();
         let got = out.into_dense().unwrap();
         let expect = model
-            .forward(&x, 1)
+            .forward(&x, &serial())
             .unwrap()
             .reshape([2 * 10 * 10, 8])
             .unwrap();
@@ -460,9 +457,9 @@ mod tests {
         let mut rng = seeded_rng(82);
         let model = zoo::caching_cnn(&mut rng).unwrap();
         let x = Tensor::from_fn([2, 28, 28, 1], |i| ((i % 7) as f32) * 0.1);
-        let (out, _) = run(&model, &x, &pool(256), 32, plan()).unwrap();
+        let (out, _) = run(&model, &x, &pool(256), 32, &ctx(2)).unwrap();
         let got = out.into_dense().unwrap();
-        let expect = model.forward(&x, 1).unwrap();
+        let expect = model.forward(&x, &serial()).unwrap();
         assert!(
             got.approx_eq(&expect, 1e-3),
             "max diff {}",
@@ -510,8 +507,8 @@ mod tests {
         let model = zoo::fraud_fc_512(&mut rng).unwrap();
         let x = Tensor::from_fn([64, 28], |i| (i % 5) as f32 * 0.1);
         let p = pool(4); // 256 KiB pool; weights alone are ~57 KiB + activations
-        let (out, _) = run(&model, &x, &p, 8, plan()).unwrap();
-        let expect = model.forward(&x, 1).unwrap();
+        let (out, _) = run(&model, &x, &p, 8, &ctx(2)).unwrap();
+        let expect = model.forward(&x, &serial()).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-3));
         assert!(p.stats().evictions > 0, "expected spilling");
     }
@@ -529,12 +526,12 @@ mod tests {
             Flow::Dense(x),
             &p,
             4,
-            1,
+            &serial(),
             "t",
             &mut stats,
         )
         .unwrap();
         let dense_layer = relserve_nn::Layer::dense(4, 2, Activation::None, &mut rng);
-        assert!(exec_layer(&dense_layer, flow, &p, 4, 1, "t2", &mut stats).is_err());
+        assert!(exec_layer(&dense_layer, flow, &p, 4, &serial(), "t2", &mut stats).is_err());
     }
 }

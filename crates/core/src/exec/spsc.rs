@@ -1,0 +1,101 @@
+//! A capacity-1 single-producer single-consumer slot — the in-tree channel
+//! the pipelined executor strings between stages.
+//!
+//! Each pipeline link holds at most one in-flight micro-batch (the bound
+//! *is* the pipeline's "device memory"), so a full channel abstraction is
+//! overkill: a mutex-guarded `Option` plus non-blocking `try_put`/`try_take`
+//! is all the cooperative stage scheduler needs. Nothing here ever blocks,
+//! which is what makes running every pipeline node on a shared, possibly
+//! single-threaded kernel pool deadlock-free.
+
+use std::sync::Mutex;
+
+/// A slot holding at most one value. The pipeline guarantees one producer
+/// and one consumer per slot (each node is claimed by one driver at a time),
+/// but the implementation is safe under any access pattern.
+pub(crate) struct SpscSlot<T> {
+    cell: Mutex<Option<T>>,
+}
+
+impl<T> SpscSlot<T> {
+    /// An empty slot.
+    pub(crate) fn new() -> Self {
+        SpscSlot {
+            cell: Mutex::new(None),
+        }
+    }
+
+    /// Whether the slot currently holds no value. Only advisory for the
+    /// producer: the consumer can empty (never fill) the slot concurrently,
+    /// so an `is_empty() == true` observed by the sole producer stays true
+    /// until that producer puts.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.cell.lock().expect("spsc slot lock").is_none()
+    }
+
+    /// Deposit `value` if the slot is empty; hands the value back otherwise.
+    pub(crate) fn try_put(&self, value: T) -> Result<(), T> {
+        let mut cell = self.cell.lock().expect("spsc slot lock");
+        match *cell {
+            Some(_) => Err(value),
+            None => {
+                *cell = Some(value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Remove and return the value, if any.
+    pub(crate) fn try_take(&self) -> Option<T> {
+        self.cell.lock().expect("spsc slot lock").take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_take_roundtrip() {
+        let slot = SpscSlot::new();
+        assert!(slot.is_empty());
+        assert!(slot.try_put(7).is_ok());
+        assert!(!slot.is_empty());
+        assert_eq!(slot.try_put(8), Err(8), "capacity is one");
+        assert_eq!(slot.try_take(), Some(7));
+        assert_eq!(slot.try_take(), None);
+        assert!(slot.is_empty());
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let slot = std::sync::Arc::new(SpscSlot::new());
+        let producer = {
+            let slot = std::sync::Arc::clone(&slot);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    let mut v = i;
+                    loop {
+                        match slot.try_put(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while seen.len() < 100 {
+            if let Some(v) = slot.try_take() {
+                seen.push(v);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -10,16 +10,15 @@
 use crate::error::Result;
 use crate::exec::{batch_dims, layer_transient_bytes, Output};
 use relserve_nn::Model;
-use relserve_runtime::MemoryGovernor;
+use relserve_runtime::ExecContext;
 use relserve_tensor::Tensor;
 
-/// Run `model` over `batch` as a single in-database UDF.
-pub fn run(
-    model: &Model,
-    batch: &Tensor,
-    governor: &MemoryGovernor,
-    threads: usize,
-) -> Result<Output> {
+/// Run `model` over `batch` as a single in-database UDF, inside `ctx`'s
+/// admitted slice of the machine: tensors are charged to the context's
+/// governor and kernels use its granted thread budget.
+pub fn run(model: &Model, batch: &Tensor, ctx: &ExecContext) -> Result<Output> {
+    let governor = ctx.governor();
+    let par = ctx.parallelism();
     let (batch_size, _) = batch_dims(model, batch)?;
     // Parameters stay resident for the whole call.
     let _params = governor.reserve(model.param_bytes())?;
@@ -42,7 +41,7 @@ pub fn run(
             None
         };
         let out_res = governor.reserve(out_bytes)?;
-        x = layer.forward(&x, threads)?;
+        x = layer.forward(&x, &par)?;
         // The input tensor dies here; the output becomes the live window.
         live = out_res;
         shape = out_shape;
@@ -56,6 +55,12 @@ mod tests {
     use super::*;
     use relserve_nn::init::seeded_rng;
     use relserve_nn::zoo;
+    use relserve_runtime::MemoryGovernor;
+    use relserve_tensor::parallel::Parallelism;
+
+    fn ctx(threads: usize, governor: &MemoryGovernor) -> ExecContext {
+        ExecContext::standalone(threads, governor.clone())
+    }
 
     #[test]
     fn matches_plain_forward() {
@@ -63,8 +68,11 @@ mod tests {
         let model = zoo::fraud_fc_256(&mut rng).unwrap();
         let x = Tensor::from_fn([16, 28], |i| ((i % 13) as f32 - 6.0) * 0.1);
         let governor = MemoryGovernor::unlimited("udf");
-        let out = run(&model, &x, &governor, 2).unwrap().into_dense().unwrap();
-        let expect = model.forward(&x, 2).unwrap();
+        let out = run(&model, &x, &ctx(2, &governor))
+            .unwrap()
+            .into_dense()
+            .unwrap();
+        let expect = model.forward(&x, &Parallelism::serial()).unwrap();
         assert!(out.approx_eq(&expect, 1e-5));
         // All reservations must be released.
         assert_eq!(governor.in_use(), 0);
@@ -78,7 +86,7 @@ mod tests {
         let x = Tensor::zeros([64, 28]);
         // Budget below even the parameter size.
         let governor = MemoryGovernor::with_budget("udf", model.param_bytes() / 2);
-        let err = run(&model, &x, &governor, 1).unwrap_err();
+        let err = run(&model, &x, &ctx(1, &governor)).unwrap_err();
         assert!(err.is_oom(), "{err}");
         assert_eq!(governor.in_use(), 0, "OOM must not leak reservations");
     }
@@ -91,8 +99,8 @@ mod tests {
         let model = zoo::fraud_fc_512(&mut rng).unwrap();
         let budget = model.param_bytes() + 8 * (28 + 512 + 512 + 512 + 2 + 2 + 2) * 4 + 4096;
         let governor = MemoryGovernor::with_budget("udf", budget);
-        assert!(run(&model, &Tensor::zeros([8, 28]), &governor, 1).is_ok());
-        let err = run(&model, &Tensor::zeros([4096, 28]), &governor, 1).unwrap_err();
+        assert!(run(&model, &Tensor::zeros([8, 28]), &ctx(1, &governor)).is_ok());
+        let err = run(&model, &Tensor::zeros([4096, 28]), &ctx(1, &governor)).unwrap_err();
         assert!(err.is_oom());
     }
 
@@ -111,12 +119,12 @@ mod tests {
         // With an unlimited governor, record the true peak, then set the
         // budget just below it and expect OOM.
         let unlimited = MemoryGovernor::unlimited("probe");
-        run(&model, &x, &unlimited, 1).unwrap();
+        run(&model, &x, &ctx(1, &unlimited)).unwrap();
         let peak = unlimited.peak();
         let tight = MemoryGovernor::with_budget("udf", peak - 1);
-        assert!(run(&model, &x, &tight, 1).unwrap_err().is_oom());
+        assert!(run(&model, &x, &ctx(1, &tight)).unwrap_err().is_oom());
         let enough = MemoryGovernor::with_budget("udf", peak);
-        assert!(run(&model, &x, &enough, 1).is_ok());
+        assert!(run(&model, &x, &ctx(1, &enough)).is_ok());
         let _ = governor;
     }
 
@@ -127,7 +135,7 @@ mod tests {
         let batch = 32;
         let x = Tensor::zeros([batch, 76]);
         let governor = MemoryGovernor::unlimited("udf");
-        run(&model, &x, &governor, 1).unwrap();
+        run(&model, &x, &ctx(1, &governor)).unwrap();
         // Peak must cover params + the widest in/out window (76→3072 layer).
         let window = batch * (76 + 3072) * 4;
         assert!(governor.peak() >= model.param_bytes() + window);

@@ -25,6 +25,8 @@
 //! [`versions`] (SLA-driven selection among compressed model versions), and
 //! [`cache`] (the HNSW inference-result cache with Monte-Carlo error bounds).
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod dedup;
 pub mod error;
@@ -38,4 +40,6 @@ pub mod versions;
 pub use error::{Error, Result};
 pub use ir::{InferencePlan, OpAssignment, Representation};
 pub use optimizer::RuleBasedOptimizer;
-pub use session::{Architecture, InferenceOutcome, InferenceSession, SessionConfig};
+pub use session::{
+    Architecture, InferenceOutcome, InferenceSession, SessionConfig, SessionConfigBuilder,
+};

@@ -17,6 +17,7 @@ use crate::error::{Error, Result};
 use relserve_nn::{Activation, Layer, Model};
 use relserve_relational::ops::{Operator, SimilarityJoin};
 use relserve_relational::{Expr, Table, Tuple, Value};
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{matmul, ops, Tensor};
 
 /// Split a dense layer's weight `W: [out, in]` by input columns into
@@ -74,7 +75,7 @@ pub struct JoinedInference<'a> {
 pub fn run_join_then_infer(
     q: &JoinedInference<'_>,
     model: &Model,
-    threads: usize,
+    par: &Parallelism,
 ) -> Result<Tensor> {
     let pool = q.d1.heap().pool().clone();
     let left = relserve_relational::ops::SeqScan::new(q.d1);
@@ -118,7 +119,7 @@ pub fn run_join_then_infer(
         data.extend_from_slice(row.value(0)?.as_vector()?);
     }
     let features = Tensor::from_vec([rows, width], data)?;
-    Ok(model.forward(&features, threads)?)
+    Ok(model.forward(&features, par)?)
 }
 
 /// Push-down plan: multiply each side's features by its weight slice *before*
@@ -127,7 +128,7 @@ pub fn run_join_then_infer(
 pub fn run_pushdown_infer(
     q: &JoinedInference<'_>,
     model: &Model,
-    threads: usize,
+    par: &Parallelism,
 ) -> Result<Tensor> {
     let (weight, bias, activation) = first_dense(model)?;
     // Determine the split from the actual feature widths.
@@ -176,7 +177,7 @@ pub fn run_pushdown_infer(
             }
             let rows = keys.len();
             let x = Tensor::from_vec([rows, width], std::mem::take(batch))?;
-            let partial = matmul::matmul_bt_parallel(&x, w, threads)?;
+            let partial = matmul::matmul_bt_parallel(&x, w, par)?;
             for (i, key) in keys.iter().enumerate() {
                 out.insert(&Tuple::new(vec![
                     Value::Float(*key),
@@ -229,7 +230,7 @@ pub fn run_pushdown_infer(
     let z = ops::add_bias(&z, bias)?;
     let mut x = activation.apply(&z).map_err(Error::Nn)?;
     for layer in &model.layers()[1..] {
-        x = layer.forward(&x, threads).map_err(Error::Nn)?;
+        x = layer.forward(&x, par).map_err(Error::Nn)?;
     }
     Ok(x)
 }
@@ -306,8 +307,8 @@ mod tests {
         let d1 = feature_table("d1", 30, 7, |i| i as f32, 1);
         let d2 = feature_table("d2", 30, 5, |i| i as f32, 2);
         let q = query(&d1, &d2);
-        let baseline = run_join_then_infer(&q, &model, 1).unwrap();
-        let pushed = run_pushdown_infer(&q, &model, 1).unwrap();
+        let baseline = run_join_then_infer(&q, &model, &Parallelism::serial()).unwrap();
+        let pushed = run_pushdown_infer(&q, &model, &Parallelism::serial()).unwrap();
         assert_eq!(baseline.shape(), pushed.shape());
         assert!(
             baseline.approx_eq(&pushed, 1e-4),
@@ -328,8 +329,8 @@ mod tests {
         let d1 = feature_table("d1", 10, 5, |i| i as f32, 3);
         let d2 = feature_table("d2", 20, 3, |i| (i / 2) as f32, 4);
         let q = query(&d1, &d2);
-        let baseline = run_join_then_infer(&q, &model, 1).unwrap();
-        let pushed = run_pushdown_infer(&q, &model, 1).unwrap();
+        let baseline = run_join_then_infer(&q, &model, &Parallelism::serial()).unwrap();
+        let pushed = run_pushdown_infer(&q, &model, &Parallelism::serial()).unwrap();
         // Join order may differ between plans; compare sorted row checksums.
         let row_sums = |t: &Tensor| {
             let (r, c) = t.shape().as_matrix().unwrap();
@@ -364,7 +365,7 @@ mod tests {
         let d1 = feature_table("d1", 5, 7, |i| i as f32, 5);
         let d2 = feature_table("d2", 5, 5, |i| i as f32, 6); // 7+5 ≠ 10
         let q = query(&d1, &d2);
-        assert!(run_pushdown_infer(&q, &model, 1).is_err());
+        assert!(run_pushdown_infer(&q, &model, &Parallelism::serial()).is_err());
     }
 
     #[test]
@@ -376,6 +377,6 @@ mod tests {
         let d1 = feature_table("d1", 5, 8, |i| i as f32, 7);
         let d2 = feature_table("d2", 5, 8, |i| i as f32, 8);
         let q = query(&d1, &d2);
-        assert!(run_pushdown_infer(&q, &model, 1).is_err());
+        assert!(run_pushdown_infer(&q, &model, &Parallelism::serial()).is_err());
     }
 }

@@ -45,6 +45,15 @@ pub struct SessionConfig {
     pub transfer: TransferProfile,
 }
 
+impl SessionConfig {
+    /// A validating builder starting from [`SessionConfig::default`].
+    pub fn builder() -> SessionConfigBuilder {
+        SessionConfigBuilder {
+            config: SessionConfig::default(),
+        }
+    }
+}
+
 impl Default for SessionConfig {
     fn default() -> Self {
         SessionConfig {
@@ -61,10 +70,91 @@ impl Default for SessionConfig {
     }
 }
 
+/// Builds a [`SessionConfig`], rejecting degenerate values at
+/// [`SessionConfigBuilder::build`] time instead of letting them surface as
+/// panics or hangs deep inside an executor.
+#[derive(Debug, Clone)]
+pub struct SessionConfigBuilder {
+    config: SessionConfig,
+}
+
+impl SessionConfigBuilder {
+    /// Database memory budget for dense (UDF-centric/hybrid) execution.
+    pub fn db_memory_bytes(mut self, bytes: usize) -> Self {
+        self.config.db_memory_bytes = bytes;
+        self
+    }
+
+    /// Buffer-pool size in bytes.
+    pub fn buffer_pool_bytes(mut self, bytes: usize) -> Self {
+        self.config.buffer_pool_bytes = bytes;
+        self
+    }
+
+    /// The §7.1 operator memory threshold.
+    pub fn memory_threshold_bytes(mut self, bytes: usize) -> Self {
+        self.config.memory_threshold_bytes = bytes;
+        self
+    }
+
+    /// Tensor block side length for relation-centric execution.
+    pub fn block_size(mut self, block: usize) -> Self {
+        self.config.block_size = block;
+        self
+    }
+
+    /// Physical cores the session's coordinator manages.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Memory budget of a launched external DL runtime process.
+    pub fn external_memory_bytes(mut self, bytes: usize) -> Self {
+        self.config.external_memory_bytes = bytes;
+        self
+    }
+
+    /// Connector wire model for DL-centric execution.
+    pub fn transfer(mut self, profile: TransferProfile) -> Self {
+        self.config.transfer = profile;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SessionConfig> {
+        let c = self.config;
+        if c.block_size == 0 {
+            return Err(Error::Invalid("block_size must be positive".into()));
+        }
+        if c.cores == 0 {
+            return Err(Error::Invalid("cores must be at least 1".into()));
+        }
+        if c.db_memory_bytes == 0 {
+            return Err(Error::Invalid("db_memory_bytes must be non-zero".into()));
+        }
+        if c.buffer_pool_bytes == 0 {
+            return Err(Error::Invalid("buffer_pool_bytes must be non-zero".into()));
+        }
+        if c.external_memory_bytes == 0 {
+            return Err(Error::Invalid(
+                "external_memory_bytes must be non-zero".into(),
+            ));
+        }
+        Ok(c)
+    }
+}
+
 /// Which architecture to execute an inference query under.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so new execution strategies can be added without a breaking release.
+#[non_exhaustive]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Architecture {
-    /// The §7.1 rule decides per operator.
+    /// The §7.1 rule decides per operator (the paper's recommended mode,
+    /// and the default).
+    #[default]
     Adaptive,
     /// Force everything through the in-database UDF path.
     UdfCentric,
@@ -80,14 +170,14 @@ pub enum Architecture {
     },
 }
 
-impl Architecture {
-    fn label(&self) -> String {
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Architecture::Adaptive => "adaptive".into(),
-            Architecture::UdfCentric => "udf-centric".into(),
-            Architecture::RelationCentric => "relation-centric".into(),
-            Architecture::DlCentric(p) => format!("dl-centric({})", p.name),
-            Architecture::Pipelined { micro_batch } => format!("pipelined(mb={micro_batch})"),
+            Architecture::Adaptive => write!(f, "adaptive"),
+            Architecture::UdfCentric => write!(f, "udf-centric"),
+            Architecture::RelationCentric => write!(f, "relation-centric"),
+            Architecture::DlCentric(p) => write!(f, "dl-centric({})", p.name),
+            Architecture::Pipelined { micro_batch } => write!(f, "pipelined(mb={micro_batch})"),
         }
     }
 }
@@ -135,21 +225,27 @@ pub struct InferenceSession {
 }
 
 impl InferenceSession {
-    /// Open a session on a scratch database.
+    /// Open a session on a scratch database with a private coordinator
+    /// sized from `config.cores`.
     pub fn open(config: SessionConfig) -> Result<Self> {
+        let coordinator = ThreadCoordinator::new(config.cores);
+        Self::open_shared(config, &coordinator)
+    }
+
+    /// Open a session sharing `coordinator`'s admission ledger and kernel
+    /// pool: concurrent queries across every session built from clones of
+    /// one coordinator are budgeted against the same physical cores (§3.1).
+    /// `config.cores` is ignored in favor of the coordinator's core count.
+    /// There is no process-global state — each query's threads come from
+    /// the [`relserve_runtime::ExecContext`] it is admitted into.
+    pub fn open_shared(config: SessionConfig, coordinator: &ThreadCoordinator) -> Result<Self> {
         let disk = Arc::new(DiskManager::temp()?);
         let pool = Arc::new(BufferPool::with_budget_bytes(
             disk,
             config.buffer_pool_bytes,
         ));
-        let coordinator = ThreadCoordinator::new(config.cores);
-        // Persistent kernel workers for the whole session; also installed as
-        // the process-wide stripe runner so every `*_parallel` tensor kernel
-        // runs on these threads instead of spawning its own (§3.1). The
-        // first session to install wins — later sessions still cap their
-        // concurrency through per-call `kernel_threads`.
+        let coordinator = coordinator.clone();
         let kernel_pool = coordinator.kernel_pool();
-        kernel_pool.install_global();
         Ok(InferenceSession {
             governor: MemoryGovernor::with_budget("db", config.db_memory_bytes),
             coordinator,
@@ -161,6 +257,13 @@ impl InferenceSession {
             tables: Mutex::new(HashMap::new()),
             config,
         })
+    }
+
+    /// The session's thread coordinator (admission ledger + kernel pool).
+    /// Clone it to open further sessions that share this machine's budget
+    /// via [`InferenceSession::open_shared`].
+    pub fn coordinator(&self) -> &ThreadCoordinator {
+        &self.coordinator
     }
 
     /// The session configuration.
@@ -305,46 +408,47 @@ impl InferenceSession {
         let model = self.model(model_name)?;
         let batch_size = model.check_input(batch)?;
         let started = Instant::now();
-        let label = architecture.label();
+        let label = architecture.to_string();
+        // Each query runs inside its own admitted execution context; the
+        // context's grant returns to the coordinator when the arm finishes.
         let (output, plan) = match architecture {
             Architecture::UdfCentric => {
-                let threads = self.coordinator.plan_for(1).kernel_threads;
-                (
-                    udf_centric::run(&model, batch, &self.governor, threads)?,
-                    None,
-                )
+                let ctx = self.coordinator.context(1, self.governor.clone());
+                (udf_centric::run(&model, batch, &ctx)?, None)
             }
             Architecture::RelationCentric => {
-                let plan = self.coordinator.plan_for(1);
+                let ctx = self.coordinator.context(1, self.governor.clone());
                 let (out, _) =
-                    relation_centric::run(&model, batch, &self.pool, self.config.block_size, plan)?;
+                    relation_centric::run(&model, batch, &self.pool, self.config.block_size, &ctx)?;
                 (out, None)
             }
             Architecture::DlCentric(profile) => {
-                let threads = self.coordinator.plan_dedicated().kernel_threads;
+                // A dedicated context: kernels may use every granted core,
+                // with no DB workers competing.
+                let ctx = self.coordinator.context_dedicated(self.governor.clone());
                 let runtime = ExternalRuntime::launch(profile, self.config.external_memory_bytes);
                 let mut connector = Connector::new(self.config.transfer);
-                let (out, _) = dl_centric::run(&model, batch, &mut connector, &runtime, threads)?;
+                let (out, _) = dl_centric::run(&model, batch, &mut connector, &runtime, &ctx)?;
                 (out, None)
             }
             Architecture::Pipelined { micro_batch } => {
-                // §3.1: stage threads × stages must not oversubscribe cores.
+                // §3.1: stage threads × stages must not oversubscribe cores,
+                // so the context is planned for one DB worker per stage.
                 let stages = model.layers().len().max(1);
-                let threads = self.coordinator.plan_for(stages).kernel_threads;
-                let (out, _) = pipelined::run(&model, batch, micro_batch, &self.governor, threads)?;
+                let ctx = self.coordinator.context(stages, self.governor.clone());
+                let (out, _) = pipelined::run(&model, batch, micro_batch, &ctx)?;
                 (out, None)
             }
             Architecture::Adaptive => {
                 let plan = self.optimizer.plan(&model, batch_size)?;
-                let threads = self.coordinator.plan_for(1).kernel_threads;
+                let ctx = self.coordinator.context(1, self.governor.clone());
                 let (out, _) = hybrid::run(
                     &model,
                     batch,
                     &plan,
-                    &self.governor,
                     &self.pool,
                     self.config.block_size,
-                    threads,
+                    &ctx,
                 )?;
                 (out, Some(plan))
             }
@@ -378,7 +482,8 @@ impl InferenceSession {
     ) -> Result<CachedModel> {
         let model = self.model(model_name)?;
         let threads = self.coordinator.plan_for(1).kernel_threads;
-        CachedModel::new((*model).clone(), max_distance, params, threads)
+        let par = self.kernel_pool.parallelism(threads);
+        CachedModel::new((*model).clone(), max_distance, params, par)
     }
 }
 
@@ -401,15 +506,16 @@ mod tests {
     use relserve_relational::{Column, DataType, Value};
 
     fn tiny_config() -> SessionConfig {
-        SessionConfig {
-            db_memory_bytes: 8 << 20,
-            buffer_pool_bytes: 4 << 20,
-            memory_threshold_bytes: 1 << 20,
-            block_size: 32,
-            cores: 2,
-            external_memory_bytes: 8 << 20,
-            transfer: TransferProfile::instant(),
-        }
+        SessionConfig::builder()
+            .db_memory_bytes(8 << 20)
+            .buffer_pool_bytes(4 << 20)
+            .memory_threshold_bytes(1 << 20)
+            .block_size(32)
+            .cores(2)
+            .external_memory_bytes(8 << 20)
+            .transfer(TransferProfile::instant())
+            .build()
+            .expect("tiny config is valid")
     }
 
     fn fraud_session(rows: usize) -> InferenceSession {
@@ -535,5 +641,46 @@ mod tests {
         assert_eq!(batch.shape().dims(), &[3, 28]);
         assert!(session.features("transactions", "id").is_err());
         assert!(session.features("transactions", "nope").is_err());
+    }
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert!(SessionConfig::builder().block_size(0).build().is_err());
+        assert!(SessionConfig::builder().cores(0).build().is_err());
+        assert!(SessionConfig::builder().db_memory_bytes(0).build().is_err());
+        assert!(SessionConfig::builder()
+            .buffer_pool_bytes(0)
+            .build()
+            .is_err());
+        assert!(SessionConfig::builder()
+            .external_memory_bytes(0)
+            .build()
+            .is_err());
+        // The unmodified default passes validation.
+        assert!(SessionConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn architecture_default_and_display() {
+        assert_eq!(Architecture::default(), Architecture::Adaptive);
+        assert_eq!(Architecture::Adaptive.to_string(), "adaptive");
+        assert_eq!(Architecture::UdfCentric.to_string(), "udf-centric");
+        assert_eq!(
+            Architecture::Pipelined { micro_batch: 4 }.to_string(),
+            "pipelined(mb=4)"
+        );
+        assert_eq!(
+            Architecture::DlCentric(RuntimeProfile::tensorflow_like()).to_string(),
+            "dl-centric(tensorflow-like)"
+        );
+    }
+
+    #[test]
+    fn shared_sessions_share_admission_ledger() {
+        let first = InferenceSession::open(tiny_config()).unwrap();
+        let second = InferenceSession::open_shared(tiny_config(), first.coordinator()).unwrap();
+        let grant = first.coordinator().admit(2);
+        assert_eq!(second.coordinator().granted_threads(), 2);
+        drop(grant);
+        assert_eq!(second.coordinator().granted_threads(), 0);
     }
 }

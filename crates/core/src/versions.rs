@@ -7,6 +7,7 @@
 use crate::error::{Error, Result};
 use relserve_nn::quant::ModelVersion;
 use relserve_nn::{Model, Trainer};
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::Tensor;
 
 /// A query's service-level agreement.
@@ -38,12 +39,12 @@ impl VersionCatalog {
         model: &Model,
         val_x: &Tensor,
         val_labels: &[usize],
-        threads: usize,
+        par: &Parallelism,
     ) -> Result<Self> {
         let versions = relserve_nn::quant::default_versions(model)?;
         let mut scored = Vec::with_capacity(versions.len());
         for version in versions {
-            let accuracy = Trainer::evaluate(&version.model, val_x, val_labels, threads)?;
+            let accuracy = Trainer::evaluate(&version.model, val_x, val_labels, par)?;
             scored.push(ScoredVersion { version, accuracy });
         }
         Ok(VersionCatalog { versions: scored })
@@ -112,7 +113,7 @@ mod tests {
     #[test]
     fn catalog_scores_every_version() {
         let (model, x, labels) = trained_setup();
-        let catalog = VersionCatalog::build(&model, &x, &labels, 1).unwrap();
+        let catalog = VersionCatalog::build(&model, &x, &labels, &Parallelism::serial()).unwrap();
         assert_eq!(catalog.versions().len(), 4);
         // The original must be highly accurate on this separable task.
         assert!(catalog.versions()[0].accuracy > 0.95);
@@ -121,7 +122,7 @@ mod tests {
     #[test]
     fn sla_selects_smallest_sufficient() {
         let (model, x, labels) = trained_setup();
-        let catalog = VersionCatalog::build(&model, &x, &labels, 1).unwrap();
+        let catalog = VersionCatalog::build(&model, &x, &labels, &Parallelism::serial()).unwrap();
         // A lenient SLA must pick something smaller than the original.
         let lenient = catalog.select(Sla { min_accuracy: 0.8 }).unwrap();
         let original_bytes = catalog.versions()[0].version.storage_bytes;
@@ -134,7 +135,7 @@ mod tests {
     #[test]
     fn impossible_sla_is_an_error() {
         let (model, x, labels) = trained_setup();
-        let catalog = VersionCatalog::build(&model, &x, &labels, 1).unwrap();
+        let catalog = VersionCatalog::build(&model, &x, &labels, &Parallelism::serial()).unwrap();
         let err = catalog.select(Sla { min_accuracy: 1.01 }).unwrap_err();
         assert!(err.to_string().contains("no model version"));
     }

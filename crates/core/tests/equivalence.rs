@@ -10,16 +10,13 @@ use relserve_core::exec::{hybrid, pipelined, relation_centric, udf_centric};
 use relserve_core::RuleBasedOptimizer;
 use relserve_nn::init::seeded_rng;
 use relserve_nn::{Activation, Layer, Model};
-use relserve_runtime::{MemoryGovernor, ThreadPlan};
+use relserve_runtime::{ExecContext, MemoryGovernor};
 use relserve_storage::{BufferPool, DiskManager};
 use relserve_tensor::Tensor;
 use std::sync::Arc;
 
-fn plan(kernel_threads: usize) -> ThreadPlan {
-    ThreadPlan {
-        db_workers: 1,
-        kernel_threads,
-    }
+fn ctx(threads: usize) -> ExecContext {
+    ExecContext::standalone(threads, MemoryGovernor::unlimited("prop"))
 }
 
 /// A random small FFNN: 1–3 dense layers with relu, softmax head.
@@ -59,12 +56,11 @@ proptest! {
     ) {
         let model = random_ffnn(features, &[hidden], classes, seed);
         let x = Tensor::from_fn([batch, features], |i| (((i as u64 + seed) * 37 % 19) as f32 - 9.0) * 0.1);
-        let governor = MemoryGovernor::unlimited("prop");
-        let dense = udf_centric::run(&model, &x, &governor, 1)
+        let dense = udf_centric::run(&model, &x, &ctx(1))
             .unwrap()
             .into_dense()
             .unwrap();
-        let (rel, _) = relation_centric::run(&model, &x, &pool(64), block, plan(2)).unwrap();
+        let (rel, _) = relation_centric::run(&model, &x, &pool(64), block, &ctx(2)).unwrap();
         let rel = rel.into_dense().unwrap();
         prop_assert!(dense.approx_eq(&rel, 1e-3), "max diff {}", dense.max_abs_diff(&rel).unwrap());
     }
@@ -79,15 +75,14 @@ proptest! {
     ) {
         let model = random_ffnn(features, &[hidden], 3, seed);
         let x = Tensor::from_fn([batch, features], |i| (((i as u64 * 13 + seed) % 23) as f32 - 11.0) * 0.05);
-        let governor = MemoryGovernor::unlimited("prop");
-        let dense = udf_centric::run(&model, &x, &governor, 1)
+        let dense = udf_centric::run(&model, &x, &ctx(1))
             .unwrap()
             .into_dense()
             .unwrap();
         let plan = RuleBasedOptimizer::new(1usize << threshold_exp)
             .plan(&model, batch)
             .unwrap();
-        let (out, _) = hybrid::run(&model, &x, &plan, &governor, &pool(64), 8, 1).unwrap();
+        let (out, _) = hybrid::run(&model, &x, &plan, &pool(64), 8, &ctx(1)).unwrap();
         let out = out.into_dense().unwrap();
         prop_assert!(dense.approx_eq(&out, 1e-3));
     }
@@ -102,12 +97,11 @@ proptest! {
     ) {
         let model = random_ffnn(features, &[hidden], 2, seed);
         let x = Tensor::from_fn([batch, features], |i| (((i as u64 * 7 + seed) % 17) as f32 - 8.0) * 0.1);
-        let governor = MemoryGovernor::unlimited("prop");
-        let dense = udf_centric::run(&model, &x, &governor, 1)
+        let dense = udf_centric::run(&model, &x, &ctx(1))
             .unwrap()
             .into_dense()
             .unwrap();
-        let (out, _) = pipelined::run(&model, &x, micro, &governor, 1).unwrap();
+        let (out, _) = pipelined::run(&model, &x, micro, &ctx(1)).unwrap();
         let out = out.into_dense().unwrap();
         prop_assert!(dense.approx_eq(&out, 1e-4));
     }
@@ -120,12 +114,11 @@ proptest! {
     ) {
         let model = random_ffnn(8, &[h1, h2], 4, seed);
         let x = Tensor::from_fn([9, 8], |i| ((i * 11 % 13) as f32 - 6.0) * 0.1);
-        let governor = MemoryGovernor::unlimited("prop");
-        let dense = udf_centric::run(&model, &x, &governor, 1)
+        let dense = udf_centric::run(&model, &x, &ctx(1))
             .unwrap()
             .into_dense()
             .unwrap();
-        let (rel, _) = relation_centric::run(&model, &x, &pool(64), 4, plan(3)).unwrap();
+        let (rel, _) = relation_centric::run(&model, &x, &pool(64), 4, &ctx(3)).unwrap();
         prop_assert!(dense.approx_eq(&rel.into_dense().unwrap(), 1e-3));
     }
 }

@@ -3,6 +3,7 @@
 use crate::error::{Error, Result};
 use crate::init;
 use rand::rngs::StdRng;
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{conv, ops, Conv2dSpec, Shape, Tensor};
 
 /// Activation applied after a layer's linear part.
@@ -142,16 +143,16 @@ impl Layer {
 
     /// Forward pass over a batch.
     ///
-    /// `input` is `[batch, ...example dims]`; `threads` bounds kernel
+    /// `input` is `[batch, ...example dims]`; `par` bounds kernel
     /// parallelism (set by the resource coordinator).
-    pub fn forward(&self, input: &Tensor, threads: usize) -> Result<Tensor> {
+    pub fn forward(&self, input: &Tensor, par: &Parallelism) -> Result<Tensor> {
         match self {
             Layer::Dense {
                 weight,
                 bias,
                 activation,
             } => {
-                let z = relserve_tensor::matmul::matmul_bt_parallel(input, weight, threads)?;
+                let z = relserve_tensor::matmul::matmul_bt_parallel(input, weight, par)?;
                 let z = ops::add_bias(&z, bias)?;
                 activation.apply(&z)
             }
@@ -161,7 +162,7 @@ impl Layer {
                 spec,
                 activation,
             } => {
-                let z = conv::conv2d(input, kernel, bias, spec, threads)?;
+                let z = conv::conv2d(input, kernel, bias, spec, par)?;
                 let dims = z.shape().dims().to_vec();
                 // Activations operate on a matrix view, then restore shape.
                 let flat = z.reshape([dims[0] * dims[1] * dims[2], dims[3]])?;
@@ -200,7 +201,7 @@ mod tests {
             activation: Activation::None,
         };
         let x = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
-        let y = layer.forward(&x, 1).unwrap();
+        let y = layer.forward(&x, &Parallelism::serial()).unwrap();
         assert_eq!(y.data(), &[11.0, 22.0]);
     }
 
@@ -212,7 +213,10 @@ mod tests {
             activation: Activation::Relu,
         };
         let x = Tensor::from_vec([1, 1], vec![5.0]).unwrap();
-        assert_eq!(layer.forward(&x, 1).unwrap().data(), &[0.0]);
+        assert_eq!(
+            layer.forward(&x, &Parallelism::serial()).unwrap().data(),
+            &[0.0]
+        );
     }
 
     #[test]
@@ -240,7 +244,7 @@ mod tests {
     #[test]
     fn flatten_forward_preserves_batch() {
         let x = Tensor::from_fn([2, 3, 4, 5], |i| i as f32);
-        let y = Layer::Flatten.forward(&x, 1).unwrap();
+        let y = Layer::Flatten.forward(&x, &Parallelism::serial()).unwrap();
         assert_eq!(y.shape().dims(), &[2, 60]);
         assert_eq!(y.data(), x.data());
     }
@@ -250,7 +254,7 @@ mod tests {
         let mut rng = seeded_rng(9);
         let conv = Layer::conv2d(3, 16, 3, 3, Activation::Relu, &mut rng);
         let x = Tensor::from_fn([2, 8, 8, 3], |i| (i % 7) as f32 * 0.1);
-        let y = conv.forward(&x, 2).unwrap();
+        let y = conv.forward(&x, &Parallelism::serial()).unwrap();
         assert_eq!(y.shape().dims(), &[2, 6, 6, 16]);
         // Relu output is non-negative.
         assert!(y.data().iter().all(|v| *v >= 0.0));
@@ -278,7 +282,7 @@ mod tests {
             activation: Activation::Softmax,
         };
         let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 0., 0., 0.]).unwrap();
-        let y = layer.forward(&x, 1).unwrap();
+        let y = layer.forward(&x, &Parallelism::serial()).unwrap();
         for r in 0..2 {
             let s: f32 = y.row(r).unwrap().iter().sum();
             assert!((s - 1.0).abs() < 1e-5);

@@ -3,6 +3,7 @@
 use crate::error::{Error, Result};
 use crate::graph::LinalgOp;
 use crate::layer::Layer;
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{ops, Shape, Tensor};
 
 /// A sequential neural network: an input shape and a stack of layers.
@@ -93,8 +94,8 @@ impl Model {
         Ok(dims[0])
     }
 
-    /// Forward inference over a batch with `threads` kernel threads.
-    pub fn forward(&self, batch: &Tensor, threads: usize) -> Result<Tensor> {
+    /// Forward inference over a batch under the caller's kernel grant.
+    pub fn forward(&self, batch: &Tensor, par: &Parallelism) -> Result<Tensor> {
         let batch_size = self.check_input(batch)?;
         // Restore the full example shape in case a flat batch arrived for a
         // spatial model.
@@ -102,14 +103,14 @@ impl Model {
         full_dims.extend_from_slice(self.input_shape.dims());
         let mut x = batch.clone().reshape(full_dims)?;
         for layer in &self.layers {
-            x = layer.forward(&x, threads)?;
+            x = layer.forward(&x, par)?;
         }
         Ok(x)
     }
 
     /// Forward inference followed by row-wise argmax (classification).
-    pub fn predict(&self, batch: &Tensor, threads: usize) -> Result<Vec<usize>> {
-        let logits = self.forward(batch, threads)?;
+    pub fn predict(&self, batch: &Tensor, par: &Parallelism) -> Result<Vec<usize>> {
+        let logits = self.forward(batch, par)?;
         let (rows, cols) = logits.shape().as_matrix()?;
         let flat = logits.reshape([rows, cols])?;
         Ok(ops::argmax_rows(&flat)?)
@@ -153,7 +154,7 @@ mod tests {
     fn forward_produces_distribution() {
         let m = ffnn();
         let x = Tensor::from_fn([5, 4], |i| (i % 3) as f32);
-        let y = m.forward(&x, 1).unwrap();
+        let y = m.forward(&x, &Parallelism::serial()).unwrap();
         assert_eq!(y.shape().dims(), &[5, 3]);
         for r in 0..5 {
             let s: f32 = y.row(r).unwrap().iter().sum();
@@ -165,14 +166,17 @@ mod tests {
     fn forward_rejects_wrong_width() {
         let m = ffnn();
         let x = Tensor::zeros([5, 7]);
-        assert!(matches!(m.forward(&x, 1), Err(Error::InputMismatch { .. })));
+        assert!(matches!(
+            m.forward(&x, &Parallelism::serial()),
+            Err(Error::InputMismatch { .. })
+        ));
     }
 
     #[test]
     fn predict_returns_argmax() {
         let m = ffnn();
         let x = Tensor::from_fn([3, 4], |i| i as f32 * 0.1);
-        let preds = m.predict(&x, 1).unwrap();
+        let preds = m.predict(&x, &Parallelism::serial()).unwrap();
         assert_eq!(preds.len(), 3);
         assert!(preds.iter().all(|p| *p < 3));
     }
@@ -196,8 +200,8 @@ mod tests {
             .unwrap();
         let spatial = Tensor::from_fn([2, 6, 6, 1], |i| (i % 5) as f32);
         let flat = spatial.clone().reshape([2, 36]).unwrap();
-        let a = m.forward(&spatial, 1).unwrap();
-        let b = m.forward(&flat, 1).unwrap();
+        let a = m.forward(&spatial, &Parallelism::serial()).unwrap();
+        let b = m.forward(&flat, &Parallelism::serial()).unwrap();
         assert!(a.approx_eq(&b, 1e-6));
     }
 

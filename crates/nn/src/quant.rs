@@ -188,8 +188,13 @@ mod tests {
         let m = model();
         let q = quantize_int8(&m).unwrap();
         let x = Tensor::from_fn([8, 16], |i| ((i % 13) as f32 - 6.0) * 0.1);
-        let y0 = m.forward(&x, 1).unwrap();
-        let y1 = q.model.forward(&x, 1).unwrap();
+        let y0 = m
+            .forward(&x, &relserve_tensor::parallel::Parallelism::serial())
+            .unwrap();
+        let y1 = q
+            .model
+            .forward(&x, &relserve_tensor::parallel::Parallelism::serial())
+            .unwrap();
         assert!(y0.max_abs_diff(&y1).unwrap() < 0.05);
     }
 

@@ -245,7 +245,11 @@ mod tests {
         assert_eq!(back, m);
         // Inference must agree exactly.
         let x = Tensor::from_fn([1, 28, 28, 1], |i| (i % 9) as f32 * 0.1);
-        assert_eq!(m.forward(&x, 1).unwrap(), back.forward(&x, 1).unwrap());
+        let par = relserve_tensor::parallel::Parallelism::serial();
+        assert_eq!(
+            m.forward(&x, &par).unwrap(),
+            back.forward(&x, &par).unwrap()
+        );
     }
 
     #[test]

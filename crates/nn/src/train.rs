@@ -14,6 +14,7 @@
 use crate::error::{Error, Result};
 use crate::layer::{Activation, Layer};
 use crate::model::Model;
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{conv, matmul, ops, Tensor};
 
 /// Per-layer forward cache used by the backward pass.
@@ -66,12 +67,12 @@ fn activation_backward(act: Activation, z: &Tensor, a: &Tensor, da: &Tensor) -> 
 ///
 /// The model's final layer must use [`Activation::Softmax`]; the loss is
 /// cross-entropy, whose gradient fuses with softmax into `p - onehot`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Trainer {
     /// Learning rate.
     pub learning_rate: f32,
-    /// Kernel threads per matmul (coordinate with the resource manager).
-    pub threads: usize,
+    /// Kernel grant per matmul (coordinate with the resource manager).
+    pub par: Parallelism,
 }
 
 impl Trainer {
@@ -79,13 +80,13 @@ impl Trainer {
     pub fn new(learning_rate: f32) -> Self {
         Trainer {
             learning_rate,
-            threads: 1,
+            par: Parallelism::serial(),
         }
     }
 
-    /// Set the kernel thread budget.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Set the kernel parallelism grant.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
         self
     }
 
@@ -102,10 +103,8 @@ impl Trainer {
                     bias,
                     activation,
                 } => {
-                    let z = ops::add_bias(
-                        &matmul::matmul_bt_parallel(&x, weight, self.threads)?,
-                        bias,
-                    )?;
+                    let z =
+                        ops::add_bias(&matmul::matmul_bt_parallel(&x, weight, &self.par)?, bias)?;
                     let a = activation.apply(&z)?;
                     caches.push(Cache::Dense {
                         input: x,
@@ -127,7 +126,7 @@ impl Trainer {
                         .clone()
                         .reshape([spec.out_channels, spec.patch_len()])?;
                     let z = ops::add_bias(
-                        &matmul::matmul_bt_parallel(&cols, &kflat, self.threads)?,
+                        &matmul::matmul_bt_parallel(&cols, &kflat, &self.par)?,
                         bias,
                     )?;
                     let a = activation.apply(&z)?;
@@ -306,8 +305,13 @@ impl Trainer {
     }
 
     /// Classification accuracy over a dataset.
-    pub fn evaluate(model: &Model, data: &Tensor, labels: &[usize], threads: usize) -> Result<f32> {
-        let preds = model.predict(data, threads)?;
+    pub fn evaluate(
+        model: &Model,
+        data: &Tensor,
+        labels: &[usize],
+        par: &Parallelism,
+    ) -> Result<f32> {
+        let preds = model.predict(data, par)?;
         if preds.len() != labels.len() {
             return Err(Error::Training("prediction/label length mismatch".into()));
         }
@@ -354,7 +358,7 @@ mod tests {
             last = trainer.train_epoch(&mut model, &x, &y, 32).unwrap();
         }
         assert!(last < first * 0.5, "loss {first} → {last}");
-        let acc = Trainer::evaluate(&model, &x, &y, 1).unwrap();
+        let acc = Trainer::evaluate(&model, &x, &y, &Parallelism::serial()).unwrap();
         assert!(acc > 0.95, "accuracy = {acc}");
     }
 
@@ -389,7 +393,7 @@ mod tests {
         for _ in 0..25 {
             trainer.train_epoch(&mut model, &flat, &labels, 24).unwrap();
         }
-        let acc = Trainer::evaluate(&model, &flat, &labels, 1).unwrap();
+        let acc = Trainer::evaluate(&model, &flat, &labels, &Parallelism::serial()).unwrap();
         assert!(acc > 0.9, "accuracy = {acc}");
     }
 
@@ -435,7 +439,7 @@ mod tests {
         let labels = vec![0usize, 1];
 
         let loss_of = |m: &Model| -> f32 {
-            let probs = m.forward(&x, 1).unwrap();
+            let probs = m.forward(&x, &Parallelism::serial()).unwrap();
             let mut loss = 0.0;
             for (r, &l) in labels.iter().enumerate() {
                 loss -= probs.at2(r, l).unwrap().max(1e-12).ln();

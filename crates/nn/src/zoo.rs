@@ -177,13 +177,21 @@ mod tests {
         let cnn = caching_cnn(&mut rng).unwrap();
         assert_eq!(cnn.output_shape().unwrap().dims(), &[10]);
         let x = Tensor::from_fn([2, 28, 28, 1], |i| (i % 11) as f32 * 0.05);
-        let y = cnn.forward(&x, 2).unwrap();
+        let y = cnn
+            .forward(&x, &relserve_tensor::parallel::Parallelism::serial())
+            .unwrap();
         assert_eq!(y.shape().dims(), &[2, 10]);
 
         let ffnn = caching_ffnn(&mut rng).unwrap();
         assert_eq!(ffnn.layers().len(), 5);
         let x = Tensor::from_fn([2, 784], |i| (i % 7) as f32 * 0.1);
-        assert_eq!(ffnn.forward(&x, 2).unwrap().shape().dims(), &[2, 10]);
+        assert_eq!(
+            ffnn.forward(&x, &relserve_tensor::parallel::Parallelism::serial())
+                .unwrap()
+                .shape()
+                .dims(),
+            &[2, 10]
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::error::{Error, Result};
 use bytes::{Buf, BufMut};
 use relserve_storage::{BlobId, BlobStore, BufferPool};
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{BlockCoord, BlockedTensor, BlockingSpec, Tensor};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -298,23 +299,22 @@ impl TensorTable {
         other: &TensorTable,
         out_name: impl Into<String>,
     ) -> Result<(TensorTable, TensorOpStats)> {
-        self.matmul_bt_parallel(other, out_name, 1)
+        self.matmul_bt_parallel(other, out_name, &Parallelism::serial())
     }
 
     /// Parallel relation-centric `C = A × Bᵀ`: A's block-rows are split into
-    /// up to `kernel_threads` contiguous stripes and the stripes run as
-    /// tasks on the installed kernel pool. Each worker owns a disjoint set
-    /// of *output* block-rows, so workers only contend on the (internally
-    /// locked) buffer pool for reads and on the output table's insert lock
-    /// when flushing a finished block-row; stats accumulate per worker and
-    /// merge at the end. Peak memory is one block-row of partials per
-    /// worker. With `kernel_threads <= 1` (or no pool installed) this is
-    /// the serial streaming join.
+    /// up to `par.threads()` contiguous stripes and the stripes run as
+    /// tasks on the caller's kernel-pool grant. Each worker owns a disjoint
+    /// set of *output* block-rows, so workers only contend on the
+    /// (internally locked) buffer pool for reads and on the output table's
+    /// insert lock when flushing a finished block-row; stats accumulate per
+    /// worker and merge at the end. Peak memory is one block-row of partials
+    /// per worker. With a serial grant this is the serial streaming join.
     pub fn matmul_bt_parallel(
         &self,
         other: &TensorTable,
         out_name: impl Into<String>,
-        kernel_threads: usize,
+        par: &Parallelism,
     ) -> Result<(TensorTable, TensorOpStats)> {
         if self.cols != other.cols {
             return Err(Error::Tensor(relserve_tensor::Error::ShapeMismatch {
@@ -353,13 +353,13 @@ impl TensorTable {
                 _ => row_groups.push((coord.row, vec![coord])),
             }
         }
-        let threads = kernel_threads.clamp(1, row_groups.len().max(1));
+        let threads = par.threads().clamp(1, row_groups.len().max(1));
         let per_stripe = row_groups.len().div_ceil(threads).max(1);
         let stripes: Vec<&[(usize, Vec<BlockCoord>)]> = row_groups.chunks(per_stripe).collect();
         let out_lock = Mutex::new(&mut out);
         let results: Vec<Mutex<Option<Result<TensorOpStats>>>> =
             stripes.iter().map(|_| Mutex::new(None)).collect();
-        relserve_tensor::parallel::run_stripes(threads, stripes.len(), &|t| {
+        par.with_threads(threads).run_stripes(stripes.len(), &|t| {
             let res = self.matmul_bt_stripe(other, &b_by_col, stripes[t], &out_lock);
             *results[t].lock().expect("stripe result lock") = Some(res);
         });
@@ -590,7 +590,11 @@ mod tests {
         let (serial, serial_stats) = xt.matmul_bt(&wt, "C").unwrap();
         let expect = serial.to_dense().unwrap();
         for threads in [1, 2, 3, 7, 16] {
-            let (c, stats) = xt.matmul_bt_parallel(&wt, "Cp", threads).unwrap();
+            let grant = Parallelism::new(
+                std::sync::Arc::new(relserve_tensor::parallel::SerialRunner),
+                threads,
+            );
+            let (c, stats) = xt.matmul_bt_parallel(&wt, "Cp", &grant).unwrap();
             assert!(
                 c.to_dense().unwrap().approx_eq(&expect, 1e-4),
                 "threads={threads}"

@@ -1,0 +1,260 @@
+//! Query-scoped execution contexts: the admitted slice of the machine one
+//! query runs in.
+//!
+//! The paper's unified resource manager (§3.1) is *per query*: a query's
+//! relational workers and kernel threads together must fit the share of the
+//! machine the scheduler granted it, even while other queries run. An
+//! [`ExecContext`] packages that share — the [`ThreadPlan`], the admitted
+//! [`BudgetGrant`], a budgeted handle on the shared [`KernelPool`], and the
+//! [`MemoryGovernor`] lease — and travels by value through every execution
+//! backend. When the context drops, its grant returns to the coordinator
+//! and the next waiting query is admitted. There is deliberately no
+//! process-global runner: two sessions built from clones of one
+//! [`ThreadCoordinator`] each get a bounded, admission-controlled slice of
+//! the same pool instead of first-install-wins.
+
+use crate::governor::MemoryGovernor;
+use crate::pool::{KernelPool, PoolHandle};
+use crate::threads::{BudgetGrant, ThreadCoordinator, ThreadPlan};
+use relserve_tensor::parallel::{Parallelism, StripeRunner};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Per-query kernel scheduling statistics, accumulated by every stripe
+/// batch the context's grants submit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Stripe batches submitted through this context.
+    pub batches: usize,
+    /// Individual stripe tasks those batches contained.
+    pub tasks: usize,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    batches: AtomicUsize,
+    tasks: AtomicUsize,
+}
+
+/// A [`StripeRunner`] that counts submissions into the owning context's
+/// stats before delegating to the budgeted pool handle.
+struct CountingRunner {
+    handle: PoolHandle,
+    stats: Arc<StatsCells>,
+}
+
+impl StripeRunner for CountingRunner {
+    fn run_stripes(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.tasks.fetch_add(n_tasks, Ordering::Relaxed);
+        self.handle.run_stripes(n_tasks, task);
+    }
+
+    fn max_concurrency(&self) -> usize {
+        self.handle.max_concurrency()
+    }
+}
+
+/// Everything one query needs to execute inside its admitted share of the
+/// machine; see the module docs. Created by
+/// [`ThreadCoordinator::context`] / [`ThreadCoordinator::context_dedicated`]
+/// and threaded by value through the execution backends.
+pub struct ExecContext {
+    plan: ThreadPlan,
+    grant: BudgetGrant,
+    pool: Arc<KernelPool>,
+    governor: MemoryGovernor,
+    stats: Arc<StatsCells>,
+}
+
+impl ExecContext {
+    fn new(
+        plan: ThreadPlan,
+        grant: BudgetGrant,
+        pool: Arc<KernelPool>,
+        governor: MemoryGovernor,
+    ) -> Self {
+        ExecContext {
+            plan,
+            grant,
+            pool,
+            governor,
+            stats: Arc::new(StatsCells::default()),
+        }
+    }
+
+    /// A context for tests and benches that is not admission-controlled:
+    /// a private coordinator with exactly `threads` cores, granted in full.
+    /// Production queries get their contexts from a shared coordinator.
+    pub fn standalone(threads: usize, governor: MemoryGovernor) -> Self {
+        ThreadCoordinator::new(threads.max(1)).context(1, governor)
+    }
+
+    /// The agreed DB-worker / kernel-thread split for this query.
+    pub fn plan(&self) -> ThreadPlan {
+        self.plan
+    }
+
+    /// Kernel threads this query was actually granted (`<=` what the plan
+    /// requested whenever other queries hold part of the machine).
+    pub fn kernel_threads(&self) -> usize {
+        self.grant
+            .granted()
+            .clamp(1, self.plan.worst_case_threads())
+    }
+
+    /// The memory lease this query charges tensor allocations against.
+    pub fn governor(&self) -> &MemoryGovernor {
+        &self.governor
+    }
+
+    /// The full granted kernel budget as a [`Parallelism`] seam value for
+    /// tensor kernels. Submissions are budgeted: a batch occupies at most
+    /// [`ExecContext::kernel_threads`] pool threads.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism_with(self.kernel_threads())
+    }
+
+    /// A sub-grant of at most `threads` kernel threads (still capped by the
+    /// admitted budget) — used by executors that subdivide their budget
+    /// across concurrently running pipeline stages.
+    pub fn parallelism_with(&self, threads: usize) -> Parallelism {
+        let threads = threads.clamp(1, self.kernel_threads());
+        let runner = CountingRunner {
+            handle: PoolHandle::new(Arc::clone(&self.pool), threads),
+            stats: Arc::clone(&self.stats),
+        };
+        Parallelism::new(Arc::new(runner), threads)
+    }
+
+    /// Snapshot of the kernel batches and tasks this query has submitted.
+    pub fn stats(&self) -> ContextStats {
+        ContextStats {
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            tasks: self.stats.tasks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("plan", &self.plan)
+            .field("granted", &self.grant.granted())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ThreadCoordinator {
+    /// Admit a query whose relational side runs `db_parallelism` pipeline
+    /// workers and build its execution context: plans the thread split,
+    /// requests the plan's worst case from the admission ledger, and wraps
+    /// the granted share around the shared kernel pool plus the query's
+    /// memory lease. Blocks while the machine is fully granted.
+    pub fn context(&self, db_parallelism: usize, governor: MemoryGovernor) -> ExecContext {
+        let plan = self.plan_for(db_parallelism);
+        let grant = self.admit(plan.worst_case_threads());
+        ExecContext::new(plan, grant, self.kernel_pool(), governor)
+    }
+
+    /// An execution context for a dedicated (external) DL runtime: the
+    /// kernels may use every granted core, with no DB workers competing.
+    pub fn context_dedicated(&self, governor: MemoryGovernor) -> ExecContext {
+        let plan = self.plan_dedicated();
+        let grant = self.admit(plan.worst_case_threads());
+        ExecContext::new(plan, grant, self.kernel_pool(), governor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov() -> MemoryGovernor {
+        MemoryGovernor::unlimited("test")
+    }
+
+    #[test]
+    fn context_grants_release_on_drop() {
+        let c = ThreadCoordinator::new(4);
+        let ctx = c.context(1, gov());
+        assert_eq!(ctx.plan().kernel_threads, 4);
+        assert_eq!(ctx.kernel_threads(), 4);
+        assert_eq!(c.granted_threads(), 4);
+        drop(ctx);
+        assert_eq!(c.granted_threads(), 0);
+    }
+
+    #[test]
+    fn concurrent_contexts_split_the_machine() {
+        let c = ThreadCoordinator::new(4);
+        // Another query holds part of the machine while ours is admitted:
+        // the context gets exactly the remainder, never oversubscribing.
+        let other = c.admit(3);
+        let ctx = c.context(1, gov());
+        assert_eq!(other.granted() + ctx.kernel_threads(), 4);
+        assert!(c.granted_threads() <= c.cores());
+        drop(other);
+        drop(ctx);
+        let full = c.context_dedicated(gov());
+        assert_eq!(full.kernel_threads(), 4);
+    }
+
+    /// Admission is blocking: a context request against a fully granted
+    /// machine waits for a release instead of oversubscribing, so the sum
+    /// of grants can never exceed the cores.
+    #[test]
+    fn saturated_machine_queues_the_next_context() {
+        let c = ThreadCoordinator::new(2);
+        let hold = c.context(1, gov());
+        assert_eq!(c.granted_threads(), 2);
+        let c2 = c.clone();
+        let waiter = std::thread::spawn(move || {
+            let ctx = c2.context(1, gov());
+            (ctx.kernel_threads(), c2.granted_threads())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(hold);
+        let (granted, outstanding) = waiter.join().unwrap();
+        assert_eq!(granted, 2);
+        assert!(outstanding <= 2);
+    }
+
+    #[test]
+    fn parallelism_counts_into_stats() {
+        let c = ThreadCoordinator::new(2);
+        let ctx = c.context(1, gov());
+        let par = ctx.parallelism();
+        par.run_stripes(5, &|_| {});
+        par.run_stripes(3, &|_| {});
+        // A 1-task batch short-circuits inside Parallelism and never reaches
+        // the runner, so only multi-task batches are counted.
+        par.run_stripes(1, &|_| {});
+        let stats = ctx.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.tasks, 8);
+    }
+
+    #[test]
+    fn sub_grants_never_exceed_the_admitted_budget() {
+        let c = ThreadCoordinator::new(4);
+        let hold = c.admit(3);
+        let ctx = c.context(1, gov());
+        assert_eq!(ctx.kernel_threads(), 1, "only one core remained");
+        assert_eq!(ctx.parallelism_with(64).threads(), 1);
+        drop(hold);
+    }
+
+    #[test]
+    fn standalone_context_is_self_contained() {
+        let ctx = ExecContext::standalone(3, gov());
+        assert_eq!(ctx.kernel_threads(), 3);
+        let par = ctx.parallelism();
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        par.run_stripes(7, &|t| {
+            sum.fetch_add(t, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 21);
+    }
+}

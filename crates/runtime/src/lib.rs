@@ -24,7 +24,10 @@
 //!   PyTorch-like) with its own governor and memory-overhead factor; the
 //!   DL-centric executor in `relserve-core` runs models "inside" it.
 
+#![warn(missing_docs)]
+
 pub mod connector;
+pub mod context;
 pub mod device;
 pub mod error;
 pub mod external;
@@ -34,10 +37,11 @@ pub mod threads;
 pub mod tuning;
 
 pub use connector::{Connector, TransferProfile};
+pub use context::{ContextStats, ExecContext};
 pub use device::{Device, DeviceKind, DeviceModel, PlacementDecision};
 pub use error::{Error, Result};
 pub use external::{ExternalRuntime, RuntimeProfile};
 pub use governor::{MemoryGovernor, Reservation};
-pub use pool::{KernelPool, PoolCounters};
-pub use threads::{ThreadCoordinator, ThreadPlan};
+pub use pool::{KernelPool, PoolCounters, PoolHandle};
+pub use threads::{BudgetGrant, ThreadCoordinator, ThreadPlan};
 pub use tuning::{tune, TunedPlan, TuningReport};

@@ -1,6 +1,6 @@
 //! Persistent kernel thread pool (§3.1).
 //!
-//! The seed implementation spawned a fresh `crossbeam::scope` of OS threads
+//! The seed implementation spawned a fresh scope of OS threads
 //! for every parallel kernel invocation — tens of microseconds of
 //! create/join overhead per matmul, paid again for every block of every
 //! layer. [`KernelPool`] replaces that with long-lived workers created once
@@ -16,16 +16,19 @@
 //!   under nesting (a pool task may itself submit a batch) and lets a
 //!   zero-worker pool degrade to serial execution.
 //! * Kernels reach the pool through the [`StripeRunner`] trait from
-//!   `relserve-tensor`, installed process-wide with
-//!   [`KernelPool::install_global`]; the tensor crate itself owns no
-//!   threads.
+//!   `relserve-tensor`, via a query-scoped [`PoolHandle`] that carries an
+//!   admitted thread *budget*: a batch submitted through a handle may
+//!   occupy at most `budget` threads (the submitter plus `budget - 1`
+//!   helper workers), so concurrent queries sharing one pool stay inside
+//!   their own admission-controlled slice. There is no process-global
+//!   runner; the tensor crate itself owns no threads.
 //!
 //! Counters ([`KernelPool::counters`]) expose tasks run, tasks *stolen*
 //! (executed by a pool worker rather than the submitter), and worker park
 //! events, so tests and the tuning ablation can observe scheduling behavior
 //! instead of guessing.
 
-use relserve_tensor::parallel::{self, StripeRunner};
+use relserve_tensor::parallel::{Parallelism, StripeRunner};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -54,6 +57,11 @@ struct Batch {
     next: AtomicUsize,
     /// Completed task count; the batch is done when this reaches `n_tasks`.
     finished: AtomicUsize,
+    /// Helper-worker slots remaining: a worker must claim one before it may
+    /// drain this batch, which is how a budgeted submission keeps a batch
+    /// from occupying more than its handle's share of the pool. The
+    /// submitter is not counted — it always participates.
+    helper_slots: AtomicUsize,
     panicked: AtomicBool,
     /// Completion signal for the submitting thread.
     done_lock: Mutex<bool>,
@@ -63,6 +71,14 @@ struct Batch {
 impl Batch {
     fn is_exhausted(&self) -> bool {
         self.next.load(Ordering::Relaxed) >= self.n_tasks
+    }
+
+    /// Claim one helper slot; a worker that fails must leave the batch to
+    /// the threads already inside its budget.
+    fn try_claim_helper(&self) -> bool {
+        self.helper_slots
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| s.checked_sub(1))
+            .is_ok()
     }
 }
 
@@ -130,7 +146,11 @@ impl Shared {
                     while inj.batches.front().is_some_and(|b| b.is_exhausted()) {
                         inj.batches.pop_front();
                     }
-                    if let Some(b) = inj.batches.iter().find(|b| !b.is_exhausted()) {
+                    if let Some(b) = inj
+                        .batches
+                        .iter()
+                        .find(|b| !b.is_exhausted() && b.try_claim_helper())
+                    {
                         break Arc::clone(b);
                     }
                     self.counters.parks.fetch_add(1, Ordering::Relaxed);
@@ -198,19 +218,25 @@ impl KernelPool {
         }
     }
 
-    /// Install this pool as the process-wide stripe runner used by
-    /// `relserve-tensor`'s `*_parallel` kernels. First install wins; returns
-    /// whether this pool became the global runner.
-    pub fn install_global(self: &Arc<Self>) -> bool {
-        parallel::install_global_runner(Arc::clone(self) as Arc<dyn StripeRunner>)
+    /// A [`Parallelism`] grant over this pool capped at `threads`: the seam
+    /// value tensor kernels take in place of a bare thread count. Intended
+    /// for benches and tests that drive the pool without an admission
+    /// coordinator; query execution goes through `ExecContext` instead.
+    pub fn parallelism(self: &Arc<Self>, threads: usize) -> Parallelism {
+        let handle = PoolHandle::new(Arc::clone(self), threads);
+        Parallelism::new(Arc::new(handle), threads)
     }
-}
 
-impl StripeRunner for KernelPool {
-    /// Run `task(0..n_tasks)` to completion, sharing the work with pool
-    /// workers. Blocks until every task has finished; panics (after the
-    /// whole batch completes) if any task panicked.
-    fn run_stripes(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    /// Run a batch that may occupy at most `budget` threads of this pool:
+    /// the submitting thread plus up to `budget - 1` helper workers. This is
+    /// the primitive behind [`PoolHandle`]; `budget` is clamped to at least
+    /// 1 (the submitter always runs).
+    pub fn run_stripes_budgeted(
+        &self,
+        n_tasks: usize,
+        task: &(dyn Fn(usize) + Sync),
+        budget: usize,
+    ) {
         if n_tasks == 0 {
             return;
         }
@@ -218,23 +244,25 @@ impl StripeRunner for KernelPool {
         // borrow outlives every dereference.
         let erased: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+        let helpers = budget.max(1) - 1;
         let batch = Arc::new(Batch {
             task: TaskPtr(erased),
             n_tasks,
             next: AtomicUsize::new(0),
             finished: AtomicUsize::new(0),
+            helper_slots: AtomicUsize::new(helpers.min(self.workers.len())),
             panicked: AtomicBool::new(false),
             done_lock: Mutex::new(false),
             done_cv: Condvar::new(),
         });
-        if n_tasks > 1 && !self.workers.is_empty() {
+        if n_tasks > 1 && helpers > 0 && !self.workers.is_empty() {
             let mut inj = self.shared.injector.lock().expect("injector lock");
             inj.batches.push_back(Arc::clone(&batch));
             drop(inj);
             self.shared.work_cv.notify_all();
         }
-        // The submitter helps; this also covers the zero-worker pool and
-        // nested submissions from inside a worker.
+        // The submitter helps; this also covers the zero-worker pool,
+        // budget-1 grants, and nested submissions from inside a worker.
         self.shared.drain_batch(&batch, false);
         let mut done = batch.done_lock.lock().expect("batch done lock");
         while !*done {
@@ -244,6 +272,66 @@ impl StripeRunner for KernelPool {
         if batch.panicked.load(Ordering::Relaxed) {
             panic!("kernel pool task panicked");
         }
+    }
+}
+
+/// A query-scoped handle onto a shared [`KernelPool`], capped at an admitted
+/// thread budget. Cloning shares the pool and budget; every submission
+/// through the handle uses budgeted publication, so two queries holding
+/// handles with budgets `a` and `b` can never occupy more than `a + b`
+/// threads of the pool between them.
+#[derive(Clone)]
+pub struct PoolHandle {
+    pool: Arc<KernelPool>,
+    budget: usize,
+}
+
+impl PoolHandle {
+    /// A handle over `pool` limited to `budget` threads (min 1).
+    pub fn new(pool: Arc<KernelPool>, budget: usize) -> Self {
+        PoolHandle {
+            pool,
+            budget: budget.max(1),
+        }
+    }
+
+    /// The admitted thread budget of this handle.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The shared pool behind this handle.
+    pub fn pool(&self) -> &Arc<KernelPool> {
+        &self.pool
+    }
+}
+
+impl StripeRunner for PoolHandle {
+    fn run_stripes(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.pool.run_stripes_budgeted(n_tasks, task, self.budget);
+    }
+
+    fn max_concurrency(&self) -> usize {
+        self.budget.min(self.pool.workers() + 1)
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolHandle")
+            .field("budget", &self.budget)
+            .field("pool_workers", &self.pool.workers())
+            .finish()
+    }
+}
+
+impl StripeRunner for KernelPool {
+    /// Run `task(0..n_tasks)` to completion, sharing the work with every
+    /// pool worker (an unbudgeted submission). Blocks until every task has
+    /// finished; panics (after the whole batch completes) if any task
+    /// panicked.
+    fn run_stripes(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_stripes_budgeted(n_tasks, task, self.workers.len() + 1);
     }
 
     fn max_concurrency(&self) -> usize {
@@ -376,5 +464,65 @@ mod tests {
         assert_eq!(KernelPool::for_cores(4).workers(), 3);
         assert_eq!(KernelPool::for_cores(1).workers(), 0);
         assert_eq!(KernelPool::for_cores(0).workers(), 0);
+    }
+
+    #[test]
+    fn budget_one_never_publishes_to_workers() {
+        // A budget-1 batch stays on the submitter even with idle workers:
+        // nothing can be stolen, so the steal counter must not move.
+        let pool = KernelPool::new(2);
+        let before = pool.counters().steals;
+        let sum = AtomicUsize::new(0);
+        for _ in 0..8 {
+            pool.run_stripes_budgeted(
+                16,
+                &|t| {
+                    sum.fetch_add(t + 1, Ordering::Relaxed);
+                },
+                1,
+            );
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 8 * 16 * 17 / 2);
+        assert_eq!(pool.counters().steals, before);
+    }
+
+    #[test]
+    fn budgeted_batches_complete_for_every_budget() {
+        let pool = KernelPool::new(3);
+        for budget in [0, 1, 2, 3, 4, 99] {
+            let sum = AtomicUsize::new(0);
+            pool.run_stripes_budgeted(
+                11,
+                &|t| {
+                    sum.fetch_add(t + 1, Ordering::Relaxed);
+                },
+                budget,
+            );
+            assert_eq!(sum.load(Ordering::Relaxed), 11 * 12 / 2, "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn pool_handle_caps_concurrency_report() {
+        let pool = Arc::new(KernelPool::new(3));
+        let h = PoolHandle::new(Arc::clone(&pool), 2);
+        assert_eq!(h.budget(), 2);
+        assert_eq!(h.max_concurrency(), 2);
+        let wide = PoolHandle::new(Arc::clone(&pool), 64);
+        assert_eq!(wide.max_concurrency(), 4, "capped by pool size");
+        let zero = PoolHandle::new(pool, 0);
+        assert_eq!(zero.budget(), 1, "budget clamps to the submitter");
+    }
+
+    #[test]
+    fn parallelism_grant_runs_on_the_pool() {
+        let pool = Arc::new(KernelPool::new(2));
+        let par = pool.parallelism(3);
+        assert_eq!(par.threads(), 3);
+        let sum = AtomicUsize::new(0);
+        par.run_stripes(9, &|t| {
+            sum.fetch_add(t + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
     }
 }

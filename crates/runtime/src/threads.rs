@@ -5,6 +5,18 @@
 //! up its own OpenMP-style thread pool, the machine is oversubscribed and
 //! context-switch overhead dominates. The fix is a single coordinator that
 //! hands each side an explicit share of the cores.
+//!
+//! Beyond per-query planning, [`ThreadCoordinator`] is the **admission
+//! point** for concurrent queries: each query requests its plan's worst-case
+//! thread count and is granted `min(requested, remaining)` kernel threads
+//! (blocking only when nothing at all remains), recorded in a
+//! [`BudgetGrant`] that releases its share when dropped. Cloned coordinators
+//! share the same admission ledger and the same lazily-created
+//! [`KernelPool`], so sessions that should compete for one machine's cores
+//! are built from clones of one coordinator.
+
+use crate::pool::KernelPool;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// An agreed split of physical cores between the two runtimes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,23 +29,81 @@ pub struct ThreadPlan {
 
 impl ThreadPlan {
     /// Total threads the plan would run concurrently in the worst case
-    /// (every DB worker inside a kernel at once).
+    /// (every DB worker inside a kernel at once). A dedicated plan
+    /// (`db_workers == 0`) still runs its kernels on one submitting thread,
+    /// so the worst case is never reported as zero.
     pub fn worst_case_threads(&self) -> usize {
-        self.db_workers * self.kernel_threads
+        self.db_workers.max(1) * self.kernel_threads.max(1)
     }
 }
 
-/// Allocates cores between DB workers and kernel threads.
-#[derive(Debug, Clone)]
+/// Shared admission ledger: outstanding granted threads across every clone
+/// of one coordinator.
+struct Admission {
+    cores: usize,
+    outstanding: Mutex<usize>,
+    released: Condvar,
+}
+
+/// One query's admitted share of the kernel-thread budget. Dropping the
+/// grant returns the share to the coordinator and wakes queries waiting for
+/// admission.
+pub struct BudgetGrant {
+    admission: Arc<Admission>,
+    granted: usize,
+}
+
+impl BudgetGrant {
+    /// Number of kernel threads this query was granted.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for BudgetGrant {
+    fn drop(&mut self) {
+        let mut outstanding = self
+            .admission
+            .outstanding
+            .lock()
+            .expect("admission ledger lock");
+        *outstanding = outstanding.saturating_sub(self.granted);
+        drop(outstanding);
+        self.admission.released.notify_all();
+    }
+}
+
+impl std::fmt::Debug for BudgetGrant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetGrant")
+            .field("granted", &self.granted)
+            .finish()
+    }
+}
+
+/// Allocates cores between DB workers and kernel threads, and admits
+/// concurrent queries into bounded slices of the machine.
+#[derive(Clone)]
 pub struct ThreadCoordinator {
     cores: usize,
+    admission: Arc<Admission>,
+    /// The machine's one persistent kernel pool, created on first use and
+    /// shared by every clone of this coordinator.
+    pool: Arc<OnceLock<Arc<KernelPool>>>,
 }
 
 impl ThreadCoordinator {
     /// A coordinator for a machine with `cores` physical cores.
     pub fn new(cores: usize) -> Self {
+        let cores = cores.max(1);
         ThreadCoordinator {
-            cores: cores.max(1),
+            cores,
+            admission: Arc::new(Admission {
+                cores,
+                outstanding: Mutex::new(0),
+                released: Condvar::new(),
+            }),
+            pool: Arc::new(OnceLock::new()),
         }
     }
 
@@ -55,10 +125,15 @@ impl ThreadCoordinator {
     /// the worst case never exceeds the core count.
     pub fn plan_for(&self, db_parallelism: usize) -> ThreadPlan {
         let db_workers = db_parallelism.clamp(1, self.cores);
-        ThreadPlan {
+        let kernel_threads = (self.cores / db_workers).max(1);
+        // Belt and braces: however db_workers and kernel_threads were
+        // derived, the advertised worst case must fit the machine.
+        let plan = ThreadPlan {
             db_workers,
-            kernel_threads: (self.cores / db_workers).max(1),
-        }
+            kernel_threads,
+        };
+        debug_assert!(plan.worst_case_threads() <= self.cores);
+        plan
     }
 
     /// Plan for a dedicated (external) DL runtime: no DB workers compete, so
@@ -71,11 +146,55 @@ impl ThreadCoordinator {
         }
     }
 
-    /// Build the persistent kernel pool for this machine's budget: one
-    /// submitter slot plus `cores - 1` workers, so a kernel batch can use
-    /// every core without oversubscribing (§3.1).
-    pub fn kernel_pool(&self) -> std::sync::Arc<crate::pool::KernelPool> {
-        std::sync::Arc::new(crate::pool::KernelPool::for_cores(self.cores))
+    /// The machine's persistent kernel pool: one submitter slot plus
+    /// `cores - 1` workers, created on first use and shared by every clone
+    /// of this coordinator, so a kernel batch can use every core without
+    /// oversubscribing (§3.1).
+    pub fn kernel_pool(&self) -> Arc<KernelPool> {
+        Arc::clone(
+            self.pool
+                .get_or_init(|| Arc::new(KernelPool::for_cores(self.cores))),
+        )
+    }
+
+    /// Admit a query requesting `requested` kernel threads: grants
+    /// `min(requested, remaining)` of this coordinator's cores, blocking
+    /// while no thread at all is available, so the sum of outstanding
+    /// grants never exceeds the cores and every admitted query holds at
+    /// least one thread. The contract is one live grant per query thread:
+    /// a thread must drop its current grant before requesting another, or
+    /// it may wait on other queries to release theirs.
+    pub fn admit(&self, requested: usize) -> BudgetGrant {
+        let requested = requested.max(1);
+        let mut outstanding = self
+            .admission
+            .outstanding
+            .lock()
+            .expect("admission ledger lock");
+        while *outstanding >= self.admission.cores {
+            outstanding = self
+                .admission
+                .released
+                .wait(outstanding)
+                .expect("admission wait");
+        }
+        let granted = requested.min(self.admission.cores - *outstanding);
+        *outstanding += granted;
+        drop(outstanding);
+        BudgetGrant {
+            admission: Arc::clone(&self.admission),
+            granted,
+        }
+    }
+
+    /// Sum of kernel threads currently granted across outstanding queries;
+    /// never exceeds [`ThreadCoordinator::cores`].
+    pub fn granted_threads(&self) -> usize {
+        *self
+            .admission
+            .outstanding
+            .lock()
+            .expect("admission ledger lock")
     }
 
     /// Relative context-switch penalty of running `plan` on this machine:
@@ -90,6 +209,15 @@ impl ThreadCoordinator {
 impl Default for ThreadCoordinator {
     fn default() -> Self {
         Self::from_host()
+    }
+}
+
+impl std::fmt::Debug for ThreadCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCoordinator")
+            .field("cores", &self.cores)
+            .field("granted", &self.granted_threads())
+            .finish()
     }
 }
 
@@ -120,6 +248,7 @@ mod tests {
         let p = c.plan_dedicated();
         assert_eq!(p.kernel_threads, 8);
         assert_eq!(p.db_workers, 0);
+        assert_eq!(p.worst_case_threads(), 8, "submitter counts");
     }
 
     #[test]
@@ -142,5 +271,69 @@ mod tests {
         };
         assert_eq!(c.oversubscription_penalty(fits), 1.0);
         assert_eq!(c.oversubscription_penalty(over), 4.0);
+    }
+
+    /// Regression (ISSUE 2): sweeping db_parallelism far past the core
+    /// count, no plan may advertise a worst case above the machine, and the
+    /// oversubscription penalty of every planned query is exactly 1.0.
+    #[test]
+    fn planned_queries_never_oversubscribe() {
+        for cores in [1, 2, 3, 4, 7, 8, 64] {
+            let c = ThreadCoordinator::new(cores);
+            for db in 0..=4 * cores + 1 {
+                let p = c.plan_for(db);
+                assert!(
+                    p.worst_case_threads() <= cores,
+                    "cores={cores} db={db}: {p:?}"
+                );
+                assert_eq!(
+                    c.oversubscription_penalty(p),
+                    1.0,
+                    "cores={cores} db={db}: {p:?}"
+                );
+            }
+            assert!(c.plan_dedicated().worst_case_threads() <= cores);
+        }
+    }
+
+    #[test]
+    fn admission_grants_min_of_requested_and_remaining() {
+        let c = ThreadCoordinator::new(4);
+        let a = c.admit(3);
+        assert_eq!(a.granted(), 3);
+        assert_eq!(c.granted_threads(), 3);
+        let b = c.admit(3);
+        assert_eq!(b.granted(), 1, "only one core remained");
+        assert_eq!(c.granted_threads(), 4);
+        drop(a);
+        assert_eq!(c.granted_threads(), 1);
+        let again = c.admit(99);
+        assert_eq!(again.granted(), 3);
+        drop(again);
+        drop(b);
+        assert_eq!(c.granted_threads(), 0);
+    }
+
+    #[test]
+    fn admission_blocks_until_release() {
+        let c = ThreadCoordinator::new(2);
+        let held = c.admit(2);
+        assert_eq!(c.granted_threads(), 2);
+        let c2 = c.clone();
+        let waiter = std::thread::spawn(move || c2.admit(1).granted());
+        // Give the waiter time to block, then release.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn clones_share_ledger_and_pool() {
+        let c = ThreadCoordinator::new(4);
+        let d = c.clone();
+        let g = c.admit(2);
+        assert_eq!(d.granted_threads(), 2);
+        assert!(Arc::ptr_eq(&c.kernel_pool(), &d.kernel_pool()));
+        drop(g);
     }
 }

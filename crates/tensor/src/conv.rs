@@ -13,6 +13,7 @@
 use crate::dense::Tensor;
 use crate::error::{Error, Result};
 use crate::matmul::matmul_bt_parallel;
+use crate::parallel::Parallelism;
 
 /// Static description of a convolution: kernel geometry, stride and padding.
 ///
@@ -234,13 +235,14 @@ pub fn rewrite_kernel_1x1(kernel: &Tensor, bias: &Tensor) -> Result<Tensor> {
 /// bias `[oc]` → NHWC output `[n, oh, ow, oc]`.
 ///
 /// Pointwise convolutions take the spatial-rewriting fast path; everything
-/// else goes through im2col. Both reduce to `F × Kᵀ` on `threads` threads.
+/// else goes through im2col. Both reduce to `F × Kᵀ` under the caller's
+/// parallelism grant.
 pub fn conv2d(
     input: &Tensor,
     kernel: &Tensor,
     bias: &Tensor,
     spec: &Conv2dSpec,
-    threads: usize,
+    par: &Parallelism,
 ) -> Result<Tensor> {
     spec.check_kernel(kernel)?;
     let dims = input.shape().dims();
@@ -256,13 +258,13 @@ pub fn conv2d(
     let out_mat = if spec.is_pointwise() {
         let f = spatial_rewrite_1x1(input)?;
         let k = rewrite_kernel_1x1(kernel, bias)?;
-        matmul_bt_parallel(&f, &k, threads)?
+        matmul_bt_parallel(&f, &k, par)?
     } else {
         let f = im2col(input, spec)?;
         let k = kernel
             .clone()
             .reshape([spec.out_channels, spec.patch_len()])?;
-        let prod = matmul_bt_parallel(&f, &k, threads)?;
+        let prod = matmul_bt_parallel(&f, &k, par)?;
         crate::ops::add_bias(&prod, bias)?
     };
     out_mat.reshape([n, oh, ow, spec.out_channels])
@@ -361,7 +363,7 @@ mod tests {
         let spec = Conv2dSpec::unit(4, 3, 3, 3);
         let kernel = seeded([4, 3, 3, 3], 13);
         let bias = seeded([4], 17);
-        let fast = conv2d(&input, &kernel, &bias, &spec, 2).unwrap();
+        let fast = conv2d(&input, &kernel, &bias, &spec, &Parallelism::serial()).unwrap();
         let slow = conv2d_reference(&input, &kernel, &bias, &spec);
         assert!(fast.approx_eq(&slow, 1e-3));
     }
@@ -372,7 +374,7 @@ mod tests {
         let spec = Conv2dSpec::unit(5, 1, 1, 3);
         let kernel = seeded([5, 1, 1, 3], 29);
         let bias = seeded([5], 31);
-        let fast = conv2d(&input, &kernel, &bias, &spec, 1).unwrap();
+        let fast = conv2d(&input, &kernel, &bias, &spec, &Parallelism::serial()).unwrap();
         let slow = conv2d_reference(&input, &kernel, &bias, &spec);
         assert!(fast.approx_eq(&slow, 1e-3));
     }
@@ -390,7 +392,7 @@ mod tests {
         };
         let kernel = seeded([3, 3, 3, 2], 41);
         let bias = Tensor::zeros([3]);
-        let fast = conv2d(&input, &kernel, &bias, &spec, 1).unwrap();
+        let fast = conv2d(&input, &kernel, &bias, &spec, &Parallelism::serial()).unwrap();
         let slow = conv2d_reference(&input, &kernel, &bias, &spec);
         assert_eq!(fast.shape().dims(), &[1, 4, 4, 3]);
         assert!(fast.approx_eq(&slow, 1e-3));
@@ -444,7 +446,7 @@ mod tests {
         let spec = Conv2dSpec::unit(2, 3, 3, 3);
         let bad_kernel = Tensor::zeros([2, 3, 3, 4]);
         let bias = Tensor::zeros([2]);
-        assert!(conv2d(&input, &bad_kernel, &bias, &spec, 1).is_err());
+        assert!(conv2d(&input, &bad_kernel, &bias, &spec, &Parallelism::serial()).is_err());
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //!   of height [`MR`], and a `MR×NR` accumulator tile lives in registers
 //!   across the whole `k` sweep of a cache block. No per-element branches.
 //! * [`matmul_parallel`] — the tiled kernel sharded over disjoint row stripes
-//!   submitted to the process-wide [`crate::parallel::StripeRunner`] (the
-//!   runtime's persistent kernel pool); thread count is a parameter so the
-//!   unified resource manager (§3 of the paper) can coordinate it with DB
-//!   worker threads instead of letting a BLAS runtime spawn threads behind
-//!   the system's back.
+//!   submitted through the caller's [`crate::parallel::Parallelism`] grant
+//!   (a query-scoped handle onto the runtime's persistent kernel pool); the
+//!   grant carries the thread budget so the unified resource manager (§3 of
+//!   the paper) can coordinate it with DB worker threads instead of letting
+//!   a BLAS runtime spawn threads behind the system's back.
 //!
 //! Transposed-operand entry points avoid materializing transposes by packing
 //! straight out of the stored layout:
@@ -25,7 +25,7 @@
 
 use crate::dense::Tensor;
 use crate::error::{Error, Result};
-use crate::parallel;
+use crate::parallel::Parallelism;
 use std::cell::RefCell;
 
 /// Micro-tile rows: C accumulator height held in registers.
@@ -271,14 +271,14 @@ thread_local! {
     static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Shared driver: pack `B`, then run row stripes serially or on the runner.
+/// Shared driver: pack `B`, then run row stripes serially or on the grant.
 fn matmul_packed(
     a: View<'_>,
     b: View<'_>,
     m: usize,
     k: usize,
     n: usize,
-    threads: usize,
+    par: &Parallelism,
 ) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
     if m == 0 || n == 0 || k == 0 {
@@ -287,7 +287,7 @@ fn matmul_packed(
     B_SCRATCH.with(|scratch| {
         let mut bpack = scratch.borrow_mut();
         pack_b(&b, k, n, &mut bpack);
-        let threads = threads.clamp(1, m);
+        let threads = par.threads().clamp(1, m);
         if threads == 1 {
             tiled_stripe(&a, &bpack, &mut c, 0, m, k, n);
             return;
@@ -305,7 +305,7 @@ fn matmul_packed(
             row += take;
         }
         let bpack = &bpack[..];
-        parallel::run_owned(threads, stripes, |(row0, stripe)| {
+        par.run_owned(stripes, |(row0, stripe)| {
             let rows = stripe.len() / n;
             tiled_stripe(&a, bpack, stripe, row0, row0 + rows, k, n);
         });
@@ -315,15 +315,15 @@ fn matmul_packed(
 
 /// Single-threaded register-tiled `A × B`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    matmul_parallel(a, b, 1)
+    matmul_parallel(a, b, &Parallelism::serial())
 }
 
-/// Multi-threaded `A × B` over row stripes on the installed kernel pool.
+/// Multi-threaded `A × B` over row stripes on the caller's kernel grant.
 ///
-/// With `threads <= 1` (or no pool installed) this runs on the calling
-/// thread, which is what the resource manager requests when DB worker
-/// threads already saturate the cores (§3.1).
-pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+/// With a serial grant (budget 1, or no backing pool) this runs on the
+/// calling thread, which is what the resource manager requests when DB
+/// worker threads already saturate the cores (§3.1).
+pub fn matmul_parallel(a: &Tensor, b: &Tensor, par: &Parallelism) -> Result<Tensor> {
     let (m, k, n) = matrix_dims(a, b, "matmul_parallel")?;
     let c = matmul_packed(
         View::plain(a.data(), k),
@@ -331,14 +331,14 @@ pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor>
         m,
         k,
         n,
-        threads,
+        par,
     );
     Tensor::from_vec([m, n], c)
 }
 
 /// `A[m,k] × Bᵀ` where `B` is stored `[n, k]` — the inference layout.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    matmul_bt_parallel(a, b, 1)
+    matmul_bt_parallel(a, b, &Parallelism::serial())
 }
 
 /// Multi-threaded `A × Bᵀ` with `B` stored `[n, k]`.
@@ -347,7 +347,7 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// is a logical column), so no transpose is ever materialized. Tiny
 /// multiplies skip packing and use row-by-row dot products, which are
 /// already contiguous in this layout.
-pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, par: &Parallelism) -> Result<Tensor> {
     let (m, k1) = a.shape().as_matrix()?;
     let (n, k2) = b.shape().as_matrix()?;
     if k1 != k2 {
@@ -380,7 +380,7 @@ pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tens
         m,
         k,
         n,
-        threads,
+        par,
     );
     Tensor::from_vec([m, n], c)
 }
@@ -389,11 +389,11 @@ pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tens
 /// (`δᵀ × X` with activations stored batch-major). Packs `A` micro-panels
 /// straight from the `[k, m]` storage instead of materializing `Aᵀ`.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    matmul_at_parallel(a, b, 1)
+    matmul_at_parallel(a, b, &Parallelism::serial())
 }
 
 /// Multi-threaded `Aᵀ × B` with `A` stored `[k, m]`.
-pub fn matmul_at_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor> {
+pub fn matmul_at_parallel(a: &Tensor, b: &Tensor, par: &Parallelism) -> Result<Tensor> {
     let (k1, m) = a.shape().as_matrix()?;
     let (k2, n) = b.shape().as_matrix()?;
     if k1 != k2 {
@@ -410,7 +410,7 @@ pub fn matmul_at_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tens
         m,
         k,
         n,
-        threads,
+        par,
     );
     Tensor::from_vec([m, n], c)
 }
@@ -418,6 +418,7 @@ pub fn matmul_at_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tens
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::SerialRunner;
     use proptest::prelude::*;
 
     fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
@@ -483,7 +484,9 @@ mod tests {
         let b = Tensor::from_fn([13, 7], |i| ((i * 17) % 9) as f32 - 4.0);
         let serial = matmul(&a, &b).unwrap();
         for threads in [1, 2, 3, 8, 64] {
-            let par = matmul_parallel(&a, &b, threads).unwrap();
+            // An inline runner still exercises the stripe partitioning.
+            let grant = Parallelism::new(std::sync::Arc::new(SerialRunner), threads);
+            let par = matmul_parallel(&a, &b, &grant).unwrap();
             assert!(serial.approx_eq(&par, 1e-4), "threads={threads}");
         }
     }
@@ -493,7 +496,8 @@ mod tests {
         let a = Tensor::from_fn([9, 5], |i| i as f32 * 0.25);
         let w = Tensor::from_fn([4, 5], |i| (i as f32).sin());
         let serial = matmul_bt(&a, &w).unwrap();
-        let par = matmul_bt_parallel(&a, &w, 4).unwrap();
+        let grant = Parallelism::new(std::sync::Arc::new(SerialRunner), 4);
+        let par = matmul_bt_parallel(&a, &w, &grant).unwrap();
         assert!(serial.approx_eq(&par, 1e-4));
     }
 
@@ -538,7 +542,7 @@ mod tests {
 
         #[test]
         fn parallel_matches_naive(a in tensor_strategy(7, 4), b in tensor_strategy(4, 9)) {
-            let fast = matmul_parallel(&a, &b, 3).unwrap();
+            let fast = matmul_parallel(&a, &b, &Parallelism::serial()).unwrap();
             let slow = matmul_naive(&a, &b).unwrap();
             prop_assert!(fast.approx_eq(&slow, 1e-3));
         }

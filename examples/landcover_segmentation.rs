@@ -28,17 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Budgets scaled like the paper's testbed (61 GB RAM, 20 GB pool) by
     // the same factor that scales the model.
-    let config = SessionConfig {
-        db_memory_bytes: out_bytes * 4 / 5, // the dense output cannot fit
-        buffer_pool_bytes: 16 << 20,        // well below the block volume → real spilling
-        memory_threshold_bytes: out_bytes / 4,
-        block_size: 512,
+    let config = SessionConfig::builder()
+        .db_memory_bytes(out_bytes * 4 / 5) // the dense output cannot fit
+        .buffer_pool_bytes(16 << 20) // well below the block volume → real spilling
+        .memory_threshold_bytes(out_bytes / 4)
+        .block_size(512)
         // Table 3's asymmetry: fits the ×1.4 TensorFlow-like profile but
         // not the ×2.0 PyTorch-like one.
-        external_memory_bytes: (out_bytes as f64 * 1.7) as usize,
-        transfer: TransferProfile::instant(),
-        ..SessionConfig::default()
-    };
+        .external_memory_bytes((out_bytes as f64 * 1.7) as usize)
+        .transfer(TransferProfile::instant())
+        .build()?;
     let session = InferenceSession::open(config)?;
     session.load_model(model)?;
 
@@ -58,12 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Architecture::DlCentric(RuntimeProfile::pytorch_like()),
         Architecture::RelationCentric,
     ] {
-        let label = match &arch {
-            Architecture::UdfCentric => "udf-centric".to_string(),
-            Architecture::RelationCentric => "relation-centric".to_string(),
-            Architecture::DlCentric(p) => format!("dl-centric({})", p.name),
-            other => format!("{other:?}"),
-        };
+        let label = arch.to_string();
         match session.infer_batch("LandCover/10", &tile, arch) {
             Ok(outcome) => {
                 println!(

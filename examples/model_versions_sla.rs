@@ -11,7 +11,9 @@
 use rand::Rng;
 use relserve_core::versions::{Sla, VersionCatalog};
 use relserve_nn::{init::seeded_rng, Activation, Layer, Model, Trainer};
+use relserve_runtime::KernelPool;
 use relserve_tensor::Tensor;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train a churn classifier on synthetic customer features.
@@ -31,18 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         labels.push(label);
     }
     let x = Tensor::from_vec([n, 24], data)?;
-    let trainer = Trainer::new(0.08).with_threads(4);
+    let pool = Arc::new(KernelPool::for_cores(4));
+    let par = pool.parallelism(4);
+    let trainer = Trainer::new(0.08).with_parallelism(par.clone());
     for _ in 0..20 {
         trainer.train_epoch(&mut model, &x, &labels, 64)?;
     }
     println!(
         "trained churn-ffnn: {:.2}% accuracy, {} KiB of parameters\n",
-        Trainer::evaluate(&model, &x, &labels, 4)? * 100.0,
+        Trainer::evaluate(&model, &x, &labels, &par)? * 100.0,
         model.param_bytes() / 1024
     );
 
     // The storage optimizer's version ladder, scored on validation data.
-    let catalog = VersionCatalog::build(&model, &x, &labels, 4)?;
+    let catalog = VersionCatalog::build(&model, &x, &labels, &par)?;
     println!("{:<24} {:>12} {:>10}", "version", "storage", "accuracy");
     for v in catalog.versions() {
         println!(

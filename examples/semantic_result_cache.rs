@@ -10,8 +10,10 @@
 use rand::Rng;
 use relserve_core::{InferenceSession, SessionConfig};
 use relserve_nn::{init::seeded_rng, Activation, Layer, Model, Trainer};
+use relserve_runtime::KernelPool;
 use relserve_tensor::Tensor;
 use relserve_vectoridx::HnswParams;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Synthetic MNIST-like digits: 10 Gaussian class clusters in 64-dim space
@@ -56,14 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train_x, train_y, test_x, test_y) = synthetic_digit_split(2_000, 1_000, 1);
 
     println!("training digit-ffnn on 2,000 synthetic digits...");
-    let trainer = Trainer::new(0.05).with_threads(4);
+    let pool = Arc::new(KernelPool::for_cores(4));
+    let par = pool.parallelism(4);
+    let trainer = Trainer::new(0.05).with_parallelism(par.clone());
     for epoch in 0..6 {
         let loss = trainer.train_epoch(&mut model, &train_x, &train_y, 64)?;
         if epoch % 4 == 0 {
             println!("  epoch {epoch}: loss {loss:.4}");
         }
     }
-    let base_acc = Trainer::evaluate(&model, &test_x, &test_y, 4)?;
+    let base_acc = Trainer::evaluate(&model, &test_x, &test_y, &par)?;
     println!("trained accuracy: {:.2}%\n", base_acc * 100.0);
 
     // Load into the RDBMS and wrap with an HNSW result cache.
@@ -80,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     for i in 0..n_test {
         let row = test_x.slice2(i, i + 1, 0, width)?;
-        session.model("digit-ffnn")?.forward(&row, 4)?;
+        session.model("digit-ffnn")?.forward(&row, &par)?;
     }
     let exact_time = t0.elapsed();
     let exact_preds = cached.predict_exact(&test_x)?;

@@ -1,0 +1,181 @@
+//! §3.1 unified resource management, end to end: two [`InferenceSession`]s
+//! sharing one [`ThreadCoordinator`] run queries concurrently from separate
+//! OS threads. Every query executes inside its own admitted `ExecContext`,
+//! so the sum of granted kernel budgets sampled at any instant must never
+//! exceed the coordinator's cores — and the concurrent results must still
+//! match serial oracles exactly.
+
+use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::init::seeded_rng;
+use relserve_nn::zoo;
+use relserve_runtime::{ThreadCoordinator, TransferProfile};
+use relserve_tensor::parallel::Parallelism;
+use relserve_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const CORES: usize = 4;
+
+fn shared_config() -> SessionConfig {
+    SessionConfig::builder()
+        .db_memory_bytes(256 << 20)
+        .buffer_pool_bytes(64 << 20)
+        .memory_threshold_bytes(64 << 20)
+        .block_size(64)
+        .cores(CORES)
+        .transfer(TransferProfile::instant())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn concurrent_sessions_share_one_thread_budget() {
+    let coordinator = ThreadCoordinator::new(CORES);
+    let session_a = InferenceSession::open_shared(shared_config(), &coordinator).unwrap();
+    let session_b = InferenceSession::open_shared(shared_config(), &coordinator).unwrap();
+
+    let mut rng = seeded_rng(90);
+    let model_a = zoo::fraud_fc_256(&mut rng).unwrap();
+    let model_b = zoo::encoder_fc(&mut rng).unwrap();
+    let x_a = Tensor::from_fn([96, 28], |i| ((i % 23) as f32 - 11.0) * 0.07);
+    let x_b = Tensor::from_fn([64, 76], |i| ((i % 19) as f32 - 9.0) * 0.05);
+
+    // Serial oracles before any concurrency.
+    let oracle_a = model_a.forward(&x_a, &Parallelism::serial()).unwrap();
+    let oracle_b = model_b.forward(&x_b, &Parallelism::serial()).unwrap();
+
+    session_a.load_model(model_a).unwrap();
+    session_b.load_model(model_b).unwrap();
+
+    let session_a = Arc::new(session_a);
+    let session_b = Arc::new(session_b);
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_granted = Arc::new(AtomicUsize::new(0));
+
+    // A watcher samples the admission ledger the whole time both queries
+    // run: the invariant is global, not per-query, so it has to be observed
+    // from outside either session.
+    let watcher = {
+        let coordinator = coordinator.clone();
+        let stop = Arc::clone(&stop);
+        let max_granted = Arc::clone(&max_granted);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                max_granted.fetch_max(coordinator.granted_threads(), Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let rounds = 6;
+    let thread_a = {
+        let session = Arc::clone(&session_a);
+        let x = x_a.clone();
+        std::thread::spawn(move || {
+            (0..rounds)
+                .map(|_| {
+                    session
+                        .infer_batch("Fraud-FC-256", &x, Architecture::RelationCentric)
+                        .unwrap()
+                        .output
+                        .into_dense()
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let thread_b = {
+        let session = Arc::clone(&session_b);
+        let x = x_b.clone();
+        std::thread::spawn(move || {
+            (0..rounds)
+                .map(|_| {
+                    session
+                        .infer_batch(
+                            "Encoder-FC",
+                            &x,
+                            Architecture::Pipelined { micro_batch: 16 },
+                        )
+                        .unwrap()
+                        .output
+                        .into_dense()
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+
+    let outs_a = thread_a.join().unwrap();
+    let outs_b = thread_b.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    watcher.join().unwrap();
+
+    for out in &outs_a {
+        assert!(
+            oracle_a.approx_eq(out, 1e-4),
+            "relation-centric diverged under concurrency: max diff {}",
+            oracle_a.max_abs_diff(out).unwrap()
+        );
+    }
+    for out in &outs_b {
+        assert!(
+            oracle_b.approx_eq(out, 1e-4),
+            "pipelined diverged under concurrency: max diff {}",
+            oracle_b.max_abs_diff(out).unwrap()
+        );
+    }
+
+    let peak = max_granted.load(Ordering::Relaxed);
+    assert!(
+        peak <= CORES,
+        "admission ledger oversubscribed: granted {peak} of {CORES} cores"
+    );
+    assert!(peak > 0, "watcher never saw an admitted query");
+    // Both grants returned: the ledger must be empty again.
+    assert_eq!(coordinator.granted_threads(), 0);
+}
+
+#[test]
+fn dedicated_context_waits_for_full_machine() {
+    // A DL-centric (dedicated) query admitted while another query holds part
+    // of the budget must still be granted at least one thread and never push
+    // the ledger past the core count.
+    let coordinator = ThreadCoordinator::new(CORES);
+    let session = Arc::new(InferenceSession::open_shared(shared_config(), &coordinator).unwrap());
+    let mut rng = seeded_rng(91);
+    session
+        .load_model(zoo::fraud_fc_256(&mut rng).unwrap())
+        .unwrap();
+    let x = Tensor::from_fn([48, 28], |i| ((i % 17) as f32 - 8.0) * 0.06);
+
+    let serial = session
+        .model("Fraud-FC-256")
+        .unwrap()
+        .forward(&x, &Parallelism::serial())
+        .unwrap();
+
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let session = Arc::clone(&session);
+            let x = x.clone();
+            std::thread::spawn(move || {
+                let arch = if i == 0 {
+                    Architecture::DlCentric(relserve_runtime::RuntimeProfile::tensorflow_like())
+                } else {
+                    Architecture::UdfCentric
+                };
+                session
+                    .infer_batch("Fraud-FC-256", &x, arch)
+                    .unwrap()
+                    .output
+                    .into_dense()
+                    .unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        let out = h.join().unwrap();
+        assert!(serial.approx_eq(&out, 1e-4));
+    }
+    assert_eq!(coordinator.granted_threads(), 0);
+}

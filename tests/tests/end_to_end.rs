@@ -10,15 +10,16 @@ use relserve_runtime::{RuntimeProfile, TransferProfile};
 use relserve_tensor::Tensor;
 
 fn test_config() -> SessionConfig {
-    SessionConfig {
-        db_memory_bytes: 64 << 20,
-        buffer_pool_bytes: 16 << 20,
-        memory_threshold_bytes: 4 << 20,
-        block_size: 64,
-        cores: 2,
-        external_memory_bytes: 64 << 20,
-        transfer: TransferProfile::instant(),
-    }
+    SessionConfig::builder()
+        .db_memory_bytes(64 << 20)
+        .buffer_pool_bytes(16 << 20)
+        .memory_threshold_bytes(4 << 20)
+        .block_size(64)
+        .cores(2)
+        .external_memory_bytes(64 << 20)
+        .transfer(TransferProfile::instant())
+        .build()
+        .unwrap()
 }
 
 fn load_fraud_workload(session: &InferenceSession, rows: usize) {
@@ -99,15 +100,16 @@ fn table3_oom_pattern_reproduces_at_test_scale() {
     let features = model.input_shape().num_elements();
     let name = model.name().to_string();
     // Footprints: params ≈ (1167·1024 + 1024·28)·4 ≈ 4.9 MB.
-    let config = SessionConfig {
-        db_memory_bytes: 8 << 20,
-        buffer_pool_bytes: 16 << 20,
-        memory_threshold_bytes: 2 << 20,
-        block_size: 128,
-        cores: 2,
-        external_memory_bytes: 12 << 20,
-        transfer: TransferProfile::instant(),
-    };
+    let config = SessionConfig::builder()
+        .db_memory_bytes(8 << 20)
+        .buffer_pool_bytes(16 << 20)
+        .memory_threshold_bytes(2 << 20)
+        .block_size(128)
+        .cores(2)
+        .external_memory_bytes(12 << 20)
+        .transfer(TransferProfile::instant())
+        .build()
+        .unwrap();
     let session = InferenceSession::open(config).unwrap();
     session.load_model(model).unwrap();
 
@@ -170,7 +172,13 @@ fn trained_model_survives_catalog_roundtrip_and_serves() {
     for _ in 0..15 {
         trainer.train_epoch(&mut model, &x, &labels, 32).unwrap();
     }
-    let acc = Trainer::evaluate(&model, &x, &labels, 1).unwrap();
+    let acc = Trainer::evaluate(
+        &model,
+        &x,
+        &labels,
+        &relserve_tensor::parallel::Parallelism::serial(),
+    )
+    .unwrap();
     assert!(acc > 0.95);
 
     // Load into the session, reload from catalog bytes, verify identity.

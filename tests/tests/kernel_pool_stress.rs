@@ -1,33 +1,36 @@
 //! Stress tests for the persistent kernel pool: dense and relational matmuls
-//! fanned out on a *real* installed [`KernelPool`] must match the serial
-//! oracles bit-for-tolerance across thread counts and ragged shapes.
+//! fanned out on a *real* [`KernelPool`]-backed [`Parallelism`] must match
+//! the serial oracles bit-for-tolerance across thread counts and ragged
+//! shapes.
 //!
-//! The in-crate tensor/relational tests run without a runner installed (the
-//! serial fallback), so this integration binary is where the pooled paths
-//! actually cross threads.
+//! The in-crate tensor/relational tests mostly run serial `Parallelism`
+//! values, so this integration binary is where the pooled paths actually
+//! cross threads.
 
 use proptest::prelude::*;
 use relserve_relational::TensorTable;
 use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
 use relserve_tensor::matmul as mm;
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{BlockingSpec, Tensor};
 use std::sync::{Arc, OnceLock};
 
 /// Thread counts the ISSUE calls out: serial, even, odd, oversubscribed.
 const THREADS: [usize; 5] = [1, 2, 3, 7, 16];
 
-/// One shared pool for the whole test binary: the global runner slot is
-/// first-install-wins, so every test must use the same instance. Three
+/// One shared pool for the whole test binary, handed out as per-call
+/// [`Parallelism`] values (there is no global runner slot any more). Three
 /// workers plus the submitting test thread gives real cross-thread traffic
 /// even though requests go up to 16 stripes (extras queue).
 fn pool() -> &'static Arc<KernelPool> {
     static POOL: OnceLock<Arc<KernelPool>> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let p = Arc::new(KernelPool::new(3));
-        p.install_global();
-        p
-    })
+    POOL.get_or_init(|| Arc::new(KernelPool::new(3)))
+}
+
+/// A pooled `Parallelism` with the given thread budget.
+fn par(threads: usize) -> Parallelism {
+    pool().parallelism(threads)
 }
 
 fn pattern(rows: usize, cols: usize, salt: usize) -> Tensor {
@@ -42,7 +45,6 @@ fn bufpool() -> Arc<BufferPool> {
 
 #[test]
 fn pooled_matmul_matches_oracle_across_thread_counts() {
-    pool();
     // Ragged shapes: nothing divides the 4x8 register tile evenly.
     for &(m, k, n) in &[
         (1, 1, 1),
@@ -55,7 +57,7 @@ fn pooled_matmul_matches_oracle_across_thread_counts() {
         let b = pattern(k, n, 2);
         let oracle = mm::matmul_naive(&a, &b).unwrap();
         for &t in &THREADS {
-            let got = mm::matmul_parallel(&a, &b, t).unwrap();
+            let got = mm::matmul_parallel(&a, &b, &par(t)).unwrap();
             assert!(
                 oracle.approx_eq(&got, 1e-4),
                 "matmul {m}x{k}x{n} threads={t}: max diff {}",
@@ -67,7 +69,6 @@ fn pooled_matmul_matches_oracle_across_thread_counts() {
 
 #[test]
 fn pooled_relational_matmul_bt_matches_serial_across_thread_counts() {
-    pool();
     let (m, k, n) = (37, 23, 29);
     let x = pattern(m, k, 3);
     let w = pattern(n, k, 4);
@@ -77,7 +78,9 @@ fn pooled_relational_matmul_bt_matches_serial_across_thread_counts() {
     let (serial, serial_stats) = xt.matmul_bt(&wt, "C0").unwrap();
     let serial = serial.to_dense().unwrap();
     for &t in &THREADS {
-        let (out, stats) = xt.matmul_bt_parallel(&wt, format!("C{t}"), t).unwrap();
+        let (out, stats) = xt
+            .matmul_bt_parallel(&wt, format!("C{t}"), &par(t))
+            .unwrap();
         let out = out.to_dense().unwrap();
         assert!(
             serial.approx_eq(&out, 1e-4),
@@ -98,7 +101,7 @@ fn pool_counters_advance_under_load() {
     let b = pattern(64, 96, 6);
     let oracle = mm::matmul_naive(&a, &b).unwrap();
     for &t in &THREADS[1..] {
-        let got = mm::matmul_parallel(&a, &b, t).unwrap();
+        let got = mm::matmul_parallel(&a, &b, &par(t)).unwrap();
         assert!(oracle.approx_eq(&got, 1e-4));
     }
     let after = p.counters();
@@ -124,11 +127,10 @@ proptest! {
         t_idx in 0usize..THREADS.len(),
         salt in 0usize..100,
     ) {
-        pool();
         let a = pattern(m, k, salt);
         let b = pattern(k, n, salt + 1);
         let oracle = mm::matmul_naive(&a, &b).unwrap();
-        let got = mm::matmul_parallel(&a, &b, THREADS[t_idx]).unwrap();
+        let got = mm::matmul_parallel(&a, &b, &par(THREADS[t_idx])).unwrap();
         prop_assert!(
             oracle.approx_eq(&got, 1e-4),
             "max diff {}", oracle.max_abs_diff(&got).unwrap()
@@ -146,14 +148,13 @@ proptest! {
         t_idx in 0usize..THREADS.len(),
         salt in 0usize..100,
     ) {
-        pool();
         let x = pattern(m, k, salt);
         let w = pattern(n, k, salt + 7);
         let bp = bufpool();
         let xt = TensorTable::from_dense(bp.clone(), "X", &x, BlockingSpec::square(block)).unwrap();
         let wt = TensorTable::from_dense(bp, "W", &w, BlockingSpec::square(block)).unwrap();
         let (serial, _) = xt.matmul_bt(&wt, "S").unwrap();
-        let (out, _) = xt.matmul_bt_parallel(&wt, "P", THREADS[t_idx]).unwrap();
+        let (out, _) = xt.matmul_bt_parallel(&wt, "P", &par(THREADS[t_idx])).unwrap();
         prop_assert!(
             serial.to_dense().unwrap().approx_eq(&out.to_dense().unwrap(), 1e-4)
         );

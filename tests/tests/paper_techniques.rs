@@ -10,7 +10,9 @@ use relserve_core::versions::{Sla, VersionCatalog};
 use relserve_nn::init::seeded_rng;
 use relserve_nn::{zoo, Activation, Layer, Model, Trainer};
 use relserve_relational::{Column, DataType, Schema, Table, Tuple, Value};
+use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
+use relserve_tensor::parallel::Parallelism;
 use relserve_tensor::{BlockedTensor, BlockingSpec, Tensor};
 use relserve_vectoridx::HnswParams;
 use std::sync::Arc;
@@ -55,8 +57,9 @@ fn decomposition_pushdown_full_bosch_shape() {
         d2_features: 1,
         epsilon: 0.2,
     };
-    let baseline = run_join_then_infer(&q, &model, 2).unwrap();
-    let pushed = run_pushdown_infer(&q, &model, 2).unwrap();
+    let par = Arc::new(KernelPool::new(2)).parallelism(2);
+    let baseline = run_join_then_infer(&q, &model, &par).unwrap();
+    let pushed = run_pushdown_infer(&q, &model, &par).unwrap();
     assert_eq!(baseline.shape().dims(), &[300, 2]);
     assert!(
         baseline.approx_eq(&pushed, 1e-3),
@@ -100,10 +103,11 @@ fn cached_model_trades_accuracy_for_speed() {
             .train_epoch(&mut model, &train_x, &train_y, 32)
             .unwrap();
     }
-    let exact_acc = Trainer::evaluate(&model, &test_x, &test_y, 1).unwrap();
+    let exact_acc = Trainer::evaluate(&model, &test_x, &test_y, &Parallelism::serial()).unwrap();
     assert!(exact_acc > 0.9, "training failed: {exact_acc}");
 
-    let mut cached = CachedModel::new(model, 4.0, HnswParams::default(), 1).unwrap();
+    let mut cached =
+        CachedModel::new(model, 4.0, HnswParams::default(), Parallelism::serial()).unwrap();
     cached.warm(&train_x).unwrap();
     let preds = cached.predict_batch(&test_x).unwrap();
     let cached_acc =
@@ -171,7 +175,7 @@ fn sla_version_selection_end_to_end() {
     for _ in 0..15 {
         trainer.train_epoch(&mut model, &x, &labels, 25).unwrap();
     }
-    let catalog = VersionCatalog::build(&model, &x, &labels, 1).unwrap();
+    let catalog = VersionCatalog::build(&model, &x, &labels, &Parallelism::serial()).unwrap();
     let chosen = catalog.select(Sla { min_accuracy: 0.85 }).unwrap();
     assert!(chosen.accuracy >= 0.85);
     // The chosen version is never larger than the original.

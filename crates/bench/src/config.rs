@@ -86,6 +86,9 @@ pub fn table3_amazon_config() -> SessionConfig {
         .block_size(512)
         .external_memory_bytes(190 << 20) // ∈ (2.0×87, 1.4×157) MB
         .transfer(wire())
+        // Table 3 reports *which cells OOM*: the forced architectures must
+        // surface their raw failure, not degrade to relation-centric.
+        .degradation(false)
         .build()
         .expect("static amazon config is valid")
 }
@@ -102,6 +105,7 @@ pub fn table3_landcover_config() -> SessionConfig {
         .block_size(512)
         .external_memory_bytes(170 << 20)
         .transfer(wire())
+        .degradation(false)
         .build()
         .expect("static landcover config is valid")
 }

@@ -45,6 +45,51 @@ impl Error {
             _ => None,
         }
     }
+
+    /// True when the query was shed from the admission queue because the
+    /// machine stayed saturated past its queue timeout.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            Error::Runtime(relserve_runtime::Error::Overloaded { .. })
+        )
+    }
+
+    /// True when the query's deadline expired (in the admission queue or
+    /// cooperatively detected mid-execution).
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(
+            self,
+            Error::Runtime(relserve_runtime::Error::DeadlineExceeded { .. })
+        )
+    }
+
+    /// True for a transient (retryable) boundary fault — surfaced only when
+    /// bounded retry was exhausted.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::Runtime(relserve_runtime::Error::Transient { .. })
+        )
+    }
+
+    /// True when a kernel-pool task panicked and the payload was captured
+    /// as a typed error instead of aborting a serving thread.
+    pub fn is_kernel_panic(&self) -> bool {
+        matches!(
+            self,
+            Error::Runtime(relserve_runtime::Error::KernelPanicked { .. })
+        )
+    }
+
+    /// True when the failure is recoverable by re-executing the query
+    /// relation-centric (the degradation ladder's trigger): a governor OOM
+    /// or an exhausted transient retry. Deadline/overload errors are *not*
+    /// degradable — the query ran out of time or was shed, so re-executing
+    /// would make the overload worse.
+    pub fn is_degradable(&self) -> bool {
+        self.is_oom() || self.is_transient()
+    }
 }
 
 impl fmt::Display for Error {

@@ -11,7 +11,8 @@
 use crate::error::Result;
 use crate::exec::{batch_dims, layer_transient_bytes, Output};
 use relserve_nn::Model;
-use relserve_runtime::{Connector, ExecContext, ExternalRuntime};
+use relserve_runtime::governor::Reservation;
+use relserve_runtime::{Connector, ExecContext, ExternalRuntime, RetryPolicy};
 use relserve_tensor::Tensor;
 
 /// Statistics of one DL-centric execution.
@@ -21,48 +22,80 @@ pub struct DlCentricStats {
     pub bytes_transferred: usize,
     /// Modeled wire time across both directions.
     pub wire_time: std::time::Duration,
+    /// Transient wire faults hit by this execution's shipments.
+    pub transient_failures: u64,
+    /// Shipment re-attempts the bounded retry made.
+    pub wire_retries: u64,
+    /// External-runtime reservation re-attempts after transient allocator
+    /// stalls.
+    pub runtime_retries: u64,
+}
+
+/// Reserve runtime tensor memory under bounded retry: a transient allocator
+/// stall is re-attempted (counted into `retries`); a genuine OOM surfaces
+/// immediately — that is the degradation ladder's job, not the retry loop's.
+fn reserve_retry(
+    runtime: &ExternalRuntime,
+    bytes: usize,
+    policy: &RetryPolicy,
+    retries: &mut u64,
+) -> Result<Reservation> {
+    Ok(policy.run(|| runtime.reserve_tensor(bytes), |_, _| *retries += 1)?)
 }
 
 /// Ship `batch` to `runtime`, run `model` there, ship results back. The
 /// external runtime's kernels run on `ctx`'s dedicated grant (every core the
 /// coordinator admitted, with no DB workers competing); tensor memory is
 /// charged to the *runtime's* governor, not the database's.
+///
+/// Every boundary crossing (both shipments, every runtime reservation) runs
+/// under `retry`'s bounded exponential backoff; attempt counts surface in
+/// [`DlCentricStats`]. The context's deadline is checked at each layer
+/// boundary.
 pub fn run(
     model: &Model,
     batch: &Tensor,
     connector: &mut Connector,
     runtime: &ExternalRuntime,
     ctx: &ExecContext,
+    retry: &RetryPolicy,
 ) -> Result<(Output, DlCentricStats)> {
     let par = ctx.parallelism();
     let (batch_size, _) = batch_dims(model, batch)?;
     let before = connector.stats();
+    let mut runtime_retries = 0u64;
 
     // Outbound: the feature batch crosses the system boundary.
     let flat = {
         let width = model.input_shape().num_elements();
         batch.clone().reshape([batch_size, width])?
     };
-    let received = connector.ship(&flat)?;
+    let received = connector.ship_retry(&flat, retry)?;
 
     // Inside the external runtime: parameters + a sliding activation window,
     // each inflated by the framework's memory-overhead factor.
-    let _params = runtime.reserve_tensor(model.param_bytes())?;
-    let mut live = runtime.reserve_tensor(received.num_bytes())?;
+    let _params = reserve_retry(runtime, model.param_bytes(), retry, &mut runtime_retries)?;
+    let mut live = reserve_retry(runtime, received.num_bytes(), retry, &mut runtime_retries)?;
     let mut full_dims = vec![batch_size];
     full_dims.extend_from_slice(model.input_shape().dims());
     let mut x = received.reshape(full_dims)?;
     let mut shape = model.input_shape().clone();
     for layer in model.layers() {
+        ctx.check_deadline("dl-centric.layer")?;
         let out_shape = layer.output_shape(&shape)?;
         let out_bytes = batch_size * out_shape.num_bytes();
         let transient = layer_transient_bytes(layer, batch_size, &shape);
         let _scratch = if transient > 0 {
-            Some(runtime.reserve_tensor(transient)?)
+            Some(reserve_retry(
+                runtime,
+                transient,
+                retry,
+                &mut runtime_retries,
+            )?)
         } else {
             None
         };
-        let out_res = runtime.reserve_tensor(out_bytes)?;
+        let out_res = reserve_retry(runtime, out_bytes, retry, &mut runtime_retries)?;
         x = layer.forward(&x, &par)?;
         live = out_res;
         shape = out_shape;
@@ -70,8 +103,9 @@ pub fn run(
     let _ = live;
 
     // Inbound: predictions return over the same connector.
+    ctx.check_deadline("dl-centric.return")?;
     let (rows, cols) = x.shape().as_matrix()?;
-    let result = connector.ship(&x.reshape([rows, cols])?)?;
+    let result = connector.ship_retry(&x.reshape([rows, cols])?, retry)?;
 
     let after = connector.stats();
     Ok((
@@ -79,6 +113,9 @@ pub fn run(
         DlCentricStats {
             bytes_transferred: after.bytes_moved - before.bytes_moved,
             wire_time: after.wire_time - before.wire_time,
+            transient_failures: after.transient_failures - before.transient_failures,
+            wire_retries: after.retries - before.retries,
+            runtime_retries,
         },
     ))
 }
@@ -99,6 +136,10 @@ mod tests {
         ExecContext::standalone(threads, MemoryGovernor::unlimited("dl-test"))
     }
 
+    fn no_retry() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+
     #[test]
     fn matches_in_process_forward() {
         let mut rng = seeded_rng(90);
@@ -106,12 +147,14 @@ mod tests {
         let x = Tensor::from_fn([8, 28], |i| ((i % 9) as f32 - 4.0) * 0.25);
         let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX);
         let mut conn = instant_connector();
-        let (out, stats) = run(&model, &x, &mut conn, &runtime, &ctx(2)).unwrap();
+        let (out, stats) = run(&model, &x, &mut conn, &runtime, &ctx(2), &no_retry()).unwrap();
         let expect = model.forward(&x, &Parallelism::serial()).unwrap();
         assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-5));
         // Both directions crossed the wire.
         assert!(stats.bytes_transferred > x.num_bytes());
         assert_eq!(runtime.governor().in_use(), 0);
+        assert_eq!(stats.transient_failures, 0);
+        assert_eq!(stats.wire_retries, 0);
     }
 
     #[test]
@@ -121,9 +164,109 @@ mod tests {
         let x = Tensor::zeros([1024, 28]);
         let runtime = ExternalRuntime::launch(RuntimeProfile::pytorch_like(), model.param_bytes());
         let mut conn = instant_connector();
-        let err = run(&model, &x, &mut conn, &runtime, &ctx(1)).unwrap_err();
+        let err = run(&model, &x, &mut conn, &runtime, &ctx(1), &no_retry()).unwrap_err();
         assert!(err.is_oom());
         assert_eq!(err.oom_domain(), Some("pytorch-like"));
+    }
+
+    #[test]
+    fn flaky_wire_heals_under_retry_and_counts_attempts() {
+        use relserve_runtime::{FaultConfig, FaultInjector};
+        let mut rng = seeded_rng(94);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::from_fn([8, 28], |i| ((i % 9) as f32 - 4.0) * 0.25);
+        let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX);
+        // Exactly two wire faults, then the link heals: default retry
+        // (4 attempts) absorbs both.
+        let mut cfg = FaultConfig::flaky_wire(21, 1.0);
+        cfg.max_faults = Some(2);
+        let mut conn = Connector::with_faults(TransferProfile::instant(), FaultInjector::new(cfg));
+        let (out, stats) = run(
+            &model,
+            &x,
+            &mut conn,
+            &runtime,
+            &ctx(1),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        let expect = model.forward(&x, &Parallelism::serial()).unwrap();
+        assert!(out.into_dense().unwrap().approx_eq(&expect, 1e-5));
+        assert_eq!(stats.transient_failures, 2);
+        assert_eq!(stats.wire_retries, 2);
+        assert_eq!(stats.runtime_retries, 0);
+    }
+
+    #[test]
+    fn dead_wire_exhausts_retries_with_transient_error() {
+        use relserve_runtime::{FaultConfig, FaultInjector};
+        let mut rng = seeded_rng(95);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::zeros([4, 28]);
+        let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX);
+        let mut conn = Connector::with_faults(
+            TransferProfile::instant(),
+            FaultInjector::new(FaultConfig::flaky_wire(3, 1.0)),
+        );
+        let err = run(
+            &model,
+            &x,
+            &mut conn,
+            &runtime,
+            &ctx(1),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(
+            err.is_transient(),
+            "exhausted retries stay transient: {err}"
+        );
+        assert!(err.is_degradable(), "…and trigger the degradation ladder");
+    }
+
+    #[test]
+    fn transient_runtime_stall_is_retried() {
+        use relserve_runtime::{FaultConfig, FaultInjector};
+        let mut rng = seeded_rng(96);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::zeros([4, 28]);
+        let mut cfg = FaultConfig::flaky_runtime(13, 1.0);
+        cfg.max_faults = Some(1);
+        let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX)
+            .with_faults(FaultInjector::new(cfg));
+        let mut conn = instant_connector();
+        let (_, stats) = run(
+            &model,
+            &x,
+            &mut conn,
+            &runtime,
+            &ctx(1),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.runtime_retries, 1);
+        assert_eq!(stats.wire_retries, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_execution_between_layers() {
+        use relserve_runtime::{AdmissionPolicy, MemoryGovernor, ThreadCoordinator};
+        let mut rng = seeded_rng(97);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::zeros([4, 28]);
+        let runtime = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), usize::MAX);
+        let mut conn = instant_connector();
+        let c = ThreadCoordinator::new(1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(5);
+        let ctx = c
+            .context_dedicated_with(
+                MemoryGovernor::unlimited("dl-test"),
+                &AdmissionPolicy::with_deadline(deadline),
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let err = run(&model, &x, &mut conn, &runtime, &ctx, &no_retry()).unwrap_err();
+        assert!(err.is_deadline_exceeded(), "{err}");
     }
 
     #[test]
@@ -143,13 +286,13 @@ mod tests {
             usize::MAX,
         );
         let mut conn = instant_connector();
-        run(&model, &x, &mut conn, &probe, &ctx(1)).unwrap();
+        run(&model, &x, &mut conn, &probe, &ctx(1), &no_retry()).unwrap();
         let peak_payload = probe.governor().peak();
         let budget = (peak_payload as f64 * 1.7) as usize;
         let tf = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), budget);
         let pt = ExternalRuntime::launch(RuntimeProfile::pytorch_like(), budget);
-        assert!(run(&model, &x, &mut conn, &tf, &ctx(1)).is_ok());
-        assert!(run(&model, &x, &mut conn, &pt, &ctx(1))
+        assert!(run(&model, &x, &mut conn, &tf, &ctx(1), &no_retry()).is_ok());
+        assert!(run(&model, &x, &mut conn, &pt, &ctx(1), &no_retry())
             .unwrap_err()
             .is_oom());
     }
@@ -167,7 +310,7 @@ mod tests {
             per_row_overhead_ns: 100.0,
             simulate_wire: false,
         });
-        let (_, stats) = run(&model, &x, &mut conn, &runtime, &ctx(1)).unwrap();
+        let (_, stats) = run(&model, &x, &mut conn, &runtime, &ctx(1), &no_retry()).unwrap();
         assert!(stats.wire_time >= std::time::Duration::from_millis(10)); // 2 trips × 5 ms
     }
 }

@@ -75,6 +75,7 @@ pub fn run(
     let mut shape = model.input_shape().clone();
 
     for (i, layer) in model.layers().iter().enumerate() {
+        ctx.check_deadline("hybrid.layer")?;
         let rep = reps.get(i).copied().unwrap_or(Representation::UdfCentric);
         let out_shape = layer.output_shape(&shape)?;
         let tag = format!("hy.l{i}");

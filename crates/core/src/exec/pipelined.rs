@@ -74,6 +74,11 @@ struct Pipeline<'a> {
     done: AtomicBool,
     outputs: Mutex<Vec<Option<Tensor>>>,
     first_error: Mutex<Option<relserve_nn::Error>>,
+    /// The query's deadline, checked cooperatively once per drive sweep.
+    deadline: Option<std::time::Instant>,
+    /// Set by whichever driver observes the deadline expire; surfaced as
+    /// [`relserve_runtime::Error::DeadlineExceeded`] after the drivers stop.
+    deadline_hit: AtomicBool,
 }
 
 impl Pipeline<'_> {
@@ -161,6 +166,16 @@ impl Pipeline<'_> {
     /// in some slot whose consumer is claimable.
     fn drive(&self) {
         while !self.done.load(Ordering::Acquire) {
+            if self
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                // Stop every driver: in-flight micro-batches are abandoned
+                // and the query unwinds, releasing its grant mid-flight.
+                self.deadline_hit.store(true, Ordering::Release);
+                self.done.store(true, Ordering::Release);
+                return;
+            }
             let mut progressed = false;
             for node in 0..self.nodes() {
                 if self.done.load(Ordering::Acquire) {
@@ -246,6 +261,8 @@ pub fn run(
         done: AtomicBool::new(false),
         outputs: Mutex::new(vec![None; num_micro]),
         first_error: Mutex::new(None),
+        deadline: ctx.deadline(),
+        deadline_hit: AtomicBool::new(false),
     };
 
     // One driver per granted kernel thread, capped at the node count; the
@@ -262,6 +279,11 @@ pub fn run(
         .take()
     {
         return Err(Error::Nn(e));
+    }
+    if pipeline.deadline_hit.load(Ordering::Acquire) {
+        return Err(Error::Runtime(relserve_runtime::Error::DeadlineExceeded {
+            phase: "pipelined.drive".into(),
+        }));
     }
     let outputs = pipeline
         .outputs
@@ -384,6 +406,29 @@ mod tests {
         let governor = MemoryGovernor::with_budget("pipe", model.param_bytes() - 1);
         assert!(run(&model, &x, 8, &ctx(1, &governor)).unwrap_err().is_oom());
         assert_eq!(governor.in_use(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_all_drivers() {
+        use relserve_runtime::{AdmissionPolicy, ThreadCoordinator};
+        let mut rng = seeded_rng(157);
+        let model = zoo::fraud_fc_256(&mut rng).unwrap();
+        let x = Tensor::zeros([64, 28]);
+        let c = ThreadCoordinator::new(2);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(2);
+        let ctx = c
+            .context_with(
+                1,
+                MemoryGovernor::unlimited("pipe"),
+                &AdmissionPolicy::with_deadline(deadline),
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let err = run(&model, &x, 4, &ctx).unwrap_err();
+        assert!(err.is_deadline_exceeded(), "{err}");
+        // The grant was released when the context dropped with the error.
+        drop(ctx);
+        assert_eq!(c.granted_threads(), 0);
     }
 
     #[test]

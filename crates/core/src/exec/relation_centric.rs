@@ -383,6 +383,9 @@ pub fn run(
     let mut flow = Flow::Dense(batch.clone().reshape(full_dims)?);
     let mut stats = TensorOpStats::default();
     for (i, layer) in model.layers().iter().enumerate() {
+        // Cooperative deadline check at every block-relation boundary: a
+        // timed-out query unwinds here, dropping its context and grant.
+        ctx.check_deadline("relation-centric.layer")?;
         let tag = format!("rc.l{i}");
         flow = exec_layer(layer, flow, pool, block, &par, &tag, &mut stats)?;
     }

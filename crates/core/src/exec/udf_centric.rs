@@ -31,6 +31,7 @@ pub fn run(model: &Model, batch: &Tensor, ctx: &ExecContext) -> Result<Output> {
     let mut x = batch.clone().reshape(full_dims)?;
     let mut shape = model.input_shape().clone();
     for layer in model.layers() {
+        ctx.check_deadline("udf-centric.layer")?;
         let out_shape = layer.output_shape(&shape)?;
         let out_bytes = batch_size * out_shape.num_bytes();
         // Transients (im2col) exist only during the layer.

@@ -42,4 +42,5 @@ pub use ir::{InferencePlan, OpAssignment, Representation};
 pub use optimizer::RuleBasedOptimizer;
 pub use session::{
     Architecture, InferenceOutcome, InferenceSession, SessionConfig, SessionConfigBuilder,
+    SessionStats,
 };

@@ -15,14 +15,15 @@ use parking_lot::Mutex;
 use relserve_nn::Model;
 use relserve_relational::{Schema, Table, Tuple};
 use relserve_runtime::{
-    Connector, ExternalRuntime, KernelPool, MemoryGovernor, RuntimeProfile, ThreadCoordinator,
-    TransferProfile,
+    AdmissionPolicy, Connector, ExecContext, ExternalRuntime, FaultInjector, KernelPool,
+    MemoryGovernor, RetryPolicy, RuntimeProfile, ThreadCoordinator, TransferProfile,
 };
 use relserve_storage::catalog::{ObjectKind, StoredObject};
 use relserve_storage::{BufferPool, Catalog, DiskManager};
 use relserve_tensor::Tensor;
 use relserve_vectoridx::HnswParams;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,13 @@ pub struct SessionConfig {
     pub external_memory_bytes: usize,
     /// Connector wire model for DL-centric execution.
     pub transfer: TransferProfile,
+    /// Bounded retry applied to every connector shipment and external-runtime
+    /// reservation of a DL-centric query.
+    pub retry: RetryPolicy,
+    /// When `true` (the default), a query that fails with a recoverable
+    /// error — governor OOM or exhausted connector retries — is re-executed
+    /// relation-centric under the same admission grant instead of failing.
+    pub degradation: bool,
 }
 
 impl SessionConfig {
@@ -66,6 +74,8 @@ impl Default for SessionConfig {
                 .unwrap_or(4),
             external_memory_bytes: 1 << 30,
             transfer: TransferProfile::local_connectorx(),
+            retry: RetryPolicy::default(),
+            degradation: true,
         }
     }
 }
@@ -121,6 +131,18 @@ impl SessionConfigBuilder {
         self
     }
 
+    /// Retry policy for DL-centric boundary crossings.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Enable or disable the graceful-degradation fallback chain.
+    pub fn degradation(mut self, enabled: bool) -> Self {
+        self.config.degradation = enabled;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SessionConfig> {
         let c = self.config;
@@ -139,6 +161,11 @@ impl SessionConfigBuilder {
         if c.external_memory_bytes == 0 {
             return Err(Error::Invalid(
                 "external_memory_bytes must be non-zero".into(),
+            ));
+        }
+        if c.retry.max_attempts == 0 {
+            return Err(Error::Invalid(
+                "retry.max_attempts must be at least 1".into(),
             ));
         }
         Ok(c)
@@ -188,10 +215,13 @@ pub struct InferenceOutcome {
     pub output: Output,
     /// Wall-clock execution time.
     pub elapsed: Duration,
-    /// Which architecture actually ran.
+    /// Which architecture the query was submitted under.
     pub architecture: String,
     /// The plan, when the adaptive optimizer produced one.
     pub plan: Option<InferencePlan>,
+    /// The fallback architecture that actually produced the output, when the
+    /// primary attempt failed recoverably and the degradation ladder ran.
+    pub degraded_to: Option<&'static str>,
 }
 
 impl InferenceOutcome {
@@ -207,7 +237,56 @@ impl std::fmt::Debug for InferenceOutcome {
             .field("output", &self.output)
             .field("elapsed", &self.elapsed)
             .field("architecture", &self.architecture)
+            .field("degraded_to", &self.degraded_to)
             .finish()
+    }
+}
+
+/// Robustness counters of one session, aggregated across every query it has
+/// served; see [`InferenceSession::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// OOM rejections by the database memory governor.
+    pub db_oom_events: u64,
+    /// OOM rejections inside per-query external DL runtimes.
+    pub external_oom_events: u64,
+    /// Queries admitted by the shared coordinator (all sessions sharing it).
+    pub admitted: u64,
+    /// Queries shed with [`relserve_runtime::Error::Overloaded`] after
+    /// queueing past their admission timeout.
+    pub shed: u64,
+    /// Queries whose deadline expired while still queued for admission.
+    pub deadline_expired: u64,
+    /// Queries this session completed via the relation-centric fallback.
+    pub degradations: u64,
+    /// Transient wire faults hit by this session's connector shipments.
+    pub wire_transient_failures: u64,
+    /// Connector shipment re-attempts made by the bounded retry.
+    pub wire_retries: u64,
+    /// External-runtime reservation re-attempts after transient stalls.
+    pub runtime_retries: u64,
+    /// Kernel panics caught and converted to typed errors.
+    pub kernel_panics: u64,
+}
+
+#[derive(Default)]
+struct SessionCounters {
+    external_oom_events: AtomicU64,
+    degradations: AtomicU64,
+    wire_transient_failures: AtomicU64,
+    wire_retries: AtomicU64,
+    runtime_retries: AtomicU64,
+    kernel_panics: AtomicU64,
+}
+
+/// Best-effort extraction of a caught panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -222,6 +301,8 @@ pub struct InferenceSession {
     optimizer: RuleBasedOptimizer,
     models: Mutex<HashMap<String, Arc<Model>>>,
     tables: Mutex<HashMap<String, Arc<Table>>>,
+    faults: Option<FaultInjector>,
+    counters: SessionCounters,
 }
 
 impl InferenceSession {
@@ -255,8 +336,19 @@ impl InferenceSession {
             catalog: Catalog::new(),
             models: Mutex::new(HashMap::new()),
             tables: Mutex::new(HashMap::new()),
+            faults: FaultInjector::from_env(),
+            counters: SessionCounters::default(),
             config,
         })
+    }
+
+    /// Replace the session's fault injector (ambient injection is otherwise
+    /// read from [`relserve_runtime::FAULT_SEED_ENV`] at open time). Tests
+    /// and chaos harnesses use this to inject deterministic fault streams
+    /// without touching process environment.
+    pub fn with_fault_injector(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The session's thread coordinator (admission ledger + kernel pool).
@@ -274,6 +366,29 @@ impl InferenceSession {
     /// The database memory governor (inspect peaks and OOM counts).
     pub fn governor(&self) -> &MemoryGovernor {
         &self.governor
+    }
+
+    /// Aggregated robustness counters: OOM events, admission shedding,
+    /// connector retries, and degradations across the session's lifetime.
+    /// Admission counters come from the shared coordinator, so sessions
+    /// built from clones of one coordinator observe the same ledger.
+    pub fn stats(&self) -> SessionStats {
+        let admission = self.coordinator.admission_stats();
+        SessionStats {
+            db_oom_events: self.governor.oom_events(),
+            external_oom_events: self.counters.external_oom_events.load(Ordering::Relaxed),
+            admitted: admission.admitted,
+            shed: admission.shed,
+            deadline_expired: admission.deadline_expired,
+            degradations: self.counters.degradations.load(Ordering::Relaxed),
+            wire_transient_failures: self
+                .counters
+                .wire_transient_failures
+                .load(Ordering::Relaxed),
+            wire_retries: self.counters.wire_retries.load(Ordering::Relaxed),
+            runtime_retries: self.counters.runtime_retries.load(Ordering::Relaxed),
+            kernel_panics: self.counters.kernel_panics.load(Ordering::Relaxed),
+        }
     }
 
     /// The buffer pool (inspect spill statistics).
@@ -398,66 +513,168 @@ impl InferenceSession {
         Ok(Tensor::from_vec([rows, width], data)?)
     }
 
-    /// Run inference over a dense feature batch under `architecture`.
+    /// Admit `architecture`'s context shape under `policy`: dedicated for
+    /// DL-centric (kernels may use every granted core, no DB workers
+    /// competing), one DB worker per stage for pipelined (§3.1: stage
+    /// threads × stages must not oversubscribe cores), one DB worker
+    /// otherwise.
+    fn admit(
+        &self,
+        architecture: &Architecture,
+        model: &Model,
+        policy: &AdmissionPolicy,
+    ) -> Result<ExecContext> {
+        let governor = self.governor.clone();
+        Ok(match architecture {
+            Architecture::DlCentric(_) => {
+                self.coordinator.context_dedicated_with(governor, policy)?
+            }
+            Architecture::Pipelined { .. } => {
+                let stages = model.layers().len().max(1);
+                self.coordinator.context_with(stages, governor, policy)?
+            }
+            _ => self.coordinator.context_with(1, governor, policy)?,
+        })
+    }
+
+    /// One primary execution attempt under an already-admitted context.
+    fn run_primary(
+        &self,
+        model: &Model,
+        batch: &Tensor,
+        architecture: &Architecture,
+        batch_size: usize,
+        ctx: &ExecContext,
+    ) -> Result<(Output, Option<InferencePlan>)> {
+        match architecture {
+            Architecture::UdfCentric => Ok((udf_centric::run(model, batch, ctx)?, None)),
+            Architecture::RelationCentric => {
+                let (out, _) =
+                    relation_centric::run(model, batch, &self.pool, self.config.block_size, ctx)?;
+                Ok((out, None))
+            }
+            Architecture::DlCentric(profile) => {
+                let runtime =
+                    ExternalRuntime::launch(profile.clone(), self.config.external_memory_bytes);
+                let runtime = match &self.faults {
+                    Some(f) => runtime.with_faults(f.clone()),
+                    None => runtime,
+                };
+                let mut connector = match &self.faults {
+                    Some(f) => Connector::with_faults(self.config.transfer, f.clone()),
+                    None => Connector::new(self.config.transfer),
+                };
+                let result = dl_centric::run(
+                    model,
+                    batch,
+                    &mut connector,
+                    &runtime,
+                    ctx,
+                    &self.config.retry,
+                );
+                // Wire and OOM accounting must survive a failed attempt —
+                // that is exactly when it matters.
+                let wire = connector.stats();
+                self.counters
+                    .wire_transient_failures
+                    .fetch_add(wire.transient_failures, Ordering::Relaxed);
+                self.counters
+                    .wire_retries
+                    .fetch_add(wire.retries, Ordering::Relaxed);
+                self.counters
+                    .external_oom_events
+                    .fetch_add(runtime.governor().oom_events(), Ordering::Relaxed);
+                let (out, stats) = result?;
+                self.counters
+                    .runtime_retries
+                    .fetch_add(stats.runtime_retries, Ordering::Relaxed);
+                Ok((out, None))
+            }
+            Architecture::Pipelined { micro_batch } => {
+                let (out, _) = pipelined::run(model, batch, *micro_batch, ctx)?;
+                Ok((out, None))
+            }
+            Architecture::Adaptive => {
+                let plan = self.optimizer.plan(model, batch_size)?;
+                let (out, _) =
+                    hybrid::run(model, batch, &plan, &self.pool, self.config.block_size, ctx)?;
+                Ok((out, Some(plan)))
+            }
+        }
+    }
+
+    /// Run inference over a dense feature batch under `architecture` and the
+    /// default [`AdmissionPolicy`].
     pub fn infer_batch(
         &self,
         model_name: &str,
         batch: &Tensor,
         architecture: Architecture,
     ) -> Result<InferenceOutcome> {
+        self.infer_batch_with(model_name, batch, architecture, &AdmissionPolicy::default())
+    }
+
+    /// Run inference under an explicit [`AdmissionPolicy`]: the query queues
+    /// FIFO for admission for at most `policy.queue_timeout` (shedding with
+    /// [`relserve_runtime::Error::Overloaded`] when the machine stays
+    /// saturated), and `policy.deadline` is enforced both in the queue and
+    /// cooperatively at every executor block/stage boundary.
+    ///
+    /// The query runs inside its own admitted execution context; the grant
+    /// returns to the coordinator when the outcome (or error) is produced.
+    /// If the primary attempt fails recoverably — governor OOM, or connector
+    /// retries exhausted by transient faults — and degradation is enabled,
+    /// the query re-executes relation-centric *under the same grant*, and
+    /// the outcome records `degraded_to`. Kernel panics are caught and
+    /// surfaced as typed [`relserve_runtime::Error::KernelPanicked`] errors
+    /// so one poisoned stripe cannot take down the session.
+    pub fn infer_batch_with(
+        &self,
+        model_name: &str,
+        batch: &Tensor,
+        architecture: Architecture,
+        policy: &AdmissionPolicy,
+    ) -> Result<InferenceOutcome> {
         let model = self.model(model_name)?;
         let batch_size = model.check_input(batch)?;
         let started = Instant::now();
         let label = architecture.to_string();
-        // Each query runs inside its own admitted execution context; the
-        // context's grant returns to the coordinator when the arm finishes.
-        let (output, plan) = match architecture {
-            Architecture::UdfCentric => {
-                let ctx = self.coordinator.context(1, self.governor.clone());
-                (udf_centric::run(&model, batch, &ctx)?, None)
-            }
-            Architecture::RelationCentric => {
-                let ctx = self.coordinator.context(1, self.governor.clone());
+        let ctx = self.admit(&architecture, &model, policy)?;
+        let primary = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_primary(&model, batch, &architecture, batch_size, &ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            self.counters.kernel_panics.fetch_add(1, Ordering::Relaxed);
+            Err(Error::Runtime(relserve_runtime::Error::KernelPanicked {
+                message: panic_message(payload.as_ref()),
+            }))
+        });
+        let (output, plan, degraded_to) = match primary {
+            Ok((out, plan)) => (out, plan, None),
+            Err(err)
+                if self.config.degradation
+                    && err.is_degradable()
+                    && architecture != Architecture::RelationCentric =>
+            {
+                // The degradation ladder: relation-centric streams through
+                // the buffer pool instead of materializing dense tensors, so
+                // it survives both budgets that OOMed the primary attempt
+                // and connectors whose wire is down. The deadline still
+                // applies — a timed-out query must not burn a second pass.
+                ctx.check_deadline("degrade.relation-centric")?;
                 let (out, _) =
                     relation_centric::run(&model, batch, &self.pool, self.config.block_size, &ctx)?;
-                (out, None)
+                self.counters.degradations.fetch_add(1, Ordering::Relaxed);
+                (out, None, Some("relation-centric"))
             }
-            Architecture::DlCentric(profile) => {
-                // A dedicated context: kernels may use every granted core,
-                // with no DB workers competing.
-                let ctx = self.coordinator.context_dedicated(self.governor.clone());
-                let runtime = ExternalRuntime::launch(profile, self.config.external_memory_bytes);
-                let mut connector = Connector::new(self.config.transfer);
-                let (out, _) = dl_centric::run(&model, batch, &mut connector, &runtime, &ctx)?;
-                (out, None)
-            }
-            Architecture::Pipelined { micro_batch } => {
-                // §3.1: stage threads × stages must not oversubscribe cores,
-                // so the context is planned for one DB worker per stage.
-                let stages = model.layers().len().max(1);
-                let ctx = self.coordinator.context(stages, self.governor.clone());
-                let (out, _) = pipelined::run(&model, batch, micro_batch, &ctx)?;
-                (out, None)
-            }
-            Architecture::Adaptive => {
-                let plan = self.optimizer.plan(&model, batch_size)?;
-                let ctx = self.coordinator.context(1, self.governor.clone());
-                let (out, _) = hybrid::run(
-                    &model,
-                    batch,
-                    &plan,
-                    &self.pool,
-                    self.config.block_size,
-                    &ctx,
-                )?;
-                (out, Some(plan))
-            }
+            Err(err) => return Err(err),
         };
         Ok(InferenceOutcome {
             output,
             elapsed: started.elapsed(),
             architecture: label,
             plan,
+            degraded_to,
         })
     }
 
@@ -579,26 +796,141 @@ mod tests {
         assert!(!plan.ops.is_empty());
     }
 
-    #[test]
-    fn udf_oom_but_relation_centric_completes() {
+    fn starved_session(degradation: bool) -> InferenceSession {
         // The Table 3 pattern in miniature: a DB budget too small for the
         // dense path, but the relation-centric path streams through.
         let mut config = tiny_config();
         config.db_memory_bytes = 64 << 10; // 64 KiB — params alone exceed this
+        config.degradation = degradation;
         let session = InferenceSession::open(config).unwrap();
         let mut rng = seeded_rng(141);
         session
             .load_model(zoo::fraud_fc_512(&mut rng).unwrap())
             .unwrap();
+        session
+    }
+
+    #[test]
+    fn udf_oom_degrades_to_relation_centric() {
+        let session = starved_session(true);
+        let batch = Tensor::from_fn([64, 28], |i| (i % 5) as f32 * 0.1);
+        let degraded = session
+            .infer_batch("Fraud-FC-512", &batch, Architecture::UdfCentric)
+            .unwrap();
+        assert_eq!(degraded.degraded_to, Some("relation-centric"));
+        assert_eq!(degraded.architecture, "udf-centric");
+        assert_eq!(degraded.output.num_rows(), 64);
+        // The fallback output is the relation-centric output.
+        let direct = session
+            .infer_batch("Fraud-FC-512", &batch, Architecture::RelationCentric)
+            .unwrap();
+        assert_eq!(direct.degraded_to, None);
+        assert_eq!(
+            degraded.predictions().unwrap(),
+            direct.predictions().unwrap()
+        );
+        let stats = session.stats();
+        assert!(stats.db_oom_events >= 1);
+        assert_eq!(stats.degradations, 1);
+    }
+
+    #[test]
+    fn degradation_escape_hatch_surfaces_raw_oom() {
+        let session = starved_session(false);
         let batch = Tensor::from_fn([64, 28], |i| (i % 5) as f32 * 0.1);
         let err = session
             .infer_batch("Fraud-FC-512", &batch, Architecture::UdfCentric)
             .unwrap_err();
         assert!(err.is_oom());
-        let ok = session
-            .infer_batch("Fraud-FC-512", &batch, Architecture::RelationCentric)
+        assert_eq!(session.stats().degradations, 0);
+    }
+
+    #[test]
+    fn dead_wire_dl_centric_degrades_to_relation_centric() {
+        use relserve_runtime::{FaultConfig, FaultInjector};
+        // Every shipment fails: the bounded retry exhausts, and the session
+        // degrades the query to relation-centric instead of failing it.
+        let session = fraud_session(16)
+            .with_fault_injector(FaultInjector::new(FaultConfig::flaky_wire(7, 1.0)));
+        let batch = session.features("transactions", "features").unwrap();
+        let outcome = session
+            .infer_batch(
+                "Fraud-FC-256",
+                &batch,
+                Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
+            )
             .unwrap();
-        assert_eq!(ok.output.num_rows(), 64);
+        assert_eq!(outcome.degraded_to, Some("relation-centric"));
+        let oracle = session
+            .infer_batch("Fraud-FC-256", &batch, Architecture::RelationCentric)
+            .unwrap();
+        assert_eq!(
+            outcome.predictions().unwrap(),
+            oracle.predictions().unwrap()
+        );
+        let stats = session.stats();
+        assert_eq!(stats.degradations, 1);
+        // Default policy: 4 attempts → 4 transient faults, 3 re-attempts.
+        assert_eq!(stats.wire_transient_failures, 4);
+        assert_eq!(stats.wire_retries, 3);
+    }
+
+    #[test]
+    fn flaky_wire_dl_centric_heals_without_degrading() {
+        use relserve_runtime::{FaultConfig, FaultInjector};
+        let mut cfg = FaultConfig::flaky_wire(9, 1.0);
+        cfg.max_faults = Some(1);
+        let session = fraud_session(8).with_fault_injector(FaultInjector::new(cfg));
+        let batch = session.features("transactions", "features").unwrap();
+        let outcome = session
+            .infer_batch(
+                "Fraud-FC-256",
+                &batch,
+                Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
+            )
+            .unwrap();
+        assert_eq!(outcome.degraded_to, None);
+        let stats = session.stats();
+        assert_eq!(stats.degradations, 0);
+        assert_eq!(stats.wire_transient_failures, 1);
+        assert_eq!(stats.wire_retries, 1);
+    }
+
+    #[test]
+    fn overloaded_session_sheds_with_typed_error() {
+        use relserve_runtime::Error as RtError;
+        let session = fraud_session(4);
+        let batch = session.features("transactions", "features").unwrap();
+        // Hold the whole machine, then ask for a query with a short queue
+        // timeout: it must shed, not block.
+        let hold = session.coordinator().admit(2).unwrap();
+        let policy = AdmissionPolicy::with_queue_timeout(Duration::from_millis(20));
+        let err = session
+            .infer_batch_with("Fraud-FC-256", &batch, Architecture::UdfCentric, &policy)
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Runtime(RtError::Overloaded { .. })),
+            "{err:?}"
+        );
+        assert!(session.stats().shed >= 1);
+        drop(hold);
+        // The machine freed up: the same query now completes.
+        let ok = session
+            .infer_batch_with("Fraud-FC-256", &batch, Architecture::UdfCentric, &policy)
+            .unwrap();
+        assert_eq!(ok.output.num_rows(), 4);
+    }
+
+    #[test]
+    fn expired_deadline_is_not_degraded() {
+        let session = starved_session(true);
+        let batch = Tensor::from_fn([16, 28], |i| (i % 5) as f32 * 0.1);
+        let policy = AdmissionPolicy::with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = session
+            .infer_batch_with("Fraud-FC-512", &batch, Architecture::UdfCentric, &policy)
+            .unwrap_err();
+        assert!(err.is_deadline_exceeded(), "{err:?}");
+        assert_eq!(session.stats().degradations, 0);
     }
 
     #[test]
@@ -655,6 +987,13 @@ mod tests {
             .external_memory_bytes(0)
             .build()
             .is_err());
+        assert!(SessionConfig::builder()
+            .retry(RetryPolicy {
+                max_attempts: 0,
+                base_backoff: Duration::ZERO,
+            })
+            .build()
+            .is_err());
         // The unmodified default passes validation.
         assert!(SessionConfig::builder().build().is_ok());
     }
@@ -678,7 +1017,7 @@ mod tests {
     fn shared_sessions_share_admission_ledger() {
         let first = InferenceSession::open(tiny_config()).unwrap();
         let second = InferenceSession::open_shared(tiny_config(), first.coordinator()).unwrap();
-        let grant = first.coordinator().admit(2);
+        let grant = first.coordinator().admit(2).unwrap();
         assert_eq!(second.coordinator().granted_threads(), 2);
         drop(grant);
         assert_eq!(second.coordinator().granted_threads(), 0);

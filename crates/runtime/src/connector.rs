@@ -12,6 +12,7 @@
 //!   duration so end-to-end benchmarks observe it.
 
 use crate::error::{Error, Result};
+use crate::faults::{FaultInjector, RetryPolicy};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use relserve_tensor::Tensor;
 use std::time::Duration;
@@ -69,23 +70,36 @@ impl TransferProfile {
 }
 
 /// Statistics accumulated by a connector across shipments.
+///
+/// Byte/row/wire counters are **delta-safe under retry**: a shipment is
+/// counted once, when it succeeds — a transiently failed attempt bumps only
+/// `transient_failures` (and, when re-attempted, `retries`), never the moved
+/// volume, so `stats()` deltas around a retried shipment still equal the
+/// payload shipped exactly once.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct TransferStats {
-    /// Total payload bytes moved in either direction.
+pub struct ConnectorStats {
+    /// Total payload bytes moved in either direction (successful shipments
+    /// only).
     pub bytes_moved: usize,
-    /// Total rows moved.
+    /// Total rows moved (successful shipments only).
     pub rows_moved: usize,
-    /// Total modeled wire time.
+    /// Total modeled wire time of successful shipments.
     pub wire_time: Duration,
-    /// Number of shipments.
+    /// Number of successful shipments.
     pub shipments: u64,
+    /// Number of shipment attempts that failed transiently (injected wire
+    /// faults).
+    pub transient_failures: u64,
+    /// Number of re-attempts made by [`Connector::ship_retry`].
+    pub retries: u64,
 }
 
 /// Serializes row batches across the simulated system boundary.
 #[derive(Debug, Clone)]
 pub struct Connector {
     profile: TransferProfile,
-    stats: TransferStats,
+    stats: ConnectorStats,
+    faults: Option<FaultInjector>,
 }
 
 impl Connector {
@@ -93,7 +107,18 @@ impl Connector {
     pub fn new(profile: TransferProfile) -> Self {
         Connector {
             profile,
-            stats: TransferStats::default(),
+            stats: ConnectorStats::default(),
+            faults: None,
+        }
+    }
+
+    /// A connector whose wire fails transiently according to `faults`
+    /// (deterministic, seeded — see [`crate::faults`]).
+    pub fn with_faults(profile: TransferProfile, faults: FaultInjector) -> Self {
+        Connector {
+            profile,
+            stats: ConnectorStats::default(),
+            faults: Some(faults),
         }
     }
 
@@ -103,7 +128,7 @@ impl Connector {
     }
 
     /// Cumulative transfer statistics.
-    pub fn stats(&self) -> TransferStats {
+    pub fn stats(&self) -> ConnectorStats {
         self.stats
     }
 
@@ -150,18 +175,53 @@ impl Connector {
 
     /// Ship a batch across the boundary: encode, pay the modeled wire time,
     /// decode on the far side. Returns the received tensor.
+    ///
+    /// With an injector attached, the wire may drop the shipment —
+    /// [`Error::Transient`] — after the time was paid but *before* any
+    /// volume counters move, so retried shipments are never double-counted.
     pub fn ship(&mut self, batch: &Tensor) -> Result<Tensor> {
         let (rows, _) = batch.shape().as_matrix()?;
         let payload = self.encode(batch)?;
         let wire = self.profile.wire_time(payload.len(), rows);
-        self.stats.bytes_moved += payload.len();
-        self.stats.rows_moved += rows;
-        self.stats.wire_time += wire;
-        self.stats.shipments += 1;
         if self.profile.simulate_wire && wire > Duration::ZERO {
             std::thread::sleep(wire);
         }
-        self.decode(payload)
+        if self.faults.as_ref().is_some_and(|f| f.should_fail_wire()) {
+            self.stats.transient_failures += 1;
+            return Err(Error::Transient {
+                op: "connector.ship".into(),
+            });
+        }
+        let payload_len = payload.len();
+        let received = self.decode(payload)?;
+        self.stats.bytes_moved += payload_len;
+        self.stats.rows_moved += rows;
+        self.stats.wire_time += wire;
+        self.stats.shipments += 1;
+        Ok(received)
+    }
+
+    /// [`Connector::ship`] wrapped in bounded retry with exponential
+    /// backoff: transient wire faults are re-attempted up to
+    /// `policy.max_attempts` total tries (each re-attempt recorded in
+    /// [`ConnectorStats::retries`]); the backoff is really slept only when
+    /// the profile simulates the wire. Non-transient errors and exhausted
+    /// retries surface to the caller.
+    pub fn ship_retry(&mut self, batch: &Tensor, policy: &RetryPolicy) -> Result<Tensor> {
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 1..=attempts {
+            match self.ship(batch) {
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    self.stats.retries += 1;
+                    let backoff = policy.backoff_for(attempt);
+                    if self.profile.simulate_wire && backoff > Duration::ZERO {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                other => return other,
+            }
+        }
+        unreachable!("loop always returns on its final attempt")
     }
 }
 
@@ -227,6 +287,67 @@ mod tests {
         assert_eq!(s.shipments, 2);
         assert_eq!(s.rows_moved, 8);
         assert_eq!(s.bytes_moved, 2 * (12 + 48));
+        assert_eq!(s.transient_failures, 0);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn injected_wire_fault_is_transient_and_not_counted_as_moved() {
+        use crate::faults::FaultConfig;
+        let mut cfg = FaultConfig::flaky_wire(11, 1.0);
+        cfg.max_faults = Some(1);
+        let mut c = Connector::with_faults(TransferProfile::instant(), FaultInjector::new(cfg));
+        let t = Tensor::zeros([2, 2]);
+        let err = c.ship(&t).unwrap_err();
+        assert!(err.is_transient());
+        let s = c.stats();
+        assert_eq!(s.transient_failures, 1);
+        assert_eq!(s.bytes_moved, 0, "failed attempt moved nothing");
+        assert_eq!(s.shipments, 0);
+        // The wire healed (max_faults reached): the next ship succeeds.
+        c.ship(&t).unwrap();
+        assert_eq!(c.stats().shipments, 1);
+    }
+
+    #[test]
+    fn ship_retry_is_delta_safe_under_retry() {
+        use crate::faults::FaultConfig;
+        let mut cfg = FaultConfig::flaky_wire(5, 1.0);
+        cfg.max_faults = Some(2);
+        let mut c = Connector::with_faults(TransferProfile::instant(), FaultInjector::new(cfg));
+        let t = Tensor::zeros([4, 3]);
+        let before = c.stats();
+        let shipped = c.ship_retry(&t, &RetryPolicy::default()).unwrap();
+        assert_eq!(shipped, t);
+        let s = c.stats();
+        // Two injected failures, two re-attempts, exactly one counted
+        // shipment — bytes/rows reflect a single successful transfer.
+        assert_eq!(s.transient_failures, 2);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.shipments - before.shipments, 1);
+        assert_eq!(s.bytes_moved - before.bytes_moved, 12 + 48);
+        assert_eq!(s.rows_moved - before.rows_moved, 4);
+    }
+
+    #[test]
+    fn ship_retry_exhausts_and_surfaces_transient() {
+        use crate::faults::FaultConfig;
+        let mut c = Connector::with_faults(
+            TransferProfile::instant(),
+            FaultInjector::new(FaultConfig::flaky_wire(1, 1.0)),
+        );
+        let t = Tensor::zeros([2, 2]);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+        };
+        let err = c.ship_retry(&t, &policy).unwrap_err();
+        assert!(err.is_transient());
+        let s = c.stats();
+        assert_eq!(s.transient_failures, 3, "every attempt failed");
+        assert_eq!(s.retries, 2, "two re-attempts after the first failure");
+        assert_eq!(s.shipments, 0);
+        assert_eq!(s.bytes_moved, 0);
     }
 
     proptest! {

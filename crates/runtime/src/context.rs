@@ -13,12 +13,14 @@
 //! [`ThreadCoordinator`] each get a bounded, admission-controlled slice of
 //! the same pool instead of first-install-wins.
 
+use crate::error::{Error, Result};
 use crate::governor::MemoryGovernor;
 use crate::pool::{KernelPool, PoolHandle};
-use crate::threads::{BudgetGrant, ThreadCoordinator, ThreadPlan};
+use crate::threads::{AdmissionPolicy, BudgetGrant, ThreadCoordinator, ThreadPlan};
 use relserve_tensor::parallel::{Parallelism, StripeRunner};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-query kernel scheduling statistics, accumulated by every stripe
 /// batch the context's grants submit.
@@ -65,6 +67,7 @@ pub struct ExecContext {
     pool: Arc<KernelPool>,
     governor: MemoryGovernor,
     stats: Arc<StatsCells>,
+    deadline: Option<Instant>,
 }
 
 impl ExecContext {
@@ -73,6 +76,7 @@ impl ExecContext {
         grant: BudgetGrant,
         pool: Arc<KernelPool>,
         governor: MemoryGovernor,
+        deadline: Option<Instant>,
     ) -> Self {
         ExecContext {
             plan,
@@ -80,6 +84,7 @@ impl ExecContext {
             pool,
             governor,
             stats: Arc::new(StatsCells::default()),
+            deadline,
         }
     }
 
@@ -87,7 +92,28 @@ impl ExecContext {
     /// a private coordinator with exactly `threads` cores, granted in full.
     /// Production queries get their contexts from a shared coordinator.
     pub fn standalone(threads: usize, governor: MemoryGovernor) -> Self {
-        ThreadCoordinator::new(threads.max(1)).context(1, governor)
+        ThreadCoordinator::new(threads.max(1))
+            .context(1, governor)
+            .expect("a private unloaded coordinator always admits")
+    }
+
+    /// The query's absolute deadline, when it arrived with one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Cooperative deadline check, called by executors at block/stage
+    /// boundaries: [`Error::DeadlineExceeded`] once the query's deadline
+    /// has passed, naming `phase` as the detection point. Returning the
+    /// error unwinds the executor, dropping this context and releasing the
+    /// grant mid-flight — a timed-out query stops consuming the machine.
+    pub fn check_deadline(&self, phase: &str) -> Result<()> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(Error::DeadlineExceeded {
+                phase: phase.into(),
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// The agreed DB-worker / kernel-thread split for this query.
@@ -148,22 +174,60 @@ impl std::fmt::Debug for ExecContext {
 
 impl ThreadCoordinator {
     /// Admit a query whose relational side runs `db_parallelism` pipeline
-    /// workers and build its execution context: plans the thread split,
-    /// requests the plan's worst case from the admission ledger, and wraps
-    /// the granted share around the shared kernel pool plus the query's
-    /// memory lease. Blocks while the machine is fully granted.
-    pub fn context(&self, db_parallelism: usize, governor: MemoryGovernor) -> ExecContext {
+    /// workers and build its execution context under the default
+    /// [`AdmissionPolicy`]: plans the thread split, requests the plan's
+    /// worst case from the admission ledger, and wraps the granted share
+    /// around the shared kernel pool plus the query's memory lease. A
+    /// machine that stays saturated past the default queue timeout sheds
+    /// the query with [`Error::Overloaded`] instead of blocking forever.
+    pub fn context(&self, db_parallelism: usize, governor: MemoryGovernor) -> Result<ExecContext> {
+        self.context_with(db_parallelism, governor, &AdmissionPolicy::default())
+    }
+
+    /// [`ThreadCoordinator::context`] under an explicit [`AdmissionPolicy`]:
+    /// the query queues FIFO for at most `policy.queue_timeout`, respects
+    /// `policy.deadline` both in the queue and (carried on the context)
+    /// cooperatively during execution, and refuses grants below
+    /// `policy.min_threads`.
+    pub fn context_with(
+        &self,
+        db_parallelism: usize,
+        governor: MemoryGovernor,
+        policy: &AdmissionPolicy,
+    ) -> Result<ExecContext> {
         let plan = self.plan_for(db_parallelism);
-        let grant = self.admit(plan.worst_case_threads());
-        ExecContext::new(plan, grant, self.kernel_pool(), governor)
+        let grant = self.admit_with(plan.worst_case_threads(), policy)?;
+        Ok(ExecContext::new(
+            plan,
+            grant,
+            self.kernel_pool(),
+            governor,
+            policy.deadline,
+        ))
     }
 
     /// An execution context for a dedicated (external) DL runtime: the
     /// kernels may use every granted core, with no DB workers competing.
-    pub fn context_dedicated(&self, governor: MemoryGovernor) -> ExecContext {
+    pub fn context_dedicated(&self, governor: MemoryGovernor) -> Result<ExecContext> {
+        self.context_dedicated_with(governor, &AdmissionPolicy::default())
+    }
+
+    /// [`ThreadCoordinator::context_dedicated`] under an explicit
+    /// [`AdmissionPolicy`].
+    pub fn context_dedicated_with(
+        &self,
+        governor: MemoryGovernor,
+        policy: &AdmissionPolicy,
+    ) -> Result<ExecContext> {
         let plan = self.plan_dedicated();
-        let grant = self.admit(plan.worst_case_threads());
-        ExecContext::new(plan, grant, self.kernel_pool(), governor)
+        let grant = self.admit_with(plan.worst_case_threads(), policy)?;
+        Ok(ExecContext::new(
+            plan,
+            grant,
+            self.kernel_pool(),
+            governor,
+            policy.deadline,
+        ))
     }
 }
 
@@ -178,7 +242,7 @@ mod tests {
     #[test]
     fn context_grants_release_on_drop() {
         let c = ThreadCoordinator::new(4);
-        let ctx = c.context(1, gov());
+        let ctx = c.context(1, gov()).unwrap();
         assert_eq!(ctx.plan().kernel_threads, 4);
         assert_eq!(ctx.kernel_threads(), 4);
         assert_eq!(c.granted_threads(), 4);
@@ -191,27 +255,27 @@ mod tests {
         let c = ThreadCoordinator::new(4);
         // Another query holds part of the machine while ours is admitted:
         // the context gets exactly the remainder, never oversubscribing.
-        let other = c.admit(3);
-        let ctx = c.context(1, gov());
+        let other = c.admit(3).unwrap();
+        let ctx = c.context(1, gov()).unwrap();
         assert_eq!(other.granted() + ctx.kernel_threads(), 4);
         assert!(c.granted_threads() <= c.cores());
         drop(other);
         drop(ctx);
-        let full = c.context_dedicated(gov());
+        let full = c.context_dedicated(gov()).unwrap();
         assert_eq!(full.kernel_threads(), 4);
     }
 
-    /// Admission is blocking: a context request against a fully granted
-    /// machine waits for a release instead of oversubscribing, so the sum
-    /// of grants can never exceed the cores.
+    /// Admission queues: a context request against a fully granted machine
+    /// waits for a release instead of oversubscribing, so the sum of grants
+    /// can never exceed the cores.
     #[test]
     fn saturated_machine_queues_the_next_context() {
         let c = ThreadCoordinator::new(2);
-        let hold = c.context(1, gov());
+        let hold = c.context(1, gov()).unwrap();
         assert_eq!(c.granted_threads(), 2);
         let c2 = c.clone();
         let waiter = std::thread::spawn(move || {
-            let ctx = c2.context(1, gov());
+            let ctx = c2.context(1, gov()).unwrap();
             (ctx.kernel_threads(), c2.granted_threads())
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -221,10 +285,51 @@ mod tests {
         assert!(outstanding <= 2);
     }
 
+    /// The saturated machine sheds instead of blocking when the policy says
+    /// so, and the context carries its deadline for cooperative checks.
+    #[test]
+    fn saturated_machine_sheds_context_and_deadline_is_carried() {
+        let c = ThreadCoordinator::new(2);
+        let hold = c.context(1, gov()).unwrap();
+        let policy = AdmissionPolicy::with_queue_timeout(std::time::Duration::from_millis(25));
+        let err = c.context_with(1, gov(), &policy).unwrap_err();
+        assert!(matches!(err, Error::Overloaded { .. }), "{err:?}");
+        drop(hold);
+
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        let ctx = c
+            .context_with(1, gov(), &AdmissionPolicy::with_deadline(deadline))
+            .unwrap();
+        assert_eq!(ctx.deadline(), Some(deadline));
+        assert!(ctx.check_deadline("test.block").is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_detected_cooperatively() {
+        let c = ThreadCoordinator::new(1);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        // Admission itself fails fast on an already-expired deadline…
+        let err = c
+            .context_with(1, gov(), &AdmissionPolicy::with_deadline(past))
+            .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }));
+        // …and a context whose deadline expires mid-flight reports the
+        // phase that detected it.
+        let soon = Instant::now() + std::time::Duration::from_millis(10);
+        let ctx = c
+            .context_with(1, gov(), &AdmissionPolicy::with_deadline(soon))
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let err = ctx.check_deadline("relation-centric.block").unwrap_err();
+        assert!(
+            matches!(err, Error::DeadlineExceeded { ref phase } if phase == "relation-centric.block")
+        );
+    }
+
     #[test]
     fn parallelism_counts_into_stats() {
         let c = ThreadCoordinator::new(2);
-        let ctx = c.context(1, gov());
+        let ctx = c.context(1, gov()).unwrap();
         let par = ctx.parallelism();
         par.run_stripes(5, &|_| {});
         par.run_stripes(3, &|_| {});
@@ -239,8 +344,8 @@ mod tests {
     #[test]
     fn sub_grants_never_exceed_the_admitted_budget() {
         let c = ThreadCoordinator::new(4);
-        let hold = c.admit(3);
-        let ctx = c.context(1, gov());
+        let hold = c.admit(3).unwrap();
+        let ctx = c.context(1, gov()).unwrap();
         assert_eq!(ctx.kernel_threads(), 1, "only one core remained");
         assert_eq!(ctx.parallelism_with(64).threads(), 1);
         drop(hold);

@@ -20,6 +20,8 @@
 //! The actual kernels executed inside the runtime are this repo's own — a
 //! deliberately conservative choice documented in DESIGN.md.
 
+use crate::error::Error;
+use crate::faults::FaultInjector;
 use crate::governor::{MemoryGovernor, Reservation};
 use crate::Result;
 
@@ -58,13 +60,26 @@ impl RuntimeProfile {
 pub struct ExternalRuntime {
     profile: RuntimeProfile,
     governor: MemoryGovernor,
+    faults: Option<FaultInjector>,
 }
 
 impl ExternalRuntime {
     /// Launch a runtime with `budget` bytes of process memory.
     pub fn launch(profile: RuntimeProfile, budget: usize) -> Self {
         let governor = MemoryGovernor::with_budget(profile.name.clone(), budget);
-        ExternalRuntime { profile, governor }
+        ExternalRuntime {
+            profile,
+            governor,
+            faults: None,
+        }
+    }
+
+    /// Attach a deterministic fault stream: reservations may now fail with
+    /// [`Error::Transient`] (an allocator stall / runtime hiccup) according
+    /// to the injector's `runtime_failure_rate`. Clones share the stream.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The runtime's display name.
@@ -84,8 +99,20 @@ impl ExternalRuntime {
 
     /// Reserve memory for a tensor of `bytes` payload, applying the
     /// framework overhead factor. This is the call every tensor the
-    /// "framework" materializes goes through.
+    /// "framework" materializes goes through. With a fault stream attached
+    /// the reservation may fail transiently (retryable) before the governor
+    /// is consulted; a genuine budget miss still surfaces as the
+    /// non-retryable [`Error::OutOfMemory`].
     pub fn reserve_tensor(&self, bytes: usize) -> Result<Reservation> {
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.should_fail_runtime())
+        {
+            return Err(Error::Transient {
+                op: format!("{}.reserve_tensor", self.profile.name),
+            });
+        }
         let effective = (bytes as f64 * self.profile.memory_overhead).ceil() as usize;
         self.governor.reserve(effective)
     }
@@ -127,5 +154,21 @@ mod tests {
         let err = rt.reserve_tensor(100).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("tensorflow-like"), "{msg}");
+    }
+
+    #[test]
+    fn injected_runtime_fault_is_transient_not_oom() {
+        use crate::faults::{FaultConfig, FaultInjector};
+        let mut cfg = FaultConfig::flaky_runtime(17, 1.0);
+        cfg.max_faults = Some(1);
+        let rt = ExternalRuntime::launch(RuntimeProfile::tensorflow_like(), 10_000)
+            .with_faults(FaultInjector::new(cfg));
+        let err = rt.reserve_tensor(100).unwrap_err();
+        assert!(err.is_transient(), "fault is retryable, not OOM: {err}");
+        // Healed: the same reservation now goes through the governor.
+        assert!(rt.reserve_tensor(100).is_ok());
+        // A genuine budget miss is still a hard OOM.
+        let oom = rt.reserve_tensor(1_000_000).unwrap_err();
+        assert!(!oom.is_transient());
     }
 }

@@ -1,0 +1,321 @@
+//! Deterministic fault injection for the cross-system boundary.
+//!
+//! The DL-centric architecture crosses a fragile process boundary twice per
+//! query (features out, predictions back), and the external runtime itself
+//! can stall or reject allocations. A serving system must survive that —
+//! which can only be tested if the faults are *reproducible*. This module
+//! provides a [`FaultInjector`] driven by a seeded SplitMix64 stream: no
+//! wall-clock or OS randomness, so a failing run replays exactly from its
+//! [`FaultConfig`].
+//!
+//! Injection points are opt-in: a [`crate::Connector`] or
+//! [`crate::ExternalRuntime`] built `with_faults` consults the injector on
+//! every shipment / reservation and surfaces [`Error::Transient`] when the
+//! draw says so. [`RetryPolicy`] describes the bounded exponential-backoff
+//! response executors wrap around those operations.
+//!
+//! Setting the `RELSERVE_FAULT_SEED` environment variable turns injection on
+//! for every session-created connector and external runtime (see
+//! [`FaultInjector::from_env`]) — CI runs the whole test suite a second time
+//! under that seed so the flaky-wire paths are exercised on every push.
+
+use crate::error::{Error, Result};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Environment variable that enables ambient fault injection (see module
+/// docs). The value is the decimal seed.
+pub const FAULT_SEED_ENV: &str = "RELSERVE_FAULT_SEED";
+
+/// Configuration of one deterministic fault stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the SplitMix64 draw stream; equal seeds replay identically.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a connector shipment fails transiently.
+    pub wire_failure_rate: f64,
+    /// Probability in `[0, 1]` that an external-runtime tensor reservation
+    /// fails transiently.
+    pub runtime_failure_rate: f64,
+    /// Stop injecting after this many faults (`None` = unbounded). Lets a
+    /// test assert "fails exactly k times, then heals" with rate 1.0.
+    pub max_faults: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A flaky wire: shipments fail with `rate`, the runtime never does.
+    pub fn flaky_wire(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            wire_failure_rate: rate,
+            runtime_failure_rate: 0.0,
+            max_faults: None,
+        }
+    }
+
+    /// A flaky external runtime: reservations fail with `rate`.
+    pub fn flaky_runtime(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            wire_failure_rate: 0.0,
+            runtime_failure_rate: rate,
+            max_faults: None,
+        }
+    }
+
+    /// The ambient profile used under [`FAULT_SEED_ENV`]: a mildly flaky
+    /// wire and runtime, low enough that bounded retry almost always heals,
+    /// high enough that the retry and degradation paths actually run.
+    pub fn ambient(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            wire_failure_rate: 0.05,
+            runtime_failure_rate: 0.02,
+            max_faults: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: u64,
+    injected: u64,
+}
+
+/// A shareable deterministic fault stream; see the module docs. Clones share
+/// one draw stream and one injected-fault counter, so a connector and a
+/// runtime handed clones of the same injector consume a single deterministic
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: Arc<Mutex<InjectorState>>,
+}
+
+impl FaultInjector {
+    /// An injector over `config`'s seeded stream.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultInjector {
+            state: Arc::new(Mutex::new(InjectorState {
+                rng: config.seed,
+                injected: 0,
+            })),
+            config,
+        }
+    }
+
+    /// The ambient injector configured by the [`FAULT_SEED_ENV`] environment
+    /// variable, or `None` when the variable is unset/unparsable.
+    pub fn from_env() -> Option<Self> {
+        let seed: u64 = std::env::var(FAULT_SEED_ENV).ok()?.parse().ok()?;
+        Some(Self::new(FaultConfig::ambient(seed)))
+    }
+
+    /// The configuration this injector draws from.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Number of faults injected so far across all clones.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("fault injector lock").injected
+    }
+
+    /// SplitMix64 step — a tiny, well-mixed deterministic generator; no OS
+    /// entropy anywhere.
+    fn next_f64(state: &mut InjectorState) -> f64 {
+        state.rng = state.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn draw(&self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let mut st = self.state.lock().expect("fault injector lock");
+        if self.config.max_faults.is_some_and(|max| st.injected >= max) {
+            return false;
+        }
+        let fail = Self::next_f64(&mut st) < rate;
+        if fail {
+            st.injected += 1;
+        }
+        fail
+    }
+
+    /// Draw: should the next connector shipment fail transiently?
+    pub fn should_fail_wire(&self) -> bool {
+        self.draw(self.config.wire_failure_rate)
+    }
+
+    /// Draw: should the next external-runtime reservation fail transiently?
+    pub fn should_fail_runtime(&self) -> bool {
+        self.draw(self.config.runtime_failure_rate)
+    }
+}
+
+/// Bounded retry with exponential backoff — the response executors wrap
+/// around transiently failing boundary operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before attempt `n+1` is `base_backoff * 2^(n-1)`. Callers
+    /// that model wire time (`simulate_wire`) really sleep it; unit tests
+    /// do not.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff to pay before retry number `retry` (1-based): exponential in
+    /// the retry count, `base_backoff * 2^(retry-1)`.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        self.base_backoff * 2u32.saturating_pow(retry.saturating_sub(1))
+    }
+
+    /// Run `op` up to [`RetryPolicy::max_attempts`] times, retrying only on
+    /// [`Error::Transient`]. `on_retry(retry_number, backoff)` fires before
+    /// each re-attempt (the caller decides whether to actually sleep the
+    /// backoff — tests never do). Returns the last transient error when
+    /// attempts are exhausted, and any non-transient error immediately.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T>,
+        mut on_retry: impl FnMut(u32, Duration),
+    ) -> Result<T> {
+        let attempts = self.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    on_retry(attempt, self.backoff_for(attempt));
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(Error::Transient { op: "retry".into() }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = FaultInjector::new(FaultConfig::flaky_wire(42, 0.5));
+        let b = FaultInjector::new(FaultConfig::flaky_wire(42, 0.5));
+        let draws_a: Vec<bool> = (0..64).map(|_| a.should_fail_wire()).collect();
+        let draws_b: Vec<bool> = (0..64).map(|_| b.should_fail_wire()).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0, "rate 0.5 over 64 draws must inject");
+    }
+
+    #[test]
+    fn rate_bounds_are_respected() {
+        let never = FaultInjector::new(FaultConfig::flaky_wire(7, 0.0));
+        assert!((0..100).all(|_| !never.should_fail_wire()));
+        let always = FaultInjector::new(FaultConfig::flaky_wire(7, 1.0));
+        assert!((0..100).all(|_| always.should_fail_wire()));
+    }
+
+    #[test]
+    fn max_faults_caps_injection() {
+        let mut config = FaultConfig::flaky_wire(3, 1.0);
+        config.max_faults = Some(2);
+        let inj = FaultInjector::new(config);
+        assert!(inj.should_fail_wire());
+        assert!(inj.should_fail_wire());
+        assert!(!inj.should_fail_wire(), "healed after max_faults");
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let mut config = FaultConfig::flaky_wire(9, 1.0);
+        config.max_faults = Some(1);
+        let a = FaultInjector::new(config);
+        let b = a.clone();
+        assert!(a.should_fail_wire());
+        assert!(!b.should_fail_wire(), "clone sees the shared fault budget");
+        assert_eq!(b.injected(), 1);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn retry_run_retries_only_transient() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+        };
+        // Heals on the third attempt.
+        let mut calls = 0;
+        let mut retries = 0;
+        let out = p.run(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(Error::Transient { op: "t".into() })
+                } else {
+                    Ok(calls)
+                }
+            },
+            |_, _| retries += 1,
+        );
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(retries, 2);
+
+        // Exhausts and returns the transient error.
+        let exhausted = p.run(
+            || -> Result<()> { Err(Error::Transient { op: "t".into() }) },
+            |_, _| {},
+        );
+        assert!(exhausted.unwrap_err().is_transient());
+
+        // Non-transient errors pass straight through.
+        let mut calls = 0;
+        let hard = p.run(
+            || -> Result<()> {
+                calls += 1;
+                Err(Error::Codec("bad".into()))
+            },
+            |_, _| {},
+        );
+        assert!(matches!(hard.unwrap_err(), Error::Codec(_)));
+        assert_eq!(calls, 1);
+    }
+}

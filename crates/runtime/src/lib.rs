@@ -31,17 +31,19 @@ pub mod context;
 pub mod device;
 pub mod error;
 pub mod external;
+pub mod faults;
 pub mod governor;
 pub mod pool;
 pub mod threads;
 pub mod tuning;
 
-pub use connector::{Connector, TransferProfile};
+pub use connector::{Connector, ConnectorStats, TransferProfile};
 pub use context::{ContextStats, ExecContext};
 pub use device::{Device, DeviceKind, DeviceModel, PlacementDecision};
 pub use error::{Error, Result};
 pub use external::{ExternalRuntime, RuntimeProfile};
+pub use faults::{FaultConfig, FaultInjector, RetryPolicy, FAULT_SEED_ENV};
 pub use governor::{MemoryGovernor, Reservation};
 pub use pool::{KernelPool, PoolCounters, PoolHandle};
-pub use threads::{BudgetGrant, ThreadCoordinator, ThreadPlan};
+pub use threads::{AdmissionPolicy, AdmissionStats, BudgetGrant, ThreadCoordinator, ThreadPlan};
 pub use tuning::{tune, TunedPlan, TuningReport};

@@ -28,12 +28,25 @@
 //! events, so tests and the tuning ablation can observe scheduling behavior
 //! instead of guessing.
 
+use crate::error::{Error, Result};
 use relserve_tensor::parallel::{Parallelism, StripeRunner};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Best-effort string form of a panic payload (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Type-erased pointer to a borrowed `&(dyn Fn(usize) + Sync)` task closure.
 ///
@@ -63,6 +76,9 @@ struct Batch {
     /// submitter is not counted — it always participates.
     helper_slots: AtomicUsize,
     panicked: AtomicBool,
+    /// First captured panic payload, surfaced to the submitter as
+    /// [`Error::KernelPanicked`] once the whole batch has completed.
+    panic_message: Mutex<Option<String>>,
     /// Completion signal for the submitting thread.
     done_lock: Mutex<bool>,
     done_cv: Condvar,
@@ -120,7 +136,10 @@ impl Shared {
             if t >= batch.n_tasks {
                 return;
             }
-            if catch_unwind(AssertUnwindSafe(|| (batch.task.0)(t))).is_err() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (batch.task.0)(t))) {
+                let mut msg = batch.panic_message.lock().expect("panic message lock");
+                msg.get_or_insert_with(|| payload_message(payload.as_ref()));
+                drop(msg);
                 batch.panicked.store(true, Ordering::Relaxed);
             }
             self.counters.tasks_run.fetch_add(1, Ordering::Relaxed);
@@ -231,14 +250,20 @@ impl KernelPool {
     /// the submitting thread plus up to `budget - 1` helper workers. This is
     /// the primitive behind [`PoolHandle`]; `budget` is clamped to at least
     /// 1 (the submitter always runs).
-    pub fn run_stripes_budgeted(
+    ///
+    /// A panicking task does **not** panic the submitting thread: the whole
+    /// batch still runs to completion (the pool stays reusable) and the
+    /// first captured panic payload comes back as
+    /// [`Error::KernelPanicked`], so one poisoned query surfaces a typed
+    /// error instead of aborting a serving thread.
+    pub fn run_batch(
         &self,
         n_tasks: usize,
         task: &(dyn Fn(usize) + Sync),
         budget: usize,
-    ) {
+    ) -> Result<()> {
         if n_tasks == 0 {
-            return;
+            return Ok(());
         }
         // SAFETY: see `TaskPtr` — we block on batch completion below, so the
         // borrow outlives every dereference.
@@ -252,6 +277,7 @@ impl KernelPool {
             finished: AtomicUsize::new(0),
             helper_slots: AtomicUsize::new(helpers.min(self.workers.len())),
             panicked: AtomicBool::new(false),
+            panic_message: Mutex::new(None),
             done_lock: Mutex::new(false),
             done_cv: Condvar::new(),
         });
@@ -270,7 +296,29 @@ impl KernelPool {
         }
         drop(done);
         if batch.panicked.load(Ordering::Relaxed) {
-            panic!("kernel pool task panicked");
+            let message = batch
+                .panic_message
+                .lock()
+                .expect("panic message lock")
+                .take()
+                .unwrap_or_else(|| "unknown panic".to_string());
+            return Err(Error::KernelPanicked { message });
+        }
+        Ok(())
+    }
+
+    /// Legacy infallible form of [`KernelPool::run_batch`] behind the
+    /// [`StripeRunner`] seam (whose signature cannot carry errors):
+    /// re-raises a captured task panic on the submitting thread. Callers
+    /// that can propagate typed errors should use `run_batch`.
+    pub fn run_stripes_budgeted(
+        &self,
+        n_tasks: usize,
+        task: &(dyn Fn(usize) + Sync),
+        budget: usize,
+    ) {
+        if let Err(e) = self.run_batch(n_tasks, task, budget) {
+            panic!("{e}");
         }
     }
 }
@@ -441,6 +489,32 @@ mod tests {
         assert_eq!(ran.load(Ordering::Relaxed), 6, "all tasks still ran");
         // Pool is still usable after a panicked batch.
         assert_eq!(run_sum(&pool, 5), 15);
+
+        // The typed primitive surfaces the same failure as an error value —
+        // no panic on the submitting thread, payload captured verbatim.
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .run_batch(
+                6,
+                &|t| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if t == 3 {
+                        panic!("poisoned stripe {t}");
+                    }
+                },
+                3,
+            )
+            .unwrap_err();
+        match err {
+            Error::KernelPanicked { ref message } => {
+                assert_eq!(message, "poisoned stripe 3");
+            }
+            other => panic!("expected KernelPanicked, got {other:?}"),
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 6, "batch ran to completion");
+        // And the pool is still usable after the typed failure too.
+        assert_eq!(run_sum(&pool, 5), 15);
+        assert!(pool.run_batch(4, &|_| {}, 2).is_ok());
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //! [`KernelPool`], so sessions that should compete for one machine's cores
 //! are built from clones of one coordinator.
 
+use crate::error::{Error, Result};
 use crate::pool::KernelPool;
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// An agreed split of physical cores between the two runtimes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,12 +40,97 @@ impl ThreadPlan {
     }
 }
 
-/// Shared admission ledger: outstanding granted threads across every clone
-/// of one coordinator.
+/// How a query is willing to wait for admission. The default policy never
+/// blocks indefinitely: a saturated machine sheds the query with
+/// [`Error::Overloaded`] after `queue_timeout` instead of queueing it
+/// forever — the ROADMAP's "shed or delay load instead of degrading every
+/// query to its serial floor".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Longest the query will sit in the admission queue before being shed
+    /// with [`Error::Overloaded`]. `None` waits indefinitely (explicit
+    /// opt-in; no default path blocks forever).
+    pub queue_timeout: Option<Duration>,
+    /// Smallest grant worth admitting with. A query that would be admitted
+    /// with fewer threads keeps waiting — useful for plans whose parallel
+    /// layout degenerates below a floor.
+    pub min_threads: usize,
+    /// Absolute deadline for the whole query. Expiring in the queue yields
+    /// [`Error::DeadlineExceeded`]; executors also check it cooperatively at
+    /// block/stage boundaries mid-flight.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            queue_timeout: Some(Duration::from_secs(30)),
+            min_threads: 1,
+            deadline: None,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// A policy that sheds after `timeout` (FIFO position permitting).
+    pub fn with_queue_timeout(timeout: Duration) -> Self {
+        AdmissionPolicy {
+            queue_timeout: Some(timeout),
+            ..Self::default()
+        }
+    }
+
+    /// A policy whose query must finish by `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        AdmissionPolicy {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing what the admission queue has done so far; see
+/// [`ThreadCoordinator::admission_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries admitted (granted a thread share).
+    pub admitted: u64,
+    /// Queries shed with [`Error::Overloaded`] after their queue timeout.
+    pub shed: u64,
+    /// Queries whose deadline expired while still queued.
+    pub deadline_expired: u64,
+}
+
+/// Ledger guarded by the admission mutex: outstanding granted threads plus
+/// the FIFO ticket queue of waiting queries.
+struct AdmissionState {
+    /// Sum of granted threads across live [`BudgetGrant`]s.
+    outstanding: usize,
+    /// Tickets of queries waiting for admission, front = next to admit.
+    /// Strict FIFO: only the front ticket may take threads, so a stream of
+    /// small queries cannot starve a large one that arrived first.
+    queue: VecDeque<u64>,
+    /// Next ticket number to hand out.
+    next_ticket: u64,
+    stats: AdmissionStats,
+}
+
+/// Shared admission ledger across every clone of one coordinator.
 struct Admission {
     cores: usize,
-    outstanding: Mutex<usize>,
+    state: Mutex<AdmissionState>,
     released: Condvar,
+}
+
+impl Admission {
+    /// Remove `ticket` from the wait queue (used when a waiter gives up).
+    /// The queue's front may have changed, so wake the other waiters.
+    fn abandon(&self, state: &mut AdmissionState, ticket: u64) {
+        if let Some(pos) = state.queue.iter().position(|&t| t == ticket) {
+            state.queue.remove(pos);
+        }
+        self.released.notify_all();
+    }
 }
 
 /// One query's admitted share of the kernel-thread budget. Dropping the
@@ -62,13 +150,9 @@ impl BudgetGrant {
 
 impl Drop for BudgetGrant {
     fn drop(&mut self) {
-        let mut outstanding = self
-            .admission
-            .outstanding
-            .lock()
-            .expect("admission ledger lock");
-        *outstanding = outstanding.saturating_sub(self.granted);
-        drop(outstanding);
+        let mut state = self.admission.state.lock().expect("admission ledger lock");
+        state.outstanding = state.outstanding.saturating_sub(self.granted);
+        drop(state);
         self.admission.released.notify_all();
     }
 }
@@ -100,7 +184,12 @@ impl ThreadCoordinator {
             cores,
             admission: Arc::new(Admission {
                 cores,
-                outstanding: Mutex::new(0),
+                state: Mutex::new(AdmissionState {
+                    outstanding: 0,
+                    queue: VecDeque::new(),
+                    next_ticket: 0,
+                    stats: AdmissionStats::default(),
+                }),
                 released: Condvar::new(),
             }),
             pool: Arc::new(OnceLock::new()),
@@ -157,44 +246,135 @@ impl ThreadCoordinator {
         )
     }
 
-    /// Admit a query requesting `requested` kernel threads: grants
-    /// `min(requested, remaining)` of this coordinator's cores, blocking
-    /// while no thread at all is available, so the sum of outstanding
-    /// grants never exceeds the cores and every admitted query holds at
-    /// least one thread. The contract is one live grant per query thread:
-    /// a thread must drop its current grant before requesting another, or
-    /// it may wait on other queries to release theirs.
-    pub fn admit(&self, requested: usize) -> BudgetGrant {
+    /// Admit a query requesting `requested` kernel threads under the
+    /// default [`AdmissionPolicy`]: grants `min(requested, remaining)` once
+    /// the query reaches the front of the FIFO admission queue and at least
+    /// one thread is free, shedding with [`Error::Overloaded`] if the
+    /// machine stays saturated for the default queue timeout. The sum of
+    /// outstanding grants never exceeds the cores and every admitted query
+    /// holds at least one thread. The contract is one live grant per query
+    /// thread: a thread must drop its current grant before requesting
+    /// another, or it may wait on other queries to release theirs.
+    pub fn admit(&self, requested: usize) -> Result<BudgetGrant> {
+        self.admit_with(requested, &AdmissionPolicy::default())
+    }
+
+    /// Admit a query requesting `requested` kernel threads under `policy`.
+    ///
+    /// Queries wait in strict FIFO order: only the query at the front of
+    /// the queue may take threads (so a stream of one-thread queries cannot
+    /// starve an earlier arrival), and it is admitted as soon as at least
+    /// `policy.min_threads` are free, receiving
+    /// `min(requested, free)` of them. Instead of blocking indefinitely the
+    /// wait is bounded two ways:
+    ///
+    /// * `policy.queue_timeout` elapses → the query is **shed** with
+    ///   [`Error::Overloaded`] carrying the measured wait.
+    /// * `policy.deadline` passes → [`Error::DeadlineExceeded`] (phase
+    ///   `"admission-queue"`); a query that cannot finish in time should
+    ///   not take threads at all.
+    ///
+    /// Either way the ticket is removed from the queue and other waiters
+    /// are woken, so an abandoned waiter never blocks the queue.
+    pub fn admit_with(&self, requested: usize, policy: &AdmissionPolicy) -> Result<BudgetGrant> {
         let requested = requested.max(1);
-        let mut outstanding = self
-            .admission
-            .outstanding
-            .lock()
-            .expect("admission ledger lock");
-        while *outstanding >= self.admission.cores {
-            outstanding = self
-                .admission
-                .released
-                .wait(outstanding)
-                .expect("admission wait");
-        }
-        let granted = requested.min(self.admission.cores - *outstanding);
-        *outstanding += granted;
-        drop(outstanding);
-        BudgetGrant {
-            admission: Arc::clone(&self.admission),
-            granted,
+        let min_threads = policy.min_threads.clamp(1, self.admission.cores);
+        let start = Instant::now();
+        let mut state = self.admission.state.lock().expect("admission ledger lock");
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
+        loop {
+            if policy.deadline.is_some_and(|d| Instant::now() >= d) {
+                state.stats.deadline_expired += 1;
+                self.admission.abandon(&mut state, ticket);
+                return Err(Error::DeadlineExceeded {
+                    phase: "admission-queue".into(),
+                });
+            }
+            let free = self.admission.cores - state.outstanding;
+            if state.queue.front() == Some(&ticket) && free >= min_threads {
+                state.queue.pop_front();
+                let granted = requested.min(free);
+                state.outstanding += granted;
+                state.stats.admitted += 1;
+                drop(state);
+                // The next ticket may now be at the front with threads to
+                // spare; let it re-evaluate.
+                self.admission.released.notify_all();
+                return Ok(BudgetGrant {
+                    admission: Arc::clone(&self.admission),
+                    granted,
+                });
+            }
+            // Bound the wait by whichever expires first: queue timeout or
+            // deadline. With neither set, the caller explicitly opted into
+            // an unbounded wait.
+            let waited = start.elapsed();
+            let until_timeout = match policy.queue_timeout {
+                Some(timeout) => match timeout.checked_sub(waited) {
+                    Some(left) => Some(left),
+                    None => {
+                        state.stats.shed += 1;
+                        self.admission.abandon(&mut state, ticket);
+                        return Err(Error::Overloaded {
+                            waited,
+                            queue_timeout: timeout,
+                        });
+                    }
+                },
+                None => None,
+            };
+            let until_deadline = policy
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            let bound = match (until_timeout, until_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            state = match bound {
+                Some(dur) => {
+                    self.admission
+                        .released
+                        .wait_timeout(state, dur)
+                        .expect("admission wait")
+                        .0
+                }
+                None => self.admission.released.wait(state).expect("admission wait"),
+            };
         }
     }
 
     /// Sum of kernel threads currently granted across outstanding queries;
     /// never exceeds [`ThreadCoordinator::cores`].
     pub fn granted_threads(&self) -> usize {
-        *self
-            .admission
-            .outstanding
+        self.admission
+            .state
             .lock()
             .expect("admission ledger lock")
+            .outstanding
+    }
+
+    /// Number of queries currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.admission
+            .state
+            .lock()
+            .expect("admission ledger lock")
+            .queue
+            .len()
+    }
+
+    /// Admission counters (admitted / shed / deadline-expired) across every
+    /// clone of this coordinator.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission
+            .state
+            .lock()
+            .expect("admission ledger lock")
+            .stats
     }
 
     /// Relative context-switch penalty of running `plan` on this machine:
@@ -299,30 +479,31 @@ mod tests {
     #[test]
     fn admission_grants_min_of_requested_and_remaining() {
         let c = ThreadCoordinator::new(4);
-        let a = c.admit(3);
+        let a = c.admit(3).unwrap();
         assert_eq!(a.granted(), 3);
         assert_eq!(c.granted_threads(), 3);
-        let b = c.admit(3);
+        let b = c.admit(3).unwrap();
         assert_eq!(b.granted(), 1, "only one core remained");
         assert_eq!(c.granted_threads(), 4);
         drop(a);
         assert_eq!(c.granted_threads(), 1);
-        let again = c.admit(99);
+        let again = c.admit(99).unwrap();
         assert_eq!(again.granted(), 3);
         drop(again);
         drop(b);
         assert_eq!(c.granted_threads(), 0);
+        assert_eq!(c.admission_stats().admitted, 3);
     }
 
     #[test]
     fn admission_blocks_until_release() {
         let c = ThreadCoordinator::new(2);
-        let held = c.admit(2);
+        let held = c.admit(2).unwrap();
         assert_eq!(c.granted_threads(), 2);
         let c2 = c.clone();
-        let waiter = std::thread::spawn(move || c2.admit(1).granted());
+        let waiter = std::thread::spawn(move || c2.admit(1).unwrap().granted());
         // Give the waiter time to block, then release.
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(50));
         drop(held);
         assert_eq!(waiter.join().unwrap(), 1);
     }
@@ -331,9 +512,96 @@ mod tests {
     fn clones_share_ledger_and_pool() {
         let c = ThreadCoordinator::new(4);
         let d = c.clone();
-        let g = c.admit(2);
+        let g = c.admit(2).unwrap();
         assert_eq!(d.granted_threads(), 2);
         assert!(Arc::ptr_eq(&c.kernel_pool(), &d.kernel_pool()));
         drop(g);
+    }
+
+    #[test]
+    fn saturated_coordinator_sheds_within_queue_timeout() {
+        let c = ThreadCoordinator::new(1);
+        let _held = c.admit(1).unwrap();
+        let timeout = Duration::from_millis(40);
+        let start = Instant::now();
+        let err = c
+            .admit_with(1, &AdmissionPolicy::with_queue_timeout(timeout))
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        match err {
+            Error::Overloaded {
+                waited,
+                queue_timeout,
+            } => {
+                assert!(waited >= timeout, "shed before the timeout: {waited:?}");
+                assert_eq!(queue_timeout, timeout);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Bounded: the old indefinite block is gone. Generous upper bound
+        // for loaded CI machines.
+        assert!(elapsed < Duration::from_secs(5), "{elapsed:?}");
+        assert_eq!(c.admission_stats().shed, 1);
+        assert_eq!(c.queued(), 0, "shed ticket left the queue");
+    }
+
+    #[test]
+    fn deadline_expires_in_admission_queue() {
+        let c = ThreadCoordinator::new(1);
+        let _held = c.admit(1).unwrap();
+        let policy = AdmissionPolicy::with_deadline(Instant::now() + Duration::from_millis(30));
+        let err = c.admit_with(1, &policy).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { ref phase } if phase == "admission-queue"));
+        assert_eq!(c.admission_stats().deadline_expired, 1);
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn min_threads_keeps_query_queued_until_enough_are_free() {
+        let c = ThreadCoordinator::new(4);
+        let held = c.admit(3).unwrap();
+        // One core free: a min_threads=2 query sheds rather than accept 1.
+        let picky = AdmissionPolicy {
+            queue_timeout: Some(Duration::from_millis(30)),
+            min_threads: 2,
+            deadline: None,
+        };
+        assert!(matches!(
+            c.admit_with(2, &picky).unwrap_err(),
+            Error::Overloaded { .. }
+        ));
+        // The same request with the floor released is admitted in full.
+        drop(held);
+        let g = c.admit_with(2, &picky).unwrap();
+        assert_eq!(g.granted(), 2);
+    }
+
+    #[test]
+    fn fifo_order_is_observed_under_contention() {
+        let c = ThreadCoordinator::new(1);
+        let held = c.admit(1).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut waiters = Vec::new();
+        for id in 0..3 {
+            let c2 = c.clone();
+            let order2 = Arc::clone(&order);
+            waiters.push(std::thread::spawn(move || {
+                let g = c2.admit(1).unwrap();
+                order2.lock().unwrap().push(id);
+                // Hold briefly so the next waiter demonstrably comes after.
+                std::thread::sleep(Duration::from_millis(5));
+                drop(g);
+            }));
+            // Wait until this waiter is queued before spawning the next, so
+            // arrival order is deterministic.
+            while c.queued() < id + 1 {
+                std::thread::yield_now();
+            }
+        }
+        drop(held);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2], "strict FIFO");
     }
 }

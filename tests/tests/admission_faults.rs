@@ -1,0 +1,254 @@
+//! Robustness end to end: deadline-aware admission with load shedding under
+//! real contention, and fault-injected connector failures degrading a
+//! DL-centric query to relation-centric execution that still matches the
+//! serial oracle.
+
+use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::init::seeded_rng;
+use relserve_nn::zoo;
+use relserve_runtime::{
+    AdmissionPolicy, Error as RtError, FaultConfig, FaultInjector, RuntimeProfile,
+    ThreadCoordinator, TransferProfile,
+};
+use relserve_tensor::parallel::Parallelism;
+use relserve_tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CORES: usize = 2;
+
+fn small_config() -> SessionConfig {
+    SessionConfig::builder()
+        .db_memory_bytes(64 << 20)
+        .buffer_pool_bytes(16 << 20)
+        .memory_threshold_bytes(16 << 20)
+        .block_size(64)
+        .cores(CORES)
+        .external_memory_bytes(64 << 20)
+        .transfer(TransferProfile::instant())
+        .build()
+        .unwrap()
+}
+
+fn fraud_session() -> (InferenceSession, Tensor) {
+    let session = InferenceSession::open(small_config()).unwrap();
+    let mut rng = seeded_rng(310);
+    session
+        .load_model(zoo::fraud_fc_256(&mut rng).unwrap())
+        .unwrap();
+    let x = Tensor::from_fn([48, 28], |i| ((i % 23) as f32 - 11.0) * 0.07);
+    (session, x)
+}
+
+/// A saturated coordinator sheds queued queries within their queue timeout
+/// instead of blocking them forever, the admission ledger never grants more
+/// threads than the machine has, and successful queries still match the
+/// serial oracle.
+#[test]
+fn contended_admission_sheds_and_never_oversubscribes() {
+    let (session, x) = fraud_session();
+    let session = Arc::new(session);
+    let oracle = session
+        .model("Fraud-FC-256")
+        .unwrap()
+        .forward(&x, &Parallelism::serial())
+        .unwrap();
+
+    // Hold the entire machine so every query below must queue.
+    let hold = session.coordinator().admit(CORES).unwrap();
+
+    let shed = Arc::new(AtomicUsize::new(0));
+    let completed = Arc::new(AtomicUsize::new(0));
+    let queue_timeout = Duration::from_millis(80);
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let x = x.clone();
+            let oracle = oracle.clone();
+            let shed = Arc::clone(&shed);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let policy = AdmissionPolicy::with_queue_timeout(queue_timeout);
+                let started = Instant::now();
+                match session.infer_batch_with(
+                    "Fraud-FC-256",
+                    &x,
+                    Architecture::UdfCentric,
+                    &policy,
+                ) {
+                    Ok(outcome) => {
+                        let out = outcome.output.into_dense().unwrap();
+                        assert!(oracle.approx_eq(&out, 1e-4));
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        let waited = started.elapsed();
+                        assert!(
+                            matches!(e, relserve_core::Error::Runtime(RtError::Overloaded { .. })),
+                            "unexpected shed error: {e:?}"
+                        );
+                        // Shedding happened near the timeout, not after an
+                        // unbounded wait.
+                        assert!(
+                            waited < queue_timeout + Duration::from_secs(2),
+                            "shed after {waited:?}"
+                        );
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Keep the machine saturated past every waiter's timeout.
+    std::thread::sleep(queue_timeout + Duration::from_millis(60));
+    drop(hold);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The machine stayed full for longer than the queue timeout, so every
+    // query shed; none blocked indefinitely.
+    assert_eq!(
+        shed.load(Ordering::Relaxed) + completed.load(Ordering::Relaxed),
+        6
+    );
+    assert!(shed.load(Ordering::Relaxed) >= 1, "nobody was shed");
+    let stats = session.coordinator().admission_stats();
+    assert!(stats.shed >= shed.load(Ordering::Relaxed) as u64);
+    assert_eq!(session.coordinator().granted_threads(), 0);
+}
+
+/// FIFO admission: with the machine held, tickets are granted in arrival
+/// order once it frees up.
+#[test]
+fn admission_order_is_fifo_under_contention() {
+    let coordinator = ThreadCoordinator::new(1);
+    let hold = coordinator.admit(1).unwrap();
+    let order = Arc::new(parking_lot_order::OrderLog::default());
+
+    let handles: Vec<_> = (0..4)
+        .map(|id| {
+            let c = coordinator.clone();
+            let order = Arc::clone(&order);
+            // Sequence arrivals: ticket `id` is in the queue before `id+1`
+            // spawns.
+            while c.queued() < id {
+                std::thread::yield_now();
+            }
+            std::thread::spawn(move || {
+                let grant = c.admit(1).unwrap();
+                order.push(id);
+                drop(grant);
+            })
+        })
+        .collect();
+    while coordinator.queued() < 4 {
+        std::thread::yield_now();
+    }
+    drop(hold);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(order.snapshot(), vec![0, 1, 2, 3]);
+}
+
+/// Tiny helper: a mutex-protected arrival log (std only).
+mod parking_lot_order {
+    #[derive(Default)]
+    pub struct OrderLog(std::sync::Mutex<Vec<usize>>);
+    impl OrderLog {
+        pub fn push(&self, id: usize) {
+            self.0.lock().unwrap().push(id);
+        }
+        pub fn snapshot(&self) -> Vec<usize> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+}
+
+/// A query whose deadline expires while it is still queued for admission
+/// fails with `DeadlineExceeded`, not `Overloaded`, and is counted.
+#[test]
+fn deadline_expires_in_admission_queue() {
+    let (session, x) = fraud_session();
+    let hold = session.coordinator().admit(CORES).unwrap();
+    let policy = AdmissionPolicy::with_deadline(Instant::now() + Duration::from_millis(40));
+    let err = session
+        .infer_batch_with("Fraud-FC-256", &x, Architecture::UdfCentric, &policy)
+        .unwrap_err();
+    assert!(err.is_deadline_exceeded(), "{err:?}");
+    assert!(session.stats().deadline_expired >= 1);
+    drop(hold);
+}
+
+/// The acceptance scenario: a DL-centric query over a connector whose wire
+/// faults exhaust the bounded retry degrades to relation-centric under the
+/// same grant and produces output equal to the serial oracle.
+#[test]
+fn flaky_connector_dl_centric_degrades_and_matches_oracle() {
+    let (session, x) = fraud_session();
+    let session = session.with_fault_injector(FaultInjector::new(FaultConfig::flaky_wire(42, 1.0)));
+    let oracle = session
+        .model("Fraud-FC-256")
+        .unwrap()
+        .forward(&x, &Parallelism::serial())
+        .unwrap();
+
+    let outcome = session
+        .infer_batch(
+            "Fraud-FC-256",
+            &x,
+            Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
+        )
+        .unwrap();
+    assert_eq!(outcome.degraded_to, Some("relation-centric"));
+    assert_eq!(outcome.architecture, "dl-centric(tensorflow-like)");
+    let out = outcome.output.into_dense().unwrap();
+    assert!(
+        oracle.approx_eq(&out, 1e-3),
+        "degraded output diverged from the serial oracle: max diff {}",
+        oracle.max_abs_diff(&out).unwrap()
+    );
+
+    let stats = session.stats();
+    assert_eq!(stats.degradations, 1);
+    assert!(stats.wire_transient_failures >= 1);
+    assert!(stats.wire_retries >= 1);
+    // The grant was released after the fallback completed.
+    assert_eq!(session.coordinator().granted_threads(), 0);
+}
+
+/// A transient wire that heals under retry never reaches the degradation
+/// ladder — and the deterministic seed makes the fault pattern replayable.
+#[test]
+fn healing_wire_is_deterministic_across_replays() {
+    let run_once = || {
+        let (session, x) = fraud_session();
+        let mut cfg = FaultConfig::flaky_wire(1234, 1.0);
+        cfg.max_faults = Some(2);
+        let session = session.with_fault_injector(FaultInjector::new(cfg));
+        let outcome = session
+            .infer_batch(
+                "Fraud-FC-256",
+                &x,
+                Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
+            )
+            .unwrap();
+        let stats = session.stats();
+        (
+            outcome.degraded_to,
+            stats.wire_transient_failures,
+            stats.wire_retries,
+            outcome.output.into_dense().unwrap(),
+        )
+    };
+    let (degraded_a, faults_a, retries_a, out_a) = run_once();
+    let (degraded_b, faults_b, retries_b, out_b) = run_once();
+    assert_eq!(degraded_a, None, "two faults heal under the default retry");
+    assert_eq!(degraded_a, degraded_b);
+    assert_eq!(faults_a, 2);
+    assert_eq!((faults_a, retries_a), (faults_b, retries_b));
+    assert!(out_a.approx_eq(&out_b, 0.0));
+}

@@ -108,6 +108,9 @@ fn table3_oom_pattern_reproduces_at_test_scale() {
         .cores(2)
         .external_memory_bytes(12 << 20)
         .transfer(TransferProfile::instant())
+        // This test asserts which cells OOM, so the graceful-degradation
+        // fallback must stay out of the way.
+        .degradation(false)
         .build()
         .unwrap();
     let session = InferenceSession::open(config).unwrap();

@@ -1,0 +1,140 @@
+//! Serving-frontend throughput: dynamic micro-batching vs one request per
+//! session call. The served architecture is DL-centric over a modeled
+//! ConnectorX-like wire (2 ms fixed latency per transfer), the fixed cost
+//! the micro-batcher amortizes — the online-serving face of the paper's
+//! Fig. 2 effect. Floods the loopback server with pipelined single-row
+//! Standard requests and compares rows/s against (a) a serial
+//! one-request-per-`infer_batch` baseline and (b) the same server with
+//! batching disabled (`max_batch_rows = 1`). Emits `BENCH_serve.json`.
+//!
+//! Run with `cargo run --release --bin repro_serve`.
+
+use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::{init::seeded_rng, zoo};
+use relserve_runtime::{Priority, RuntimeProfile, TransferProfile};
+use relserve_serve::{ServeClient, ServeConfig, Server};
+use relserve_tensor::Tensor;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MODEL: &str = "Fraud-FC-256";
+const WIDTH: usize = 28;
+
+fn architecture() -> Architecture {
+    Architecture::DlCentric(RuntimeProfile::tensorflow_like())
+}
+
+fn session() -> Arc<InferenceSession> {
+    let config = SessionConfig::builder()
+        .transfer(TransferProfile::local_connectorx())
+        .build()
+        .unwrap();
+    let session = InferenceSession::open(config).unwrap();
+    let mut rng = seeded_rng(2024);
+    session
+        .load_model(zoo::fraud_fc_256(&mut rng).unwrap())
+        .unwrap();
+    Arc::new(session)
+}
+
+fn row(i: usize) -> Vec<f32> {
+    (0..WIDTH)
+        .map(|j| (((i * 31 + j) % 23) as f32 - 11.0) * 0.07)
+        .collect()
+}
+
+/// Rows/s for `total` pipelined single-row requests over `clients`
+/// loopback connections against a server with the given batch bound.
+fn serve_throughput(total: usize, clients: usize, max_batch_rows: usize) -> (f64, f64) {
+    let config = ServeConfig {
+        max_batch_rows,
+        max_batch_delay: Duration::from_millis(2),
+        architecture: architecture(),
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(session(), config).unwrap();
+    let addr = server.addr();
+    let per_client = total / clients;
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|tag| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                for i in 0..per_client {
+                    client
+                        .send_infer(
+                            MODEL,
+                            Priority::Standard,
+                            None,
+                            1,
+                            WIDTH,
+                            row(tag * 10_000 + i),
+                        )
+                        .unwrap();
+                }
+                for _ in 0..per_client {
+                    client.recv().unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let avg_batch = stats.fused_rows as f64 / stats.batches.max(1) as f64;
+    server.shutdown();
+    ((per_client * clients) as f64 / secs, avg_batch)
+}
+
+fn main() {
+    let total = 256usize;
+    let clients = 4usize;
+
+    // Baseline: one admission + plan + connector transfer + kernel launch
+    // per request, straight against the session (no batching, no wire).
+    let s = session();
+    let started = Instant::now();
+    for i in 0..total {
+        let batch = Tensor::from_vec([1, WIDTH], row(i)).unwrap();
+        s.infer_batch(MODEL, &batch, architecture()).unwrap();
+    }
+    let session_rps = total as f64 / started.elapsed().as_secs_f64();
+
+    // Same wire path, batching disabled: every request is its own fused
+    // batch of one row.
+    let (unbatched_rps, _) = serve_throughput(total, clients, 1);
+    // Dynamic micro-batching on.
+    let (batched_rps, avg_batch) = serve_throughput(total, clients, 32);
+
+    println!("serving throughput, {total} single-row Standard requests, {clients} clients:");
+    println!("  session serial baseline : {session_rps:>9.0} rows/s");
+    println!("  server, batching off    : {unbatched_rps:>9.0} rows/s");
+    println!(
+        "  server, micro-batching  : {batched_rps:>9.0} rows/s (avg fused batch {avg_batch:.1} rows)"
+    );
+    println!(
+        "  batched vs unbatched: {:.2}x, batched vs session-serial: {:.2}x",
+        batched_rps / unbatched_rps,
+        batched_rps / session_rps
+    );
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"host_cores\": {host_cores},\n  \"model\": \"{MODEL}\",\n  \"requests\": {total},\n  \"clients\": {clients},\n  \
+         \"session_serial_rows_per_sec\": {session_rps:.1},\n  \
+         \"server_unbatched_rows_per_sec\": {unbatched_rps:.1},\n  \
+         \"server_batched_rows_per_sec\": {batched_rps:.1},\n  \
+         \"avg_fused_batch_rows\": {avg_batch:.2},\n  \
+         \"speedup_batched_vs_unbatched\": {:.3},\n  \
+         \"speedup_batched_vs_session_serial\": {:.3}\n}}\n",
+        batched_rps / unbatched_rps,
+        batched_rps / session_rps,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

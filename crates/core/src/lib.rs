@@ -41,6 +41,6 @@ pub use error::{Error, Result};
 pub use ir::{InferencePlan, OpAssignment, Representation};
 pub use optimizer::RuleBasedOptimizer;
 pub use session::{
-    Architecture, InferenceOutcome, InferenceSession, SessionConfig, SessionConfigBuilder,
-    SessionStats,
+    Architecture, FusedOutcome, InferenceOutcome, InferenceSession, SessionConfig,
+    SessionConfigBuilder, SessionStats,
 };

@@ -269,6 +269,46 @@ pub struct SessionStats {
     pub kernel_panics: u64,
 }
 
+impl SessionStats {
+    /// The counters as stable `(name, value)` pairs, for exporting over a
+    /// wire or into a metrics sink without the consumer knowing the struct
+    /// layout. `SessionStats` itself is the plain-old-data snapshot: it is
+    /// `Copy`, holds no locks, and is safe to ship across threads.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("db_oom_events", self.db_oom_events),
+            ("external_oom_events", self.external_oom_events),
+            ("admitted", self.admitted),
+            ("shed", self.shed),
+            ("deadline_expired", self.deadline_expired),
+            ("degradations", self.degradations),
+            ("wire_transient_failures", self.wire_transient_failures),
+            ("wire_retries", self.wire_retries),
+            ("runtime_retries", self.runtime_retries),
+            ("kernel_panics", self.kernel_panics),
+        ]
+    }
+}
+
+/// Outcome of one fused execution serving several coalesced requests: the
+/// whole batch ran as a single admitted query, and the per-request
+/// predictions were demultiplexed back out by row count. Produced by
+/// [`InferenceSession::infer_fused`].
+#[derive(Debug)]
+pub struct FusedOutcome {
+    /// Row-wise class predictions per fused request, in submission order.
+    pub per_request: Vec<Vec<usize>>,
+    /// Wall-clock execution time of the fused batch (shared by every
+    /// request it carried).
+    pub elapsed: Duration,
+    /// Which architecture the fused batch was submitted under.
+    pub architecture: String,
+    /// The fallback architecture that actually produced the output, when
+    /// the primary attempt failed recoverably (applies to every request in
+    /// the batch).
+    pub degraded_to: Option<&'static str>,
+}
+
 #[derive(Default)]
 struct SessionCounters {
     external_oom_events: AtomicU64,
@@ -678,6 +718,71 @@ impl InferenceSession {
         })
     }
 
+    /// Execute several coalesced single- or multi-row requests as one fused
+    /// batch: the serving layer's micro-batcher concatenates compatible
+    /// requests (same model + version), the fused batch pays for admission,
+    /// planning and kernel launch **once**, and the per-request predictions
+    /// are demultiplexed back out by each part's row count.
+    ///
+    /// Every `part` must be a 2-D `[rows, width]` tensor with the same
+    /// width. The whole batch shares one outcome: if the fused execution
+    /// degrades, every request reports the same `degraded_to`; if it fails,
+    /// the caller maps the single error to every request it fused.
+    pub fn infer_fused(
+        &self,
+        model_name: &str,
+        parts: &[Tensor],
+        architecture: Architecture,
+        policy: &AdmissionPolicy,
+    ) -> Result<FusedOutcome> {
+        if parts.is_empty() {
+            return Err(Error::Invalid("fused batch needs at least one part".into()));
+        }
+        let width = match parts[0].shape().dims() {
+            [_, w] => *w,
+            other => {
+                return Err(Error::Invalid(format!(
+                    "fused parts must be 2-D [rows, width], got {other:?}"
+                )))
+            }
+        };
+        let mut rows_per_part = Vec::with_capacity(parts.len());
+        let mut total_rows = 0usize;
+        for part in parts {
+            match part.shape().dims() {
+                [r, w] if *w == width && *r > 0 => {
+                    rows_per_part.push(*r);
+                    total_rows += *r;
+                }
+                other => {
+                    return Err(Error::Invalid(format!(
+                        "fused part shape {other:?} incompatible with width {width}"
+                    )))
+                }
+            }
+        }
+        let mut data = Vec::with_capacity(total_rows * width);
+        for part in parts {
+            data.extend_from_slice(part.data());
+        }
+        let fused = Tensor::from_vec([total_rows, width], data)?;
+        let outcome = self.infer_batch_with(model_name, &fused, architecture, policy)?;
+        let predictions = outcome.predictions()?;
+        debug_assert_eq!(predictions.len(), total_rows);
+        let mut per_request = Vec::with_capacity(parts.len());
+        let mut offset = 0usize;
+        for rows in rows_per_part {
+            per_request.push(predictions[offset..offset + rows].to_vec());
+            offset += rows;
+        }
+        Ok(FusedOutcome {
+            per_request,
+            elapsed: outcome.elapsed,
+            architecture: outcome.architecture,
+            degraded_to: outcome.degraded_to,
+        })
+    }
+
     /// Run inference over features scanned from a table column.
     pub fn infer(
         &self,
@@ -931,6 +1036,78 @@ mod tests {
             .unwrap_err();
         assert!(err.is_deadline_exceeded(), "{err:?}");
         assert_eq!(session.stats().degradations, 0);
+    }
+
+    /// The fused entry point demultiplexes exactly the per-part predictions
+    /// a request-at-a-time execution would have produced.
+    #[test]
+    fn fused_batch_demuxes_per_request_predictions() {
+        let session = fraud_session(0);
+        let part_rows = [1usize, 5, 2, 8];
+        let parts: Vec<Tensor> = part_rows
+            .iter()
+            .enumerate()
+            .map(|(salt, &rows)| {
+                Tensor::from_fn([rows, 28], move |i| {
+                    ((i * 7 + salt * 31) % 13) as f32 * 0.1 - 0.6
+                })
+            })
+            .collect();
+        let fused = session
+            .infer_fused(
+                "Fraud-FC-256",
+                &parts,
+                Architecture::UdfCentric,
+                &AdmissionPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(fused.per_request.len(), parts.len());
+        for (part, preds) in parts.iter().zip(&fused.per_request) {
+            let solo = session
+                .infer_batch("Fraud-FC-256", part, Architecture::UdfCentric)
+                .unwrap();
+            assert_eq!(preds, &solo.predictions().unwrap());
+        }
+        // Ragged widths and empty batches are rejected up front.
+        let ragged = [
+            Tensor::from_fn([2, 28], |_| 0.1),
+            Tensor::from_fn([2, 27], |_| 0.1),
+        ];
+        assert!(session
+            .infer_fused(
+                "Fraud-FC-256",
+                &ragged,
+                Architecture::UdfCentric,
+                &AdmissionPolicy::default()
+            )
+            .is_err());
+        assert!(session
+            .infer_fused(
+                "Fraud-FC-256",
+                &[],
+                Architecture::UdfCentric,
+                &AdmissionPolicy::default()
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn session_stats_counters_are_enumerable() {
+        let session = fraud_session(4);
+        let batch = session.features("transactions", "features").unwrap();
+        session
+            .infer_batch("Fraud-FC-256", &batch, Architecture::UdfCentric)
+            .unwrap();
+        let stats = session.stats();
+        let counters = stats.counters();
+        assert_eq!(counters.len(), 10);
+        let admitted = counters
+            .iter()
+            .find(|(name, _)| *name == "admitted")
+            .unwrap()
+            .1;
+        assert_eq!(admitted, stats.admitted);
+        assert!(admitted >= 1);
     }
 
     #[test]

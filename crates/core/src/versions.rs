@@ -76,6 +76,58 @@ impl VersionCatalog {
     }
 }
 
+/// Queue-pressure-driven version step-down for a serving frontend.
+///
+/// Where [`VersionCatalog::select`] picks a version from an *accuracy* SLA,
+/// a saturated server has a second lever: as the queue for an admission
+/// class deepens past its SLA threshold, step queries down the rungs of a
+/// pre-agreed ladder of loaded model versions (original first, cheaper
+/// compressed versions after), trading accuracy for drain rate instead of
+/// shedding. The mapping is pure and deterministic so a serving layer can
+/// consult it per fused batch without coordination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureLadder {
+    rungs: Vec<String>,
+    step_depth: usize,
+}
+
+impl PressureLadder {
+    /// A ladder over model names already loaded in the session, most
+    /// accurate (and most expensive) first, with one step down per
+    /// `step_depth` rows of queued work. `step_depth` is the class's SLA
+    /// threshold: queue depth at or below it always serves rung 0.
+    pub fn new(rungs: Vec<String>, step_depth: usize) -> Result<Self> {
+        if rungs.is_empty() {
+            return Err(Error::Invalid(
+                "a pressure ladder needs at least one rung".into(),
+            ));
+        }
+        if step_depth == 0 {
+            return Err(Error::Invalid("step_depth must be positive".into()));
+        }
+        Ok(PressureLadder { rungs, step_depth })
+    }
+
+    /// The rung names, most accurate first.
+    pub fn rungs(&self) -> &[String] {
+        &self.rungs
+    }
+
+    /// The SLA queue-depth threshold per step.
+    pub fn step_depth(&self) -> usize {
+        self.step_depth
+    }
+
+    /// The model version to serve at `queue_depth` rows of backlog, with
+    /// its rung index (0 = original). Depth below `step_depth` keeps rung
+    /// 0; every full `step_depth` of backlog steps one rung down, clamped
+    /// to the cheapest rung.
+    pub fn rung_for_depth(&self, queue_depth: usize) -> (&str, usize) {
+        let rung = (queue_depth / self.step_depth.max(1)).min(self.rungs.len() - 1);
+        (&self.rungs[rung], rung)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +182,20 @@ mod tests {
         // A strict-but-satisfiable SLA still returns something.
         let strict = catalog.select(Sla { min_accuracy: 0.95 }).unwrap();
         assert!(strict.accuracy >= 0.95);
+    }
+
+    #[test]
+    fn pressure_ladder_steps_down_with_depth() {
+        let ladder =
+            PressureLadder::new(vec!["m".into(), "m@int8".into(), "m@pruned".into()], 8).unwrap();
+        assert_eq!(ladder.rung_for_depth(0), ("m", 0));
+        assert_eq!(ladder.rung_for_depth(7), ("m", 0));
+        assert_eq!(ladder.rung_for_depth(8), ("m@int8", 1));
+        assert_eq!(ladder.rung_for_depth(16), ("m@pruned", 2));
+        // Clamped to the cheapest rung, never out of range.
+        assert_eq!(ladder.rung_for_depth(10_000), ("m@pruned", 2));
+        assert!(PressureLadder::new(vec![], 8).is_err());
+        assert!(PressureLadder::new(vec!["m".into()], 0).is_err());
     }
 
     #[test]

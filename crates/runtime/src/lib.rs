@@ -45,5 +45,8 @@ pub use external::{ExternalRuntime, RuntimeProfile};
 pub use faults::{FaultConfig, FaultInjector, RetryPolicy, FAULT_SEED_ENV};
 pub use governor::{MemoryGovernor, Reservation};
 pub use pool::{KernelPool, PoolCounters, PoolHandle};
-pub use threads::{AdmissionPolicy, AdmissionStats, BudgetGrant, ThreadCoordinator, ThreadPlan};
+pub use threads::{
+    AdmissionPolicy, AdmissionStats, BudgetGrant, ClassAdmissionStats, Priority, ThreadCoordinator,
+    ThreadPlan,
+};
 pub use tuning::{tune, TunedPlan, TuningReport};

@@ -17,7 +17,7 @@
 
 use crate::error::{Error, Result};
 use crate::pool::KernelPool;
-use std::collections::VecDeque;
+use std::collections::BTreeSet;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -40,6 +40,73 @@ impl ThreadPlan {
     }
 }
 
+/// Admission class of a query: which band of the ticket queue it waits in.
+///
+/// The queue orders tickets by `(class, arrival)`, so every waiting
+/// `Interactive` query is admitted before any waiting `Standard` one, and
+/// `Batch` analytics only run when nothing more urgent is queued. Within one
+/// class the order stays strict FIFO — a single-class workload behaves
+/// exactly like the pre-band queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-critical point lookups: first band, shortest patience —
+    /// if even the front of the queue cannot get a core quickly, the
+    /// caller would rather fail fast and retry elsewhere.
+    Interactive,
+    /// Ordinary queries (the default; matches the pre-band behavior).
+    #[default]
+    Standard,
+    /// Throughput-oriented analytics: last band. Patient in the queue, but
+    /// the first class to shed when the machine stays saturated.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, most urgent first (also their queue-band order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Band index: 0 = most urgent. Used as the major sort key of the
+    /// ticket queue and as the index into per-class stats arrays.
+    pub fn rank(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Inverse of [`Priority::rank`], for wire protocols.
+    pub fn from_rank(rank: u8) -> Option<Priority> {
+        match rank {
+            0 => Some(Priority::Interactive),
+            1 => Some(Priority::Standard),
+            2 => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// The per-class default queue patience used by
+    /// [`AdmissionPolicy::for_class`]: interactive queries fail fast,
+    /// batch queries wait out long saturation before shedding.
+    pub fn default_queue_timeout(self) -> Duration {
+        match self {
+            Priority::Interactive => Duration::from_secs(2),
+            Priority::Standard => Duration::from_secs(30),
+            Priority::Batch => Duration::from_secs(60),
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Interactive => write!(f, "interactive"),
+            Priority::Standard => write!(f, "standard"),
+            Priority::Batch => write!(f, "batch"),
+        }
+    }
+}
+
 /// How a query is willing to wait for admission. The default policy never
 /// blocks indefinitely: a saturated machine sheds the query with
 /// [`Error::Overloaded`] after `queue_timeout` instead of queueing it
@@ -59,6 +126,16 @@ pub struct AdmissionPolicy {
     /// [`Error::DeadlineExceeded`]; executors also check it cooperatively at
     /// block/stage boundaries mid-flight.
     pub deadline: Option<Instant>,
+    /// The queue band this query waits in. Defaults to
+    /// [`Priority::Standard`]; a single-class workload is strict FIFO.
+    pub priority: Priority,
+    /// Depth-based load shedding at the door: if more than this many
+    /// tickets are queued *ahead of* the query when it arrives, it is shed
+    /// immediately with [`Error::Overloaded`] instead of joining the queue.
+    /// `None` (the default) never depth-sheds. Giving `Batch` policies a
+    /// small depth makes batch analytics the first load shed under
+    /// saturation while interactive queries keep queueing.
+    pub shed_queue_depth: Option<usize>,
 }
 
 impl Default for AdmissionPolicy {
@@ -67,6 +144,8 @@ impl Default for AdmissionPolicy {
             queue_timeout: Some(Duration::from_secs(30)),
             min_threads: 1,
             deadline: None,
+            priority: Priority::Standard,
+            shed_queue_depth: None,
         }
     }
 }
@@ -87,29 +166,81 @@ impl AdmissionPolicy {
             ..Self::default()
         }
     }
+
+    /// The default policy of an admission `class`: the class's queue band
+    /// plus its [`Priority::default_queue_timeout`] patience.
+    pub fn for_class(class: Priority) -> Self {
+        AdmissionPolicy {
+            queue_timeout: Some(class.default_queue_timeout()),
+            priority: class,
+            ..Self::default()
+        }
+    }
+
+    /// This policy moved into `class`'s queue band (keeps every other knob).
+    pub fn in_class(mut self, class: Priority) -> Self {
+        self.priority = class;
+        self
+    }
+
+    /// This policy with depth-based door shedding (see
+    /// [`AdmissionPolicy::shed_queue_depth`]).
+    pub fn with_shed_depth(mut self, depth: usize) -> Self {
+        self.shed_queue_depth = Some(depth);
+        self
+    }
+}
+
+/// Per-class slice of [`AdmissionStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassAdmissionStats {
+    /// Queries of this class admitted (granted a thread share).
+    pub admitted: u64,
+    /// Queries of this class shed with [`Error::Overloaded`] (queue timeout
+    /// or depth-based door shedding).
+    pub shed: u64,
+    /// Queries of this class whose deadline expired while still queued.
+    pub deadline_expired: u64,
 }
 
 /// Counters describing what the admission queue has done so far; see
-/// [`ThreadCoordinator::admission_stats`].
+/// [`ThreadCoordinator::admission_stats`]. The aggregate fields sum the
+/// [`AdmissionStats::per_class`] breakdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AdmissionStats {
     /// Queries admitted (granted a thread share).
     pub admitted: u64,
-    /// Queries shed with [`Error::Overloaded`] after their queue timeout.
+    /// Queries shed with [`Error::Overloaded`] after their queue timeout or
+    /// by depth-based door shedding.
     pub shed: u64,
     /// Queries whose deadline expired while still queued.
     pub deadline_expired: u64,
+    /// The same counters broken down by admission class, indexed by
+    /// [`Priority::rank`].
+    pub per_class: [ClassAdmissionStats; 3],
 }
 
+impl AdmissionStats {
+    /// The breakdown for one admission class.
+    pub fn class(&self, class: Priority) -> ClassAdmissionStats {
+        self.per_class[class.rank()]
+    }
+}
+
+/// A waiting query's position: priority band first, then arrival order.
+/// `BTreeSet` keeps the minimum — the next ticket to admit — at the front.
+type TicketKey = (usize, u64);
+
 /// Ledger guarded by the admission mutex: outstanding granted threads plus
-/// the FIFO ticket queue of waiting queries.
+/// the banded ticket queue of waiting queries.
 struct AdmissionState {
     /// Sum of granted threads across live [`BudgetGrant`]s.
     outstanding: usize,
-    /// Tickets of queries waiting for admission, front = next to admit.
-    /// Strict FIFO: only the front ticket may take threads, so a stream of
-    /// small queries cannot starve a large one that arrived first.
-    queue: VecDeque<u64>,
+    /// Tickets of queries waiting for admission, minimum = next to admit.
+    /// Ordered by `(priority band, ticket)`: within a band strict FIFO, so
+    /// a stream of small queries cannot starve an earlier arrival of the
+    /// same class, while a more urgent class overtakes the whole band.
+    queue: BTreeSet<TicketKey>,
     /// Next ticket number to hand out.
     next_ticket: u64,
     stats: AdmissionStats,
@@ -123,12 +254,10 @@ struct Admission {
 }
 
 impl Admission {
-    /// Remove `ticket` from the wait queue (used when a waiter gives up).
+    /// Remove `key` from the wait queue (used when a waiter gives up).
     /// The queue's front may have changed, so wake the other waiters.
-    fn abandon(&self, state: &mut AdmissionState, ticket: u64) {
-        if let Some(pos) = state.queue.iter().position(|&t| t == ticket) {
-            state.queue.remove(pos);
-        }
+    fn abandon(&self, state: &mut AdmissionState, key: TicketKey) {
+        state.queue.remove(&key);
         self.released.notify_all();
     }
 }
@@ -186,7 +315,7 @@ impl ThreadCoordinator {
                 cores,
                 state: Mutex::new(AdmissionState {
                     outstanding: 0,
-                    queue: VecDeque::new(),
+                    queue: BTreeSet::new(),
                     next_ticket: 0,
                     stats: AdmissionStats::default(),
                 }),
@@ -261,13 +390,19 @@ impl ThreadCoordinator {
 
     /// Admit a query requesting `requested` kernel threads under `policy`.
     ///
-    /// Queries wait in strict FIFO order: only the query at the front of
-    /// the queue may take threads (so a stream of one-thread queries cannot
-    /// starve an earlier arrival), and it is admitted as soon as at least
-    /// `policy.min_threads` are free, receiving
-    /// `min(requested, free)` of them. Instead of blocking indefinitely the
-    /// wait is bounded two ways:
+    /// Queries wait in `(priority, arrival)` order: only the query at the
+    /// front of the banded queue may take threads — within one class strict
+    /// FIFO (a stream of one-thread queries cannot starve an earlier
+    /// arrival of the same class), across classes every waiting
+    /// [`Priority::Interactive`] query overtakes `Standard` and `Batch`
+    /// ones. The front query is admitted as soon as at least
+    /// `policy.min_threads` are free, receiving `min(requested, free)` of
+    /// them. Instead of blocking indefinitely the wait is bounded three
+    /// ways:
     ///
+    /// * `policy.shed_queue_depth` exceeded on arrival → the query is shed
+    ///   at the door with [`Error::Overloaded`] without queueing at all
+    ///   (per-class load shedding: batch sheds first under saturation).
     /// * `policy.queue_timeout` elapses → the query is **shed** with
     ///   [`Error::Overloaded`] carrying the measured wait.
     /// * `policy.deadline` passes → [`Error::DeadlineExceeded`] (phase
@@ -279,25 +414,44 @@ impl ThreadCoordinator {
     pub fn admit_with(&self, requested: usize, policy: &AdmissionPolicy) -> Result<BudgetGrant> {
         let requested = requested.max(1);
         let min_threads = policy.min_threads.clamp(1, self.admission.cores);
+        let rank = policy.priority.rank();
         let start = Instant::now();
         let mut state = self.admission.state.lock().expect("admission ledger lock");
         let ticket = state.next_ticket;
         state.next_ticket += 1;
-        state.queue.push_back(ticket);
+        let key: TicketKey = (rank, ticket);
+        state.queue.insert(key);
+        // Door check: per-class depth shedding. Counting only tickets
+        // *ahead* of this one makes the threshold class-relative — a wall
+        // of queued batch work never sheds an interactive arrival.
+        if let Some(depth) = policy.shed_queue_depth {
+            let ahead = state.queue.range(..key).count();
+            if ahead > depth {
+                state.stats.shed += 1;
+                state.stats.per_class[rank].shed += 1;
+                self.admission.abandon(&mut state, key);
+                return Err(Error::Overloaded {
+                    waited: start.elapsed(),
+                    queue_timeout: policy.queue_timeout.unwrap_or(Duration::ZERO),
+                });
+            }
+        }
         loop {
             if policy.deadline.is_some_and(|d| Instant::now() >= d) {
                 state.stats.deadline_expired += 1;
-                self.admission.abandon(&mut state, ticket);
+                state.stats.per_class[rank].deadline_expired += 1;
+                self.admission.abandon(&mut state, key);
                 return Err(Error::DeadlineExceeded {
                     phase: "admission-queue".into(),
                 });
             }
             let free = self.admission.cores - state.outstanding;
-            if state.queue.front() == Some(&ticket) && free >= min_threads {
-                state.queue.pop_front();
+            if state.queue.iter().next() == Some(&key) && free >= min_threads {
+                state.queue.remove(&key);
                 let granted = requested.min(free);
                 state.outstanding += granted;
                 state.stats.admitted += 1;
+                state.stats.per_class[rank].admitted += 1;
                 drop(state);
                 // The next ticket may now be at the front with threads to
                 // spare; let it re-evaluate.
@@ -316,7 +470,8 @@ impl ThreadCoordinator {
                     Some(left) => Some(left),
                     None => {
                         state.stats.shed += 1;
-                        self.admission.abandon(&mut state, ticket);
+                        state.stats.per_class[rank].shed += 1;
+                        self.admission.abandon(&mut state, key);
                         return Err(Error::Overloaded {
                             waited,
                             queue_timeout: timeout,
@@ -365,6 +520,18 @@ impl ThreadCoordinator {
             .expect("admission ledger lock")
             .queue
             .len()
+    }
+
+    /// Queries currently waiting in the admission queue, broken down by
+    /// class (indexed by [`Priority::rank`]). SLA-driven serving layers
+    /// watch these depths to step queries down to cheaper model versions.
+    pub fn queue_depths(&self) -> [usize; 3] {
+        let state = self.admission.state.lock().expect("admission ledger lock");
+        let mut depths = [0usize; 3];
+        for (rank, _) in state.queue.iter() {
+            depths[*rank] += 1;
+        }
+        depths
     }
 
     /// Admission counters (admitted / shed / deadline-expired) across every
@@ -564,7 +731,7 @@ mod tests {
         let picky = AdmissionPolicy {
             queue_timeout: Some(Duration::from_millis(30)),
             min_threads: 2,
-            deadline: None,
+            ..AdmissionPolicy::default()
         };
         assert!(matches!(
             c.admit_with(2, &picky).unwrap_err(),
@@ -603,5 +770,124 @@ mod tests {
             w.join().unwrap();
         }
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2], "strict FIFO");
+    }
+
+    /// A later-arriving interactive query overtakes queued standard/batch
+    /// queries; within a class, arrival order is preserved.
+    #[test]
+    fn priority_bands_overtake_lower_classes() {
+        let c = ThreadCoordinator::new(1);
+        let held = c.admit(1).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut waiters = Vec::new();
+        // Arrival order: batch, standard, interactive, batch. Admission
+        // order must be: interactive, standard, batch (arrival order).
+        let classes = [
+            ("batch-0", Priority::Batch),
+            ("standard", Priority::Standard),
+            ("interactive", Priority::Interactive),
+            ("batch-1", Priority::Batch),
+        ];
+        for (i, (name, class)) in classes.into_iter().enumerate() {
+            let c2 = c.clone();
+            let order2 = Arc::clone(&order);
+            waiters.push(std::thread::spawn(move || {
+                let policy = AdmissionPolicy::for_class(class);
+                let g = c2.admit_with(1, &policy).unwrap();
+                order2.lock().unwrap().push(name);
+                std::thread::sleep(Duration::from_millis(5));
+                drop(g);
+            }));
+            while c.queued() < i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(c.queue_depths(), [1, 1, 2]);
+        drop(held);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["interactive", "standard", "batch-0", "batch-1"]
+        );
+    }
+
+    /// Depth-based door shedding: a batch query arriving behind a deep
+    /// queue is shed immediately, while an interactive arrival behind the
+    /// same queue is not (the depth counts only tickets ahead of its band).
+    #[test]
+    fn shed_queue_depth_sheds_batch_at_the_door() {
+        let c = ThreadCoordinator::new(1);
+        let held = c.admit(1).unwrap();
+        // Two standard waiters pile up.
+        let mut waiters = Vec::new();
+        for i in 0..2 {
+            let c2 = c.clone();
+            waiters.push(std::thread::spawn(move || {
+                drop(c2.admit(1).unwrap());
+            }));
+            while c.queued() < i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        // A batch query with depth 1 sheds instantly (2 tickets ahead)…
+        let start = Instant::now();
+        let batch = AdmissionPolicy::for_class(Priority::Batch).with_shed_depth(1);
+        let err = c.admit_with(1, &batch).unwrap_err();
+        assert!(matches!(err, Error::Overloaded { .. }), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "door shed must not wait out the queue timeout"
+        );
+        // …while an interactive query with the same depth knob is ahead of
+        // both standard waiters, so it queues (and is admitted first).
+        let inter = AdmissionPolicy::for_class(Priority::Interactive).with_shed_depth(1);
+        drop(held);
+        let g = c.admit_with(1, &inter).unwrap();
+        drop(g);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        let stats = c.admission_stats();
+        assert_eq!(stats.class(Priority::Batch).shed, 1);
+        assert_eq!(stats.class(Priority::Interactive).admitted, 1);
+        assert_eq!(stats.class(Priority::Interactive).shed, 0);
+        // The initial hold plus the two waiters, all default-class.
+        assert_eq!(stats.class(Priority::Standard).admitted, 3);
+        assert_eq!(stats.shed, 1, "aggregate mirrors the per-class breakdown");
+    }
+
+    /// The per-class stats sum to the aggregate counters.
+    #[test]
+    fn per_class_stats_sum_to_aggregate() {
+        let c = ThreadCoordinator::new(1);
+        let held = c.admit(1).unwrap();
+        for class in Priority::ALL {
+            let mut policy = AdmissionPolicy::for_class(class);
+            policy.queue_timeout = Some(Duration::from_millis(5));
+            let _ = c.admit_with(1, &policy);
+        }
+        drop(held);
+        drop(
+            c.admit_with(1, &AdmissionPolicy::for_class(Priority::Interactive))
+                .unwrap(),
+        );
+        let stats = c.admission_stats();
+        let sum_admitted: u64 = stats.per_class.iter().map(|s| s.admitted).sum();
+        let sum_shed: u64 = stats.per_class.iter().map(|s| s.shed).sum();
+        assert_eq!(stats.admitted, sum_admitted);
+        assert_eq!(stats.shed, sum_shed);
+        assert_eq!(stats.shed, 3, "one timed-out waiter per class");
+        assert_eq!(stats.class(Priority::Interactive).admitted, 1);
+    }
+
+    #[test]
+    fn priority_rank_round_trips() {
+        for class in Priority::ALL {
+            assert_eq!(Priority::from_rank(class.rank() as u8), Some(class));
+        }
+        assert_eq!(Priority::from_rank(3), None);
+        assert_eq!(Priority::default(), Priority::Standard);
     }
 }

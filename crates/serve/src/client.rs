@@ -1,0 +1,106 @@
+//! A minimal blocking client for the serving frontend's wire protocol.
+//!
+//! Used by the loopback example, benches and integration tests; it speaks
+//! the same `serve::wire` codec as the server and supports pipelining —
+//! send several requests, then demux responses by echoed id.
+
+use crate::error::{Error, Result};
+use crate::wire::{self, InferRequest, Request, Response};
+use relserve_runtime::Priority;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking connection to a [`crate::Server`].
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connect to a serving frontend.
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<()> {
+        let payload = wire::encode_request(req)?;
+        wire::write_frame(&mut self.writer, &payload)?;
+        Ok(())
+    }
+
+    /// Send one inference request without waiting for its response;
+    /// returns the request id for demultiplexing.
+    pub fn send_infer(
+        &mut self,
+        model: &str,
+        class: Priority,
+        deadline: Option<Duration>,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Infer(InferRequest {
+            id,
+            class,
+            deadline_micros: deadline.map_or(0, |d| d.as_micros().max(1) as u64),
+            model: model.to_string(),
+            rows: rows as u32,
+            cols: cols as u32,
+            data,
+        }))?;
+        Ok(id)
+    }
+
+    /// Receive the next response on the connection, in server send order.
+    pub fn recv(&mut self) -> Result<Response> {
+        let payload = wire::read_frame(&mut self.reader)?
+            .ok_or_else(|| Error::Protocol("server closed the connection".into()))?;
+        wire::decode_response(&payload)
+    }
+
+    /// Send one inference request and block for *its* response (pipelined
+    /// responses for other ids are an error on this simple path).
+    pub fn infer(
+        &mut self,
+        model: &str,
+        class: Priority,
+        deadline: Option<Duration>,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> Result<Response> {
+        let id = self.send_infer(model, class, deadline, rows, cols, data)?;
+        let resp = self.recv()?;
+        if resp.id() != id {
+            return Err(Error::Protocol(format!(
+                "response for id {} while awaiting {id}",
+                resp.id()
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Fetch the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Stats { id })?;
+        match self.recv()? {
+            Response::Stats { id: got, counters } if got == id => Ok(counters),
+            other => Err(Error::Protocol(format!(
+                "expected stats response for id {id}, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Errors of the serving frontend.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for the serve crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the server, the wire codec and the loopback client.
+#[derive(Debug)]
+pub enum Error {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Malformed frame or payload on the wire.
+    Wire(String),
+    /// The peer violated the protocol (e.g. closed mid-conversation).
+    Protocol(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Wire(m) => write!(f, "wire error: {m}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}

@@ -1,0 +1,27 @@
+//! Network serving frontend for relserve (EDBT '24 §6, "serving deep
+//! learning models from relational databases" as an online service).
+//!
+//! A std-only TCP server speaking a length-prefixed binary protocol
+//! ([`wire`]), feeding decoded requests into a dynamic micro-batcher that
+//! coalesces compatible requests (same model, class and feature width)
+//! into fused batches. A fused batch pays for admission, planning and
+//! kernel launch once via [`relserve_core::InferenceSession::infer_fused`],
+//! and per-request predictions are demultiplexed back to their
+//! connections. Requests carry a priority class ([`Priority`]) and an
+//! optional deadline; the batcher sheds per class, rejects
+//! buffered-expired deadlines before admission, and steps fused batches
+//! down the model-version ladder under backlog pressure.
+
+#![warn(missing_docs)]
+
+mod batcher;
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::ServeClient;
+pub use error::{Error, Result};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use stats::{export_counters, ClassServeStats, ServeStats};

@@ -1,0 +1,312 @@
+//! The TCP serving frontend.
+//!
+//! [`Server::spawn`] binds a listener and starts the accept loop, one
+//! reader thread per connection, and a pool of batch executor threads.
+//! Connection readers decode frames and hand inference requests to the
+//! micro-batcher; `Stats` requests are answered inline from lock-free
+//! snapshots. [`ServerHandle::shutdown`] (also run on drop) stops the
+//! accept loop, severs every live connection socket, and drains the
+//! batcher before joining all threads.
+
+use crate::batcher::{Batcher, BatcherConfig, Responder, ResponseSink, Submission};
+use crate::error::Result;
+use crate::stats::{export_counters, ServeCounters, ServeStats};
+use crate::wire::{self, ErrorCode, Request, Response};
+use relserve_core::versions::PressureLadder;
+use relserve_core::{Architecture, InferenceSession};
+use relserve_runtime::{AdmissionPolicy, Priority};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub bind: SocketAddr,
+    /// Row budget of one fused batch; a group flushes when it reaches it.
+    pub max_batch_rows: usize,
+    /// Longest a buffered request waits before its group flushes anyway.
+    pub max_batch_delay: Duration,
+    /// Batch executor threads draining the micro-batcher.
+    pub executors: usize,
+    /// Execution architecture for fused batches.
+    pub architecture: Architecture,
+    /// Admission policy per class, indexed by [`Priority::rank`]. Defaults
+    /// to [`AdmissionPolicy::for_class`] for each class.
+    pub admission: [AdmissionPolicy; 3],
+    /// Per-class cap on buffered rows; arrivals past it are shed with
+    /// `Overloaded` before they ever buffer. `None` = unbounded.
+    pub backlog_shed_rows: [Option<usize>; 3],
+    /// SLA step-down ladders, keyed by requested model name.
+    pub ladders: HashMap<String, PressureLadder>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".parse().expect("static addr parses"),
+            max_batch_rows: 64,
+            max_batch_delay: Duration::from_millis(2),
+            executors: 2,
+            architecture: Architecture::UdfCentric,
+            admission: [
+                AdmissionPolicy::for_class(Priority::Interactive),
+                AdmissionPolicy::for_class(Priority::Standard),
+                AdmissionPolicy::for_class(Priority::Batch),
+            ],
+            backlog_shed_rows: [None; 3],
+            ladders: HashMap::new(),
+        }
+    }
+}
+
+/// The serving frontend. Construct with [`Server::spawn`]; the returned
+/// [`ServerHandle`] owns every thread.
+pub struct Server;
+
+impl Server {
+    /// Bind, start the accept loop and executor pool, and return a handle.
+    pub fn spawn(session: Arc<InferenceSession>, config: ServeConfig) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(config.bind)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept so shutdown doesn't need a poke connection.
+        listener.set_nonblocking(true)?;
+
+        let counters = Arc::new(ServeCounters::default());
+        let batcher = Batcher::new(
+            BatcherConfig {
+                max_batch_rows: config.max_batch_rows.max(1),
+                max_batch_delay: config.max_batch_delay,
+                architecture: config.architecture,
+                admission: config.admission,
+                backlog_shed_rows: config.backlog_shed_rows,
+                ladders: config.ladders.clone(),
+            },
+            Arc::clone(&counters),
+            Arc::clone(&session),
+        );
+
+        let executors: Vec<JoinHandle<()>> = (0..config.executors.max(1))
+            .map(|i| {
+                let batcher = Arc::clone(&batcher);
+                std::thread::Builder::new()
+                    .name(format!("serve-exec-{i}"))
+                    .spawn(move || batcher.run_executor())
+                    .expect("spawn executor thread")
+            })
+            .collect();
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(Mutex::new(ConnectionTable::default()));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let live = Arc::clone(&live);
+            let counters = Arc::clone(&counters);
+            let batcher = Arc::clone(&batcher);
+            let session = Arc::clone(&session);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, shutdown, live, counters, batcher, session))
+                .expect("spawn accept thread")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            session,
+            counters,
+            batcher,
+            shutdown,
+            live,
+            accept: Some(accept),
+            executors,
+        })
+    }
+}
+
+/// Write halves and reader threads of live connections, so shutdown can
+/// sever blocked readers.
+#[derive(Default)]
+struct ConnectionTable {
+    streams: Vec<Arc<Mutex<TcpStream>>>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+/// Owns the server's threads; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    session: Arc<InferenceSession>,
+    counters: Arc<ServeCounters>,
+    batcher: Arc<Batcher>,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<Mutex<ConnectionTable>>,
+    accept: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.counters.snapshot()
+    }
+
+    /// The session this server executes against.
+    pub fn session(&self) -> &Arc<InferenceSession> {
+        &self.session
+    }
+
+    /// Stop accepting, sever live connections, drain buffered batches, and
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Sever sockets so readers blocked in read_exact return, then join
+        // them before draining the batcher (no new submissions after this).
+        let table = {
+            let mut live = self.live.lock().expect("connection table poisoned");
+            std::mem::take(&mut *live)
+        };
+        for stream in &table.streams {
+            let _ = stream
+                .lock()
+                .expect("writer lock poisoned")
+                .shutdown(Shutdown::Both);
+        }
+        for reader in table.readers {
+            let _ = reader.join();
+        }
+        self.batcher.shutdown();
+        for exec in self.executors.drain(..) {
+            let _ = exec.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<Mutex<ConnectionTable>>,
+    counters: Arc<ServeCounters>,
+    batcher: Arc<Batcher>,
+    session: Arc<InferenceSession>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                let writer = match stream.try_clone() {
+                    Ok(w) => Arc::new(Mutex::new(w)),
+                    Err(_) => continue,
+                };
+                let reader = {
+                    let writer = Arc::clone(&writer);
+                    let counters = Arc::clone(&counters);
+                    let batcher = Arc::clone(&batcher);
+                    let session = Arc::clone(&session);
+                    std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || serve_connection(stream, writer, counters, batcher, session))
+                        .expect("spawn connection thread")
+                };
+                let mut table = live.lock().expect("connection table poisoned");
+                table.streams.push(writer);
+                table.readers.push(reader);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Read frames until the peer hangs up (or shutdown severs the socket).
+fn serve_connection(
+    stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    counters: Arc<ServeCounters>,
+    batcher: Arc<Batcher>,
+    session: Arc<InferenceSession>,
+) {
+    let responder = Responder {
+        sink: ResponseSink::Stream(writer),
+        counters: Arc::clone(&counters),
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            Err(_) => {
+                counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let received = Instant::now();
+        match wire::decode_request(&payload) {
+            Ok(Request::Infer(req)) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                counters.per_class[req.class.rank()]
+                    .requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let deadline = (req.deadline_micros > 0)
+                    .then(|| received + Duration::from_micros(req.deadline_micros));
+                batcher.submit(Submission {
+                    id: req.id,
+                    class: req.class,
+                    deadline,
+                    model: req.model,
+                    rows: req.rows as usize,
+                    width: req.cols as usize,
+                    data: req.data,
+                    received,
+                    responder: responder.clone(),
+                });
+            }
+            Ok(Request::Stats { id }) => {
+                // Take every snapshot *before* touching the socket; no lock
+                // is held across the write.
+                let serve = counters.snapshot();
+                let session_stats = session.stats();
+                let admission = session.coordinator().admission_stats();
+                responder.send(&Response::Stats {
+                    id,
+                    counters: export_counters(&serve, &session_stats, &admission),
+                });
+            }
+            Err(e) => {
+                counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                responder.send(&Response::Error {
+                    id: 0,
+                    code: ErrorCode::Invalid,
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+}

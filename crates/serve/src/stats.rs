@@ -1,0 +1,222 @@
+//! Lock-free serving counters and their plain-old-data snapshot.
+//!
+//! The server mutates [`ServeCounters`] (atomics, relaxed ordering) from
+//! accept, connection and batcher threads; [`ServeCounters::snapshot`]
+//! materializes a [`ServeStats`] value that is `Copy`, holds no locks, and
+//! can be encoded onto a socket without stalling the hot path — the same
+//! contract [`relserve_core::SessionStats`] follows.
+
+use relserve_core::SessionStats;
+use relserve_runtime::{AdmissionStats, Priority};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-class slice of [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassServeStats {
+    /// Inference requests received in this class.
+    pub requests: u64,
+    /// Requests answered with predictions.
+    pub completed: u64,
+    /// Requests shed (serve-layer backlog or admission overload).
+    pub shed: u64,
+    /// Requests rejected because their deadline expired while buffered.
+    pub deadline_rejected: u64,
+}
+
+/// Snapshot of the serving frontend's counters; see
+/// [`ServeCounters::snapshot`]. Plain old data: `Copy`, stable field set,
+/// safe to ship across threads and encode over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Inference requests received (all classes).
+    pub requests: u64,
+    /// Fused batches executed.
+    pub batches: u64,
+    /// Total feature rows executed across fused batches.
+    pub fused_rows: u64,
+    /// Largest fused batch (rows) executed so far.
+    pub max_batch_rows_seen: u64,
+    /// Responses written to sockets (success and error).
+    pub responses: u64,
+    /// Requests rejected with `DeadlineExceeded` while still buffered,
+    /// before their batch was admitted.
+    pub deadline_rejected: u64,
+    /// Requests shed with `Overloaded` (backlog or admission).
+    pub shed: u64,
+    /// Fused batches served by a cheaper model version because queue depth
+    /// exceeded the class SLA threshold.
+    pub step_downs: u64,
+    /// Frames or payloads that failed to decode/write.
+    pub wire_errors: u64,
+    /// The request counters broken down by class, indexed by
+    /// [`Priority::rank`].
+    pub per_class: [ClassServeStats; 3],
+}
+
+impl ServeStats {
+    /// The breakdown for one admission class.
+    pub fn class(&self, class: Priority) -> ClassServeStats {
+        self.per_class[class.rank()]
+    }
+
+    /// The counters as stable `(name, value)` pairs for wire export.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut out = vec![
+            ("serve.connections".to_string(), self.connections),
+            ("serve.requests".to_string(), self.requests),
+            ("serve.batches".to_string(), self.batches),
+            ("serve.fused_rows".to_string(), self.fused_rows),
+            (
+                "serve.max_batch_rows_seen".to_string(),
+                self.max_batch_rows_seen,
+            ),
+            ("serve.responses".to_string(), self.responses),
+            (
+                "serve.deadline_rejected".to_string(),
+                self.deadline_rejected,
+            ),
+            ("serve.shed".to_string(), self.shed),
+            ("serve.step_downs".to_string(), self.step_downs),
+            ("serve.wire_errors".to_string(), self.wire_errors),
+        ];
+        for class in Priority::ALL {
+            let c = self.class(class);
+            out.push((format!("serve.{class}.requests"), c.requests));
+            out.push((format!("serve.{class}.completed"), c.completed));
+            out.push((format!("serve.{class}.shed"), c.shed));
+            out.push((
+                format!("serve.{class}.deadline_rejected"),
+                c.deadline_rejected,
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct ClassCounters {
+    pub requests: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed: AtomicU64,
+    pub deadline_rejected: AtomicU64,
+}
+
+/// Live atomic counters mutated by the server's threads.
+#[derive(Default)]
+pub(crate) struct ServeCounters {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub batches: AtomicU64,
+    pub fused_rows: AtomicU64,
+    pub max_batch_rows_seen: AtomicU64,
+    pub responses: AtomicU64,
+    pub deadline_rejected: AtomicU64,
+    pub shed: AtomicU64,
+    pub step_downs: AtomicU64,
+    pub wire_errors: AtomicU64,
+    pub per_class: [ClassCounters; 3],
+}
+
+impl ServeCounters {
+    /// Record one executed fused batch of `rows` rows.
+    pub fn record_batch(&self, rows: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.fused_rows.fetch_add(rows, Ordering::Relaxed);
+        self.max_batch_rows_seen.fetch_max(rows, Ordering::Relaxed);
+    }
+
+    /// Materialize the plain-old-data snapshot.
+    pub fn snapshot(&self) -> ServeStats {
+        let class = |c: &ClassCounters| ClassServeStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            deadline_rejected: c.deadline_rejected.load(Ordering::Relaxed),
+        };
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            fused_rows: self.fused_rows.load(Ordering::Relaxed),
+            max_batch_rows_seen: self.max_batch_rows_seen.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            step_downs: self.step_downs.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            per_class: [
+                class(&self.per_class[0]),
+                class(&self.per_class[1]),
+                class(&self.per_class[2]),
+            ],
+        }
+    }
+}
+
+/// The full counter export answered to a `Stats` request: serve counters,
+/// the session's robustness counters, and the coordinator's per-class
+/// admission ledger — all taken from lock-free or briefly-locked snapshots
+/// *before* any byte hits the socket.
+pub fn export_counters(
+    serve: &ServeStats,
+    session: &SessionStats,
+    admission: &AdmissionStats,
+) -> Vec<(String, u64)> {
+    let mut out = serve.counters();
+    for (name, value) in session.counters() {
+        out.push((format!("session.{name}"), value));
+    }
+    for class in Priority::ALL {
+        let c = admission.class(class);
+        out.push((format!("admission.{class}.admitted"), c.admitted));
+        out.push((format!("admission.{class}.shed"), c.shed));
+        out.push((
+            format!("admission.{class}.deadline_expired"),
+            c.deadline_expired,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_pod_and_counters_are_stable() {
+        let counters = ServeCounters::default();
+        counters.requests.fetch_add(3, Ordering::Relaxed);
+        counters.record_batch(8);
+        counters.record_batch(2);
+        counters.per_class[Priority::Batch.rank()]
+            .shed
+            .fetch_add(1, Ordering::Relaxed);
+        let snap = counters.snapshot();
+        let copy = snap; // Copy: snapshot is plain old data.
+        assert_eq!(copy, snap);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.fused_rows, 10);
+        assert_eq!(snap.max_batch_rows_seen, 8);
+        assert_eq!(snap.class(Priority::Batch).shed, 1);
+        let pairs = snap.counters();
+        assert!(pairs.iter().any(|(n, v)| n == "serve.requests" && *v == 3));
+        assert!(pairs
+            .iter()
+            .any(|(n, v)| n == "serve.batch.shed" && *v == 1));
+    }
+
+    #[test]
+    fn export_combines_all_three_domains() {
+        let serve = ServeCounters::default().snapshot();
+        let session = SessionStats::default();
+        let admission = AdmissionStats::default();
+        let pairs = export_counters(&serve, &session, &admission);
+        assert!(pairs.iter().any(|(n, _)| n == "serve.requests"));
+        assert!(pairs.iter().any(|(n, _)| n == "session.admitted"));
+        assert!(pairs
+            .iter()
+            .any(|(n, _)| n == "admission.interactive.admitted"));
+    }
+}

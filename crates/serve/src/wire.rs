@@ -1,0 +1,532 @@
+//! Length-prefixed binary wire protocol of the serving frontend.
+//!
+//! Every message is one **frame**: a little-endian `u32` payload length
+//! followed by the payload. Integers are little-endian; strings are a
+//! `u16` byte length followed by UTF-8 bytes; feature data is raw `f32`
+//! little-endian words. The protocol is deliberately dependency-free and
+//! versioned by opcode — unknown opcodes are a decode error, not a panic.
+//!
+//! Request payloads (client → server):
+//!
+//! | field | type | notes |
+//! |---|---|---|
+//! | opcode | `u8` | `0` = Infer, `1` = Stats |
+//! | request id | `u64` | echoed verbatim in the response |
+//! | *Infer only:* class | `u8` | [`Priority::rank`]: 0 interactive, 1 standard, 2 batch |
+//! | deadline | `u64` | relative µs from server receipt; `0` = none |
+//! | model | string | model name as loaded in the session |
+//! | rows, cols | `u32`, `u32` | feature matrix shape |
+//! | data | `rows × cols × f32` | row-major features |
+//!
+//! Response payloads (server → client):
+//!
+//! | field | type | notes |
+//! |---|---|---|
+//! | request id | `u64` | |
+//! | status | `u8` | `0` ok-infer, `1..=5` error (see [`ErrorCode`]), `6` ok-stats |
+//! | *ok-infer:* queue wait | `u64` | µs buffered in the micro-batcher before its fused batch began |
+//! | model used | string | differs from the requested model after an SLA step-down |
+//! | degraded to | string | empty = none; e.g. `relation-centric` |
+//! | predictions | `u32` count + `u32` each | row-wise class predictions |
+//! | *error:* message | string | human-readable cause |
+//! | *ok-stats:* counters | `u32` count + (string, `u64`) each | stable counter names |
+
+use crate::error::{Error, Result};
+use relserve_runtime::Priority;
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload, guarding decode allocations.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+const OP_INFER: u8 = 0;
+const OP_STATS: u8 = 1;
+
+const STATUS_OK_INFER: u8 = 0;
+const STATUS_OK_STATS: u8 = 6;
+
+/// Typed error codes carried by error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was shed: admission queue timeout, depth shedding, or
+    /// serve-layer backlog shedding.
+    Overloaded,
+    /// The request's deadline expired (while buffered, queued or running).
+    DeadlineExceeded,
+    /// The named model is not loaded in the session.
+    NotFound,
+    /// Malformed request (bad shape, unknown class, ...).
+    Invalid,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire encoding of the code.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::NotFound => 3,
+            ErrorCode::Invalid => 4,
+            ErrorCode::Internal => 5,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::as_u8`].
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::Overloaded),
+            2 => Some(ErrorCode::DeadlineExceeded),
+            3 => Some(ErrorCode::NotFound),
+            4 => Some(ErrorCode::Invalid),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// Admission class of the request.
+    pub class: Priority,
+    /// Relative deadline in microseconds from server receipt; 0 = none.
+    pub deadline_micros: u64,
+    /// Model (or version) name to serve.
+    pub model: String,
+    /// Feature rows.
+    pub rows: u32,
+    /// Feature columns.
+    pub cols: u32,
+    /// Row-major feature data, `rows * cols` values.
+    pub data: Vec<f32>,
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run inference over the carried feature rows.
+    Infer(InferRequest),
+    /// Snapshot the server's counters.
+    Stats {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful inference for one request of a fused batch.
+    Infer {
+        /// Echoed request id.
+        id: u64,
+        /// Microseconds the request sat buffered in the micro-batcher
+        /// before its fused batch began executing.
+        queue_wait_micros: u64,
+        /// The model version that actually served the request (an SLA
+        /// step-down may pick a cheaper rung than was asked for).
+        model_used: String,
+        /// The fallback architecture that produced the output, when the
+        /// fused batch degraded recoverably.
+        degraded_to: Option<String>,
+        /// Row-wise class predictions for this request's rows.
+        predictions: Vec<u32>,
+    },
+    /// The request failed; carries the typed code and a message.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Typed failure class.
+        code: ErrorCode,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Counter snapshot for a Stats request.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// Stable `(name, value)` counter pairs.
+        counters: Vec<(String, u64)>,
+    },
+}
+
+impl Response {
+    /// The echoed request id, for demultiplexing pipelined requests.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Infer { id, .. }
+            | Response::Error { id, .. }
+            | Response::Stats { id, .. } => *id,
+        }
+    }
+}
+
+// ---- frame I/O -----------------------------------------------------------
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` on clean end-of-stream (the peer
+/// closed before a new frame started).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} B exceeds the {MAX_FRAME_BYTES} B cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---- payload encoding ----------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<()> {
+    let bytes = s.as_bytes();
+    if bytes.len() > u16::MAX as usize {
+        return Err(Error::Wire(format!("string of {} B too long", bytes.len())));
+    }
+    put_u16(buf, bytes.len() as u16);
+    buf.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// Encode a request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Infer(r) => {
+            buf.push(OP_INFER);
+            put_u64(&mut buf, r.id);
+            buf.push(r.class.rank() as u8);
+            put_u64(&mut buf, r.deadline_micros);
+            put_str(&mut buf, &r.model)?;
+            put_u32(&mut buf, r.rows);
+            put_u32(&mut buf, r.cols);
+            let expected = r.rows as usize * r.cols as usize;
+            if r.data.len() != expected {
+                return Err(Error::Wire(format!(
+                    "data carries {} values for a {}x{} matrix",
+                    r.data.len(),
+                    r.rows,
+                    r.cols
+                )));
+            }
+            buf.reserve(r.data.len() * 4);
+            for v in &r.data {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Request::Stats { id } => {
+            buf.push(OP_STATS);
+            put_u64(&mut buf, *id);
+        }
+    }
+    Ok(buf)
+}
+
+/// Encode a response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Infer {
+            id,
+            queue_wait_micros,
+            model_used,
+            degraded_to,
+            predictions,
+        } => {
+            put_u64(&mut buf, *id);
+            buf.push(STATUS_OK_INFER);
+            put_u64(&mut buf, *queue_wait_micros);
+            put_str(&mut buf, model_used)?;
+            put_str(&mut buf, degraded_to.as_deref().unwrap_or(""))?;
+            put_u32(&mut buf, predictions.len() as u32);
+            for p in predictions {
+                put_u32(&mut buf, *p);
+            }
+        }
+        Response::Error { id, code, message } => {
+            put_u64(&mut buf, *id);
+            buf.push(code.as_u8());
+            put_str(&mut buf, message)?;
+        }
+        Response::Stats { id, counters } => {
+            put_u64(&mut buf, *id);
+            buf.push(STATUS_OK_STATS);
+            put_u32(&mut buf, counters.len() as u32);
+            for (name, value) in counters {
+                put_str(&mut buf, name)?;
+                put_u64(&mut buf, *value);
+            }
+        }
+    }
+    Ok(buf)
+}
+
+// ---- payload decoding ----------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Error::Wire("truncated payload".into()))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::Wire("non-UTF-8 string".into()))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::Wire(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    match op {
+        OP_INFER => {
+            let id = c.u64()?;
+            let class = Priority::from_rank(c.u8()?)
+                .ok_or_else(|| Error::Wire("unknown priority class".into()))?;
+            let deadline_micros = c.u64()?;
+            let model = c.str()?;
+            if model.is_empty() {
+                return Err(Error::Wire("empty model name".into()));
+            }
+            let rows = c.u32()?;
+            let cols = c.u32()?;
+            if rows == 0 || cols == 0 {
+                return Err(Error::Wire(format!("degenerate shape {rows}x{cols}")));
+            }
+            let count = rows as usize * cols as usize;
+            let raw = c.take(count * 4)?;
+            let mut data = Vec::with_capacity(count);
+            for chunk in raw.chunks_exact(4) {
+                data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+            }
+            c.done()?;
+            Ok(Request::Infer(InferRequest {
+                id,
+                class,
+                deadline_micros,
+                model,
+                rows,
+                cols,
+                data,
+            }))
+        }
+        OP_STATS => {
+            let id = c.u64()?;
+            c.done()?;
+            Ok(Request::Stats { id })
+        }
+        other => Err(Error::Wire(format!("unknown request opcode {other}"))),
+    }
+}
+
+/// Decode a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response> {
+    let mut c = Cursor::new(payload);
+    let id = c.u64()?;
+    let status = c.u8()?;
+    match status {
+        STATUS_OK_INFER => {
+            let queue_wait_micros = c.u64()?;
+            let model_used = c.str()?;
+            let degraded = c.str()?;
+            let n = c.u32()? as usize;
+            let mut predictions = Vec::with_capacity(n);
+            for _ in 0..n {
+                predictions.push(c.u32()?);
+            }
+            c.done()?;
+            Ok(Response::Infer {
+                id,
+                queue_wait_micros,
+                model_used,
+                degraded_to: (!degraded.is_empty()).then_some(degraded),
+                predictions,
+            })
+        }
+        STATUS_OK_STATS => {
+            let n = c.u32()? as usize;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = c.str()?;
+                let value = c.u64()?;
+                counters.push((name, value));
+            }
+            c.done()?;
+            Ok(Response::Stats { id, counters })
+        }
+        code => {
+            let code = ErrorCode::from_u8(code)
+                .ok_or_else(|| Error::Wire(format!("unknown response status {code}")))?;
+            let message = c.str()?;
+            c.done()?;
+            Ok(Response::Error { id, code, message })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_request_round_trips() {
+        let req = Request::Infer(InferRequest {
+            id: 42,
+            class: Priority::Interactive,
+            deadline_micros: 2_500,
+            model: "Fraud-FC-256".into(),
+            rows: 2,
+            cols: 3,
+            data: vec![0.0, -1.5, 2.25, 3.0, f32::MIN_POSITIVE, -0.0],
+        });
+        let bytes = encode_request(&req).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+        let stats = Request::Stats { id: 7 };
+        let bytes = encode_request(&stats).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Infer {
+                id: 9,
+                queue_wait_micros: 1234,
+                model_used: "m@int8".into(),
+                degraded_to: Some("relation-centric".into()),
+                predictions: vec![0, 1, 1, 0],
+            },
+            Response::Infer {
+                id: 10,
+                queue_wait_micros: 0,
+                model_used: "m".into(),
+                degraded_to: None,
+                predictions: vec![],
+            },
+            Response::Error {
+                id: 11,
+                code: ErrorCode::DeadlineExceeded,
+                message: "expired while buffered".into(),
+            },
+            Response::Stats {
+                id: 12,
+                counters: vec![("serve.requests".into(), 99), ("serve.batches".into(), 3)],
+            },
+        ] {
+            let bytes = encode_response(&resp).unwrap();
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Unknown opcode.
+        assert!(decode_request(&[9]).is_err());
+        // Truncated id.
+        assert!(decode_request(&[OP_INFER, 1, 2]).is_err());
+        // Data length mismatch is caught at encode time.
+        let bad = Request::Infer(InferRequest {
+            id: 1,
+            class: Priority::Standard,
+            deadline_micros: 0,
+            model: "m".into(),
+            rows: 2,
+            cols: 2,
+            data: vec![1.0; 3],
+        });
+        assert!(encode_request(&bad).is_err());
+        // Trailing garbage.
+        let mut ok = encode_request(&Request::Stats { id: 1 }).unwrap();
+        ok.push(0xFF);
+        assert!(decode_request(&ok).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // Oversized frames are rejected without allocating.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+}

@@ -28,7 +28,7 @@ use relserve_core::{Architecture, Error as CoreError, InferenceSession};
 use relserve_runtime::{AdmissionPolicy, Priority};
 use relserve_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -54,16 +54,26 @@ pub(crate) struct Responder {
 
 impl Responder {
     /// Encode and send one response; wire failures are counted, not
-    /// propagated (the peer is gone — nothing else to do).
+    /// propagated (the peer is gone — nothing else to do). Writes are
+    /// bounded by the socket's write timeout; a failed or timed-out write
+    /// leaves a half-written frame, so the connection is severed rather
+    /// than left to emit unframeable bytes.
     pub fn send(&self, resp: &Response) {
         self.counters.responses.fetch_add(1, Ordering::Relaxed);
         match &self.sink {
             ResponseSink::Stream(writer) => {
-                let sent = wire::encode_response(resp).map(|payload| {
-                    let mut w = writer.lock().expect("writer lock poisoned");
-                    wire::write_frame(&mut *w, &payload)
-                });
-                if !matches!(sent, Ok(Ok(()))) {
+                let sent = match wire::encode_response(resp) {
+                    Ok(payload) => {
+                        let mut w = writer.lock().expect("writer lock poisoned");
+                        let sent = wire::write_frame(&mut *w, &payload).is_ok();
+                        if !sent {
+                            let _ = w.shutdown(Shutdown::Both);
+                        }
+                        sent
+                    }
+                    Err(_) => false,
+                };
+                if !sent {
                     self.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }

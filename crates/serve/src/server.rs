@@ -43,6 +43,10 @@ pub struct ServeConfig {
     /// Per-class cap on buffered rows; arrivals past it are shed with
     /// `Overloaded` before they ever buffer. `None` = unbounded.
     pub backlog_shed_rows: [Option<usize>; 3],
+    /// Write timeout on accepted sockets, so a client that stops reading
+    /// cannot stall an executor thread indefinitely; the connection is
+    /// severed when a response write times out.
+    pub write_timeout: Duration,
     /// SLA step-down ladders, keyed by requested model name.
     pub ladders: HashMap<String, PressureLadder>,
 }
@@ -61,6 +65,7 @@ impl Default for ServeConfig {
                 AdmissionPolicy::for_class(Priority::Batch),
             ],
             backlog_shed_rows: [None; 3],
+            write_timeout: Duration::from_secs(5),
             ladders: HashMap::new(),
         }
     }
@@ -110,9 +115,20 @@ impl Server {
             let counters = Arc::clone(&counters);
             let batcher = Arc::clone(&batcher);
             let session = Arc::clone(&session);
+            let write_timeout = config.write_timeout;
             std::thread::Builder::new()
                 .name("serve-accept".into())
-                .spawn(move || accept_loop(listener, shutdown, live, counters, batcher, session))
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        shutdown,
+                        live,
+                        counters,
+                        batcher,
+                        session,
+                        write_timeout,
+                    )
+                })
                 .expect("spawn accept thread")
         };
 
@@ -129,12 +145,23 @@ impl Server {
     }
 }
 
-/// Write halves and reader threads of live connections, so shutdown can
-/// sever blocked readers.
+/// Live connections, keyed by a per-server serial. Each entry holds a
+/// plain clone of the socket used *only* to sever it (never written, so
+/// shutdown needs no writer lock) plus the reader's join handle.
+/// Connection threads deregister themselves on exit, so a long-running
+/// server does not accumulate dead entries.
 #[derive(Default)]
 struct ConnectionTable {
-    streams: Vec<Arc<Mutex<TcpStream>>>,
-    readers: Vec<JoinHandle<()>>,
+    next_id: u64,
+    conns: HashMap<u64, Connection>,
+}
+
+struct Connection {
+    sever: TcpStream,
+    /// `None` briefly between registration and the spawn completing, or
+    /// when the reader finished and deregistered before the accept loop
+    /// could store the handle.
+    reader: Option<JoinHandle<()>>,
 }
 
 /// Owns the server's threads; dropping it shuts the server down.
@@ -160,6 +187,17 @@ impl ServerHandle {
         self.counters.snapshot()
     }
 
+    /// Number of currently registered connections (closed connections
+    /// deregister themselves, so this tracks live peers, not the total
+    /// ever accepted).
+    pub fn live_connections(&self) -> usize {
+        self.live
+            .lock()
+            .expect("connection table poisoned")
+            .conns
+            .len()
+    }
+
     /// The session this server executes against.
     pub fn session(&self) -> &Arc<InferenceSession> {
         &self.session
@@ -178,20 +216,23 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        // Sever sockets so readers blocked in read_exact return, then join
-        // them before draining the batcher (no new submissions after this).
+        // Sever sockets so readers blocked in read_exact (and executors
+        // stuck in a response write) return, then join the readers before
+        // draining the batcher (no new submissions after this). The sever
+        // clones are deliberately outside the writer mutex: a stalled
+        // writer must not be able to deadlock shutdown.
         let table = {
             let mut live = self.live.lock().expect("connection table poisoned");
             std::mem::take(&mut *live)
         };
-        for stream in &table.streams {
-            let _ = stream
-                .lock()
-                .expect("writer lock poisoned")
-                .shutdown(Shutdown::Both);
+        let conns: Vec<Connection> = table.conns.into_values().collect();
+        for conn in &conns {
+            let _ = conn.sever.shutdown(Shutdown::Both);
         }
-        for reader in table.readers {
-            let _ = reader.join();
+        for conn in conns {
+            if let Some(reader) = conn.reader {
+                let _ = reader.join();
+            }
         }
         self.batcher.shutdown();
         for exec in self.executors.drain(..) {
@@ -213,29 +254,60 @@ fn accept_loop(
     counters: Arc<ServeCounters>,
     batcher: Arc<Batcher>,
     session: Arc<InferenceSession>,
+    write_timeout: Duration,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 counters.connections.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
-                let writer = match stream.try_clone() {
-                    Ok(w) => Arc::new(Mutex::new(w)),
-                    Err(_) => continue,
+                // Bound response writes so a client that stops reading
+                // cannot pin an executor thread forever.
+                let _ = stream.set_write_timeout(Some(write_timeout));
+                let (writer, sever) = match (stream.try_clone(), stream.try_clone()) {
+                    (Ok(w), Ok(s)) => (Arc::new(Mutex::new(w)), s),
+                    _ => continue,
+                };
+                // Register before spawning so the reader can always find
+                // (and remove) its own entry when it exits.
+                let conn_id = {
+                    let mut table = live.lock().expect("connection table poisoned");
+                    table.next_id += 1;
+                    let id = table.next_id;
+                    table.conns.insert(
+                        id,
+                        Connection {
+                            sever,
+                            reader: None,
+                        },
+                    );
+                    id
                 };
                 let reader = {
                     let writer = Arc::clone(&writer);
                     let counters = Arc::clone(&counters);
                     let batcher = Arc::clone(&batcher);
                     let session = Arc::clone(&session);
+                    let live = Arc::clone(&live);
                     std::thread::Builder::new()
                         .name("serve-conn".into())
-                        .spawn(move || serve_connection(stream, writer, counters, batcher, session))
+                        .spawn(move || {
+                            serve_connection(stream, writer, counters, batcher, session);
+                            // Deregister on exit; shutdown may already have
+                            // taken the table, in which case it owns the join.
+                            if let Ok(mut table) = live.lock() {
+                                table.conns.remove(&conn_id);
+                            }
+                        })
                         .expect("spawn connection thread")
                 };
                 let mut table = live.lock().expect("connection table poisoned");
-                table.streams.push(writer);
-                table.readers.push(reader);
+                if let Some(conn) = table.conns.get_mut(&conn_id) {
+                    conn.reader = Some(reader);
+                }
+                // Entry already gone: the connection finished and
+                // deregistered itself; dropping the handle detaches the
+                // (already-exiting) thread.
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -300,12 +372,17 @@ fn serve_connection(
                 });
             }
             Err(e) => {
+                // Framing can no longer be trusted after an undecodable
+                // payload: answer with the reserved connection-level id 0
+                // (no legitimate request can use it) and close the
+                // connection instead of mis-attributing future errors.
                 counters.wire_errors.fetch_add(1, Ordering::Relaxed);
                 responder.send(&Response::Error {
                     id: 0,
                     code: ErrorCode::Invalid,
                     message: e.to_string(),
                 });
+                return;
             }
         }
     }

@@ -11,7 +11,7 @@
 //! | field | type | notes |
 //! |---|---|---|
 //! | opcode | `u8` | `0` = Infer, `1` = Stats |
-//! | request id | `u64` | echoed verbatim in the response |
+//! | request id | `u64` | echoed verbatim in the response; `0` is reserved |
 //! | *Infer only:* class | `u8` | [`Priority::rank`]: 0 interactive, 1 standard, 2 batch |
 //! | deadline | `u64` | relative µs from server receipt; `0` = none |
 //! | model | string | model name as loaded in the session |
@@ -30,6 +30,12 @@
 //! | predictions | `u32` count + `u32` each | row-wise class predictions |
 //! | *error:* message | string | human-readable cause |
 //! | *ok-stats:* counters | `u32` count + (string, `u64`) each | stable counter names |
+//!
+//! Request id `0` is reserved: [`encode_request`] and [`decode_request`]
+//! reject it, and the server uses it for connection-level error responses
+//! that cannot be attributed to any request (an undecodable frame). After
+//! such a response the server closes the connection, since the frame
+//! stream can no longer be trusted.
 
 use crate::error::{Error, Result};
 use relserve_runtime::Priority;
@@ -222,6 +228,11 @@ fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<()> {
 /// Encode a request payload (no length prefix).
 pub fn encode_request(req: &Request) -> Result<Vec<u8>> {
     let mut buf = Vec::new();
+    if let Request::Infer(InferRequest { id: 0, .. }) | Request::Stats { id: 0 } = req {
+        return Err(Error::Wire(
+            "request id 0 is reserved for connection-level errors".into(),
+        ));
+    }
     match req {
         Request::Infer(r) => {
             buf.push(OP_INFER);
@@ -304,6 +315,10 @@ impl<'a> Cursor<'a> {
         Cursor { buf, pos: 0 }
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self
             .pos
@@ -349,13 +364,22 @@ impl<'a> Cursor<'a> {
     }
 }
 
+fn nonzero_id(id: u64) -> Result<u64> {
+    if id == 0 {
+        return Err(Error::Wire(
+            "request id 0 is reserved for connection-level errors".into(),
+        ));
+    }
+    Ok(id)
+}
+
 /// Decode a request payload.
 pub fn decode_request(payload: &[u8]) -> Result<Request> {
     let mut c = Cursor::new(payload);
     let op = c.u8()?;
     match op {
         OP_INFER => {
-            let id = c.u64()?;
+            let id = nonzero_id(c.u64()?)?;
             let class = Priority::from_rank(c.u8()?)
                 .ok_or_else(|| Error::Wire("unknown priority class".into()))?;
             let deadline_micros = c.u64()?;
@@ -368,7 +392,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             if rows == 0 || cols == 0 {
                 return Err(Error::Wire(format!("degenerate shape {rows}x{cols}")));
             }
-            let count = rows as usize * cols as usize;
+            // rows and cols are attacker-controlled: compute the byte
+            // length with checked arithmetic and insist it already fits in
+            // this frame's remaining payload before any allocation.
+            let count = (rows as usize)
+                .checked_mul(cols as usize)
+                .filter(|n| n.checked_mul(4).is_some_and(|b| b <= c.remaining()))
+                .ok_or_else(|| {
+                    Error::Wire(format!("{rows}x{cols} feature data exceeds the payload"))
+                })?;
             let raw = c.take(count * 4)?;
             let mut data = Vec::with_capacity(count);
             for chunk in raw.chunks_exact(4) {
@@ -386,7 +418,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             }))
         }
         OP_STATS => {
-            let id = c.u64()?;
+            let id = nonzero_id(c.u64()?)?;
             c.done()?;
             Ok(Request::Stats { id })
         }
@@ -405,6 +437,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             let model_used = c.str()?;
             let degraded = c.str()?;
             let n = c.u32()? as usize;
+            // n comes off the wire: every prediction needs 4 payload bytes,
+            // so reject before reserving anything a peer didn't send.
+            if n.checked_mul(4).is_none_or(|b| b > c.remaining()) {
+                return Err(Error::Wire(format!("{n} predictions exceed the payload")));
+            }
             let mut predictions = Vec::with_capacity(n);
             for _ in 0..n {
                 predictions.push(c.u32()?);
@@ -420,6 +457,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         }
         STATUS_OK_STATS => {
             let n = c.u32()? as usize;
+            // Each counter is at least 10 payload bytes (empty name + u64).
+            if n.checked_mul(10).is_none_or(|b| b > c.remaining()) {
+                return Err(Error::Wire(format!("{n} counters exceed the payload")));
+            }
             let mut counters = Vec::with_capacity(n);
             for _ in 0..n {
                 let name = c.str()?;
@@ -514,6 +555,69 @@ mod tests {
         let mut ok = encode_request(&Request::Stats { id: 1 }).unwrap();
         ok.push(0xFF);
         assert!(decode_request(&ok).is_err());
+    }
+
+    #[test]
+    fn hostile_length_fields_are_rejected_without_allocating() {
+        // rows = cols = 2^31: count * 4 wraps to 0 in release builds, so a
+        // tiny frame must not reach Vec::with_capacity(2^62). Expect a
+        // typed wire error, not a panic or a giant reservation.
+        let mut buf = vec![OP_INFER];
+        buf.extend_from_slice(&1u64.to_le_bytes()); // id
+        buf.push(1); // class: standard
+        buf.extend_from_slice(&0u64.to_le_bytes()); // deadline
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(b'm'); // model "m"
+        buf.extend_from_slice(&(1u32 << 31).to_le_bytes()); // rows
+        buf.extend_from_slice(&(1u32 << 31).to_le_bytes()); // cols
+        assert!(decode_request(&buf).is_err());
+
+        // A plausible shape whose data the frame doesn't actually carry.
+        let mut buf = vec![OP_INFER];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(b'm');
+        buf.extend_from_slice(&1000u32.to_le_bytes());
+        buf.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(decode_request(&buf).is_err());
+
+        // Response prediction count past the payload end.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(STATUS_OK_INFER);
+        buf.extend_from_slice(&0u64.to_le_bytes()); // queue wait
+        buf.extend_from_slice(&0u16.to_le_bytes()); // model ""
+        buf.extend_from_slice(&0u16.to_le_bytes()); // degraded ""
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(&buf).is_err());
+
+        // Stats counter count past the payload end.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(STATUS_OK_STATS);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(&buf).is_err());
+    }
+
+    #[test]
+    fn request_id_zero_is_reserved() {
+        assert!(encode_request(&Request::Stats { id: 0 }).is_err());
+        let infer = Request::Infer(InferRequest {
+            id: 0,
+            class: Priority::Standard,
+            deadline_micros: 0,
+            model: "m".into(),
+            rows: 1,
+            cols: 1,
+            data: vec![1.0],
+        });
+        assert!(encode_request(&infer).is_err());
+        // And rejected at decode when a peer crafts it anyway.
+        let mut buf = vec![OP_STATS];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_request(&buf).is_err());
     }
 
     #[test]

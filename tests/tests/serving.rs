@@ -10,12 +10,14 @@ use relserve_nn::init::seeded_rng;
 use relserve_nn::quant::quantize_int8;
 use relserve_nn::zoo;
 use relserve_runtime::{FaultConfig, FaultInjector, Priority, RuntimeProfile, TransferProfile};
-use relserve_serve::wire::{ErrorCode, Response};
+use relserve_serve::wire::{self, ErrorCode, Response};
 use relserve_serve::{ServeClient, ServeConfig, Server, ServerHandle};
 use relserve_tensor::Tensor;
 use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const MODEL: &str = "Fraud-FC-256";
 const WIDTH: usize = 28;
@@ -484,6 +486,77 @@ fn degraded_to_crosses_the_wire_under_injected_faults() {
     let stats = client.stats().unwrap();
     assert!(counter(&stats, "session.degradations") >= 1);
     assert!(counter(&stats, "session.wire_transient_failures") >= 1);
+    server.shutdown();
+}
+
+/// An undecodable frame gets one error response carrying the reserved
+/// connection-level id 0, then the server closes the connection — a
+/// corrupt frame stream is never left to mis-attribute later errors. A
+/// crafted frame whose `rows × cols × 4` wraps to 0 in release builds is
+/// rejected the same way instead of panicking the connection thread.
+#[test]
+fn undecodable_frames_answer_id_zero_and_close_the_connection() {
+    let server = spawn_server(ServeConfig::default());
+
+    for payload in [
+        b"\xFFgarbage".to_vec(),
+        // Infer op, id 1, standard class, no deadline, model "m", then a
+        // hostile 2^31 x 2^31 shape with no data behind it.
+        {
+            let mut p = vec![0u8];
+            p.extend_from_slice(&1u64.to_le_bytes());
+            p.push(1);
+            p.extend_from_slice(&0u64.to_le_bytes());
+            p.extend_from_slice(&1u16.to_le_bytes());
+            p.push(b'm');
+            p.extend_from_slice(&(1u32 << 31).to_le_bytes());
+            p.extend_from_slice(&(1u32 << 31).to_le_bytes());
+            p
+        },
+    ] {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        wire::write_frame(&mut writer, &payload).unwrap();
+        let resp = wire::read_frame(&mut reader).unwrap().unwrap();
+        match wire::decode_response(&resp).unwrap() {
+            Response::Error { id, code, .. } => {
+                assert_eq!(id, 0, "connection-level errors use the reserved id");
+                assert_eq!(code, ErrorCode::Invalid);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert!(
+            wire::read_frame(&mut reader).unwrap().is_none(),
+            "server must close the connection after an undecodable frame"
+        );
+    }
+    assert!(server.stats().wire_errors >= 2);
+    server.shutdown();
+}
+
+/// Closed connections deregister themselves from the server's live table,
+/// so long-running servers don't leak per-connection state.
+#[test]
+fn closed_connections_deregister_from_the_live_table() {
+    let server = spawn_server(ServeConfig::default());
+    let clients: Vec<ServeClient> = (0..4)
+        .map(|_| ServeClient::connect(server.addr()).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() < 4 {
+        assert!(Instant::now() < deadline, "connections never registered");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    drop(clients);
+    while server.live_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "{} connections still registered after all clients hung up",
+            server.live_connections()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
     server.shutdown();
 }
 

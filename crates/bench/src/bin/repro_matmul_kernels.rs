@@ -1,15 +1,21 @@
 //! Matmul kernel comparison: seed `ikj` stripe kernel vs the register-tiled
-//! micro-kernel, single-threaded and on the persistent kernel pool, plus the
-//! relational block-join speedup. Emits `BENCH_matmul.json` with GFLOP/s so
-//! regressions are diffable.
+//! micro-kernel on **every ISA dispatch path the host supports** (scalar,
+//! AVX2+FMA 4×8, AVX-512 8×16), single-threaded and on the persistent kernel
+//! pool, plus vectorized elementwise kernel bandwidth and the relational
+//! block-join speedup. Every row names the micro-kernel that actually ran,
+//! so a reader can tell the FMA path from the scalar fallback. Emits
+//! `BENCH_matmul.json` (selected ISA, one kernel row per dispatch path,
+//! elementwise bandwidth) so regressions are diffable.
 //!
-//! Run with `cargo run --release --bin repro_matmul_kernels`.
+//! Run with `cargo run --release --bin repro_matmul_kernels`. Hosts without
+//! AVX-512 (or AVX2) simply skip those rows and say so.
 
 use relserve_bench::report::{Cell, ResultTable};
 use relserve_relational::TensorTable;
 use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
 use relserve_tensor::matmul as mm;
+use relserve_tensor::simd::{self, Isa};
 use relserve_tensor::{BlockingSpec, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
@@ -54,6 +60,23 @@ fn pattern(rows: usize, cols: usize, salt: usize) -> Tensor {
     })
 }
 
+/// One benched matmul kernel row.
+struct KernelRow {
+    name: String,
+    isa: &'static str,
+    threads: usize,
+    secs: f64,
+}
+
+/// One benched elementwise kernel row: `bytes` is the traffic (reads +
+/// writes) a single invocation touches.
+struct ElemRow {
+    kernel: &'static str,
+    isa: &'static str,
+    secs: f64,
+    bytes: f64,
+}
+
 fn main() {
     let pool = Arc::new(KernelPool::for_cores(
         std::thread::available_parallelism()
@@ -62,6 +85,25 @@ fn main() {
     ));
     let pool_threads = pool.workers() + 1;
     let pooled = pool.parallelism(pool_threads);
+
+    let supported = Isa::supported();
+    let best_isa = Isa::best();
+    let selected = simd::kernels();
+    for isa in [Isa::Avx2Fma, Isa::Avx512] {
+        if !isa.available() {
+            println!("{isa} unavailable on this host; degrading to best tier \"{best_isa}\"");
+        }
+    }
+    println!(
+        "dispatch: selected \"{}\" (micro-kernel {}); supported tiers: {}",
+        selected.isa,
+        selected.matmul.name,
+        supported
+            .iter()
+            .map(|i| i.token())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     // --- Dense kernels at 512^3 -------------------------------------------
     let n = 512usize;
@@ -75,32 +117,65 @@ fn main() {
         c_seed.iter_mut().for_each(|v| *v = 0.0);
         seed_stripe_kernel(a.data(), b.data(), &mut c_seed, n, n, n);
     });
-    let mut tiled_out = None;
+    let mut rows: Vec<KernelRow> = vec![KernelRow {
+        name: "seed_stripe_ikj".into(),
+        isa: Isa::Scalar.token(),
+        threads: 1,
+        secs: seed_secs,
+    }];
+
+    // One row per dispatch path the host can execute, forced explicitly so
+    // the comparison is apples-to-apples on the same machine.
+    let mut out = None;
+    for &isa in &supported {
+        let kern_name = simd::kernels_for(isa).unwrap().matmul.name;
+        let secs = best_secs(reps, || {
+            out = Some(mm::matmul_with_isa(&a, &b, isa).unwrap());
+        });
+        rows.push(KernelRow {
+            name: format!("tiled[{kern_name}]"),
+            isa: isa.token(),
+            threads: 1,
+            secs,
+        });
+    }
+
+    // The auto-dispatched paths: what `matmul` / `matmul_parallel` actually
+    // run, labeled with the micro-kernel the seam selected.
     let tiled_secs = best_secs(reps, || {
-        tiled_out = Some(mm::matmul(&a, &b).unwrap());
+        out = Some(mm::matmul(&a, &b).unwrap());
+    });
+    rows.push(KernelRow {
+        name: format!("tiled_auto[{}]", selected.matmul.name),
+        isa: selected.isa.token(),
+        threads: 1,
+        secs: tiled_secs,
     });
     let pooled_secs = best_secs(reps, || {
-        tiled_out = Some(mm::matmul_parallel(&a, &b, &pooled).unwrap());
+        out = Some(mm::matmul_parallel(&a, &b, &pooled).unwrap());
+    });
+    rows.push(KernelRow {
+        name: format!("tiled_pooled[{}]", selected.matmul.name),
+        isa: selected.isa.token(),
+        threads: pool_threads,
+        secs: pooled_secs,
     });
 
     // Sanity: the tiled kernel agrees with the seed baseline.
     let seed_c = Tensor::from_vec([n, n], c_seed).unwrap();
-    let max_diff = seed_c.max_abs_diff(tiled_out.as_ref().unwrap()).unwrap();
+    let max_diff = seed_c.max_abs_diff(out.as_ref().unwrap()).unwrap();
     assert!(max_diff < 1e-2, "kernels disagree: max diff {max_diff}");
 
     let gflops = |secs: f64| flops / secs / 1e9;
-    let mut table = ResultTable::new(&["kernel", "threads", "secs", "GFLOP/s"]);
-    for (name, threads, secs) in [
-        ("seed_stripe_ikj", 1, seed_secs),
-        ("tiled", 1, tiled_secs),
-        ("tiled_pooled", pool_threads, pooled_secs),
-    ] {
+    let mut table = ResultTable::new(&["kernel", "isa", "threads", "secs", "GFLOP/s"]);
+    for row in &rows {
         table.row(
-            name,
+            &row.name,
             &[
-                Cell::Text(threads.to_string()),
-                Cell::Text(format!("{secs:.4}")),
-                Cell::Text(format!("{:.2}", gflops(secs))),
+                Cell::Text(row.isa.to_string()),
+                Cell::Text(row.threads.to_string()),
+                Cell::Text(format!("{:.4}", row.secs)),
+                Cell::Text(format!("{:.2}", gflops(row.secs))),
             ],
         );
     }
@@ -111,13 +186,91 @@ fn main() {
         seed_secs / tiled_secs,
         tiled_secs / pooled_secs
     );
+    let secs_for = |isa: Isa| {
+        rows.iter()
+            .find(|r| r.isa == isa.token() && r.name.starts_with("tiled["))
+            .map(|r| r.secs)
+    };
+    let avx512_vs_avx2 = match (secs_for(Isa::Avx2Fma), secs_for(Isa::Avx512)) {
+        (Some(avx2), Some(avx512)) => {
+            println!(
+                "avx512 8x16 vs avx2 4x8 (1 thread): {:.2}x ({:.2} vs {:.2} GFLOP/s)",
+                avx2 / avx512,
+                gflops(avx512),
+                gflops(avx2)
+            );
+            Some(avx2 / avx512)
+        }
+        _ => None,
+    };
+
+    // --- Elementwise kernel bandwidth -------------------------------------
+    // L2-resident working set so the wider tiers are not flattened against
+    // the memory wall; traffic counts reads + writes per invocation.
+    let elems = 1usize << 16;
+    let src = pattern(1, elems, 5);
+    let elem_reps = 2000;
+    let mut elem_rows: Vec<ElemRow> = Vec::new();
+    for &isa in &supported {
+        let kern = simd::kernels_for(isa).unwrap();
+        let mut buf = src.data().to_vec();
+        let secs = best_secs(3, || {
+            for _ in 0..elem_reps {
+                kern.relu(&mut buf);
+            }
+        }) / elem_reps as f64;
+        elem_rows.push(ElemRow {
+            kernel: "relu",
+            isa: isa.token(),
+            secs,
+            bytes: (elems * 8) as f64,
+        });
+        let mut buf = src.data().to_vec();
+        let secs = best_secs(3, || {
+            for _ in 0..elem_reps {
+                kern.axpy(&mut buf, src.data(), 0.5);
+            }
+        }) / elem_reps as f64;
+        elem_rows.push(ElemRow {
+            kernel: "axpy",
+            isa: isa.token(),
+            secs,
+            bytes: (elems * 12) as f64,
+        });
+        let mut sink = 0.0f32;
+        let secs = best_secs(3, || {
+            for _ in 0..elem_reps {
+                sink += kern.sum(src.data());
+            }
+        }) / elem_reps as f64;
+        assert!(sink.is_finite());
+        elem_rows.push(ElemRow {
+            kernel: "sum",
+            isa: isa.token(),
+            secs,
+            bytes: (elems * 4) as f64,
+        });
+    }
+    let mut etable = ResultTable::new(&["elementwise", "isa", "ns/call", "GB/s"]);
+    for row in &elem_rows {
+        etable.row(
+            row.kernel,
+            &[
+                Cell::Text(row.isa.to_string()),
+                Cell::Text(format!("{:.0}", row.secs * 1e9)),
+                Cell::Text(format!("{:.2}", row.bytes / row.secs / 1e9)),
+            ],
+        );
+    }
+    println!("elementwise kernels over {elems} floats (L2-resident):");
+    print!("{}", etable.render());
 
     // --- Relational block join at 1024x1024 -------------------------------
-    let rows = 1024usize;
+    let rel_rows = 1024usize;
     let block = 128usize;
     let bufpool = Arc::new(BufferPool::new(Arc::new(DiskManager::temp().unwrap()), 512));
-    let x = pattern(rows, rows, 3);
-    let w = pattern(rows, rows, 4);
+    let x = pattern(rel_rows, rel_rows, 3);
+    let w = pattern(rel_rows, rel_rows, 4);
     let xt =
         TensorTable::from_dense(bufpool.clone(), "X", &x, BlockingSpec::square(block)).unwrap();
     let wt = TensorTable::from_dense(bufpool, "W", &w, BlockingSpec::square(block)).unwrap();
@@ -131,7 +284,7 @@ fn main() {
         xt.matmul_bt_parallel(&wt, "C", &rel_par).unwrap();
     });
     println!(
-        "relational matmul_bt {rows}x{rows} (block {block}): serial {rel_serial:.4}s, \
+        "relational matmul_bt {rel_rows}x{rel_rows} (block {block}): serial {rel_serial:.4}s, \
          {rel_threads} kernel threads {rel_pooled:.4}s ({:.2}x)",
         rel_serial / rel_pooled
     );
@@ -140,18 +293,44 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1);
+    let kernel_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"isa\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \"gflops\": {:.3}}}",
+                r.name,
+                r.isa,
+                r.threads,
+                r.secs,
+                gflops(r.secs)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let elem_json = elem_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"kernel\": \"{}\", \"isa\": \"{}\", \"ns_per_call\": {:.1}, \"gbps\": {:.3}}}",
+                r.kernel,
+                r.isa,
+                r.secs * 1e9,
+                r.bytes / r.secs / 1e9
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let avx512_json = avx512_vs_avx2
+        .map(|s| format!("  \"speedup_avx512_vs_avx2\": {s:.3},\n"))
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"host_cores\": {host_cores},\n  \"shape\": [{n}, {n}, {n}],\n  \"flops\": {flops},\n  \"kernels\": [\n    \
-         {{\"name\": \"seed_stripe_ikj\", \"threads\": 1, \"secs\": {seed_secs:.6}, \"gflops\": {:.3}}},\n    \
-         {{\"name\": \"tiled\", \"threads\": 1, \"secs\": {tiled_secs:.6}, \"gflops\": {:.3}}},\n    \
-         {{\"name\": \"tiled_pooled\", \"threads\": {pool_threads}, \"secs\": {pooled_secs:.6}, \"gflops\": {:.3}}}\n  ],\n  \
-         \"speedup_tiled_vs_seed\": {:.3},\n  \
-         \"relational_matmul_bt\": {{\"rows\": {rows}, \"block\": {block}, \"kernel_threads\": {rel_threads}, \
+        "{{\n  \"host_cores\": {host_cores},\n  \"isa\": \"{}\",\n  \"shape\": [{n}, {n}, {n}],\n  \"flops\": {flops},\n  \"kernels\": [\n{kernel_json}\n  ],\n  \
+         \"speedup_tiled_vs_seed\": {:.3},\n{avx512_json}  \
+         \"elementwise\": [\n{elem_json}\n  ],\n  \
+         \"relational_matmul_bt\": {{\"rows\": {rel_rows}, \"block\": {block}, \"kernel_threads\": {rel_threads}, \
          \"serial_secs\": {rel_serial:.6}, \"pooled_secs\": {rel_pooled:.6}, \"speedup\": {:.3}}},\n  \
          \"pool_counters\": {{\"tasks_run\": {}, \"steals\": {}, \"parks\": {}}}\n}}\n",
-        gflops(seed_secs),
-        gflops(tiled_secs),
-        gflops(pooled_secs),
+        selected.isa.token(),
         seed_secs / tiled_secs,
         rel_serial / rel_pooled,
         counters.tasks_run,

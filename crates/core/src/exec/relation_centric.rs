@@ -198,7 +198,11 @@ fn apply_activation_blocked(
 ) -> Result<TensorTable> {
     let out = match act {
         Activation::None => return Ok(table),
-        Activation::Relu => table.map(format!("{tag}.relu"), |x| x.max(0.0))?,
+        // Slice-level map so each block runs the dispatched SIMD relu rather
+        // than a per-element closure.
+        Activation::Relu => table.map_blocks(format!("{tag}.relu"), |xs| {
+            relserve_tensor::simd::kernels().relu(xs)
+        })?,
         Activation::Sigmoid => table.map(format!("{tag}.sigmoid"), |x| 1.0 / (1.0 + (-x).exp()))?,
         Activation::Tanh => table.map(format!("{tag}.tanh"), f32::tanh)?,
         Activation::Softmax => softmax_blocked(&table, &format!("{tag}.softmax"))?,

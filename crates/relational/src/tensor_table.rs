@@ -439,6 +439,31 @@ impl TensorTable {
         Ok(out)
     }
 
+    /// Apply a slice-level kernel to every stored block, producing a new
+    /// relation. Unlike [`TensorTable::map`], `f` sees each block payload as
+    /// one contiguous slice, so callers can hand it a vectorized kernel from
+    /// the `relserve_tensor::simd` dispatch table (e.g. the SIMD relu)
+    /// instead of a per-element closure.
+    pub fn map_blocks(
+        &self,
+        out_name: impl Into<String>,
+        f: impl Fn(&mut [f32]),
+    ) -> Result<TensorTable> {
+        let mut out = TensorTable::create(
+            self.pool().clone(),
+            out_name,
+            self.rows,
+            self.cols,
+            self.spec,
+        );
+        for coord in self.coords() {
+            let mut block = self.get_block(coord)?;
+            f(block.data_mut());
+            out.insert_block(coord, &block)?;
+        }
+        Ok(out)
+    }
+
     /// Add a bias row-vector (length = logical cols) to every row, blockwise.
     pub fn add_bias(&self, out_name: impl Into<String>, bias: &Tensor) -> Result<TensorTable> {
         if bias.len() != self.cols {

@@ -52,6 +52,9 @@ pub enum Error {
     BlockingMismatch(String),
     /// A convolution specification is inconsistent with its input.
     InvalidConv(String),
+    /// SIMD dispatch selection failed: an unknown `RELSERVE_ISA` token, or a
+    /// tier the running CPU cannot execute.
+    Isa(String),
 }
 
 impl fmt::Display for Error {
@@ -76,6 +79,7 @@ impl fmt::Display for Error {
             }
             Error::BlockingMismatch(msg) => write!(f, "incompatible blocking: {msg}"),
             Error::InvalidConv(msg) => write!(f, "invalid convolution: {msg}"),
+            Error::Isa(msg) => write!(f, "isa dispatch: {msg}"),
         }
     }
 }

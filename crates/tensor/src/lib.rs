@@ -12,6 +12,9 @@
 //!   table, spill to disk through the buffer pool, or be joined/aggregated.
 //! * [`sparse::CsrMatrix`] — compressed-sparse-row matrices for the
 //!   extreme-classification inputs (Amazon-14k rows are ~0.5 % dense).
+//! * [`simd`] — the ISA dispatch seam: scalar / AVX2+FMA / AVX-512
+//!   micro-kernels and vectorized elementwise kernels, selected once per
+//!   process (overridable via `RELSERVE_ISA`).
 //!
 //! The crate is deliberately dependency-free: kernels never spawn threads
 //! themselves but submit stripe tasks to the [`parallel::StripeRunner`]
@@ -27,6 +30,7 @@ pub mod matmul;
 pub mod ops;
 pub mod parallel;
 pub mod shape;
+pub mod simd;
 pub mod sparse;
 
 pub use blocked::{BlockCoord, BlockedTensor, BlockingSpec};
@@ -34,6 +38,7 @@ pub use conv::{im2col, spatial_rewrite_1x1, Conv2dSpec};
 pub use dense::Tensor;
 pub use error::{Error, Result};
 pub use shape::Shape;
+pub use simd::Isa;
 pub use sparse::CsrMatrix;
 
 /// Size of one `f32` element in bytes; used by memory estimators everywhere.

@@ -4,8 +4,8 @@
 //!
 //! * [`matmul_naive`] — reference triple loop, used by tests as an oracle.
 //! * [`matmul`] — single-threaded register-tiled kernel: `B` is packed once
-//!   into zero-padded column panels of width [`NR`], `A` into row micro-panels
-//!   of height [`MR`], and a `MR×NR` accumulator tile lives in registers
+//!   into zero-padded column panels of width `NR`, `A` into row micro-panels
+//!   of height `MR`, and a `MR×NR` accumulator tile lives in registers
 //!   across the whole `k` sweep of a cache block. No per-element branches.
 //! * [`matmul_parallel`] — the tiled kernel sharded over disjoint row stripes
 //!   submitted through the caller's [`crate::parallel::Parallelism`] grant
@@ -13,6 +13,14 @@
 //!   grant carries the thread budget so the unified resource manager (§3 of
 //!   the paper) can coordinate it with DB worker threads instead of letting
 //!   a BLAS runtime spawn threads behind the system's back.
+//!
+//! The tile geometry (`MR`/`NR`/`KC`) is **not** fixed by this module: it is
+//! a property of the micro-kernel the [`crate::simd`] dispatch layer selects
+//! at first use (scalar 4×8, AVX2+FMA 4×8, or AVX-512 8×16), and the packing
+//! and blocking driver here shapes its panels to whatever geometry the
+//! dispatched [`simd::MatmulKernel`] declares. `RELSERVE_ISA` forces a
+//! specific tier process-wide; [`matmul_with_isa`] / [`matmul_bt_with_isa`]
+//! force one per call for tests and benchmarks.
 //!
 //! Transposed-operand entry points avoid materializing transposes by packing
 //! straight out of the stored layout:
@@ -26,14 +34,8 @@
 use crate::dense::Tensor;
 use crate::error::{Error, Result};
 use crate::parallel::Parallelism;
+use crate::simd::{self, Isa, MatmulKernel};
 use std::cell::RefCell;
-
-/// Micro-tile rows: C accumulator height held in registers.
-const MR: usize = 4;
-/// Micro-tile columns: C accumulator width held in registers.
-const NR: usize = 8;
-/// k-dimension cache block: packed panels of this depth stay L1/L2-resident.
-const KC: usize = 256;
 
 /// Minimum `m·k·n` before the packed kernel beats plain dot products; below
 /// it packing overhead dominates the O(m·k·n) arithmetic.
@@ -99,128 +101,81 @@ impl View<'_> {
     }
 }
 
-/// Pack logical `B[k,n]` into zero-padded column panels: panel `jp` holds
-/// columns `jp*NR ..`, laid out `[p][NR]` so the micro-kernel streams it
-/// linearly. Ragged right edges are padded with zeros, which contribute
-/// nothing to the accumulators and let the kernel skip edge branches.
-fn pack_b(b: &View<'_>, k: usize, n: usize, out: &mut Vec<f32>) {
-    let panels = n.div_ceil(NR);
+/// Pack logical `B[k,n]` into zero-padded column panels of the kernel's panel
+/// width `nr`: panel `jp` holds columns `jp*nr ..`, laid out `[p][nr]` so the
+/// micro-kernel streams it linearly. Ragged right edges are padded with
+/// zeros, which contribute nothing to the accumulators and let the kernel
+/// skip edge branches.
+fn pack_b(b: &View<'_>, k: usize, n: usize, nr: usize, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(nr);
     out.clear();
-    out.resize(panels * k * NR, 0.0);
+    out.resize(panels * k * nr, 0.0);
     for jp in 0..panels {
-        let j0 = jp * NR;
-        let width = NR.min(n - j0);
-        let base = jp * k * NR;
+        let j0 = jp * nr;
+        let width = nr.min(n - j0);
+        let base = jp * k * nr;
         if b.trans {
             // Stored [n, k]: logical column j is the contiguous stored row j.
             for jj in 0..width {
                 let col = &b.data[(j0 + jj) * b.ld..(j0 + jj) * b.ld + k];
                 for (p, &v) in col.iter().enumerate() {
-                    out[base + p * NR + jj] = v;
+                    out[base + p * nr + jj] = v;
                 }
             }
         } else {
             for p in 0..k {
                 let row = &b.data[p * b.ld + j0..p * b.ld + j0 + width];
-                out[base + p * NR..base + p * NR + width].copy_from_slice(row);
+                out[base + p * nr..base + p * nr + width].copy_from_slice(row);
             }
         }
     }
 }
 
-/// Pack rows `i0 .. i0+mr` of logical `A[m,k]`, k-range `p0..p1`, into an
-/// interleaved `[p][MR]` micro-panel (rows past `mr` zero-padded).
-fn pack_a(a: &View<'_>, i0: usize, mr: usize, p0: usize, p1: usize, out: &mut [f32]) {
+/// Pack rows `i0 .. i0+rows` of logical `A[m,k]`, k-range `p0..p1`, into an
+/// interleaved `[p][mr]` micro-panel of the kernel's tile height `mr` (rows
+/// past `rows` zero-padded).
+fn pack_a(a: &View<'_>, i0: usize, rows: usize, p0: usize, p1: usize, mr: usize, out: &mut [f32]) {
     let kc = p1 - p0;
-    out[..kc * MR].fill(0.0);
+    out[..kc * mr].fill(0.0);
     if a.trans {
         // Stored [k, m]: each stored row p holds one k-slice across all rows.
         for (pi, p) in (p0..p1).enumerate() {
-            let slice = &a.data[p * a.ld + i0..p * a.ld + i0 + mr];
-            out[pi * MR..pi * MR + mr].copy_from_slice(slice);
+            let slice = &a.data[p * a.ld + i0..p * a.ld + i0 + rows];
+            out[pi * mr..pi * mr + rows].copy_from_slice(slice);
         }
     } else {
-        for r in 0..mr {
+        for r in 0..rows {
             let row = &a.data[(i0 + r) * a.ld..];
             for pi in 0..kc {
-                out[pi * MR + r] = row[p0 + pi];
+                out[pi * mr + r] = row[p0 + pi];
             }
         }
     }
 }
 
-/// The register tile: `acc[r][c] += apack[p][r] * bpanel[p][c]` over `kc`
-/// steps. The fixed-size array refs let the compiler keep the whole `MR×NR`
-/// accumulator in vector registers and unroll the FMA grid; there is no
-/// data-dependent branch in the loop body.
-#[inline(always)]
-fn microkernel(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
-    for p in 0..kc {
-        let a: &[f32; MR] = apack[p * MR..p * MR + MR].try_into().unwrap();
-        let b: &[f32; NR] = bpanel[p * NR..p * NR + NR].try_into().unwrap();
-        for r in 0..MR {
-            let ar = a[r];
-            for c in 0..NR {
-                acc[r][c] += ar * b[c];
-            }
-        }
-    }
+thread_local! {
+    /// Reusable B-pack scratch: persistent kernel-pool workers and the
+    /// session thread each keep one buffer alive across matmul calls instead
+    /// of reallocating ~k·n floats per multiply.
+    static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reusable A-pack scratch, one per worker thread for the same reason:
+    /// every stripe re-packs its A micro-panels per k-block, and kernel-pool
+    /// workers run one stripe per matmul call — without this they would
+    /// reallocate ~stripe_rows·KC floats on every call.
+    static A_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
-/// AVX2+FMA variant of [`microkernel`]: each accumulator row is one 256-bit
-/// register (`NR == 8` lanes), so the whole `MR×NR` tile lives in four `ymm`
-/// registers and every `p` step issues four fused multiply-adds against a
-/// single broadcast-free B load. The crate builds for baseline `x86-64`
-/// (SSE2), so this path is selected at runtime via feature detection rather
-/// than compile-time target flags.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn microkernel_fma(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
-    use std::arch::x86_64::*;
-    // The register allocation below is written for the 4×8 tile shape.
-    const { assert!(MR == 4 && NR == 8) };
-    debug_assert!(apack.len() >= kc * MR && bpanel.len() >= kc * NR);
-    let mut c0 = _mm256_loadu_ps(acc[0].as_ptr());
-    let mut c1 = _mm256_loadu_ps(acc[1].as_ptr());
-    let mut c2 = _mm256_loadu_ps(acc[2].as_ptr());
-    let mut c3 = _mm256_loadu_ps(acc[3].as_ptr());
-    let ap = apack.as_ptr();
-    let bp = bpanel.as_ptr();
-    for p in 0..kc {
-        let b = _mm256_loadu_ps(bp.add(p * NR));
-        let a = ap.add(p * MR);
-        c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a), b, c0);
-        c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(1)), b, c1);
-        c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(2)), b, c2);
-        c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(3)), b, c3);
-    }
-    _mm256_storeu_ps(acc[0].as_mut_ptr(), c0);
-    _mm256_storeu_ps(acc[1].as_mut_ptr(), c1);
-    _mm256_storeu_ps(acc[2].as_mut_ptr(), c2);
-    _mm256_storeu_ps(acc[3].as_mut_ptr(), c3);
-}
-
-/// Run the best micro-kernel the host supports. Feature detection is cached
-/// in an atomic by the standard library, so the per-tile check is a load.
-#[inline(always)]
-fn run_microkernel(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        // SAFETY: the required CPU features were just verified at runtime.
-        unsafe { microkernel_fma(apack, bpanel, kc, acc) };
-        return;
-    }
-    microkernel(apack, bpanel, kc, acc);
-}
-
-/// Compute rows `i0..i1` of `C += A × B` from pre-packed `B` panels.
+/// Compute rows `i0..i1` of `C += A × B` from pre-packed `B` panels using
+/// `kern`'s micro-kernel and tile geometry.
 ///
 /// Loop order is `(k-block, pack A tiles, panel, tile)`: within one k-block
-/// every A micro-panel is packed once, then each B panel (≈`NR·KC` floats,
+/// every A micro-panel is packed once, then each B panel (≈`nr·kc` floats,
 /// L1-resident) is reused across all row tiles of the stripe before moving
 /// on. `cd` is the stripe's slice of C, `stripe_rows × n`, and accumulates
 /// one partial product per k-block.
+#[allow(clippy::too_many_arguments)] // a stripe is (kernel, A, packed B, C-slice, row range, k, n)
 fn tiled_stripe(
+    kern: &MatmulKernel,
     a: &View<'_>,
     bpack: &[f32],
     cd: &mut [f32],
@@ -233,46 +188,57 @@ fn tiled_stripe(
     if rows == 0 || n == 0 || k == 0 {
         return;
     }
-    let tiles = rows.div_ceil(MR);
-    let panels = n.div_ceil(NR);
-    let mut apack = vec![0.0f32; tiles * MR * KC.min(k)];
-    for p0 in (0..k).step_by(KC) {
-        let p1 = (p0 + KC).min(k);
-        let kc = p1 - p0;
-        for t in 0..tiles {
-            let i = i0 + t * MR;
-            let mr = MR.min(i1 - i);
-            pack_a(a, i, mr, p0, p1, &mut apack[t * MR * kc..(t + 1) * MR * kc]);
+    let (mr, nr) = (kern.mr, kern.nr);
+    let tiles = rows.div_ceil(mr);
+    let panels = n.div_ceil(nr);
+    let mut acc_tile = [0.0f32; simd::MAX_MR * simd::MAX_NR];
+    A_SCRATCH.with(|scratch| {
+        let mut apack = scratch.borrow_mut();
+        let need = tiles * mr * kern.kc.min(k);
+        if apack.len() < need {
+            apack.resize(need, 0.0);
         }
-        for jp in 0..panels {
-            let bpanel = &bpack[jp * k * NR + p0 * NR..][..kc * NR];
-            let j0 = jp * NR;
-            let width = NR.min(n - j0);
+        for p0 in (0..k).step_by(kern.kc) {
+            let p1 = (p0 + kern.kc).min(k);
+            let kc = p1 - p0;
             for t in 0..tiles {
-                let i = i0 + t * MR;
-                let mr = MR.min(i1 - i);
-                let mut acc = [[0.0f32; NR]; MR];
-                run_microkernel(&apack[t * MR * kc..][..MR * kc], bpanel, kc, &mut acc);
-                for (r, acc_row) in acc.iter().enumerate().take(mr) {
-                    let c_row = &mut cd[(i - i0 + r) * n + j0..][..width];
-                    for (cv, av) in c_row.iter_mut().zip(acc_row) {
-                        *cv += *av;
+                let i = i0 + t * mr;
+                let rows = mr.min(i1 - i);
+                pack_a(
+                    a,
+                    i,
+                    rows,
+                    p0,
+                    p1,
+                    mr,
+                    &mut apack[t * mr * kc..(t + 1) * mr * kc],
+                );
+            }
+            for jp in 0..panels {
+                let bpanel = &bpack[jp * k * nr + p0 * nr..][..kc * nr];
+                let j0 = jp * nr;
+                let width = nr.min(n - j0);
+                for t in 0..tiles {
+                    let i = i0 + t * mr;
+                    let rows = mr.min(i1 - i);
+                    let acc = &mut acc_tile[..mr * nr];
+                    acc.fill(0.0);
+                    kern.run(&apack[t * mr * kc..][..mr * kc], bpanel, kc, acc);
+                    for r in 0..rows {
+                        let c_row = &mut cd[(i - i0 + r) * n + j0..][..width];
+                        for (cv, av) in c_row.iter_mut().zip(&acc[r * nr..r * nr + width]) {
+                            *cv += *av;
+                        }
                     }
                 }
             }
         }
-    }
-}
-
-thread_local! {
-    /// Reusable B-pack scratch: persistent kernel-pool workers and the
-    /// session thread each keep one buffer alive across matmul calls instead
-    /// of reallocating ~k·n floats per multiply.
-    static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    });
 }
 
 /// Shared driver: pack `B`, then run row stripes serially or on the grant.
 fn matmul_packed(
+    kern: &MatmulKernel,
     a: View<'_>,
     b: View<'_>,
     m: usize,
@@ -286,14 +252,14 @@ fn matmul_packed(
     }
     B_SCRATCH.with(|scratch| {
         let mut bpack = scratch.borrow_mut();
-        pack_b(&b, k, n, &mut bpack);
+        pack_b(&b, k, n, kern.nr, &mut bpack);
         let threads = par.threads().clamp(1, m);
         if threads == 1 {
-            tiled_stripe(&a, &bpack, &mut c, 0, m, k, n);
+            tiled_stripe(kern, &a, &bpack, &mut c, 0, m, k, n);
             return;
         }
         // Stripe boundaries land on MR multiples so no tile spans two tasks.
-        let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+        let rows_per = m.div_ceil(threads).div_ceil(kern.mr) * kern.mr;
         let mut stripes: Vec<(usize, &mut [f32])> = Vec::new();
         let mut rest = c.as_mut_slice();
         let mut row = 0usize;
@@ -307,7 +273,7 @@ fn matmul_packed(
         let bpack = &bpack[..];
         par.run_owned(stripes, |(row0, stripe)| {
             let rows = stripe.len() / n;
-            tiled_stripe(&a, bpack, stripe, row0, row0 + rows, k, n);
+            tiled_stripe(kern, &a, bpack, stripe, row0, row0 + rows, k, n);
         });
     });
     c
@@ -318,14 +284,35 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     matmul_parallel(a, b, &Parallelism::serial())
 }
 
+/// Single-threaded `A × B` forced onto a specific ISA dispatch path.
+///
+/// Bypasses the process-wide selection so tests and benchmarks can exercise
+/// every tier the host supports; errors if the CPU lacks `isa`.
+pub fn matmul_with_isa(a: &Tensor, b: &Tensor, isa: Isa) -> Result<Tensor> {
+    let kern = &simd::kernels_for(isa)?.matmul;
+    let (m, k, n) = matrix_dims(a, b, "matmul_with_isa")?;
+    let c = matmul_packed(
+        kern,
+        View::plain(a.data(), k),
+        View::plain(b.data(), n),
+        m,
+        k,
+        n,
+        &Parallelism::serial(),
+    );
+    Tensor::from_vec([m, n], c)
+}
+
 /// Multi-threaded `A × B` over row stripes on the caller's kernel grant.
 ///
 /// With a serial grant (budget 1, or no backing pool) this runs on the
 /// calling thread, which is what the resource manager requests when DB
 /// worker threads already saturate the cores (§3.1).
 pub fn matmul_parallel(a: &Tensor, b: &Tensor, par: &Parallelism) -> Result<Tensor> {
+    let kern = &simd::try_kernels()?.matmul;
     let (m, k, n) = matrix_dims(a, b, "matmul_parallel")?;
     let c = matmul_packed(
+        kern,
         View::plain(a.data(), k),
         View::plain(b.data(), n),
         m,
@@ -339,6 +326,33 @@ pub fn matmul_parallel(a: &Tensor, b: &Tensor, par: &Parallelism) -> Result<Tens
 /// `A[m,k] × Bᵀ` where `B` is stored `[n, k]` — the inference layout.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     matmul_bt_parallel(a, b, &Parallelism::serial())
+}
+
+/// Single-threaded `A × Bᵀ` (`B` stored `[n, k]`) forced onto a specific ISA
+/// dispatch path. Always takes the packed-panel path — no small-product
+/// shortcut — so tests can drive every tier through the transposed packing
+/// and tail handling; errors if the CPU lacks `isa`.
+pub fn matmul_bt_with_isa(a: &Tensor, b: &Tensor, isa: Isa) -> Result<Tensor> {
+    let kern = &simd::kernels_for(isa)?.matmul;
+    let (m, k1) = a.shape().as_matrix()?;
+    let (n, k2) = b.shape().as_matrix()?;
+    if k1 != k2 {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_bt_with_isa",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let c = matmul_packed(
+        kern,
+        View::plain(a.data(), k1),
+        View::transposed(b.data(), k1),
+        m,
+        k1,
+        n,
+        &Parallelism::serial(),
+    );
+    Tensor::from_vec([m, n], c)
 }
 
 /// Multi-threaded `A × Bᵀ` with `B` stored `[n, k]`.
@@ -374,7 +388,9 @@ pub fn matmul_bt_parallel(a: &Tensor, b: &Tensor, par: &Parallelism) -> Result<T
         }
         return Tensor::from_vec([m, n], c);
     }
+    let kern = &simd::try_kernels()?.matmul;
     let c = matmul_packed(
+        kern,
         View::plain(a.data(), k),
         View::transposed(b.data(), k),
         m,
@@ -404,7 +420,9 @@ pub fn matmul_at_parallel(a: &Tensor, b: &Tensor, par: &Parallelism) -> Result<T
         });
     }
     let k = k1;
+    let kern = &simd::try_kernels()?.matmul;
     let c = matmul_packed(
+        kern,
         View::transposed(a.data(), m),
         View::plain(b.data(), n),
         m,
@@ -511,25 +529,50 @@ mod tests {
 
     #[test]
     fn ragged_edges_exercise_partial_tiles() {
-        // Dimensions chosen to leave partial MR/NR/KC tiles on every edge.
+        // Dimensions chosen to leave partial MR/NR/KC tiles on every edge,
+        // checked against every ISA tier the host can execute.
         for (m, k, n) in [(1, 1, 1), (3, 5, 9), (5, 3, 11), (13, 17, 19), (4, 8, 8)] {
             let a = Tensor::from_fn([m, k], |i| ((i * 29) % 31) as f32 * 0.125 - 1.5);
             let b = Tensor::from_fn([k, n], |i| ((i * 37) % 41) as f32 * 0.0625 - 1.0);
-            let fast = matmul(&a, &b).unwrap();
             let slow = matmul_naive(&a, &b).unwrap();
+            let fast = matmul(&a, &b).unwrap();
             assert!(fast.approx_eq(&slow, 1e-3), "shape ({m},{k},{n})");
+            for isa in Isa::supported() {
+                let forced = matmul_with_isa(&a, &b, isa).unwrap();
+                assert!(forced.approx_eq(&slow, 1e-3), "{isa} shape ({m},{k},{n})");
+            }
         }
     }
 
     #[test]
     fn deep_k_crosses_cache_blocks() {
-        // k > KC forces multiple k-block accumulation passes over C.
-        let k = super::KC + 37;
+        // k > KC forces multiple k-block accumulation passes over C, on every
+        // supported tier (tile geometry, and therefore KC, is per-kernel).
+        let kc = simd::kernels().matmul.kc;
+        let k = kc + 37;
         let a = Tensor::from_fn([5, k], |i| (((i * 11) % 7) as f32 - 3.0) * 0.25);
         let b = Tensor::from_fn([k, 6], |i| (((i * 13) % 5) as f32 - 2.0) * 0.5);
-        let fast = matmul(&a, &b).unwrap();
         let slow = matmul_naive(&a, &b).unwrap();
+        let fast = matmul(&a, &b).unwrap();
         assert!(fast.approx_eq(&slow, 1e-2));
+        for isa in Isa::supported() {
+            let forced = matmul_with_isa(&a, &b, isa).unwrap();
+            assert!(forced.approx_eq(&slow, 1e-2), "{isa}");
+        }
+    }
+
+    #[test]
+    fn forcing_unavailable_isa_is_a_clean_error() {
+        let a = Tensor::zeros([4, 4]);
+        for isa in [Isa::Scalar, Isa::Avx2Fma, Isa::Avx512] {
+            let got = matmul_with_isa(&a, &a, isa);
+            if isa.available() {
+                assert!(got.is_ok(), "{isa} available but dispatch failed");
+            } else {
+                // Must surface as Error::Isa, never an illegal instruction.
+                assert!(matches!(got, Err(Error::Isa(_))), "{isa}");
+            }
+        }
     }
 
     proptest! {

@@ -3,9 +3,18 @@
 //! These are the per-node kernels of the linear-algebra graph IR (§2.1 of the
 //! paper): relu, sigmoid, tanh, softmax, bias addition, and the elementwise
 //! arithmetic the training extension (§6.1) needs.
+//!
+//! The hot loops (relu, bias-add, axpy, scale, and the row-max/row-sum
+//! reductions inside softmax) route through the [`crate::simd`] dispatch
+//! table, so they run on the widest ISA the host supports — or whatever
+//! `RELSERVE_ISA` forces — without the callers (activation paths in the
+//! executors, the SGD update, `softmax_blocked`) changing at all. The
+//! generic [`map`]/[`zip`] combinators remain scalar: they take arbitrary
+//! closures the dispatch table cannot see through.
 
 use crate::dense::Tensor;
 use crate::error::{Error, Result};
+use crate::simd;
 
 /// Apply a unary function elementwise, producing a new tensor.
 pub fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
@@ -41,7 +50,16 @@ pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor
 
 /// Elementwise addition.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    zip(a, b, |x, y| x + y)
+    if a.shape() != b.shape() {
+        return Err(Error::ShapeMismatch {
+            op: "add",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = a.clone();
+    simd::kernels().add_assign(out.data_mut(), b.data());
+    Ok(out)
 }
 
 /// Elementwise subtraction.
@@ -56,7 +74,9 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// Scale every element by a constant.
 pub fn scale(t: &Tensor, k: f32) -> Tensor {
-    map(t, |x| x * k)
+    let mut out = t.clone();
+    simd::kernels().scale(out.data_mut(), k);
+    out
 }
 
 /// `a += b * k` in place — the fused update SGD uses.
@@ -68,15 +88,21 @@ pub fn axpy(a: &mut Tensor, b: &Tensor, k: f32) -> Result<()> {
             rhs: b.shape().dims().to_vec(),
         });
     }
-    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
-        *x += *y * k;
-    }
+    simd::kernels().axpy(a.data_mut(), b.data(), k);
     Ok(())
 }
 
 /// Rectified linear unit.
 pub fn relu(t: &Tensor) -> Tensor {
-    map(t, |x| x.max(0.0))
+    let mut out = t.clone();
+    relu_inplace(&mut out);
+    out
+}
+
+/// Rectified linear unit, in place — the vectorized form activation paths
+/// use when the input is consumed anyway.
+pub fn relu_inplace(t: &mut Tensor) {
+    simd::kernels().relu(t.data_mut());
 }
 
 /// Derivative mask of relu evaluated at the *pre-activation*: 1 where x > 0.
@@ -106,31 +132,31 @@ pub fn add_bias(t: &Tensor, bias: &Tensor) -> Result<Tensor> {
     }
     let mut out = t.clone();
     let b = bias.data();
+    let kernels = simd::kernels();
     for r in 0..rows {
-        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
-        for (o, bv) in row.iter_mut().zip(b) {
-            *o += *bv;
-        }
+        kernels.add_assign(&mut out.data_mut()[r * cols..(r + 1) * cols], b);
     }
     Ok(out)
 }
 
 /// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+///
+/// The row-max and row-sum reductions and the normalizing scale run on the
+/// dispatched SIMD tier; only the `exp` sweep stays scalar (a vector `exp`
+/// would be a polynomial approximation with its own error budget).
 pub fn softmax(t: &Tensor) -> Result<Tensor> {
     let (rows, cols) = t.shape().as_matrix()?;
     let mut out = t.clone();
+    let kernels = simd::kernels();
     for r in 0..rows {
         let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
+        let max = kernels.max(row);
         for v in row.iter_mut() {
             *v = (*v - max).exp();
-            sum += *v;
         }
+        let sum = kernels.sum(row);
         if sum > 0.0 {
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
+            kernels.scale(row, 1.0 / sum);
         }
     }
     Ok(out)
@@ -155,18 +181,16 @@ pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
 
 /// Sum of every element.
 pub fn sum(t: &Tensor) -> f32 {
-    t.data().iter().sum()
+    simd::kernels().sum(t.data())
 }
 
 /// Column-wise sums of a rank-2 tensor (used for bias gradients).
 pub fn col_sums(t: &Tensor) -> Result<Tensor> {
     let (rows, cols) = t.shape().as_matrix()?;
     let mut out = vec![0.0f32; cols];
+    let kernels = simd::kernels();
     for r in 0..rows {
-        let row = &t.data()[r * cols..(r + 1) * cols];
-        for (o, v) in out.iter_mut().zip(row) {
-            *o += *v;
-        }
+        kernels.add_assign(&mut out, &t.data()[r * cols..(r + 1) * cols]);
     }
     Tensor::from_vec([cols], out)
 }

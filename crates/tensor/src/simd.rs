@@ -1,0 +1,814 @@
+//! ISA-dispatched SIMD kernel layer.
+//!
+//! The relation-centric execution model bottoms out in dense block kernels
+//! (§7.1 of the paper), so the in-database compute is only competitive with
+//! an external DL runtime if those kernels use the widest vector units the
+//! host offers. This module is the single seam where that decision is made:
+//!
+//! * [`Isa`] names the dispatch tiers: portable [`Isa::Scalar`], 256-bit
+//!   [`Isa::Avx2Fma`], and 512-bit [`Isa::Avx512`].
+//! * [`Kernels`] is a table of function pointers — one matmul micro-kernel
+//!   (with its own tile geometry) plus the vectorized elementwise kernels
+//!   (relu, add-assign, axpy, scale, max/sum reductions) the activation and
+//!   softmax paths use.
+//! * [`kernels`] resolves the table **once per process**: the best available
+//!   ISA by runtime CPU feature detection, overridable with the
+//!   `RELSERVE_ISA=scalar|avx2|avx512` environment variable for
+//!   reproducibility, testing, and benchmarking. Forcing an ISA the host
+//!   does not support fails with a clear error instead of executing illegal
+//!   instructions.
+//!
+//! Every kernel entry point in [`crate::matmul`] and [`crate::ops`] routes
+//! through this table, so higher layers (conv2d's im2col product, the
+//! relational `TensorTable::matmul_bt`, the executors' activation paths)
+//! inherit the widest ISA without call-site changes. Tests and benchmarks
+//! that need a *specific* path use [`kernels_for`] directly.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Environment variable that forces the dispatch tier for the whole process.
+pub const ISA_ENV: &str = "RELSERVE_ISA";
+
+/// Largest micro-tile height any kernel uses; sizing for stack accumulators.
+pub const MAX_MR: usize = 8;
+/// Largest micro-tile width any kernel uses; sizing for stack accumulators.
+pub const MAX_NR: usize = 16;
+
+/// An instruction-set tier the kernel layer can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Isa {
+    /// Portable Rust; the compiler autovectorizes for the baseline target
+    /// (SSE2 on `x86-64`). Always available.
+    Scalar,
+    /// 256-bit AVX2 with fused multiply-add (`ymm` registers).
+    Avx2Fma,
+    /// 512-bit AVX-512F (`zmm` registers and lane masks).
+    Avx512,
+}
+
+impl Isa {
+    /// The stable token used by [`ISA_ENV`], benchmark JSON, and logs.
+    pub fn token(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2Fma => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse an [`ISA_ENV`] token.
+    pub fn parse(s: &str) -> Result<Isa> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Isa::Scalar),
+            "avx2" => Ok(Isa::Avx2Fma),
+            "avx512" => Ok(Isa::Avx512),
+            other => Err(Error::Isa(format!(
+                "unknown ISA {other:?} (valid {ISA_ENV} values: scalar, avx2, avx512)"
+            ))),
+        }
+    }
+
+    /// Whether the running CPU can execute this tier.
+    pub fn available(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2Fma => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Every tier the running CPU supports, narrowest first.
+    pub fn supported() -> Vec<Isa> {
+        [Isa::Scalar, Isa::Avx2Fma, Isa::Avx512]
+            .into_iter()
+            .filter(|isa| isa.available())
+            .collect()
+    }
+
+    /// The widest tier the running CPU supports.
+    pub fn best() -> Isa {
+        *Isa::supported().last().expect("scalar is always available")
+    }
+}
+
+impl fmt::Display for Isa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One register-tiled matmul micro-kernel and its tile geometry.
+///
+/// The micro-kernel computes `acc[r][c] += apack[p][r] * bpanel[p][c]` over
+/// `kc` steps, where `apack` is an interleaved `[kc][mr]` A micro-panel,
+/// `bpanel` a `[kc][nr]` B panel, and `acc` a row-major `mr×nr` accumulator.
+/// `mr`/`nr`/`kc` are *per-kernel* parameters — the packing and blocking
+/// driver in [`crate::matmul`] shapes its panels to whatever geometry the
+/// dispatched kernel declares, so an 8×16 `zmm` tile and a 4×8 `ymm` tile
+/// coexist behind one seam.
+pub struct MatmulKernel {
+    /// The tier this kernel requires.
+    pub isa: Isa,
+    /// Micro-tile rows: accumulator height held in registers.
+    pub mr: usize,
+    /// Micro-tile columns: accumulator width held in registers.
+    pub nr: usize,
+    /// k-dimension cache block: packed panels of this depth stay L1/L2
+    /// resident.
+    pub kc: usize,
+    /// Human-readable kernel name, e.g. `"avx512 8x16"`; benchmarks print it
+    /// so a reader can tell which micro-kernel actually ran.
+    pub name: &'static str,
+    micro: unsafe fn(&[f32], &[f32], usize, &mut [f32]),
+}
+
+impl MatmulKernel {
+    /// Run the micro-kernel: `acc[r*nr + c] += Σ_p apack[p*mr + r] *
+    /// bpanel[p*nr + c]` for `p < kc`.
+    #[inline(always)]
+    pub fn run(&self, apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [f32]) {
+        assert!(
+            apack.len() >= kc * self.mr
+                && bpanel.len() >= kc * self.nr
+                && acc.len() >= self.mr * self.nr,
+            "micro-kernel operands smaller than the declared tile geometry"
+        );
+        // SAFETY: kernels are only reachable through `kernels_for`, which
+        // verifies the ISA is available on this CPU, and the slice bounds the
+        // target-feature implementations rely on were just asserted.
+        unsafe { (self.micro)(apack, bpanel, kc, acc) }
+    }
+}
+
+impl fmt::Debug for MatmulKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatmulKernel")
+            .field("isa", &self.isa)
+            .field("name", &self.name)
+            .field("mr", &self.mr)
+            .field("nr", &self.nr)
+            .field("kc", &self.kc)
+            .finish()
+    }
+}
+
+/// The dispatch table for one ISA tier: a matmul micro-kernel plus the
+/// vectorized elementwise/reduction kernels. Obtained from [`kernels`]
+/// (process-wide selection) or [`kernels_for`] (explicit tier).
+pub struct Kernels {
+    /// The tier every kernel in this table requires.
+    pub isa: Isa,
+    /// The register-tiled matmul micro-kernel.
+    pub matmul: MatmulKernel,
+    relu: unsafe fn(&mut [f32]),
+    add_assign: unsafe fn(&mut [f32], &[f32]),
+    axpy: unsafe fn(&mut [f32], &[f32], f32),
+    scale: unsafe fn(&mut [f32], f32),
+    vmax: unsafe fn(&[f32]) -> f32,
+    vsum: unsafe fn(&[f32]) -> f32,
+}
+
+impl Kernels {
+    /// `x = max(x, 0)` over the slice.
+    #[inline]
+    pub fn relu(&self, xs: &mut [f32]) {
+        // SAFETY: availability was checked when this table was handed out.
+        unsafe { (self.relu)(xs) }
+    }
+
+    /// `dst[i] += src[i]` — the bias-add / accumulation row kernel.
+    #[inline]
+    pub fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
+        assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+        // SAFETY: availability checked at table selection; lengths agree.
+        unsafe { (self.add_assign)(dst, src) }
+    }
+
+    /// `dst[i] += src[i] * k` — the fused SGD update kernel.
+    #[inline]
+    pub fn axpy(&self, dst: &mut [f32], src: &[f32], k: f32) {
+        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+        // SAFETY: availability checked at table selection; lengths agree.
+        unsafe { (self.axpy)(dst, src, k) }
+    }
+
+    /// `x *= k` over the slice.
+    #[inline]
+    pub fn scale(&self, xs: &mut [f32], k: f32) {
+        // SAFETY: availability was checked when this table was handed out.
+        unsafe { (self.scale)(xs, k) }
+    }
+
+    /// Maximum element (`NEG_INFINITY` for an empty slice) — the row-max
+    /// reduction of numerically-stabilized softmax.
+    #[inline]
+    pub fn max(&self, xs: &[f32]) -> f32 {
+        if xs.is_empty() {
+            return f32::NEG_INFINITY;
+        }
+        // SAFETY: availability was checked when this table was handed out.
+        unsafe { (self.vmax)(xs) }
+    }
+
+    /// Sum of the elements — the row-sum reduction of softmax normalization.
+    #[inline]
+    pub fn sum(&self, xs: &[f32]) -> f32 {
+        // SAFETY: availability was checked when this table was handed out.
+        unsafe { (self.vsum)(xs) }
+    }
+}
+
+impl fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernels")
+            .field("isa", &self.isa)
+            .field("matmul", &self.matmul)
+            .finish()
+    }
+}
+
+/// The dispatch table for an explicit tier; errors if the CPU lacks it.
+pub fn kernels_for(isa: Isa) -> Result<&'static Kernels> {
+    if !isa.available() {
+        return Err(Error::Isa(format!(
+            "ISA {isa:?} ({isa}) is not supported by this CPU; supported tiers: {}",
+            Isa::supported()
+                .iter()
+                .map(|i| i.token())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+    Ok(match isa {
+        Isa::Scalar => &SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => &AVX2,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => &AVX512,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar ISAs report unavailable off x86_64"),
+    })
+}
+
+/// The process-wide dispatch table: resolved once at first use from
+/// [`ISA_ENV`] if set (an unset or empty variable means auto-detect),
+/// otherwise from [`Isa::best`]. Errors only when the override names an
+/// unknown token or a tier this CPU cannot execute.
+pub fn try_kernels() -> Result<&'static Kernels> {
+    static SELECTED: OnceLock<Result<&'static Kernels>> = OnceLock::new();
+    SELECTED
+        .get_or_init(|| match std::env::var(ISA_ENV) {
+            Ok(v) if !v.trim().is_empty() => kernels_for(Isa::parse(&v)?),
+            _ => kernels_for(Isa::best()),
+        })
+        .clone()
+}
+
+/// Infallible form of [`try_kernels`] for kernels whose signatures cannot
+/// carry a `Result` (elementwise ops). Panics with the selection error when
+/// [`ISA_ENV`] forces an unknown or unavailable tier — a clear failure
+/// instead of an illegal-instruction fault.
+pub fn kernels() -> &'static Kernels {
+    try_kernels().unwrap_or_else(|e| panic!("SIMD kernel selection failed: {e}"))
+}
+
+/// The tier the process-wide table dispatches to (selection is cached).
+pub fn active_isa() -> Isa {
+    kernels().isa
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier. Plain Rust loops over fixed 4×8 tiles: the compiler unrolls
+// and autovectorizes for the baseline target, and this is the oracle-adjacent
+// fallback every other tier is property-tested against.
+// ---------------------------------------------------------------------------
+
+/// 4×8 scalar micro-kernel. `unsafe` only to share the dispatch-table
+/// signature; it has no safety requirements beyond the asserted bounds.
+unsafe fn micro_scalar_4x8(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [f32]) {
+    let acc: &mut [f32; 32] = (&mut acc[..32]).try_into().unwrap();
+    for p in 0..kc {
+        let a: &[f32; 4] = apack[p * 4..p * 4 + 4].try_into().unwrap();
+        let b: &[f32; 8] = bpanel[p * 8..p * 8 + 8].try_into().unwrap();
+        for r in 0..4 {
+            let ar = a[r];
+            for c in 0..8 {
+                acc[r * 8 + c] += ar * b[c];
+            }
+        }
+    }
+}
+
+unsafe fn relu_scalar(xs: &mut [f32]) {
+    for x in xs {
+        *x = x.max(0.0);
+    }
+}
+
+unsafe fn add_assign_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += *s;
+    }
+}
+
+unsafe fn axpy_scalar(dst: &mut [f32], src: &[f32], k: f32) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += *s * k;
+    }
+}
+
+unsafe fn scale_scalar(xs: &mut [f32], k: f32) {
+    for x in xs {
+        *x *= k;
+    }
+}
+
+unsafe fn max_scalar(xs: &[f32]) -> f32 {
+    xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+unsafe fn sum_scalar(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}
+
+static SCALAR: Kernels = Kernels {
+    isa: Isa::Scalar,
+    matmul: MatmulKernel {
+        isa: Isa::Scalar,
+        mr: 4,
+        nr: 8,
+        kc: 256,
+        name: "scalar 4x8",
+        micro: micro_scalar_4x8,
+    },
+    relu: relu_scalar,
+    add_assign: add_assign_scalar,
+    axpy: axpy_scalar,
+    scale: scale_scalar,
+    vmax: max_scalar,
+    vsum: sum_scalar,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA tier. 256-bit lanes: the 4×8 matmul tile is four ymm accumulator
+// registers; elementwise kernels run 8 lanes per step with a scalar tail.
+// The crate builds for baseline x86-64 (SSE2), so these are selected at
+// runtime via feature detection rather than compile-time target flags.
+// ---------------------------------------------------------------------------
+
+/// AVX2+FMA 4×8 micro-kernel: each accumulator row is one 256-bit register,
+/// so the whole tile lives in four `ymm` registers and every `p` step issues
+/// four fused multiply-adds against a single B load.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_avx2_4x8(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(apack.len() >= kc * 4 && bpanel.len() >= kc * 8 && acc.len() >= 32);
+    let cp = acc.as_mut_ptr();
+    let mut c0 = _mm256_loadu_ps(cp);
+    let mut c1 = _mm256_loadu_ps(cp.add(8));
+    let mut c2 = _mm256_loadu_ps(cp.add(16));
+    let mut c3 = _mm256_loadu_ps(cp.add(24));
+    let ap = apack.as_ptr();
+    let bp = bpanel.as_ptr();
+    for p in 0..kc {
+        let b = _mm256_loadu_ps(bp.add(p * 8));
+        let a = ap.add(p * 4);
+        c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a), b, c0);
+        c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(1)), b, c1);
+        c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(2)), b, c2);
+        c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(3)), b, c3);
+    }
+    _mm256_storeu_ps(cp, c0);
+    _mm256_storeu_ps(cp.add(8), c1);
+    _mm256_storeu_ps(cp.add(16), c2);
+    _mm256_storeu_ps(cp.add(24), c3);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn relu_avx2(xs: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let zero = _mm256_setzero_ps();
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        _mm256_storeu_ps(p.add(i), _mm256_max_ps(_mm256_loadu_ps(p.add(i)), zero));
+        i += 8;
+    }
+    for x in &mut xs[i..] {
+        *x = x.max(0.0);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(dst: &mut [f32], src: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let d = dst.as_mut_ptr();
+    let s = src.as_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let sum = _mm256_add_ps(_mm256_loadu_ps(d.add(i)), _mm256_loadu_ps(s.add(i)));
+        _mm256_storeu_ps(d.add(i), sum);
+        i += 8;
+    }
+    for (x, y) in dst[i..].iter_mut().zip(&src[i..]) {
+        *x += *y;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2(dst: &mut [f32], src: &[f32], k: f32) {
+    use std::arch::x86_64::*;
+    let kv = _mm256_set1_ps(k);
+    let n = dst.len();
+    let d = dst.as_mut_ptr();
+    let s = src.as_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let acc = _mm256_fmadd_ps(_mm256_loadu_ps(s.add(i)), kv, _mm256_loadu_ps(d.add(i)));
+        _mm256_storeu_ps(d.add(i), acc);
+        i += 8;
+    }
+    for (x, y) in dst[i..].iter_mut().zip(&src[i..]) {
+        *x += *y * k;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scale_avx2(xs: &mut [f32], k: f32) {
+    use std::arch::x86_64::*;
+    let kv = _mm256_set1_ps(k);
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        _mm256_storeu_ps(p.add(i), _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), kv));
+        i += 8;
+    }
+    for x in &mut xs[i..] {
+        *x *= k;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn max_avx2(xs: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let p = xs.as_ptr();
+    let mut best = f32::NEG_INFINITY;
+    let mut i = 0;
+    if n >= 8 {
+        let mut acc = _mm256_loadu_ps(p);
+        i = 8;
+        while i + 8 <= n {
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(p.add(i)));
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        best = lanes.iter().copied().fold(best, f32::max);
+    }
+    xs[i..].iter().copied().fold(best, f32::max)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_avx2(xs: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let p = xs.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        acc = _mm256_add_ps(acc, _mm256_loadu_ps(p.add(i)));
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut total: f32 = lanes.iter().sum();
+    for x in &xs[i..] {
+        total += *x;
+    }
+    total
+}
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernels = Kernels {
+    isa: Isa::Avx2Fma,
+    matmul: MatmulKernel {
+        isa: Isa::Avx2Fma,
+        mr: 4,
+        nr: 8,
+        kc: 256,
+        name: "avx2+fma 4x8",
+        micro: micro_avx2_4x8,
+    },
+    relu: relu_avx2,
+    add_assign: add_assign_avx2,
+    axpy: axpy_avx2,
+    scale: scale_avx2,
+    vmax: max_avx2,
+    vsum: sum_avx2,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier. 512-bit lanes: the matmul tile widens to 8×16 — eight zmm
+// accumulator registers, one 16-float B load per k step, eight broadcast
+// FMAs against it. Elementwise kernels run 16 lanes per step and use lane
+// masks for ragged tails instead of scalar epilogues.
+// ---------------------------------------------------------------------------
+
+/// AVX-512 8×16 micro-kernel: accumulator row `r` is one 512-bit register,
+/// so the whole `8×16` tile occupies eight of the 32 architectural `zmm`
+/// registers and every `p` step issues eight fused multiply-adds against a
+/// single 16-lane B load. Twice the AVX2 tile in both FLOPs per B load and
+/// per-step FMA count.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_avx512_8x16(apack: &[f32], bpanel: &[f32], kc: usize, acc: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(apack.len() >= kc * 8 && bpanel.len() >= kc * 16 && acc.len() >= 128);
+    let cp = acc.as_mut_ptr();
+    let mut c0 = _mm512_loadu_ps(cp);
+    let mut c1 = _mm512_loadu_ps(cp.add(16));
+    let mut c2 = _mm512_loadu_ps(cp.add(32));
+    let mut c3 = _mm512_loadu_ps(cp.add(48));
+    let mut c4 = _mm512_loadu_ps(cp.add(64));
+    let mut c5 = _mm512_loadu_ps(cp.add(80));
+    let mut c6 = _mm512_loadu_ps(cp.add(96));
+    let mut c7 = _mm512_loadu_ps(cp.add(112));
+    let ap = apack.as_ptr();
+    let bp = bpanel.as_ptr();
+    for p in 0..kc {
+        let b = _mm512_loadu_ps(bp.add(p * 16));
+        let a = ap.add(p * 8);
+        c0 = _mm512_fmadd_ps(_mm512_set1_ps(*a), b, c0);
+        c1 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(1)), b, c1);
+        c2 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(2)), b, c2);
+        c3 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(3)), b, c3);
+        c4 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(4)), b, c4);
+        c5 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(5)), b, c5);
+        c6 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(6)), b, c6);
+        c7 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(7)), b, c7);
+    }
+    _mm512_storeu_ps(cp, c0);
+    _mm512_storeu_ps(cp.add(16), c1);
+    _mm512_storeu_ps(cp.add(32), c2);
+    _mm512_storeu_ps(cp.add(48), c3);
+    _mm512_storeu_ps(cp.add(64), c4);
+    _mm512_storeu_ps(cp.add(80), c5);
+    _mm512_storeu_ps(cp.add(96), c6);
+    _mm512_storeu_ps(cp.add(112), c7);
+}
+
+/// Lane mask selecting the `rem` low lanes (`rem` in `1..=15`).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn tail_mask16(rem: usize) -> u16 {
+    debug_assert!((1..16).contains(&rem));
+    (1u16 << rem) - 1
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn relu_avx512(xs: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let zero = _mm512_setzero_ps();
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let mut i = 0;
+    while i + 16 <= n {
+        _mm512_storeu_ps(p.add(i), _mm512_max_ps(_mm512_loadu_ps(p.add(i)), zero));
+        i += 16;
+    }
+    if i < n {
+        let m = tail_mask16(n - i);
+        let v = _mm512_maskz_loadu_ps(m, p.add(i));
+        _mm512_mask_storeu_ps(p.add(i), m, _mm512_max_ps(v, zero));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn add_assign_avx512(dst: &mut [f32], src: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let d = dst.as_mut_ptr();
+    let s = src.as_ptr();
+    let mut i = 0;
+    while i + 16 <= n {
+        let sum = _mm512_add_ps(_mm512_loadu_ps(d.add(i)), _mm512_loadu_ps(s.add(i)));
+        _mm512_storeu_ps(d.add(i), sum);
+        i += 16;
+    }
+    if i < n {
+        let m = tail_mask16(n - i);
+        let sum = _mm512_add_ps(
+            _mm512_maskz_loadu_ps(m, d.add(i)),
+            _mm512_maskz_loadu_ps(m, s.add(i)),
+        );
+        _mm512_mask_storeu_ps(d.add(i), m, sum);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512(dst: &mut [f32], src: &[f32], k: f32) {
+    use std::arch::x86_64::*;
+    let kv = _mm512_set1_ps(k);
+    let n = dst.len();
+    let d = dst.as_mut_ptr();
+    let s = src.as_ptr();
+    let mut i = 0;
+    while i + 16 <= n {
+        let acc = _mm512_fmadd_ps(_mm512_loadu_ps(s.add(i)), kv, _mm512_loadu_ps(d.add(i)));
+        _mm512_storeu_ps(d.add(i), acc);
+        i += 16;
+    }
+    if i < n {
+        let m = tail_mask16(n - i);
+        let acc = _mm512_fmadd_ps(
+            _mm512_maskz_loadu_ps(m, s.add(i)),
+            kv,
+            _mm512_maskz_loadu_ps(m, d.add(i)),
+        );
+        _mm512_mask_storeu_ps(d.add(i), m, acc);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn scale_avx512(xs: &mut [f32], k: f32) {
+    use std::arch::x86_64::*;
+    let kv = _mm512_set1_ps(k);
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let mut i = 0;
+    while i + 16 <= n {
+        _mm512_storeu_ps(p.add(i), _mm512_mul_ps(_mm512_loadu_ps(p.add(i)), kv));
+        i += 16;
+    }
+    if i < n {
+        let m = tail_mask16(n - i);
+        let v = _mm512_mul_ps(_mm512_maskz_loadu_ps(m, p.add(i)), kv);
+        _mm512_mask_storeu_ps(p.add(i), m, v);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn max_avx512(xs: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let p = xs.as_ptr();
+    let mut acc = _mm512_set1_ps(f32::NEG_INFINITY);
+    let mut i = 0;
+    while i + 16 <= n {
+        acc = _mm512_max_ps(acc, _mm512_loadu_ps(p.add(i)));
+        i += 16;
+    }
+    if i < n {
+        let m = tail_mask16(n - i);
+        // Masked-out lanes keep the running maxima, not zeros.
+        let v = _mm512_mask_loadu_ps(acc, m, p.add(i));
+        acc = _mm512_max_ps(acc, v);
+    }
+    _mm512_reduce_max_ps(acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn sum_avx512(xs: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let p = xs.as_ptr();
+    let mut acc = _mm512_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        acc = _mm512_add_ps(acc, _mm512_loadu_ps(p.add(i)));
+        i += 16;
+    }
+    if i < n {
+        // Masked-out lanes load as zero, which is the additive identity.
+        acc = _mm512_add_ps(acc, _mm512_maskz_loadu_ps(tail_mask16(n - i), p.add(i)));
+    }
+    _mm512_reduce_add_ps(acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+static AVX512: Kernels = Kernels {
+    isa: Isa::Avx512,
+    matmul: MatmulKernel {
+        isa: Isa::Avx512,
+        mr: 8,
+        nr: 16,
+        kc: 256,
+        name: "avx512 8x16",
+        micro: micro_avx512_8x16,
+    },
+    relu: relu_avx512,
+    add_assign: add_assign_avx512,
+    axpy: axpy_avx512,
+    scale: scale_avx512,
+    vmax: max_avx512,
+    vsum: sum_avx512,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_tokens() {
+        assert_eq!(Isa::parse("scalar").unwrap(), Isa::Scalar);
+        assert_eq!(Isa::parse("AVX2").unwrap(), Isa::Avx2Fma);
+        assert_eq!(Isa::parse(" avx512 ").unwrap(), Isa::Avx512);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_tokens_with_valid_list() {
+        let err = Isa::parse("neon").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("neon") && msg.contains("scalar"), "{msg}");
+    }
+
+    #[test]
+    fn scalar_tier_is_always_available() {
+        assert!(Isa::Scalar.available());
+        assert!(Isa::supported().contains(&Isa::Scalar));
+        let k = kernels_for(Isa::Scalar).unwrap();
+        assert_eq!(k.isa, Isa::Scalar);
+    }
+
+    #[test]
+    fn supported_tiers_hand_out_matching_tables() {
+        for isa in Isa::supported() {
+            let k = kernels_for(isa).unwrap();
+            assert_eq!(k.isa, isa);
+            assert_eq!(k.matmul.isa, isa);
+            assert!(k.matmul.mr <= MAX_MR && k.matmul.nr <= MAX_NR);
+        }
+    }
+
+    #[test]
+    fn process_selection_honors_env_override() {
+        // The selection is cached once per process; whatever it resolved to
+        // must be consistent with the ambient environment.
+        let selected = kernels().isa;
+        match std::env::var(ISA_ENV) {
+            Ok(v) if !v.trim().is_empty() => {
+                assert_eq!(selected, Isa::parse(&v).unwrap());
+            }
+            _ => assert_eq!(selected, Isa::best()),
+        }
+        assert_eq!(active_isa(), selected);
+    }
+
+    #[test]
+    fn elementwise_tiers_match_scalar_oracle() {
+        let src: Vec<f32> = (0..53).map(|i| (i as f32 - 26.0) * 0.37).collect();
+        for isa in Isa::supported() {
+            let k = kernels_for(isa).unwrap();
+            let mut relu = src.clone();
+            k.relu(&mut relu);
+            for (o, s) in relu.iter().zip(&src) {
+                assert_eq!(*o, s.max(0.0), "relu {isa}");
+            }
+            let mut acc = src.clone();
+            k.axpy(&mut acc, &src, 0.5);
+            for (o, s) in acc.iter().zip(&src) {
+                assert!((o - (s + s * 0.5)).abs() < 1e-6, "axpy {isa}");
+            }
+            assert_eq!(k.max(&src), 26.0 * 0.37, "max {isa}");
+            let expect: f32 = src.iter().sum();
+            assert!((k.sum(&src) - expect).abs() < 1e-4, "sum {isa}");
+        }
+    }
+
+    #[test]
+    fn reductions_handle_empty_and_tiny_slices() {
+        for isa in Isa::supported() {
+            let k = kernels_for(isa).unwrap();
+            assert_eq!(k.max(&[]), f32::NEG_INFINITY);
+            assert_eq!(k.sum(&[]), 0.0);
+            assert_eq!(k.max(&[-3.0]), -3.0);
+            assert_eq!(k.sum(&[1.5, 2.5]), 4.0);
+        }
+    }
+}

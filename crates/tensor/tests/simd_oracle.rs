@@ -1,0 +1,171 @@
+//! Property tests pinning every SIMD dispatch tier to the serial oracle.
+//!
+//! The tiled matmul (plain and `A × Bᵀ` layouts) and the vectorized
+//! elementwise kernels must agree with their obviously-correct scalar
+//! references across odd shapes with MR/NR tail remainders, on **every** ISA
+//! tier the host can execute. When `RELSERVE_ISA` is set (as the CI scalar
+//! job does) the run is restricted to the forced tier — which also verifies
+//! the override is actually in force — otherwise all supported tiers run.
+
+use proptest::prelude::*;
+use relserve_tensor::matmul::{matmul_bt_with_isa, matmul_naive, matmul_with_isa};
+use relserve_tensor::simd::{self, Isa, ISA_ENV};
+use relserve_tensor::Tensor;
+
+/// The tiers this process may exercise: the forced one when [`ISA_ENV`] is
+/// set, every supported tier otherwise.
+fn isas_under_test() -> Vec<Isa> {
+    match std::env::var(ISA_ENV) {
+        Ok(v) if !v.trim().is_empty() => {
+            let forced = Isa::parse(&v).expect("RELSERVE_ISA must name a valid tier");
+            assert!(
+                forced.available(),
+                "RELSERVE_ISA={v} forces a tier this host cannot execute"
+            );
+            // The process-wide selection must honor the override.
+            assert_eq!(simd::active_isa(), forced);
+            vec![forced]
+        }
+        _ => Isa::supported(),
+    }
+}
+
+/// `|got - want| <= rtol * max(1, |want|)` elementwise.
+fn assert_close(got: &Tensor, want: &Tensor, rtol: f32, ctx: &str) {
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        let tol = rtol * w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= tol,
+            "{ctx}: element {i}: got {g}, want {w} (tol {tol})"
+        );
+    }
+}
+
+proptest! {
+    /// Tiled matmul vs the naive serial oracle across odd shapes with MR/NR
+    /// tail remainders, per ISA.
+    #[test]
+    fn tiled_matmul_matches_oracle_all_isas(
+        m in 1usize..70,
+        k in 1usize..70,
+        n in 1usize..70,
+        seed in 0u32..1000,
+    ) {
+        let a = Tensor::from_fn([m, k], |i| {
+            (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 9) % 64) as f32 * 0.0625 - 2.0
+        });
+        let b = Tensor::from_fn([k, n], |i| {
+            (((i as u32).wrapping_mul(40503).wrapping_add(seed * 7) >> 7) % 64) as f32 * 0.03125 - 1.0
+        });
+        let oracle = matmul_naive(&a, &b).unwrap();
+        for isa in isas_under_test() {
+            let got = matmul_with_isa(&a, &b, isa).unwrap();
+            assert_close(&got, &oracle, 1e-4, &format!("matmul[{isa}] {m}x{k}x{n}"));
+        }
+    }
+
+    /// The transposed-B packing path (`A × Bᵀ`, inference layout) against the
+    /// same oracle, per ISA. `matmul_bt_with_isa` never takes the small-product
+    /// shortcut, so tiny shapes still exercise packed tails.
+    #[test]
+    fn tiled_matmul_bt_matches_oracle_all_isas(
+        m in 1usize..70,
+        k in 1usize..70,
+        n in 1usize..70,
+    ) {
+        let a = Tensor::from_fn([m, k], |i| ((i * 29) % 31) as f32 * 0.125 - 1.5);
+        let bt = Tensor::from_fn([n, k], |i| ((i * 37) % 41) as f32 * 0.0625 - 1.0);
+        let oracle = matmul_naive(&a, &bt.transpose().unwrap()).unwrap();
+        for isa in isas_under_test() {
+            let got = matmul_bt_with_isa(&a, &bt, isa).unwrap();
+            assert_close(&got, &oracle, 1e-4, &format!("matmul_bt[{isa}] {m}x{k}x{n}"));
+        }
+    }
+
+    /// Vectorized elementwise kernels vs scalar loops, across lengths that
+    /// leave every possible vector-width tail remainder.
+    #[test]
+    fn elementwise_kernels_match_oracle_all_isas(
+        xs in proptest::collection::vec(-8.0f32..8.0, 1..200),
+        ys in proptest::collection::vec(-8.0f32..8.0, 1..200),
+        k in -3.0f32..3.0,
+    ) {
+        let len = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..len], &ys[..len]);
+        for isa in isas_under_test() {
+            let kern = simd::kernels_for(isa).unwrap();
+
+            let mut relu = xs.to_vec();
+            kern.relu(&mut relu);
+            for (g, x) in relu.iter().zip(xs) {
+                prop_assert!(*g == x.max(0.0), "relu[{}]", isa);
+            }
+
+            let mut added = xs.to_vec();
+            kern.add_assign(&mut added, ys);
+            for ((g, x), y) in added.iter().zip(xs).zip(ys) {
+                prop_assert!((g - (x + y)).abs() <= 1e-6, "add_assign[{}]", isa);
+            }
+
+            let mut axpyed = xs.to_vec();
+            kern.axpy(&mut axpyed, ys, k);
+            for ((g, x), y) in axpyed.iter().zip(xs).zip(ys) {
+                // FMA contracts the multiply-add, so allow one rounding step.
+                prop_assert!((g - (x + y * k)).abs() <= 1e-4, "axpy[{}]", isa);
+            }
+
+            let mut scaled = xs.to_vec();
+            kern.scale(&mut scaled, k);
+            for (g, x) in scaled.iter().zip(xs) {
+                prop_assert!((g - x * k).abs() <= 1e-6, "scale[{}]", isa);
+            }
+
+            let want_max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(kern.max(xs) == want_max, "max[{}]", isa);
+
+            // Sum against an f64 accumulator: vector lanes reassociate the
+            // additions, so compare both to the higher-precision reference.
+            let want_sum: f64 = xs.iter().map(|v| *v as f64) .sum();
+            let got_sum = kern.sum(xs) as f64;
+            prop_assert!(
+                (got_sum - want_sum).abs() <= 1e-3 * want_sum.abs().max(1.0),
+                "sum[{}]: got {}, want {}", isa, got_sum, want_sum
+            );
+        }
+    }
+}
+
+/// Forcing a tier the CPU lacks must fail with a clear [`Error::Isa`], never
+/// execute illegal instructions; unknown tokens must fail at parse.
+#[test]
+fn unavailable_or_unknown_isa_fails_cleanly() {
+    assert!(Isa::parse("sse9").is_err());
+    assert!(Isa::parse("").is_err());
+    for isa in [Isa::Scalar, Isa::Avx2Fma, Isa::Avx512] {
+        let got = simd::kernels_for(isa);
+        if isa.available() {
+            assert_eq!(got.unwrap().isa, isa);
+        } else {
+            let err = got.expect_err("unavailable tier must error");
+            assert!(
+                matches!(err, relserve_tensor::Error::Isa(_)),
+                "expected Error::Isa, got {err:?}"
+            );
+        }
+    }
+}
+
+/// The softmax entry point — whose row-max/row-sum reductions ride the
+/// dispatch table — stays stable and normalized on every tier.
+#[test]
+fn softmax_rows_normalized_on_selected_tier() {
+    let t = Tensor::from_fn([13, 37], |i| ((i * 17) % 23) as f32 * 0.5 - 5.0);
+    let s = relserve_tensor::ops::softmax(&t).unwrap();
+    for r in 0..13 {
+        let row = s.row(r).unwrap();
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}

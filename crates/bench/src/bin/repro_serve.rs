@@ -1,24 +1,35 @@
 //! Serving-frontend throughput: dynamic micro-batching vs one request per
-//! session call. The served architecture is DL-centric over a modeled
+//! session call, and the §5.1/§7.2.2 semantic result cache fronting the
+//! batcher. The served architecture is DL-centric over a modeled
 //! ConnectorX-like wire (2 ms fixed latency per transfer), the fixed cost
 //! the micro-batcher amortizes — the online-serving face of the paper's
 //! Fig. 2 effect. Floods the loopback server with pipelined single-row
-//! Standard requests and compares rows/s against (a) a serial
-//! one-request-per-`infer_batch` baseline and (b) the same server with
-//! batching disabled (`max_batch_rows = 1`). Emits `BENCH_serve.json`.
+//! Standard requests and compares rows/s plus p50/p99 request latency
+//! against (a) a serial one-request-per-`infer_batch` baseline, (b) the
+//! same server with batching disabled (`max_batch_rows = 1`), and (c) a
+//! cached server under a tolerance sweep (exact, near 5 %, near 100 %) on
+//! a Zipf-skewed fraud stream, including the `RELSERVE_CACHE=off` kill
+//! switch. Emits `BENCH_serve.json`.
 //!
 //! Run with `cargo run --release --bin repro_serve`.
 
+use relserve_bench::workloads::{jittered_row, skewed_request_stream};
 use relserve_core::{Architecture, InferenceSession, SessionConfig};
 use relserve_nn::{init::seeded_rng, zoo};
 use relserve_runtime::{Priority, RuntimeProfile, TransferProfile};
-use relserve_serve::{ServeClient, ServeConfig, Server};
+use relserve_serve::{
+    CacheConfig, CacheTolerance, ServeClient, ServeConfig, ServeStats, Server, CACHE_ENV,
+};
 use relserve_tensor::Tensor;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const MODEL: &str = "Fraud-FC-256";
 const WIDTH: usize = 28;
+/// Jitter magnitude for "same entity, new measurement" requests; its L2
+/// displacement (~3e-3) sits well inside the cache's 0.05 near-hit radius.
+const JITTER_EPS: f32 = 1e-3;
 
 fn architecture() -> Architecture {
     Architecture::DlCentric(RuntimeProfile::tensorflow_like())
@@ -43,82 +54,353 @@ fn row(i: usize) -> Vec<f32> {
         .collect()
 }
 
-/// Rows/s for `total` pipelined single-row requests over `clients`
-/// loopback connections against a server with the given batch bound.
-fn serve_throughput(total: usize, clients: usize, max_batch_rows: usize) -> (f64, f64) {
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+struct LegResult {
+    rps: f64,
+    avg_batch: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    stats: ServeStats,
+}
+
+/// Drive `sequence` (pool-slot indices; every 8th request jittered when
+/// `jitter` is set) as pipelined single-row Standard requests over
+/// `clients` loopback connections; per-request latency is send→receive,
+/// demultiplexed by request id.
+///
+/// Before timing starts, an untimed warm phase seeds every pool slot and
+/// replays jittered variants so cache admissions land and the shadow
+///-validation ledger can leave its pessimistic starting bound — the
+/// steady state a long-running server converges to. Uncached legs run the
+/// identical warm traffic for fairness.
+fn run_leg(
+    clients: usize,
+    max_batch_rows: usize,
+    cache: CacheConfig,
+    sequence: &[usize],
+    jitter: f32,
+    pool: usize,
+) -> LegResult {
+    let cache_live = cache.enabled && !relserve_serve::cache_disabled_by_env();
+    // Near tolerances keep a live Monte-Carlo bound; wait for enough warm
+    // validations that the bound leaves its pessimistic 1.0 start before
+    // measuring (bound-rejected warm probes validate for free, served warm
+    // near-hits validate via sampled shadows).
+    let need_validations = match cache.per_class[Priority::Standard.rank()] {
+        CacheTolerance::Near { .. } if cache_live => cache.min_validations,
+        _ => 0,
+    };
+    let warm_jittered = 6 * cache.min_validations as usize;
     let config = ServeConfig {
         max_batch_rows,
         max_batch_delay: Duration::from_millis(2),
         architecture: architecture(),
+        cache,
         ..ServeConfig::default()
     };
     let server = Server::spawn(session(), config).unwrap();
     let addr = server.addr();
-    let per_client = total / clients;
+    let per_client = sequence.len() / clients;
+
+    {
+        let wait_for = |want: &dyn Fn(relserve_serve::CacheServeStats) -> bool| {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while !want(server.stats().cache) && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        let mut warm = ServeClient::connect(addr).unwrap();
+        // Round 1: seed every pool slot, and wait until the demux-time
+        // admissions land so round 2's probes can find neighbors.
+        for slot in 0..pool {
+            warm.send_infer(MODEL, Priority::Standard, None, 1, WIDTH, row(slot))
+                .unwrap();
+        }
+        for _ in 0..pool {
+            warm.recv().unwrap();
+        }
+        if cache_live {
+            wait_for(&|c| c.insertions >= pool as u64);
+        }
+        // Round 2: jittered re-measurements accrue validations against the
+        // seeded entries.
+        for k in 0..warm_jittered {
+            let data = jittered_row(&row(k % pool), JITTER_EPS, 1_000_000 + k as u64);
+            warm.send_infer(MODEL, Priority::Standard, None, 1, WIDTH, data)
+                .unwrap();
+        }
+        for _ in 0..warm_jittered {
+            warm.recv().unwrap();
+        }
+        if need_validations > 0 {
+            wait_for(&|c| c.validations >= need_validations);
+        }
+    }
+    // Warm admissions land at demux, behind the warm responses; snapshot
+    // the warm counters only once they stop moving so they aren't
+    // misattributed to the measured flood.
+    let warm_cache = {
+        let mut prev = server.stats().cache;
+        let deadline = Instant::now() + Duration::from_millis(500);
+        loop {
+            std::thread::sleep(Duration::from_millis(20));
+            let cur = server.stats().cache;
+            if cur == prev || Instant::now() > deadline {
+                break cur;
+            }
+            prev = cur;
+        }
+    };
 
     let started = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|tag| {
+            let chunk: Vec<usize> = sequence[tag * per_client..(tag + 1) * per_client].to_vec();
             std::thread::spawn(move || {
                 let mut client = ServeClient::connect(addr).unwrap();
-                for i in 0..per_client {
-                    client
-                        .send_infer(
-                            MODEL,
-                            Priority::Standard,
-                            None,
-                            1,
-                            WIDTH,
-                            row(tag * 10_000 + i),
-                        )
+                let mut sent: HashMap<u64, Instant> = HashMap::with_capacity(chunk.len());
+                for (i, &slot) in chunk.iter().enumerate() {
+                    let global = tag * per_client + i;
+                    let data = if jitter != 0.0 && global % 8 == 7 {
+                        jittered_row(&row(slot), jitter, global as u64)
+                    } else {
+                        row(slot)
+                    };
+                    let id = client
+                        .send_infer(MODEL, Priority::Standard, None, 1, WIDTH, data)
                         .unwrap();
+                    sent.insert(id, Instant::now());
                 }
-                for _ in 0..per_client {
-                    client.recv().unwrap();
+                let mut latencies_ms = Vec::with_capacity(chunk.len());
+                for _ in 0..chunk.len() {
+                    match client.recv().unwrap() {
+                        relserve_serve::wire::Response::Infer { id, .. } => {
+                            let t0 = sent.remove(&id).expect("response id was sent");
+                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
                 }
+                latencies_ms
             })
         })
         .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(sequence.len());
     for w in workers {
-        w.join().unwrap();
+        latencies.extend(w.join().unwrap());
     }
     let secs = started.elapsed().as_secs_f64();
-    let stats = server.stats();
+    // Let trailing demux-time admissions and shadow validations settle so
+    // the reported counters cover the whole measured stream.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut stats = server.stats();
     let avg_batch = stats.fused_rows as f64 / stats.batches.max(1) as f64;
+    // Report flood-only cache counters (gauges stay at their final value).
+    let c = &mut stats.cache;
+    c.hits -= warm_cache.hits;
+    c.near_hits -= warm_cache.near_hits;
+    c.misses -= warm_cache.misses;
+    c.bound_rejections -= warm_cache.bound_rejections;
+    c.insertions -= warm_cache.insertions;
+    c.evictions -= warm_cache.evictions;
+    c.validations -= warm_cache.validations;
+    c.disagreements -= warm_cache.disagreements;
     server.shutdown();
-    ((per_client * clients) as f64 / secs, avg_batch)
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    LegResult {
+        rps: (per_client * clients) as f64 / secs,
+        avg_batch,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        stats,
+    }
+}
+
+/// Cache config for the sweep: eager validation so the Monte-Carlo bound
+/// goes live within the run instead of staying pessimistic for its whole
+/// duration.
+fn cache_config(enabled: bool, tolerance: CacheTolerance) -> CacheConfig {
+    CacheConfig {
+        enabled,
+        per_class: [tolerance; 3],
+        validate_every: 4,
+        min_validations: 8,
+        ..CacheConfig::default()
+    }
+}
+
+fn cache_leg_json(name: &str, leg: &LegResult, baseline_rps: f64) -> String {
+    let c = &leg.stats.cache;
+    format!(
+        "      {{\n        \"tolerance\": \"{name}\",\n        \
+         \"rows_per_sec\": {:.1},\n        \
+         \"speedup_vs_batched_uncached\": {:.3},\n        \
+         \"p50_ms\": {:.3},\n        \"p99_ms\": {:.3},\n        \
+         \"hit_rate\": {:.4},\n        \"hits\": {},\n        \
+         \"near_hits\": {},\n        \"misses\": {},\n        \
+         \"bound_rejections\": {},\n        \"insertions\": {},\n        \
+         \"evictions\": {},\n        \"cache_bytes\": {},\n        \
+         \"validations\": {},\n        \"disagreements\": {},\n        \
+         \"error_bound_ppm\": {}\n      }}",
+        leg.rps,
+        leg.rps / baseline_rps,
+        leg.p50_ms,
+        leg.p99_ms,
+        c.hit_rate(),
+        c.hits,
+        c.near_hits,
+        c.misses,
+        c.bound_rejections,
+        c.insertions,
+        c.evictions,
+        c.bytes,
+        c.validations,
+        c.disagreements,
+        c.error_bound_ppm,
+    )
 }
 
 fn main() {
-    let total = 256usize;
+    let total = 512usize;
     let clients = 4usize;
 
     // Baseline: one admission + plan + connector transfer + kernel launch
     // per request, straight against the session (no batching, no wire).
     let s = session();
     let started = Instant::now();
+    let mut serial_ms: Vec<f64> = Vec::with_capacity(total);
     for i in 0..total {
+        let t0 = Instant::now();
         let batch = Tensor::from_vec([1, WIDTH], row(i)).unwrap();
         s.infer_batch(MODEL, &batch, architecture()).unwrap();
+        serial_ms.push(t0.elapsed().as_secs_f64() * 1e3);
     }
     let session_rps = total as f64 / started.elapsed().as_secs_f64();
+    serial_ms.sort_by(|a, b| a.total_cmp(b));
 
-    // Same wire path, batching disabled: every request is its own fused
-    // batch of one row.
-    let (unbatched_rps, _) = serve_throughput(total, clients, 1);
-    // Dynamic micro-batching on.
-    let (batched_rps, avg_batch) = serve_throughput(total, clients, 32);
+    let pool = 12usize;
+    let skew = 1.1f64;
+
+    // Uniform stream (every request a distinct row) for the batching
+    // comparison: same wire path with batching disabled vs micro-batching.
+    let uniform: Vec<usize> = (0..total).collect();
+    let unbatched = run_leg(clients, 1, CacheConfig::default(), &uniform, 0.0, pool);
+    let batched = run_leg(clients, 32, CacheConfig::default(), &uniform, 0.0, pool);
 
     println!("serving throughput, {total} single-row Standard requests, {clients} clients:");
-    println!("  session serial baseline : {session_rps:>9.0} rows/s");
-    println!("  server, batching off    : {unbatched_rps:>9.0} rows/s");
     println!(
-        "  server, micro-batching  : {batched_rps:>9.0} rows/s (avg fused batch {avg_batch:.1} rows)"
+        "  session serial baseline : {:>9.0} rows/s  (p50 {:.2} ms, p99 {:.2} ms)",
+        session_rps,
+        percentile(&serial_ms, 50.0),
+        percentile(&serial_ms, 99.0)
+    );
+    println!(
+        "  server, batching off    : {:>9.0} rows/s  (p50 {:.2} ms, p99 {:.2} ms)",
+        unbatched.rps, unbatched.p50_ms, unbatched.p99_ms
+    );
+    println!(
+        "  server, micro-batching  : {:>9.0} rows/s  (p50 {:.2} ms, p99 {:.2} ms, avg fused batch {:.1} rows)",
+        batched.rps, batched.p50_ms, batched.p99_ms, batched.avg_batch
     );
     println!(
         "  batched vs unbatched: {:.2}x, batched vs session-serial: {:.2}x",
-        batched_rps / unbatched_rps,
-        batched_rps / session_rps
+        batched.rps / unbatched.rps,
+        batched.rps / session_rps
+    );
+
+    // Cached serving on a Zipf-skewed fraud stream: a 12-account pool with
+    // s = 1.1 hot-head skew; every 8th request is a jittered re-measurement
+    // of its account (near-hit material). All cached legs and their
+    // batched-uncached baseline share this exact stream.
+    let stream = skewed_request_stream(total, pool, skew, 77);
+    let skewed_uncached = run_leg(
+        clients,
+        32,
+        CacheConfig::default(),
+        &stream,
+        JITTER_EPS,
+        pool,
+    );
+    let exact = run_leg(
+        clients,
+        32,
+        cache_config(true, CacheTolerance::Exact),
+        &stream,
+        JITTER_EPS,
+        pool,
+    );
+    let near_tight = run_leg(
+        clients,
+        32,
+        cache_config(
+            true,
+            CacheTolerance::Near {
+                max_error_bound: 0.05,
+            },
+        ),
+        &stream,
+        JITTER_EPS,
+        pool,
+    );
+    let near_loose = run_leg(
+        clients,
+        32,
+        cache_config(
+            true,
+            CacheTolerance::Near {
+                max_error_bound: 1.0,
+            },
+        ),
+        &stream,
+        JITTER_EPS,
+        pool,
+    );
+    // Kill switch: identical cache-enabled config, force-disabled by env.
+    std::env::set_var(CACHE_ENV, "off");
+    let killed = run_leg(
+        clients,
+        32,
+        cache_config(true, CacheTolerance::Exact),
+        &stream,
+        JITTER_EPS,
+        pool,
+    );
+    std::env::remove_var(CACHE_ENV);
+
+    println!("cached serving, zipf(s={skew}) over {pool} accounts, same stream for every leg:");
+    println!(
+        "  batched, uncached       : {:>9.0} rows/s  (p50 {:.2} ms, p99 {:.2} ms)",
+        skewed_uncached.rps, skewed_uncached.p50_ms, skewed_uncached.p99_ms
+    );
+    for (name, leg) in [
+        ("exact", &exact),
+        ("near 5%", &near_tight),
+        ("near 100%", &near_loose),
+    ] {
+        let c = &leg.stats.cache;
+        println!(
+            "  cached, {name:<15} : {:>9.0} rows/s  ({:.2}x, hit rate {:.0}%, {} near, bound {} ppm, p50 {:.2} ms, p99 {:.2} ms)",
+            leg.rps,
+            leg.rps / skewed_uncached.rps,
+            c.hit_rate() * 100.0,
+            c.near_hits,
+            c.error_bound_ppm,
+            leg.p50_ms,
+            leg.p99_ms
+        );
+    }
+    println!(
+        "  RELSERVE_CACHE=off      : {:>9.0} rows/s  ({:.2}x vs uncached, {} probes)",
+        killed.rps,
+        killed.rps / skewed_uncached.rps,
+        killed.stats.cache.hits + killed.stats.cache.misses
     );
 
     let host_cores = std::thread::available_parallelism()
@@ -127,13 +409,43 @@ fn main() {
     let json = format!(
         "{{\n  \"host_cores\": {host_cores},\n  \"model\": \"{MODEL}\",\n  \"requests\": {total},\n  \"clients\": {clients},\n  \
          \"session_serial_rows_per_sec\": {session_rps:.1},\n  \
-         \"server_unbatched_rows_per_sec\": {unbatched_rps:.1},\n  \
-         \"server_batched_rows_per_sec\": {batched_rps:.1},\n  \
-         \"avg_fused_batch_rows\": {avg_batch:.2},\n  \
+         \"session_serial_p50_ms\": {:.3},\n  \"session_serial_p99_ms\": {:.3},\n  \
+         \"server_unbatched_rows_per_sec\": {:.1},\n  \
+         \"server_unbatched_p50_ms\": {:.3},\n  \"server_unbatched_p99_ms\": {:.3},\n  \
+         \"server_batched_rows_per_sec\": {:.1},\n  \
+         \"server_batched_p50_ms\": {:.3},\n  \"server_batched_p99_ms\": {:.3},\n  \
+         \"avg_fused_batch_rows\": {:.2},\n  \
          \"speedup_batched_vs_unbatched\": {:.3},\n  \
-         \"speedup_batched_vs_session_serial\": {:.3}\n}}\n",
-        batched_rps / unbatched_rps,
-        batched_rps / session_rps,
+         \"speedup_batched_vs_session_serial\": {:.3},\n  \
+         \"cached_serving\": {{\n    \
+         \"workload\": \"zipf(s={skew}) over {pool} slots, {total} single-row requests, every 8th jittered by {JITTER_EPS}\",\n    \
+         \"batched_uncached_rows_per_sec\": {:.1},\n    \
+         \"batched_uncached_p50_ms\": {:.3},\n    \"batched_uncached_p99_ms\": {:.3},\n    \
+         \"cache_off_env_rows_per_sec\": {:.1},\n    \
+         \"cache_off_env_probes\": {},\n    \
+         \"tolerance_sweep\": [\n{}\n    ]\n  }}\n}}\n",
+        percentile(&serial_ms, 50.0),
+        percentile(&serial_ms, 99.0),
+        unbatched.rps,
+        unbatched.p50_ms,
+        unbatched.p99_ms,
+        batched.rps,
+        batched.p50_ms,
+        batched.p99_ms,
+        batched.avg_batch,
+        batched.rps / unbatched.rps,
+        batched.rps / session_rps,
+        skewed_uncached.rps,
+        skewed_uncached.p50_ms,
+        skewed_uncached.p99_ms,
+        killed.rps,
+        killed.stats.cache.hits + killed.stats.cache.misses,
+        [
+            cache_leg_json("exact", &exact, skewed_uncached.rps),
+            cache_leg_json("near_0.05", &near_tight, skewed_uncached.rps),
+            cache_leg_json("near_1.0", &near_loose, skewed_uncached.rps),
+        ]
+        .join(",\n"),
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");

@@ -80,6 +80,40 @@ pub fn image_batch(n: usize, h: usize, w: usize, c: usize, seed: u64) -> Tensor 
     Tensor::from_fn([n, h, w, c], |_| r.gen_range(0.0f32..1.0))
 }
 
+/// A Zipf-skewed stream of pool-slot indices: slot `k` is drawn with
+/// probability ∝ 1/(k+1)^s. Models the repeat-heavy request mix of online
+/// fraud scoring (a few hot accounts dominate) where an inference-result
+/// cache pays off; `s = 0` degenerates to uniform.
+pub fn skewed_request_stream(n: usize, pool: usize, s: f64, seed: u64) -> Vec<usize> {
+    assert!(pool > 0, "need a non-empty slot pool");
+    let mut r = rng(seed);
+    let weights: Vec<f64> = (0..pool).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    (0..n)
+        .map(|_| {
+            let mut x = r.gen_range(0.0..total);
+            for (k, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return k;
+                }
+                x -= w;
+            }
+            pool - 1
+        })
+        .collect()
+}
+
+/// Perturb a feature row by uniform noise in `(-eps, eps)` per dimension —
+/// the "same entity, slightly different measurement" variants a semantic
+/// cache answers as near hits.
+pub fn jittered_row(base: &[f32], eps: f32, seed: u64) -> Vec<f32> {
+    if eps == 0.0 {
+        return base.to_vec();
+    }
+    let mut r = rng(seed);
+    base.iter().map(|v| v + r.gen_range(-eps..eps)).collect()
+}
+
 /// The §7.2.1 Bosch-like vertical split: two tables of `width/2` features
 /// each, with correlated float join keys. `fan` controls the similarity
 /// join's expansion factor: `fan` rows on each side share a key bucket, so
@@ -285,6 +319,29 @@ mod tests {
         let nonzero = t.data().iter().filter(|v| **v != 0.0).count();
         // ≈ 4 rows × 10 active ± collisions.
         assert!(nonzero > 8 && nonzero < 60, "nonzero = {nonzero}");
+    }
+
+    #[test]
+    fn skewed_stream_is_hot_headed() {
+        let stream = skewed_request_stream(1000, 8, 1.1, 17);
+        assert_eq!(stream.len(), 1000);
+        assert!(stream.iter().all(|&s| s < 8));
+        let hot = stream.iter().filter(|&&s| s == 0).count();
+        let cold = stream.iter().filter(|&&s| s == 7).count();
+        // Slot 0 outdraws slot 7 by roughly 8^1.1 ≈ 9x in expectation.
+        assert!(hot > 3 * cold, "hot {hot} cold {cold}");
+        assert_eq!(stream, skewed_request_stream(1000, 8, 1.1, 17));
+    }
+
+    #[test]
+    fn jittered_row_stays_within_eps() {
+        let base = vec![0.5f32; 16];
+        let jit = jittered_row(&base, 1e-3, 3);
+        assert_ne!(base, jit);
+        for (a, b) in base.iter().zip(&jit) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        assert_eq!(jittered_row(&base, 0.0, 3), base);
     }
 
     #[test]

@@ -156,6 +156,30 @@ impl Reservation {
         let mut st = self.governor.state.lock();
         st.in_use = st.in_use.saturating_sub(by);
     }
+
+    /// Grow the reservation by `by` bytes against the same governor,
+    /// failing with [`Error::OutOfMemory`] (and leaving the reservation
+    /// unchanged) when the growth would exceed the budget. This is how a
+    /// long-lived owner — e.g. a result cache charging each admitted entry —
+    /// extends its claim incrementally instead of reserving a worst case up
+    /// front.
+    pub fn grow(&mut self, by: usize) -> Result<()> {
+        let mut st = self.governor.state.lock();
+        if by > self.governor.budget.saturating_sub(st.in_use) {
+            st.oom_events += 1;
+            return Err(Error::OutOfMemory {
+                domain: self.governor.domain.clone(),
+                requested: by,
+                in_use: st.in_use,
+                budget: self.governor.budget,
+            });
+        }
+        st.in_use += by;
+        st.peak = st.peak.max(st.in_use);
+        drop(st);
+        self.bytes += by;
+        Ok(())
+    }
 }
 
 impl Drop for Reservation {
@@ -251,6 +275,34 @@ mod tests {
         assert_eq!(g.in_use(), 30);
         r.shrink(1000); // clamped
         assert_eq!(g.in_use(), 0);
+        drop(r);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn grow_extends_and_respects_budget() {
+        let g = MemoryGovernor::with_budget("test", 100);
+        let mut r = g.reserve(40).unwrap();
+        r.grow(30).unwrap();
+        assert_eq!(r.bytes(), 70);
+        assert_eq!(g.in_use(), 70);
+        // Over-budget growth fails atomically: nothing changes.
+        assert!(r.grow(31).is_err());
+        assert_eq!(r.bytes(), 70);
+        assert_eq!(g.in_use(), 70);
+        assert_eq!(g.oom_events(), 1);
+        drop(r);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn grow_after_shrink_round_trips() {
+        let g = MemoryGovernor::with_budget("test", 100);
+        let mut r = g.reserve(50).unwrap();
+        r.shrink(50);
+        r.grow(80).unwrap();
+        assert_eq!(g.in_use(), 80);
+        assert_eq!(g.peak(), 80);
         drop(r);
         assert_eq!(g.in_use(), 0);
     }

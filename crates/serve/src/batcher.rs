@@ -21,6 +21,7 @@
 //!    remaining backlog is deep, the batch steps down to a cheaper model
 //!    version.
 
+use crate::cache::{Lookup, SemanticCache};
 use crate::stats::ServeCounters;
 use crate::wire::{self, ErrorCode, Response};
 use relserve_core::versions::PressureLadder;
@@ -97,6 +98,13 @@ pub(crate) struct Submission {
     /// When the server finished decoding the request.
     pub received: Instant,
     pub responder: Responder,
+    /// A bound-rejected cache guess riding along for free validation at
+    /// demux time.
+    pub guess: Option<u32>,
+    /// A shadow submission: its response was already served from the
+    /// cache, so it executes only to validate — no second response, no
+    /// completion accounting.
+    pub shadow: bool,
 }
 
 /// Batcher tuning; the server builds this from its `ServeConfig`.
@@ -135,6 +143,8 @@ pub(crate) struct Batcher {
     config: BatcherConfig,
     counters: Arc<ServeCounters>,
     session: Arc<InferenceSession>,
+    /// The semantic result cache fronting this batcher, when enabled.
+    cache: Option<Arc<SemanticCache>>,
 }
 
 impl Batcher {
@@ -142,6 +152,7 @@ impl Batcher {
         config: BatcherConfig,
         counters: Arc<ServeCounters>,
         session: Arc<InferenceSession>,
+        cache: Option<Arc<SemanticCache>>,
     ) -> Arc<Self> {
         Arc::new(Batcher {
             state: Mutex::new(State {
@@ -153,17 +164,58 @@ impl Batcher {
             config,
             counters,
             session,
+            cache,
         })
     }
 
     /// Buffer one request for coalescing, or shed it immediately when the
-    /// class backlog is over its cap.
-    pub fn submit(&self, sub: Submission) {
+    /// class backlog is over its cap. The semantic cache is probed *first*:
+    /// a hit answers here on the connection thread — no buffering, no
+    /// admission ticket, no kernel — and only a sampled subset of near-hits
+    /// continue into the batcher as shadow work to keep the error bound
+    /// live.
+    pub fn submit(&self, mut sub: Submission) {
         let rank = sub.class.rank();
+        if let Some(cache) = self.cache.as_deref() {
+            if !sub.shadow {
+                match cache.lookup(&sub.model, sub.class, sub.rows, sub.width, &sub.data) {
+                    Lookup::Hit {
+                        predictions,
+                        near: _,
+                        validate,
+                    } => {
+                        self.counters.per_class[rank]
+                            .completed
+                            .fetch_add(1, Ordering::Relaxed);
+                        sub.responder.send(&Response::Infer {
+                            id: sub.id,
+                            queue_wait_micros: 0,
+                            cached: true,
+                            model_used: sub.model.clone(),
+                            degraded_to: None,
+                            predictions: predictions.clone(),
+                        });
+                        if !validate {
+                            return;
+                        }
+                        // Shadow-execute this hit to validate the cached
+                        // answer; the client already has its response.
+                        sub.shadow = true;
+                        sub.deadline = None;
+                        sub.guess = predictions.first().copied();
+                    }
+                    Lookup::Miss { guess } => sub.guess = guess,
+                    Lookup::Bypass => {}
+                }
+            }
+        }
         {
             let mut state = self.state.lock().expect("batcher lock poisoned");
             if state.shutdown {
                 drop(state);
+                if sub.shadow {
+                    return; // the client was already answered
+                }
                 self.counters.shed.fetch_add(1, Ordering::Relaxed);
                 self.counters.per_class[rank]
                     .shed
@@ -178,6 +230,9 @@ impl Batcher {
             if let Some(cap) = self.config.backlog_shed_rows[rank] {
                 if state.class_rows[rank] + sub.rows > cap {
                     drop(state);
+                    if sub.shadow {
+                        return; // validation is best-effort under pressure
+                    }
                     self.counters.shed.fetch_add(1, Ordering::Relaxed);
                     self.counters.per_class[rank]
                         .shed
@@ -320,7 +375,7 @@ impl Batcher {
         // fused tensor, so it cannot poison its peers.
         let mut live = Vec::with_capacity(work.members.len());
         for sub in work.members {
-            if sub.deadline.is_some_and(|d| d <= flush_start) {
+            if !sub.shadow && sub.deadline.is_some_and(|d| d <= flush_start) {
                 self.counters
                     .deadline_rejected
                     .fetch_add(1, Ordering::Relaxed);
@@ -384,35 +439,54 @@ impl Batcher {
         ) {
             Ok(outcome) => {
                 for (sub, preds) in live.iter().zip(outcome.per_request.iter()) {
-                    self.counters.per_class[rank]
-                        .completed
-                        .fetch_add(1, Ordering::Relaxed);
-                    sub.responder.send(&Response::Infer {
-                        id: sub.id,
-                        queue_wait_micros: flush_start.duration_since(sub.received).as_micros()
-                            as u64,
-                        model_used: model_used.clone(),
-                        degraded_to: outcome.degraded_to.map(String::from),
-                        predictions: preds.iter().map(|p| *p as u32).collect(),
-                    });
+                    let predictions: Vec<u32> = preds.iter().map(|p| *p as u32).collect();
+                    if !sub.shadow {
+                        self.counters.per_class[rank]
+                            .completed
+                            .fetch_add(1, Ordering::Relaxed);
+                        sub.responder.send(&Response::Infer {
+                            id: sub.id,
+                            queue_wait_micros: flush_start.duration_since(sub.received).as_micros()
+                                as u64,
+                            cached: false,
+                            model_used: model_used.clone(),
+                            degraded_to: outcome.degraded_to.map(String::from),
+                            predictions,
+                        });
+                    }
+                }
+                // Cache maintenance after every client got its response:
+                // only trustworthy outputs — the requested model, no
+                // degraded fallback — validate guesses or populate.
+                if let Some(cache) = self.cache.as_deref() {
+                    if !stepped_down && outcome.degraded_to.is_none() {
+                        for (sub, preds) in live.iter().zip(outcome.per_request.iter()) {
+                            let exact: Vec<u32> = preds.iter().map(|p| *p as u32).collect();
+                            if let (Some(guess), Some(&first)) = (sub.guess, exact.first()) {
+                                cache.record_validation(guess, first);
+                            }
+                            cache.admit(&work.model, sub.width, sub.rows, &sub.data, &exact);
+                        }
+                    }
                 }
             }
             Err(err) => {
                 let code = classify(&err);
+                // Shadow members already answered from the cache: they are
+                // invisible to the error ledgers and get no second response.
+                let visible = live.iter().filter(|s| !s.shadow).count() as u64;
                 if code == ErrorCode::Overloaded {
-                    self.counters
-                        .shed
-                        .fetch_add(live.len() as u64, Ordering::Relaxed);
+                    self.counters.shed.fetch_add(visible, Ordering::Relaxed);
                     self.counters.per_class[rank]
                         .shed
-                        .fetch_add(live.len() as u64, Ordering::Relaxed);
+                        .fetch_add(visible, Ordering::Relaxed);
                 } else if code == ErrorCode::DeadlineExceeded {
                     self.counters
                         .deadline_rejected
-                        .fetch_add(live.len() as u64, Ordering::Relaxed);
+                        .fetch_add(visible, Ordering::Relaxed);
                     self.counters.per_class[rank]
                         .deadline_rejected
-                        .fetch_add(live.len() as u64, Ordering::Relaxed);
+                        .fetch_add(visible, Ordering::Relaxed);
                 }
                 self.respond_error(&live, code, &err.to_string());
             }
@@ -420,7 +494,7 @@ impl Batcher {
     }
 
     fn respond_error(&self, members: &[Submission], code: ErrorCode, message: &str) {
-        for sub in members {
+        for sub in members.iter().filter(|s| !s.shadow) {
             sub.responder.send(&Response::Error {
                 id: sub.id,
                 code,
@@ -516,6 +590,8 @@ mod tests {
                 sink: ResponseSink::Channel(tx.clone()),
                 counters: Arc::clone(counters),
             },
+            guess: None,
+            shadow: false,
         }
     }
 
@@ -527,6 +603,7 @@ mod tests {
             test_config(64, Duration::from_millis(5)),
             Arc::clone(&counters),
             Arc::clone(&session),
+            None,
         );
         let (tx, rx) = mpsc::channel();
         for (id, rows) in [(1u64, 3usize), (2, 5), (3, 1)] {
@@ -564,6 +641,7 @@ mod tests {
             test_config(64, Duration::from_millis(1)),
             Arc::clone(&counters),
             Arc::clone(&session),
+            None,
         );
         let (tx, rx) = mpsc::channel();
         let expired = Instant::now() - Duration::from_millis(5);
@@ -602,7 +680,7 @@ mod tests {
         let counters = Arc::new(ServeCounters::default());
         let mut config = test_config(64, Duration::from_secs(10));
         config.backlog_shed_rows[Priority::Standard.rank()] = Some(4);
-        let batcher = Batcher::new(config, Arc::clone(&counters), session);
+        let batcher = Batcher::new(config, Arc::clone(&counters), session, None);
         let (tx, rx) = mpsc::channel();
         batcher.submit(submission(1, 4, None, &tx, &counters));
         batcher.submit(submission(2, 1, None, &tx, &counters));

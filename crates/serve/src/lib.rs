@@ -15,13 +15,15 @@
 #![warn(missing_docs)]
 
 mod batcher;
+pub mod cache;
 pub mod client;
 pub mod error;
 pub mod server;
 pub mod stats;
 pub mod wire;
 
+pub use cache::{cache_disabled_by_env, CacheConfig, CacheTolerance, CACHE_ENV};
 pub use client::ServeClient;
 pub use error::{Error, Result};
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use stats::{export_counters, ClassServeStats, ServeStats};
+pub use stats::{export_counters, CacheServeStats, ClassServeStats, ServeStats};

@@ -9,6 +9,7 @@
 //! batcher before joining all threads.
 
 use crate::batcher::{Batcher, BatcherConfig, Responder, ResponseSink, Submission};
+use crate::cache::{cache_disabled_by_env, CacheConfig, SemanticCache};
 use crate::error::Result;
 use crate::stats::{export_counters, ServeCounters, ServeStats};
 use crate::wire::{self, ErrorCode, Request, Response};
@@ -49,6 +50,10 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// SLA step-down ladders, keyed by requested model name.
     pub ladders: HashMap<String, PressureLadder>,
+    /// Semantic result cache fronting the micro-batcher. Disabled by
+    /// default; `RELSERVE_CACHE=off` force-disables it even when
+    /// `cache.enabled` is set.
+    pub cache: CacheConfig,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +72,7 @@ impl Default for ServeConfig {
             backlog_shed_rows: [None; 3],
             write_timeout: Duration::from_secs(5),
             ladders: HashMap::new(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -84,6 +90,16 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let counters = Arc::new(ServeCounters::default());
+        // The semantic cache charges its entries to the session's database
+        // memory governor, so budget pressure evicts cold cached results
+        // instead of OOMing inference.
+        let cache = (config.cache.enabled && !cache_disabled_by_env()).then(|| {
+            Arc::new(SemanticCache::new(
+                config.cache.clone(),
+                session.governor().clone(),
+                Arc::clone(&counters),
+            ))
+        });
         let batcher = Batcher::new(
             BatcherConfig {
                 max_batch_rows: config.max_batch_rows.max(1),
@@ -95,6 +111,7 @@ impl Server {
             },
             Arc::clone(&counters),
             Arc::clone(&session),
+            cache,
         );
 
         let executors: Vec<JoinHandle<()>> = (0..config.executors.max(1))
@@ -358,6 +375,8 @@ fn serve_connection(
                     data: req.data,
                     received,
                     responder: responder.clone(),
+                    guess: None,
+                    shadow: false,
                 });
             }
             Ok(Request::Stats { id }) => {

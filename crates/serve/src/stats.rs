@@ -23,6 +23,48 @@ pub struct ClassServeStats {
     pub deadline_rejected: u64,
 }
 
+/// Semantic result-cache slice of [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheServeStats {
+    /// Requests answered from the cache without entering a batch
+    /// (exact and near hits).
+    pub hits: u64,
+    /// Subset of [`hits`](Self::hits) served by a near (non-identical)
+    /// neighbor under an approximate tolerance.
+    pub near_hits: u64,
+    /// Requests that probed the cache and fell through to the batcher.
+    pub misses: u64,
+    /// Near-hits rejected because the live Monte-Carlo error bound
+    /// exceeded the class tolerance (each also counted as a miss).
+    pub bound_rejections: u64,
+    /// Entries admitted into the cache at demux time.
+    pub insertions: u64,
+    /// Entries evicted under capacity or governor budget pressure.
+    pub evictions: u64,
+    /// Gauge: bytes currently charged to the memory governor.
+    pub bytes: u64,
+    /// Shadow validations executed (cached answers re-checked against
+    /// exact inference).
+    pub validations: u64,
+    /// Shadow validations where the cached answer disagreed.
+    pub disagreements: u64,
+    /// Gauge: live Monte-Carlo upper bound on the near-hit error rate, in
+    /// parts per million (1_000_000 until enough validations accrue).
+    pub error_bound_ppm: u64,
+}
+
+impl CacheServeStats {
+    /// Cache hit rate in `[0, 1]`; 0 when the cache saw no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Snapshot of the serving frontend's counters; see
 /// [`ServeCounters::snapshot`]. Plain old data: `Copy`, stable field set,
 /// safe to ship across threads and encode over the wire.
@@ -53,6 +95,8 @@ pub struct ServeStats {
     /// The request counters broken down by class, indexed by
     /// [`Priority::rank`].
     pub per_class: [ClassServeStats; 3],
+    /// Semantic result-cache health.
+    pub cache: CacheServeStats,
 }
 
 impl ServeStats {
@@ -81,6 +125,28 @@ impl ServeStats {
             ("serve.step_downs".to_string(), self.step_downs),
             ("serve.wire_errors".to_string(), self.wire_errors),
         ];
+        out.push(("serve.cache.hits".to_string(), self.cache.hits));
+        out.push(("serve.cache.near_hits".to_string(), self.cache.near_hits));
+        out.push(("serve.cache.misses".to_string(), self.cache.misses));
+        out.push((
+            "serve.cache.bound_rejections".to_string(),
+            self.cache.bound_rejections,
+        ));
+        out.push(("serve.cache.insertions".to_string(), self.cache.insertions));
+        out.push(("serve.cache.evictions".to_string(), self.cache.evictions));
+        out.push(("serve.cache.bytes".to_string(), self.cache.bytes));
+        out.push((
+            "serve.cache.validations".to_string(),
+            self.cache.validations,
+        ));
+        out.push((
+            "serve.cache.disagreements".to_string(),
+            self.cache.disagreements,
+        ));
+        out.push((
+            "serve.cache.error_bound_ppm".to_string(),
+            self.cache.error_bound_ppm,
+        ));
         for class in Priority::ALL {
             let c = self.class(class);
             out.push((format!("serve.{class}.requests"), c.requests));
@@ -103,8 +169,24 @@ pub(crate) struct ClassCounters {
     pub deadline_rejected: AtomicU64,
 }
 
-/// Live atomic counters mutated by the server's threads.
 #[derive(Default)]
+pub(crate) struct CacheCounters {
+    pub hits: AtomicU64,
+    pub near_hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub bound_rejections: AtomicU64,
+    pub insertions: AtomicU64,
+    pub evictions: AtomicU64,
+    /// Gauge, not a counter: set to the cache's governor-charged bytes.
+    pub bytes: AtomicU64,
+    pub validations: AtomicU64,
+    pub disagreements: AtomicU64,
+    /// Gauge: live error upper bound in ppm; starts at 1_000_000 (no
+    /// confidence until enough shadow validations accrue).
+    pub error_bound_ppm: AtomicU64,
+}
+
+/// Live atomic counters mutated by the server's threads.
 pub(crate) struct ServeCounters {
     pub connections: AtomicU64,
     pub requests: AtomicU64,
@@ -117,6 +199,33 @@ pub(crate) struct ServeCounters {
     pub step_downs: AtomicU64,
     pub wire_errors: AtomicU64,
     pub per_class: [ClassCounters; 3],
+    pub cache: CacheCounters,
+}
+
+impl Default for ServeCounters {
+    fn default() -> Self {
+        let counters = ServeCounters {
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fused_rows: AtomicU64::new(0),
+            max_batch_rows_seen: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            step_downs: AtomicU64::new(0),
+            wire_errors: AtomicU64::new(0),
+            per_class: Default::default(),
+            cache: CacheCounters::default(),
+        };
+        // Until shadow validation has samples, the only honest bound is
+        // "could be always wrong".
+        counters
+            .cache
+            .error_bound_ppm
+            .store(1_000_000, Ordering::Relaxed);
+        counters
+    }
 }
 
 impl ServeCounters {
@@ -151,6 +260,18 @@ impl ServeCounters {
                 class(&self.per_class[1]),
                 class(&self.per_class[2]),
             ],
+            cache: CacheServeStats {
+                hits: self.cache.hits.load(Ordering::Relaxed),
+                near_hits: self.cache.near_hits.load(Ordering::Relaxed),
+                misses: self.cache.misses.load(Ordering::Relaxed),
+                bound_rejections: self.cache.bound_rejections.load(Ordering::Relaxed),
+                insertions: self.cache.insertions.load(Ordering::Relaxed),
+                evictions: self.cache.evictions.load(Ordering::Relaxed),
+                bytes: self.cache.bytes.load(Ordering::Relaxed),
+                validations: self.cache.validations.load(Ordering::Relaxed),
+                disagreements: self.cache.disagreements.load(Ordering::Relaxed),
+                error_bound_ppm: self.cache.error_bound_ppm.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -205,6 +326,38 @@ mod tests {
         assert!(pairs
             .iter()
             .any(|(n, v)| n == "serve.batch.shed" && *v == 1));
+    }
+
+    #[test]
+    fn cache_counters_are_exported_and_bound_starts_pessimistic() {
+        let counters = ServeCounters::default();
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap.cache.error_bound_ppm, 1_000_000,
+            "no validations yet: the bound must be maximally pessimistic"
+        );
+        counters.cache.hits.fetch_add(3, Ordering::Relaxed);
+        counters.cache.near_hits.fetch_add(1, Ordering::Relaxed);
+        counters.cache.misses.fetch_add(1, Ordering::Relaxed);
+        counters
+            .cache
+            .bound_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        let snap = counters.snapshot();
+        assert!((snap.cache.hit_rate() - 0.75).abs() < 1e-9);
+        let pairs = snap.counters();
+        for (name, want) in [
+            ("serve.cache.hits", 3),
+            ("serve.cache.near_hits", 1),
+            ("serve.cache.misses", 1),
+            ("serve.cache.bound_rejections", 1),
+            ("serve.cache.error_bound_ppm", 1_000_000),
+        ] {
+            assert!(
+                pairs.iter().any(|(n, v)| n == name && *v == want),
+                "missing {name}={want}"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | request id | `u64` | |
 //! | status | `u8` | `0` ok-infer, `1..=5` error (see [`ErrorCode`]), `6` ok-stats |
 //! | *ok-infer:* queue wait | `u64` | µs buffered in the micro-batcher before its fused batch began |
+//! | cached | `u8` | `1` = served from the semantic result cache (no batch, no kernel) |
 //! | model used | string | differs from the requested model after an SLA step-down |
 //! | degraded to | string | empty = none; e.g. `relation-centric` |
 //! | predictions | `u32` count + `u32` each | row-wise class predictions |
@@ -132,6 +133,9 @@ pub enum Response {
         /// Microseconds the request sat buffered in the micro-batcher
         /// before its fused batch began executing.
         queue_wait_micros: u64,
+        /// True when the semantic result cache answered the request —
+        /// it never entered a fused batch or launched a kernel.
+        cached: bool,
         /// The model version that actually served the request (an SLA
         /// step-down may pick a cheaper rung than was asked for).
         model_used: String,
@@ -271,6 +275,7 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>> {
         Response::Infer {
             id,
             queue_wait_micros,
+            cached,
             model_used,
             degraded_to,
             predictions,
@@ -278,6 +283,7 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>> {
             put_u64(&mut buf, *id);
             buf.push(STATUS_OK_INFER);
             put_u64(&mut buf, *queue_wait_micros);
+            buf.push(u8::from(*cached));
             put_str(&mut buf, model_used)?;
             put_str(&mut buf, degraded_to.as_deref().unwrap_or(""))?;
             put_u32(&mut buf, predictions.len() as u32);
@@ -434,6 +440,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
     match status {
         STATUS_OK_INFER => {
             let queue_wait_micros = c.u64()?;
+            let cached = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(Error::Wire(format!("bad cached flag {other}")));
+                }
+            };
             let model_used = c.str()?;
             let degraded = c.str()?;
             let n = c.u32()? as usize;
@@ -450,6 +463,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             Ok(Response::Infer {
                 id,
                 queue_wait_micros,
+                cached,
                 model_used,
                 degraded_to: (!degraded.is_empty()).then_some(degraded),
                 predictions,
@@ -508,6 +522,7 @@ mod tests {
             Response::Infer {
                 id: 9,
                 queue_wait_micros: 1234,
+                cached: false,
                 model_used: "m@int8".into(),
                 degraded_to: Some("relation-centric".into()),
                 predictions: vec![0, 1, 1, 0],
@@ -515,6 +530,7 @@ mod tests {
             Response::Infer {
                 id: 10,
                 queue_wait_micros: 0,
+                cached: true,
                 model_used: "m".into(),
                 degraded_to: None,
                 predictions: vec![],
@@ -588,6 +604,7 @@ mod tests {
         buf.extend_from_slice(&1u64.to_le_bytes());
         buf.push(STATUS_OK_INFER);
         buf.extend_from_slice(&0u64.to_le_bytes()); // queue wait
+        buf.push(0); // not cached
         buf.extend_from_slice(&0u16.to_le_bytes()); // model ""
         buf.extend_from_slice(&0u16.to_le_bytes()); // degraded ""
         buf.extend_from_slice(&u32::MAX.to_le_bytes());

@@ -22,7 +22,9 @@ pub mod hnsw;
 pub mod ivf;
 pub mod lsh;
 
-pub use cache::{CacheStats, ErrorBoundEstimate, ExactResultCache, InferenceResultCache};
+pub use cache::{
+    CacheLookup, CacheStats, ErrorBoundEstimate, ExactResultCache, InferenceResultCache,
+};
 pub use error::{Error, Result};
 pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};

@@ -18,7 +18,7 @@ use relserve_core::{Architecture, InferenceSession, SessionConfig};
 use relserve_nn::{init::seeded_rng, zoo};
 use relserve_runtime::{Priority, RuntimeProfile, TransferProfile};
 use relserve_serve::{
-    CacheConfig, CacheTolerance, ServeClient, ServeConfig, ServeStats, Server, CACHE_ENV,
+    CacheConfig, CacheTolerance, Client, ServeConfig, ServeStats, Server, CACHE_ENV,
 };
 use relserve_tensor::Tensor;
 use std::collections::HashMap;
@@ -98,13 +98,13 @@ fn run_leg(
         _ => 0,
     };
     let warm_jittered = 6 * cache.min_validations as usize;
-    let config = ServeConfig {
-        max_batch_rows,
-        max_batch_delay: Duration::from_millis(2),
-        architecture: architecture(),
-        cache,
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .max_batch_rows(max_batch_rows)
+        .max_batch_delay(Duration::from_millis(2))
+        .architecture(architecture())
+        .cache(cache)
+        .build()
+        .unwrap();
     let server = Server::spawn(session(), config).unwrap();
     let addr = server.addr();
     let per_client = sequence.len() / clients;
@@ -116,7 +116,7 @@ fn run_leg(
                 std::thread::sleep(Duration::from_millis(2));
             }
         };
-        let mut warm = ServeClient::connect(addr).unwrap();
+        let mut warm = Client::connect(addr).unwrap();
         // Round 1: seed every pool slot, and wait until the demux-time
         // admissions land so round 2's probes can find neighbors.
         for slot in 0..pool {
@@ -164,7 +164,7 @@ fn run_leg(
         .map(|tag| {
             let chunk: Vec<usize> = sequence[tag * per_client..(tag + 1) * per_client].to_vec();
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr).unwrap();
+                let mut client = Client::connect(addr).unwrap();
                 let mut sent: HashMap<u64, Instant> = HashMap::with_capacity(chunk.len());
                 for (i, &slot) in chunk.iter().enumerate() {
                     let global = tag * per_client + i;
@@ -220,6 +220,107 @@ fn run_leg(
         p50_ms: percentile(&latencies, 50.0),
         p99_ms: percentile(&latencies, 99.0),
         stats,
+    }
+}
+
+struct ScalePoint {
+    connections: usize,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    serve_threads: usize,
+}
+
+/// Count this process's live `serve-` threads (pollers + executors) via
+/// `/proc/self/task`, proving the frontend holds its connection fan-in
+/// with O(pollers) threads rather than one thread per connection.
+fn serve_thread_count() -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .flatten()
+        .filter(|t| {
+            std::fs::read_to_string(t.path().join("comm"))
+                .map(|c| c.trim_end().starts_with("serve-"))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Reactor fan-in curve: hold `connections` mostly-idle connections open
+/// while `clients` of them drive the same pipelined single-row flood, and
+/// measure how active-path rows/s and p99 hold up as idle fan-in grows.
+fn connection_scaling_leg(connections: usize, total: usize, clients: usize) -> ScalePoint {
+    let config = ServeConfig::builder()
+        .max_batch_rows(32)
+        .max_batch_delay(Duration::from_millis(2))
+        .architecture(architecture())
+        .max_connections(connections + 64)
+        .accept_backlog(connections.max(128) as u32)
+        .build()
+        .unwrap();
+    let server = Server::spawn(session(), config).unwrap();
+    let addr = server.addr();
+
+    // Idle fan-in: connected, registered with the reactor, never speaking.
+    let idle: Vec<Client> = (0..connections.saturating_sub(clients))
+        .map(|_| Client::connect(addr).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.live_connections() < idle.len() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let serve_threads = serve_thread_count();
+
+    let per_client = total / clients;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|tag| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut sent: HashMap<u64, Instant> = HashMap::with_capacity(per_client);
+                for i in 0..per_client {
+                    let id = client
+                        .send_infer(
+                            MODEL,
+                            Priority::Standard,
+                            None,
+                            1,
+                            WIDTH,
+                            row(tag * per_client + i),
+                        )
+                        .unwrap();
+                    sent.insert(id, Instant::now());
+                }
+                let mut latencies_ms = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    match client.recv().unwrap() {
+                        relserve_serve::wire::Response::Infer { id, .. } => {
+                            let t0 = sent.remove(&id).expect("response id was sent");
+                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    for w in workers {
+        latencies.extend(w.join().unwrap());
+    }
+    let secs = started.elapsed().as_secs_f64();
+    drop(idle);
+    server.shutdown();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    ScalePoint {
+        connections,
+        rps: (per_client * clients) as f64 / secs,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        serve_threads,
     }
 }
 
@@ -403,9 +504,40 @@ fn main() {
         killed.stats.cache.hits + killed.stats.cache.misses
     );
 
+    // Connection-scaling curve: the same active flood under growing idle
+    // fan-in. Each point needs ~2 fds per connection (client + server
+    // side), so cap the curve to what the fd rlimit can hold.
+    let fd_budget = relserve_bench::fd_soft_limit().saturating_sub(128) / 2;
+    let scale_points: Vec<ScalePoint> = [16usize, 256, 1024, 4096]
+        .iter()
+        .copied()
+        .filter(|&c| c <= fd_budget)
+        .map(|c| connection_scaling_leg(c, total, clients))
+        .collect();
+    println!("connection scaling, {total} active requests over {clients} of N connections:");
+    for p in &scale_points {
+        println!(
+            "  {:>5} connections       : {:>9.0} rows/s  (p50 {:.2} ms, p99 {:.2} ms, {} serve threads)",
+            p.connections, p.rps, p.p50_ms, p.p99_ms, p.serve_threads
+        );
+    }
+
     let host_cores = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1);
+    let scaling_json = scale_points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"connections\": {},\n      \
+                 \"rows_per_sec\": {:.1},\n      \
+                 \"p50_ms\": {:.3},\n      \"p99_ms\": {:.3},\n      \
+                 \"serve_threads\": {}\n    }}",
+                p.connections, p.rps, p.p50_ms, p.p99_ms, p.serve_threads
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"host_cores\": {host_cores},\n  \"model\": \"{MODEL}\",\n  \"requests\": {total},\n  \"clients\": {clients},\n  \
          \"session_serial_rows_per_sec\": {session_rps:.1},\n  \
@@ -423,7 +555,8 @@ fn main() {
          \"batched_uncached_p50_ms\": {:.3},\n    \"batched_uncached_p99_ms\": {:.3},\n    \
          \"cache_off_env_rows_per_sec\": {:.1},\n    \
          \"cache_off_env_probes\": {},\n    \
-         \"tolerance_sweep\": [\n{}\n    ]\n  }}\n}}\n",
+         \"tolerance_sweep\": [\n{}\n    ]\n  }},\n  \
+         \"connection_scaling\": [\n{scaling_json}\n  ]\n}}\n",
         percentile(&serial_ms, 50.0),
         percentile(&serial_ms, 99.0),
         unbatched.rps,

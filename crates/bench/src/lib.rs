@@ -18,3 +18,18 @@
 pub mod config;
 pub mod report;
 pub mod workloads;
+
+/// The soft `RLIMIT_NOFILE` of this process, parsed from
+/// `/proc/self/limits`; benches that hold thousands of sockets use it to
+/// cap their connection fan-in. Falls back to 1024 (the classic default)
+/// when the file is unreadable.
+pub fn fd_soft_limit() -> usize {
+    let Ok(limits) = std::fs::read_to_string("/proc/self/limits") else {
+        return 1024;
+    };
+    limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3)?.parse().ok())
+        .unwrap_or(1024)
+}

@@ -29,17 +29,16 @@ use relserve_core::{Architecture, Error as CoreError, InferenceSession};
 use relserve_runtime::{AdmissionPolicy, Priority};
 use relserve_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
-use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Where a submission's response goes. Connections hand the batcher the
-/// write half of their socket; unit tests hand it a channel.
+/// Where a submission's response goes. Connections hand the batcher their
+/// reactor-side write queue; unit tests hand it a channel.
 #[derive(Clone)]
 pub(crate) enum ResponseSink {
-    /// The shared write half of a client connection.
-    Stream(Arc<Mutex<TcpStream>>),
+    /// A reactor connection's bounded write queue.
+    Conn(Arc<crate::conn::Conn>),
     /// An in-process collector (tests).
     #[cfg_attr(not(test), allow(dead_code))]
     Channel(mpsc::Sender<Response>),
@@ -55,23 +54,16 @@ pub(crate) struct Responder {
 
 impl Responder {
     /// Encode and send one response; wire failures are counted, not
-    /// propagated (the peer is gone — nothing else to do). Writes are
-    /// bounded by the socket's write timeout; a failed or timed-out write
-    /// leaves a half-written frame, so the connection is severed rather
-    /// than left to emit unframeable bytes.
+    /// propagated (the peer is gone — nothing else to do). The send never
+    /// blocks on the peer: an unwritable frame parks in the connection's
+    /// bounded write queue with write interest armed, and a queue that
+    /// would overflow its cap severs the connection instead.
     pub fn send(&self, resp: &Response) {
         self.counters.responses.fetch_add(1, Ordering::Relaxed);
         match &self.sink {
-            ResponseSink::Stream(writer) => {
+            ResponseSink::Conn(conn) => {
                 let sent = match wire::encode_response(resp) {
-                    Ok(payload) => {
-                        let mut w = writer.lock().expect("writer lock poisoned");
-                        let sent = wire::write_frame(&mut *w, &payload).is_ok();
-                        if !sent {
-                            let _ = w.shutdown(Shutdown::Both);
-                        }
-                        sent
-                    }
+                    Ok(payload) => conn.send_frame(&payload),
                     Err(_) => false,
                 };
                 if !sent {

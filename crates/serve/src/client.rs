@@ -1,33 +1,55 @@
-//! A minimal blocking client for the serving frontend's wire protocol.
+//! A blocking, pipelining-capable client for the serving frontend's wire
+//! protocol.
 //!
-//! Used by the loopback example, benches and integration tests; it speaks
-//! the same `serve::wire` codec as the server and supports pipelining —
-//! send several requests, then demux responses by echoed id.
+//! [`Client`] is deliberately a *second implementation* of the wire
+//! contract (the server's reactor being the first): it speaks the same
+//! `serve::wire` codec from the peer side, which pins the protocol in
+//! tests. It supports deep pipelining — issue many requests with
+//! [`send_infer`](Client::send_infer), then collect responses in any
+//! order by id with [`wait`](Client::wait) or in server send order with
+//! [`recv`](Client::recv).
+//!
+//! ## Ordering guarantees
+//!
+//! Within one connection, the server may complete pipelined requests out
+//! of order (different priority classes, batch boundaries, cache hits), so
+//! responses are matched by echoed request id, never by position.
+//! [`wait`] stashes any response that arrives for a different id and hands
+//! it out when that id is waited on. Across *different* connections there
+//! is no ordering relationship at all.
 
 use crate::error::{Error, Result};
 use crate::wire::{self, InferRequest, Request, Response};
 use relserve_runtime::Priority;
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A blocking connection to a [`crate::Server`].
-pub struct ServeClient {
+/// A blocking connection to a [`crate::Server`] with id-matched
+/// pipelining.
+pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Responses read off the wire while waiting for a different id.
+    stash: HashMap<u64, Response>,
 }
 
-impl ServeClient {
+/// Former name of [`Client`], kept so existing imports keep compiling.
+pub type ServeClient = Client;
+
+impl Client {
     /// Connect to a serving frontend.
     pub fn connect(addr: SocketAddr) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
-        Ok(ServeClient {
+        Ok(Client {
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
+            stash: HashMap::new(),
         })
     }
 
@@ -38,7 +60,8 @@ impl ServeClient {
     }
 
     /// Send one inference request without waiting for its response;
-    /// returns the request id for demultiplexing.
+    /// returns the request id for demultiplexing. Any number of requests
+    /// may be in flight before the first [`wait`](Self::wait).
     pub fn send_infer(
         &mut self,
         model: &str,
@@ -62,15 +85,58 @@ impl ServeClient {
         Ok(id)
     }
 
-    /// Receive the next response on the connection, in server send order.
-    pub fn recv(&mut self) -> Result<Response> {
+    /// Send a `Stats` request without waiting; returns its id.
+    pub fn send_stats(&mut self) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::Stats { id })?;
+        Ok(id)
+    }
+
+    /// Read one response frame off the wire (ignoring the stash).
+    fn read_wire(&mut self) -> Result<Response> {
         let payload = wire::read_frame(&mut self.reader)?
             .ok_or_else(|| Error::Protocol("server closed the connection".into()))?;
         wire::decode_response(&payload)
     }
 
-    /// Send one inference request and block for *its* response (pipelined
-    /// responses for other ids are an error on this simple path).
+    /// Receive the next response: stashed responses first (oldest id
+    /// first, for determinism), then the wire in server send order.
+    pub fn recv(&mut self) -> Result<Response> {
+        if let Some(&id) = self.stash.keys().min() {
+            return Ok(self.stash.remove(&id).expect("stash key just seen"));
+        }
+        self.read_wire()
+    }
+
+    /// Block until the response for `id` arrives, stashing responses for
+    /// other in-flight ids along the way.
+    ///
+    /// A response with the reserved connection-level id 0 (the server
+    /// failing the whole connection, e.g. on an undecodable frame) is
+    /// surfaced as a [`Error::Protocol`] immediately — it can never match
+    /// a legitimate request id and waiting on would deadlock.
+    pub fn wait(&mut self, id: u64) -> Result<Response> {
+        if let Some(resp) = self.stash.remove(&id) {
+            return Ok(resp);
+        }
+        loop {
+            let resp = self.read_wire()?;
+            if resp.id() == id {
+                return Ok(resp);
+            }
+            if resp.id() == 0 {
+                return Err(Error::Protocol(format!(
+                    "connection-level error while awaiting id {id}: {resp:?}"
+                )));
+            }
+            self.stash.insert(resp.id(), resp);
+        }
+    }
+
+    /// Send one inference request and block for *its* response. Safe to
+    /// interleave with pipelined requests: foreign responses are stashed,
+    /// not errors.
     pub fn infer(
         &mut self,
         model: &str,
@@ -81,23 +147,14 @@ impl ServeClient {
         data: Vec<f32>,
     ) -> Result<Response> {
         let id = self.send_infer(model, class, deadline, rows, cols, data)?;
-        let resp = self.recv()?;
-        if resp.id() != id {
-            return Err(Error::Protocol(format!(
-                "response for id {} while awaiting {id}",
-                resp.id()
-            )));
-        }
-        Ok(resp)
+        self.wait(id)
     }
 
     /// Fetch the server's counter snapshot.
     pub fn stats(&mut self) -> Result<Vec<(String, u64)>> {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.send(&Request::Stats { id })?;
-        match self.recv()? {
-            Response::Stats { id: got, counters } if got == id => Ok(counters),
+        let id = self.send_stats()?;
+        match self.wait(id)? {
+            Response::Stats { counters, .. } => Ok(counters),
             other => Err(Error::Protocol(format!(
                 "expected stats response for id {id}, got {other:?}"
             ))),

@@ -15,6 +15,8 @@ pub enum Error {
     Wire(String),
     /// The peer violated the protocol (e.g. closed mid-conversation).
     Protocol(String),
+    /// Invalid server configuration rejected by the builder.
+    Config(String),
 }
 
 impl fmt::Display for Error {
@@ -23,6 +25,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Wire(m) => write!(f, "wire error: {m}"),
             Error::Protocol(m) => write!(f, "protocol error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
         }
     }
 }

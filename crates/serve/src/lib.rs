@@ -17,13 +17,16 @@
 mod batcher;
 pub mod cache;
 pub mod client;
+mod conn;
 pub mod error;
+mod reactor;
 pub mod server;
 pub mod stats;
+mod sys;
 pub mod wire;
 
 pub use cache::{cache_disabled_by_env, CacheConfig, CacheTolerance, CACHE_ENV};
-pub use client::ServeClient;
+pub use client::{Client, ServeClient};
 pub use error::{Error, Result};
-pub use server::{ServeConfig, Server, ServerHandle};
-pub use stats::{export_counters, CacheServeStats, ClassServeStats, ServeStats};
+pub use server::{ServeConfig, ServeConfigBuilder, Server, ServerHandle};
+pub use stats::{export_counters, CacheServeStats, ClassServeStats, ReactorServeStats, ServeStats};

@@ -1,59 +1,70 @@
 //! The TCP serving frontend.
 //!
-//! [`Server::spawn`] binds a listener and starts the accept loop, one
-//! reader thread per connection, and a pool of batch executor threads.
-//! Connection readers decode frames and hand inference requests to the
+//! [`Server::spawn`] binds a listener and starts the readiness reactor —
+//! one or a few poller threads multiplexing every accepted connection
+//! through epoll ([`crate::reactor`]) — plus a pool of batch executor
+//! threads. Pollers decode frames and hand inference requests to the
 //! micro-batcher; `Stats` requests are answered inline from lock-free
-//! snapshots. [`ServerHandle::shutdown`] (also run on drop) stops the
-//! accept loop, severs every live connection socket, and drains the
-//! batcher before joining all threads.
+//! snapshots; responses flow back through each connection's bounded write
+//! queue without any thread ever blocking on a slow peer.
+//! [`ServerHandle::shutdown`] (also run on drop) stops the reactor, severs
+//! every live connection, and drains the batcher before joining all
+//! threads.
+//!
+//! Configuration is built through [`ServeConfig::builder`]; the config's
+//! fields are validated once at [`ServeConfigBuilder::build`] time, so a
+//! spawned server never runs with a nonsensical knob.
 
-use crate::batcher::{Batcher, BatcherConfig, Responder, ResponseSink, Submission};
+use crate::batcher::{Batcher, BatcherConfig};
 use crate::cache::{cache_disabled_by_env, CacheConfig, SemanticCache};
-use crate::error::Result;
-use crate::stats::{export_counters, ServeCounters, ServeStats};
-use crate::wire::{self, ErrorCode, Request, Response};
+use crate::error::{Error, Result};
+use crate::reactor::{spawn_reactor, PollerShared, ReactorCtx};
+use crate::stats::{ServeCounters, ServeStats};
+use crate::sys::set_listen_backlog;
 use relserve_core::versions::PressureLadder;
 use relserve_core::{Architecture, InferenceSession};
 use relserve_runtime::{AdmissionPolicy, Priority};
 use std::collections::HashMap;
-use std::io::BufReader;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Tuning for a [`Server`].
+/// Tuning for a [`Server`]. Construct via [`ServeConfig::builder`]; every
+/// knob is validated when the builder finishes, and the set of fields is
+/// private so invalid combinations cannot be assembled by hand.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Address to bind; port 0 picks an ephemeral port (see
-    /// [`ServerHandle::addr`]).
-    pub bind: SocketAddr,
+    /// Address to bind; port 0 picks an ephemeral port.
+    pub(crate) bind: SocketAddr,
     /// Row budget of one fused batch; a group flushes when it reaches it.
-    pub max_batch_rows: usize,
+    pub(crate) max_batch_rows: usize,
     /// Longest a buffered request waits before its group flushes anyway.
-    pub max_batch_delay: Duration,
+    pub(crate) max_batch_delay: Duration,
     /// Batch executor threads draining the micro-batcher.
-    pub executors: usize,
+    pub(crate) executors: usize,
+    /// Reactor poller threads multiplexing connections.
+    pub(crate) pollers: usize,
+    /// Per-connection cap on parked (unwritten) response bytes; crossing
+    /// half of it pauses reads, overflowing it severs the connection.
+    pub(crate) write_buffer_bytes: usize,
+    /// Connection slots; accepts past this are shed with a typed
+    /// `Overloaded` wire error instead of being admitted and stalled.
+    pub(crate) max_connections: usize,
+    /// Kernel accept backlog requested for the listener.
+    pub(crate) accept_backlog: u32,
     /// Execution architecture for fused batches.
-    pub architecture: Architecture,
-    /// Admission policy per class, indexed by [`Priority::rank`]. Defaults
-    /// to [`AdmissionPolicy::for_class`] for each class.
-    pub admission: [AdmissionPolicy; 3],
+    pub(crate) architecture: Architecture,
+    /// Admission policy per class, indexed by [`Priority::rank`].
+    pub(crate) admission: [AdmissionPolicy; 3],
     /// Per-class cap on buffered rows; arrivals past it are shed with
     /// `Overloaded` before they ever buffer. `None` = unbounded.
-    pub backlog_shed_rows: [Option<usize>; 3],
-    /// Write timeout on accepted sockets, so a client that stops reading
-    /// cannot stall an executor thread indefinitely; the connection is
-    /// severed when a response write times out.
-    pub write_timeout: Duration,
+    pub(crate) backlog_shed_rows: [Option<usize>; 3],
     /// SLA step-down ladders, keyed by requested model name.
-    pub ladders: HashMap<String, PressureLadder>,
-    /// Semantic result cache fronting the micro-batcher. Disabled by
-    /// default; `RELSERVE_CACHE=off` force-disables it even when
-    /// `cache.enabled` is set.
-    pub cache: CacheConfig,
+    pub(crate) ladders: HashMap<String, PressureLadder>,
+    /// Semantic result cache fronting the micro-batcher.
+    pub(crate) cache: CacheConfig,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +74,10 @@ impl Default for ServeConfig {
             max_batch_rows: 64,
             max_batch_delay: Duration::from_millis(2),
             executors: 2,
+            pollers: 1,
+            write_buffer_bytes: 1 << 20,
+            max_connections: 10_000,
+            accept_backlog: 1024,
             architecture: Architecture::UdfCentric,
             admission: [
                 AdmissionPolicy::for_class(Priority::Interactive),
@@ -70,10 +85,147 @@ impl Default for ServeConfig {
                 AdmissionPolicy::for_class(Priority::Batch),
             ],
             backlog_shed_rows: [None; 3],
-            write_timeout: Duration::from_secs(5),
             ladders: HashMap::new(),
             cache: CacheConfig::default(),
         }
+    }
+}
+
+impl ServeConfig {
+    /// Start building a validated configuration from the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`], mirroring
+/// [`relserve_core::SessionConfig::builder`]: setters are chainable and
+/// [`build`](Self::build) rejects invalid combinations with
+/// [`Error::Config`] instead of letting a bad knob reach the reactor.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Address to bind; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub fn bind(mut self, addr: SocketAddr) -> Self {
+        self.config.bind = addr;
+        self
+    }
+
+    /// Row budget of one fused batch.
+    pub fn max_batch_rows(mut self, rows: usize) -> Self {
+        self.config.max_batch_rows = rows;
+        self
+    }
+
+    /// Longest a buffered request waits before its group flushes anyway.
+    pub fn max_batch_delay(mut self, delay: Duration) -> Self {
+        self.config.max_batch_delay = delay;
+        self
+    }
+
+    /// Batch executor threads draining the micro-batcher.
+    pub fn executors(mut self, executors: usize) -> Self {
+        self.config.executors = executors;
+        self
+    }
+
+    /// Reactor poller threads. Connections are sharded across pollers by
+    /// id; one poller is plenty below a few thousand mostly-idle
+    /// connections.
+    pub fn pollers(mut self, pollers: usize) -> Self {
+        self.config.pollers = pollers;
+        self
+    }
+
+    /// Per-connection cap on parked response bytes (the backpressure
+    /// budget): reads pause at half of it, overflow severs.
+    pub fn write_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.config.write_buffer_bytes = bytes;
+        self
+    }
+
+    /// Connection slots; accepts past this are shed with a typed
+    /// `Overloaded` wire error at accept time.
+    pub fn max_connections(mut self, conns: usize) -> Self {
+        self.config.max_connections = conns;
+        self
+    }
+
+    /// Kernel accept backlog requested for the listener.
+    pub fn accept_backlog(mut self, backlog: u32) -> Self {
+        self.config.accept_backlog = backlog;
+        self
+    }
+
+    /// Execution architecture for fused batches.
+    pub fn architecture(mut self, architecture: Architecture) -> Self {
+        self.config.architecture = architecture;
+        self
+    }
+
+    /// Admission policy for one class (defaults to
+    /// [`AdmissionPolicy::for_class`]).
+    pub fn admission(mut self, class: Priority, policy: AdmissionPolicy) -> Self {
+        self.config.admission[class.rank()] = policy;
+        self
+    }
+
+    /// Cap buffered rows for one class; arrivals past the cap are shed
+    /// with `Overloaded` before they buffer.
+    pub fn backlog_shed_rows(mut self, class: Priority, rows: usize) -> Self {
+        self.config.backlog_shed_rows[class.rank()] = Some(rows);
+        self
+    }
+
+    /// Register an SLA step-down ladder for a model name.
+    pub fn ladder(mut self, model: impl Into<String>, ladder: PressureLadder) -> Self {
+        self.config.ladders.insert(model.into(), ladder);
+        self
+    }
+
+    /// Semantic result cache fronting the micro-batcher. Disabled by
+    /// default; `RELSERVE_CACHE=off` force-disables it even when enabled
+    /// here.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServeConfig> {
+        let c = &self.config;
+        if c.max_batch_rows == 0 {
+            return Err(Error::Config("max_batch_rows must be at least 1".into()));
+        }
+        if c.executors == 0 {
+            return Err(Error::Config("executors must be at least 1".into()));
+        }
+        if c.pollers == 0 || c.pollers > 64 {
+            return Err(Error::Config(format!(
+                "pollers must be in 1..=64, got {}",
+                c.pollers
+            )));
+        }
+        if c.write_buffer_bytes < 4096 {
+            return Err(Error::Config(format!(
+                "write_buffer_bytes must be at least 4096 (one small response \
+                 must fit under the backpressure watermarks), got {}",
+                c.write_buffer_bytes
+            )));
+        }
+        if c.max_connections == 0 {
+            return Err(Error::Config("max_connections must be at least 1".into()));
+        }
+        if c.accept_backlog == 0 {
+            return Err(Error::Config("accept_backlog must be at least 1".into()));
+        }
+        Ok(self.config)
     }
 }
 
@@ -82,12 +234,15 @@ impl Default for ServeConfig {
 pub struct Server;
 
 impl Server {
-    /// Bind, start the accept loop and executor pool, and return a handle.
+    /// Bind, start the reactor pollers and executor pool, and return a
+    /// handle.
     pub fn spawn(session: Arc<InferenceSession>, config: ServeConfig) -> Result<ServerHandle> {
         let listener = TcpListener::bind(config.bind)?;
         let addr = listener.local_addr()?;
-        // Nonblocking accept so shutdown doesn't need a poke connection.
-        listener.set_nonblocking(true)?;
+        // std's bind hardcodes a backlog of 128; re-listen to the
+        // configured depth so an accept burst at 10k connections does not
+        // overflow the SYN queue.
+        set_listen_backlog(&listener, config.accept_backlog)?;
 
         let counters = Arc::new(ServeCounters::default());
         // The semantic cache charges its entries to the session's database
@@ -125,29 +280,17 @@ impl Server {
             .collect();
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let live = Arc::new(Mutex::new(ConnectionTable::default()));
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let live = Arc::clone(&live);
-            let counters = Arc::clone(&counters);
-            let batcher = Arc::clone(&batcher);
-            let session = Arc::clone(&session);
-            let write_timeout = config.write_timeout;
-            std::thread::Builder::new()
-                .name("serve-accept".into())
-                .spawn(move || {
-                    accept_loop(
-                        listener,
-                        shutdown,
-                        live,
-                        counters,
-                        batcher,
-                        session,
-                        write_timeout,
-                    )
-                })
-                .expect("spawn accept thread")
-        };
+        let live = Arc::new(AtomicUsize::new(0));
+        let ctx = Arc::new(ReactorCtx::new(
+            Arc::clone(&counters),
+            Arc::clone(&batcher),
+            Arc::clone(&session),
+            Arc::clone(&shutdown),
+            Arc::clone(&live),
+            config.max_connections,
+            config.write_buffer_bytes,
+        ));
+        let (poller_shared, pollers) = spawn_reactor(listener, config.pollers.max(1), ctx)?;
 
         Ok(ServerHandle {
             addr,
@@ -156,29 +299,11 @@ impl Server {
             batcher,
             shutdown,
             live,
-            accept: Some(accept),
+            poller_shared,
+            pollers,
             executors,
         })
     }
-}
-
-/// Live connections, keyed by a per-server serial. Each entry holds a
-/// plain clone of the socket used *only* to sever it (never written, so
-/// shutdown needs no writer lock) plus the reader's join handle.
-/// Connection threads deregister themselves on exit, so a long-running
-/// server does not accumulate dead entries.
-#[derive(Default)]
-struct ConnectionTable {
-    next_id: u64,
-    conns: HashMap<u64, Connection>,
-}
-
-struct Connection {
-    sever: TcpStream,
-    /// `None` briefly between registration and the spawn completing, or
-    /// when the reader finished and deregistered before the accept loop
-    /// could store the handle.
-    reader: Option<JoinHandle<()>>,
 }
 
 /// Owns the server's threads; dropping it shuts the server down.
@@ -188,8 +313,9 @@ pub struct ServerHandle {
     counters: Arc<ServeCounters>,
     batcher: Arc<Batcher>,
     shutdown: Arc<AtomicBool>,
-    live: Arc<Mutex<ConnectionTable>>,
-    accept: Option<JoinHandle<()>>,
+    live: Arc<AtomicUsize>,
+    poller_shared: Vec<Arc<PollerShared>>,
+    pollers: Vec<JoinHandle<()>>,
     executors: Vec<JoinHandle<()>>,
 }
 
@@ -204,15 +330,11 @@ impl ServerHandle {
         self.counters.snapshot()
     }
 
-    /// Number of currently registered connections (closed connections
-    /// deregister themselves, so this tracks live peers, not the total
-    /// ever accepted).
+    /// Number of currently live connections (closed connections are reaped
+    /// by their poller, so this tracks live peers, not the total ever
+    /// accepted).
     pub fn live_connections(&self) -> usize {
-        self.live
-            .lock()
-            .expect("connection table poisoned")
-            .conns
-            .len()
+        self.live.load(Ordering::SeqCst)
     }
 
     /// The session this server executes against.
@@ -230,26 +352,14 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // Wake every poller out of epoll_wait; each closes the connections
+        // it owns (severing their sockets) on the way out, so no response
+        // write can stall shutdown.
+        for shared in &self.poller_shared {
+            shared.waker.wake();
         }
-        // Sever sockets so readers blocked in read_exact (and executors
-        // stuck in a response write) return, then join the readers before
-        // draining the batcher (no new submissions after this). The sever
-        // clones are deliberately outside the writer mutex: a stalled
-        // writer must not be able to deadlock shutdown.
-        let table = {
-            let mut live = self.live.lock().expect("connection table poisoned");
-            std::mem::take(&mut *live)
-        };
-        let conns: Vec<Connection> = table.conns.into_values().collect();
-        for conn in &conns {
-            let _ = conn.sever.shutdown(Shutdown::Both);
-        }
-        for conn in conns {
-            if let Some(reader) = conn.reader {
-                let _ = reader.join();
-            }
+        for poller in self.pollers.drain(..) {
+            let _ = poller.join();
         }
         self.batcher.shutdown();
         for exec in self.executors.drain(..) {
@@ -261,148 +371,5 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    shutdown: Arc<AtomicBool>,
-    live: Arc<Mutex<ConnectionTable>>,
-    counters: Arc<ServeCounters>,
-    batcher: Arc<Batcher>,
-    session: Arc<InferenceSession>,
-    write_timeout: Duration,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                counters.connections.fetch_add(1, Ordering::Relaxed);
-                let _ = stream.set_nodelay(true);
-                // Bound response writes so a client that stops reading
-                // cannot pin an executor thread forever.
-                let _ = stream.set_write_timeout(Some(write_timeout));
-                let (writer, sever) = match (stream.try_clone(), stream.try_clone()) {
-                    (Ok(w), Ok(s)) => (Arc::new(Mutex::new(w)), s),
-                    _ => continue,
-                };
-                // Register before spawning so the reader can always find
-                // (and remove) its own entry when it exits.
-                let conn_id = {
-                    let mut table = live.lock().expect("connection table poisoned");
-                    table.next_id += 1;
-                    let id = table.next_id;
-                    table.conns.insert(
-                        id,
-                        Connection {
-                            sever,
-                            reader: None,
-                        },
-                    );
-                    id
-                };
-                let reader = {
-                    let writer = Arc::clone(&writer);
-                    let counters = Arc::clone(&counters);
-                    let batcher = Arc::clone(&batcher);
-                    let session = Arc::clone(&session);
-                    let live = Arc::clone(&live);
-                    std::thread::Builder::new()
-                        .name("serve-conn".into())
-                        .spawn(move || {
-                            serve_connection(stream, writer, counters, batcher, session);
-                            // Deregister on exit; shutdown may already have
-                            // taken the table, in which case it owns the join.
-                            if let Ok(mut table) = live.lock() {
-                                table.conns.remove(&conn_id);
-                            }
-                        })
-                        .expect("spawn connection thread")
-                };
-                let mut table = live.lock().expect("connection table poisoned");
-                if let Some(conn) = table.conns.get_mut(&conn_id) {
-                    conn.reader = Some(reader);
-                }
-                // Entry already gone: the connection finished and
-                // deregistered itself; dropping the handle detaches the
-                // (already-exiting) thread.
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-}
-
-/// Read frames until the peer hangs up (or shutdown severs the socket).
-fn serve_connection(
-    stream: TcpStream,
-    writer: Arc<Mutex<TcpStream>>,
-    counters: Arc<ServeCounters>,
-    batcher: Arc<Batcher>,
-    session: Arc<InferenceSession>,
-) {
-    let responder = Responder {
-        sink: ResponseSink::Stream(writer),
-        counters: Arc::clone(&counters),
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let payload = match wire::read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return, // clean EOF
-            Err(_) => {
-                counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        };
-        let received = Instant::now();
-        match wire::decode_request(&payload) {
-            Ok(Request::Infer(req)) => {
-                counters.requests.fetch_add(1, Ordering::Relaxed);
-                counters.per_class[req.class.rank()]
-                    .requests
-                    .fetch_add(1, Ordering::Relaxed);
-                let deadline = (req.deadline_micros > 0)
-                    .then(|| received + Duration::from_micros(req.deadline_micros));
-                batcher.submit(Submission {
-                    id: req.id,
-                    class: req.class,
-                    deadline,
-                    model: req.model,
-                    rows: req.rows as usize,
-                    width: req.cols as usize,
-                    data: req.data,
-                    received,
-                    responder: responder.clone(),
-                    guess: None,
-                    shadow: false,
-                });
-            }
-            Ok(Request::Stats { id }) => {
-                // Take every snapshot *before* touching the socket; no lock
-                // is held across the write.
-                let serve = counters.snapshot();
-                let session_stats = session.stats();
-                let admission = session.coordinator().admission_stats();
-                responder.send(&Response::Stats {
-                    id,
-                    counters: export_counters(&serve, &session_stats, &admission),
-                });
-            }
-            Err(e) => {
-                // Framing can no longer be trusted after an undecodable
-                // payload: answer with the reserved connection-level id 0
-                // (no legitimate request can use it) and close the
-                // connection instead of mis-attributing future errors.
-                counters.wire_errors.fetch_add(1, Ordering::Relaxed);
-                responder.send(&Response::Error {
-                    id: 0,
-                    code: ErrorCode::Invalid,
-                    message: e.to_string(),
-                });
-                return;
-            }
-        }
     }
 }

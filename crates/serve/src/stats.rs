@@ -65,6 +65,29 @@ impl CacheServeStats {
     }
 }
 
+/// Reactor / backpressure slice of [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorServeStats {
+    /// Gauge: poller threads multiplexing connections.
+    pub pollers: u64,
+    /// Connections rejected at accept time because every slot was taken
+    /// (each answered with a typed `Overloaded` frame before close).
+    pub accept_shed: u64,
+    /// Times a connection's reads were paused because its parked response
+    /// bytes crossed the high-water mark.
+    pub read_pauses: u64,
+    /// Response frames that could not be written immediately and parked in
+    /// a connection's write queue.
+    pub response_parks: u64,
+    /// Gauge: bytes currently parked across all connection write queues.
+    pub parked_bytes: u64,
+    /// Connections severed because parked responses would have exceeded
+    /// the per-connection write-buffer cap.
+    pub overflow_severed: u64,
+    /// Responses dropped because their connection was already severed.
+    pub dropped_responses: u64,
+}
+
 /// Snapshot of the serving frontend's counters; see
 /// [`ServeCounters::snapshot`]. Plain old data: `Copy`, stable field set,
 /// safe to ship across threads and encode over the wire.
@@ -97,6 +120,8 @@ pub struct ServeStats {
     pub per_class: [ClassServeStats; 3],
     /// Semantic result-cache health.
     pub cache: CacheServeStats,
+    /// Reactor event-loop and backpressure health.
+    pub reactor: ReactorServeStats,
 }
 
 impl ServeStats {
@@ -147,6 +172,31 @@ impl ServeStats {
             "serve.cache.error_bound_ppm".to_string(),
             self.cache.error_bound_ppm,
         ));
+        out.push(("serve.reactor.pollers".to_string(), self.reactor.pollers));
+        out.push((
+            "serve.reactor.accept_shed".to_string(),
+            self.reactor.accept_shed,
+        ));
+        out.push((
+            "serve.reactor.read_pauses".to_string(),
+            self.reactor.read_pauses,
+        ));
+        out.push((
+            "serve.reactor.response_parks".to_string(),
+            self.reactor.response_parks,
+        ));
+        out.push((
+            "serve.reactor.parked_bytes".to_string(),
+            self.reactor.parked_bytes,
+        ));
+        out.push((
+            "serve.reactor.overflow_severed".to_string(),
+            self.reactor.overflow_severed,
+        ));
+        out.push((
+            "serve.reactor.dropped_responses".to_string(),
+            self.reactor.dropped_responses,
+        ));
         for class in Priority::ALL {
             let c = self.class(class);
             out.push((format!("serve.{class}.requests"), c.requests));
@@ -186,6 +236,19 @@ pub(crate) struct CacheCounters {
     pub error_bound_ppm: AtomicU64,
 }
 
+#[derive(Default)]
+pub(crate) struct ReactorCounters {
+    /// Gauge: poller threads; set once at spawn.
+    pub pollers: AtomicU64,
+    pub accept_shed: AtomicU64,
+    pub read_pauses: AtomicU64,
+    pub response_parks: AtomicU64,
+    /// Gauge, not a counter: bytes currently parked in write queues.
+    pub parked_bytes: AtomicU64,
+    pub overflow_severed: AtomicU64,
+    pub dropped_responses: AtomicU64,
+}
+
 /// Live atomic counters mutated by the server's threads.
 pub(crate) struct ServeCounters {
     pub connections: AtomicU64,
@@ -200,6 +263,7 @@ pub(crate) struct ServeCounters {
     pub wire_errors: AtomicU64,
     pub per_class: [ClassCounters; 3],
     pub cache: CacheCounters,
+    pub reactor: ReactorCounters,
 }
 
 impl Default for ServeCounters {
@@ -217,6 +281,7 @@ impl Default for ServeCounters {
             wire_errors: AtomicU64::new(0),
             per_class: Default::default(),
             cache: CacheCounters::default(),
+            reactor: ReactorCounters::default(),
         };
         // Until shadow validation has samples, the only honest bound is
         // "could be always wrong".
@@ -271,6 +336,15 @@ impl ServeCounters {
                 validations: self.cache.validations.load(Ordering::Relaxed),
                 disagreements: self.cache.disagreements.load(Ordering::Relaxed),
                 error_bound_ppm: self.cache.error_bound_ppm.load(Ordering::Relaxed),
+            },
+            reactor: ReactorServeStats {
+                pollers: self.reactor.pollers.load(Ordering::Relaxed),
+                accept_shed: self.reactor.accept_shed.load(Ordering::Relaxed),
+                read_pauses: self.reactor.read_pauses.load(Ordering::Relaxed),
+                response_parks: self.reactor.response_parks.load(Ordering::Relaxed),
+                parked_bytes: self.reactor.parked_bytes.load(Ordering::Relaxed),
+                overflow_severed: self.reactor.overflow_severed.load(Ordering::Relaxed),
+                dropped_responses: self.reactor.dropped_responses.load(Ordering::Relaxed),
             },
         }
     }

@@ -1,0 +1,254 @@
+//! Minimal raw-syscall layer for the readiness reactor.
+//!
+//! The workspace vendors no `libc` crate, so the handful of Linux calls
+//! the reactor needs — `epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//! `eventfd`, and `listen` (to widen the accept backlog of an
+//! already-bound listener) — are declared directly against the C library
+//! `std` already links. Everything is wrapped in owned types that close
+//! their descriptors on drop; no raw fd escapes this module unowned.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// Readable readiness (data, incoming connection, or EOF).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (socket buffer drained below its low-water mark).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; always reported, never needs arming.
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hang-up; always reported, never needs arming.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (half-close); armed so a vanishing
+/// client is noticed even while its connection is read-paused.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One readiness event. x86-64 Linux packs the struct (no padding between
+/// the 32-bit mask and the 64-bit payload), so field reads below always
+/// copy instead of taking references.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// An empty event, for sizing `epoll_wait` buffers.
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness mask of this event.
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The token registered with the fd this event fired for.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance. Registration is keyed by a caller-chosen
+/// `u64` token echoed back in every event.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Create a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: epoll_create1 returned a fresh descriptor we now own.
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; DEL ignores the event pointer.
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` for `events`, tagging it with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest mask of a registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregister a fd.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block until readiness (or `timeout_ms`; -1 = forever), filling
+    /// `events` and returning how many fired. EINTR retries internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: the buffer is valid for `events.len()` entries for
+            // the duration of the call.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// A nonblocking eventfd used to wake a poller parked in
+/// [`Epoll::wait`] — for shutdown and cross-thread connection handoff.
+pub struct WakeFd {
+    fd: OwnedFd,
+}
+
+impl WakeFd {
+    /// Create the eventfd.
+    pub fn new() -> io::Result<WakeFd> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: eventfd returned a fresh descriptor we now own.
+        Ok(WakeFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// The raw descriptor, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wake the poller. Best-effort: a full counter (EAGAIN) already
+    /// guarantees a pending wake.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack value.
+        unsafe {
+            write(
+                self.fd.as_raw_fd(),
+                (&one as *const u64).cast::<c_void>(),
+                8,
+            );
+        }
+    }
+
+    /// Drain pending wakes so level-triggered polling quiesces.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: reads 8 bytes into a live stack value; EAGAIN ends it.
+        unsafe {
+            read(
+                self.fd.as_raw_fd(),
+                (&mut buf as *mut u64).cast::<c_void>(),
+                8,
+            );
+        }
+    }
+}
+
+/// Widen the accept backlog of an already-listening socket. Linux allows
+/// re-calling `listen(2)` on a listening socket to adjust the backlog,
+/// which spares this module a from-scratch socket/bind/listen dance.
+pub fn set_listen_backlog(listener: &std::net::TcpListener, backlog: u32) -> io::Result<()> {
+    // SAFETY: the listener's fd is live for the duration of the call.
+    cvt(unsafe { listen(listener.as_raw_fd(), backlog.min(i32::MAX as u32) as c_int) })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn epoll_reports_readable_sockets_by_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server_side.as_raw_fd(), EPOLLIN, 42).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 8];
+
+        // Nothing readable yet.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert!(events[0].events() & EPOLLIN != 0);
+
+        ep.delete(server_side.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn wakefd_wakes_a_parked_wait_and_drains() {
+        let ep = Epoll::new().unwrap();
+        let waker = WakeFd::new().unwrap();
+        ep.add(waker.raw(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+
+        waker.wake();
+        waker.wake();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        waker.drain();
+        assert_eq!(
+            ep.wait(&mut events, 0).unwrap(),
+            0,
+            "drained waker is quiet"
+        );
+    }
+}

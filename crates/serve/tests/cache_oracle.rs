@@ -15,7 +15,7 @@ use relserve_nn::init::seeded_rng;
 use relserve_nn::zoo;
 use relserve_runtime::{Priority, TransferProfile};
 use relserve_serve::wire::Response;
-use relserve_serve::{CacheConfig, CacheTolerance, ServeClient, ServeConfig, Server, ServerHandle};
+use relserve_serve::{CacheConfig, CacheTolerance, Client, ServeConfig, Server, ServerHandle};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,12 +44,12 @@ fn fraud_session() -> Arc<InferenceSession> {
 fn spawn(cache: CacheConfig) -> ServerHandle {
     Server::spawn(
         fraud_session(),
-        ServeConfig {
-            max_batch_rows: 16,
-            max_batch_delay: Duration::from_millis(1),
-            cache,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_batch_rows(16)
+            .max_batch_delay(Duration::from_millis(1))
+            .cache(cache)
+            .build()
+            .unwrap(),
     )
     .unwrap()
 }
@@ -71,7 +71,7 @@ fn drive(
     salt: u64,
     jitter: f32,
 ) -> Vec<Vec<u32>> {
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     let mut out = Vec::with_capacity(sequence.len());
     for (i, &slot) in sequence.iter().enumerate() {
         let mut data = pool_row(slot, salt);
@@ -150,7 +150,7 @@ fn cached_flag_tracks_kill_switch() {
         per_class: [CacheTolerance::Exact; 3],
         ..CacheConfig::default()
     });
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     let data = pool_row(0, 7);
     let mut cached_seen = 0u32;
     for _ in 0..6 {

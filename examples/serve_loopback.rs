@@ -20,7 +20,7 @@ use relserve_core::{InferenceSession, SessionConfig};
 use relserve_nn::quant::quantize_int8;
 use relserve_nn::{init::seeded_rng, zoo};
 use relserve_runtime::{Priority, TransferProfile};
-use relserve_serve::{ServeClient, ServeConfig, Server};
+use relserve_serve::{Client, ServeConfig, Server};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,15 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     session.load_model(int8)?;
     let session = Arc::new(session);
 
-    let mut serve = ServeConfig {
-        max_batch_rows: 32,
-        max_batch_delay: Duration::from_millis(3),
-        ..ServeConfig::default()
-    };
-    serve.ladders.insert(
-        MODEL.to_string(),
-        PressureLadder::new(vec![MODEL.to_string(), format!("{MODEL}@int8")], 64)?,
-    );
+    let serve = ServeConfig::builder()
+        .max_batch_rows(32)
+        .max_batch_delay(Duration::from_millis(3))
+        .ladder(
+            MODEL,
+            PressureLadder::new(vec![MODEL.to_string(), format!("{MODEL}@int8")], 64)?,
+        )
+        .build()?;
     let server = Server::spawn(Arc::clone(&session), serve)?;
     let addr = server.addr();
     println!("serving {MODEL} on {addr}\n");
@@ -63,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workers: Vec<_> = (0..4)
         .map(|w| {
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr).unwrap();
+                let mut client = Client::connect(addr).unwrap();
                 for i in 0..64usize {
                     client
                         .send_infer(MODEL, Priority::Standard, None, 1, WIDTH, row(w * 64 + i))
@@ -89,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    impatient batch-class flood against interactive requests.
     let cores = session.coordinator().cores();
     let hold = session.coordinator().admit(cores)?;
-    let mut batch_client = ServeClient::connect(addr)?;
+    let mut batch_client = Client::connect(addr)?;
     for i in 0..6usize {
         batch_client.send_infer(
             MODEL,
@@ -101,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
     let interactive = std::thread::spawn(move || {
-        let mut client = ServeClient::connect(addr).unwrap();
+        let mut client = Client::connect(addr).unwrap();
         client
             .infer(MODEL, Priority::Interactive, None, 1, WIDTH, row(0))
             .unwrap()
@@ -133,7 +132,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. SLA step-down: flood one connection past the ladder's 64-row step
     //    so later fused batches run the int8 rung.
-    let mut flood = ServeClient::connect(addr)?;
+    let mut flood = Client::connect(addr)?;
     for i in 0..48usize {
         flood.send_infer(MODEL, Priority::Batch, None, 4, WIDTH, {
             let mut data = Vec::new();

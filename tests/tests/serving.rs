@@ -9,9 +9,11 @@ use relserve_core::{Architecture, InferenceSession, SessionConfig};
 use relserve_nn::init::seeded_rng;
 use relserve_nn::quant::quantize_int8;
 use relserve_nn::zoo;
-use relserve_runtime::{FaultConfig, FaultInjector, Priority, RuntimeProfile, TransferProfile};
+use relserve_runtime::{
+    AdmissionPolicy, FaultConfig, FaultInjector, Priority, RuntimeProfile, TransferProfile,
+};
 use relserve_serve::wire::{self, ErrorCode, Response};
-use relserve_serve::{ServeClient, ServeConfig, Server, ServerHandle};
+use relserve_serve::{Client, ServeConfig, Server, ServerHandle};
 use relserve_tensor::Tensor;
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -70,11 +72,11 @@ fn counter(stats: &[(String, u64)], name: &str) -> u64 {
 /// crosses connections.
 #[test]
 fn coalesced_predictions_match_oracle_and_never_cross_connections() {
-    let config = ServeConfig {
-        max_batch_rows: 16,
-        max_batch_delay: Duration::from_millis(2),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .max_batch_rows(16)
+        .max_batch_delay(Duration::from_millis(2))
+        .build()
+        .unwrap();
     let server = spawn_server(config);
     let addr = server.addr();
     let session = Arc::clone(server.session());
@@ -85,7 +87,7 @@ fn coalesced_predictions_match_oracle_and_never_cross_connections() {
         .map(|tag| {
             let session = Arc::clone(&session);
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr).unwrap();
+                let mut client = Client::connect(addr).unwrap();
                 let mut sent = HashMap::new();
                 for i in 0..PER_CLIENT {
                     let data = row(tag, i);
@@ -141,13 +143,13 @@ fn coalesced_predictions_match_oracle_and_never_cross_connections() {
 #[test]
 fn fused_batches_respect_the_row_bound_for_random_request_sizes() {
     for seed in [3u64, 17, 99] {
-        let config = ServeConfig {
-            max_batch_rows: 16,
-            max_batch_delay: Duration::from_millis(1),
-            ..ServeConfig::default()
-        };
+        let config = ServeConfig::builder()
+            .max_batch_rows(16)
+            .max_batch_delay(Duration::from_millis(1))
+            .build()
+            .unwrap();
         let server = spawn_server(config);
-        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
 
         // Deterministic pseudo-random sizes in 1..=9 (always under the
         // 16-row bound, so no single request can exceed it alone).
@@ -196,12 +198,12 @@ fn fused_batches_respect_the_row_bound_for_random_request_sizes() {
 /// batch-class p99.
 #[test]
 fn interactive_p99_queue_wait_beats_batch_under_mixed_load() {
-    let config = ServeConfig {
-        max_batch_rows: 8,
-        max_batch_delay: Duration::from_millis(1),
-        executors: 1, // one drain lane => priority picks the order
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .max_batch_rows(8)
+        .max_batch_delay(Duration::from_millis(1))
+        .executors(1) // one drain lane => priority picks the order
+        .build()
+        .unwrap();
     let server = spawn_server(config);
     let addr = server.addr();
 
@@ -221,7 +223,7 @@ fn interactive_p99_queue_wait_beats_batch_under_mixed_load() {
         .enumerate()
         .map(|(tag, &class)| {
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr).unwrap();
+                let mut client = Client::connect(addr).unwrap();
                 for i in 0..PER_CLIENT {
                     client
                         .send_infer(MODEL, class, None, 2, WIDTH, {
@@ -271,13 +273,13 @@ fn interactive_p99_queue_wait_beats_batch_under_mixed_load() {
 fn buffered_deadline_expiry_is_rejected_before_admission() {
     // A long coalescing window guarantees the tight deadline expires
     // while the request is still buffered.
-    let config = ServeConfig {
-        max_batch_delay: Duration::from_millis(60),
-        max_batch_rows: 64,
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .max_batch_delay(Duration::from_millis(60))
+        .max_batch_rows(64)
+        .build()
+        .unwrap();
     let server = spawn_server(config);
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
 
     let doomed = client
         .send_infer(
@@ -326,14 +328,16 @@ fn buffered_deadline_expiry_is_rejected_before_admission() {
 /// `AdmissionStats`.
 #[test]
 fn batch_sheds_while_interactive_completes_under_saturation() {
-    let mut config = ServeConfig {
-        max_batch_delay: Duration::from_millis(1),
-        executors: 2,
-        ..ServeConfig::default()
-    };
     // Batch gives up admission after 5ms; interactive keeps its patient
     // class default.
-    config.admission[Priority::Batch.rank()].queue_timeout = Some(Duration::from_millis(5));
+    let mut batch_policy = AdmissionPolicy::for_class(Priority::Batch);
+    batch_policy.queue_timeout = Some(Duration::from_millis(5));
+    let config = ServeConfig::builder()
+        .max_batch_delay(Duration::from_millis(1))
+        .executors(2)
+        .admission(Priority::Batch, batch_policy)
+        .build()
+        .unwrap();
     let server = spawn_server(config);
     let addr = server.addr();
     let session = Arc::clone(server.session());
@@ -341,7 +345,7 @@ fn batch_sheds_while_interactive_completes_under_saturation() {
     // Hold every core so fused batches must queue for admission.
     let hold = session.coordinator().admit(CORES).unwrap();
 
-    let mut batch_client = ServeClient::connect(addr).unwrap();
+    let mut batch_client = Client::connect(addr).unwrap();
     let mut batch_ids = Vec::new();
     for i in 0..4usize {
         batch_ids.push(
@@ -351,7 +355,7 @@ fn batch_sheds_while_interactive_completes_under_saturation() {
         );
     }
     let interactive = std::thread::spawn(move || {
-        let mut client = ServeClient::connect(addr).unwrap();
+        let mut client = Client::connect(addr).unwrap();
         client
             .infer(MODEL, Priority::Interactive, None, 1, WIDTH, row(4, 0))
             .unwrap()
@@ -389,18 +393,18 @@ fn batch_sheds_while_interactive_completes_under_saturation() {
 /// ladder; responses report the cheaper `model_used`.
 #[test]
 fn backlog_pressure_steps_down_the_version_ladder() {
-    let mut config = ServeConfig {
-        max_batch_rows: 8,
-        max_batch_delay: Duration::from_millis(1),
-        executors: 1,
-        ..ServeConfig::default()
-    };
-    config.ladders.insert(
-        MODEL.to_string(),
-        PressureLadder::new(vec![MODEL.to_string(), format!("{MODEL}@int8")], 16).unwrap(),
-    );
+    let config = ServeConfig::builder()
+        .max_batch_rows(8)
+        .max_batch_delay(Duration::from_millis(1))
+        .executors(1)
+        .ladder(
+            MODEL,
+            PressureLadder::new(vec![MODEL.to_string(), format!("{MODEL}@int8")], 16).unwrap(),
+        )
+        .build()
+        .unwrap();
     let server = spawn_server(config);
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
 
     for i in 0..40usize {
         client
@@ -443,13 +447,13 @@ fn degraded_to_crosses_the_wire_under_injected_faults() {
     // never succeed, so the session's degradation ladder must kick in.
     let session = session.with_fault_injector(FaultInjector::new(FaultConfig::flaky_wire(7, 1.0)));
 
-    let config = ServeConfig {
-        max_batch_delay: Duration::from_millis(1),
-        architecture: Architecture::DlCentric(RuntimeProfile::tensorflow_like()),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .max_batch_delay(Duration::from_millis(1))
+        .architecture(Architecture::DlCentric(RuntimeProfile::tensorflow_like()))
+        .build()
+        .unwrap();
     let server = Server::spawn(Arc::new(session), config).unwrap();
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
 
     let a = client
         .send_infer(MODEL, Priority::Standard, None, 2, WIDTH, {
@@ -540,8 +544,8 @@ fn undecodable_frames_answer_id_zero_and_close_the_connection() {
 #[test]
 fn closed_connections_deregister_from_the_live_table() {
     let server = spawn_server(ServeConfig::default());
-    let clients: Vec<ServeClient> = (0..4)
-        .map(|_| ServeClient::connect(server.addr()).unwrap())
+    let clients: Vec<Client> = (0..4)
+        .map(|_| Client::connect(server.addr()).unwrap())
         .collect();
     let deadline = Instant::now() + Duration::from_secs(5);
     while server.live_connections() < 4 {
@@ -566,7 +570,7 @@ fn closed_connections_deregister_from_the_live_table() {
 #[test]
 fn stats_opcode_exports_all_three_counter_domains() {
     let server = spawn_server(ServeConfig::default());
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     client
         .infer(MODEL, Priority::Interactive, None, 1, WIDTH, row(7, 0))
         .unwrap();

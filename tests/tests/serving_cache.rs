@@ -15,8 +15,7 @@ use relserve_nn::zoo;
 use relserve_runtime::{Priority, TransferProfile};
 use relserve_serve::wire::Response;
 use relserve_serve::{
-    cache_disabled_by_env, CacheConfig, CacheTolerance, ServeClient, ServeConfig, Server,
-    ServerHandle,
+    cache_disabled_by_env, CacheConfig, CacheTolerance, Client, ServeConfig, Server, ServerHandle,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -46,12 +45,12 @@ fn fraud_session() -> Arc<InferenceSession> {
 fn spawn_cached(cache: CacheConfig) -> ServerHandle {
     Server::spawn(
         fraud_session(),
-        ServeConfig {
-            max_batch_rows: 16,
-            max_batch_delay: Duration::from_millis(1),
-            cache,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_batch_rows(16)
+            .max_batch_delay(Duration::from_millis(1))
+            .cache(cache)
+            .build()
+            .unwrap(),
     )
     .unwrap()
 }
@@ -74,7 +73,7 @@ fn counter(stats: &[(String, u64)], name: &str) -> u64 {
 /// a Stats probe sent right behind the last response can race the final
 /// admit. Poll until `name` reaches `want` (or time out and return the
 /// last snapshot for the caller's assertion to report).
-fn stats_when_at_least(client: &mut ServeClient, name: &str, want: u64) -> Vec<(String, u64)> {
+fn stats_when_at_least(client: &mut Client, name: &str, want: u64) -> Vec<(String, u64)> {
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
         let stats = client.stats().unwrap();
@@ -95,7 +94,7 @@ fn repeat_round_adds_no_batches_and_no_admissions() {
         per_class: [CacheTolerance::Exact; 3],
         ..CacheConfig::default()
     });
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     const N: usize = 12;
     for i in 0..N {
         let resp = client
@@ -167,7 +166,7 @@ fn cached_responses_preserve_per_connection_ordering() {
     // wait for the (post-response) admit to land.
     let hot = row(9, 0);
     {
-        let mut client = ServeClient::connect(addr).unwrap();
+        let mut client = Client::connect(addr).unwrap();
         client
             .infer(MODEL, Priority::Standard, None, 1, WIDTH, hot.clone())
             .unwrap();
@@ -182,7 +181,7 @@ fn cached_responses_preserve_per_connection_ordering() {
         .map(|tag| {
             let hot = hot.clone();
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr).unwrap();
+                let mut client = Client::connect(addr).unwrap();
                 let mut sent = Vec::new();
                 for i in 0..PER_CLIENT {
                     // Alternate a guaranteed-hot row with cold unique rows,
@@ -235,7 +234,7 @@ fn evictions_are_visible_over_wire_stats() {
         max_entries: Some(4),
         ..CacheConfig::default()
     });
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     const N: usize = 16;
     for i in 0..N {
         client
@@ -272,7 +271,7 @@ fn multi_row_requests_bypass_the_probe_but_populate() {
         per_class: [CacheTolerance::Exact; 3],
         ..CacheConfig::default()
     });
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     let data = [row(5, 0), row(5, 1)].concat();
     for _ in 0..3 {
         match client
@@ -342,7 +341,7 @@ fn per_class_tolerance_gates_near_hits() {
         },
     ];
     let server = spawn_cached(cache);
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     let base = row(7, 0);
     client
         .infer(MODEL, Priority::Standard, None, 1, WIDTH, base.clone())

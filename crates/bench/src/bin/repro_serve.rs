@@ -16,7 +16,7 @@
 use relserve_bench::workloads::{jittered_row, skewed_request_stream};
 use relserve_core::{Architecture, InferenceSession, SessionConfig};
 use relserve_nn::{init::seeded_rng, zoo};
-use relserve_runtime::{Priority, RuntimeProfile, TransferProfile};
+use relserve_runtime::{Priority, RetryPolicy, RuntimeProfile, TransferProfile};
 use relserve_serve::{
     CacheConfig, CacheTolerance, Client, ServeConfig, ServeStats, Server, CACHE_ENV,
 };
@@ -324,6 +324,140 @@ fn connection_scaling_leg(connections: usize, total: usize, clients: usize) -> S
     }
 }
 
+struct RecoveryResult {
+    requests: u64,
+    answered: u64,
+    typed_errors: u64,
+    lost: u64,
+    reconnects: u64,
+    injected_downtime_ms: f64,
+    time_to_recover_ms: f64,
+}
+
+/// Recovery leg: hard-kill the server mid-stream, hold the port dark for a
+/// deliberate downtime window, restart on the same address, and let the
+/// self-healing clients reconnect and replay their unanswered requests.
+/// The acceptance bar is zero lost acknowledged requests: every request a
+/// worker submitted resolves to a typed outcome on the restarted server.
+fn recovery_leg(total: usize, clients: usize) -> RecoveryResult {
+    let config = ServeConfig::builder()
+        .max_batch_rows(32)
+        .max_batch_delay(Duration::from_millis(2))
+        .architecture(architecture())
+        .build()
+        .unwrap();
+    let server = Server::spawn(session(), config).unwrap();
+    let addr = server.addr();
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_backoff: Duration::from_millis(5),
+        jitter: 0.25,
+    };
+    let per_client = total / clients;
+
+    let workers: Vec<_> = (0..clients)
+        .map(|tag| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect_resilient(addr, policy).unwrap();
+                let mut attempted = 0u64;
+                let mut answered = 0u64;
+                let mut typed_errors = 0u64;
+                // Windows of 8 pipelined requests: a kill mid-window leaves
+                // several unanswered ids for the healed connection to replay.
+                'stream: for window in 0..per_client.div_ceil(8) {
+                    let base = window * 8;
+                    let count = 8.min(per_client - base);
+                    let mut ids = Vec::with_capacity(count);
+                    for i in 0..count {
+                        attempted += 1;
+                        match client.send_infer(
+                            MODEL,
+                            Priority::Standard,
+                            None,
+                            1,
+                            WIDTH,
+                            row(tag * per_client + base + i),
+                        ) {
+                            Ok(id) => ids.push(id),
+                            Err(_) => break 'stream,
+                        }
+                    }
+                    for id in ids {
+                        match client.wait(id) {
+                            Ok(relserve_serve::wire::Response::Infer { .. }) => answered += 1,
+                            Ok(_) => typed_errors += 1,
+                            Err(_) => break 'stream,
+                        }
+                    }
+                }
+                (attempted, answered, typed_errors, client.reconnects())
+            })
+        })
+        .collect();
+
+    // Kill mid-stream. The standby session is built *before* the kill so
+    // the measured recovery gap is bind + accept, not model loading.
+    std::thread::sleep(Duration::from_millis(20));
+    let standby = session();
+    let killed_at = Instant::now();
+    server.shutdown();
+    let injected_downtime = Duration::from_millis(50);
+    std::thread::sleep(injected_downtime);
+    let restarted = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let config = ServeConfig::builder()
+                .bind(addr)
+                .max_batch_rows(32)
+                .max_batch_delay(Duration::from_millis(2))
+                .architecture(architecture())
+                .build()
+                .unwrap();
+            match Server::spawn(Arc::clone(&standby), config) {
+                Ok(s) => break s,
+                Err(e) => assert!(
+                    Instant::now() < deadline,
+                    "could not rebind {addr} after kill: {e}"
+                ),
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    // Time to recover: kill instant → first successful inference against
+    // the restarted server, observed by an independent healing probe.
+    let mut probe = Client::connect_resilient(addr, policy).unwrap();
+    match probe
+        .infer(MODEL, Priority::Standard, None, 1, WIDTH, row(0))
+        .expect("probe inference after restart")
+    {
+        relserve_serve::wire::Response::Infer { .. } => {}
+        other => panic!("unexpected probe response {other:?}"),
+    }
+    let time_to_recover_ms = killed_at.elapsed().as_secs_f64() * 1e3;
+
+    let mut attempted = 0u64;
+    let mut answered = 0u64;
+    let mut typed_errors = 0u64;
+    let mut reconnects = 0u64;
+    for w in workers {
+        let (a, ok, typed, r) = w.join().unwrap();
+        attempted += a;
+        answered += ok;
+        typed_errors += typed;
+        reconnects += r;
+    }
+    restarted.shutdown();
+    RecoveryResult {
+        requests: attempted,
+        answered,
+        typed_errors,
+        lost: attempted - answered - typed_errors,
+        reconnects,
+        injected_downtime_ms: injected_downtime.as_secs_f64() * 1e3,
+        time_to_recover_ms,
+    }
+}
+
 /// Cache config for the sweep: eager validation so the Monte-Carlo bound
 /// goes live within the run instead of staying pessimistic for its whole
 /// duration.
@@ -522,6 +656,22 @@ fn main() {
         );
     }
 
+    // Recovery: kill the server mid-stream, restart on the same address,
+    // and measure time-to-recover plus acknowledged requests lost.
+    let recovery = recovery_leg(256, clients);
+    println!(
+        "recovery, kill + restart mid-stream, {} requests:",
+        recovery.requests
+    );
+    println!(
+        "  time to recover         : {:>9.1} ms  (injected downtime {:.0} ms)",
+        recovery.time_to_recover_ms, recovery.injected_downtime_ms
+    );
+    println!(
+        "  requests lost           : {:>9}     ({} answered, {} typed errors, {} reconnects)",
+        recovery.lost, recovery.answered, recovery.typed_errors, recovery.reconnects
+    );
+
     let host_cores = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1);
@@ -556,7 +706,13 @@ fn main() {
          \"cache_off_env_rows_per_sec\": {:.1},\n    \
          \"cache_off_env_probes\": {},\n    \
          \"tolerance_sweep\": [\n{}\n    ]\n  }},\n  \
-         \"connection_scaling\": [\n{scaling_json}\n  ]\n}}\n",
+         \"connection_scaling\": [\n{scaling_json}\n  ],\n  \
+         \"recovery\": {{\n    \
+         \"requests\": {},\n    \"answered\": {},\n    \
+         \"typed_errors\": {},\n    \"requests_lost\": {},\n    \
+         \"client_reconnects\": {},\n    \
+         \"injected_downtime_ms\": {:.1},\n    \
+         \"time_to_recover_ms\": {:.1}\n  }}\n}}\n",
         percentile(&serial_ms, 50.0),
         percentile(&serial_ms, 99.0),
         unbatched.rps,
@@ -579,6 +735,13 @@ fn main() {
             cache_leg_json("near_1.0", &near_loose, skewed_uncached.rps),
         ]
         .join(",\n"),
+        recovery.requests,
+        recovery.answered,
+        recovery.typed_errors,
+        recovery.lost,
+        recovery.reconnects,
+        recovery.injected_downtime_ms,
+        recovery.time_to_recover_ms,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");

@@ -1168,6 +1168,7 @@ mod tests {
             .retry(RetryPolicy {
                 max_attempts: 0,
                 base_backoff: Duration::ZERO,
+                jitter: 0.0,
             })
             .build()
             .is_err());

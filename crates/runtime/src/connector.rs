@@ -340,6 +340,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 3,
             base_backoff: Duration::ZERO,
+            jitter: 0.0,
         };
         let err = c.ship_retry(&t, &policy).unwrap_err();
         assert!(err.is_transient());

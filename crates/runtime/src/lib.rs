@@ -42,7 +42,10 @@ pub use context::{ContextStats, ExecContext};
 pub use device::{Device, DeviceKind, DeviceModel, PlacementDecision};
 pub use error::{Error, Result};
 pub use external::{ExternalRuntime, RuntimeProfile};
-pub use faults::{FaultConfig, FaultInjector, RetryPolicy, FAULT_SEED_ENV};
+pub use faults::{
+    splitmix64_f64, splitmix64_next, FaultConfig, FaultInjector, RetryPolicy, FAULT_SEED_ENV,
+    SOCK_FAULTS_ENV,
+};
 pub use governor::{MemoryGovernor, Reservation};
 pub use pool::{KernelPool, PoolCounters, PoolHandle};
 pub use threads::{

@@ -125,6 +125,9 @@ struct State {
     /// Buffered rows per class, indexed by rank.
     class_rows: [usize; 3],
     shutdown: bool,
+    /// Shutdown was entered through the graceful-drain path: arrivals are
+    /// refused with the typed `Draining` code instead of `Overloaded`.
+    draining: bool,
 }
 
 /// The shared micro-batching core: connection threads submit, executor
@@ -151,6 +154,7 @@ impl Batcher {
                 groups: HashMap::new(),
                 class_rows: [0; 3],
                 shutdown: false,
+                draining: false,
             }),
             ready: Condvar::new(),
             config,
@@ -204,9 +208,22 @@ impl Batcher {
         {
             let mut state = self.state.lock().expect("batcher lock poisoned");
             if state.shutdown {
+                let draining = state.draining;
                 drop(state);
                 if sub.shadow {
                     return; // the client was already answered
+                }
+                if draining {
+                    self.counters
+                        .drain
+                        .shed_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    sub.responder.send(&Response::Error {
+                        id: sub.id,
+                        code: ErrorCode::Draining,
+                        message: "server is draining".into(),
+                    });
+                    return;
                 }
                 self.counters.shed.fetch_add(1, Ordering::Relaxed);
                 self.counters.per_class[rank]
@@ -253,6 +270,39 @@ impl Batcher {
     pub fn shutdown(&self) {
         self.state.lock().expect("batcher lock poisoned").shutdown = true;
         self.ready.notify_all();
+    }
+
+    /// Enter graceful drain: shed every *buffered-but-unadmitted*
+    /// submission with a typed `Draining` error, refuse new arrivals the
+    /// same way, and let executors finish the batches they already popped.
+    /// Returns the number of requests shed (shadows drop silently — their
+    /// clients were answered from the cache long ago).
+    pub fn drain_shed(&self) -> u64 {
+        let buffered: Vec<Submission> = {
+            let mut state = self.state.lock().expect("batcher lock poisoned");
+            state.shutdown = true;
+            state.draining = true;
+            state.class_rows = [0; 3];
+            state.groups.drain().flat_map(|(_, g)| g.queue).collect()
+        };
+        self.ready.notify_all();
+        let mut shed = 0u64;
+        for sub in buffered {
+            if sub.shadow {
+                continue;
+            }
+            shed += 1;
+            sub.responder.send(&Response::Error {
+                id: sub.id,
+                code: ErrorCode::Draining,
+                message: "server is draining; request was not admitted".into(),
+            });
+        }
+        self.counters
+            .drain
+            .shed_requests
+            .fetch_add(shed, Ordering::Relaxed);
+        shed
     }
 
     /// Executor thread body: pull fused batches until shutdown drains the
@@ -664,6 +714,40 @@ mod tests {
         assert_eq!(counters.snapshot().deadline_rejected, 1);
         batcher.shutdown();
         runner.join().unwrap();
+    }
+
+    #[test]
+    fn drain_sheds_buffered_with_typed_error() {
+        let session = test_session();
+        let counters = Arc::new(ServeCounters::default());
+        // A 10s flush delay pins submissions in the buffer until drain.
+        let batcher = Batcher::new(
+            test_config(64, Duration::from_secs(10)),
+            Arc::clone(&counters),
+            session,
+            None,
+        );
+        let (tx, rx) = mpsc::channel();
+        batcher.submit(submission(1, 2, None, &tx, &counters));
+        batcher.submit(submission(2, 2, None, &tx, &counters));
+        assert_eq!(batcher.drain_shed(), 2);
+        for _ in 0..2 {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::Draining),
+                other => panic!("expected Draining, got {other:?}"),
+            }
+        }
+        // Arrivals after the drain began get the same typed refusal.
+        batcher.submit(submission(3, 1, None, &tx, &counters));
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Response::Error { id, code, .. } => {
+                assert_eq!((id, code), (3, ErrorCode::Draining));
+            }
+            other => panic!("expected Draining, got {other:?}"),
+        }
+        assert_eq!(counters.snapshot().drain.shed_requests, 3);
+        // Executors observe shutdown with an empty buffer and exit.
+        batcher.run_executor();
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::stats::ServeCounters;
 use crate::sys::{Epoll, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use relserve_runtime::FaultInjector;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{Shutdown, TcpStream};
@@ -63,6 +64,8 @@ pub(crate) struct Conn {
     /// Hard cap on parked response bytes; crossing it severs.
     write_limit: usize,
     counters: Arc<ServeCounters>,
+    /// Seeded chaos stream; `Some` only under socket fault injection.
+    faults: Option<FaultInjector>,
     wq: Mutex<WriteQueue>,
 }
 
@@ -73,6 +76,7 @@ impl Conn {
         epoll: Arc<Epoll>,
         write_limit: usize,
         counters: Arc<ServeCounters>,
+        faults: Option<FaultInjector>,
     ) -> Conn {
         Conn {
             id,
@@ -80,6 +84,7 @@ impl Conn {
             epoll,
             write_limit,
             counters,
+            faults,
             wq: Mutex::new(WriteQueue {
                 bufs: VecDeque::new(),
                 head_off: 0,
@@ -175,6 +180,24 @@ impl Conn {
         let _ = self.sock.shutdown(Shutdown::Both);
     }
 
+    /// Chaos draw: sever the connection as if the peer reset it while the
+    /// server was mid-write. Returns true when the reset fired; callers
+    /// must then report the write as failed.
+    fn inject_write_reset(&self, q: &mut WriteQueue) -> bool {
+        let Some(f) = &self.faults else {
+            return false;
+        };
+        if !f.should_reset_write() {
+            return false;
+        }
+        self.counters
+            .faults
+            .write_resets
+            .fetch_add(1, Ordering::Relaxed);
+        self.sever_locked(q);
+        true
+    }
+
     /// Poller-side teardown: deregister, sever, and release buffers. Safe
     /// to call at most once per table entry; late responders see the
     /// severed flag and drop their frames.
@@ -233,6 +256,9 @@ impl Conn {
                 .fetch_add(1, Ordering::Relaxed);
             return false;
         }
+        if self.inject_write_reset(&mut q) {
+            return false;
+        }
         let mut off = 0;
         if q.bufs.is_empty() {
             loop {
@@ -287,6 +313,11 @@ impl Conn {
     pub fn flush(&self) -> Flush {
         let mut q = self.wq.lock().expect("conn lock poisoned");
         if q.severed {
+            return Flush::Closed;
+        }
+        // A reset here lands mid-frame whenever `head_off > 0` — the peer
+        // vanishes with a partially written response on the wire.
+        if self.inject_write_reset(&mut q) {
             return Flush::Closed;
         }
         while let Some(head) = q.bufs.front() {

@@ -22,11 +22,18 @@ pub mod error;
 mod reactor;
 pub mod server;
 pub mod stats;
-mod sys;
+pub mod sys;
 pub mod wire;
 
 pub use cache::{cache_disabled_by_env, CacheConfig, CacheTolerance, CACHE_ENV};
-pub use client::{Client, ServeClient};
+pub use client::{
+    retry_policy_from_env, Client, ServeClient, CLIENT_BACKOFF_MS_ENV, CLIENT_JITTER_ENV,
+    CLIENT_RETRIES_ENV,
+};
 pub use error::{Error, Result};
-pub use server::{ServeConfig, ServeConfigBuilder, Server, ServerHandle};
-pub use stats::{export_counters, CacheServeStats, ClassServeStats, ReactorServeStats, ServeStats};
+pub use server::{DrainReport, ServeConfig, ServeConfigBuilder, Server, ServerHandle};
+pub use stats::{
+    export_counters, CacheServeStats, ClassServeStats, DrainServeStats, FaultServeStats,
+    ReactorServeStats, ServeStats,
+};
+pub use wire::HealthState;

@@ -18,13 +18,16 @@
 use crate::batcher::{Batcher, Responder, ResponseSink, Submission};
 use crate::conn::{Conn, Flush};
 use crate::stats::{export_counters, ServeCounters};
-use crate::sys::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use crate::wire::{self, ErrorCode, Request, Response, MAX_FRAME_BYTES};
+use crate::sys::{
+    self, Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use crate::wire::{self, ErrorCode, HealthState, Request, Response, MAX_FRAME_BYTES};
 use relserve_core::InferenceSession;
+use relserve_runtime::FaultInjector;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -36,29 +39,46 @@ const TOKEN_LISTENER: u64 = u64::MAX - 1;
 /// Cap on bytes pulled off one socket per readiness event, so one firehose
 /// connection cannot starve its poller's siblings.
 const READ_BUDGET: usize = 256 * 1024;
+/// A heartbeat older than this marks its poller stalled. Generous: the
+/// epoll timeout is 250 ms, so a healthy poller beats at least 8× faster
+/// even on a loaded single-core host.
+const WATCHDOG_STALL_MS: u64 = 2_000;
 
 /// Reactor-wide shared context.
 pub(crate) struct ReactorCtx {
     pub counters: Arc<ServeCounters>,
     pub batcher: Arc<Batcher>,
     pub session: Arc<InferenceSession>,
-    pub shutdown: Arc<std::sync::atomic::AtomicBool>,
+    pub shutdown: Arc<AtomicBool>,
     /// Live connection gauge; accept increments, close decrements.
     pub live: Arc<AtomicUsize>,
     pub max_connections: usize,
     pub write_buffer_bytes: usize,
+    /// Seeded socket chaos; `None` outside fault-injection runs.
+    pub faults: Option<FaultInjector>,
+    /// 0 = running, 1 = draining. Set once by [`ReactorCtx::enter_drain`].
+    drain: AtomicU8,
+    /// When true, poller 0 polls the SIGTERM flag and enters drain on it.
+    watch_sigterm: AtomicBool,
+    /// Per-poller heartbeat: milliseconds since `epoch` of the poller's
+    /// last loop iteration, stored relaxed from the poller itself.
+    heartbeats: Vec<AtomicU64>,
+    epoch: Instant,
     next_conn_id: AtomicU64,
 }
 
 impl ReactorCtx {
+    #[allow(clippy::too_many_arguments)] // one-time wiring call from Server::spawn
     pub fn new(
         counters: Arc<ServeCounters>,
         batcher: Arc<Batcher>,
         session: Arc<InferenceSession>,
-        shutdown: Arc<std::sync::atomic::AtomicBool>,
+        shutdown: Arc<AtomicBool>,
         live: Arc<AtomicUsize>,
         max_connections: usize,
         write_buffer_bytes: usize,
+        pollers: usize,
+        faults: Option<FaultInjector>,
     ) -> ReactorCtx {
         ReactorCtx {
             counters,
@@ -68,8 +88,111 @@ impl ReactorCtx {
             live,
             max_connections,
             write_buffer_bytes,
+            faults,
+            drain: AtomicU8::new(0),
+            watch_sigterm: AtomicBool::new(false),
+            heartbeats: (0..pollers).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
             next_conn_id: AtomicU64::new(1),
         }
+    }
+
+    /// Flip the reactor into draining exactly once: new work is refused
+    /// with typed `Draining` errors and every buffered-but-unadmitted
+    /// request is shed. Idempotent; returns true on the first call.
+    pub fn enter_drain(&self) -> bool {
+        if self
+            .drain
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        self.counters.drain.state.store(1, Ordering::Relaxed);
+        self.batcher.drain_shed();
+        true
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst) == 1
+    }
+
+    /// Ask poller 0 to watch the process SIGTERM flag.
+    pub fn watch_sigterm(&self) {
+        self.watch_sigterm.store(true, Ordering::SeqCst);
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Record that poller `idx` completed a loop iteration just now.
+    fn heartbeat(&self, idx: usize) {
+        if let Some(hb) = self.heartbeats.get(idx) {
+            hb.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Recount stalled pollers from the heartbeat array, updating the
+    /// `serve.reactor.stalled_pollers` gauge and bumping
+    /// `serve.reactor.watchdog_stalls` for every fresh-to-stale flip.
+    /// Driven by poller 0 each loop and by `ServerHandle::stats()` as a
+    /// backstop (so a wedged poller 0 is still reported).
+    pub fn refresh_watchdog(&self) {
+        let stalled = count_stalled(&self.heartbeats, self.now_ms(), WATCHDOG_STALL_MS);
+        let prev = self
+            .counters
+            .reactor
+            .stalled_pollers
+            .swap(stalled, Ordering::Relaxed);
+        if stalled > prev {
+            self.counters
+                .reactor
+                .watchdog_stalls
+                .fetch_add(stalled - prev, Ordering::Relaxed);
+        }
+    }
+
+    /// The readiness this server would report on a Health probe.
+    pub fn health_state(&self) -> HealthState {
+        if self.is_draining() {
+            HealthState::Draining
+        } else if self.live.load(Ordering::SeqCst) >= self.max_connections {
+            HealthState::Overloaded
+        } else {
+            HealthState::Ok
+        }
+    }
+}
+
+/// Heartbeats older than `threshold_ms` (against `now_ms`) are stalled.
+fn count_stalled(heartbeats: &[AtomicU64], now_ms: u64, threshold_ms: u64) -> u64 {
+    heartbeats
+        .iter()
+        .filter(|hb| now_ms.saturating_sub(hb.load(Ordering::Relaxed)) > threshold_ms)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A poller cannot be genuinely wedged from a unit test, so the
+    // positive watchdog case runs against synthetic heartbeats.
+    #[test]
+    fn watchdog_counts_stale_heartbeats() {
+        let beats: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        // t=0: all fresh (age 0 is not > threshold).
+        assert_eq!(count_stalled(&beats, 0, 2_000), 0);
+        beats[0].store(5_000, Ordering::Relaxed);
+        beats[1].store(4_500, Ordering::Relaxed);
+        // Poller 2 never beat again: age 5_100 > 2_000.
+        assert_eq!(count_stalled(&beats, 5_100, 2_000), 1);
+        // Everyone stale once the clock runs far enough ahead.
+        assert_eq!(count_stalled(&beats, 10_000, 2_000), 3);
+        // A fresh beat recovers the poller.
+        beats[2].store(10_000, Ordering::Relaxed);
+        assert_eq!(count_stalled(&beats, 10_000, 2_000), 2);
     }
 }
 
@@ -80,6 +203,23 @@ pub(crate) struct PollerShared {
     pub epoll: Arc<Epoll>,
     pub waker: WakeFd,
     inbox: Mutex<Vec<Arc<Conn>>>,
+}
+
+impl PollerShared {
+    /// Close connections handed to this poller but never adopted (the
+    /// poller exited between the handoff and its final inbox sweep).
+    /// Called after the poller joins; without it the live gauge leaks and
+    /// the straggler sockets outlive the server.
+    pub fn reap_stragglers(&self, live: &AtomicUsize) {
+        let pending: Vec<Arc<Conn>> = {
+            let mut inbox = self.inbox.lock().expect("poller inbox poisoned");
+            std::mem::take(&mut *inbox)
+        };
+        for conn in pending {
+            conn.close();
+            live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
 }
 
 /// What [`spawn_reactor`] hands back: the cross-thread poller faces and
@@ -156,6 +296,7 @@ fn run_poller(
             .expect("register listener");
     }
 
+    ctx.heartbeat(idx);
     while !ctx.shutdown.load(Ordering::SeqCst) {
         // The timeout is only a safety net: shutdown and handoffs arrive
         // via the eventfd, response readiness via EPOLLOUT.
@@ -163,6 +304,19 @@ fn run_poller(
             Ok(n) => n,
             Err(_) => continue,
         };
+        ctx.heartbeat(idx);
+        if idx == 0 {
+            ctx.refresh_watchdog();
+            if ctx.watch_sigterm.load(Ordering::SeqCst)
+                && sys::take_signal(sys::SIGTERM)
+                && ctx.enter_drain()
+            {
+                // Keep polling: in-flight responses still need flushing,
+                // and probes/arrivals get typed Draining answers. The
+                // application observes `drain_pending` and finishes the
+                // drain from its own thread.
+            }
+        }
         for ev in events.iter().take(n) {
             let (mask, token) = (ev.events(), ev.token());
             match token {
@@ -245,15 +399,43 @@ fn accept_burst(
     entries: &mut HashMap<u64, Entry>,
     ctx: &Arc<ReactorCtx>,
 ) {
+    // Chaos draw: defer the whole burst one reactor round. The listener
+    // stays readable, so level-triggered epoll re-reports it — accepts are
+    // delayed, never lost.
+    if let Some(f) = &ctx.faults {
+        if f.should_delay_accept() {
+            ctx.counters
+                .faults
+                .delayed_accepts
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if ctx.is_draining() {
+                    ctx.counters
+                        .drain
+                        .shed_accepts
+                        .fetch_add(1, Ordering::Relaxed);
+                    shed_connection(
+                        stream,
+                        ErrorCode::Draining,
+                        "server is draining; not accepting connections".into(),
+                    );
+                    continue;
+                }
                 if ctx.live.load(Ordering::SeqCst) >= ctx.max_connections {
                     ctx.counters
                         .reactor
                         .accept_shed
                         .fetch_add(1, Ordering::Relaxed);
-                    shed_connection(stream, ctx.max_connections);
+                    shed_connection(
+                        stream,
+                        ErrorCode::Overloaded,
+                        format!("connection slots exhausted ({} live)", ctx.max_connections),
+                    );
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
@@ -268,6 +450,7 @@ fn accept_burst(
                     Arc::clone(&all[owner].epoll),
                     ctx.write_buffer_bytes,
                     Arc::clone(&ctx.counters),
+                    ctx.faults.clone(),
                 ));
                 ctx.live.fetch_add(1, Ordering::SeqCst);
                 ctx.counters.connections.fetch_add(1, Ordering::Relaxed);
@@ -295,13 +478,14 @@ fn accept_burst(
     }
 }
 
-/// Best-effort typed rejection for a connection we have no slot for.
-fn shed_connection(stream: TcpStream, max_connections: usize) {
+/// Best-effort typed rejection for a connection we will not serve —
+/// slot exhaustion (`Overloaded`) or drain (`Draining`).
+fn shed_connection(stream: TcpStream, code: ErrorCode, message: String) {
     let _ = stream.set_nonblocking(true);
     let resp = Response::Error {
         id: 0,
-        code: ErrorCode::Overloaded,
-        message: format!("connection slots exhausted ({max_connections} live)"),
+        code,
+        message,
     };
     if let Ok(payload) = wire::encode_response(&resp) {
         let mut frame = Vec::with_capacity(4 + payload.len());
@@ -370,6 +554,44 @@ fn apply_backpressure(conn: &Arc<Conn>) {
 fn read_and_dispatch(entry: &mut Entry, ctx: &Arc<ReactorCtx>) -> ConnFlow {
     let mut chunk = [0u8; 16 * 1024];
     let mut budget = READ_BUDGET;
+    if let Some(f) = &ctx.faults {
+        // Stalled peer: skip the whole readiness event. Level-triggered
+        // epoll re-reports it next round, so data is delayed, not lost.
+        if f.should_stall_read() {
+            ctx.counters
+                .faults
+                .stalled_reads
+                .fetch_add(1, Ordering::Relaxed);
+            return ConnFlow::Continue;
+        }
+        // Torn read: pull only a few bytes so frames land in fragments and
+        // the reassembly buffer sees every partial-prefix shape. The rest
+        // of the data stays in the kernel buffer for the next event.
+        if f.should_tear_read() {
+            ctx.counters
+                .faults
+                .torn_reads
+                .fetch_add(1, Ordering::Relaxed);
+            let mut tiny = [0u8; 3];
+            loop {
+                match (&mut entry.conn.sock()).read(&mut tiny) {
+                    Ok(0) => return ConnFlow::Close, // clean EOF
+                    Ok(n) => {
+                        entry.rbuf.extend_from_slice(&tiny[..n]);
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return ConnFlow::Close,
+                }
+            }
+            let flow = dispatch_frames(entry, ctx);
+            if flow == ConnFlow::Continue {
+                apply_backpressure(&entry.conn);
+            }
+            return flow;
+        }
+    }
     loop {
         match (&mut entry.conn.sock()).read(&mut chunk) {
             Ok(0) => return ConnFlow::Close, // clean EOF
@@ -475,6 +697,17 @@ fn handle_request(payload: &[u8], conn: &Arc<Conn>, ctx: &Arc<ReactorCtx>) -> Co
             responder.send(&Response::Stats {
                 id,
                 counters: export_counters(&serve, &session_stats, &admission),
+            });
+            ConnFlow::Continue
+        }
+        Ok(Request::Health { id }) => {
+            // Answered inline even while draining, so a load balancer can
+            // watch this server leave rotation.
+            responder.send(&Response::Health {
+                id,
+                state: ctx.health_state(),
+                live_connections: ctx.live.load(Ordering::SeqCst) as u64,
+                stalled_pollers: counters.reactor.stalled_pollers.load(Ordering::Relaxed),
             });
             ConnFlow::Continue
         }

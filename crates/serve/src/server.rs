@@ -20,16 +20,17 @@ use crate::cache::{cache_disabled_by_env, CacheConfig, SemanticCache};
 use crate::error::{Error, Result};
 use crate::reactor::{spawn_reactor, PollerShared, ReactorCtx};
 use crate::stats::{ServeCounters, ServeStats};
-use crate::sys::set_listen_backlog;
+use crate::sys::{self, set_listen_backlog};
+use crate::wire::HealthState;
 use relserve_core::versions::PressureLadder;
 use relserve_core::{Architecture, InferenceSession};
-use relserve_runtime::{AdmissionPolicy, Priority};
+use relserve_runtime::{AdmissionPolicy, FaultConfig, FaultInjector, Priority};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for a [`Server`]. Construct via [`ServeConfig::builder`]; every
 /// knob is validated when the builder finishes, and the set of fields is
@@ -65,6 +66,12 @@ pub struct ServeConfig {
     pub(crate) ladders: HashMap<String, PressureLadder>,
     /// Semantic result cache fronting the micro-batcher.
     pub(crate) cache: CacheConfig,
+    /// Default deadline for [`ServerHandle::drain_graceful`].
+    pub(crate) drain_deadline: Duration,
+    /// Deterministic socket chaos for the reactor; `None` (the default)
+    /// falls back to the `RELSERVE_FAULT_SEED` + `RELSERVE_SOCK_FAULTS`
+    /// environment pair, and quiet configs are ignored entirely.
+    pub(crate) wire_faults: Option<FaultConfig>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +94,8 @@ impl Default for ServeConfig {
             backlog_shed_rows: [None; 3],
             ladders: HashMap::new(),
             cache: CacheConfig::default(),
+            drain_deadline: Duration::from_secs(5),
+            wire_faults: None,
         }
     }
 }
@@ -197,6 +206,24 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Default deadline for [`ServerHandle::drain_graceful`]: how long a
+    /// drain waits for in-flight batches to execute and parked response
+    /// bytes to flush before severing what remains.
+    pub fn drain_deadline(mut self, deadline: Duration) -> Self {
+        self.config.drain_deadline = deadline;
+        self
+    }
+
+    /// Inject deterministic socket chaos (torn reads, stalled reads,
+    /// mid-write resets, delayed accepts) into the reactor. Chaos-soak
+    /// tests set this explicitly; otherwise the
+    /// `RELSERVE_FAULT_SEED` + `RELSERVE_SOCK_FAULTS` environment pair
+    /// enables an ambient profile.
+    pub fn wire_faults(mut self, faults: FaultConfig) -> Self {
+        self.config.wire_faults = Some(faults);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig> {
         let c = &self.config;
@@ -224,6 +251,27 @@ impl ServeConfigBuilder {
         }
         if c.accept_backlog == 0 {
             return Err(Error::Config("accept_backlog must be at least 1".into()));
+        }
+        if c.drain_deadline.is_zero() {
+            return Err(Error::Config(
+                "drain_deadline must be nonzero (a zero deadline is a hard \
+                 stop; call shutdown() for that)"
+                    .into(),
+            ));
+        }
+        if let Some(f) = &c.wire_faults {
+            for (name, rate) in [
+                ("sock_tear_rate", f.sock_tear_rate),
+                ("sock_stall_rate", f.sock_stall_rate),
+                ("sock_reset_rate", f.sock_reset_rate),
+                ("accept_delay_rate", f.accept_delay_rate),
+            ] {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(Error::Config(format!(
+                        "wire_faults.{name} must be in [0, 1], got {rate}"
+                    )));
+                }
+            }
         }
         Ok(self.config)
     }
@@ -281,6 +329,15 @@ impl Server {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
+        // Socket chaos: an explicit builder config wins; otherwise the
+        // RELSERVE_FAULT_SEED + RELSERVE_SOCK_FAULTS environment pair
+        // supplies an ambient stream. All-zero rates cost nothing.
+        let faults = config
+            .wire_faults
+            .filter(FaultConfig::has_socket_faults)
+            .map(FaultInjector::new)
+            .or_else(FaultInjector::socket_from_env);
+        let poller_count = config.pollers.max(1);
         let ctx = Arc::new(ReactorCtx::new(
             Arc::clone(&counters),
             Arc::clone(&batcher),
@@ -289,8 +346,10 @@ impl Server {
             Arc::clone(&live),
             config.max_connections,
             config.write_buffer_bytes,
+            poller_count,
+            faults,
         ));
-        let (poller_shared, pollers) = spawn_reactor(listener, config.pollers.max(1), ctx)?;
+        let (poller_shared, pollers) = spawn_reactor(listener, poller_count, Arc::clone(&ctx))?;
 
         Ok(ServerHandle {
             addr,
@@ -299,11 +358,27 @@ impl Server {
             batcher,
             shutdown,
             live,
+            ctx,
+            drain_deadline: config.drain_deadline,
             poller_shared,
             pollers,
             executors,
         })
     }
+}
+
+/// What a completed [`ServerHandle::drain`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// True when every in-flight batch executed and every parked response
+    /// byte flushed before the deadline. False means the deadline expired
+    /// and the remainder was severed, exactly like a hard shutdown.
+    pub completed_within_deadline: bool,
+    /// Buffered-but-unadmitted requests shed with a typed `Draining`
+    /// error (includes arrivals refused after the drain began).
+    pub shed_requests: u64,
+    /// Wall time from drain entry to the final thread join.
+    pub duration: Duration,
 }
 
 /// Owns the server's threads; dropping it shuts the server down.
@@ -314,6 +389,8 @@ pub struct ServerHandle {
     batcher: Arc<Batcher>,
     shutdown: Arc<AtomicBool>,
     live: Arc<AtomicUsize>,
+    ctx: Arc<ReactorCtx>,
+    drain_deadline: Duration,
     poller_shared: Vec<Arc<PollerShared>>,
     pollers: Vec<JoinHandle<()>>,
     executors: Vec<JoinHandle<()>>,
@@ -325,9 +402,17 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Snapshot of the serving counters.
+    /// Snapshot of the serving counters. Refreshes the poller watchdog
+    /// first — the backstop that reports a stall even when the poller that
+    /// normally drives the watchdog is itself the one wedged.
     pub fn stats(&self) -> ServeStats {
+        self.ctx.refresh_watchdog();
         self.counters.snapshot()
+    }
+
+    /// The readiness a Health probe would report right now.
+    pub fn health_state(&self) -> HealthState {
+        self.ctx.health_state()
     }
 
     /// Number of currently live connections (closed connections are reaped
@@ -348,6 +433,86 @@ impl ServerHandle {
         self.stop();
     }
 
+    /// Route the process `SIGTERM` to the graceful-drain path: the next
+    /// SIGTERM makes poller 0 enter drain (refuse new work with typed
+    /// `Draining` errors, shed the unadmitted buffer) instead of the
+    /// default disposition killing the process mid-batch. The application
+    /// observes [`ServerHandle::drain_pending`] and finishes with
+    /// [`ServerHandle::drain_graceful`]. Process-global.
+    pub fn install_sigterm_drain(&self) -> Result<()> {
+        sys::install_signal_flag(sys::SIGTERM)?;
+        self.ctx.watch_sigterm();
+        Ok(())
+    }
+
+    /// True once a drain has been entered (by [`ServerHandle::drain`], a
+    /// routed SIGTERM, or a concurrent caller) and the handle should be
+    /// taken through [`ServerHandle::drain_graceful`].
+    pub fn drain_pending(&self) -> bool {
+        self.ctx.is_draining()
+    }
+
+    /// [`ServerHandle::drain`] with the configured `drain_deadline`.
+    pub fn drain_graceful(self) -> DrainReport {
+        let deadline = self.drain_deadline;
+        self.drain(deadline)
+    }
+
+    /// Gracefully drain, then stop:
+    ///
+    /// 1. enter drain — accepts are refused with typed `Draining` frames,
+    ///    buffered-but-unadmitted requests are shed with `Draining`
+    ///    errors, arrivals after this instant get the same;
+    /// 2. in-flight fused batches (and their cache shadows) finish
+    ///    executing — executors exit once the drained batcher is empty;
+    /// 3. parked response bytes flush to their peers as sockets drain
+    ///    (pollers keep running through this phase);
+    /// 4. everything joins. Work still pending when `deadline` expires is
+    ///    severed exactly like a hard shutdown, and the report says so.
+    pub fn drain(mut self, deadline: Duration) -> DrainReport {
+        let start = Instant::now();
+        let deadline_at = start + deadline;
+        self.ctx.enter_drain();
+        let poll = Duration::from_millis(1);
+        // Phase 2: executors finish the batches they already popped.
+        let mut executed = false;
+        while Instant::now() < deadline_at {
+            if self.executors.iter().all(JoinHandle::is_finished) {
+                executed = true;
+                break;
+            }
+            std::thread::sleep(poll);
+        }
+        // Phase 3: parked write buffers flush (pollers are still serving
+        // EPOLLOUT). A peer that stopped reading keeps its bytes parked —
+        // the deadline bounds how long we indulge it.
+        let mut flushed = false;
+        while Instant::now() < deadline_at {
+            if self.counters.reactor.parked_bytes.load(Ordering::Relaxed) == 0 {
+                flushed = true;
+                break;
+            }
+            std::thread::sleep(poll);
+        }
+        let completed = executed && flushed;
+        self.counters
+            .drain
+            .deadline_exceeded
+            .store(u64::from(!completed), Ordering::Relaxed);
+        // Phase 4: hard stop — joins pollers and executors.
+        self.stop();
+        let duration = start.elapsed();
+        self.counters
+            .drain
+            .duration_micros
+            .store(duration.as_micros() as u64, Ordering::Relaxed);
+        DrainReport {
+            completed_within_deadline: completed,
+            shed_requests: self.counters.drain.shed_requests.load(Ordering::Relaxed),
+            duration,
+        }
+    }
+
     fn stop(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -360,6 +525,12 @@ impl ServerHandle {
         }
         for poller in self.pollers.drain(..) {
             let _ = poller.join();
+        }
+        // Reap connections handed to a poller's inbox after its final
+        // sweep (accepted during the shutdown race): without this the live
+        // gauge leaks and their sockets outlive the server.
+        for shared in &self.poller_shared {
+            shared.reap_stragglers(&self.live);
         }
         self.batcher.shutdown();
         for exec in self.executors.drain(..) {

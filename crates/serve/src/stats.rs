@@ -86,6 +86,41 @@ pub struct ReactorServeStats {
     pub overflow_severed: u64,
     /// Responses dropped because their connection was already severed.
     pub dropped_responses: u64,
+    /// Gauge: pollers whose watchdog heartbeat is currently stale.
+    pub stalled_pollers: u64,
+    /// Times the watchdog observed a poller go from fresh to stale.
+    pub watchdog_stalls: u64,
+}
+
+/// Graceful-drain slice of [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainServeStats {
+    /// Gauge: 0 = running, 1 = draining (set once, never cleared).
+    pub state: u64,
+    /// Buffered-but-unadmitted requests shed with a typed `Draining`
+    /// error when the drain began.
+    pub shed_requests: u64,
+    /// Connections rejected at accept time while draining.
+    pub shed_accepts: u64,
+    /// Gauge: how long the completed drain took, in microseconds.
+    pub duration_micros: u64,
+    /// 1 when the drain deadline expired before in-flight work finished.
+    pub deadline_exceeded: u64,
+}
+
+/// Wire-chaos slice of [`ServeStats`] — counts deterministic socket
+/// faults the injector actually fired, so a soak can assert the chaos
+/// paths ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultServeStats {
+    /// Reads torn into tiny fragments.
+    pub torn_reads: u64,
+    /// Read-readiness events skipped (stalled peer).
+    pub stalled_reads: u64,
+    /// Connections reset mid-write.
+    pub write_resets: u64,
+    /// Accept bursts deferred one reactor round.
+    pub delayed_accepts: u64,
 }
 
 /// Snapshot of the serving frontend's counters; see
@@ -122,6 +157,10 @@ pub struct ServeStats {
     pub cache: CacheServeStats,
     /// Reactor event-loop and backpressure health.
     pub reactor: ReactorServeStats,
+    /// Graceful-drain progress.
+    pub drain: DrainServeStats,
+    /// Injected socket faults (all zero outside chaos runs).
+    pub faults: FaultServeStats,
 }
 
 impl ServeStats {
@@ -197,6 +236,47 @@ impl ServeStats {
             "serve.reactor.dropped_responses".to_string(),
             self.reactor.dropped_responses,
         ));
+        out.push((
+            "serve.reactor.stalled_pollers".to_string(),
+            self.reactor.stalled_pollers,
+        ));
+        out.push((
+            "serve.reactor.watchdog_stalls".to_string(),
+            self.reactor.watchdog_stalls,
+        ));
+        out.push(("serve.drain.state".to_string(), self.drain.state));
+        out.push((
+            "serve.drain.shed_requests".to_string(),
+            self.drain.shed_requests,
+        ));
+        out.push((
+            "serve.drain.shed_accepts".to_string(),
+            self.drain.shed_accepts,
+        ));
+        out.push((
+            "serve.drain.duration_micros".to_string(),
+            self.drain.duration_micros,
+        ));
+        out.push((
+            "serve.drain.deadline_exceeded".to_string(),
+            self.drain.deadline_exceeded,
+        ));
+        out.push((
+            "serve.faults.torn_reads".to_string(),
+            self.faults.torn_reads,
+        ));
+        out.push((
+            "serve.faults.stalled_reads".to_string(),
+            self.faults.stalled_reads,
+        ));
+        out.push((
+            "serve.faults.write_resets".to_string(),
+            self.faults.write_resets,
+        ));
+        out.push((
+            "serve.faults.delayed_accepts".to_string(),
+            self.faults.delayed_accepts,
+        ));
         for class in Priority::ALL {
             let c = self.class(class);
             out.push((format!("serve.{class}.requests"), c.requests));
@@ -247,6 +327,29 @@ pub(crate) struct ReactorCounters {
     pub parked_bytes: AtomicU64,
     pub overflow_severed: AtomicU64,
     pub dropped_responses: AtomicU64,
+    /// Gauge: pollers currently past the watchdog staleness threshold.
+    pub stalled_pollers: AtomicU64,
+    pub watchdog_stalls: AtomicU64,
+}
+
+#[derive(Default)]
+pub(crate) struct DrainCounters {
+    /// Gauge: 0 running, 1 draining.
+    pub state: AtomicU64,
+    pub shed_requests: AtomicU64,
+    pub shed_accepts: AtomicU64,
+    /// Gauge: microseconds the completed drain took.
+    pub duration_micros: AtomicU64,
+    /// Gauge: 1 when the drain outlived its deadline.
+    pub deadline_exceeded: AtomicU64,
+}
+
+#[derive(Default)]
+pub(crate) struct FaultCounters {
+    pub torn_reads: AtomicU64,
+    pub stalled_reads: AtomicU64,
+    pub write_resets: AtomicU64,
+    pub delayed_accepts: AtomicU64,
 }
 
 /// Live atomic counters mutated by the server's threads.
@@ -264,6 +367,8 @@ pub(crate) struct ServeCounters {
     pub per_class: [ClassCounters; 3],
     pub cache: CacheCounters,
     pub reactor: ReactorCounters,
+    pub drain: DrainCounters,
+    pub faults: FaultCounters,
 }
 
 impl Default for ServeCounters {
@@ -282,6 +387,8 @@ impl Default for ServeCounters {
             per_class: Default::default(),
             cache: CacheCounters::default(),
             reactor: ReactorCounters::default(),
+            drain: DrainCounters::default(),
+            faults: FaultCounters::default(),
         };
         // Until shadow validation has samples, the only honest bound is
         // "could be always wrong".
@@ -345,6 +452,21 @@ impl ServeCounters {
                 parked_bytes: self.reactor.parked_bytes.load(Ordering::Relaxed),
                 overflow_severed: self.reactor.overflow_severed.load(Ordering::Relaxed),
                 dropped_responses: self.reactor.dropped_responses.load(Ordering::Relaxed),
+                stalled_pollers: self.reactor.stalled_pollers.load(Ordering::Relaxed),
+                watchdog_stalls: self.reactor.watchdog_stalls.load(Ordering::Relaxed),
+            },
+            drain: DrainServeStats {
+                state: self.drain.state.load(Ordering::Relaxed),
+                shed_requests: self.drain.shed_requests.load(Ordering::Relaxed),
+                shed_accepts: self.drain.shed_accepts.load(Ordering::Relaxed),
+                duration_micros: self.drain.duration_micros.load(Ordering::Relaxed),
+                deadline_exceeded: self.drain.deadline_exceeded.load(Ordering::Relaxed),
+            },
+            faults: FaultServeStats {
+                torn_reads: self.faults.torn_reads.load(Ordering::Relaxed),
+                stalled_reads: self.faults.stalled_reads.load(Ordering::Relaxed),
+                write_resets: self.faults.write_resets.load(Ordering::Relaxed),
+                delayed_accepts: self.faults.delayed_accepts.load(Ordering::Relaxed),
             },
         }
     }
@@ -426,6 +548,37 @@ mod tests {
             ("serve.cache.misses", 1),
             ("serve.cache.bound_rejections", 1),
             ("serve.cache.error_bound_ppm", 1_000_000),
+        ] {
+            assert!(
+                pairs.iter().any(|(n, v)| n == name && *v == want),
+                "missing {name}={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_and_fault_counters_are_exported() {
+        let counters = ServeCounters::default();
+        counters.drain.state.store(1, Ordering::Relaxed);
+        counters.drain.shed_requests.fetch_add(4, Ordering::Relaxed);
+        counters.faults.torn_reads.fetch_add(2, Ordering::Relaxed);
+        counters
+            .reactor
+            .watchdog_stalls
+            .fetch_add(1, Ordering::Relaxed);
+        let pairs = counters.snapshot().counters();
+        for (name, want) in [
+            ("serve.drain.state", 1),
+            ("serve.drain.shed_requests", 4),
+            ("serve.drain.shed_accepts", 0),
+            ("serve.drain.duration_micros", 0),
+            ("serve.drain.deadline_exceeded", 0),
+            ("serve.faults.torn_reads", 2),
+            ("serve.faults.stalled_reads", 0),
+            ("serve.faults.write_resets", 0),
+            ("serve.faults.delayed_accepts", 0),
+            ("serve.reactor.stalled_pollers", 0),
+            ("serve.reactor.watchdog_stalls", 1),
         ] {
             assert!(
                 pairs.iter().any(|(n, v)| n == name && *v == want),

@@ -10,6 +10,7 @@
 use std::io;
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::os::raw::{c_int, c_uint, c_void};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Readable readiness (data, incoming connection, or EOF).
 pub const EPOLLIN: u32 = 0x001;
@@ -65,6 +66,8 @@ extern "C" {
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+    fn signal(signum: c_int, handler: usize) -> usize;
+    fn raise(signum: c_int) -> c_int;
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
@@ -192,6 +195,66 @@ impl WakeFd {
     }
 }
 
+/// `SIGTERM` — the signal orchestrators send to ask for a graceful exit.
+pub const SIGTERM: c_int = 15;
+/// `SIGINT` — interactive interrupt (Ctrl-C).
+pub const SIGINT: c_int = 2;
+
+const MAX_SIGNAL: usize = 32;
+
+/// Async-signal-safe pending flags, one per signal number below
+/// [`MAX_SIGNAL`]. The handler only ever stores a relaxed atomic — the
+/// one operation POSIX guarantees is safe inside a handler.
+static SIGNAL_FLAGS: [AtomicBool; MAX_SIGNAL] = [const { AtomicBool::new(false) }; MAX_SIGNAL];
+
+extern "C" fn flag_signal(signum: c_int) {
+    if let Some(flag) = SIGNAL_FLAGS.get(signum as usize) {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Route `signum` to a flag the reactor polls between epoll rounds,
+/// instead of the default disposition (which for SIGTERM kills the
+/// process mid-batch). Process-global and idempotent.
+pub fn install_signal_flag(signum: c_int) -> io::Result<()> {
+    if !(0..MAX_SIGNAL as c_int).contains(&signum) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("signal {signum} out of range"),
+        ));
+    }
+    // SAFETY: flag_signal is async-signal-safe (one relaxed atomic store)
+    // and has the exact C handler signature signal(2) expects.
+    let prev = unsafe { signal(signum, flag_signal as extern "C" fn(c_int) as usize) };
+    const SIG_ERR: usize = usize::MAX;
+    if prev == SIG_ERR {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// True while `signum` is pending (set by the handler, not yet taken).
+pub fn signal_pending(signum: c_int) -> bool {
+    SIGNAL_FLAGS
+        .get(signum as usize)
+        .is_some_and(|f| f.load(Ordering::Relaxed))
+}
+
+/// Consume a pending `signum` flag; true when it was set.
+pub fn take_signal(signum: c_int) -> bool {
+    SIGNAL_FLAGS
+        .get(signum as usize)
+        .is_some_and(|f| f.swap(false, Ordering::Relaxed))
+}
+
+/// Send `signum` to this process — the test hook for the signal-triggered
+/// drain path.
+pub fn raise_signal(signum: c_int) -> io::Result<()> {
+    // SAFETY: plain syscall, no pointers.
+    cvt(unsafe { raise(signum) })?;
+    Ok(())
+}
+
 /// Widen the accept backlog of an already-listening socket. Linux allows
 /// re-calling `listen(2)` on a listening socket to adjust the backlog,
 /// which spares this module a from-scratch socket/bind/listen dance.
@@ -230,6 +293,19 @@ mod tests {
 
         ep.delete(server_side.as_raw_fd()).unwrap();
         assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn signal_flags_set_and_clear() {
+        // SIGUSR1: harmless to repurpose inside the test process.
+        const SIGUSR1: c_int = 10;
+        install_signal_flag(SIGUSR1).unwrap();
+        assert!(!signal_pending(SIGUSR1));
+        raise_signal(SIGUSR1).unwrap();
+        assert!(signal_pending(SIGUSR1));
+        assert!(take_signal(SIGUSR1));
+        assert!(!take_signal(SIGUSR1), "flag consumed exactly once");
+        assert!(install_signal_flag(64).is_err(), "out-of-range rejected");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! | field | type | notes |
 //! |---|---|---|
-//! | opcode | `u8` | `0` = Infer, `1` = Stats |
+//! | opcode | `u8` | `0` = Infer, `1` = Stats, `2` = Health |
 //! | request id | `u64` | echoed verbatim in the response; `0` is reserved |
 //! | *Infer only:* class | `u8` | [`Priority::rank`]: 0 interactive, 1 standard, 2 batch |
 //! | deadline | `u64` | relative µs from server receipt; `0` = none |
@@ -23,7 +23,7 @@
 //! | field | type | notes |
 //! |---|---|---|
 //! | request id | `u64` | |
-//! | status | `u8` | `0` ok-infer, `1..=5` error (see [`ErrorCode`]), `6` ok-stats |
+//! | status | `u8` | `0` ok-infer, `1..=5`/`7` error (see [`ErrorCode`]), `6` ok-stats, `8` ok-health |
 //! | *ok-infer:* queue wait | `u64` | µs buffered in the micro-batcher before its fused batch began |
 //! | cached | `u8` | `1` = served from the semantic result cache (no batch, no kernel) |
 //! | model used | string | differs from the requested model after an SLA step-down |
@@ -31,6 +31,9 @@
 //! | predictions | `u32` count + `u32` each | row-wise class predictions |
 //! | *error:* message | string | human-readable cause |
 //! | *ok-stats:* counters | `u32` count + (string, `u64`) each | stable counter names |
+//! | *ok-health:* state | `u8` | `0` ok, `1` draining, `2` overloaded (see [`HealthState`]) |
+//! | live connections | `u64` | currently registered connections |
+//! | stalled pollers | `u64` | pollers whose watchdog heartbeat is stale |
 //!
 //! Request id `0` is reserved: [`encode_request`] and [`decode_request`]
 //! reject it, and the server uses it for connection-level error responses
@@ -47,9 +50,11 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 const OP_INFER: u8 = 0;
 const OP_STATS: u8 = 1;
+const OP_HEALTH: u8 = 2;
 
 const STATUS_OK_INFER: u8 = 0;
 const STATUS_OK_STATS: u8 = 6;
+const STATUS_OK_HEALTH: u8 = 8;
 
 /// Typed error codes carried by error responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,10 +70,15 @@ pub enum ErrorCode {
     Invalid,
     /// Any other server-side failure.
     Internal,
+    /// The server is draining: it will finish in-flight batches but
+    /// accepts no new work. Clients should reconnect elsewhere or retry
+    /// after the drain deadline.
+    Draining,
 }
 
 impl ErrorCode {
-    /// Wire encoding of the code.
+    /// Wire encoding of the code. `6` is skipped — it is the ok-stats
+    /// status byte, and error codes share the status-byte space.
     pub fn as_u8(self) -> u8 {
         match self {
             ErrorCode::Overloaded => 1,
@@ -76,6 +86,7 @@ impl ErrorCode {
             ErrorCode::NotFound => 3,
             ErrorCode::Invalid => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::Draining => 7,
         }
     }
 
@@ -87,6 +98,39 @@ impl ErrorCode {
             3 => Some(ErrorCode::NotFound),
             4 => Some(ErrorCode::Invalid),
             5 => Some(ErrorCode::Internal),
+            7 => Some(ErrorCode::Draining),
+            _ => None,
+        }
+    }
+}
+
+/// Readiness state carried by a Health response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Accepting and serving normally.
+    Ok,
+    /// Drain in progress: existing batches finish, new work is shed.
+    Draining,
+    /// At the connection cap; new connections are being shed.
+    Overloaded,
+}
+
+impl HealthState {
+    /// Wire encoding of the state.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Ok => 0,
+            HealthState::Draining => 1,
+            HealthState::Overloaded => 2,
+        }
+    }
+
+    /// Inverse of [`HealthState::as_u8`].
+    pub fn from_u8(v: u8) -> Option<HealthState> {
+        match v {
+            0 => Some(HealthState::Ok),
+            1 => Some(HealthState::Draining),
+            2 => Some(HealthState::Overloaded),
             _ => None,
         }
     }
@@ -118,6 +162,12 @@ pub enum Request {
     Infer(InferRequest),
     /// Snapshot the server's counters.
     Stats {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
+    /// Probe liveness + readiness. Answered inline by the poller even
+    /// while draining, so load balancers can watch a server leave.
+    Health {
         /// Client-chosen id, echoed in the response.
         id: u64,
     },
@@ -161,6 +211,17 @@ pub enum Response {
         /// Stable `(name, value)` counter pairs.
         counters: Vec<(String, u64)>,
     },
+    /// Liveness + readiness for a Health request.
+    Health {
+        /// Echoed request id.
+        id: u64,
+        /// Readiness of the server.
+        state: HealthState,
+        /// Currently registered connections.
+        live_connections: u64,
+        /// Pollers whose watchdog heartbeat has gone stale.
+        stalled_pollers: u64,
+    },
 }
 
 impl Response {
@@ -169,7 +230,8 @@ impl Response {
         match self {
             Response::Infer { id, .. }
             | Response::Error { id, .. }
-            | Response::Stats { id, .. } => *id,
+            | Response::Stats { id, .. }
+            | Response::Health { id, .. } => *id,
         }
     }
 }
@@ -232,7 +294,10 @@ fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<()> {
 /// Encode a request payload (no length prefix).
 pub fn encode_request(req: &Request) -> Result<Vec<u8>> {
     let mut buf = Vec::new();
-    if let Request::Infer(InferRequest { id: 0, .. }) | Request::Stats { id: 0 } = req {
+    if let Request::Infer(InferRequest { id: 0, .. })
+    | Request::Stats { id: 0 }
+    | Request::Health { id: 0 } = req
+    {
         return Err(Error::Wire(
             "request id 0 is reserved for connection-level errors".into(),
         ));
@@ -262,6 +327,10 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>> {
         }
         Request::Stats { id } => {
             buf.push(OP_STATS);
+            put_u64(&mut buf, *id);
+        }
+        Request::Health { id } => {
+            buf.push(OP_HEALTH);
             put_u64(&mut buf, *id);
         }
     }
@@ -304,6 +373,18 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>> {
                 put_str(&mut buf, name)?;
                 put_u64(&mut buf, *value);
             }
+        }
+        Response::Health {
+            id,
+            state,
+            live_connections,
+            stalled_pollers,
+        } => {
+            put_u64(&mut buf, *id);
+            buf.push(STATUS_OK_HEALTH);
+            buf.push(state.as_u8());
+            put_u64(&mut buf, *live_connections);
+            put_u64(&mut buf, *stalled_pollers);
         }
     }
     Ok(buf)
@@ -428,6 +509,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             c.done()?;
             Ok(Request::Stats { id })
         }
+        OP_HEALTH => {
+            let id = nonzero_id(c.u64()?)?;
+            c.done()?;
+            Ok(Request::Health { id })
+        }
         other => Err(Error::Wire(format!("unknown request opcode {other}"))),
     }
 }
@@ -484,6 +570,19 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             c.done()?;
             Ok(Response::Stats { id, counters })
         }
+        STATUS_OK_HEALTH => {
+            let state = HealthState::from_u8(c.u8()?)
+                .ok_or_else(|| Error::Wire("unknown health state".into()))?;
+            let live_connections = c.u64()?;
+            let stalled_pollers = c.u64()?;
+            c.done()?;
+            Ok(Response::Health {
+                id,
+                state,
+                live_connections,
+                stalled_pollers,
+            })
+        }
         code => {
             let code = ErrorCode::from_u8(code)
                 .ok_or_else(|| Error::Wire(format!("unknown response status {code}")))?;
@@ -514,6 +613,9 @@ mod tests {
         let stats = Request::Stats { id: 7 };
         let bytes = encode_request(&stats).unwrap();
         assert_eq!(decode_request(&bytes).unwrap(), stats);
+        let health = Request::Health { id: 8 };
+        let bytes = encode_request(&health).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), health);
     }
 
     #[test]
@@ -543,6 +645,17 @@ mod tests {
             Response::Stats {
                 id: 12,
                 counters: vec![("serve.requests".into(), 99), ("serve.batches".into(), 3)],
+            },
+            Response::Error {
+                id: 13,
+                code: ErrorCode::Draining,
+                message: "server draining".into(),
+            },
+            Response::Health {
+                id: 14,
+                state: HealthState::Draining,
+                live_connections: 17,
+                stalled_pollers: 1,
             },
         ] {
             let bytes = encode_response(&resp).unwrap();
@@ -635,6 +748,41 @@ mod tests {
         let mut buf = vec![OP_STATS];
         buf.extend_from_slice(&0u64.to_le_bytes());
         assert!(decode_request(&buf).is_err());
+        assert!(encode_request(&Request::Health { id: 0 }).is_err());
+    }
+
+    #[test]
+    fn status_byte_space_has_no_collisions() {
+        // Error codes and ok statuses share one byte: every error code
+        // must stay clear of ok-infer (0), ok-stats (6) and ok-health (8),
+        // and round-trip through from_u8.
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::NotFound,
+            ErrorCode::Invalid,
+            ErrorCode::Internal,
+            ErrorCode::Draining,
+        ] {
+            let b = code.as_u8();
+            assert!(![STATUS_OK_INFER, STATUS_OK_STATS, STATUS_OK_HEALTH].contains(&b));
+            assert_eq!(ErrorCode::from_u8(b), Some(code));
+        }
+        for state in [
+            HealthState::Ok,
+            HealthState::Draining,
+            HealthState::Overloaded,
+        ] {
+            assert_eq!(HealthState::from_u8(state.as_u8()), Some(state));
+        }
+        assert_eq!(HealthState::from_u8(3), None);
+
+        // Truncated health response is a typed error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(STATUS_OK_HEALTH);
+        buf.push(0);
+        assert!(decode_response(&buf).is_err());
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Serializable partition specs for distributed model decomposition.
+//!
+//! The §2.2 push-down identity `W × (D1 ⋈ D2) = (W1 × D1) ⊕ (W2 × D2)`
+//! generalizes from two column slices to *n*: split the first dense
+//! layer's weight `W: [out, in]` into `n` contiguous column ranges
+//! `W_i: [out, c_i..c_{i+1}]`, hand each range (and the matching feature
+//! columns) to a different executor, and re-join by summing the partial
+//! products before bias + activation. A [`PartitionSpec`] names those
+//! ranges in a form that survives a process boundary: it has a compact
+//! little-endian byte encoding so a serving coordinator can ship the plan
+//! (and the weight slices it selects) to worker processes over the wire.
+//!
+//! The spec is pure metadata — slicing weights and feature batches happens
+//! through [`PartitionSpec::slice_weight`] / [`PartitionSpec::slice_batch`]
+//! against tensors the caller owns, both thin wrappers over
+//! [`relserve_tensor::Tensor::slice2`], the same primitive
+//! [`crate::rules::decompose_weight`] uses for the two-way in-process case.
+
+use crate::error::{Error, Result};
+use relserve_tensor::Tensor;
+
+/// One contiguous input-column range of a partitioned dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Position of this shard in the plan, `0..shard_count`.
+    pub shard_id: u32,
+    /// First input column (inclusive).
+    pub col_start: u32,
+    /// One past the last input column (exclusive).
+    pub col_end: u32,
+}
+
+impl ShardRange {
+    /// Number of input columns this shard covers.
+    pub fn width(&self) -> usize {
+        (self.col_end - self.col_start) as usize
+    }
+}
+
+/// A validated column partition of a dense layer's input width: every
+/// column in `0..input_width` belongs to exactly one shard, shards are
+/// contiguous, in order, and non-empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    input_width: u32,
+    shards: Vec<ShardRange>,
+}
+
+impl PartitionSpec {
+    /// An even partition of `input_width` columns into `shards` ranges;
+    /// the first `input_width % shards` ranges take one extra column.
+    pub fn even(input_width: usize, shards: usize) -> Result<PartitionSpec> {
+        if input_width == 0 {
+            return Err(Error::Invalid("partition of zero input columns".into()));
+        }
+        if shards == 0 || shards > input_width {
+            return Err(Error::Invalid(format!(
+                "{shards} shards outside 1..={input_width} for width {input_width}"
+            )));
+        }
+        if input_width > u32::MAX as usize {
+            return Err(Error::Invalid(format!(
+                "input width {input_width} exceeds the wire's u32 range"
+            )));
+        }
+        let base = input_width / shards;
+        let extra = input_width % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for i in 0..shards {
+            let width = base + usize::from(i < extra);
+            ranges.push(ShardRange {
+                shard_id: i as u32,
+                col_start: start as u32,
+                col_end: (start + width) as u32,
+            });
+            start += width;
+        }
+        debug_assert_eq!(start, input_width);
+        Ok(PartitionSpec {
+            input_width: input_width as u32,
+            shards: ranges,
+        })
+    }
+
+    /// Build a spec from explicit ranges, validating the cover.
+    pub fn from_ranges(input_width: usize, ranges: Vec<ShardRange>) -> Result<PartitionSpec> {
+        if ranges.is_empty() {
+            return Err(Error::Invalid("partition spec with zero shards".into()));
+        }
+        let mut expect_start = 0u32;
+        for (i, r) in ranges.iter().enumerate() {
+            if r.shard_id != i as u32 {
+                return Err(Error::Invalid(format!(
+                    "shard {} carries id {} (ids must be dense and ordered)",
+                    i, r.shard_id
+                )));
+            }
+            if r.col_start != expect_start || r.col_end <= r.col_start {
+                return Err(Error::Invalid(format!(
+                    "shard {i} range [{}, {}) does not tile the width contiguously",
+                    r.col_start, r.col_end
+                )));
+            }
+            expect_start = r.col_end;
+        }
+        if expect_start as usize != input_width {
+            return Err(Error::Invalid(format!(
+                "partition covers {expect_start} of {input_width} input columns"
+            )));
+        }
+        Ok(PartitionSpec {
+            input_width: input_width as u32,
+            shards: ranges,
+        })
+    }
+
+    /// Total input columns being partitioned.
+    pub fn input_width(&self) -> usize {
+        self.input_width as usize
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The ordered shard ranges.
+    pub fn shards(&self) -> &[ShardRange] {
+        &self.shards
+    }
+
+    /// Slice a dense layer weight `W: [out, input_width]` down to the
+    /// columns of `range` (a `[out, range.width()]` copy).
+    pub fn slice_weight(&self, weight: &Tensor, range: ShardRange) -> Result<Tensor> {
+        let (out, inf) = weight.shape().as_matrix()?;
+        if inf != self.input_width as usize {
+            return Err(Error::Invalid(format!(
+                "weight input width {inf} does not match the spec's {}",
+                self.input_width
+            )));
+        }
+        Ok(weight.slice2(0, out, range.col_start as usize, range.col_end as usize)?)
+    }
+
+    /// Slice a feature batch `X: [rows, input_width]` down to the columns
+    /// of `range` (a `[rows, range.width()]` copy).
+    pub fn slice_batch(&self, batch: &Tensor, range: ShardRange) -> Result<Tensor> {
+        let (rows, width) = batch.shape().as_matrix()?;
+        if width != self.input_width as usize {
+            return Err(Error::Invalid(format!(
+                "batch width {width} does not match the spec's {}",
+                self.input_width
+            )));
+        }
+        Ok(batch.slice2(0, rows, range.col_start as usize, range.col_end as usize)?)
+    }
+
+    /// Compact little-endian byte encoding:
+    /// `input_width: u32, shard_count: u32, (col_start: u32, col_end: u32)*`.
+    /// Shard ids are positional and therefore not serialized.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + self.shards.len() * 8);
+        buf.extend_from_slice(&self.input_width.to_le_bytes());
+        buf.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for r in &self.shards {
+            buf.extend_from_slice(&r.col_start.to_le_bytes());
+            buf.extend_from_slice(&r.col_end.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Inverse of [`PartitionSpec::encode`], re-running full validation so
+    /// a hostile or corrupted byte string cannot produce an uncovering or
+    /// overlapping plan.
+    pub fn decode(bytes: &[u8]) -> Result<PartitionSpec> {
+        let take_u32 = |bytes: &[u8], at: usize| -> Result<u32> {
+            bytes
+                .get(at..at + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+                .ok_or_else(|| Error::Invalid("truncated partition spec".into()))
+        };
+        let input_width = take_u32(bytes, 0)?;
+        let count = take_u32(bytes, 4)? as usize;
+        // count is attacker-controlled: insist the ranges are actually
+        // present before allocating for them.
+        let need = count
+            .checked_mul(8)
+            .and_then(|n| n.checked_add(8))
+            .filter(|&n| n == bytes.len())
+            .ok_or_else(|| Error::Invalid("partition spec length mismatch".into()))?;
+        debug_assert_eq!(need, bytes.len());
+        let mut ranges = Vec::with_capacity(count);
+        for i in 0..count {
+            ranges.push(ShardRange {
+                shard_id: i as u32,
+                col_start: take_u32(bytes, 8 + i * 8)?,
+                col_end: take_u32(bytes, 12 + i * 8)?,
+            });
+        }
+        PartitionSpec::from_ranges(input_width as usize, ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition_tiles_the_width() {
+        let spec = PartitionSpec::even(28, 3).unwrap();
+        assert_eq!(spec.shard_count(), 3);
+        assert_eq!(spec.input_width(), 28);
+        let widths: Vec<usize> = spec.shards().iter().map(|r| r.width()).collect();
+        assert_eq!(widths, vec![10, 9, 9]);
+        assert_eq!(spec.shards()[0].col_start, 0);
+        assert_eq!(spec.shards()[2].col_end, 28);
+        // Degenerate parameters are rejected.
+        assert!(PartitionSpec::even(0, 1).is_err());
+        assert!(PartitionSpec::even(4, 0).is_err());
+        assert!(PartitionSpec::even(4, 5).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for (width, n) in [(28, 2), (968, 4), (5, 5), (7, 1)] {
+            let spec = PartitionSpec::even(width, n).unwrap();
+            assert_eq!(PartitionSpec::decode(&spec.encode()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn hostile_specs_are_rejected() {
+        // Truncated.
+        assert!(PartitionSpec::decode(&[1, 0, 0]).is_err());
+        // Count says 2^29 ranges in a 16-byte buffer: no allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&28u32.to_le_bytes());
+        buf.extend_from_slice(&(1u32 << 29).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        assert!(PartitionSpec::decode(&buf).is_err());
+        // Gap between shards.
+        let bad = PartitionSpec {
+            input_width: 10,
+            shards: vec![
+                ShardRange {
+                    shard_id: 0,
+                    col_start: 0,
+                    col_end: 4,
+                },
+                ShardRange {
+                    shard_id: 1,
+                    col_start: 5,
+                    col_end: 10,
+                },
+            ],
+        };
+        assert!(PartitionSpec::decode(&bad.encode()).is_err());
+        // Under-covering plan.
+        let short = PartitionSpec {
+            input_width: 10,
+            shards: vec![ShardRange {
+                shard_id: 0,
+                col_start: 0,
+                col_end: 9,
+            }],
+        };
+        assert!(PartitionSpec::decode(&short.encode()).is_err());
+    }
+
+    #[test]
+    fn slices_agree_with_two_way_decomposition() {
+        use crate::rules::decompose_weight;
+        let w = Tensor::from_vec([3, 8], (0..24).map(|v| v as f32).collect()).unwrap();
+        let spec = PartitionSpec::even(8, 2).unwrap();
+        let (w1, w2) = decompose_weight(&w, 4).unwrap();
+        assert_eq!(spec.slice_weight(&w, spec.shards()[0]).unwrap(), w1);
+        assert_eq!(spec.slice_weight(&w, spec.shards()[1]).unwrap(), w2);
+        // Batch slicing mirrors weight slicing on the feature side.
+        let x = Tensor::from_vec([2, 8], (0..16).map(|v| v as f32).collect()).unwrap();
+        let x0 = spec.slice_batch(&x, spec.shards()[0]).unwrap();
+        assert_eq!(x0.shape().dims(), &[2, 4]);
+        assert_eq!(x0.data(), &[0.0, 1.0, 2.0, 3.0, 8.0, 9.0, 10.0, 11.0]);
+        // Width mismatches are typed errors.
+        let narrow = Tensor::from_vec([2, 4], vec![0.0; 8]).unwrap();
+        assert!(spec.slice_batch(&narrow, spec.shards()[0]).is_err());
+    }
+}

@@ -22,6 +22,7 @@
 //!    version.
 
 use crate::cache::{Lookup, SemanticCache};
+use crate::shard::ShardCoordinator;
 use crate::stats::ServeCounters;
 use crate::wire::{self, ErrorCode, Response};
 use relserve_core::versions::PressureLadder;
@@ -140,6 +141,9 @@ pub(crate) struct Batcher {
     session: Arc<InferenceSession>,
     /// The semantic result cache fronting this batcher, when enabled.
     cache: Option<Arc<SemanticCache>>,
+    /// Distributed execution: fused batches scatter across a worker fleet
+    /// instead of running in-process, when the server is sharded.
+    shard: Option<Arc<ShardCoordinator>>,
 }
 
 impl Batcher {
@@ -148,6 +152,7 @@ impl Batcher {
         counters: Arc<ServeCounters>,
         session: Arc<InferenceSession>,
         cache: Option<Arc<SemanticCache>>,
+        shard: Option<Arc<ShardCoordinator>>,
     ) -> Arc<Self> {
         Arc::new(Batcher {
             state: Mutex::new(State {
@@ -161,6 +166,7 @@ impl Batcher {
             counters,
             session,
             cache,
+            shard,
         })
     }
 
@@ -473,12 +479,25 @@ impl Batcher {
         let total_rows: usize = live.iter().map(|s| s.rows).sum();
         self.counters.record_batch(total_rows as u64);
 
-        match self.session.infer_fused(
-            &model_used,
-            &parts,
-            self.config.architecture.clone(),
-            &policy,
-        ) {
+        // Sharded servers scatter the fused batch across the worker
+        // fleet; the coordinator falls back to the session's own fused
+        // path itself when the model is unshardable or the fleet is gone.
+        let fused = match self.shard.as_deref() {
+            Some(coordinator) => coordinator.infer_fused(
+                &self.session,
+                &model_used,
+                &parts,
+                self.config.architecture.clone(),
+                &policy,
+            ),
+            None => self.session.infer_fused(
+                &model_used,
+                &parts,
+                self.config.architecture.clone(),
+                &policy,
+            ),
+        };
+        match fused {
             Ok(outcome) => {
                 for (sub, preds) in live.iter().zip(outcome.per_request.iter()) {
                     let predictions: Vec<u32> = preds.iter().map(|p| *p as u32).collect();
@@ -554,7 +573,7 @@ struct FusedWork {
 }
 
 /// Map a session error onto the wire's typed codes.
-fn classify(err: &CoreError) -> ErrorCode {
+pub(crate) fn classify(err: &CoreError) -> ErrorCode {
     if err.is_overloaded() {
         ErrorCode::Overloaded
     } else if err.is_deadline_exceeded() {
@@ -646,6 +665,7 @@ mod tests {
             Arc::clone(&counters),
             Arc::clone(&session),
             None,
+            None,
         );
         let (tx, rx) = mpsc::channel();
         for (id, rows) in [(1u64, 3usize), (2, 5), (3, 1)] {
@@ -683,6 +703,7 @@ mod tests {
             test_config(64, Duration::from_millis(1)),
             Arc::clone(&counters),
             Arc::clone(&session),
+            None,
             None,
         );
         let (tx, rx) = mpsc::channel();
@@ -726,6 +747,7 @@ mod tests {
             Arc::clone(&counters),
             session,
             None,
+            None,
         );
         let (tx, rx) = mpsc::channel();
         batcher.submit(submission(1, 2, None, &tx, &counters));
@@ -756,7 +778,7 @@ mod tests {
         let counters = Arc::new(ServeCounters::default());
         let mut config = test_config(64, Duration::from_secs(10));
         config.backlog_shed_rows[Priority::Standard.rank()] = Some(4);
-        let batcher = Batcher::new(config, Arc::clone(&counters), session, None);
+        let batcher = Batcher::new(config, Arc::clone(&counters), session, None, None);
         let (tx, rx) = mpsc::channel();
         batcher.submit(submission(1, 4, None, &tx, &counters));
         batcher.submit(submission(2, 1, None, &tx, &counters));

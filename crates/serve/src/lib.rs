@@ -20,20 +20,23 @@ pub mod client;
 mod conn;
 pub mod error;
 mod reactor;
+pub mod registry;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod sys;
 pub mod wire;
 
 pub use cache::{cache_disabled_by_env, CacheConfig, CacheTolerance, CACHE_ENV};
 pub use client::{
-    retry_policy_from_env, Client, ServeClient, CLIENT_BACKOFF_MS_ENV, CLIENT_JITTER_ENV,
-    CLIENT_RETRIES_ENV,
+    retry_policy_from_env, Client, HealthReport, ServeClient, CLIENT_BACKOFF_MS_ENV,
+    CLIENT_JITTER_ENV, CLIENT_RETRIES_ENV,
 };
 pub use error::{Error, Result};
 pub use server::{DrainReport, ServeConfig, ServeConfigBuilder, Server, ServerHandle};
+pub use shard::{workers_from_env, ShardCoordinator, WorkerHandle, WORKERS_ENV};
 pub use stats::{
     export_counters, CacheServeStats, ClassServeStats, DrainServeStats, FaultServeStats,
-    ReactorServeStats, ServeStats,
+    ReactorServeStats, ServeStats, ShardServeStats,
 };
 pub use wire::HealthState;

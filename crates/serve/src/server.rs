@@ -17,8 +17,10 @@
 
 use crate::batcher::{Batcher, BatcherConfig};
 use crate::cache::{cache_disabled_by_env, CacheConfig, SemanticCache};
+use crate::client::retry_policy_from_env;
 use crate::error::{Error, Result};
 use crate::reactor::{spawn_reactor, PollerShared, ReactorCtx};
+use crate::shard::{workers_from_env, ShardCoordinator};
 use crate::stats::{ServeCounters, ServeStats};
 use crate::sys::{self, set_listen_backlog};
 use crate::wire::HealthState;
@@ -72,6 +74,10 @@ pub struct ServeConfig {
     /// falls back to the `RELSERVE_FAULT_SEED` + `RELSERVE_SOCK_FAULTS`
     /// environment pair, and quiet configs are ignored entirely.
     pub(crate) wire_faults: Option<FaultConfig>,
+    /// Shard-worker fleet for distributed execution; `None` (the default)
+    /// falls back to the [`crate::shard::WORKERS_ENV`] list, and an
+    /// absent list serves single-process.
+    pub(crate) workers: Option<Vec<SocketAddr>>,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +102,7 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             drain_deadline: Duration::from_secs(5),
             wire_faults: None,
+            workers: None,
         }
     }
 }
@@ -224,6 +231,15 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Shard-worker fleet: fused batches scatter their first-layer
+    /// partial products across these addresses and gather the results
+    /// ([`crate::shard::ShardCoordinator`]). Overrides the
+    /// [`crate::shard::WORKERS_ENV`] environment list.
+    pub fn workers(mut self, workers: Vec<SocketAddr>) -> Self {
+        self.config.workers = Some(workers);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig> {
         let c = &self.config;
@@ -258,6 +274,15 @@ impl ServeConfigBuilder {
                  stop; call shutdown() for that)"
                     .into(),
             ));
+        }
+        if let Some(workers) = &c.workers {
+            if workers.is_empty() {
+                return Err(Error::Config(
+                    "workers list must name at least one address (omit the \
+                     knob to serve single-process)"
+                        .into(),
+                ));
+            }
         }
         if let Some(f) = &c.wire_faults {
             for (name, rate) in [
@@ -303,6 +328,21 @@ impl Server {
                 Arc::clone(&counters),
             ))
         });
+        // Distributed mode: an explicit builder fleet wins; otherwise the
+        // RELSERVE_WORKERS environment list. No list = single-process.
+        let shard = config
+            .workers
+            .clone()
+            .or_else(workers_from_env)
+            .map(|fleet| {
+                ShardCoordinator::with_counters(
+                    fleet,
+                    retry_policy_from_env(),
+                    Arc::clone(&counters.shard),
+                )
+                .map(Arc::new)
+            })
+            .transpose()?;
         let batcher = Batcher::new(
             BatcherConfig {
                 max_batch_rows: config.max_batch_rows.max(1),
@@ -315,6 +355,7 @@ impl Server {
             Arc::clone(&counters),
             Arc::clone(&session),
             cache,
+            shard,
         );
 
         let executors: Vec<JoinHandle<()>> = (0..config.executors.max(1))

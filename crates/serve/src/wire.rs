@@ -6,24 +6,37 @@
 //! little-endian words. The protocol is deliberately dependency-free and
 //! versioned by opcode — unknown opcodes are a decode error, not a panic.
 //!
+//! Opcodes and status bytes are registered in [`crate::registry`] — this
+//! module holds the message structs and their codecs only.
+//!
 //! Request payloads (client → server):
 //!
 //! | field | type | notes |
 //! |---|---|---|
-//! | opcode | `u8` | `0` = Infer, `1` = Stats, `2` = Health |
+//! | opcode | `u8` | see the [`crate::registry`] opcode table |
 //! | request id | `u64` | echoed verbatim in the response; `0` is reserved |
 //! | *Infer only:* class | `u8` | [`Priority::rank`]: 0 interactive, 1 standard, 2 batch |
 //! | deadline | `u64` | relative µs from server receipt; `0` = none |
 //! | model | string | model name as loaded in the session |
 //! | rows, cols | `u32`, `u32` | feature matrix shape |
 //! | data | `rows × cols × f32` | row-major features |
+//! | *ShardAssign only:* model | string | model this weight slice belongs to |
+//! | shard id, shard count | `u32`, `u32` | position in the partition plan |
+//! | col start, col end | `u32`, `u32` | input-column range of the slice |
+//! | out rows | `u32` | first-layer output width (slice row count) |
+//! | weight | `out_rows × (col_end−col_start) × f32` | row-major slice of `W` |
+//! | *ShardExec only:* model | string | must have a matching ShardAssign |
+//! | shard id | `u32` | which installed slice to multiply against |
+//! | rows, cols | `u32`, `u32` | feature-column-block shape |
+//! | data | `rows × cols × f32` | row-major feature columns |
+//! | *WorkerHealth:* (id only) | | |
 //!
 //! Response payloads (server → client):
 //!
 //! | field | type | notes |
 //! |---|---|---|
 //! | request id | `u64` | |
-//! | status | `u8` | `0` ok-infer, `1..=5`/`7` error (see [`ErrorCode`]), `6` ok-stats, `8` ok-health |
+//! | status | `u8` | see the [`crate::registry`] status table; errors are [`ErrorCode`] |
 //! | *ok-infer:* queue wait | `u64` | µs buffered in the micro-batcher before its fused batch began |
 //! | cached | `u8` | `1` = served from the semantic result cache (no batch, no kernel) |
 //! | model used | string | differs from the requested model after an SLA step-down |
@@ -34,6 +47,15 @@
 //! | *ok-health:* state | `u8` | `0` ok, `1` draining, `2` overloaded (see [`HealthState`]) |
 //! | live connections | `u64` | currently registered connections |
 //! | stalled pollers | `u64` | pollers whose watchdog heartbeat is stale |
+//! | workers live | `u64` | *optional tail:* live shard workers (absent pre-shard servers decode as 0) |
+//! | shards degraded local | `u64` | *optional tail:* shard executions absorbed locally after worker loss |
+//! | *ok-shard-assigned:* shard id | `u32` | echo of the installed slice's id |
+//! | *ok-partial:* shard id | `u32` | which slice produced this partial |
+//! | rows, hidden | `u32`, `u32` | partial-product shape |
+//! | data | `rows × hidden × f32` | row-major `X_i · W_iᵀ` |
+//! | *ok-worker-health:* state | `u8` | worker readiness |
+//! | shards assigned | `u64` | slices installed on the worker |
+//! | shard execs | `u64` | ShardExec requests served |
 //!
 //! Request id `0` is reserved: [`encode_request`] and [`decode_request`]
 //! reject it, and the server uses it for connection-level error responses
@@ -42,19 +64,17 @@
 //! stream can no longer be trusted.
 
 use crate::error::{Error, Result};
+use crate::registry::{
+    ERR_DEADLINE_EXCEEDED, ERR_DRAINING, ERR_INTERNAL, ERR_INVALID, ERR_NOT_FOUND, ERR_OVERLOADED,
+    OP_HEALTH, OP_INFER, OP_SHARD_ASSIGN, OP_SHARD_EXEC, OP_STATS, OP_WORKER_HEALTH,
+    STATUS_OK_HEALTH, STATUS_OK_INFER, STATUS_OK_PARTIAL, STATUS_OK_SHARD_ASSIGN, STATUS_OK_STATS,
+    STATUS_OK_WORKER_HEALTH,
+};
 use relserve_runtime::Priority;
 use std::io::{Read, Write};
 
 /// Upper bound on one frame's payload, guarding decode allocations.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
-
-const OP_INFER: u8 = 0;
-const OP_STATS: u8 = 1;
-const OP_HEALTH: u8 = 2;
-
-const STATUS_OK_INFER: u8 = 0;
-const STATUS_OK_STATS: u8 = 6;
-const STATUS_OK_HEALTH: u8 = 8;
 
 /// Typed error codes carried by error responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,28 +97,29 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
-    /// Wire encoding of the code. `6` is skipped — it is the ok-stats
-    /// status byte, and error codes share the status-byte space.
+    /// Wire encoding of the code — the [`crate::registry`] `ERR_*` bytes.
+    /// `6` is skipped: it is the ok-stats status byte, and error codes
+    /// share the status-byte space.
     pub fn as_u8(self) -> u8 {
         match self {
-            ErrorCode::Overloaded => 1,
-            ErrorCode::DeadlineExceeded => 2,
-            ErrorCode::NotFound => 3,
-            ErrorCode::Invalid => 4,
-            ErrorCode::Internal => 5,
-            ErrorCode::Draining => 7,
+            ErrorCode::Overloaded => ERR_OVERLOADED,
+            ErrorCode::DeadlineExceeded => ERR_DEADLINE_EXCEEDED,
+            ErrorCode::NotFound => ERR_NOT_FOUND,
+            ErrorCode::Invalid => ERR_INVALID,
+            ErrorCode::Internal => ERR_INTERNAL,
+            ErrorCode::Draining => ERR_DRAINING,
         }
     }
 
     /// Inverse of [`ErrorCode::as_u8`].
     pub fn from_u8(v: u8) -> Option<ErrorCode> {
         match v {
-            1 => Some(ErrorCode::Overloaded),
-            2 => Some(ErrorCode::DeadlineExceeded),
-            3 => Some(ErrorCode::NotFound),
-            4 => Some(ErrorCode::Invalid),
-            5 => Some(ErrorCode::Internal),
-            7 => Some(ErrorCode::Draining),
+            ERR_OVERLOADED => Some(ErrorCode::Overloaded),
+            ERR_DEADLINE_EXCEEDED => Some(ErrorCode::DeadlineExceeded),
+            ERR_NOT_FOUND => Some(ErrorCode::NotFound),
+            ERR_INVALID => Some(ErrorCode::Invalid),
+            ERR_INTERNAL => Some(ErrorCode::Internal),
+            ERR_DRAINING => Some(ErrorCode::Draining),
             _ => None,
         }
     }
@@ -155,6 +176,51 @@ pub struct InferRequest {
     pub data: Vec<f32>,
 }
 
+/// A coordinator → worker request to install one decomposed weight slice.
+///
+/// The slice is `W[:, col_start..col_end]` of the model's first dense
+/// layer, shipped row-major as `out_rows × (col_end − col_start)` floats.
+/// Assignments are idempotent: re-assigning the same `(model, shard_id)`
+/// replaces the slice, which is how a coordinator re-seeds a worker that
+/// restarted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardAssignRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// Model whose first dense layer was decomposed.
+    pub model: String,
+    /// Position of this slice in the partition plan.
+    pub shard_id: u32,
+    /// Total shards in the plan (for the worker's sanity checks).
+    pub shard_count: u32,
+    /// First input column (inclusive) of the slice.
+    pub col_start: u32,
+    /// One past the last input column (exclusive) of the slice.
+    pub col_end: u32,
+    /// First-layer output width — the slice's row count.
+    pub out_rows: u32,
+    /// Row-major `out_rows × (col_end − col_start)` weight values.
+    pub weight: Vec<f32>,
+}
+
+/// A coordinator → worker request to multiply a feature-column block
+/// against a previously installed weight slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardExecRequest {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// Model whose slice to multiply against.
+    pub model: String,
+    /// Which installed slice to use.
+    pub shard_id: u32,
+    /// Feature rows in the block.
+    pub rows: u32,
+    /// Feature columns in the block (must equal the slice's width).
+    pub cols: u32,
+    /// Row-major `rows × cols` feature values.
+    pub data: Vec<f32>,
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -168,6 +234,15 @@ pub enum Request {
     /// Probe liveness + readiness. Answered inline by the poller even
     /// while draining, so load balancers can watch a server leave.
     Health {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
+    /// Install a decomposed weight slice on a shard worker.
+    ShardAssign(ShardAssignRequest),
+    /// Execute a feature-column block against an installed slice.
+    ShardExec(ShardExecRequest),
+    /// Probe a shard worker's health and assignment gauges.
+    WorkerHealth {
         /// Client-chosen id, echoed in the response.
         id: u64,
     },
@@ -221,6 +296,44 @@ pub enum Response {
         live_connections: u64,
         /// Pollers whose watchdog heartbeat has gone stale.
         stalled_pollers: u64,
+        /// Live shard workers behind this server. Encoded as an optional
+        /// payload tail: responses from pre-shard servers simply end
+        /// early and decode as `0`, keeping the old payload decodable.
+        workers_live: u64,
+        /// Shard executions the coordinator absorbed locally after a
+        /// worker was lost (part of the same optional tail).
+        shards_degraded_local: u64,
+    },
+    /// A shard worker acknowledged a ShardAssign.
+    ShardAssigned {
+        /// Echoed request id.
+        id: u64,
+        /// Echo of the installed slice's position in the plan.
+        shard_id: u32,
+    },
+    /// One shard's partial product `X_i · W_iᵀ` for a ShardExec.
+    Partial {
+        /// Echoed request id.
+        id: u64,
+        /// Which slice produced this partial.
+        shard_id: u32,
+        /// Rows of the partial product.
+        rows: u32,
+        /// Columns of the partial product (first-layer output width).
+        hidden: u32,
+        /// Row-major `rows × hidden` partial-product values.
+        data: Vec<f32>,
+    },
+    /// A shard worker's health and assignment gauges.
+    WorkerHealth {
+        /// Echoed request id.
+        id: u64,
+        /// Readiness of the worker.
+        state: HealthState,
+        /// Weight slices currently installed.
+        shards_assigned: u64,
+        /// ShardExec requests served since start.
+        shard_execs: u64,
     },
 }
 
@@ -231,7 +344,10 @@ impl Response {
             Response::Infer { id, .. }
             | Response::Error { id, .. }
             | Response::Stats { id, .. }
-            | Response::Health { id, .. } => *id,
+            | Response::Health { id, .. }
+            | Response::ShardAssigned { id, .. }
+            | Response::Partial { id, .. }
+            | Response::WorkerHealth { id, .. } => *id,
         }
     }
 }
@@ -291,12 +407,31 @@ fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<()> {
     Ok(())
 }
 
+/// Append a matrix's values after checking its claimed shape.
+fn put_matrix(buf: &mut Vec<u8>, rows: u32, cols: u32, data: &[f32], what: &str) -> Result<()> {
+    let expected = rows as usize * cols as usize;
+    if data.len() != expected {
+        return Err(Error::Wire(format!(
+            "{what} carries {} values for a {rows}x{cols} matrix",
+            data.len(),
+        )));
+    }
+    buf.reserve(data.len() * 4);
+    for v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(())
+}
+
 /// Encode a request payload (no length prefix).
 pub fn encode_request(req: &Request) -> Result<Vec<u8>> {
     let mut buf = Vec::new();
     if let Request::Infer(InferRequest { id: 0, .. })
     | Request::Stats { id: 0 }
-    | Request::Health { id: 0 } = req
+    | Request::Health { id: 0 }
+    | Request::ShardAssign(ShardAssignRequest { id: 0, .. })
+    | Request::ShardExec(ShardExecRequest { id: 0, .. })
+    | Request::WorkerHealth { id: 0 } = req
     {
         return Err(Error::Wire(
             "request id 0 is reserved for connection-level errors".into(),
@@ -311,19 +446,7 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>> {
             put_str(&mut buf, &r.model)?;
             put_u32(&mut buf, r.rows);
             put_u32(&mut buf, r.cols);
-            let expected = r.rows as usize * r.cols as usize;
-            if r.data.len() != expected {
-                return Err(Error::Wire(format!(
-                    "data carries {} values for a {}x{} matrix",
-                    r.data.len(),
-                    r.rows,
-                    r.cols
-                )));
-            }
-            buf.reserve(r.data.len() * 4);
-            for v in &r.data {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
+            put_matrix(&mut buf, r.rows, r.cols, &r.data, "data")?;
         }
         Request::Stats { id } => {
             buf.push(OP_STATS);
@@ -331,6 +454,42 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>> {
         }
         Request::Health { id } => {
             buf.push(OP_HEALTH);
+            put_u64(&mut buf, *id);
+        }
+        Request::ShardAssign(r) => {
+            if r.col_end <= r.col_start {
+                return Err(Error::Wire(format!(
+                    "empty shard column range [{}, {})",
+                    r.col_start, r.col_end
+                )));
+            }
+            buf.push(OP_SHARD_ASSIGN);
+            put_u64(&mut buf, r.id);
+            put_str(&mut buf, &r.model)?;
+            put_u32(&mut buf, r.shard_id);
+            put_u32(&mut buf, r.shard_count);
+            put_u32(&mut buf, r.col_start);
+            put_u32(&mut buf, r.col_end);
+            put_u32(&mut buf, r.out_rows);
+            put_matrix(
+                &mut buf,
+                r.out_rows,
+                r.col_end - r.col_start,
+                &r.weight,
+                "weight",
+            )?;
+        }
+        Request::ShardExec(r) => {
+            buf.push(OP_SHARD_EXEC);
+            put_u64(&mut buf, r.id);
+            put_str(&mut buf, &r.model)?;
+            put_u32(&mut buf, r.shard_id);
+            put_u32(&mut buf, r.rows);
+            put_u32(&mut buf, r.cols);
+            put_matrix(&mut buf, r.rows, r.cols, &r.data, "data")?;
+        }
+        Request::WorkerHealth { id } => {
+            buf.push(OP_WORKER_HEALTH);
             put_u64(&mut buf, *id);
         }
     }
@@ -379,12 +538,47 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>> {
             state,
             live_connections,
             stalled_pollers,
+            workers_live,
+            shards_degraded_local,
         } => {
             put_u64(&mut buf, *id);
             buf.push(STATUS_OK_HEALTH);
             buf.push(state.as_u8());
             put_u64(&mut buf, *live_connections);
             put_u64(&mut buf, *stalled_pollers);
+            put_u64(&mut buf, *workers_live);
+            put_u64(&mut buf, *shards_degraded_local);
+        }
+        Response::ShardAssigned { id, shard_id } => {
+            put_u64(&mut buf, *id);
+            buf.push(STATUS_OK_SHARD_ASSIGN);
+            put_u32(&mut buf, *shard_id);
+        }
+        Response::Partial {
+            id,
+            shard_id,
+            rows,
+            hidden,
+            data,
+        } => {
+            put_u64(&mut buf, *id);
+            buf.push(STATUS_OK_PARTIAL);
+            put_u32(&mut buf, *shard_id);
+            put_u32(&mut buf, *rows);
+            put_u32(&mut buf, *hidden);
+            put_matrix(&mut buf, *rows, *hidden, data, "partial")?;
+        }
+        Response::WorkerHealth {
+            id,
+            state,
+            shards_assigned,
+            shard_execs,
+        } => {
+            put_u64(&mut buf, *id);
+            buf.push(STATUS_OK_WORKER_HEALTH);
+            buf.push(state.as_u8());
+            put_u64(&mut buf, *shards_assigned);
+            put_u64(&mut buf, *shard_execs);
         }
     }
     Ok(buf)
@@ -439,6 +633,22 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| Error::Wire("non-UTF-8 string".into()))
     }
 
+    /// Read a `rows × cols` f32 matrix. Both dimensions come off the
+    /// wire: compute the byte length with checked arithmetic and insist
+    /// it already fits in the remaining payload before any allocation.
+    fn f32_matrix(&mut self, rows: u32, cols: u32, what: &str) -> Result<Vec<f32>> {
+        let count = (rows as usize)
+            .checked_mul(cols as usize)
+            .filter(|n| n.checked_mul(4).is_some_and(|b| b <= self.remaining()))
+            .ok_or_else(|| Error::Wire(format!("{rows}x{cols} {what} exceeds the payload")))?;
+        let raw = self.take(count * 4)?;
+        let mut data = Vec::with_capacity(count);
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(data)
+    }
+
     fn done(&self) -> Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -479,20 +689,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             if rows == 0 || cols == 0 {
                 return Err(Error::Wire(format!("degenerate shape {rows}x{cols}")));
             }
-            // rows and cols are attacker-controlled: compute the byte
-            // length with checked arithmetic and insist it already fits in
-            // this frame's remaining payload before any allocation.
-            let count = (rows as usize)
-                .checked_mul(cols as usize)
-                .filter(|n| n.checked_mul(4).is_some_and(|b| b <= c.remaining()))
-                .ok_or_else(|| {
-                    Error::Wire(format!("{rows}x{cols} feature data exceeds the payload"))
-                })?;
-            let raw = c.take(count * 4)?;
-            let mut data = Vec::with_capacity(count);
-            for chunk in raw.chunks_exact(4) {
-                data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
-            }
+            let data = c.f32_matrix(rows, cols, "feature data")?;
             c.done()?;
             Ok(Request::Infer(InferRequest {
                 id,
@@ -513,6 +710,64 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             let id = nonzero_id(c.u64()?)?;
             c.done()?;
             Ok(Request::Health { id })
+        }
+        OP_SHARD_ASSIGN => {
+            let id = nonzero_id(c.u64()?)?;
+            let model = c.str()?;
+            if model.is_empty() {
+                return Err(Error::Wire("empty model name".into()));
+            }
+            let shard_id = c.u32()?;
+            let shard_count = c.u32()?;
+            let col_start = c.u32()?;
+            let col_end = c.u32()?;
+            let out_rows = c.u32()?;
+            if col_end <= col_start || shard_id >= shard_count || out_rows == 0 {
+                return Err(Error::Wire(format!(
+                    "degenerate shard assignment {shard_id}/{shard_count} \
+                     cols [{col_start}, {col_end}) out {out_rows}"
+                )));
+            }
+            let weight = c.f32_matrix(out_rows, col_end - col_start, "weight slice")?;
+            c.done()?;
+            Ok(Request::ShardAssign(ShardAssignRequest {
+                id,
+                model,
+                shard_id,
+                shard_count,
+                col_start,
+                col_end,
+                out_rows,
+                weight,
+            }))
+        }
+        OP_SHARD_EXEC => {
+            let id = nonzero_id(c.u64()?)?;
+            let model = c.str()?;
+            if model.is_empty() {
+                return Err(Error::Wire("empty model name".into()));
+            }
+            let shard_id = c.u32()?;
+            let rows = c.u32()?;
+            let cols = c.u32()?;
+            if rows == 0 || cols == 0 {
+                return Err(Error::Wire(format!("degenerate shape {rows}x{cols}")));
+            }
+            let data = c.f32_matrix(rows, cols, "feature block")?;
+            c.done()?;
+            Ok(Request::ShardExec(ShardExecRequest {
+                id,
+                model,
+                shard_id,
+                rows,
+                cols,
+                data,
+            }))
+        }
+        OP_WORKER_HEALTH => {
+            let id = nonzero_id(c.u64()?)?;
+            c.done()?;
+            Ok(Request::WorkerHealth { id })
         }
         other => Err(Error::Wire(format!("unknown request opcode {other}"))),
     }
@@ -575,12 +830,56 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                 .ok_or_else(|| Error::Wire("unknown health state".into()))?;
             let live_connections = c.u64()?;
             let stalled_pollers = c.u64()?;
+            // Worker-fleet gauges are an optional tail: a pre-shard
+            // server's payload ends here and decodes as zeros.
+            let (workers_live, shards_degraded_local) = if c.remaining() == 0 {
+                (0, 0)
+            } else {
+                (c.u64()?, c.u64()?)
+            };
             c.done()?;
             Ok(Response::Health {
                 id,
                 state,
                 live_connections,
                 stalled_pollers,
+                workers_live,
+                shards_degraded_local,
+            })
+        }
+        STATUS_OK_SHARD_ASSIGN => {
+            let shard_id = c.u32()?;
+            c.done()?;
+            Ok(Response::ShardAssigned { id, shard_id })
+        }
+        STATUS_OK_PARTIAL => {
+            let shard_id = c.u32()?;
+            let rows = c.u32()?;
+            let hidden = c.u32()?;
+            if rows == 0 || hidden == 0 {
+                return Err(Error::Wire(format!("degenerate partial {rows}x{hidden}")));
+            }
+            let data = c.f32_matrix(rows, hidden, "partial product")?;
+            c.done()?;
+            Ok(Response::Partial {
+                id,
+                shard_id,
+                rows,
+                hidden,
+                data,
+            })
+        }
+        STATUS_OK_WORKER_HEALTH => {
+            let state = HealthState::from_u8(c.u8()?)
+                .ok_or_else(|| Error::Wire("unknown health state".into()))?;
+            let shards_assigned = c.u64()?;
+            let shard_execs = c.u64()?;
+            c.done()?;
+            Ok(Response::WorkerHealth {
+                id,
+                state,
+                shards_assigned,
+                shard_execs,
             })
         }
         code => {
@@ -656,11 +955,127 @@ mod tests {
                 state: HealthState::Draining,
                 live_connections: 17,
                 stalled_pollers: 1,
+                workers_live: 2,
+                shards_degraded_local: 3,
+            },
+            Response::ShardAssigned {
+                id: 15,
+                shard_id: 1,
+            },
+            Response::Partial {
+                id: 16,
+                shard_id: 0,
+                rows: 2,
+                hidden: 3,
+                data: vec![0.5, -1.0, 2.0, 0.0, 7.25, -0.0],
+            },
+            Response::WorkerHealth {
+                id: 17,
+                state: HealthState::Ok,
+                shards_assigned: 2,
+                shard_execs: 41,
             },
         ] {
             let bytes = encode_response(&resp).unwrap();
             assert_eq!(decode_response(&bytes).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn shard_requests_round_trip() {
+        let assign = Request::ShardAssign(ShardAssignRequest {
+            id: 21,
+            model: "Fraud-FC-256".into(),
+            shard_id: 1,
+            shard_count: 2,
+            col_start: 14,
+            col_end: 28,
+            out_rows: 2,
+            weight: (0..28).map(|v| v as f32 * 0.5).collect(),
+        });
+        let bytes = encode_request(&assign).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), assign);
+
+        let exec = Request::ShardExec(ShardExecRequest {
+            id: 22,
+            model: "Fraud-FC-256".into(),
+            shard_id: 1,
+            rows: 3,
+            cols: 14,
+            data: vec![0.25; 42],
+        });
+        let bytes = encode_request(&exec).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), exec);
+
+        let health = Request::WorkerHealth { id: 23 };
+        let bytes = encode_request(&health).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), health);
+
+        // Id 0 stays reserved for the new opcodes too.
+        assert!(encode_request(&Request::WorkerHealth { id: 0 }).is_err());
+        let mut raw = vec![super::OP_WORKER_HEALTH];
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_request(&raw).is_err());
+    }
+
+    #[test]
+    fn old_health_payload_still_decodes() {
+        // A pre-shard server ends the health payload after stalled
+        // pollers; the worker-fleet gauges must default to zero.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        buf.push(super::STATUS_OK_HEALTH);
+        buf.push(HealthState::Ok.as_u8());
+        buf.extend_from_slice(&4u64.to_le_bytes()); // live connections
+        buf.extend_from_slice(&0u64.to_le_bytes()); // stalled pollers
+        assert_eq!(
+            decode_response(&buf).unwrap(),
+            Response::Health {
+                id: 5,
+                state: HealthState::Ok,
+                live_connections: 4,
+                stalled_pollers: 0,
+                workers_live: 0,
+                shards_degraded_local: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn hostile_shard_payloads_are_rejected() {
+        // Weight slice claiming 2^31 x 2^31 values in a tiny frame.
+        let mut buf = vec![super::OP_SHARD_ASSIGN];
+        buf.extend_from_slice(&1u64.to_le_bytes()); // id
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(b'm'); // model "m"
+        buf.extend_from_slice(&0u32.to_le_bytes()); // shard id
+        buf.extend_from_slice(&1u32.to_le_bytes()); // shard count
+        buf.extend_from_slice(&0u32.to_le_bytes()); // col start
+        buf.extend_from_slice(&(1u32 << 31).to_le_bytes()); // col end
+        buf.extend_from_slice(&(1u32 << 31).to_le_bytes()); // out rows
+        assert!(decode_request(&buf).is_err());
+
+        // Inverted column range is rejected at encode time.
+        let inverted = Request::ShardAssign(ShardAssignRequest {
+            id: 1,
+            model: "m".into(),
+            shard_id: 0,
+            shard_count: 1,
+            col_start: 4,
+            col_end: 4,
+            out_rows: 1,
+            weight: vec![],
+        });
+        assert!(encode_request(&inverted).is_err());
+
+        // Partial response whose data the frame doesn't carry.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(super::STATUS_OK_PARTIAL);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // shard id
+        buf.extend_from_slice(&1000u32.to_le_bytes()); // rows
+        buf.extend_from_slice(&1000u32.to_le_bytes()); // hidden
+        assert!(decode_response(&buf).is_err());
     }
 
     #[test]
@@ -754,8 +1169,10 @@ mod tests {
     #[test]
     fn status_byte_space_has_no_collisions() {
         // Error codes and ok statuses share one byte: every error code
-        // must stay clear of ok-infer (0), ok-stats (6) and ok-health (8),
-        // and round-trip through from_u8.
+        // must stay clear of every registered ok status (the registry's
+        // own exhaustiveness test checks the constant tables; this one
+        // checks the typed enum against them) and round-trip through
+        // from_u8.
         for code in [
             ErrorCode::Overloaded,
             ErrorCode::DeadlineExceeded,
@@ -765,7 +1182,7 @@ mod tests {
             ErrorCode::Draining,
         ] {
             let b = code.as_u8();
-            assert!(![STATUS_OK_INFER, STATUS_OK_STATS, STATUS_OK_HEALTH].contains(&b));
+            assert!(!crate::registry::OK_STATUSES.contains(&b));
             assert_eq!(ErrorCode::from_u8(b), Some(code));
         }
         for state in [

@@ -423,10 +423,21 @@ fn sigterm_routes_to_drain_and_health_reports_it() {
     let addr = server.addr();
 
     let mut client = Client::connect(addr).unwrap();
-    let (state, live, stalled) = client.health().unwrap();
-    assert_eq!(state, HealthState::Ok);
-    assert!(live >= 1, "the probing connection itself is live");
-    assert_eq!(stalled, 0, "fresh pollers must not be stalled");
+    let report = client.health().unwrap();
+    assert_eq!(report.state, HealthState::Ok);
+    assert!(
+        report.live_connections >= 1,
+        "the probing connection itself is live"
+    );
+    assert_eq!(
+        report.stalled_pollers, 0,
+        "fresh pollers must not be stalled"
+    );
+    assert_eq!(
+        (report.workers_live, report.shards_degraded_local),
+        (0, 0),
+        "an unsharded server reports an empty fleet"
+    );
 
     server.install_sigterm_drain().unwrap();
     assert!(!server.drain_pending());
@@ -442,8 +453,7 @@ fn sigterm_routes_to_drain_and_health_reports_it() {
     assert_eq!(server.health_state(), HealthState::Draining);
 
     // Existing connections still get typed answers during the drain.
-    let (state, _, _) = client.health().unwrap();
-    assert_eq!(state, HealthState::Draining);
+    assert_eq!(client.health().unwrap().state, HealthState::Draining);
     match client
         .infer(MODEL, Priority::Standard, None, 1, WIDTH, row(1))
         .unwrap()

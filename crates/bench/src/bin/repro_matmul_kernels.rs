@@ -15,6 +15,7 @@ use relserve_relational::TensorTable;
 use relserve_runtime::KernelPool;
 use relserve_storage::{BufferPool, DiskManager};
 use relserve_tensor::matmul as mm;
+use relserve_tensor::quant::{self, QuantizedTensor};
 use relserve_tensor::simd::{self, Isa};
 use relserve_tensor::{BlockingSpec, Tensor};
 use std::sync::Arc;
@@ -204,6 +205,121 @@ fn main() {
         _ => None,
     };
 
+    // --- Int8 quantized kernels at 512^3 ----------------------------------
+    // Same GFLOP-equivalent count as the f32 rows (one u8×i8 MAC ≡ one FMA),
+    // timed end-to-end: per-row activation quantization, u8×i8 i32-accumulate
+    // micro-kernel, dequantizing f32 epilogue. `effective GB/s` is the
+    // traffic a kernel actually moves — u8 activations + i8 weights (plus
+    // scales) + the f32 store — which is ~4× less than the f32 path.
+    struct I8Row {
+        name: String,
+        isa: &'static str,
+        secs: f64,
+        bytes: f64,
+    }
+    let wq = QuantizedTensor::quantize(&b).unwrap();
+    let i8_bytes = (n * n) as f64 + wq.storage_bytes() as f64 + (n * n * 4) as f64;
+    let mut i8_rows: Vec<I8Row> = Vec::new();
+    let mut qout = None;
+    for &isa in &supported {
+        let kern_name = simd::kernels_for(isa).unwrap().matmul_i8.name;
+        let secs = best_secs(reps, || {
+            qout = Some(quant::qmatmul_bt_with_isa(&a, &wq, None, isa).unwrap());
+        });
+        i8_rows.push(I8Row {
+            name: format!("int8[{kern_name}]"),
+            isa: isa.token(),
+            secs,
+            bytes: i8_bytes,
+        });
+    }
+    // The serve hot path: the relational block join quantizes each
+    // activation block **once per block-row sweep** and reuses it across
+    // every matching weight block, so its steady-state cost is this
+    // prequantized multiply, not the end-to-end rows above.
+    let aq = quant::quantize_activations(&a).unwrap();
+    let serial = relserve_tensor::parallel::Parallelism::serial();
+    for &isa in &supported {
+        let kern_name = simd::kernels_for(isa).unwrap().matmul_i8.name;
+        if isa != simd::active_isa() {
+            // qmatmul_prequantized rides the process-selected tier; forcing
+            // others would re-measure the rows above.
+            continue;
+        }
+        let secs = best_secs(reps, || {
+            qout = Some(quant::qmatmul_prequantized(&aq, &wq, None, &serial).unwrap());
+        });
+        i8_rows.push(I8Row {
+            name: format!("int8_pre[{kern_name}]"),
+            isa: isa.token(),
+            secs,
+            bytes: i8_bytes,
+        });
+    }
+    // Sanity: the quantized result tracks the f32 product of the same
+    // operands to quantization accuracy.
+    let f32_ref = mm::matmul_bt_with_isa(&a, &b, best_isa).unwrap();
+    let qdiff = f32_ref.max_abs_diff(qout.as_ref().unwrap()).unwrap();
+    let ref_scale = f32_ref.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    assert!(
+        qdiff <= ref_scale * 0.02,
+        "int8 kernel diverged: max diff {qdiff} vs scale {ref_scale}"
+    );
+
+    let mut qtable = ResultTable::new(&["int8 kernel", "isa", "secs", "GFLOP-equiv/s", "eff GB/s"]);
+    for row in &i8_rows {
+        qtable.row(
+            &row.name,
+            &[
+                Cell::Text(row.isa.to_string()),
+                Cell::Text(format!("{:.4}", row.secs)),
+                Cell::Text(format!("{:.2}", gflops(row.secs))),
+                Cell::Text(format!("{:.2}", row.bytes / row.secs / 1e9)),
+            ],
+        );
+    }
+    println!("int8 matmul {n}x{n}x{n} (best of {reps}, u8×i8 → i32 → f32 epilogue):");
+    print!("{}", qtable.render());
+    let i8_secs_for = |isa: Isa| {
+        i8_rows
+            .iter()
+            .find(|r| r.isa == isa.token())
+            .map(|r| r.secs)
+    };
+    let i8_best = i8_rows.iter().map(|r| r.secs).fold(f64::INFINITY, f64::min);
+    let f32_best = supported
+        .iter()
+        .filter_map(|&isa| secs_for(isa))
+        .fold(f64::INFINITY, f64::min);
+    let int8_vs_f32_best = f32_best / i8_best;
+    println!(
+        "int8 best vs f32 best (1 thread): {:.2}x ({:.2} vs {:.2} GFLOP-equiv/s)",
+        int8_vs_f32_best,
+        gflops(i8_best),
+        gflops(f32_best)
+    );
+    let int8_vs_f32_avx2 = match (i8_secs_for(Isa::Avx2Fma), secs_for(Isa::Avx2Fma)) {
+        (Some(i8s), Some(f32s)) => {
+            println!("int8 avx2 vs f32 avx2 (1 thread): {:.2}x", f32s / i8s);
+            Some(f32s / i8s)
+        }
+        _ => None,
+    };
+    let i8_pre_secs = i8_rows
+        .iter()
+        .find(|r| r.name.starts_with("int8_pre["))
+        .map(|r| r.secs);
+    let int8_pre_vs_f32_avx512 = match (i8_pre_secs, secs_for(Isa::Avx512)) {
+        (Some(pre), Some(f32s)) => {
+            println!(
+                "int8 prequantized (serve steady state) vs f32 avx512 (1 thread): {:.2}x",
+                f32s / pre
+            );
+            Some(f32s / pre)
+        }
+        _ => None,
+    };
+
     // --- Elementwise kernel bandwidth -------------------------------------
     // L2-resident working set so the wider tiers are not flattened against
     // the memory wall; traffic counts reads + writes per invocation.
@@ -323,9 +439,31 @@ fn main() {
     let avx512_json = avx512_vs_avx2
         .map(|s| format!("  \"speedup_avx512_vs_avx2\": {s:.3},\n"))
         .unwrap_or_default();
+    let i8_json = i8_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"isa\": \"{}\", \"secs\": {:.6}, \"gflops_equiv\": {:.3}, \"effective_gbps\": {:.3}}}",
+                r.name,
+                r.isa,
+                r.secs,
+                gflops(r.secs),
+                r.bytes / r.secs / 1e9
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let i8_avx2_json = int8_vs_f32_avx2
+        .map(|s| format!("  \"speedup_int8_avx2_vs_f32_avx2\": {s:.3},\n"))
+        .unwrap_or_default();
+    let i8_pre_json = int8_pre_vs_f32_avx512
+        .map(|s| format!("  \"speedup_int8_prequantized_vs_f32_avx512\": {s:.3},\n"))
+        .unwrap_or_default();
     let json = format!(
         "{{\n  \"host_cores\": {host_cores},\n  \"isa\": \"{}\",\n  \"shape\": [{n}, {n}, {n}],\n  \"flops\": {flops},\n  \"kernels\": [\n{kernel_json}\n  ],\n  \
          \"speedup_tiled_vs_seed\": {:.3},\n{avx512_json}  \
+         \"int8_kernels\": [\n{i8_json}\n  ],\n  \
+         \"speedup_int8_vs_f32_best\": {int8_vs_f32_best:.3},\n{i8_avx2_json}{i8_pre_json}  \
          \"elementwise\": [\n{elem_json}\n  ],\n  \
          \"relational_matmul_bt\": {{\"rows\": {rel_rows}, \"block\": {block}, \"kernel_threads\": {rel_threads}, \
          \"serial_secs\": {rel_serial:.6}, \"pooled_secs\": {rel_pooled:.6}, \"speedup\": {:.3}}},\n  \

@@ -9,12 +9,17 @@
 //! same server with batching disabled (`max_batch_rows = 1`), and (c) a
 //! cached server under a tolerance sweep (exact, near 5 %, near 100 %) on
 //! a Zipf-skewed fraud stream, including the `RELSERVE_CACHE=off` kill
-//! switch. Emits `BENCH_serve.json`.
+//! switch. A pressure-ladder leg replays the same deep flood with and
+//! without a registered f32 → `@int8` ladder to measure the p99 effect of
+//! stepping fused batches down to the quantized rung. Emits
+//! `BENCH_serve.json`.
 //!
 //! Run with `cargo run --release --bin repro_serve`.
 
 use relserve_bench::workloads::{jittered_row, skewed_request_stream};
+use relserve_core::versions::PressureLadder;
 use relserve_core::{Architecture, InferenceSession, SessionConfig};
+use relserve_nn::quant::quantize_int8;
 use relserve_nn::{init::seeded_rng, zoo};
 use relserve_runtime::{Priority, RetryPolicy, RuntimeProfile, TransferProfile};
 use relserve_serve::{
@@ -458,6 +463,142 @@ fn recovery_leg(total: usize, clients: usize) -> RecoveryResult {
     }
 }
 
+struct LadderLeg {
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    stepped_responses: u64,
+    step_downs: u64,
+    restores: u64,
+}
+
+/// Model for the ladder leg: wide enough (76 → 3072 → 768) that the int8
+/// rung's cheaper arithmetic outruns its per-batch activation-quantization
+/// overhead — on the 28-wide fraud model the rung is latency-neutral.
+const LADDER_MODEL: &str = "Encoder-FC";
+const LADDER_WIDTH: usize = 76;
+
+fn ladder_row(i: usize) -> Vec<f32> {
+    (0..LADDER_WIDTH)
+        .map(|j| (((i * 31 + j) % 23) as f32 - 11.0) * 0.07)
+        .collect()
+}
+
+/// Session with the f32 model *and* its `@int8` quantized version loaded,
+/// so a pressure ladder has a cheaper rung to step down to.
+fn ladder_session() -> Arc<InferenceSession> {
+    let config = SessionConfig::builder()
+        .transfer(TransferProfile::local_connectorx())
+        .build()
+        .unwrap();
+    let session = InferenceSession::open(config).unwrap();
+    let mut rng = seeded_rng(2024);
+    let model = zoo::encoder_fc(&mut rng).unwrap();
+    let int8 = quantize_int8(&model).unwrap().model;
+    session.load_model(model).unwrap();
+    session.load_model(int8).unwrap();
+    Arc::new(session)
+}
+
+/// Ladder-fire leg: flood the server with pipelined multi-row requests deep
+/// enough that the backlog crosses the ladder's `step_rows` threshold. With
+/// `with_ladder` unset the identical flood runs rung 0 (f32) throughout —
+/// the "pre step-down" baseline; with it set, fused batches past the
+/// threshold execute the `@int8` rung and the measured p99 is the "post
+/// step-down" latency under the same offered load.
+fn ladder_leg(
+    requests: usize,
+    rows_per_request: usize,
+    clients: usize,
+    step_rows: usize,
+    with_ladder: bool,
+) -> LadderLeg {
+    let mut builder = ServeConfig::builder()
+        .max_batch_rows(32)
+        .max_batch_delay(Duration::from_millis(2))
+        .architecture(architecture());
+    if with_ladder {
+        builder = builder.ladder(
+            LADDER_MODEL,
+            PressureLadder::new(
+                vec![LADDER_MODEL.to_string(), format!("{LADDER_MODEL}@int8")],
+                step_rows,
+            )
+            .unwrap(),
+        );
+    }
+    let config = builder.build().unwrap();
+    let server = Server::spawn(ladder_session(), config).unwrap();
+    let addr = server.addr();
+    let per_client = requests / clients;
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|tag| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut sent: HashMap<u64, Instant> = HashMap::with_capacity(per_client);
+                for i in 0..per_client {
+                    let mut data = Vec::with_capacity(rows_per_request * LADDER_WIDTH);
+                    for r in 0..rows_per_request {
+                        data.extend(ladder_row((tag * per_client + i) * rows_per_request + r));
+                    }
+                    let id = client
+                        .send_infer(
+                            LADDER_MODEL,
+                            Priority::Standard,
+                            None,
+                            rows_per_request,
+                            LADDER_WIDTH,
+                            data,
+                        )
+                        .unwrap();
+                    sent.insert(id, Instant::now());
+                }
+                let mut latencies_ms = Vec::with_capacity(per_client);
+                let mut stepped = 0u64;
+                for _ in 0..per_client {
+                    match client.recv().unwrap() {
+                        relserve_serve::wire::Response::Infer { id, model_used, .. } => {
+                            let t0 = sent.remove(&id).expect("response id was sent");
+                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            if model_used.ends_with("@int8") {
+                                stepped += 1;
+                            }
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                (latencies_ms, stepped)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+    let mut stepped_responses = 0u64;
+    for w in workers {
+        let (lat, stepped) = w.join().unwrap();
+        latencies.extend(lat);
+        stepped_responses += stepped;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let (step_downs, restores) = server
+        .ladder_stats()
+        .iter()
+        .find(|(name, _)| name == LADDER_MODEL)
+        .map(|(_, m)| (m.step_downs, m.restores))
+        .unwrap_or((0, 0));
+    server.shutdown();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    LadderLeg {
+        rps: (per_client * clients * rows_per_request) as f64 / secs,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        stepped_responses,
+        step_downs,
+        restores,
+    }
+}
+
 /// Cache config for the sweep: eager validation so the Monte-Carlo bound
 /// goes live within the run instead of staying pessimistic for its whole
 /// duration.
@@ -656,6 +797,37 @@ fn main() {
         );
     }
 
+    // Pressure-ladder fire: the same deep multi-row flood with and without
+    // a registered f32 → @int8 ladder. Past the step threshold the ladder
+    // leg's fused batches execute the int8 rung, so its p99 is the
+    // post-step-down latency under identical offered load.
+    let ladder_requests = 192usize;
+    let ladder_rows = 4usize;
+    let ladder_step = 64usize;
+    let pre = ladder_leg(ladder_requests, ladder_rows, clients, ladder_step, false);
+    let post = ladder_leg(ladder_requests, ladder_rows, clients, ladder_step, true);
+    println!(
+        "pressure ladder, {LADDER_MODEL}, {ladder_requests} pipelined {ladder_rows}-row requests, step at {ladder_step} backlog rows:"
+    );
+    println!(
+        "  ladder off (all f32)    : {:>9.0} rows/s  (p50 {:.2} ms, p99 {:.2} ms)",
+        pre.rps, pre.p50_ms, pre.p99_ms
+    );
+    println!(
+        "  ladder on  (f32→int8)   : {:>9.0} rows/s  (p50 {:.2} ms, p99 {:.2} ms, {} of {} responses on @int8, {} step-downs, {} restores)",
+        post.rps,
+        post.p50_ms,
+        post.p99_ms,
+        post.stepped_responses,
+        ladder_requests,
+        post.step_downs,
+        post.restores
+    );
+    println!(
+        "  p99 ladder-on vs ladder-off: {:.2}x",
+        post.p99_ms / pre.p99_ms
+    );
+
     // Recovery: kill the server mid-stream, restart on the same address,
     // and measure time-to-recover plus acknowledged requests lost.
     let recovery = recovery_leg(256, clients);
@@ -707,6 +879,17 @@ fn main() {
          \"cache_off_env_probes\": {},\n    \
          \"tolerance_sweep\": [\n{}\n    ]\n  }},\n  \
          \"connection_scaling\": [\n{scaling_json}\n  ],\n  \
+         \"pressure_ladder\": {{\n    \
+         \"note\": \"single-core host: clients, pollers and the executor share one core, so absolute latencies are inflated and noisy; compare the two legs relatively\",\n    \
+         \"model\": \"{LADDER_MODEL}\",\n    \
+         \"requests\": {ladder_requests},\n    \"rows_per_request\": {ladder_rows},\n    \
+         \"step_rows\": {ladder_step},\n    \
+         \"pre_stepdown_rows_per_sec\": {:.1},\n    \
+         \"pre_stepdown_p50_ms\": {:.3},\n    \"pre_stepdown_p99_ms\": {:.3},\n    \
+         \"post_stepdown_rows_per_sec\": {:.1},\n    \
+         \"post_stepdown_p50_ms\": {:.3},\n    \"post_stepdown_p99_ms\": {:.3},\n    \
+         \"p99_ratio_post_vs_pre\": {:.3},\n    \
+         \"stepped_responses\": {},\n    \"step_downs\": {},\n    \"restores\": {}\n  }},\n  \
          \"recovery\": {{\n    \
          \"requests\": {},\n    \"answered\": {},\n    \
          \"typed_errors\": {},\n    \"requests_lost\": {},\n    \
@@ -735,6 +918,16 @@ fn main() {
             cache_leg_json("near_1.0", &near_loose, skewed_uncached.rps),
         ]
         .join(",\n"),
+        pre.rps,
+        pre.p50_ms,
+        pre.p99_ms,
+        post.rps,
+        post.p50_ms,
+        post.p99_ms,
+        post.p99_ms / pre.p99_ms,
+        post.stepped_responses,
+        post.step_downs,
+        post.restores,
         recovery.requests,
         recovery.answered,
         recovery.typed_errors,

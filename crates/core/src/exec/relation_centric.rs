@@ -278,6 +278,31 @@ pub(crate) fn exec_layer(
                 stats,
             )?))
         }
+        Layer::QuantDense {
+            weight,
+            bias,
+            activation,
+        } => {
+            let x = rows_table(flow, pool, block, &format!("{tag}.x"))?;
+            // Chunk the quantized weights into a tensor relation of genuine
+            // i8 blocks — each stored block carries its own per-row scales,
+            // so the buffer pool moves ~4× fewer bytes than the f32 path.
+            let w = TensorTable::from_quantized(
+                pool.clone(),
+                format!("{tag}.w"),
+                weight,
+                BlockingSpec::square(block),
+            )?;
+            let (product, op_stats) = x.matmul_bt_quant_parallel(&w, format!("{tag}.xw"), par)?;
+            stats.merge(op_stats);
+            let biased = product.add_bias(format!("{tag}.b"), bias)?;
+            Ok(Flow::Rows(apply_activation_blocked(
+                biased,
+                *activation,
+                tag,
+                stats,
+            )?))
+        }
         Layer::Conv2d {
             kernel,
             bias,

@@ -25,6 +25,17 @@ pub enum OpKind {
         /// Output features.
         n: usize,
     },
+    /// `X[m,k] × Wᵀ` with int8-quantized `W: [n,k]` — the linear part of a
+    /// quantized dense layer. Same FLOP-equivalent count as [`OpKind::MatMul`]
+    /// but reads 1-byte parameters, so its memory estimate is ~4× smaller.
+    MatMulI8 {
+        /// Batch rows.
+        m: usize,
+        /// Inner (feature) dimension.
+        k: usize,
+        /// Output features.
+        n: usize,
+    },
     /// Bias addition over rows.
     AddBias {
         /// Bias width.
@@ -73,7 +84,9 @@ impl LinalgOp {
     /// Approximate FLOP count, used by the device-placement model (§3.2).
     pub fn flops(&self) -> f64 {
         match &self.kind {
-            OpKind::MatMul { m, k, n } => 2.0 * (*m as f64) * (*k as f64) * (*n as f64),
+            OpKind::MatMul { m, k, n } | OpKind::MatMulI8 { m, k, n } => {
+                2.0 * (*m as f64) * (*k as f64) * (*n as f64)
+            }
             OpKind::Conv2d { spec, input_hw } => {
                 let (oh, ow) = spec.output_dims(input_hw.0, input_hw.1).unwrap_or((0, 0));
                 let batch = self.output_shape.dims().first().copied().unwrap_or(1) as f64;
@@ -92,6 +105,7 @@ impl LinalgOp {
     pub fn label(&self) -> String {
         match &self.kind {
             OpKind::MatMul { m, k, n } => format!("matmul[{m}x{k} * {k}x{n}]"),
+            OpKind::MatMulI8 { m, k, n } => format!("matmul_i8[{m}x{k} * {k}x{n}]"),
             OpKind::AddBias { width } => format!("add_bias[{width}]"),
             OpKind::Activation(a) => format!("{a:?}").to_lowercase(),
             OpKind::Conv2d { spec, .. } => format!(
@@ -132,6 +146,42 @@ pub fn lower(model: &Model, batch_size: usize) -> Result<Vec<LinalgOp>> {
                     input_shape: Shape::from([batch_size, k]),
                     output_shape: lin_out.clone(),
                     param_bytes: weight.num_bytes(),
+                });
+                ops.push(LinalgOp {
+                    kind: OpKind::AddBias { width: n },
+                    layer_index,
+                    input_shape: lin_out.clone(),
+                    output_shape: lin_out.clone(),
+                    param_bytes: bias.num_bytes(),
+                });
+                if *activation != Activation::None {
+                    ops.push(LinalgOp {
+                        kind: OpKind::Activation(*activation),
+                        layer_index,
+                        input_shape: lin_out.clone(),
+                        output_shape: lin_out,
+                        param_bytes: 0,
+                    });
+                }
+            }
+            Layer::QuantDense {
+                weight,
+                bias,
+                activation,
+            } => {
+                let (n, k) = (weight.rows(), weight.cols());
+                let lin_out = Shape::from([batch_size, n]);
+                ops.push(LinalgOp {
+                    kind: OpKind::MatMulI8 {
+                        m: batch_size,
+                        k,
+                        n,
+                    },
+                    layer_index,
+                    input_shape: Shape::from([batch_size, k]),
+                    output_shape: lin_out.clone(),
+                    // True i8 footprint: levels plus per-row scales.
+                    param_bytes: weight.storage_bytes(),
                 });
                 ops.push(LinalgOp {
                     kind: OpKind::AddBias { width: n },
@@ -271,6 +321,28 @@ mod tests {
         let small = m.to_graph(10).unwrap()[0].memory_requirement_bytes();
         let large = m.to_graph(10_000).unwrap()[0].memory_requirement_bytes();
         assert!(large > small);
+    }
+
+    #[test]
+    fn quantized_lowering_reports_i8_param_bytes() {
+        let m = small_ffnn();
+        let q = crate::quant::quantize_int8(&m).unwrap().model;
+        let f32_ops = m.to_graph(64).unwrap();
+        let q_ops = q.to_graph(64).unwrap();
+        assert_eq!(f32_ops.len(), q_ops.len());
+        assert!(matches!(
+            q_ops[0].kind,
+            OpKind::MatMulI8 {
+                m: 64,
+                k: 28,
+                n: 256
+            }
+        ));
+        assert_eq!(q_ops[0].label(), "matmul_i8[64x28 * 28x256]");
+        // Same FLOP-equivalents, ~4× smaller parameter reads.
+        assert_eq!(q_ops[0].flops(), f32_ops[0].flops());
+        assert!(q_ops[0].param_bytes * 3 < f32_ops[0].param_bytes);
+        assert!(q_ops[0].memory_requirement_bytes() < f32_ops[0].memory_requirement_bytes());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::error::{Error, Result};
 use crate::init;
 use rand::rngs::StdRng;
 use relserve_tensor::parallel::Parallelism;
-use relserve_tensor::{conv, ops, Conv2dSpec, Shape, Tensor};
+use relserve_tensor::{conv, ops, quant, Conv2dSpec, QuantizedTensor, Shape, Tensor};
 
 /// Activation applied after a layer's linear part.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,20 @@ pub enum Layer {
         /// Weight matrix, `[out_features, in_features]`.
         weight: Tensor,
         /// Bias vector, `[out_features]`.
+        bias: Tensor,
+        /// Post-linear activation.
+        activation: Activation,
+    },
+    /// Fully connected with **int8 quantized** weights: the storage form of
+    /// an `@int8` model version. Weights are true i8 levels with
+    /// per-output-channel scales; the forward pass runs the u8×i8
+    /// micro-kernels with i32 accumulation and folds dequantization and the
+    /// bias into the store. Quantized layers are frozen — the training path
+    /// rejects them.
+    QuantDense {
+        /// Quantized weight matrix, logically `[out_features, in_features]`.
+        weight: QuantizedTensor,
+        /// Bias vector, `[out_features]` (kept f32; it is one row).
         bias: Tensor,
         /// Post-linear activation.
         activation: Activation,
@@ -103,6 +117,7 @@ impl Layer {
     pub fn num_params(&self) -> usize {
         match self {
             Layer::Dense { weight, bias, .. } => weight.len() + bias.len(),
+            Layer::QuantDense { weight, bias, .. } => weight.rows() * weight.cols() + bias.len(),
             Layer::Conv2d { kernel, bias, .. } => kernel.len() + bias.len(),
             Layer::Flatten => 0,
         }
@@ -120,6 +135,16 @@ impl Layer {
                     )));
                 }
                 Ok(Shape::from([out]))
+            }
+            Layer::QuantDense { weight, .. } => {
+                let in_features = input.num_elements();
+                if in_features != weight.cols() {
+                    return Err(Error::InvalidModel(format!(
+                        "quantized dense layer expects {} input features, previous layer provides {in_features}",
+                        weight.cols()
+                    )));
+                }
+                Ok(Shape::from([weight.rows()]))
             }
             Layer::Conv2d { spec, .. } => {
                 let dims = input.dims();
@@ -156,6 +181,18 @@ impl Layer {
                 let z = ops::add_bias(&z, bias)?;
                 activation.apply(&z)
             }
+            Layer::QuantDense {
+                weight,
+                bias,
+                activation,
+            } => {
+                // Genuine int8 execution: activations quantize per row, the
+                // u8×i8 kernels accumulate in i32, and the epilogue folds
+                // scale and bias into the f32 store — no f32 weight tensor
+                // is ever materialized on this path.
+                let z = quant::qmatmul_bt_parallel(input, weight, Some(bias.data()), par)?;
+                activation.apply(&z)
+            }
             Layer::Conv2d {
                 kernel,
                 bias,
@@ -182,6 +219,7 @@ impl Layer {
     pub fn kind(&self) -> &'static str {
         match self {
             Layer::Dense { .. } => "dense",
+            Layer::QuantDense { .. } => "quant_dense",
             Layer::Conv2d { .. } => "conv2d",
             Layer::Flatten => "flatten",
         }

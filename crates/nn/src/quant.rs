@@ -3,25 +3,30 @@
 //! "The storage optimizer may automatically employ compression, such as
 //! pruning and quantization, to create multiple versions of the same model
 //! with different size, efficiency, and accuracy trade-offs." This module
-//! produces those versions: int8-grid quantization and magnitude pruning,
-//! each returning the compressed model plus its storage footprint so the
-//! SLA-driven version selector in `relserve-core` can choose among them.
+//! produces those versions: true int8 quantization (dense weights become
+//! [`Layer::QuantDense`] with 1-byte levels and per-output-channel scales)
+//! and magnitude pruning, each returning the compressed model plus its
+//! storage footprint so the SLA-driven version selector in `relserve-core`
+//! can choose among them.
 
 use crate::error::Result;
 use crate::layer::Layer;
 use crate::model::Model;
-use relserve_tensor::Tensor;
+use relserve_tensor::{QuantizedTensor, Tensor};
 
 /// How a model version was derived from the original.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CompressionKind {
     /// The uncompressed original.
     None,
-    /// Symmetric int8 quantization (weights snapped to a 255-level grid).
+    /// Symmetric int8 quantization. Dense layers store genuine i8 levels
+    /// with per-output-channel scales and execute on the u8×i8 SIMD
+    /// kernels; conv layers (not on the serving ladder's dense hot path)
+    /// keep f32 storage with values snapped to the 255-level grid.
     QuantizedInt8,
     /// Magnitude pruning: the given fraction of smallest weights zeroed.
     Pruned {
-        /// Fraction of weights removed, in `[0, 1)`.
+        /// Fraction of weights removed, in `[0, 1]`.
         fraction: f32,
     },
 }
@@ -39,6 +44,7 @@ pub struct ModelVersion {
 
 /// Snap a tensor's values to a symmetric 255-level int8 grid (simulated
 /// quantization: values stay f32 but carry only 8 bits of information).
+/// Used for conv kernels, which stay off the i8 kernel path.
 fn quantize_tensor(t: &Tensor) -> Tensor {
     let max_abs = t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
     if max_abs == 0.0 {
@@ -52,21 +58,31 @@ fn quantize_tensor(t: &Tensor) -> Tensor {
     out
 }
 
-/// Zero the `fraction` of entries with smallest magnitude.
+/// Zero exactly `round(n · fraction)` entries of smallest magnitude
+/// (capped at `n`; `fraction >= 1.0` therefore zeroes every entry).
+///
+/// Ties between equal magnitudes break by index, so the kill count is
+/// deterministic even when many weights share a magnitude — a plain
+/// threshold comparison would either spare or kill *all* duplicates of
+/// the boundary value depending on strictness.
 fn prune_tensor(t: &Tensor, fraction: f32) -> Tensor {
     let n = t.len();
-    let kill = ((n as f32) * fraction) as usize;
+    let kill = (((n as f64) * (fraction as f64)).round() as usize).min(n);
     if kill == 0 {
         return t.clone();
     }
-    let mut mags: Vec<f32> = t.data().iter().map(|v| v.abs()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).expect("no NaN weights"));
-    let threshold = mags[kill.min(n - 1)];
+    let mut order: Vec<usize> = (0..n).collect();
+    let data = t.data();
+    order.sort_by(|&a, &b| {
+        data[a]
+            .abs()
+            .partial_cmp(&data[b].abs())
+            .expect("no NaN weights")
+            .then(a.cmp(&b))
+    });
     let mut out = t.clone();
-    for v in out.data_mut() {
-        if v.abs() < threshold {
-            *v = 0.0;
-        }
+    for &i in &order[..kill] {
+        out.data_mut()[i] = 0.0;
     }
     out
 }
@@ -77,6 +93,11 @@ fn map_params(model: &Model, f: impl Fn(&Tensor) -> Tensor) -> Model {
         match layer {
             Layer::Dense { weight, bias, .. } => {
                 *weight = f(weight);
+                *bias = f(bias);
+            }
+            // Quantized weights are frozen i8 levels; only the f32 bias is
+            // still transformable.
+            Layer::QuantDense { bias, .. } => {
                 *bias = f(bias);
             }
             Layer::Conv2d { kernel, bias, .. } => {
@@ -96,16 +117,55 @@ fn count_nonzero(model: &Model) -> usize {
         .iter()
         .map(|l| match l {
             Layer::Dense { weight, bias, .. } => count(weight) + count(bias),
+            Layer::QuantDense { weight, bias, .. } => {
+                weight.data().iter().filter(|lv| **lv != 0).count() + count(bias)
+            }
             Layer::Conv2d { kernel, bias, .. } => count(kernel) + count(bias),
             Layer::Flatten => 0,
         })
         .sum()
 }
 
-/// Int8-quantized version: 1 byte per parameter plus per-tensor scales.
+/// Int8-quantized version.
+///
+/// Dense layers become [`Layer::QuantDense`]: genuine 1-byte levels with a
+/// per-output-channel f32 scale, executed by the u8×i8 micro-kernels. Conv
+/// layers keep f32 storage snapped to the int8 grid (the serving ladder
+/// sheds work on the dense hot path; conv quantization would need its own
+/// kernel tier) and are accounted at 1 byte per parameter plus one scale,
+/// matching what a quantized conv store would occupy.
 pub fn quantize_int8(model: &Model) -> Result<ModelVersion> {
-    let quantized = map_params(model, quantize_tensor).with_name(format!("{}@int8", model.name()));
-    let storage_bytes = model.num_params() + model.layers().len() * 4;
+    let mut quantized = model.clone().with_name(format!("{}@int8", model.name()));
+    let mut storage_bytes = 0usize;
+    for layer in quantized.layers_mut() {
+        match layer {
+            Layer::Dense { .. } => {
+                let Layer::Dense {
+                    weight,
+                    bias,
+                    activation,
+                } = std::mem::replace(layer, Layer::Flatten)
+                else {
+                    unreachable!()
+                };
+                let q = QuantizedTensor::quantize(&weight)?;
+                storage_bytes += q.storage_bytes() + bias.num_bytes();
+                *layer = Layer::QuantDense {
+                    weight: q,
+                    bias,
+                    activation,
+                };
+            }
+            Layer::QuantDense { weight, bias, .. } => {
+                storage_bytes += weight.storage_bytes() + bias.num_bytes();
+            }
+            Layer::Conv2d { kernel, bias, .. } => {
+                *kernel = quantize_tensor(kernel);
+                storage_bytes += kernel.len() + bias.num_bytes() + 4;
+            }
+            Layer::Flatten => {}
+        }
+    }
     Ok(ModelVersion {
         model: quantized,
         kind: CompressionKind::QuantizedInt8,
@@ -115,7 +175,7 @@ pub fn quantize_int8(model: &Model) -> Result<ModelVersion> {
 
 /// Magnitude-pruned version: sparse storage as (index, value) pairs.
 pub fn prune_magnitude(model: &Model, fraction: f32) -> Result<ModelVersion> {
-    let fraction = fraction.clamp(0.0, 0.99);
+    let fraction = fraction.clamp(0.0, 1.0);
     let pruned = map_params(model, |t| prune_tensor(t, fraction)).with_name(format!(
         "{}@prune{:.0}",
         model.name(),
@@ -160,12 +220,38 @@ mod tests {
             .unwrap()
     }
 
+    /// Wider layers so per-row scale overhead (4 B per output channel) is
+    /// negligible next to the 1 B/param levels.
+    fn wide_model() -> Model {
+        let mut rng = seeded_rng(31);
+        Model::new("w", [128])
+            .push(Layer::dense(128, 128, Activation::Relu, &mut rng))
+            .unwrap()
+            .push(Layer::dense(128, 16, Activation::Softmax, &mut rng))
+            .unwrap()
+    }
+
     #[test]
     fn quantization_shrinks_storage_4x() {
-        let m = model();
+        let m = wide_model();
         let q = quantize_int8(&m).unwrap();
         assert!(q.storage_bytes < m.param_bytes() / 3);
         assert_eq!(q.model.num_params(), m.num_params());
+        // Every dense layer became a genuinely quantized one.
+        for layer in q.model.layers() {
+            assert_eq!(layer.kind(), "quant_dense");
+        }
+        // Accounting matches the actual i8 representation exactly.
+        let expected: usize = q
+            .model
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::QuantDense { weight, bias, .. } => weight.storage_bytes() + bias.num_bytes(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(q.storage_bytes, expected);
     }
 
     #[test]
@@ -173,12 +259,23 @@ mod tests {
         let m = model();
         let q = quantize_int8(&m).unwrap();
         for (orig, quant) in m.layers().iter().zip(q.model.layers()) {
-            if let (Layer::Dense { weight: w0, .. }, Layer::Dense { weight: w1, .. }) =
+            if let (Layer::Dense { weight: w0, .. }, Layer::QuantDense { weight: w1, .. }) =
                 (orig, quant)
             {
-                let max_abs = w0.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
-                let step = max_abs / 127.0;
-                assert!(w0.max_abs_diff(w1).unwrap() <= step / 2.0 + 1e-6);
+                // Per-output-channel scales: each row's error is at most
+                // half that row's quantization step.
+                let deq = w1.dequantize();
+                for r in 0..w1.rows() {
+                    let row0 = w0.row(r).unwrap();
+                    let row1 = deq.row(r).unwrap();
+                    let max_abs = row0.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+                    let step = max_abs / 127.0;
+                    let err = row0
+                        .iter()
+                        .zip(row1)
+                        .fold(0.0f32, |a, (x, y)| a.max((x - y).abs()));
+                    assert!(err <= step / 2.0 + 1e-6, "row {r}: err {err} > step {step}");
+                }
             }
         }
     }
@@ -199,6 +296,15 @@ mod tests {
     }
 
     #[test]
+    fn quantizing_twice_is_stable() {
+        let m = model();
+        let q1 = quantize_int8(&m).unwrap();
+        let q2 = quantize_int8(&q1.model).unwrap();
+        assert_eq!(q1.storage_bytes, q2.storage_bytes);
+        assert_eq!(q1.model.layers(), q2.model.layers());
+    }
+
+    #[test]
     fn pruning_zeroes_requested_fraction() {
         let m = model();
         let p = prune_magnitude(&m, 0.5).unwrap();
@@ -206,6 +312,34 @@ mod tests {
         let frac = zeros as f32 / p.model.num_params() as f32;
         assert!(frac > 0.4 && frac < 0.6, "pruned fraction = {frac}");
         assert!(p.storage_bytes < m.param_bytes());
+    }
+
+    #[test]
+    fn prune_kill_count_is_exact_with_duplicate_magnitudes() {
+        // 8 entries, all the same magnitude: a threshold comparison would
+        // zero either none or all of them; the exact-count rule zeroes
+        // round(8 · f).
+        let t = Tensor::from_vec([2, 4], vec![1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, -1.0]).unwrap();
+        for (fraction, expect_zeros) in [(0.25, 2usize), (0.5, 4), (0.75, 6)] {
+            let p = prune_tensor(&t, fraction);
+            let zeros = p.data().iter().filter(|v| **v == 0.0).count();
+            assert_eq!(zeros, expect_zeros, "fraction {fraction}");
+        }
+        // Mixed magnitudes: exactly the smallest half dies.
+        let t = Tensor::from_vec([1, 4], vec![0.1, -4.0, 0.2, 3.0]).unwrap();
+        let p = prune_tensor(&t, 0.5);
+        assert_eq!(p.data(), &[0.0, -4.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn prune_fraction_one_zeroes_everything() {
+        let t = Tensor::from_vec([1, 5], vec![5.0, -3.0, 9.0, 1.0, -7.0]).unwrap();
+        let p = prune_tensor(&t, 1.0);
+        assert!(p.data().iter().all(|v| *v == 0.0), "max entry survived");
+        // Over-unity requests clamp rather than panic.
+        let p = prune_magnitude(&model(), 1.5).unwrap();
+        assert_eq!(count_nonzero(&p.model), 0);
+        assert_eq!(p.storage_bytes, 0);
     }
 
     #[test]

@@ -139,6 +139,13 @@ impl Trainer {
                     });
                     x = a.reshape([n, oh, ow, spec.out_channels])?;
                 }
+                Layer::QuantDense { .. } => {
+                    return Err(Error::Training(
+                        "quantized models are frozen: int8 levels carry no gradient; \
+                         train the f32 original and re-quantize"
+                            .into(),
+                    ));
+                }
                 Layer::Flatten => {
                     let dims = x.shape().dims().to_vec();
                     let batch = dims[0];

@@ -21,9 +21,15 @@ use crate::error::{Error, Result};
 use bytes::{Buf, BufMut};
 use relserve_storage::{BlobId, BlobStore, BufferPool};
 use relserve_tensor::parallel::Parallelism;
+use relserve_tensor::quant::{self, QuantizedTensor};
 use relserve_tensor::{BlockCoord, BlockedTensor, BlockingSpec, Tensor};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+
+/// Leading magic of an int8 quantized block payload. f32 block payloads
+/// start with the block's row count, which never plausibly reaches this
+/// value, so the two encodings are distinguishable from the first word.
+const QBLOCK_MAGIC: u32 = 0x5138_424B; // "Q8BK"
 
 /// Execution statistics of one relational tensor operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +62,8 @@ pub struct TensorTable {
     spec: BlockingSpec,
     blobs: BlobStore,
     index: BTreeMap<BlockCoord, BlobId>,
+    /// Whether this relation stores int8 quantized block payloads.
+    quantized: bool,
 }
 
 impl TensorTable {
@@ -74,6 +82,7 @@ impl TensorTable {
             spec,
             blobs: BlobStore::new(pool),
             index: BTreeMap::new(),
+            quantized: false,
         }
     }
 
@@ -99,6 +108,47 @@ impl TensorTable {
     ) -> Result<Self> {
         let blocked = BlockedTensor::from_dense(dense, spec)?;
         Self::from_blocked(pool, name, &blocked)
+    }
+
+    /// Chunk an int8 quantized matrix into quantized block payloads.
+    ///
+    /// The per-output-channel scales slice with the rows: block `(rb, cb)`
+    /// carries levels `data[r0..r1][c0..c1]` plus `scales[r0..r1]`, so each
+    /// stored block is itself a self-contained [`QuantizedTensor`] whose
+    /// dequantization equals the same chunk of the full dequantized matrix.
+    /// This is the storage form of an `@int8` model version's weights: the
+    /// block join reads these payloads directly — roughly 4× fewer bytes
+    /// than f32 blocks — and feeds them to the int8 micro-kernels without
+    /// ever materializing f32 weights.
+    pub fn from_quantized(
+        pool: Arc<BufferPool>,
+        name: impl Into<String>,
+        q: &QuantizedTensor,
+        spec: BlockingSpec,
+    ) -> Result<Self> {
+        let (rows, cols) = (q.rows(), q.cols());
+        let mut table = Self::create(pool, name, rows, cols, spec);
+        for rb in 0..spec.row_blocks(rows) {
+            let r0 = rb * spec.block_rows;
+            let r1 = (r0 + spec.block_rows).min(rows);
+            for cb in 0..spec.col_blocks(cols) {
+                let c0 = cb * spec.block_cols;
+                let c1 = (c0 + spec.block_cols).min(cols);
+                let mut data = Vec::with_capacity((r1 - r0) * (c1 - c0));
+                for r in r0..r1 {
+                    data.extend_from_slice(&q.data()[r * cols + c0..r * cols + c1]);
+                }
+                let block = QuantizedTensor::from_parts(
+                    r1 - r0,
+                    c1 - c0,
+                    data,
+                    q.scales()[r0..r1].to_vec(),
+                )
+                .map_err(Error::Tensor)?;
+                table.insert_qblock(BlockCoord { row: rb, col: cb }, &block)?;
+            }
+        }
+        Ok(table)
     }
 
     /// The relation's name.
@@ -182,6 +232,60 @@ impl TensorTable {
         Ok(Tensor::from_vec([r, c], data)?)
     }
 
+    /// Serialize an int8 quantized block:
+    /// `[magic u32][rows u32][cols u32][scales f32×rows][levels i8×rows·cols]`
+    /// — `rows·cols + 4·rows + 12` bytes, vs `4·rows·cols + 8` for f32.
+    /// Row sums are derived on decode, not stored.
+    fn encode_qblock(block: &QuantizedTensor) -> Vec<u8> {
+        let (r, c) = (block.rows(), block.cols());
+        let mut buf = Vec::with_capacity(12 + 4 * r + r * c);
+        buf.put_u32_le(QBLOCK_MAGIC);
+        buf.put_u32_le(r as u32);
+        buf.put_u32_le(c as u32);
+        for s in block.scales() {
+            buf.put_f32_le(*s);
+        }
+        for q in block.data() {
+            buf.put_i8(*q);
+        }
+        buf
+    }
+
+    fn decode_qblock(mut bytes: &[u8]) -> Result<QuantizedTensor> {
+        if bytes.remaining() < 12 || bytes.get_u32_le() != QBLOCK_MAGIC {
+            return Err(Error::Codec(
+                "payload is not an int8 quantized block".into(),
+            ));
+        }
+        let r = bytes.get_u32_le() as usize;
+        let c = bytes.get_u32_le() as usize;
+        if bytes.remaining() != 4 * r + r * c {
+            return Err(Error::Codec(format!(
+                "quantized block body {} B, header implies {} B",
+                bytes.remaining(),
+                4 * r + r * c
+            )));
+        }
+        let mut scales = Vec::with_capacity(r);
+        for _ in 0..r {
+            scales.push(bytes.get_f32_le());
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for _ in 0..r * c {
+            data.push(bytes.get_i8());
+        }
+        Ok(QuantizedTensor::from_parts(r, c, data, scales)?)
+    }
+
+    fn payload_is_qblock(mut bytes: &[u8]) -> bool {
+        bytes.len() >= 4 && bytes.get_u32_le() == QBLOCK_MAGIC
+    }
+
+    /// Whether this relation stores int8 quantized block payloads.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+
     /// Insert (or replace) the block at `coord`.
     pub fn insert_block(&mut self, coord: BlockCoord, block: &Tensor) -> Result<()> {
         let payload = Self::encode_block(block)?;
@@ -192,16 +296,43 @@ impl TensorTable {
         Ok(())
     }
 
-    /// Fetch the block at `coord` (reads through the buffer pool).
-    pub fn get_block(&self, coord: BlockCoord) -> Result<Tensor> {
-        let id = self
+    /// Insert (or replace) an int8 quantized block at `coord`; marks the
+    /// relation as quantized.
+    pub fn insert_qblock(&mut self, coord: BlockCoord, block: &QuantizedTensor) -> Result<()> {
+        let payload = Self::encode_qblock(block);
+        let id = self.blobs.put(&payload)?;
+        if let Some(old) = self.index.insert(coord, id) {
+            self.blobs.delete(old)?;
+        }
+        self.quantized = true;
+        Ok(())
+    }
+
+    fn blob_for(&self, coord: BlockCoord) -> Result<&BlobId> {
+        Ok(self
             .index
             .get(&coord)
             .ok_or(relserve_tensor::Error::MissingBlock {
                 row: coord.row,
                 col: coord.col,
-            })?;
-        Self::decode_block(&self.blobs.get(*id)?)
+            })?)
+    }
+
+    /// Fetch the block at `coord` (reads through the buffer pool). A
+    /// quantized payload is transparently dequantized so f32 consumers
+    /// (`to_dense`, elementwise maps) keep working on quantized relations.
+    pub fn get_block(&self, coord: BlockCoord) -> Result<Tensor> {
+        let payload = self.blobs.get(*self.blob_for(coord)?)?;
+        if Self::payload_is_qblock(&payload) {
+            return Ok(Self::decode_qblock(&payload)?.dequantize());
+        }
+        Self::decode_block(&payload)
+    }
+
+    /// Fetch the int8 quantized block at `coord`; errors if the stored
+    /// payload is an f32 block.
+    pub fn get_qblock(&self, coord: BlockCoord) -> Result<QuantizedTensor> {
+        Self::decode_qblock(&self.blobs.get(*self.blob_for(coord)?)?)
     }
 
     /// Reassemble the full dense matrix (allocates it whole; only for
@@ -396,6 +527,146 @@ impl TensorTable {
                     let b_block = other.get_block(*b_coord)?;
                     stats.bytes_read += b_block.num_bytes() as u64;
                     let partial = relserve_tensor::matmul::matmul_bt(&a_block, &b_block)?;
+                    stats.joins += 1;
+                    match partials.get_mut(&b_coord.row) {
+                        Some(sum) => relserve_tensor::ops::axpy(sum, &partial, 1.0)?,
+                        None => {
+                            partials.insert(b_coord.row, partial);
+                        }
+                    }
+                }
+            }
+            let mut guard = out.lock().expect("output table lock");
+            for (out_col, block) in partials {
+                stats.blocks_out += 1;
+                stats.bytes_written += block.num_bytes() as u64;
+                guard.insert_block(
+                    BlockCoord {
+                        row: *block_row,
+                        col: out_col,
+                    },
+                    &block,
+                )?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Relation-centric **quantized** `C = X × Wᵀ` with `W` stored as int8
+    /// block payloads (see [`TensorTable::from_quantized`]). Single-threaded
+    /// form of [`TensorTable::matmul_bt_quant_parallel`].
+    pub fn matmul_bt_quant(
+        &self,
+        other: &TensorTable,
+        out_name: impl Into<String>,
+    ) -> Result<(TensorTable, TensorOpStats)> {
+        self.matmul_bt_quant_parallel(other, out_name, &Parallelism::serial())
+    }
+
+    /// Parallel relation-centric quantized `C = X × Wᵀ`: the same block-row
+    /// join as [`TensorTable::matmul_bt_parallel`], but each weight block is
+    /// read as its stored i8 payload (≈4× fewer bytes through the buffer
+    /// pool) and multiplied by the int8 micro-kernels. Each activation block
+    /// is quantized to 7-bit levels **once per block-row sweep** and reused
+    /// across every matching weight block; each partial product dequantizes
+    /// into f32 at the kernel epilogue, and the aggregation over the shared
+    /// `k` coordinate stays in f32 — so per-k-block activation scales never
+    /// have to agree across blocks.
+    pub fn matmul_bt_quant_parallel(
+        &self,
+        other: &TensorTable,
+        out_name: impl Into<String>,
+        par: &Parallelism,
+    ) -> Result<(TensorTable, TensorOpStats)> {
+        if self.cols != other.cols {
+            return Err(Error::Tensor(relserve_tensor::Error::ShapeMismatch {
+                op: "relational matmul_bt_quant",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![other.rows, other.cols],
+            }));
+        }
+        if self.spec.block_cols != other.spec.block_cols {
+            return Err(Error::Plan(format!(
+                "inner blockings differ: {} vs {}",
+                self.spec.block_cols, other.spec.block_cols
+            )));
+        }
+        if !other.quantized {
+            return Err(Error::Plan(format!(
+                "matmul_bt_quant requires an int8 weight relation, but {:?} stores f32 blocks",
+                other.name
+            )));
+        }
+        let out_spec = BlockingSpec {
+            block_rows: self.spec.block_rows,
+            block_cols: other.spec.block_rows,
+        };
+        let mut out = TensorTable::create(
+            self.pool().clone(),
+            out_name,
+            self.rows,
+            other.rows,
+            out_spec,
+        );
+        let mut b_by_col: BTreeMap<usize, Vec<BlockCoord>> = BTreeMap::new();
+        for coord in other.coords() {
+            b_by_col.entry(coord.col).or_default().push(coord);
+        }
+        let mut row_groups: Vec<(usize, Vec<BlockCoord>)> = Vec::new();
+        for coord in self.coords() {
+            match row_groups.last_mut() {
+                Some((row, group)) if *row == coord.row => group.push(coord),
+                _ => row_groups.push((coord.row, vec![coord])),
+            }
+        }
+        let threads = par.threads().clamp(1, row_groups.len().max(1));
+        let per_stripe = row_groups.len().div_ceil(threads).max(1);
+        let stripes: Vec<&[(usize, Vec<BlockCoord>)]> = row_groups.chunks(per_stripe).collect();
+        let out_lock = Mutex::new(&mut out);
+        let results: Vec<Mutex<Option<Result<TensorOpStats>>>> =
+            stripes.iter().map(|_| Mutex::new(None)).collect();
+        par.with_threads(threads).run_stripes(stripes.len(), &|t| {
+            let res = self.matmul_bt_quant_stripe(other, &b_by_col, stripes[t], &out_lock);
+            *results[t].lock().expect("stripe result lock") = Some(res);
+        });
+        let mut stats = TensorOpStats::default();
+        for slot in results {
+            let worker_stats = slot
+                .into_inner()
+                .expect("stripe result lock")
+                .expect("stripe task did not run")?;
+            stats.merge(worker_stats);
+        }
+        Ok((out, stats))
+    }
+
+    /// One worker's share of the quantized block-row join.
+    fn matmul_bt_quant_stripe(
+        &self,
+        other: &TensorTable,
+        b_by_col: &BTreeMap<usize, Vec<BlockCoord>>,
+        stripe: &[(usize, Vec<BlockCoord>)],
+        out: &Mutex<&mut TensorTable>,
+    ) -> Result<TensorOpStats> {
+        let mut stats = TensorOpStats::default();
+        for (block_row, a_coords) in stripe {
+            let mut partials: BTreeMap<usize, Tensor> = BTreeMap::new();
+            for a_coord in a_coords {
+                let a_block = self.get_block(*a_coord)?;
+                stats.bytes_read += a_block.num_bytes() as u64;
+                let Some(b_coords) = b_by_col.get(&a_coord.col) else {
+                    continue;
+                };
+                // Quantize this activation block once; every weight block
+                // sharing its k coordinate reuses the levels.
+                let aq = quant::quantize_activations(&a_block)?;
+                for b_coord in b_coords {
+                    let b_block = other.get_qblock(*b_coord)?;
+                    // Count the bytes the i8 payload actually occupies —
+                    // this is the 4× traffic reduction the step-down buys.
+                    stats.bytes_read += b_block.storage_bytes() as u64;
+                    let partial =
+                        quant::qmatmul_prequantized(&aq, &b_block, None, &Parallelism::serial())?;
                     stats.joins += 1;
                     match partials.get_mut(&b_coord.row) {
                         Some(sum) => relserve_tensor::ops::axpy(sum, &partial, 1.0)?,
@@ -677,6 +948,95 @@ mod tests {
         assert!(out.to_dense().unwrap().approx_eq(&expect, 0.0));
         // Wrong-length bias is rejected.
         assert!(table.add_bias("bad", &Tensor::zeros([5])).is_err());
+    }
+
+    #[test]
+    fn quantized_roundtrip_and_dequantizing_get_block() {
+        let w = pattern(10, 7, 21);
+        let q = QuantizedTensor::quantize(&w).unwrap();
+        let table =
+            TensorTable::from_quantized(pool(16), "wq", &q, BlockingSpec::square(4)).unwrap();
+        assert!(table.is_quantized());
+        assert_eq!(table.num_blocks(), 3 * 2);
+        // i8 payloads approach a quarter of the f32 encoding at realistic
+        // block sizes (per-row scales amortize over the block width).
+        let big = pattern(64, 64, 22);
+        let big_q = QuantizedTensor::quantize(&big).unwrap();
+        let big_qt =
+            TensorTable::from_quantized(pool(16), "bq", &big_q, BlockingSpec::square(16)).unwrap();
+        let big_ft =
+            TensorTable::from_dense(pool(16), "bf", &big, BlockingSpec::square(16)).unwrap();
+        assert!(big_qt.bytes_stored() * 3 < big_ft.bytes_stored());
+        let f32_table =
+            TensorTable::from_dense(pool(16), "wf", &w, BlockingSpec::square(4)).unwrap();
+        // get_block transparently dequantizes; blocks match the chunks of
+        // the full dequantized matrix exactly (scales slice with rows).
+        assert!(table.to_dense().unwrap().approx_eq(&q.dequantize(), 0.0));
+        // get_qblock hands back the raw i8 block; on an f32 table it errors.
+        let qb = table.get_qblock(BlockCoord { row: 0, col: 0 }).unwrap();
+        assert_eq!(qb.rows(), 4);
+        assert!(f32_table.get_qblock(BlockCoord { row: 0, col: 0 }).is_err());
+    }
+
+    #[test]
+    fn quantized_matmul_bt_matches_dequantized_reference() {
+        let x = pattern(8, 10, 31);
+        let w = pattern(6, 10, 32);
+        let p = pool(32);
+        let xt = TensorTable::from_dense(p.clone(), "X", &x, BlockingSpec::square(4)).unwrap();
+        let q = QuantizedTensor::quantize(&w).unwrap();
+        let wt = TensorTable::from_quantized(p, "Wq", &q, BlockingSpec::square(4)).unwrap();
+        let (c, stats) = xt.matmul_bt_quant(&wt, "C").unwrap();
+        // The quantized join must track the f32 product of the same data to
+        // within quantization error (weights snap to 127 levels per row,
+        // activations to 127 levels per block row).
+        let expect = relserve_tensor::matmul::matmul_bt(&x, &w).unwrap();
+        let got = c.to_dense().unwrap();
+        let scale = expect.data().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        assert!(
+            got.approx_eq(&expect, scale * 0.05),
+            "max diff {}",
+            got.max_abs_diff(&expect).unwrap()
+        );
+        assert!(stats.joins > 0);
+        // The weight side of the join must be charged i8 bytes, not f32:
+        // total weight traffic strictly below the f32 payload volume.
+        let f32_weight_bytes = (w.num_bytes() + 8 * wt.num_blocks()) as u64;
+        assert!(stats.bytes_read < x.num_bytes() as u64 + f32_weight_bytes);
+    }
+
+    #[test]
+    fn quantized_join_parallel_matches_serial() {
+        let x = pattern(13, 12, 41);
+        let w = pattern(9, 12, 42);
+        let p = pool(64);
+        let xt = TensorTable::from_dense(p.clone(), "X", &x, BlockingSpec::square(4)).unwrap();
+        let q = QuantizedTensor::quantize(&w).unwrap();
+        let wt = TensorTable::from_quantized(p, "Wq", &q, BlockingSpec::square(4)).unwrap();
+        let (serial, serial_stats) = xt.matmul_bt_quant(&wt, "C").unwrap();
+        let expect = serial.to_dense().unwrap();
+        for threads in [2, 3, 7] {
+            let grant = Parallelism::new(
+                std::sync::Arc::new(relserve_tensor::parallel::SerialRunner),
+                threads,
+            );
+            let (c, stats) = xt.matmul_bt_quant_parallel(&wt, "Cp", &grant).unwrap();
+            assert!(
+                c.to_dense().unwrap().approx_eq(&expect, 1e-4),
+                "threads={threads}"
+            );
+            assert_eq!(stats, serial_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn quantized_join_rejects_f32_weight_relation() {
+        let p = pool(16);
+        let x = pattern(4, 6, 1);
+        let w = pattern(3, 6, 2);
+        let xt = TensorTable::from_dense(p.clone(), "X", &x, BlockingSpec::square(2)).unwrap();
+        let wt = TensorTable::from_dense(p, "W", &w, BlockingSpec::square(2)).unwrap();
+        assert!(xt.matmul_bt_quant(&wt, "C").is_err());
     }
 
     #[test]

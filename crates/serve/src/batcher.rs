@@ -448,13 +448,11 @@ impl Batcher {
         let (model_used, stepped_down) = match self.config.ladders.get(&work.model) {
             Some(ladder) => {
                 let (rung, idx) = ladder.rung_for_depth(work.backlog_rows);
+                self.counters.record_ladder_rung(&work.model, idx);
                 (rung.to_string(), idx > 0)
             }
             None => (work.model.clone(), false),
         };
-        if stepped_down {
-            self.counters.step_downs.fetch_add(1, Ordering::Relaxed);
-        }
 
         // The fused policy carries the *loosest* member deadline; one
         // member with an unbounded deadline unbinds the batch.

@@ -37,6 +37,6 @@ pub use server::{DrainReport, ServeConfig, ServeConfigBuilder, Server, ServerHan
 pub use shard::{workers_from_env, ShardCoordinator, WorkerHandle, WORKERS_ENV};
 pub use stats::{
     export_counters, CacheServeStats, ClassServeStats, DrainServeStats, FaultServeStats,
-    ReactorServeStats, ServeStats, ShardServeStats,
+    LadderModelStats, ReactorServeStats, ServeStats, ShardServeStats,
 };
 pub use wire::HealthState;

@@ -694,9 +694,11 @@ fn handle_request(payload: &[u8], conn: &Arc<Conn>, ctx: &Arc<ReactorCtx>) -> Co
             let serve = counters.snapshot();
             let session_stats = ctx.session.stats();
             let admission = ctx.session.coordinator().admission_stats();
+            let mut export = export_counters(&serve, &session_stats, &admission);
+            export.extend(counters.ladder_counters());
             responder.send(&Response::Stats {
                 id,
-                counters: export_counters(&serve, &session_stats, &admission),
+                counters: export,
             });
             ConnFlow::Continue
         }

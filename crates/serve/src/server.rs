@@ -451,6 +451,13 @@ impl ServerHandle {
         self.counters.snapshot()
     }
 
+    /// Per-model SLA-ladder activity (step-downs, restores, current rung),
+    /// sorted by model name. Empty until a ladder-registered model executes
+    /// its first fused batch.
+    pub fn ladder_stats(&self) -> Vec<(String, crate::stats::LadderModelStats)> {
+        self.counters.ladder_stats()
+    }
+
     /// The readiness a Health probe would report right now.
     pub fn health_state(&self) -> HealthState {
         self.ctx.health_state()

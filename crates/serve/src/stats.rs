@@ -8,8 +8,9 @@
 
 use relserve_core::SessionStats;
 use relserve_runtime::{AdmissionStats, Priority};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Per-class slice of [`ServeStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -170,9 +171,6 @@ pub struct ServeStats {
     pub deadline_rejected: u64,
     /// Requests shed with `Overloaded` (backlog or admission).
     pub shed: u64,
-    /// Fused batches served by a cheaper model version because queue depth
-    /// exceeded the class SLA threshold.
-    pub step_downs: u64,
     /// Frames or payloads that failed to decode/write.
     pub wire_errors: u64,
     /// The request counters broken down by class, indexed by
@@ -213,7 +211,6 @@ impl ServeStats {
                 self.deadline_rejected,
             ),
             ("serve.shed".to_string(), self.shed),
-            ("serve.step_downs".to_string(), self.step_downs),
             ("serve.wire_errors".to_string(), self.wire_errors),
         ];
         out.push(("serve.cache.hits".to_string(), self.cache.hits));
@@ -347,6 +344,23 @@ impl ServeStats {
     }
 }
 
+/// Per-model SLA-ladder activity, snapshotted from
+/// [`ServeCounters::ladder_stats`]. One entry per model name that has a
+/// registered [`relserve_core::PressureLadder`] and has executed at least
+/// one fused batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LadderModelStats {
+    /// Fused batches served by a cheaper rung because the class backlog
+    /// exceeded the model's SLA step depth.
+    pub step_downs: u64,
+    /// Transitions back to rung 0 after one or more stepped-down batches —
+    /// the ladder recovering once backlog drains.
+    pub restores: u64,
+    /// Gauge: the rung index the most recent fused batch served on
+    /// (0 = the original, most accurate model).
+    pub current_rung: u64,
+}
+
 #[derive(Default)]
 pub(crate) struct ClassCounters {
     pub requests: AtomicU64,
@@ -450,8 +464,12 @@ pub(crate) struct ServeCounters {
     pub responses: AtomicU64,
     pub deadline_rejected: AtomicU64,
     pub shed: AtomicU64,
-    pub step_downs: AtomicU64,
     pub wire_errors: AtomicU64,
+    /// Per-model SLA-ladder activity, keyed by the *requested* model name.
+    /// A mutex (not atomics): the map is touched once per fused batch —
+    /// far off the per-request hot path — and step-down/restore accounting
+    /// needs a consistent read-modify-write of all three fields.
+    pub ladder: Mutex<BTreeMap<String, LadderModelStats>>,
     pub per_class: [ClassCounters; 3],
     pub cache: CacheCounters,
     pub reactor: ReactorCounters,
@@ -473,8 +491,8 @@ impl Default for ServeCounters {
             responses: AtomicU64::new(0),
             deadline_rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
-            step_downs: AtomicU64::new(0),
             wire_errors: AtomicU64::new(0),
+            ladder: Mutex::new(BTreeMap::new()),
             per_class: Default::default(),
             cache: CacheCounters::default(),
             reactor: ReactorCounters::default(),
@@ -500,6 +518,42 @@ impl ServeCounters {
         self.max_batch_rows_seen.fetch_max(rows, Ordering::Relaxed);
     }
 
+    /// Record the ladder rung one fused batch for `model` served on.
+    /// `rung > 0` counts a step-down; a return to rung 0 from deeper
+    /// counts a restore.
+    pub fn record_ladder_rung(&self, model: &str, rung: usize) {
+        let mut map = self.ladder.lock().expect("ladder counters poisoned");
+        let entry = map.entry(model.to_string()).or_default();
+        if rung > 0 {
+            entry.step_downs += 1;
+        } else if entry.current_rung > 0 {
+            entry.restores += 1;
+        }
+        entry.current_rung = rung as u64;
+    }
+
+    /// Per-model ladder snapshot, sorted by model name.
+    pub fn ladder_stats(&self) -> Vec<(String, LadderModelStats)> {
+        self.ladder
+            .lock()
+            .expect("ladder counters poisoned")
+            .iter()
+            .map(|(name, stats)| (name.clone(), *stats))
+            .collect()
+    }
+
+    /// The per-model ladder counters as stable `(name, value)` pairs for
+    /// wire export: `serve.ladder.<model>.{step_downs,restores,rung}`.
+    pub fn ladder_counters(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (model, stats) in self.ladder_stats() {
+            out.push((format!("serve.ladder.{model}.step_downs"), stats.step_downs));
+            out.push((format!("serve.ladder.{model}.restores"), stats.restores));
+            out.push((format!("serve.ladder.{model}.rung"), stats.current_rung));
+        }
+        out
+    }
+
     /// Materialize the plain-old-data snapshot.
     pub fn snapshot(&self) -> ServeStats {
         let class = |c: &ClassCounters| ClassServeStats {
@@ -517,7 +571,6 @@ impl ServeCounters {
             responses: self.responses.load(Ordering::Relaxed),
             deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
-            step_downs: self.step_downs.load(Ordering::Relaxed),
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
             per_class: [
                 class(&self.per_class[0]),
@@ -711,6 +764,43 @@ mod tests {
                 "missing {name}={want}"
             );
         }
+    }
+
+    #[test]
+    fn ladder_counters_track_per_model_step_downs_and_restores() {
+        let counters = ServeCounters::default();
+        assert!(counters.ladder_counters().is_empty());
+        // Model "a": down, down, back up. Model "b": always rung 0.
+        counters.record_ladder_rung("a", 1);
+        counters.record_ladder_rung("a", 2);
+        counters.record_ladder_rung("a", 0);
+        counters.record_ladder_rung("b", 0);
+        let stats = counters.ladder_stats();
+        assert_eq!(stats.len(), 2);
+        let a = stats.iter().find(|(n, _)| n == "a").unwrap().1;
+        assert_eq!(a.step_downs, 2);
+        assert_eq!(a.restores, 1);
+        assert_eq!(a.current_rung, 0);
+        let b = stats.iter().find(|(n, _)| n == "b").unwrap().1;
+        assert_eq!(b, LadderModelStats::default());
+        let pairs = counters.ladder_counters();
+        for (name, want) in [
+            ("serve.ladder.a.step_downs", 2),
+            ("serve.ladder.a.restores", 1),
+            ("serve.ladder.a.rung", 0),
+            ("serve.ladder.b.step_downs", 0),
+        ] {
+            assert!(
+                pairs.iter().any(|(n, v)| n == name && *v == want),
+                "missing {name}={want}"
+            );
+        }
+        // The single global counter is gone from the snapshot export.
+        assert!(!counters
+            .snapshot()
+            .counters()
+            .iter()
+            .any(|(n, _)| n == "serve.step_downs"));
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum Error {
     /// SIMD dispatch selection failed: an unknown `RELSERVE_ISA` token, or a
     /// tier the running CPU cannot execute.
     Isa(String),
+    /// Int8 quantization failed: non-finite inputs, or stored quantized
+    /// parts that are internally inconsistent.
+    Quantize(String),
 }
 
 impl fmt::Display for Error {
@@ -80,6 +83,7 @@ impl fmt::Display for Error {
             Error::BlockingMismatch(msg) => write!(f, "incompatible blocking: {msg}"),
             Error::InvalidConv(msg) => write!(f, "invalid convolution: {msg}"),
             Error::Isa(msg) => write!(f, "isa dispatch: {msg}"),
+            Error::Quantize(msg) => write!(f, "quantize: {msg}"),
         }
     }
 }

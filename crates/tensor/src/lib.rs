@@ -29,6 +29,7 @@ pub mod error;
 pub mod matmul;
 pub mod ops;
 pub mod parallel;
+pub mod quant;
 pub mod shape;
 pub mod simd;
 pub mod sparse;
@@ -37,6 +38,7 @@ pub use blocked::{BlockCoord, BlockedTensor, BlockingSpec};
 pub use conv::{im2col, spatial_rewrite_1x1, Conv2dSpec};
 pub use dense::Tensor;
 pub use error::{Error, Result};
+pub use quant::{QuantizedActivations, QuantizedTensor};
 pub use shape::Shape;
 pub use simd::Isa;
 pub use sparse::CsrMatrix;

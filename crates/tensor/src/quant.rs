@@ -1,0 +1,697 @@
+//! Int8 quantized tensors and the quantized matmul driver.
+//!
+//! The serve tier's `PressureLadder` steps overloaded model classes down to
+//! `@int8` versions; this module is what makes that step-down shed real
+//! work instead of simulating quantization in f32. It provides:
+//!
+//! * [`QuantizedTensor`] — true i8 weight storage with **per-output-channel**
+//!   (per-row) symmetric scales, 4× smaller than f32 and the layout the int8
+//!   micro-kernels consume.
+//! * [`QuantizedActivations`] — per-row **7-bit** affine quantization of f32
+//!   activations (`v ≈ scale·q + offset`, `q ∈ 0..=127`). Capping at 127
+//!   keeps every AVX2 `maddubs` pair sum within i16, so the scalar, AVX2,
+//!   and VNNI tiers produce **bit-identical i32 accumulators** (see
+//!   [`crate::simd::MatmulKernelI8`]).
+//! * [`qmatmul_bt_parallel`] / [`qmatmul_bt_with_isa`] — `X × Wᵀ` with `W`
+//!   quantized (stored `[out, in]`, the inference layout): quantize the
+//!   activations per row, run the u8×i8 quad kernels with i32 accumulation,
+//!   and fold scale, offset correction, and bias into one dequantizing f32
+//!   epilogue at the store.
+//!
+//! The affine form needs no integer zero-point plumbing: with
+//! `x[i][p] = sa[i]·aq[i][p] + lo[i]` and `w[j][p] = sw[j]·wq[j][p]`,
+//!
+//! ```text
+//! C[i][j] = Σ_p x[i][p]·w[j][p]
+//!         = sa[i]·sw[j]·Σ_p aq·wq  +  lo[i]·sw[j]·Σ_p wq
+//! ```
+//!
+//! so the epilogue is `sw[j]·(sa[i]·acc[i][j] + lo[i]·wsum[j]) + bias[j]`,
+//! where `wsum[j]` is the precomputed i32 row sum stored alongside the
+//! quantized weights. The epilogue is evaluated in the same scalar f32
+//! expression order on every tier, so whole-matmul outputs are bit-identical
+//! across ISAs, not just accumulator-exact.
+//!
+//! i32 accumulation is exact while `k · 127 · 127 < 2³¹`, i.e. any inner
+//! dimension below ~133 000 — far beyond the block and layer shapes the
+//! system stores.
+
+use crate::dense::Tensor;
+use crate::error::{Error, Result};
+use crate::parallel::Parallelism;
+use crate::simd::{self, Isa, MatmulKernelI8};
+use std::cell::RefCell;
+
+/// Maximum quantized activation level: 7-bit so the AVX2 `maddubs` i16
+/// intermediates cannot saturate (`127·127·2 = 32258 < 32767`).
+pub const ACT_QMAX: u8 = 127;
+
+/// Maximum weight magnitude level (symmetric i8, `-127..=127`; -128 unused
+/// to keep the range symmetric).
+pub const WEIGHT_QMAX: i8 = 127;
+
+/// An i8 matrix with per-row symmetric scales — the storage form of a
+/// quantized weight tensor `[out_features, in_features]`, where each output
+/// channel (row) carries its own scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    rows: usize,
+    cols: usize,
+    /// Row-major i8 levels; `w[r][c] ≈ scales[r] · data[r*cols + c]`.
+    data: Vec<i8>,
+    /// Per-row dequantization scale (always finite and positive).
+    scales: Vec<f32>,
+    /// Per-row level sums `Σ_c data[r][c]` — the affine-epilogue correction
+    /// term, precomputed once at quantization time.
+    row_sums: Vec<i32>,
+}
+
+impl QuantizedTensor {
+    /// Quantize a 2-D f32 tensor to i8 with per-row symmetric scales.
+    pub fn quantize(w: &Tensor) -> Result<QuantizedTensor> {
+        let (rows, cols) = w.shape().as_matrix()?;
+        let wd = w.data();
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![1.0f32; rows];
+        for r in 0..rows {
+            let row = &wd[r * cols..(r + 1) * cols];
+            let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            if !max_abs.is_finite() {
+                return Err(Error::Quantize(format!(
+                    "row {r} contains non-finite values; cannot quantize"
+                )));
+            }
+            let scale = if max_abs > 0.0 {
+                max_abs / WEIGHT_QMAX as f32
+            } else {
+                1.0
+            };
+            scales[r] = scale;
+            for (c, &v) in row.iter().enumerate() {
+                let q = (v / scale).round();
+                data[r * cols + c] = q.clamp(-(WEIGHT_QMAX as f32), WEIGHT_QMAX as f32) as i8;
+            }
+        }
+        Ok(Self::assemble(rows, cols, data, scales))
+    }
+
+    /// Rebuild from stored parts (deserialization); `row_sums` are
+    /// recomputed rather than trusted from the wire.
+    pub fn from_parts(rows: usize, cols: usize, data: Vec<i8>, scales: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols || scales.len() != rows {
+            return Err(Error::Quantize(format!(
+                "quantized tensor parts disagree: {rows}x{cols} with {} levels, {} scales",
+                data.len(),
+                scales.len()
+            )));
+        }
+        if scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(Error::Quantize(
+                "quantized tensor scales must be finite and positive".into(),
+            ));
+        }
+        Ok(Self::assemble(rows, cols, data, scales))
+    }
+
+    fn assemble(rows: usize, cols: usize, data: Vec<i8>, scales: Vec<f32>) -> Self {
+        let row_sums = (0..rows)
+            .map(|r| {
+                data[r * cols..(r + 1) * cols]
+                    .iter()
+                    .map(|&q| q as i32)
+                    .sum()
+            })
+            .collect();
+        QuantizedTensor {
+            rows,
+            cols,
+            data,
+            scales,
+            row_sums,
+        }
+    }
+
+    /// Matrix height (output channels for a weight tensor).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix width (input features for a weight tensor).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major i8 levels.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-row level sums (the affine-epilogue correction term).
+    pub fn row_sums(&self) -> &[i32] {
+        &self.row_sums
+    }
+
+    /// Bytes this tensor occupies in storage: one byte per level plus one
+    /// f32 scale per row (`row_sums` are derived, not stored).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+
+    /// Expand back to f32 (`scales[r] · data[r][c]`) — the reference the
+    /// accuracy oracles compare the int8 kernel path against.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for c in 0..self.cols {
+                out[r * self.cols + c] = s * self.data[r * self.cols + c] as f32;
+            }
+        }
+        Tensor::from_vec([self.rows, self.cols], out).expect("quantized dims are consistent")
+    }
+}
+
+/// Per-row 7-bit affine quantization of an activation matrix:
+/// `x[r][c] ≈ scales[r] · data[r*cols + c] + offsets[r]`, levels in
+/// `0..=`[`ACT_QMAX`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedActivations {
+    rows: usize,
+    cols: usize,
+    /// Row-major u8 levels, each `<= ACT_QMAX`.
+    data: Vec<u8>,
+    /// Per-row scale.
+    scales: Vec<f32>,
+    /// Per-row offset (the row minimum).
+    offsets: Vec<f32>,
+}
+
+impl QuantizedActivations {
+    /// Matrix height (batch rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix width (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major u8 levels.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Per-row scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-row offsets.
+    pub fn offsets(&self) -> &[f32] {
+        &self.offsets
+    }
+
+    /// Expand back to f32 — the oracle-side counterpart of the packed path.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            let (s, lo) = (self.scales[r], self.offsets[r]);
+            for c in 0..self.cols {
+                out[r * self.cols + c] = s * self.data[r * self.cols + c] as f32 + lo;
+            }
+        }
+        Tensor::from_vec([self.rows, self.cols], out).expect("quantized dims are consistent")
+    }
+}
+
+/// Quantize a 2-D f32 activation matrix per row to 7-bit affine levels.
+pub fn quantize_activations(a: &Tensor) -> Result<QuantizedActivations> {
+    let (rows, cols) = a.shape().as_matrix()?;
+    let ad = a.data();
+    let mut data = vec![0u8; rows * cols];
+    let mut scales = vec![1.0f32; rows];
+    let mut offsets = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &ad[r * cols..(r + 1) * cols];
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        // Plain comparisons, not `f32::min`/`max`: identical result on this
+        // data (NaN loses either way and is caught below), but this form
+        // compiles to bare vminps/vmaxps lanes.
+        for &v in row {
+            lo = if v < lo { v } else { lo };
+            hi = if v > hi { v } else { hi };
+        }
+        if row.is_empty() {
+            (lo, hi) = (0.0, 0.0);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(Error::Quantize(format!(
+                "activation row {r} contains non-finite values; cannot quantize"
+            )));
+        }
+        let scale = if hi > lo {
+            (hi - lo) / ACT_QMAX as f32
+        } else {
+            1.0
+        };
+        scales[r] = scale;
+        offsets[r] = lo;
+        // Hot loop: one multiply per element (reciprocal, not divide) and a
+        // truncating cast (round-half-up after the +0.5), both of which the
+        // compiler vectorizes — `f32::round` would be a libm call on the
+        // SSE2 baseline and cost more than the whole u8×i8 gemm.
+        let inv = 1.0 / scale;
+        let out_row = &mut data[r * cols..(r + 1) * cols];
+        for (d, &v) in out_row.iter_mut().zip(row) {
+            // (v - lo) * inv ∈ [0, 127 ± ulp]: non-negative, so the cast
+            // truncates toward zero and `+ 0.5` makes it round-half-up.
+            let t = (v - lo) * inv + 0.5;
+            *d = (t as i32).min(ACT_QMAX as i32) as u8;
+        }
+    }
+    Ok(QuantizedActivations {
+        rows,
+        cols,
+        data,
+        scales,
+        offsets,
+    })
+}
+
+/// Pack quantized weight `W[n,k]` (stored row-major, one row per output
+/// channel) into zero-padded quad panels: panel `jp` holds channels
+/// `jp*nr ..`, laid out `[kq][nr][4]` so the micro-kernel streams one
+/// `nr·4`-byte line per quad step. Zero-padded lanes (ragged right edge,
+/// ragged final quad) contribute nothing to the i32 accumulators.
+fn pack_b_i8(w: &QuantizedTensor, nr: usize, out: &mut Vec<i8>) {
+    let (n, k) = (w.rows, w.cols);
+    let kq = k.div_ceil(4);
+    let panels = n.div_ceil(nr);
+    out.clear();
+    out.resize(panels * kq * nr * 4, 0);
+    for jp in 0..panels {
+        let j0 = jp * nr;
+        let width = nr.min(n - j0);
+        let base = jp * kq * nr * 4;
+        for jj in 0..width {
+            let row = &w.data[(j0 + jj) * k..(j0 + jj) * k + k];
+            for (p, &v) in row.iter().enumerate() {
+                out[base + (p / 4) * nr * 4 + jj * 4 + (p % 4)] = v;
+            }
+        }
+    }
+}
+
+/// Pack rows `i0 .. i0+rows` of the quantized activations into an
+/// interleaved `[kq][mr][4]` u8 quad micro-panel (rows past `rows` and
+/// k past `cols` zero-padded).
+fn pack_a_u8(a: &QuantizedActivations, i0: usize, rows: usize, mr: usize, out: &mut [i8]) {
+    let k = a.cols;
+    let kq = k.div_ceil(4);
+    out[..kq * mr * 4].fill(0);
+    for r in 0..rows {
+        let row = &a.data[(i0 + r) * k..(i0 + r) * k + k];
+        for (p, &v) in row.iter().enumerate() {
+            out[(p / 4) * mr * 4 + r * 4 + (p % 4)] = v as i8;
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable i8 B-pack scratch, mirroring the f32 path's `B_SCRATCH`.
+    static QB_SCRATCH: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
+    /// Reusable u8 A-pack scratch (stored as i8 for one allocation type;
+    /// activation levels are `0..=127` so the reinterpretation is lossless).
+    static QA_SCRATCH: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Compute rows `i0..i1` of the raw i32 product `acc[i][j] = Σ_p aq·wq`
+/// from pre-packed B quad panels, then run `epilogue(global_row, j0, width,
+/// acc_tile_row)` for each finished tile row.
+fn qgemm_stripe(
+    kern: &MatmulKernelI8,
+    a: &QuantizedActivations,
+    bpack: &[i8],
+    i0: usize,
+    i1: usize,
+    n: usize,
+    mut sink: impl FnMut(usize, usize, usize, &[i32]),
+) {
+    let rows = i1 - i0;
+    let k = a.cols;
+    if rows == 0 || n == 0 {
+        return;
+    }
+    let (mr, nr) = (kern.mr, kern.nr);
+    let kq = k.div_ceil(4);
+    let tiles = rows.div_ceil(mr);
+    let panels = n.div_ceil(nr);
+    let mut acc_tile = [0i32; simd::MAX_MR * simd::MAX_NR];
+    QA_SCRATCH.with(|scratch| {
+        let mut apack = scratch.borrow_mut();
+        let need = tiles * mr * 4 * kq;
+        if apack.len() < need {
+            apack.resize(need, 0);
+        }
+        for t in 0..tiles {
+            let i = i0 + t * mr;
+            let rows_here = mr.min(i1 - i);
+            pack_a_u8(
+                a,
+                i,
+                rows_here,
+                mr,
+                &mut apack[t * mr * 4 * kq..(t + 1) * mr * 4 * kq],
+            );
+        }
+        for jp in 0..panels {
+            let bpanel = &bpack[jp * kq * nr * 4..(jp + 1) * kq * nr * 4];
+            let j0 = jp * nr;
+            let width = nr.min(n - j0);
+            for t in 0..tiles {
+                let i = i0 + t * mr;
+                let rows_here = mr.min(i1 - i);
+                let acc = &mut acc_tile[..mr * nr];
+                acc.fill(0);
+                let ap = &apack[t * mr * 4 * kq..][..mr * 4 * kq];
+                // SAFETY of the cast: u8 levels were stored as i8 losslessly
+                // (all <= 127); reinterpret the scratch back as u8 for the
+                // kernel's unsigned operand.
+                let ap_u8 =
+                    unsafe { std::slice::from_raw_parts(ap.as_ptr() as *const u8, ap.len()) };
+                kern.run(ap_u8, bpanel, kq, acc);
+                for r in 0..rows_here {
+                    sink(i + r, j0, width, &acc[r * nr..r * nr + width]);
+                }
+            }
+        }
+    });
+}
+
+/// The shared quantized-matmul driver: pack W panels once, stripe the batch
+/// rows over the grant, and fold dequantization (+ optional bias) into the
+/// f32 store.
+fn qmatmul_impl(
+    kern: &MatmulKernelI8,
+    a: &QuantizedActivations,
+    w: &QuantizedTensor,
+    bias: Option<&[f32]>,
+    par: &Parallelism,
+) -> Result<Tensor> {
+    let (m, k) = (a.rows, a.cols);
+    let n = w.rows;
+    if w.cols != k {
+        return Err(Error::ShapeMismatch {
+            op: "qmatmul_bt",
+            lhs: vec![m, k],
+            rhs: vec![w.rows, w.cols],
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != n {
+            return Err(Error::ShapeMismatch {
+                op: "qmatmul_bt bias",
+                lhs: vec![m, n],
+                rhs: vec![b.len()],
+            });
+        }
+    }
+    let mut c = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return Tensor::from_vec([m, n], c);
+    }
+    QB_SCRATCH.with(|scratch| {
+        let mut bpack = scratch.borrow_mut();
+        pack_b_i8(w, kern.nr, &mut bpack);
+        // The dequantizing epilogue, evaluated in the same scalar f32
+        // expression order on every tier so whole-matmul outputs are
+        // bit-identical across ISAs.
+        let epilogue = |i: usize, j0: usize, acc_row: &[i32], c_row: &mut [f32]| {
+            let (sa, lo) = (a.scales[i], a.offsets[i]);
+            for (jj, (&acc, cv)) in acc_row.iter().zip(c_row.iter_mut()).enumerate() {
+                let j = j0 + jj;
+                let sw = w.scales[j];
+                let mut v = sw * (sa * acc as f32 + lo * w.row_sums[j] as f32);
+                if let Some(b) = bias {
+                    v += b[j];
+                }
+                *cv = v;
+            }
+        };
+        let threads = par.threads().clamp(1, m);
+        if threads == 1 {
+            let cd = c.as_mut_slice();
+            qgemm_stripe(kern, a, &bpack, 0, m, n, |i, j0, width, acc_row| {
+                epilogue(i, j0, acc_row, &mut cd[i * n + j0..i * n + j0 + width]);
+            });
+        } else {
+            // Stripe boundaries land on MR multiples so no tile spans tasks.
+            let rows_per = m.div_ceil(threads).div_ceil(kern.mr) * kern.mr;
+            let mut stripes: Vec<(usize, &mut [f32])> = Vec::new();
+            let mut rest = c.as_mut_slice();
+            let mut row = 0usize;
+            while row < m {
+                let take = rows_per.min(m - row);
+                let (head, tail) = rest.split_at_mut(take * n);
+                stripes.push((row, head));
+                rest = tail;
+                row += take;
+            }
+            let bpack = &bpack[..];
+            par.run_owned(stripes, |(row0, stripe)| {
+                let rows = stripe.len() / n;
+                let stripe = RefCell::new(stripe);
+                qgemm_stripe(
+                    kern,
+                    a,
+                    bpack,
+                    row0,
+                    row0 + rows,
+                    n,
+                    |i, j0, width, acc_row| {
+                        let mut stripe = stripe.borrow_mut();
+                        let base = (i - row0) * n + j0;
+                        epilogue(i, j0, acc_row, &mut stripe[base..base + width]);
+                    },
+                );
+            });
+        }
+    });
+    Tensor::from_vec([m, n], c)
+}
+
+/// Raw i32 accumulation `acc[i][j] = Σ_p aq[i][p]·wq[j][p]` on a forced ISA
+/// tier — the cross-tier exactness surface the oracle tests pin: every
+/// supported tier must return the identical vector.
+pub fn qgemm_i32(a: &QuantizedActivations, w: &QuantizedTensor, isa: Isa) -> Result<Vec<i32>> {
+    let kern = &simd::kernels_for(isa)?.matmul_i8;
+    if w.cols != a.cols {
+        return Err(Error::ShapeMismatch {
+            op: "qgemm_i32",
+            lhs: vec![a.rows, a.cols],
+            rhs: vec![w.rows, w.cols],
+        });
+    }
+    let (m, n) = (a.rows, w.rows);
+    let mut acc = vec![0i32; m * n];
+    QB_SCRATCH.with(|scratch| {
+        let mut bpack = scratch.borrow_mut();
+        pack_b_i8(w, kern.nr, &mut bpack);
+        let accd = acc.as_mut_slice();
+        qgemm_stripe(kern, a, &bpack, 0, m, n, |i, j0, width, acc_row| {
+            accd[i * n + j0..i * n + j0 + width].copy_from_slice(&acc_row[..width]);
+        });
+    });
+    Ok(acc)
+}
+
+/// Quantized `X × Wᵀ` (+bias) on the process-selected ISA tier, striped over
+/// the caller's kernel grant: quantize `X` per row, multiply in u8×i8 with
+/// i32 accumulation, dequantize into the store.
+pub fn qmatmul_bt_parallel(
+    a: &Tensor,
+    w: &QuantizedTensor,
+    bias: Option<&[f32]>,
+    par: &Parallelism,
+) -> Result<Tensor> {
+    let kern = &simd::try_kernels()?.matmul_i8;
+    let aq = quantize_activations(a)?;
+    qmatmul_impl(kern, &aq, w, bias, par)
+}
+
+/// Single-threaded quantized `X × Wᵀ` (+bias) forced onto a specific ISA
+/// tier, for tests and benchmarks; errors if the CPU lacks `isa`.
+pub fn qmatmul_bt_with_isa(
+    a: &Tensor,
+    w: &QuantizedTensor,
+    bias: Option<&[f32]>,
+    isa: Isa,
+) -> Result<Tensor> {
+    let kern = &simd::kernels_for(isa)?.matmul_i8;
+    let aq = quantize_activations(a)?;
+    qmatmul_impl(kern, &aq, w, bias, &Parallelism::serial())
+}
+
+/// Quantized multiply from pre-quantized activations — the relational block
+/// join quantizes each activation block once and reuses it across every
+/// matching weight block.
+pub fn qmatmul_prequantized(
+    aq: &QuantizedActivations,
+    w: &QuantizedTensor,
+    bias: Option<&[f32]>,
+    par: &Parallelism,
+) -> Result<Tensor> {
+    let kern = &simd::try_kernels()?.matmul_i8;
+    qmatmul_impl(kern, aq, w, bias, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul_bt;
+
+    fn test_matrix(rows: usize, cols: usize, seed: usize) -> Tensor {
+        Tensor::from_fn([rows, cols], |i| {
+            (((i * 31 + seed * 17 + 7) % 97) as f32 - 48.0) * 0.21
+        })
+    }
+
+    #[test]
+    fn weight_roundtrip_error_is_within_half_step() {
+        let w = test_matrix(9, 23, 3);
+        let q = QuantizedTensor::quantize(&w).unwrap();
+        let back = q.dequantize();
+        for r in 0..9 {
+            let half_step = q.scales()[r] * 0.5 + 1e-6;
+            for c in 0..23 {
+                let d = (w.at2(r, c).unwrap() - back.at2(r, c).unwrap()).abs();
+                assert!(d <= half_step, "row {r} col {c}: err {d} > {half_step}");
+            }
+        }
+    }
+
+    #[test]
+    fn activation_levels_respect_the_7_bit_cap() {
+        let a = test_matrix(5, 40, 11);
+        let q = quantize_activations(&a).unwrap();
+        assert!(q.data().iter().all(|&v| v <= ACT_QMAX));
+        let back = q.dequantize();
+        for r in 0..5 {
+            let half_step = q.scales()[r] * 0.5 + 1e-6;
+            for c in 0..40 {
+                let d = (a.at2(r, c).unwrap() - back.at2(r, c).unwrap()).abs();
+                assert!(d <= half_step);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_is_roughly_a_quarter_of_f32() {
+        let w = test_matrix(64, 64, 1);
+        let q = QuantizedTensor::quantize(&w).unwrap();
+        assert_eq!(q.storage_bytes(), 64 * 64 + 64 * 4);
+        assert!(q.storage_bytes() * 3 < w.num_bytes());
+    }
+
+    #[test]
+    fn qmatmul_matches_dequantized_f32_reference() {
+        let a = test_matrix(7, 33, 5);
+        let w = QuantizedTensor::quantize(&test_matrix(12, 33, 9)).unwrap();
+        let aq = quantize_activations(&a).unwrap();
+        // Oracle: plain f32 matmul over the *dequantized* operands — the
+        // int8 path must agree up to f32 rounding, not quantization error.
+        let oracle = matmul_bt(&aq.dequantize(), &w.dequantize()).unwrap();
+        for isa in Isa::supported() {
+            let got = qmatmul_bt_with_isa(&a, &w, None, isa).unwrap();
+            assert!(
+                got.approx_eq(&oracle, 1e-3),
+                "{isa}: max diff {}",
+                got.max_abs_diff(&oracle).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn all_tiers_agree_bit_exactly() {
+        let a = test_matrix(11, 50, 2);
+        let w = QuantizedTensor::quantize(&test_matrix(19, 50, 4)).unwrap();
+        let aq = quantize_activations(&a).unwrap();
+        let tiers = Isa::supported();
+        let reference = qgemm_i32(&aq, &w, Isa::Scalar).unwrap();
+        let ref_out = qmatmul_bt_with_isa(&a, &w, Some(&[0.25; 19]), Isa::Scalar).unwrap();
+        for &isa in &tiers[1..] {
+            assert_eq!(qgemm_i32(&aq, &w, isa).unwrap(), reference, "{isa} acc");
+            let out = qmatmul_bt_with_isa(&a, &w, Some(&[0.25; 19]), isa).unwrap();
+            assert_eq!(out.data(), ref_out.data(), "{isa} f32 store");
+        }
+    }
+
+    #[test]
+    fn bias_is_folded_into_the_epilogue() {
+        let a = test_matrix(3, 16, 8);
+        let w = QuantizedTensor::quantize(&test_matrix(5, 16, 6)).unwrap();
+        let bias = vec![1.0, -2.0, 0.5, 3.0, -0.25];
+        let plain = qmatmul_bt_with_isa(&a, &w, None, Isa::Scalar).unwrap();
+        let biased = qmatmul_bt_with_isa(&a, &w, Some(&bias), Isa::Scalar).unwrap();
+        for r in 0..3 {
+            for (c, b) in bias.iter().enumerate() {
+                let d = biased.at2(r, c).unwrap() - plain.at2(r, c).unwrap();
+                assert!((d - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed_errors() {
+        let a = test_matrix(4, 10, 1);
+        let w = QuantizedTensor::quantize(&test_matrix(6, 11, 2)).unwrap();
+        assert!(matches!(
+            qmatmul_bt_with_isa(&a, &w, None, Isa::Scalar),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        let w2 = QuantizedTensor::quantize(&test_matrix(6, 10, 2)).unwrap();
+        assert!(matches!(
+            qmatmul_bt_with_isa(&a, &w2, Some(&[0.0; 5]), Isa::Scalar),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_or_bad_scales() {
+        assert!(QuantizedTensor::from_parts(2, 3, vec![0; 5], vec![1.0; 2]).is_err());
+        assert!(QuantizedTensor::from_parts(2, 3, vec![0; 6], vec![1.0; 3]).is_err());
+        assert!(QuantizedTensor::from_parts(2, 3, vec![0; 6], vec![1.0, 0.0]).is_err());
+        assert!(QuantizedTensor::from_parts(2, 3, vec![0; 6], vec![1.0, f32::NAN]).is_err());
+        let ok = QuantizedTensor::from_parts(2, 3, vec![1, 2, 3, -1, -2, -3], vec![0.5, 2.0]);
+        assert_eq!(ok.unwrap().row_sums(), &[6, -6]);
+    }
+
+    #[test]
+    fn degenerate_shapes_and_constant_rows() {
+        // Zero-size operands.
+        let a = Tensor::zeros([0, 8]);
+        let w = QuantizedTensor::quantize(&Tensor::zeros([3, 8])).unwrap();
+        let c = qmatmul_bt_with_isa(&a, &w, None, Isa::Scalar).unwrap();
+        assert_eq!(c.shape().dims(), &[0, 3]);
+        // A constant activation row (hi == lo) must round-trip exactly.
+        let a = Tensor::full([2, 9], 4.25);
+        let aq = quantize_activations(&a).unwrap();
+        assert_eq!(aq.dequantize(), a);
+        // k not a multiple of 4 exercises the ragged final quad.
+        let a = test_matrix(4, 7, 3);
+        let w = QuantizedTensor::quantize(&test_matrix(5, 7, 1)).unwrap();
+        let aq = quantize_activations(&a).unwrap();
+        let oracle = matmul_bt(&aq.dequantize(), &w.dequantize()).unwrap();
+        for isa in Isa::supported() {
+            let got = qmatmul_bt_with_isa(&a, &w, None, isa).unwrap();
+            assert!(got.approx_eq(&oracle, 1e-3), "{isa}");
+        }
+    }
+}

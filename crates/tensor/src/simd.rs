@@ -6,11 +6,12 @@
 //! host offers. This module is the single seam where that decision is made:
 //!
 //! * [`Isa`] names the dispatch tiers: portable [`Isa::Scalar`], 256-bit
-//!   [`Isa::Avx2Fma`], and 512-bit [`Isa::Avx512`].
-//! * [`Kernels`] is a table of function pointers — one matmul micro-kernel
-//!   (with its own tile geometry) plus the vectorized elementwise kernels
-//!   (relu, add-assign, axpy, scale, max/sum reductions) the activation and
-//!   softmax paths use.
+//!   [`Isa::Avx2Fma`], 512-bit [`Isa::Avx512`], and [`Isa::Avx512Vnni`] when
+//!   the host has the int8 dot-product extension.
+//! * [`Kernels`] is a table of function pointers — one f32 matmul
+//!   micro-kernel and one int8 matmul micro-kernel (each with its own tile
+//!   geometry) plus the vectorized elementwise kernels (relu, add-assign,
+//!   axpy, scale, max/sum reductions) the activation and softmax paths use.
 //! * [`kernels`] resolves the table **once per process**: the best available
 //!   ISA by runtime CPU feature detection, overridable with the
 //!   `RELSERVE_ISA=scalar|avx2|avx512` environment variable for
@@ -46,6 +47,11 @@ pub enum Isa {
     Avx2Fma,
     /// 512-bit AVX-512F (`zmm` registers and lane masks).
     Avx512,
+    /// AVX-512 with the VNNI int8 dot-product extension (`vpdpbusd`). The
+    /// f32 kernels are identical to [`Isa::Avx512`]; this tier upgrades the
+    /// int8 matmul micro-kernel from the `maddubs`+`madd` emulation to a
+    /// single fused u8×i8→i32 instruction per quad.
+    Avx512Vnni,
 }
 
 impl Isa {
@@ -55,6 +61,7 @@ impl Isa {
             Isa::Scalar => "scalar",
             Isa::Avx2Fma => "avx2",
             Isa::Avx512 => "avx512",
+            Isa::Avx512Vnni => "avx512vnni",
         }
     }
 
@@ -64,8 +71,9 @@ impl Isa {
             "scalar" => Ok(Isa::Scalar),
             "avx2" => Ok(Isa::Avx2Fma),
             "avx512" => Ok(Isa::Avx512),
+            "avx512vnni" | "vnni" => Ok(Isa::Avx512Vnni),
             other => Err(Error::Isa(format!(
-                "unknown ISA {other:?} (valid {ISA_ENV} values: scalar, avx2, avx512)"
+                "unknown ISA {other:?} (valid {ISA_ENV} values: scalar, avx2, avx512, avx512vnni)"
             ))),
         }
     }
@@ -81,6 +89,12 @@ impl Isa {
             }
             #[cfg(target_arch = "x86_64")]
             Isa::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512Vnni => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                    && std::arch::is_x86_feature_detected!("avx512vnni")
+            }
             #[cfg(not(target_arch = "x86_64"))]
             _ => false,
         }
@@ -88,7 +102,7 @@ impl Isa {
 
     /// Every tier the running CPU supports, narrowest first.
     pub fn supported() -> Vec<Isa> {
-        [Isa::Scalar, Isa::Avx2Fma, Isa::Avx512]
+        [Isa::Scalar, Isa::Avx2Fma, Isa::Avx512, Isa::Avx512Vnni]
             .into_iter()
             .filter(|isa| isa.available())
             .collect()
@@ -161,6 +175,63 @@ impl fmt::Debug for MatmulKernel {
     }
 }
 
+/// One register-tiled **int8** matmul micro-kernel and its tile geometry.
+///
+/// Operands are packed in *quads* — groups of 4 adjacent k elements — to
+/// match the u8×i8 dot-product instructions, which consume 4 bytes per lane
+/// per step. The micro-kernel computes
+/// `acc[r][c] += Σ_j apack[q][r][j] * bpanel[q][c][j]` (`j < 4`) over `kq`
+/// quads, where `apack` is a `[kq][mr][4]` panel of **unsigned** activation
+/// bytes, `bpanel` a `[kq][nr][4]` panel of **signed** weight bytes, and
+/// `acc` a row-major `mr×nr` i32 accumulator.
+///
+/// Activation bytes are restricted to `0..=127` (7-bit quantization) by the
+/// packers in [`crate::quant`]. That keeps every `maddubs` intermediate pair
+/// sum within i16 (max `127·127·2 = 32258 < 32767`), so the AVX2 tier never
+/// saturates and **all tiers produce bit-identical i32 accumulators** — the
+/// cross-tier exactness the oracle tests pin.
+pub struct MatmulKernelI8 {
+    /// The tier this kernel requires.
+    pub isa: Isa,
+    /// Micro-tile rows: accumulator height held in registers.
+    pub mr: usize,
+    /// Micro-tile columns: accumulator width held in registers.
+    pub nr: usize,
+    /// Human-readable kernel name, e.g. `"vnni vpdpbusd 8x16"`.
+    pub name: &'static str,
+    micro: unsafe fn(&[u8], &[i8], usize, &mut [i32]),
+}
+
+impl MatmulKernelI8 {
+    /// Run the micro-kernel over `kq` quads:
+    /// `acc[r*nr + c] += Σ_{j<4} apack[(q*mr + r)*4 + j] *
+    /// bpanel[(q*nr + c)*4 + j]` for `q < kq`.
+    #[inline(always)]
+    pub fn run(&self, apack: &[u8], bpanel: &[i8], kq: usize, acc: &mut [i32]) {
+        assert!(
+            apack.len() >= kq * self.mr * 4
+                && bpanel.len() >= kq * self.nr * 4
+                && acc.len() >= self.mr * self.nr,
+            "int8 micro-kernel operands smaller than the declared tile geometry"
+        );
+        // SAFETY: kernels are only reachable through `kernels_for`, which
+        // verifies the ISA is available on this CPU, and the slice bounds the
+        // target-feature implementations rely on were just asserted.
+        unsafe { (self.micro)(apack, bpanel, kq, acc) }
+    }
+}
+
+impl fmt::Debug for MatmulKernelI8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatmulKernelI8")
+            .field("isa", &self.isa)
+            .field("name", &self.name)
+            .field("mr", &self.mr)
+            .field("nr", &self.nr)
+            .finish()
+    }
+}
+
 /// The dispatch table for one ISA tier: a matmul micro-kernel plus the
 /// vectorized elementwise/reduction kernels. Obtained from [`kernels`]
 /// (process-wide selection) or [`kernels_for`] (explicit tier).
@@ -169,6 +240,8 @@ pub struct Kernels {
     pub isa: Isa,
     /// The register-tiled matmul micro-kernel.
     pub matmul: MatmulKernel,
+    /// The register-tiled int8 matmul micro-kernel (quantized path).
+    pub matmul_i8: MatmulKernelI8,
     relu: unsafe fn(&mut [f32]),
     add_assign: unsafe fn(&mut [f32], &[f32]),
     axpy: unsafe fn(&mut [f32], &[f32], f32),
@@ -254,6 +327,8 @@ pub fn kernels_for(isa: Isa) -> Result<&'static Kernels> {
         Isa::Avx2Fma => &AVX2,
         #[cfg(target_arch = "x86_64")]
         Isa::Avx512 => &AVX512,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512Vnni => &AVX512VNNI,
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("non-scalar ISAs report unavailable off x86_64"),
     })
@@ -340,6 +415,28 @@ unsafe fn sum_scalar(xs: &[f32]) -> f32 {
     xs.iter().sum()
 }
 
+/// 4×8 scalar int8 micro-kernel over quads — the reference the SIMD tiers
+/// are pinned to bit-for-bit. `unsafe` only to share the dispatch-table
+/// signature.
+unsafe fn micro_i8_scalar_4x8(apack: &[u8], bpanel: &[i8], kq: usize, acc: &mut [i32]) {
+    let acc: &mut [i32; 32] = (&mut acc[..32]).try_into().unwrap();
+    for q in 0..kq {
+        let a = &apack[q * 16..q * 16 + 16];
+        let b = &bpanel[q * 32..q * 32 + 32];
+        for r in 0..4 {
+            let aq = &a[r * 4..r * 4 + 4];
+            for c in 0..8 {
+                let bq = &b[c * 4..c * 4 + 4];
+                let mut dot = 0i32;
+                for j in 0..4 {
+                    dot += aq[j] as i32 * bq[j] as i32;
+                }
+                acc[r * 8 + c] += dot;
+            }
+        }
+    }
+}
+
 static SCALAR: Kernels = Kernels {
     isa: Isa::Scalar,
     matmul: MatmulKernel {
@@ -349,6 +446,13 @@ static SCALAR: Kernels = Kernels {
         kc: 256,
         name: "scalar 4x8",
         micro: micro_scalar_4x8,
+    },
+    matmul_i8: MatmulKernelI8 {
+        isa: Isa::Scalar,
+        mr: 4,
+        nr: 8,
+        name: "scalar i8 4x8",
+        micro: micro_i8_scalar_4x8,
     },
     relu: relu_scalar,
     add_assign: add_assign_scalar,
@@ -508,6 +612,56 @@ unsafe fn sum_avx2(xs: &[f32]) -> f32 {
     total
 }
 
+/// AVX2 4×8 int8 micro-kernel: emulates the u8×i8 dot-product with
+/// `maddubs` (u8×i8 → adjacent-pair i16 sums) followed by `madd` against
+/// ones (i16 pairs → i32). Each accumulator row is one `ymm` of 8 i32
+/// lanes; every quad step issues one 32-byte B load and four broadcast
+/// multiply-accumulate sequences. Activation bytes ≤ 127 guarantee the
+/// i16 intermediates cannot saturate, so the result is bit-identical to
+/// the scalar reference.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_i8_avx2_4x8(apack: &[u8], bpanel: &[i8], kq: usize, acc: &mut [i32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(apack.len() >= kq * 16 && bpanel.len() >= kq * 32 && acc.len() >= 32);
+    let cp = acc.as_mut_ptr();
+    let mut c0 = _mm256_loadu_si256(cp as *const __m256i);
+    let mut c1 = _mm256_loadu_si256(cp.add(8) as *const __m256i);
+    let mut c2 = _mm256_loadu_si256(cp.add(16) as *const __m256i);
+    let mut c3 = _mm256_loadu_si256(cp.add(24) as *const __m256i);
+    let ones = _mm256_set1_epi16(1);
+    let ap = apack.as_ptr();
+    let bp = bpanel.as_ptr();
+    for q in 0..kq {
+        let b = _mm256_loadu_si256(bp.add(q * 32) as *const __m256i);
+        let a = ap.add(q * 16) as *const i32;
+        let p0 = _mm256_madd_epi16(
+            _mm256_maddubs_epi16(_mm256_set1_epi32(a.read_unaligned()), b),
+            ones,
+        );
+        let p1 = _mm256_madd_epi16(
+            _mm256_maddubs_epi16(_mm256_set1_epi32(a.add(1).read_unaligned()), b),
+            ones,
+        );
+        let p2 = _mm256_madd_epi16(
+            _mm256_maddubs_epi16(_mm256_set1_epi32(a.add(2).read_unaligned()), b),
+            ones,
+        );
+        let p3 = _mm256_madd_epi16(
+            _mm256_maddubs_epi16(_mm256_set1_epi32(a.add(3).read_unaligned()), b),
+            ones,
+        );
+        c0 = _mm256_add_epi32(c0, p0);
+        c1 = _mm256_add_epi32(c1, p1);
+        c2 = _mm256_add_epi32(c2, p2);
+        c3 = _mm256_add_epi32(c3, p3);
+    }
+    _mm256_storeu_si256(cp as *mut __m256i, c0);
+    _mm256_storeu_si256(cp.add(8) as *mut __m256i, c1);
+    _mm256_storeu_si256(cp.add(16) as *mut __m256i, c2);
+    _mm256_storeu_si256(cp.add(24) as *mut __m256i, c3);
+}
+
 #[cfg(target_arch = "x86_64")]
 static AVX2: Kernels = Kernels {
     isa: Isa::Avx2Fma,
@@ -518,6 +672,13 @@ static AVX2: Kernels = Kernels {
         kc: 256,
         name: "avx2+fma 4x8",
         micro: micro_avx2_4x8,
+    },
+    matmul_i8: MatmulKernelI8 {
+        isa: Isa::Avx2Fma,
+        mr: 4,
+        nr: 8,
+        name: "avx2 maddubs 4x8",
+        micro: micro_i8_avx2_4x8,
     },
     relu: relu_avx2,
     add_assign: add_assign_avx2,
@@ -722,6 +883,94 @@ static AVX512: Kernels = Kernels {
         name: "avx512 8x16",
         micro: micro_avx512_8x16,
     },
+    // Plain AVX-512F does not imply VNNI, and there is no profitable 512-bit
+    // int8 path without it (avx512bw `vpmaddubsw` CPUs without VNNI are
+    // rare); every avx512f CPU has AVX2, so the maddubs kernel is the widest
+    // int8 kernel this tier can promise.
+    matmul_i8: MatmulKernelI8 {
+        isa: Isa::Avx2Fma,
+        mr: 4,
+        nr: 8,
+        name: "avx2 maddubs 4x8",
+        micro: micro_i8_avx2_4x8,
+    },
+    relu: relu_avx512,
+    add_assign: add_assign_avx512,
+    axpy: axpy_avx512,
+    scale: scale_avx512,
+    vmax: max_avx512,
+    vsum: sum_avx512,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512 VNNI tier. Same f32 kernels as AVX-512; the int8 matmul upgrades
+// to `vpdpbusd` — one instruction fuses the u8×i8 multiply, the quad
+// horizontal add, and the i32 accumulate that cost three instructions on
+// the AVX2 tier, at twice the vector width.
+// ---------------------------------------------------------------------------
+
+/// AVX-512 VNNI 8×16 int8 micro-kernel: accumulator row `r` is one `zmm` of
+/// 16 i32 lanes; every quad step issues one 64-byte B load and eight
+/// `vpdpbusd` instructions against broadcast activation quads. `vpdpbusd`
+/// accumulates the full u8×i8 quad dot-product in i32 with no intermediate
+/// narrowing, so it is exact for any byte inputs — bit-identical to the
+/// scalar reference by construction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vnni")]
+unsafe fn micro_i8_vnni_8x16(apack: &[u8], bpanel: &[i8], kq: usize, acc: &mut [i32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(apack.len() >= kq * 32 && bpanel.len() >= kq * 64 && acc.len() >= 128);
+    let cp = acc.as_mut_ptr();
+    let mut c0 = _mm512_loadu_si512(cp.cast());
+    let mut c1 = _mm512_loadu_si512(cp.add(16).cast());
+    let mut c2 = _mm512_loadu_si512(cp.add(32).cast());
+    let mut c3 = _mm512_loadu_si512(cp.add(48).cast());
+    let mut c4 = _mm512_loadu_si512(cp.add(64).cast());
+    let mut c5 = _mm512_loadu_si512(cp.add(80).cast());
+    let mut c6 = _mm512_loadu_si512(cp.add(96).cast());
+    let mut c7 = _mm512_loadu_si512(cp.add(112).cast());
+    let ap = apack.as_ptr();
+    let bp = bpanel.as_ptr();
+    for q in 0..kq {
+        let b = _mm512_loadu_si512(bp.add(q * 64).cast());
+        let a = ap.add(q * 32) as *const i32;
+        c0 = _mm512_dpbusd_epi32(c0, _mm512_set1_epi32(a.read_unaligned()), b);
+        c1 = _mm512_dpbusd_epi32(c1, _mm512_set1_epi32(a.add(1).read_unaligned()), b);
+        c2 = _mm512_dpbusd_epi32(c2, _mm512_set1_epi32(a.add(2).read_unaligned()), b);
+        c3 = _mm512_dpbusd_epi32(c3, _mm512_set1_epi32(a.add(3).read_unaligned()), b);
+        c4 = _mm512_dpbusd_epi32(c4, _mm512_set1_epi32(a.add(4).read_unaligned()), b);
+        c5 = _mm512_dpbusd_epi32(c5, _mm512_set1_epi32(a.add(5).read_unaligned()), b);
+        c6 = _mm512_dpbusd_epi32(c6, _mm512_set1_epi32(a.add(6).read_unaligned()), b);
+        c7 = _mm512_dpbusd_epi32(c7, _mm512_set1_epi32(a.add(7).read_unaligned()), b);
+    }
+    _mm512_storeu_si512(cp.cast(), c0);
+    _mm512_storeu_si512(cp.add(16).cast(), c1);
+    _mm512_storeu_si512(cp.add(32).cast(), c2);
+    _mm512_storeu_si512(cp.add(48).cast(), c3);
+    _mm512_storeu_si512(cp.add(64).cast(), c4);
+    _mm512_storeu_si512(cp.add(80).cast(), c5);
+    _mm512_storeu_si512(cp.add(96).cast(), c6);
+    _mm512_storeu_si512(cp.add(112).cast(), c7);
+}
+
+#[cfg(target_arch = "x86_64")]
+static AVX512VNNI: Kernels = Kernels {
+    isa: Isa::Avx512Vnni,
+    matmul: MatmulKernel {
+        isa: Isa::Avx512,
+        mr: 8,
+        nr: 16,
+        kc: 256,
+        name: "avx512 8x16",
+        micro: micro_avx512_8x16,
+    },
+    matmul_i8: MatmulKernelI8 {
+        isa: Isa::Avx512Vnni,
+        mr: 8,
+        nr: 16,
+        name: "vnni vpdpbusd 8x16",
+        micro: micro_i8_vnni_8x16,
+    },
     relu: relu_avx512,
     add_assign: add_assign_avx512,
     axpy: axpy_avx512,
@@ -761,8 +1010,61 @@ mod tests {
         for isa in Isa::supported() {
             let k = kernels_for(isa).unwrap();
             assert_eq!(k.isa, isa);
-            assert_eq!(k.matmul.isa, isa);
+            // A table may reuse a narrower tier's kernel (e.g. the VNNI
+            // table shares the AVX-512 f32 kernel, the AVX-512 table the
+            // AVX2 int8 kernel) but never a wider one.
+            assert!(k.matmul.isa <= isa);
+            assert!(k.matmul_i8.isa <= isa);
             assert!(k.matmul.mr <= MAX_MR && k.matmul.nr <= MAX_NR);
+            assert!(k.matmul_i8.mr <= MAX_MR && k.matmul_i8.nr <= MAX_NR);
+        }
+    }
+
+    #[test]
+    fn int8_tiers_match_scalar_reference_bit_exactly() {
+        // Random-ish deterministic quads; activations capped at 127.
+        let kq = 9;
+        let mut apack = vec![0u8; kq * MAX_MR * 4];
+        let mut bpanel = vec![0i8; kq * MAX_NR * 4];
+        for (i, a) in apack.iter_mut().enumerate() {
+            *a = ((i * 37 + 11) % 128) as u8;
+        }
+        for (i, b) in bpanel.iter_mut().enumerate() {
+            *b = (((i * 53 + 7) % 255) as i32 - 127) as i8;
+        }
+        for isa in Isa::supported() {
+            let k = &kernels_for(isa).unwrap().matmul_i8;
+            let (mr, nr) = (k.mr, k.nr);
+            // Repack for this kernel's geometry from the same logical
+            // [k][row]/[k][col] values.
+            let mut ap = vec![0u8; kq * mr * 4];
+            let mut bp = vec![0i8; kq * nr * 4];
+            for q in 0..kq {
+                for r in 0..mr {
+                    for j in 0..4 {
+                        ap[(q * mr + r) * 4 + j] = apack[(q * MAX_MR + r) * 4 + j];
+                    }
+                }
+                for c in 0..nr {
+                    for j in 0..4 {
+                        bp[(q * nr + c) * 4 + j] = bpanel[(q * MAX_NR + c) * 4 + j];
+                    }
+                }
+            }
+            let mut acc = vec![0i32; mr * nr];
+            k.run(&ap, &bp, kq, &mut acc);
+            for r in 0..mr {
+                for c in 0..nr {
+                    let mut expect = 0i64;
+                    for q in 0..kq {
+                        for j in 0..4 {
+                            expect +=
+                                ap[(q * mr + r) * 4 + j] as i64 * bp[(q * nr + c) * 4 + j] as i64;
+                        }
+                    }
+                    assert_eq!(acc[r * nr + c] as i64, expect, "{isa} r={r} c={c}");
+                }
+            }
         }
     }
 

@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 use relserve_tensor::matmul::{matmul_bt_with_isa, matmul_naive, matmul_with_isa};
+use relserve_tensor::quant::{self, QuantizedTensor};
 use relserve_tensor::simd::{self, Isa, ISA_ENV};
 use relserve_tensor::Tensor;
 
@@ -134,6 +135,58 @@ proptest! {
             );
         }
     }
+
+    /// The int8 kernel tier vs a dequantized-f32 oracle: quantize the inputs,
+    /// run the u8×i8 micro-kernels, and bound the result against the f32
+    /// matmul of the *dequantized* operands. The only admissible error is the
+    /// epilogue's f32 rounding — quantization error itself cancels because
+    /// the oracle uses the same dequantized values.
+    #[test]
+    fn int8_matmul_matches_dequantized_oracle_all_isas(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u32..1000,
+    ) {
+        let a = Tensor::from_fn([m, k], |i| {
+            (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 9) % 64) as f32 * 0.0625 - 2.0
+        });
+        let w = Tensor::from_fn([n, k], |i| {
+            (((i as u32).wrapping_mul(40503).wrapping_add(seed * 7) >> 7) % 64) as f32 * 0.03125 - 1.0
+        });
+        let q = QuantizedTensor::quantize(&w).unwrap();
+        let aq = quant::quantize_activations(&a).unwrap();
+        // Oracle: f32 matmul over the values the kernels actually see.
+        let oracle = matmul_naive(&aq.dequantize(), &q.dequantize().transpose().unwrap()).unwrap();
+        for isa in isas_under_test() {
+            let got = quant::qmatmul_bt_with_isa(&a, &q, None, isa).unwrap();
+            // k f32 epilogue ops over i32-exact accumulators: tight bound.
+            assert_close(&got, &oracle, 1e-4, &format!("qmatmul[{isa}] {m}x{k}x{n}"));
+        }
+    }
+
+    /// Every int8 tier produces **bit-identical i32 accumulators**: 7-bit
+    /// activation levels make `maddubs` saturation impossible, so scalar,
+    /// AVX2 and VNNI differ only in lane geometry, not arithmetic.
+    #[test]
+    fn int8_accumulators_identical_across_isas(
+        m in 1usize..24,
+        k in 1usize..70,
+        n in 1usize..24,
+    ) {
+        let a = Tensor::from_fn([m, k], |i| ((i * 29) % 31) as f32 * 0.125 - 1.5);
+        let w = Tensor::from_fn([n, k], |i| ((i * 37) % 41) as f32 * 0.0625 - 1.0);
+        let q = QuantizedTensor::quantize(&w).unwrap();
+        let aq = quant::quantize_activations(&a).unwrap();
+        let reference = quant::qgemm_i32(&aq, &q, Isa::Scalar).unwrap();
+        for isa in isas_under_test() {
+            let got = quant::qgemm_i32(&aq, &q, isa).unwrap();
+            prop_assert!(
+                got == reference,
+                "qgemm_i32[{}] diverged from the scalar i32 accumulators", isa
+            );
+        }
+    }
 }
 
 /// Forcing a tier the CPU lacks must fail with a clear [`Error::Isa`], never
@@ -142,7 +195,7 @@ proptest! {
 fn unavailable_or_unknown_isa_fails_cleanly() {
     assert!(Isa::parse("sse9").is_err());
     assert!(Isa::parse("").is_err());
-    for isa in [Isa::Scalar, Isa::Avx2Fma, Isa::Avx512] {
+    for isa in [Isa::Scalar, Isa::Avx2Fma, Isa::Avx512, Isa::Avx512Vnni] {
         let got = simd::kernels_for(isa);
         if isa.available() {
             assert_eq!(got.unwrap().isa, isa);
@@ -153,6 +206,21 @@ fn unavailable_or_unknown_isa_fails_cleanly() {
                 "expected Error::Isa, got {err:?}"
             );
         }
+    }
+    // The quantized entry points surface the same typed error for an
+    // unavailable VNNI tier instead of executing illegal instructions: the
+    // dispatch check runs before any kernel byte does. (On VNNI hosts this
+    // branch is vacuous and the proptests above exercise the real kernels.)
+    if !Isa::Avx512Vnni.available() {
+        let a = Tensor::from_fn([3, 9], |i| i as f32 * 0.25 - 1.0);
+        let w = QuantizedTensor::quantize(&Tensor::from_fn([5, 9], |i| i as f32 * 0.125 - 2.0))
+            .unwrap();
+        let err = quant::qmatmul_bt_with_isa(&a, &w, None, Isa::Avx512Vnni)
+            .expect_err("VNNI on a non-VNNI host must be a typed error");
+        assert!(
+            matches!(err, relserve_tensor::Error::Isa(_)),
+            "expected Error::Isa, got {err:?}"
+        );
     }
 }
 

@@ -150,9 +150,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
+    let ladder_steps: u64 = server
+        .ladder_stats()
+        .iter()
+        .map(|(_, s)| s.step_downs)
+        .sum();
     println!(
-        "step-down: {stepped} of 48 responses served by {MODEL}@int8 under backlog pressure ({} fused batches stepped down)",
-        server.stats().step_downs
+        "step-down: {stepped} of 48 responses served by {MODEL}@int8 under backlog pressure ({ladder_steps} fused batches stepped down)",
     );
 
     server.shutdown();

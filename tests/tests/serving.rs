@@ -429,7 +429,27 @@ fn backlog_pressure_steps_down_the_version_ladder() {
         }
     }
     assert!(stepped >= 1, "deep backlog should reach the int8 rung");
-    assert!(server.stats().step_downs >= 1);
+    // The per-model ladder ledger saw the step-downs (keyed by the
+    // *requested* model name) and, once the backlog drained, the restore
+    // back to rung 0.
+    let ladder = server.ladder_stats();
+    let (_, m) = ladder
+        .iter()
+        .find(|(name, _)| name == MODEL)
+        .expect("ladder stats for the requested model");
+    assert!(m.step_downs >= 1, "ladder ledger missed the step-downs");
+    assert_eq!(
+        m.current_rung, 0,
+        "drained backlog should restore rung 0 (restores={})",
+        m.restores
+    );
+    assert!(m.restores >= 1, "return to rung 0 should count a restore");
+    // The same ledger is visible over the wire Stats opcode, replacing the
+    // old global serve.step_downs counter.
+    let stats = client.stats().unwrap();
+    assert!(counter(&stats, &format!("serve.ladder.{MODEL}.step_downs")) >= 1);
+    assert!(counter(&stats, &format!("serve.ladder.{MODEL}.restores")) >= 1);
+    assert!(!stats.iter().any(|(n, _)| n == "serve.step_downs"));
     server.shutdown();
 }
 
